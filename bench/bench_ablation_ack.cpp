@@ -1,0 +1,103 @@
+// Ablation: the acknowledgment scheme (Section VIII-C). Varies ack
+// frequency, frame size budget, and ack-path loss; the window redundancy in
+// later acks is what keeps a lossy ack path from causing retransmission
+// storms.
+#include <iostream>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "experiments/table.h"
+
+namespace {
+
+using namespace dmc;
+
+core::PathSet lossy_ack_network() {
+  core::PathSet paths;
+  paths.add({.name = "data",
+             .bandwidth_bps = mbps(60),
+             .delay_s = ms(200),
+             .loss_rate = 0.15});
+  paths.add({.name = "ack",  // lowest delay -> carries the acks, both ways
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(80),
+             .loss_rate = 0.10});
+  return paths;
+}
+
+}  // namespace
+
+int main() {
+  const auto messages = exp::default_messages(50000);
+  const auto paths = lossy_ack_network();
+  const core::TrafficSpec traffic{.rate_bps = mbps(40),
+                                  .lifetime_s = ms(900)};
+  const core::Plan plan = core::plan_max_quality(paths, traffic);
+
+  exp::banner("Ack scheme ablation (10% ack-path loss both directions)");
+  std::cout << "plan: " << plan.summary() << "\nmessages per run: " << messages
+            << "\n\n";
+
+  // The in-flight window here is ~1400 packets (280 ms of RTT at 40 Mbps),
+  // and cross-path reordering puts slow-path packets ~600 seqs behind the
+  // newest arrival the moment they land. A 256-bit vector therefore cannot
+  // cover them (their only protection is their own echo), while a 4096-bit
+  // vector covers everything — but costs 539-byte acks that congest the
+  // return path when sent per packet. This is the paper's VIII-C tradeoff,
+  // measured.
+  exp::Table frequency({"ack every N", "Q (256-bit window)",
+                        "Q (4096-bit window)", "ack Mbps (256)",
+                        "ack Mbps (4096)"});
+  for (std::uint32_t every : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<std::string> row{std::to_string(every)};
+    std::vector<std::string> rates;
+    for (std::size_t bits : {256u, 4096u}) {
+      exp::RunOptions options;
+      options.num_messages = messages;
+      options.seed = 501;
+      // Equation-4 timeouts leave zero slack for serialization; a small
+      // execution guard prevents every ack from losing the race with its
+      // timer (the paper's +100 ms guard plays this role in Experiment 1).
+      options.timeout_guard_s = ms(40);
+      options.session.ack_every = every;
+      options.session.ack_window_bits = bits;
+      options.session.max_ack_bytes = 27 + bits / 8;
+      const auto s = exp::simulate_plan(plan, paths, options);
+      row.push_back(exp::Table::percent(s.measured_quality));
+      const double ack_bits =
+          s.reverse_links[1].bytes_sent * 8.0;  // path 2 carries the acks
+      rates.push_back(exp::Table::num(ack_bits / s.elapsed_s / 1e6, 2));
+    }
+    row.insert(row.end(), rates.begin(), rates.end());
+    frequency.add_row(std::move(row));
+  }
+  frequency.print();
+  std::cout << "\nExpected: the wide window holds quality at every ack "
+               "frequency but costs ~16x the return-path bandwidth at "
+               "N = 1; the narrow window is cheap but leaves slow-path "
+               "packets covered only by their own echo, so quality erodes "
+               "as acks thin out. Real deployments pick window size to "
+               "match the bandwidth-delay product (Section VIII-C).\n";
+
+  exp::banner("Ack frame budget (window truncation)");
+  exp::Table budget({"max ack bytes", "window bits carried", "simulated Q"});
+  for (std::size_t bytes : {27u + 0u, 27u + 4u, 27u + 16u, 27u + 32u}) {
+    exp::RunOptions options;
+    options.num_messages = messages;
+    options.seed = 502;
+    options.timeout_guard_s = ms(40);
+    options.session.max_ack_bytes = bytes;
+    options.session.ack_window_bits = 256;
+    const auto s = exp::simulate_plan(plan, paths, options);
+    budget.add_row({std::to_string(bytes),
+                    std::to_string(std::min<std::size_t>(256, (bytes - 27) * 8)),
+                    exp::Table::percent(s.measured_quality)});
+  }
+  budget.print();
+  std::cout << "\nExpected: even a zero-bit window (echo + cumulative only) "
+               "holds quality; the echo acknowledges the triggering packet "
+               "and timers cover ack losses.\n";
+  return 0;
+}

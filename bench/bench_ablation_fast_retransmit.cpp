@@ -1,0 +1,85 @@
+// Ablation: fast retransmit (Section VIII-D). The paper motivates it as
+// "correcting for inappropriate timeout values caused by erroneous delay
+// estimations": here the sender believes the lossy path takes 450 ms (true:
+// 100 ms), so its retransmission timer fires at 600 ms and timer-driven
+// recoveries arrive past the 700 ms lifetime. Dup-ack detection reacts in a
+// few packet times instead and rescues them. The allocation is built
+// manually because a self-consistent LP would never schedule a
+// retransmission its own (wrong) model says is late — that is exactly the
+// estimation-error regime VIII-D addresses.
+#include <iostream>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "experiments/table.h"
+#include "protocol/baselines.h"
+
+int main() {
+  using namespace dmc;
+  const auto messages = exp::default_messages(50000);
+
+  core::PathSet truth;
+  truth.add({.name = "lossy",
+             .bandwidth_bps = mbps(60),
+             .delay_s = ms(100),
+             .loss_rate = 0.15});
+  truth.add({.name = "clean",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(150),
+             .loss_rate = 0.0});
+  core::PathSet believed;  // 4.5x delay over-estimate on the lossy path
+  believed.add({.name = "lossy",
+                .bandwidth_bps = mbps(60),
+                .delay_s = ms(450),
+                .loss_rate = 0.15});
+  believed.add({.name = "clean",
+                .bandwidth_bps = mbps(20),
+                .delay_s = ms(150),
+                .loss_rate = 0.0});
+  const core::TrafficSpec traffic{.rate_bps = mbps(40), .lifetime_s = ms(700)};
+
+  // 3/4 of traffic on the lossy path with clean-path retransmission, the
+  // rest on the clean path. Timeouts derive from the believed delays:
+  // t(lossy) = 450 + 150 = 600 ms.
+  const core::Model model(believed, traffic);
+  std::vector<double> x(model.combos().size(), 0.0);
+  const auto idx = [&](std::size_t i, std::size_t j) {
+    std::size_t attempts[] = {i, j};
+    return model.combos().encode(attempts);
+  };
+  x[idx(1, 2)] = 0.75;
+  x[idx(2, 2)] = 0.25;
+  const core::Plan plan = proto::make_manual_plan(believed, traffic, x);
+
+  exp::banner("Fast retransmit ablation (timer 6x too late for the deadline)");
+  std::cout << "allocation: " << plan.summary()
+            << "   (timer-based recovery arrives at ~750 ms > 700 ms)\n"
+            << "messages per run: " << messages << "\n\n";
+
+  exp::Table table({"dup-ack threshold", "simulated Q", "fast rtx",
+                    "timer rtx", "duplicates", "p99 delay (ms)"});
+  for (int threshold : {0, 1, 2, 3, 5, 8}) {
+    exp::RunOptions options;
+    options.num_messages = messages;
+    options.seed = 31;
+    options.session.fast_retransmit_dupacks = threshold;
+    const auto session = exp::simulate_plan(plan, truth, options);
+    table.add_row(
+        {threshold == 0 ? "off" : std::to_string(threshold),
+         exp::Table::percent(session.measured_quality),
+         std::to_string(session.trace.fast_retransmissions),
+         std::to_string(session.trace.retransmissions -
+                        session.trace.fast_retransmissions),
+         std::to_string(session.trace.duplicates),
+         exp::Table::num(to_ms(session.delay_p99_s), 1)});
+  }
+  table.print();
+  std::cout << "\nExpected: off = ~89% (timer recoveries all late); any "
+               "threshold <= 3 recovers to ~99-100% with p99 falling from "
+               "~750 ms to a few hundred ms. TCP's classic threshold of 3 "
+               "costs nothing here because per-path reordering is absent "
+               "(Section VIII-D).\n";
+  return 0;
+}

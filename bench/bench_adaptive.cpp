@@ -1,0 +1,80 @@
+// Extension bench: closed-loop estimation (Sections VIII-A/B). Cold-starts
+// with zero loss knowledge and crude delay guesses against the Table III
+// network, re-solving on significant estimate changes, and reports the
+// convergence timeline plus the gap to the oracle plan.
+#include <iostream>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "estimation/adaptive.h"
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "experiments/table.h"
+#include "protocol/session.h"
+
+int main() {
+  using namespace dmc;
+  const auto truth = exp::table3_paths();
+  const auto messages = exp::default_messages(100000);
+  const core::TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+
+  // Oracle: plans with the conservative true characteristics.
+  const core::Plan oracle =
+      core::plan_max_quality(exp::table3_model_paths(), traffic);
+
+  est::AdaptiveOptions options;
+  options.initial_estimates.add({.name = "path1",
+                                 .bandwidth_bps = mbps(80),
+                                 .delay_s = ms(250),  // wrong by 150 ms
+                                 .loss_rate = 0.0});  // loss unknown
+  options.initial_estimates.add({.name = "path2",
+                                 .bandwidth_bps = mbps(20),
+                                 .delay_s = ms(60),
+                                 .loss_rate = 0.0});
+  options.session.num_messages = messages;
+  options.session.seed = 9001;
+  options.replan_interval_s = 0.25;
+  options.delay_margin_factor = 1.15;
+
+  exp::banner("Adaptive estimation: cold start on the Table III network");
+  std::cout << "oracle theory Q = " << exp::Table::percent(oracle.quality())
+            << ", messages: " << messages << "\n\n";
+
+  const auto result =
+      est::run_adaptive_session(proto::to_sim_paths(truth), traffic, options);
+
+  exp::Table timeline({"t (s)", "replanned", "planned Q", "est d1 (ms)",
+                       "est d2 (ms)", "est loss1", "est loss2"});
+  for (std::size_t i = 0; i < result.timeline.size(); ++i) {
+    // Print the first few ticks and then every second.
+    if (i > 8 && (i % 4) != 0) continue;
+    const auto& event = result.timeline[i];
+    timeline.add_row(
+        {exp::Table::num(event.time_s, 2), event.replanned ? "yes" : "-",
+         event.replanned ? exp::Table::percent(event.planned_quality) : "-",
+         exp::Table::num(to_ms(event.estimates[0].delay_s), 0),
+         exp::Table::num(to_ms(event.estimates[1].delay_s), 0),
+         exp::Table::percent(event.estimates[0].loss_rate, 1),
+         exp::Table::percent(event.estimates[1].loss_rate, 1)});
+  }
+  timeline.print();
+
+  exp::banner("Adaptive outcome");
+  exp::Table summary({"metric", "value"});
+  summary.add_row({"re-plans", std::to_string(result.replans)});
+  summary.add_row({"overall measured Q",
+                   exp::Table::percent(result.session.measured_quality)});
+  summary.add_row({"converged (last quarter) Q",
+                   exp::Table::percent(result.converged_quality)});
+  summary.add_row({"oracle theory Q", exp::Table::percent(oracle.quality())});
+  summary.add_row(
+      {"gap to oracle",
+       exp::Table::num(
+           (oracle.quality() - result.converged_quality) * 100.0, 2) +
+           " pts"});
+  summary.print();
+  std::cout << "\nExpected: loss estimate climbs to ~20% on path 1 within a "
+               "second; re-plans stop once estimates stabilize; converged "
+               "quality lands within a few points of the oracle.\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Extension bench for Section IX-B: open-loop coding vs closed-loop
+// retransmission. The paper's two arguments, measured:
+//   1. when the deadline admits a repair round trip, retransmission matches
+//      or beats FEC while spending bandwidth only on actual losses;
+//   2. correlated (bursty) losses erode FEC much faster than ARQ, because a
+//      burst wipes several packets of the same group.
+#include <iostream>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "experiments/table.h"
+#include "protocol/fec.h"
+#include "protocol/session.h"
+
+namespace {
+
+using namespace dmc;
+
+std::vector<sim::PathConfig> bursty(const std::vector<sim::PathConfig>& base,
+                                    double mean_burst_packets) {
+  // Replace each link's i.i.d. loss with a Gilbert-Elliott process of the
+  // same stationary rate: loss_bad = 1, p_exit = 1/burst length, p_enter
+  // chosen so pi_bad = original loss.
+  std::vector<sim::PathConfig> out = base;
+  for (auto& path : out) {
+    for (sim::LinkConfig* link : {&path.forward, &path.reverse}) {
+      const double loss = link->loss_rate;
+      if (loss <= 0.0) continue;
+      sim::BurstLoss burst;
+      burst.loss_bad = 1.0;
+      burst.p_exit_bad = 1.0 / mean_burst_packets;
+      // pi_bad = p_enter / (p_enter + p_exit) = loss  =>
+      burst.p_enter_bad = loss * burst.p_exit_bad / (1.0 - loss);
+      link->loss_rate = 0.0;  // all loss now comes from the bad state
+      link->burst_loss = burst;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto messages = exp::default_messages(50000);
+  // Both paths arrive quickly, but the ARQ repair loop needs
+  // 200 + 150 + d_j >= 500 ms: below that lifetime the LP is stuck with
+  // first attempts while FEC still recovers losses — the one regime where
+  // open-loop redundancy genuinely pays.
+  core::PathSet paths;
+  paths.add({.name = "lossy",
+             .bandwidth_bps = mbps(80),
+             .delay_s = ms(200),
+             .loss_rate = 0.2});
+  paths.add({.name = "clean",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(150),
+             .loss_rate = 0.0});
+  const core::PathSet truth = paths;  // no estimation error in this bench
+
+  exp::banner("IX-B: retransmission (ARQ) vs forward error correction");
+  std::cout << "lossy 80 Mbps/200 ms/20% + clean 20 Mbps/150 ms, lambda = "
+               "60 Mbps, " << messages << " messages per run\n\n";
+
+  exp::Table table({"lifetime (ms)", "ARQ theory", "ARQ sim", "FEC(8,R*) theory",
+                    "FEC sim (iid)", "FEC sim (burst=8)", "best R"});
+  for (double lifetime_ms : {300.0, 450.0, 600.0, 900.0}) {
+    const core::TrafficSpec traffic{.rate_bps = mbps(60),
+                                    .lifetime_s = ms(lifetime_ms)};
+
+    // Closed loop: the paper's LP. The execution guard keeps Equation-4
+    // timers clear of the serialization-delayed ack (see DESIGN.md).
+    const core::Plan arq = core::plan_max_quality(paths, traffic);
+    exp::RunOptions options;
+    options.num_messages = messages;
+    options.seed = 61;
+    options.timeout_guard_s = ms(25);
+    const auto arq_sim = exp::simulate_plan(arq, truth, options);
+
+    // Open loop: best (8, R) code the bandwidth allows.
+    const proto::FecConfig fec = proto::plan_fec(paths, traffic, 8, 8);
+    const auto analysis = proto::analyze_fec(paths, traffic, fec);
+
+    proto::FecSessionConfig session;
+    session.num_messages = messages;
+    session.seed = 62;
+    const auto network = proto::to_sim_paths(truth);
+    const auto fec_iid =
+        proto::run_fec_session(paths, traffic, fec, network, session);
+    const auto fec_burst = proto::run_fec_session(
+        paths, traffic, fec, bursty(network, 8.0), session);
+
+    table.add_row({exp::Table::num(lifetime_ms, 0),
+                   exp::Table::percent(arq.quality()),
+                   exp::Table::percent(arq_sim.measured_quality),
+                   exp::Table::percent(analysis.quality),
+                   exp::Table::percent(fec_iid.measured_quality),
+                   exp::Table::percent(fec_burst.measured_quality),
+                   std::to_string(fec.parity_per_group)});
+  }
+  table.print();
+  std::cout << "\nExpected: below 500 ms no repair loop fits and ARQ "
+               "degenerates to first attempts (86.7%), so FEC wins. From "
+               "500 ms the crossover flips: ARQ reaches the capacity "
+               "frontier and FEC cannot beat it while paying parity "
+               "overhead. Bursts of ~8 packets gut the (8,R) code (several "
+               "losses per group) but barely touch ARQ — the paper's IX-B "
+               "skepticism, quantified.\n";
+  return 0;
+}

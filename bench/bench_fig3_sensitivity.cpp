@@ -1,0 +1,97 @@
+// Reproduces Figure 3: sensitivity of the achieved quality to estimation
+// errors, per path. lambda = 90 Mbps, delta = 800 ms, Table III network.
+//
+// Methodology: the sender plans against Table III characteristics with one
+// metric of one path perturbed (conservative delays 450/150 as its
+// error-free baseline, like Experiment 1), then the plan runs over the true
+// network. Three panels: bandwidth error -50..+50%, delay error -50..+50%,
+// additive loss error -0.2..+1.0.
+#include <algorithm>
+#include <iostream>
+
+#include "core/units.h"
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "experiments/table.h"
+
+namespace {
+
+using namespace dmc;
+
+enum class Metric { bandwidth, delay, loss };
+
+core::PathSet perturb(const core::PathSet& base, std::size_t path,
+                      Metric metric, double error) {
+  core::PathSet out;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    core::PathSpec spec = base[i];
+    if (i == path) {
+      switch (metric) {
+        case Metric::bandwidth:
+          spec.bandwidth_bps *= 1.0 + error;
+          break;
+        case Metric::delay:
+          spec.delay_s *= 1.0 + error;
+          break;
+        case Metric::loss:
+          spec.loss_rate = std::clamp(spec.loss_rate + error, 0.0, 0.95);
+          break;
+      }
+    }
+    out.add(spec);
+  }
+  return out;
+}
+
+double run_point(const core::PathSet& planning, const core::PathSet& truth,
+                 std::uint64_t messages, std::uint64_t seed) {
+  const auto traffic = exp::table4_traffic_rate(mbps(90));
+  exp::RunOptions options;
+  options.num_messages = messages;
+  options.seed = seed;
+  const auto outcome = exp::run_planned(planning, truth, traffic, options);
+  return outcome.session.measured_quality;
+}
+
+void panel(const char* title, Metric metric, double lo, double hi,
+           double step, std::uint64_t messages) {
+  const auto base = exp::table3_model_paths();  // error-free planning inputs
+  const auto truth = exp::table3_paths();
+
+  exp::banner(title);
+  exp::Table table({"error", "path 1 perturbed", "path 2 perturbed"});
+  std::uint64_t seed = 1000;
+  for (double error = lo; error <= hi + 1e-9; error += step) {
+    const double q1 =
+        run_point(perturb(base, 0, metric, error), truth, messages, ++seed);
+    const double q2 =
+        run_point(perturb(base, 1, metric, error), truth, messages, ++seed);
+    const std::string label =
+        metric == Metric::loss
+            ? exp::Table::num(error, 1)
+            : exp::Table::num(error * 100.0, 0) + "%";
+    table.add_row({label, exp::Table::percent(q1), exp::Table::percent(q2)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  const auto messages = exp::default_messages(100000);
+  std::cout << "messages per point: " << messages
+            << " (override with DMC_MESSAGES); 70 simulations total\n";
+
+  panel("Figure 3 (top): error on estimated bandwidth", Metric::bandwidth,
+        -0.5, 0.5, 0.1, messages);
+  panel("Figure 3 (middle): error on estimated delay", Metric::delay, -0.5,
+        0.5, 0.1, messages);
+  panel("Figure 3 (bottom): error on estimated loss (additive)", Metric::loss,
+        -0.2, 1.0, 0.1, messages);
+
+  std::cout << "\nShape checks (paper): underestimating bandwidth forces "
+               "drops (left slope); overestimating congests but barely "
+               "moves quality. Delay has a flat plateau within ~10%. Loss "
+               "errors cost a few points at the extremes.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Reproduces Figure 4: time to solve the multipath LP as a function of the
+// number of paths (2..10, blackhole excluded) for 2 and 3 transmissions per
+// data unit. The paper measured CGAL on a 2.8 GHz i5 (~458 us for n = 2,
+// m = 2, growing to ~1 s for n = 10, m = 3); absolute numbers differ by
+// solver and machine, the growth shape with n and m is the reproduction
+// target. Implemented with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/model.h"
+#include "core/units.h"
+#include "lp/interior_point.h"
+#include "lp/simplex.h"
+
+namespace {
+
+using namespace dmc;
+
+// Deterministic synthetic path set: heterogeneous bandwidth/delay/loss.
+core::PathSet synthetic_paths(int n) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(n) * 7919);
+  std::uniform_real_distribution<double> bw(10.0, 100.0);
+  std::uniform_real_distribution<double> delay(50.0, 600.0);
+  std::uniform_real_distribution<double> loss(0.0, 0.3);
+  core::PathSet paths;
+  for (int i = 0; i < n; ++i) {
+    paths.add({.name = "p" + std::to_string(i),
+               .bandwidth_bps = mbps(bw(rng)),
+               .delay_s = ms(delay(rng)),
+               .loss_rate = loss(rng)});
+  }
+  return paths;
+}
+
+// Full pipeline timing: build the model (metrics + matrices) and solve the
+// LP, matching what a sender does when characteristics change.
+void solve_once(int n, int m) {
+  core::ModelOptions options;
+  options.transmissions = m;
+  const core::Model model(synthetic_paths(n),
+                          {.rate_bps = mbps(150), .lifetime_s = ms(900)},
+                          options);
+  const lp::SimplexSolver solver;
+  const lp::Solution solution = solver.solve(model.quality_lp());
+  benchmark::DoNotOptimize(solution.objective_value);
+}
+
+void BM_SolveMultipathLP(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    solve_once(n, m);
+  }
+  state.SetLabel(std::to_string(n) + " paths, " + std::to_string(m) +
+                 " transmissions, " +
+                 std::to_string(static_cast<std::size_t>(
+                     std::pow(n + 1.0, m))) +
+                 " variables");
+}
+
+// Solve-only timing (model construction excluded), closest to the paper's
+// "solve the linear program" measurement.
+void BM_SolveOnlyLP(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  core::ModelOptions options;
+  options.transmissions = m;
+  const core::Model model(synthetic_paths(n),
+                          {.rate_bps = mbps(150), .lifetime_s = ms(900)},
+                          options);
+  const lp::Problem problem = model.quality_lp();
+  const lp::SimplexSolver solver;
+  for (auto _ : state) {
+    const lp::Solution solution = solver.solve(problem);
+    benchmark::DoNotOptimize(solution.objective_value);
+  }
+}
+
+// Interior-point comparison (the Karmarkar discussion of Section VIII-B):
+// iteration counts stay ~constant while per-iteration cost grows, so the
+// crossover against simplex sits at problem sizes far beyond the paper's
+// practical range.
+void BM_SolveOnlyInteriorPoint(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  core::ModelOptions options;
+  options.transmissions = m;
+  const core::Model model(synthetic_paths(n),
+                          {.rate_bps = mbps(150), .lifetime_s = ms(900)},
+                          options);
+  const lp::Problem problem = model.quality_lp();
+  const lp::InteriorPointSolver solver;
+  for (auto _ : state) {
+    const lp::Solution solution = solver.solve(problem);
+    benchmark::DoNotOptimize(solution.objective_value);
+  }
+}
+
+void PathsAndTransmissions(benchmark::internal::Benchmark* bench) {
+  for (int m : {2, 3}) {
+    for (int n = 2; n <= 10; ++n) {
+      bench->Args({n, m});
+    }
+  }
+}
+
+BENCHMARK(BM_SolveMultipathLP)->Apply(PathsAndTransmissions)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SolveOnlyLP)->Apply(PathsAndTransmissions)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SolveOnlyInteriorPoint)->Apply(PathsAndTransmissions)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

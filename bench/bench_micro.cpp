@@ -1,0 +1,133 @@
+// Component micro-benchmarks (google-benchmark): simplex pivots, scheduler
+// selection, simulator event throughput, gamma CDF evaluation, numeric
+// convolution, and the timeout optimizer. These bound the per-packet and
+// per-replan costs a real implementation would pay.
+#include <benchmark/benchmark.h>
+
+#include "core/model.h"
+#include "core/scheduler.h"
+#include "core/timeout_optimizer.h"
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "lp/simplex.h"
+#include "sim/link.h"
+#include "stats/convolution.h"
+#include "stats/gamma_math.h"
+
+namespace {
+
+using namespace dmc;
+
+void BM_SimplexPaperPoint(benchmark::State& state) {
+  // The paper's reference measurement: 2 paths + blackhole, m = 2
+  // (CGAL: ~458 us on a 2.8 GHz i5).
+  const core::Model model(exp::table3_model_paths(),
+                          {.rate_bps = mbps(90), .lifetime_s = ms(800)});
+  const lp::Problem problem = model.quality_lp();
+  const lp::SimplexSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(problem).objective_value);
+  }
+}
+BENCHMARK(BM_SimplexPaperPoint)->Unit(benchmark::kMicrosecond);
+
+void BM_DeficitSchedulerSelect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  core::DeficitScheduler scheduler(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.select());
+  }
+}
+BENCHMARK(BM_DeficitSchedulerSelect)->Arg(9)->Arg(121)->Arg(1331);
+
+void BM_WeightedRandomSelect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  core::WeightedRandomScheduler scheduler(weights, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.select());
+  }
+}
+BENCHMARK(BM_WeightedRandomSelect)->Arg(9)->Arg(121)->Arg(1331);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator(1);
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) simulator.in(1e-6, tick);
+    };
+    simulator.in(1e-6, tick);
+    simulator.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_LinkPacketPath(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator(1);
+    sim::LinkConfig config{.rate_bps = gbps(1), .prop_delay_s = ms(1),
+                           .loss_rate = 0.05,
+                           .queue_capacity = 1000000};
+    sim::Link link(simulator, config, "bench");
+    std::uint64_t delivered = 0;
+    link.set_receiver([&](sim::Packet) { ++delivered; });
+    for (int i = 0; i < 5000; ++i) {
+      sim::Packet packet;
+      packet.seq = static_cast<std::uint64_t>(i);
+      packet.size_bytes = 1024;
+      link.send(std::move(packet));
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_LinkPacketPath)->Unit(benchmark::kMillisecond);
+
+void BM_GammaCdf(benchmark::State& state) {
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 1e-4;
+    benchmark::DoNotOptimize(
+        stats::regularized_gamma_p(10.0, 1.0 + x));
+  }
+}
+BENCHMARK(BM_GammaCdf);
+
+void BM_NumericConvolution(benchmark::State& state) {
+  const auto a = stats::make_shifted_gamma(ms(400), 10.0, ms(4));
+  const auto b = stats::make_shifted_gamma(ms(100), 5.0, ms(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::sum_distribution(a, b)->mean());
+  }
+}
+BENCHMARK(BM_NumericConvolution)->Unit(benchmark::kMillisecond);
+
+void BM_TimeoutOptimization(benchmark::State& state) {
+  const auto a = stats::make_shifted_gamma(ms(400), 10.0, ms(4));
+  const auto b = stats::make_shifted_gamma(ms(100), 5.0, ms(2));
+  const auto ack = stats::sum_distribution(a, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::optimize_timeout(*ack, *b, ms(750)).timeout);
+  }
+}
+BENCHMARK(BM_TimeoutOptimization)->Unit(benchmark::kMicrosecond);
+
+void BM_RandomDelayModelBuild(benchmark::State& state) {
+  // Full Experiment 2 model construction: convolutions + n^2 timeout
+  // optimizations + LP assembly.
+  for (auto _ : state) {
+    const core::Model model(exp::table5_paths(), exp::table5_traffic());
+    benchmark::DoNotOptimize(model.metrics().size());
+  }
+}
+BENCHMARK(BM_RandomDelayModelBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

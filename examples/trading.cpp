@@ -1,0 +1,107 @@
+// Market-data distribution: microwave vs fiber (the paper's introduction:
+// microwaves approach the speed of light in air but lose more and carry
+// less; fiber is fat and clean but ~50% slower). Updates expire within
+// milliseconds, so the lifetime *is* the product: this example prices it.
+//
+// Chicago -> New Jersey, roughly: microwave one-way 4.0 ms, 5% loss,
+// 100 Mbps, 20x the per-bit price; fiber 6.5 ms, 0.5% loss, 1 Gbps.
+// Acknowledgments return over the microwave path (d_min = 4 ms), so one
+// fiber retransmission loop costs 6.5 + 4 + 6.5 = 17 ms.
+//
+//   $ ./examples/trading
+#include <algorithm>
+#include <iostream>
+
+#include "core/planner.h"
+#include "core/risk.h"
+#include "core/units.h"
+#include "experiments/table.h"
+
+int main() {
+  using namespace dmc;
+
+  core::PathSet paths;
+  paths.add({.name = "microwave",
+             .bandwidth_bps = mbps(100),
+             .delay_s = ms(4.0),
+             .loss_rate = 0.05,
+             .cost_per_bit = 20e-6});
+  paths.add({.name = "fiber",
+             .bandwidth_bps = gbps(1),
+             .delay_s = ms(6.5),
+             .loss_rate = 0.005,
+             .cost_per_bit = 1e-6});
+  const double rate = mbps(200);
+
+  // --- The price of a millisecond ----------------------------------------
+  // For each lifetime: the best achievable quality, and the cheapest way to
+  // deliver at least 45% of the feed in time (the most a microwave-only
+  // network could ever do here is 100/200 * 0.95 = 47.5%).
+  exp::banner("The price of a millisecond (cost floor: Q >= 45%)");
+  exp::Table table({"lifetime (ms)", "max achievable Q", "min cost ($/s)",
+                    "microwave Mbps", "fiber Mbps", "regime"});
+  for (double lifetime_ms : {5.0, 6.0, 7.0, 12.0, 17.0, 25.0}) {
+    const core::TrafficSpec traffic{.rate_bps = rate,
+                                    .lifetime_s = ms(lifetime_ms)};
+    const core::Plan best = core::plan_max_quality(paths, traffic);
+    const core::Plan cheap = core::plan_min_cost(paths, traffic, 0.45);
+    const char* regime =
+        lifetime_ms < 6.5   ? "microwave only (fiber too slow)"
+        : lifetime_ms < 17.0 ? "first attempts only"
+                             : "retransmission feasible";
+    if (!cheap.feasible()) {
+      table.add_row({exp::Table::num(lifetime_ms, 1),
+                     exp::Table::percent(best.quality(), 2), "infeasible",
+                     "-", "-", regime});
+      continue;
+    }
+    table.add_row({exp::Table::num(lifetime_ms, 1),
+                   exp::Table::percent(best.quality(), 2),
+                   exp::Table::num(cheap.cost_per_s(), 0),
+                   exp::Table::num(to_mbps(cheap.send_rate_bps()[1]), 1),
+                   exp::Table::num(to_mbps(cheap.send_rate_bps()[2]), 1),
+                   regime});
+  }
+  table.print();
+  std::cout << "\nBelow 6.5 ms only microwave arrives: 45% of the feed "
+               "costs ~$1900/s and 47.5% is a hard ceiling. One more "
+               "millisecond admits fiber and the same floor costs ~$91/s — "
+               "a ~20x price cliff per millisecond of deadline. Past 17 ms "
+               "the fiber retransmission loop closes and quality ceilings "
+               "jump from 99.5% to ~99.99%.\n";
+
+  // --- Buying the last basis points at a fixed 25 ms lifetime ------------
+  exp::banner("Cost of the quality tail (lifetime = 25 ms)");
+  const core::TrafficSpec traffic{.rate_bps = rate, .lifetime_s = ms(25)};
+  exp::Table tail({"quality floor", "spend ($/s)", "microwave Mbps",
+                   "achieved Q"});
+  for (double floor : {0.99, 0.995, 0.999, 0.9999}) {
+    const core::Plan plan = core::plan_min_cost(paths, traffic, floor);
+    if (!plan.feasible()) {
+      tail.add_row({exp::Table::percent(floor, 2), "infeasible", "-", "-"});
+      continue;
+    }
+    tail.add_row({exp::Table::percent(floor, 2),
+                  exp::Table::num(plan.cost_per_s(), 1),
+                  exp::Table::num(to_mbps(plan.send_rate_bps()[1]), 2),
+                  exp::Table::percent(plan.quality(), 3)});
+  }
+  tail.print();
+
+  // --- Hard caps on the microwave lease (Section IX-C) -------------------
+  // Expected-value planning exceeds a binding cap about half the time; a
+  // 5% overshoot bound tightens the caps fed to the LP.
+  const core::TrafficSpec tight{.rate_bps = rate, .lifetime_s = ms(6.0)};
+  const auto risk = core::plan_with_risk_bound(paths, tight,
+                                               /*packet_bits=*/8.0 * 512.0,
+                                               /*window_packets=*/10000,
+                                               /*max_overshoot=*/0.05);
+  double worst = risk.report.cost_overshoot;
+  for (double v : risk.report.bandwidth_overshoot) worst = std::max(worst, v);
+  std::cout << "\nIX-C at the 6 ms point (microwave saturated): caps "
+            << "tightened to " << exp::Table::num(risk.shrink_factor * 100, 1)
+            << "% of nominal over " << risk.solve_rounds
+            << " solves; quality " << exp::Table::percent(risk.plan.quality())
+            << ", worst overshoot " << exp::Table::percent(worst) << ".\n";
+  return 0;
+}

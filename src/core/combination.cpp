@@ -1,0 +1,78 @@
+#include "core/combination.h"
+
+#include <stdexcept>
+
+namespace dmc::core {
+
+namespace {
+
+std::size_t checked_power(std::size_t base, int exponent) {
+  std::size_t result = 1;
+  for (int i = 0; i < exponent; ++i) {
+    if (base != 0 && result > static_cast<std::size_t>(-1) / base) {
+      throw std::overflow_error("CombinationSpace: n^m overflows");
+    }
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace
+
+CombinationSpace::CombinationSpace(std::size_t num_paths, int transmissions)
+    : num_paths_(num_paths),
+      transmissions_(transmissions),
+      size_(checked_power(num_paths, transmissions)) {
+  if (num_paths == 0) {
+    throw std::invalid_argument("CombinationSpace: need at least one path");
+  }
+  if (transmissions < 1) {
+    throw std::invalid_argument("CombinationSpace: need >= 1 transmission");
+  }
+}
+
+std::size_t CombinationSpace::attempt_path(std::size_t l, int k) const {
+  if (l >= size_) throw std::out_of_range("combination index");
+  if (k < 0 || k >= transmissions_) throw std::out_of_range("attempt index");
+  for (int step = 0; step < k; ++step) l /= num_paths_;
+  return l % num_paths_;
+}
+
+std::vector<std::size_t> CombinationSpace::decode(std::size_t l) const {
+  if (l >= size_) throw std::out_of_range("combination index");
+  std::vector<std::size_t> attempts(static_cast<std::size_t>(transmissions_));
+  for (int k = 0; k < transmissions_; ++k) {
+    attempts[static_cast<std::size_t>(k)] = l % num_paths_;
+    l /= num_paths_;
+  }
+  return attempts;
+}
+
+std::size_t CombinationSpace::encode(
+    std::span<const std::size_t> attempts) const {
+  if (attempts.size() != static_cast<std::size_t>(transmissions_)) {
+    throw std::invalid_argument("encode: wrong number of attempts");
+  }
+  std::size_t l = 0;
+  std::size_t weight = 1;
+  for (std::size_t k = 0; k < attempts.size(); ++k) {
+    if (attempts[k] >= num_paths_) {
+      throw std::out_of_range("encode: path index");
+    }
+    l += attempts[k] * weight;
+    weight *= num_paths_;
+  }
+  return l;
+}
+
+std::string CombinationSpace::label(std::size_t l) const {
+  std::string out = "x";
+  const auto attempts = decode(l);
+  for (std::size_t k = 0; k < attempts.size(); ++k) {
+    if (k > 0) out += ",";
+    out += std::to_string(attempts[k]);
+  }
+  return out;
+}
+
+}  // namespace dmc::core

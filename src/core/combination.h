@@ -1,0 +1,45 @@
+// Path combinations and their vectorization.
+//
+// The paper's decision variable is a matrix x where x_{i,j} is the fraction
+// of traffic first sent on path i and, if needed, retransmitted on path j;
+// it is vectorized into x' with i = l mod n, j = floor(l / n) (Equation 13).
+// This class generalizes that indexing to m transmissions: attempt k of
+// combination l uses path (l / n^k) mod n, so m = 2 reproduces Equation 13
+// exactly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dmc::core {
+
+class CombinationSpace {
+ public:
+  // num_paths = n (model paths, including the blackhole when enabled),
+  // transmissions = m >= 1 (initial transmission plus m-1 retransmissions).
+  CombinationSpace(std::size_t num_paths, int transmissions);
+
+  std::size_t num_paths() const { return num_paths_; }
+  int transmissions() const { return transmissions_; }
+  std::size_t size() const { return size_; }  // n^m
+
+  // Path index used by attempt k (0-based) of combination l.
+  std::size_t attempt_path(std::size_t l, int k) const;
+
+  // Full attempt sequence (i_0, ..., i_{m-1}) of combination l.
+  std::vector<std::size_t> decode(std::size_t l) const;
+
+  std::size_t encode(std::span<const std::size_t> attempts) const;
+
+  // Display label in the paper's notation, e.g. "x1,2".
+  std::string label(std::size_t l) const;
+
+ private:
+  std::size_t num_paths_;
+  int transmissions_;
+  std::size_t size_;
+};
+
+}  // namespace dmc::core

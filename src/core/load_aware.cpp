@@ -1,0 +1,105 @@
+#include "core/load_aware.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmc::core {
+
+namespace {
+
+// Effective characteristics at utilization u in [0, 1].
+PathSpec apply_load(const LoadAwarePath& path, double utilization) {
+  const double u = std::clamp(utilization, 0.0, 0.999);
+  PathSpec out = path.base;
+  // u/(1-u) equals 1 at u = 0.5; scale so that point matches the knob.
+  const double queue_delay = std::min(
+      path.response.queue_delay_at_half_load_s * (u / (1.0 - u)),
+      path.response.max_queue_delay_s);
+  out.delay_s = path.base.delay_s + queue_delay;
+  out.loss_rate = std::min(
+      1.0, path.base.loss_rate + path.response.extra_loss_at_capacity * u * u);
+  return out;
+}
+
+PathSet effective_set(const std::vector<LoadAwarePath>& paths,
+                      const std::vector<double>& utilization) {
+  PathSet out;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    out.add(apply_load(paths[i], utilization[i]));
+  }
+  return out;
+}
+
+// Utilization of each real path under a plan (S_i / b_i).
+std::vector<double> utilizations(const Plan& plan) {
+  const Model& model = plan.model();
+  std::vector<double> out(model.real_paths().size(), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::size_t mi = model.model_index(i);
+    const double b = model.model_paths()[mi].bandwidth_bps;
+    out[i] = b > 0.0 ? plan.send_rate_bps()[mi] / b : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+LoadAwareResult plan_load_aware(const std::vector<LoadAwarePath>& paths,
+                                const TrafficSpec& traffic,
+                                const LoadAwareOptions& options) {
+  if (paths.empty()) {
+    throw std::invalid_argument("plan_load_aware: no paths");
+  }
+  if (options.damping <= 0.0 || options.damping > 1.0) {
+    throw std::invalid_argument("plan_load_aware: damping must be in (0,1]");
+  }
+
+  std::vector<double> u(paths.size(), 0.0);
+  Plan plan = plan_max_quality(effective_set(paths, u), traffic, options.plan);
+  const Plan naive = plan;  // zero-load plan, for the comparison below
+
+  LoadAwareResult result{plan, effective_set(paths, u), u, 0, false, 0.0};
+  if (!plan.feasible()) return result;
+
+  std::vector<double> prev_x = plan.x();
+  for (int round = 1; round <= options.max_rounds; ++round) {
+    // Damped utilization update from the latest plan.
+    const std::vector<double> target = utilizations(plan);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      u[i] = (1.0 - options.damping) * u[i] + options.damping * target[i];
+    }
+
+    const PathSet effective = effective_set(paths, u);
+    plan = plan_max_quality(effective, traffic, options.plan);
+    result.rounds = round;
+    if (!plan.feasible()) break;
+
+    double delta = 0.0;
+    for (std::size_t l = 0; l < prev_x.size(); ++l) {
+      delta = std::max(delta, std::abs(plan.x()[l] - prev_x[l]));
+    }
+    prev_x = plan.x();
+    if (delta <= options.convergence_x) {
+      result.converged = true;
+      result.plan = plan;
+      result.effective_paths = effective;
+      result.utilization = u;
+      break;
+    }
+    result.plan = plan;
+    result.effective_paths = effective;
+    result.utilization = u;
+  }
+
+  // Judge the naive plan under the final effective characteristics: what
+  // quality would its allocation really achieve once queues build up?
+  if (naive.feasible()) {
+    const Model effective_model(result.effective_paths, traffic,
+                                options.plan.model);
+    result.naive_quality = effective_model.evaluate(naive.x()).quality;
+  }
+  return result;
+}
+
+}  // namespace dmc::core

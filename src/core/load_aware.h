@@ -1,0 +1,56 @@
+// Section IX-A: when a path's latency and loss respond to how hard we use
+// it, the LP's coefficients depend on the solution. The paper proposes to
+// model latency/loss as functions of input bandwidth and re-solve; this
+// module implements that as a damped fixed-point iteration:
+//
+//     solve LP -> utilizations -> effective delay/loss -> re-solve -> ...
+//
+// The load response is an M/M/1-flavoured queueing term (waiting time
+// proportional to u/(1-u)) plus a loss ramp, both capped.
+#pragma once
+
+#include <vector>
+
+#include "core/planner.h"
+
+namespace dmc::core {
+
+struct LoadResponse {
+  // Extra delay added at 50% utilization; the delay term grows like
+  // u / (1 - u), normalized so utilization 0.5 contributes exactly this.
+  double queue_delay_at_half_load_s = 0.0;
+  // Hard cap on the extra delay (a finite buffer drains eventually).
+  double max_queue_delay_s = 0.2;
+  // Extra loss as utilization approaches 1 (quadratic ramp: extra * u^2).
+  double extra_loss_at_capacity = 0.0;
+};
+
+struct LoadAwarePath {
+  PathSpec base;          // characteristics at zero load
+  LoadResponse response;
+};
+
+struct LoadAwareOptions {
+  int max_rounds = 25;
+  double damping = 0.5;          // weight of the new parameters per round
+  double convergence_x = 1e-4;   // max |x_new - x_old| to declare a fixpoint
+  PlanOptions plan;
+};
+
+struct LoadAwareResult {
+  Plan plan;                         // plan at the fixed point
+  PathSet effective_paths;           // load-adjusted characteristics
+  std::vector<double> utilization;   // per real path, at the fixed point
+  int rounds = 0;
+  bool converged = false;
+  // Quality the *naive* plan (computed on zero-load characteristics) would
+  // actually deliver under the load-adjusted characteristics; the gap to
+  // plan.quality() is what the iteration buys.
+  double naive_quality = 0.0;
+};
+
+LoadAwareResult plan_load_aware(const std::vector<LoadAwarePath>& paths,
+                                const TrafficSpec& traffic,
+                                const LoadAwareOptions& options = {});
+
+}  // namespace dmc::core

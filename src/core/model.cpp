@@ -1,0 +1,287 @@
+#include "core/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "stats/convolution.h"
+
+namespace dmc::core {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+PathSet build_model_paths(const PathSet& real_paths, bool use_blackhole) {
+  std::vector<PathSpec> paths;
+  paths.reserve(real_paths.size() + 1);
+  if (use_blackhole) paths.push_back(blackhole_path());
+  for (const PathSpec& p : real_paths) paths.push_back(p);
+  return PathSet(std::move(paths));
+}
+
+}  // namespace
+
+Model::Model(PathSet real_paths, TrafficSpec traffic, ModelOptions options)
+    : real_paths_(std::move(real_paths)),
+      model_paths_(build_model_paths(real_paths_, options.use_blackhole)),
+      traffic_(traffic),
+      options_(options),
+      combos_(model_paths_.size(), options.transmissions) {
+  if (real_paths_.empty()) {
+    throw std::invalid_argument("Model: need at least one real path");
+  }
+  for (const PathSpec& p : real_paths_) {
+    if (p.is_blackhole()) {
+      throw std::invalid_argument(
+          "Model: blackhole is added automatically; pass real paths only");
+    }
+  }
+  traffic_.check();
+  if (options_.timeout_guard_s < 0.0) {
+    throw std::invalid_argument("Model: negative timeout guard");
+  }
+
+  dmin_model_index_ = model_paths_.min_delay_index();
+  dmin_ = model_paths_.min_delay();
+
+  random_ = options_.force_random || model_paths_.any_random();
+  metrics_.resize(combos_.size());
+  if (random_) {
+    compute_random_metrics();
+  } else {
+    compute_deterministic_metrics();
+  }
+}
+
+void Model::compute_deterministic_metrics() {
+  const int m = options_.transmissions;
+  const std::size_t n = model_paths_.size();
+  const double delta = traffic_.lifetime_s;
+
+  // Equation 4 (+ optional guard): timeout after a transmission on path i.
+  std::vector<double> timeout_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    timeout_of[i] = model_paths_[i].delay_s + dmin_ + options_.timeout_guard_s;
+  }
+
+  for (std::size_t l = 0; l < combos_.size(); ++l) {
+    ComboMetrics& combo = metrics_[l];
+    combo.attempts = combos_.decode(l);
+    combo.expected_load.assign(n, 0.0);
+    combo.timeouts.clear();
+
+    double prefix = 1.0;     // probability all previous attempts failed
+    double departure = 0.0;  // when this attempt is (re)transmitted
+    for (int k = 0; k < m; ++k) {
+      const std::size_t path = combo.attempts[static_cast<std::size_t>(k)];
+      const PathSpec& spec = model_paths_[path];
+
+      combo.stage_prefix.push_back(prefix);
+      combo.expected_load[path] += prefix;
+      combo.cost_per_bit += prefix * spec.cost_per_bit;
+
+      const double arrival = departure + spec.delay_s;
+      if (arrival <= delta) {
+        combo.delivery_probability += prefix * (1.0 - spec.loss_rate);
+      }
+
+      if (k + 1 < m) {
+        combo.timeouts.push_back(timeout_of[path]);
+        departure += timeout_of[path];
+      }
+      prefix *= spec.loss_rate;
+    }
+  }
+}
+
+void Model::compute_random_metrics() {
+  const int m = options_.transmissions;
+  const std::size_t n = model_paths_.size();
+  const double delta = traffic_.lifetime_s;
+
+  // Delay distribution per model path and the ack return path (Eq. 25).
+  std::vector<stats::DelayDistributionPtr> delay(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    delay[i] = model_paths_[i].distribution();
+  }
+  const stats::DelayDistributionPtr ack_path_delay = delay[dmin_model_index_];
+
+  // CDF of d_i + d_min per path (the convolution in Equation 34), cached.
+  std::vector<stats::DelayDistributionPtr> ack_delay(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (model_paths_[i].is_blackhole()) {
+      ack_delay[i] = stats::make_deterministic(kInfinity);
+    } else {
+      ack_delay[i] = stats::sum_distribution(delay[i], ack_path_delay);
+    }
+  }
+
+  // Pairwise timeouts t_{i,j} (Equation 26/34) and retransmission
+  // probabilities P(retrans_{i,j}) (Equation 27), cached per (i, j).
+  // t_{i,j} depends only on the absolute deadline, so for m > 2 the same
+  // pairwise table applies at every stage (one-step lookahead).
+  std::vector<std::vector<TimeoutChoice>> timeout(n,
+                                                  std::vector<TimeoutChoice>(n));
+  std::vector<std::vector<double>> p_retrans(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double tau_i = model_paths_[i].loss_rate;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (model_paths_[j].is_blackhole()) {
+        // "Retransmit onto the blackhole" = give up: never fires.
+        timeout[i][j].timeout = kInfinity;
+        timeout[i][j].feasible = false;
+        timeout[i][j].p_ack_in_time = 1.0;  // wait forever: ack always beats t
+        timeout[i][j].p_retrans_in_time = 0.0;
+      } else {
+        timeout[i][j] =
+            optimize_timeout(*ack_delay[i], *delay[j], delta, options_.timeout);
+      }
+      // Equation 27 with t = the chosen timeout. For an infeasible pair the
+      // timeout is +inf, so P(d_i + d_min <= t) -> 1 and P(retrans) = tau_i,
+      // consistent with the deterministic model.
+      const double p_ack = std::isinf(timeout[i][j].timeout)
+                               ? (model_paths_[i].is_blackhole() ? 0.0 : 1.0)
+                               : timeout[i][j].p_ack_in_time;
+      p_retrans[i][j] = 1.0 - p_ack * (1.0 - tau_i);
+    }
+  }
+
+  for (std::size_t l = 0; l < combos_.size(); ++l) {
+    ComboMetrics& combo = metrics_[l];
+    combo.attempts = combos_.decode(l);
+    combo.expected_load.assign(n, 0.0);
+    combo.timeouts.clear();
+
+    // Delivery accounting: the data misses its deadline only if *every*
+    // attempt fails to arrive in time, and a failed attempt (lost, or
+    // arriving past the deadline) never produces an acknowledgment before
+    // the timer, so the next attempt always fires on failure. Hence
+    //   p = 1 - prod_k (1 - (1 - tau_k) P(depart_k + d_k <= delta)).
+    // The paper's Equation 28 instead adds P(retrans) * P(in time) on top
+    // of the first attempt's term; because P(retrans) (Equation 27) also
+    // counts *spurious* retransmissions (delivered, but the ack lost the
+    // race with the timer), that sum double-counts and can exceed 1 when
+    // timeouts are tight relative to the delay spread. The product form
+    // here is exact under the model's independence assumptions and reduces
+    // to Equation 12 for deterministic delays.
+    //
+    // Bandwidth and cost, by contrast, are *spent* on spurious
+    // retransmissions, so the load prefix keeps the paper's Equation 27
+    // probabilities exactly as in Equations 29-30.
+    double load_prefix = 1.0;   // prod of P(retrans), Equation 27
+    double failure = 1.0;       // prod of per-attempt failure probabilities
+    double departure = 0.0;     // sum of previous timeouts
+    for (int k = 0; k < m; ++k) {
+      const std::size_t path = combo.attempts[static_cast<std::size_t>(k)];
+      const PathSpec& spec = model_paths_[path];
+
+      combo.stage_prefix.push_back(load_prefix);
+      combo.expected_load[path] += load_prefix;
+      combo.cost_per_bit += load_prefix * spec.cost_per_bit;
+
+      if (!std::isinf(departure) && !spec.is_blackhole()) {
+        const double p_arrive = delay[path]->cdf(delta - departure);
+        failure *= 1.0 - (1.0 - spec.loss_rate) * p_arrive;
+      }
+
+      if (k + 1 < m) {
+        const std::size_t next =
+            combo.attempts[static_cast<std::size_t>(k + 1)];
+        combo.timeouts.push_back(timeout[path][next].timeout);
+        departure += timeout[path][next].timeout;
+        load_prefix *= p_retrans[path][next];
+      }
+    }
+    combo.delivery_probability = 1.0 - failure;
+  }
+}
+
+void Model::add_shared_constraints(lp::Problem& problem) const {
+  const std::size_t n = model_paths_.size();
+  const double lambda = traffic_.rate_bps;
+
+  // Bandwidth rows (Equations 2-3 / 14-15). The blackhole has infinite
+  // bandwidth, so its row is omitted (see blackhole_path()).
+  for (std::size_t path = 0; path < n; ++path) {
+    const double cap = model_paths_[path].bandwidth_bps;
+    if (std::isinf(cap)) continue;
+    std::vector<double> row(combos_.size(), 0.0);
+    for (std::size_t l = 0; l < combos_.size(); ++l) {
+      row[l] = lambda * metrics_[l].expected_load[path];
+    }
+    problem.add_constraint(std::move(row), lp::Relation::less_equal, cap,
+                           "bandwidth[" + model_paths_[path].name + "]");
+  }
+
+  // Sum-to-1 row (Equations 8 / 18).
+  problem.add_constraint(std::vector<double>(combos_.size(), 1.0),
+                         lp::Relation::equal, 1.0, "sum_x");
+}
+
+lp::Problem Model::quality_lp() const {
+  lp::Problem problem;
+  problem.sense = lp::Sense::maximize;
+  problem.objective.resize(combos_.size());
+  for (std::size_t l = 0; l < combos_.size(); ++l) {
+    problem.objective[l] = metrics_[l].delivery_probability;
+  }
+
+  add_shared_constraints(problem);
+
+  // Cost row (Equations 7 / 16), skipped when mu is unbounded.
+  if (!std::isinf(traffic_.cost_cap_per_s)) {
+    std::vector<double> row(combos_.size(), 0.0);
+    for (std::size_t l = 0; l < combos_.size(); ++l) {
+      row[l] = traffic_.rate_bps * metrics_[l].cost_per_bit;
+    }
+    problem.add_constraint(std::move(row), lp::Relation::less_equal,
+                           traffic_.cost_cap_per_s, "cost");
+  }
+  return problem;
+}
+
+lp::Problem Model::cost_min_lp(double min_quality) const {
+  if (min_quality < 0.0 || min_quality > 1.0) {
+    throw std::invalid_argument("cost_min_lp: min_quality must be in [0,1]");
+  }
+  lp::Problem problem;
+  problem.sense = lp::Sense::minimize;
+  problem.objective.resize(combos_.size());
+  for (std::size_t l = 0; l < combos_.size(); ++l) {
+    problem.objective[l] = traffic_.rate_bps * metrics_[l].cost_per_bit;
+  }
+
+  add_shared_constraints(problem);
+
+  // Quality bound (Equations 21-23): sum p_l x_l >= min_quality.
+  std::vector<double> row(combos_.size(), 0.0);
+  for (std::size_t l = 0; l < combos_.size(); ++l) {
+    row[l] = metrics_[l].delivery_probability;
+  }
+  problem.add_constraint(std::move(row), lp::Relation::greater_equal,
+                         min_quality, "quality");
+  return problem;
+}
+
+PlanMetrics Model::evaluate(const std::vector<double>& x) const {
+  if (x.size() != combos_.size()) {
+    throw std::invalid_argument("evaluate: x has wrong dimension");
+  }
+  PlanMetrics out;
+  out.send_rate_bps.assign(model_paths_.size(), 0.0);
+  for (std::size_t l = 0; l < combos_.size(); ++l) {
+    out.quality += metrics_[l].delivery_probability * x[l];
+    out.cost_per_s += traffic_.rate_bps * metrics_[l].cost_per_bit * x[l];
+    for (std::size_t path = 0; path < model_paths_.size(); ++path) {
+      out.send_rate_bps[path] +=
+          traffic_.rate_bps * metrics_[l].expected_load[path] * x[l];
+    }
+  }
+  return out;
+}
+
+}  // namespace dmc::core

@@ -1,0 +1,119 @@
+// The optimization model of Sections V and VI, generalized to an arbitrary
+// number of transmissions m (the paper presents m = 2 "to avoid a cumbersome
+// notation" and notes the generalization; a unit test verifies that m = 2
+// reproduces the literal matrices of Equations 11-18).
+//
+// For a combination l with attempt sequence (i_0, ..., i_{m-1}):
+//   * attempt k departs at D_k = sum_{u<k} t_{i_u} and arrives D_k + d_{i_k};
+//   * it happens only if all previous attempts failed, which has probability
+//     prefix_k = prod_{u<k} tau_{i_u} (deterministic delays) or
+//     prod_{u<k} P(retrans_{i_u, i_{u+1}}) (random delays, Equation 27);
+//   * delivery probability p_l sums prefix_k * P(arrival_k <= delta) *
+//     (1 - tau_{i_k}) over attempts (Equations 12 / 28);
+//   * expected load on path c is lambda * sum_{k: i_k = c} prefix_k
+//     (Equations 15 / 29), and expected cost is lambda * sum_k prefix_k *
+//     c_{i_k} (Equations 16 / 30).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/combination.h"
+#include "core/path.h"
+#include "core/timeout_optimizer.h"
+#include "lp/problem.h"
+
+namespace dmc::core {
+
+struct ModelOptions {
+  // m: total transmissions per data unit (1 = no retransmission). The paper
+  // envisions 2-3 in practice (Section VIII-B).
+  int transmissions = 2;
+  // Adds the virtual blackhole path (Section V-C) as model path 0 so the
+  // optimum can drop data deliberately when lambda exceeds capacity.
+  bool use_blackhole = true;
+  // Force the random-delay machinery even if every path is deterministic
+  // (used by tests to check the reduction).
+  bool force_random = false;
+  // Extra slack added to every deterministic retransmission timeout. The
+  // model's feasibility checks account for it, so a guard keeps planned and
+  // simulated behaviour consistent (Experiment 1 discussion).
+  double timeout_guard_s = 0.0;
+  TimeoutOptions timeout;
+};
+
+// Everything the LP needs to know about one path combination.
+struct ComboMetrics {
+  std::vector<std::size_t> attempts;   // model-path index per attempt
+  double delivery_probability = 0.0;   // p_l
+  // Expected traffic multiplier per model path: S contribution of this
+  // combination to path c is lambda * x_l * expected_load[c].
+  std::vector<double> expected_load;
+  double cost_per_bit = 0.0;           // r_l = lambda * cost_per_bit
+  // Retransmission timeout after attempt k (size m-1); +inf = never.
+  std::vector<double> timeouts;
+  // prefix_k = probability that attempt k fires (size m, prefix_0 = 1):
+  // prod of tau (deterministic) or P(retrans) (random) over attempts < k.
+  std::vector<double> stage_prefix;
+};
+
+struct PlanMetrics {
+  double quality = 0.0;                 // Q = G / lambda (Equation 6)
+  double cost_per_s = 0.0;              // C (Equation 7)
+  std::vector<double> send_rate_bps;    // S_i per model path (Equation 2)
+};
+
+// Immutable model instance: paths + traffic -> combination metrics + LPs.
+class Model {
+ public:
+  Model(PathSet real_paths, TrafficSpec traffic, ModelOptions options = {});
+
+  // Model paths: index 0 is the blackhole when enabled, then the real paths
+  // in their original order.
+  const PathSet& model_paths() const { return model_paths_; }
+  const PathSet& real_paths() const { return real_paths_; }
+  const TrafficSpec& traffic() const { return traffic_; }
+  const ModelOptions& options() const { return options_; }
+  const CombinationSpace& combos() const { return combos_; }
+  const std::vector<ComboMetrics>& metrics() const { return metrics_; }
+
+  bool has_blackhole() const { return options_.use_blackhole; }
+  // Model index of a real path (identity + 1 when the blackhole is on).
+  std::size_t model_index(std::size_t real_index) const {
+    return real_index + (has_blackhole() ? 1 : 0);
+  }
+
+  double dmin() const { return dmin_; }                 // Equation 1 / 25
+  std::size_t dmin_model_index() const { return dmin_model_index_; }
+
+  bool is_random() const { return random_; }
+
+  // Equation 10: maximize quality subject to bandwidth, cost, and sum-to-1.
+  lp::Problem quality_lp() const;
+
+  // Equation 20: minimize cost subject to bandwidth, quality >= min_quality,
+  // and sum-to-1. (The paper writes the quality bound's rhs as mu; the
+  // consistent sign with Equation 22's negated coefficients is -mu, which is
+  // what this builder emits.)
+  lp::Problem cost_min_lp(double min_quality) const;
+
+  // Q, C and per-path S for a given allocation x (Equations 2, 5-7).
+  PlanMetrics evaluate(const std::vector<double>& x) const;
+
+ private:
+  void compute_deterministic_metrics();
+  void compute_random_metrics();
+  void add_shared_constraints(lp::Problem& problem) const;
+
+  PathSet real_paths_;
+  PathSet model_paths_;
+  TrafficSpec traffic_;
+  ModelOptions options_;
+  CombinationSpace combos_;
+  std::vector<ComboMetrics> metrics_;
+  double dmin_ = 0.0;
+  std::size_t dmin_model_index_ = 0;
+  bool random_ = false;
+};
+
+}  // namespace dmc::core

@@ -1,0 +1,257 @@
+#include "core/paper_model.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/convolution.h"
+
+namespace dmc::core {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct Indices {
+  std::size_t i;  // first-transmission path, Equation 13
+  std::size_t j;  // retransmission path
+};
+
+Indices split(std::size_t l, std::size_t n) { return {l % n, l / n}; }
+
+void check_inputs(const PathSet& model_paths, const TrafficSpec& traffic) {
+  if (model_paths.empty()) {
+    throw std::invalid_argument("paper model: empty path set");
+  }
+  traffic.check();
+}
+
+}  // namespace
+
+PaperMatrices build_paper_quality(const PathSet& model_paths,
+                                  const TrafficSpec& traffic) {
+  check_inputs(model_paths, traffic);
+  const std::size_t n = model_paths.size();
+  const std::size_t vars = n * n;
+  const double lambda = traffic.rate_bps;
+  const double delta = traffic.lifetime_s;
+  const double dmin = model_paths.min_delay();
+
+  PaperMatrices m;
+  m.sense = lp::Sense::maximize;
+  m.p.resize(vars);
+  m.a = lp::Matrix(n + 1, vars, 0.0);
+  m.q.resize(n + 1);
+  m.b.assign(vars, 1.0);
+
+  for (std::size_t l = 0; l < vars; ++l) {
+    const auto [i, j] = split(l, n);
+    const double tau_i = model_paths[i].loss_rate;
+    const double tau_j = model_paths[j].loss_rate;
+    const double d_i = model_paths[i].delay_s;
+    const double d_j = model_paths[j].delay_s;
+
+    // Equation 12.
+    if (d_i + dmin + d_j <= delta) {
+      m.p[l] = 1.0 - tau_i * tau_j;
+    } else if (d_i <= delta) {
+      m.p[l] = 1.0 - tau_i;
+    } else {
+      m.p[l] = 0.0;
+    }
+
+    // Equation 15 (bandwidth rows 0 .. n-1).
+    for (std::size_t k = 0; k < n; ++k) {
+      double& a = m.a(k, l);
+      if (i == k && j == k) {
+        a = lambda + lambda * tau_i;
+      } else if (i != k && j == k) {
+        a = lambda * tau_i;
+      } else if (j != k && i == k) {
+        a = lambda;
+      } else {
+        a = 0.0;
+      }
+    }
+
+    // Equation 16 (cost row r).
+    m.a(n, l) = lambda * model_paths[i].cost_per_bit +
+                lambda * tau_i * model_paths[j].cost_per_bit;
+  }
+
+  // Equation 17.
+  for (std::size_t k = 0; k < n; ++k) m.q[k] = model_paths[k].bandwidth_bps;
+  m.q[n] = traffic.cost_cap_per_s;
+  return m;
+}
+
+PaperMatrices build_paper_cost(const PathSet& model_paths,
+                               const TrafficSpec& traffic,
+                               double min_quality) {
+  check_inputs(model_paths, traffic);
+  if (min_quality < 0.0 || min_quality > 1.0) {
+    throw std::invalid_argument("paper cost model: min_quality not in [0,1]");
+  }
+  const std::size_t n = model_paths.size();
+  const std::size_t vars = n * n;
+  const double lambda = traffic.rate_bps;
+  const double delta = traffic.lifetime_s;
+  const double dmin = model_paths.min_delay();
+
+  PaperMatrices m;
+  m.sense = lp::Sense::minimize;
+  m.p.resize(vars);
+  m.a = lp::Matrix(n + 1, vars, 0.0);
+  m.q.resize(n + 1);
+  m.b.assign(vars, 1.0);
+
+  for (std::size_t l = 0; l < vars; ++l) {
+    const auto [i, j] = split(l, n);
+    const double tau_i = model_paths[i].loss_rate;
+    const double tau_j = model_paths[j].loss_rate;
+    const double d_i = model_paths[i].delay_s;
+    const double d_j = model_paths[j].delay_s;
+
+    // Equation 21: the objective is now the cost.
+    m.p[l] = lambda * model_paths[i].cost_per_bit +
+             lambda * tau_i * model_paths[j].cost_per_bit;
+
+    // Bandwidth rows are unchanged (Equation 15).
+    for (std::size_t k = 0; k < n; ++k) {
+      double& a = m.a(k, l);
+      if (i == k && j == k) {
+        a = lambda + lambda * tau_i;
+      } else if (i != k && j == k) {
+        a = lambda * tau_i;
+      } else if (j != k && i == k) {
+        a = lambda;
+      } else {
+        a = 0.0;
+      }
+    }
+
+    // Equation 22: negated quality coefficients in the last row.
+    if (d_i + dmin + d_j <= delta) {
+      m.a(n, l) = tau_i * tau_j - 1.0;
+    } else if (d_i <= delta) {
+      m.a(n, l) = tau_i - 1.0;
+    } else {
+      m.a(n, l) = 0.0;
+    }
+  }
+
+  for (std::size_t k = 0; k < n; ++k) m.q[k] = model_paths[k].bandwidth_bps;
+  // Equation 23 writes mu here; with the negated coefficients of Equation 22
+  // the consistent bound for "quality >= mu" is -mu.
+  m.q[n] = -min_quality;
+  return m;
+}
+
+PaperMatrices build_paper_random_quality(
+    const PathSet& model_paths, const TrafficSpec& traffic,
+    const std::vector<std::vector<double>>& timeouts) {
+  check_inputs(model_paths, traffic);
+  const std::size_t n = model_paths.size();
+  if (timeouts.size() != n) {
+    throw std::invalid_argument("paper random model: timeout table size");
+  }
+  const std::size_t vars = n * n;
+  const double lambda = traffic.rate_bps;
+  const double delta = traffic.lifetime_s;
+
+  // Ack return path (Equation 25) and the d_i + d_min distributions.
+  const std::size_t min_index = model_paths.min_delay_index();
+  const stats::DelayDistributionPtr ack_path =
+      model_paths[min_index].distribution();
+  std::vector<stats::DelayDistributionPtr> delay(n);
+  std::vector<stats::DelayDistributionPtr> ack_delay(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    delay[i] = model_paths[i].distribution();
+    ack_delay[i] = model_paths[i].is_blackhole()
+                       ? stats::make_deterministic(kInfinity)
+                       : stats::sum_distribution(delay[i], ack_path);
+  }
+
+  PaperMatrices m;
+  m.sense = lp::Sense::maximize;
+  m.p.resize(vars);
+  m.a = lp::Matrix(n + 1, vars, 0.0);
+  m.q.resize(n + 1);
+  m.b.assign(vars, 1.0);
+
+  for (std::size_t l = 0; l < vars; ++l) {
+    const auto [i, j] = split(l, n);
+    if (timeouts[i].size() != n) {
+      throw std::invalid_argument("paper random model: timeout table shape");
+    }
+    const double t = timeouts[i][j];
+    const double tau_i = model_paths[i].loss_rate;
+    const double tau_j = model_paths[j].loss_rate;
+
+    // Equation 27. With t = +inf the ack always wins the race, so
+    // P(retrans) degrades to tau_i (or to 1 from the blackhole, whose "ack"
+    // never arrives).
+    double p_ack_by_t;
+    if (std::isinf(t)) {
+      p_ack_by_t = model_paths[i].is_blackhole() ? 0.0 : 1.0;
+    } else {
+      p_ack_by_t = ack_delay[i]->cdf(t);
+    }
+    const double p_retrans = 1.0 - p_ack_by_t * (1.0 - tau_i);
+
+    // Equation 28, in the corrected product form (see Model::
+    // compute_random_metrics): the data fails only if both attempts fail
+    // to arrive in time, and failure of the first attempt always triggers
+    // the second. The paper's printed sum adds P(retrans) * P(in time),
+    // which double-counts deliveries whose (spurious) retransmission also
+    // arrives, and can exceed 1 for tight timeouts.
+    const double first_success =
+        model_paths[i].is_blackhole()
+            ? 0.0
+            : delay[i]->cdf(delta) * (1.0 - tau_i);
+    const double second_success =
+        (model_paths[j].is_blackhole() || std::isinf(t))
+            ? 0.0
+            : delay[j]->cdf(delta - t) * (1.0 - tau_j);
+    m.p[l] = 1.0 - (1.0 - first_success) * (1.0 - second_success);
+
+    // Equation 29.
+    for (std::size_t k = 0; k < n; ++k) {
+      double& a = m.a(k, l);
+      if (i == k && j == k) {
+        a = lambda + lambda * p_retrans;
+      } else if (i != k && j == k) {
+        a = lambda * p_retrans;
+      } else if (j != k && i == k) {
+        a = lambda;
+      } else {
+        a = 0.0;
+      }
+    }
+
+    // Equation 30.
+    m.a(n, l) = lambda * model_paths[i].cost_per_bit +
+                lambda * p_retrans * model_paths[j].cost_per_bit;
+  }
+
+  for (std::size_t k = 0; k < n; ++k) m.q[k] = model_paths[k].bandwidth_bps;
+  m.q[n] = traffic.cost_cap_per_s;
+  return m;
+}
+
+lp::Problem to_problem(const PaperMatrices& matrices) {
+  lp::Problem problem;
+  problem.sense = matrices.sense;
+  problem.objective = matrices.p;
+  for (std::size_t r = 0; r < matrices.a.rows(); ++r) {
+    if (std::isinf(matrices.q[r])) continue;  // unbounded row: drop
+    std::vector<double> row(matrices.a.row(r).begin(),
+                            matrices.a.row(r).end());
+    problem.add_constraint(std::move(row), lp::Relation::less_equal,
+                           matrices.q[r], "paper_row_" + std::to_string(r));
+  }
+  problem.add_constraint(matrices.b, lp::Relation::equal, 1.0, "sum_x");
+  return problem;
+}
+
+}  // namespace dmc::core

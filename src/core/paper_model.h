@@ -1,0 +1,58 @@
+// Literal transcription of the paper's matrices:
+//   * Equations 11-18: quality-maximization (objective p, constraint matrix
+//     A with bandwidth rows and the cost row r, bounds q, sum row B);
+//   * Equations 20-23: cost-minimization variant;
+//   * Equations 28-30: random-delay coefficients given a timeout table.
+//
+// These builders exist to cross-check the general m-transmission model in
+// model.h at coefficient level (tests/test_paper_model.cpp) and to keep an
+// executable record of the paper's exact notation. Production code should
+// use core::Model, which subsumes them.
+#pragma once
+
+#include <vector>
+
+#include "core/path.h"
+#include "lp/matrix.h"
+#include "lp/problem.h"
+#include "stats/distributions.h"
+
+namespace dmc::core {
+
+// The matrices of Equation 10 / 20. Layout follows the paper exactly:
+// variables are vectorized with i = l mod n, j = floor(l / n) (Equation 13),
+// A has one bandwidth row per model path followed by the r row, and q lists
+// the bandwidth bounds followed by the last bound (mu, or -mu_quality for
+// the cost variant; see DESIGN.md on the sign).
+struct PaperMatrices {
+  std::vector<double> p;   // objective, size n^2
+  lp::Matrix a;            // (n + 1) x n^2
+  std::vector<double> q;   // size n + 1
+  std::vector<double> b;   // sum row, size n^2 (all ones)
+  lp::Sense sense = lp::Sense::maximize;
+  // Relation of the last A row (<= for cost-capped quality maximization;
+  // the quality bound in the cost variant is also expressed as <= via the
+  // negated coefficients of Equation 22).
+};
+
+// `model_paths` are the paths exactly as the model sees them, i.e. with the
+// blackhole already inserted at index 0 if desired (Equation 19).
+PaperMatrices build_paper_quality(const PathSet& model_paths,
+                                  const TrafficSpec& traffic);
+
+PaperMatrices build_paper_cost(const PathSet& model_paths,
+                               const TrafficSpec& traffic,
+                               double min_quality);
+
+// Equations 28-30: same layout, but delivery/retransmission probabilities
+// come from the delay distributions and the supplied timeout table
+// t[i][j] = t_{i,j} (entries may be +inf for "never retransmit").
+PaperMatrices build_paper_random_quality(
+    const PathSet& model_paths, const TrafficSpec& traffic,
+    const std::vector<std::vector<double>>& timeouts);
+
+// Converts the matrices into a solver-ready problem. Rows whose bound is
+// +inf (the blackhole's bandwidth row, or an absent cost cap) are dropped.
+lp::Problem to_problem(const PaperMatrices& matrices);
+
+}  // namespace dmc::core

@@ -1,0 +1,148 @@
+// Path and traffic descriptions — the inputs of Table I in the paper:
+// n independent paths with bandwidth b_i, one-way delay d_i, erasure
+// probability tau_i and per-bit cost c_i; an application rate lambda, a data
+// lifetime delta, and a cost cap mu.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stats/distributions.h"
+
+namespace dmc::core {
+
+struct PathSpec {
+  std::string name;
+  double bandwidth_bps = 0.0;   // b_i
+  double delay_s = 0.0;         // d_i (used when delay_dist is null)
+  double loss_rate = 0.0;       // tau_i
+  double cost_per_bit = 0.0;    // c_i
+  // Optional random one-way delay D_i (Section VI-B). When set, it replaces
+  // delay_s in the model; delay_s is ignored.
+  stats::DelayDistributionPtr delay_dist;
+
+  // Expected one-way delay: E[d_i] (Equation 25) or the fixed delay.
+  double mean_delay_s() const {
+    return delay_dist ? delay_dist->mean() : delay_s;
+  }
+
+  // The delay as a distribution object (deterministic if no dist was given).
+  stats::DelayDistributionPtr distribution() const {
+    if (delay_dist) return delay_dist;
+    return stats::make_deterministic(delay_s);
+  }
+
+  bool is_random() const { return delay_dist != nullptr; }
+
+  bool is_blackhole() const {
+    return loss_rate >= 1.0 && std::isinf(mean_delay_s());
+  }
+
+  void check() const {
+    if (!is_blackhole() && bandwidth_bps <= 0.0) {
+      throw std::invalid_argument("path '" + name + "': bandwidth must be > 0");
+    }
+    if (loss_rate < 0.0 || loss_rate > 1.0) {
+      throw std::invalid_argument("path '" + name + "': loss not in [0,1]");
+    }
+    if (!delay_dist && delay_s < 0.0) {
+      throw std::invalid_argument("path '" + name + "': negative delay");
+    }
+    if (cost_per_bit < 0.0) {
+      throw std::invalid_argument("path '" + name + "': negative cost");
+    }
+  }
+};
+
+// The virtual "blackhole" path of Section V-C: sending along it discards the
+// data (d = inf, tau = 1, c = 0). The paper sets b_0 = lambda, but taken
+// literally that makes e.g. x_{0,0} = 1 infeasible (S_0 = 2 lambda by
+// Equation 2) even though Table IV uses x_{0,0} = 7/9; the evident intent is
+// that discarding is unconstrained, so we give the blackhole infinite
+// bandwidth and omit its capacity row.
+inline PathSpec blackhole_path() {
+  PathSpec path;
+  path.name = "blackhole";
+  path.bandwidth_bps = std::numeric_limits<double>::infinity();
+  path.delay_s = std::numeric_limits<double>::infinity();
+  path.loss_rate = 1.0;
+  path.cost_per_bit = 0.0;
+  return path;
+}
+
+class PathSet {
+ public:
+  PathSet() = default;
+  explicit PathSet(std::vector<PathSpec> paths) : paths_(std::move(paths)) {
+    for (const PathSpec& p : paths_) p.check();
+  }
+
+  void add(PathSpec path) {
+    path.check();
+    paths_.push_back(std::move(path));
+  }
+
+  std::size_t size() const { return paths_.size(); }
+  bool empty() const { return paths_.empty(); }
+  const PathSpec& operator[](std::size_t i) const { return paths_.at(i); }
+  auto begin() const { return paths_.begin(); }
+  auto end() const { return paths_.end(); }
+
+  // Index of the path with the smallest expected delay (Equation 25),
+  // ignoring blackhole entries. Throws if there is no real path.
+  std::size_t min_delay_index() const {
+    std::size_t best = size();
+    double best_delay = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (paths_[i].is_blackhole()) continue;
+      const double d = paths_[i].mean_delay_s();
+      if (d < best_delay) {
+        best_delay = d;
+        best = i;
+      }
+    }
+    if (best == size()) {
+      throw std::logic_error("PathSet: no non-blackhole path");
+    }
+    return best;
+  }
+
+  // d_min of Equation 1 (expected-value version for random delays).
+  double min_delay() const {
+    return paths_[min_delay_index()].mean_delay_s();
+  }
+
+  bool any_random() const {
+    for (const PathSpec& p : paths_) {
+      if (p.is_random()) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<PathSpec> paths_;
+};
+
+// Application-side parameters (Table I).
+struct TrafficSpec {
+  double rate_bps = 0.0;     // lambda
+  double lifetime_s = 0.0;   // delta
+  double cost_cap_per_s = std::numeric_limits<double>::infinity();  // mu
+
+  void check() const {
+    if (rate_bps <= 0.0) {
+      throw std::invalid_argument("traffic: rate must be > 0");
+    }
+    if (lifetime_s <= 0.0) {
+      throw std::invalid_argument("traffic: lifetime must be > 0");
+    }
+    if (cost_cap_per_s < 0.0) {
+      throw std::invalid_argument("traffic: negative cost cap");
+    }
+  }
+};
+
+}  // namespace dmc::core

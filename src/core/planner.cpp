@@ -1,0 +1,79 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmc::core {
+
+Plan::Plan(std::shared_ptr<const Model> model, lp::Solution solution)
+    : model_(std::move(model)), solution_(std::move(solution)) {
+  if (!model_) throw std::invalid_argument("Plan: null model");
+  if (solution_.optimal()) {
+    metrics_ = model_->evaluate(solution_.x);
+  } else {
+    solution_.x.assign(model_->combos().size(), 0.0);
+  }
+}
+
+std::vector<std::pair<std::size_t, double>> Plan::nonzero_weights(
+    double threshold) const {
+  std::vector<std::pair<std::size_t, double>> out;
+  for (std::size_t l = 0; l < solution_.x.size(); ++l) {
+    if (solution_.x[l] > threshold) out.emplace_back(l, solution_.x[l]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::string Plan::summary() const {
+  std::ostringstream out;
+  if (!feasible()) {
+    out << "infeasible (" << lp::to_string(status()) << ")";
+    return out.str();
+  }
+  bool first = true;
+  for (const auto& [l, w] : nonzero_weights()) {
+    if (!first) out << "  ";
+    first = false;
+    out << label(l) << "=" << w;
+  }
+  out << "  Q=" << quality();
+  return out.str();
+}
+
+namespace {
+
+Plan solve(std::shared_ptr<const Model> model, const lp::Problem& problem,
+           const lp::SimplexSolver::Options& solver_options) {
+  const lp::SimplexSolver solver(solver_options);
+  return Plan(std::move(model), solver.solve(problem));
+}
+
+}  // namespace
+
+Plan plan_max_quality(const PathSet& paths, const TrafficSpec& traffic,
+                      const PlanOptions& options) {
+  auto model = std::make_shared<const Model>(paths, traffic, options.model);
+  return solve(model, model->quality_lp(), options.solver);
+}
+
+Plan plan_min_cost(const PathSet& paths, const TrafficSpec& traffic,
+                   double min_quality, const PlanOptions& options) {
+  auto model = std::make_shared<const Model>(paths, traffic, options.model);
+  return solve(model, model->cost_min_lp(min_quality), options.solver);
+}
+
+Plan plan_single_path(const PathSet& paths, std::size_t index,
+                      const TrafficSpec& traffic,
+                      const PlanOptions& options) {
+  if (index >= paths.size()) {
+    throw std::out_of_range("plan_single_path: path index");
+  }
+  PathSet single;
+  single.add(paths[index]);
+  return plan_max_quality(single, traffic, options);
+}
+
+}  // namespace dmc::core

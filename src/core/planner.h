@@ -1,0 +1,76 @@
+// Public façade of the library: paths + traffic in, an optimal sending plan
+// out. A Plan bundles the LP solution x' with everything a sender needs to
+// execute it: per-combination retransmission timeouts, the expected quality
+// and cost, and the path-combination metadata.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "lp/simplex.h"
+
+namespace dmc::core {
+
+struct PlanOptions {
+  ModelOptions model;
+  lp::SimplexSolver::Options solver;
+};
+
+class Plan {
+ public:
+  Plan(std::shared_ptr<const Model> model, lp::Solution solution);
+
+  bool feasible() const { return solution_.optimal(); }
+  lp::SolveStatus status() const { return solution_.status; }
+  std::int64_t lp_iterations() const { return solution_.iterations; }
+
+  // The allocation x' over path combinations (Equation 13 vectorization).
+  const std::vector<double>& x() const { return solution_.x; }
+
+  // Expected communication quality Q (Equation 6) of this allocation.
+  double quality() const { return metrics_.quality; }
+  // Expected total cost per second C (Equation 7).
+  double cost_per_s() const { return metrics_.cost_per_s; }
+  // Expected bit rate S_i per model path (Equation 2).
+  const std::vector<double>& send_rate_bps() const {
+    return metrics_.send_rate_bps;
+  }
+
+  const Model& model() const { return *model_; }
+  std::shared_ptr<const Model> model_ptr() const { return model_; }
+
+  // Fraction of traffic assigned combination l; label(l) renders "x1,2".
+  double weight(std::size_t l) const { return solution_.x.at(l); }
+  std::string label(std::size_t l) const { return model_->combos().label(l); }
+
+  // Nonzero entries, largest first — the paper's table rows.
+  std::vector<std::pair<std::size_t, double>> nonzero_weights(
+      double threshold = 1e-9) const;
+
+  // Human-readable one-line solution, e.g. "x1,2=8/9-ish: 0.8889 ...".
+  std::string summary() const;
+
+ private:
+  std::shared_ptr<const Model> model_;
+  lp::Solution solution_;
+  PlanMetrics metrics_;
+};
+
+// Maximize quality subject to bandwidth and cost caps (Equation 10).
+Plan plan_max_quality(const PathSet& paths, const TrafficSpec& traffic,
+                      const PlanOptions& options = {});
+
+// Minimize cost subject to quality >= min_quality (Equation 20).
+Plan plan_min_cost(const PathSet& paths, const TrafficSpec& traffic,
+                   double min_quality, const PlanOptions& options = {});
+
+// Quality achievable using only path `index` of `paths` (plus the
+// blackhole): the single-path baseline of Figure 2. Acknowledgments travel
+// on that same path, so d_min = d_index.
+Plan plan_single_path(const PathSet& paths, std::size_t index,
+                      const TrafficSpec& traffic,
+                      const PlanOptions& options = {});
+
+}  // namespace dmc::core

@@ -1,0 +1,169 @@
+#include "core/risk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmc::core {
+
+namespace {
+
+// P(Z > z) for standard normal Z.
+double normal_tail(double z) {
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+std::vector<UsageDistribution> per_path_usage(const Model& model,
+                                              const std::vector<double>& x,
+                                              double packet_bits) {
+  const auto& combos = model.combos();
+  const auto& metrics = model.metrics();
+  if (x.size() != combos.size()) {
+    throw std::invalid_argument("per_path_usage: x dimension");
+  }
+  const std::size_t n = model.model_paths().size();
+
+  // First and second moments of per-packet load (in packets) per path,
+  // mixing over the combination choice with weights x.
+  std::vector<double> mean(n, 0.0);
+  std::vector<double> second(n, 0.0);
+
+  for (std::size_t l = 0; l < combos.size(); ++l) {
+    if (x[l] <= 0.0) continue;
+    const ComboMetrics& combo = metrics[l];
+    const int m = combos.transmissions();
+
+    // A packet assigned to this combination uses exactly attempts 0..k with
+    // probability prefix_k - prefix_{k+1} (attempt k fired, k+1 did not);
+    // the terminal stage k = m-1 keeps the whole remaining prefix_{m-1}.
+    // The model stored prefix_k = P(attempt k fires) in stage_prefix.
+    for (int k = 0; k < m; ++k) {
+      const double p_stop =
+          combo.stage_prefix[static_cast<std::size_t>(k)] -
+          (k + 1 < m ? combo.stage_prefix[static_cast<std::size_t>(k) + 1]
+                     : 0.0);
+      if (p_stop <= 0.0) continue;
+      // Count attempts on each path for the realized prefix 0..k.
+      std::vector<int> count(n, 0);
+      for (int u = 0; u <= k; ++u) {
+        ++count[combo.attempts[static_cast<std::size_t>(u)]];
+      }
+      for (std::size_t path = 0; path < n; ++path) {
+        if (count[path] == 0) continue;
+        const double c = static_cast<double>(count[path]);
+        mean[path] += x[l] * p_stop * c;
+        second[path] += x[l] * p_stop * c * c;
+      }
+    }
+  }
+
+  std::vector<UsageDistribution> out(n);
+  for (std::size_t path = 0; path < n; ++path) {
+    out[path].mean = mean[path] * packet_bits;
+    out[path].variance =
+        std::max(0.0, second[path] - mean[path] * mean[path]) * packet_bits *
+        packet_bits;
+  }
+  return out;
+}
+
+OvershootReport compute_overshoot(const Model& model,
+                                  const std::vector<double>& x,
+                                  double packet_bits,
+                                  std::size_t window_packets) {
+  if (window_packets == 0) {
+    throw std::invalid_argument("compute_overshoot: empty window");
+  }
+  const auto usage = per_path_usage(model, x, packet_bits);
+  const double lambda = model.traffic().rate_bps;
+  const double window_seconds =
+      static_cast<double>(window_packets) * packet_bits / lambda;
+  const double nd = static_cast<double>(window_packets);
+
+  OvershootReport report;
+  report.window_packets = window_packets;
+  report.bandwidth_overshoot.assign(usage.size(), 0.0);
+  for (std::size_t path = 0; path < usage.size(); ++path) {
+    const double cap = model.model_paths()[path].bandwidth_bps;
+    if (std::isinf(cap)) continue;  // blackhole
+    const double cap_bits = cap * window_seconds;
+    const double mu = nd * usage[path].mean;
+    const double sigma = std::sqrt(nd * usage[path].variance);
+    if (sigma <= 0.0) {
+      report.bandwidth_overshoot[path] = mu > cap_bits ? 1.0 : 0.0;
+    } else {
+      report.bandwidth_overshoot[path] = normal_tail((cap_bits - mu) / sigma);
+    }
+  }
+
+  // Cost: expected per-packet cost and a conservative variance bound using
+  // the per-path second moments scaled by cost-per-bit.
+  const double mu_cap = model.traffic().cost_cap_per_s;
+  if (!std::isinf(mu_cap)) {
+    double cost_mean = 0.0;
+    double cost_var = 0.0;
+    for (std::size_t path = 0; path < usage.size(); ++path) {
+      const double c = model.model_paths()[path].cost_per_bit;
+      cost_mean += c * usage[path].mean;
+      cost_var += c * c * usage[path].variance;
+    }
+    const double cap_total = mu_cap * window_seconds;
+    const double mu_total = nd * cost_mean;
+    const double sigma = std::sqrt(nd * cost_var);
+    report.cost_overshoot =
+        sigma <= 0.0 ? (mu_total > cap_total ? 1.0 : 0.0)
+                     : normal_tail((cap_total - mu_total) / sigma);
+  }
+  return report;
+}
+
+RiskAdjustedPlanResult plan_with_risk_bound(const PathSet& paths,
+                                            const TrafficSpec& traffic,
+                                            double packet_bits,
+                                            std::size_t window_packets,
+                                            double max_overshoot,
+                                            const PlanOptions& options) {
+  if (max_overshoot <= 0.0 || max_overshoot >= 1.0) {
+    throw std::invalid_argument("plan_with_risk_bound: bound not in (0,1)");
+  }
+
+  double shrink = 1.0;
+  constexpr double kStep = 0.97;
+  constexpr double kFloor = 0.5;
+  int rounds = 0;
+
+  while (true) {
+    // Tighten the caps fed to the LP; the true caps stay the yardstick.
+    PathSet tightened;
+    for (const PathSpec& p : paths) {
+      PathSpec q = p;
+      q.bandwidth_bps = p.bandwidth_bps * shrink;
+      tightened.add(std::move(q));
+    }
+    TrafficSpec t = traffic;
+    if (!std::isinf(t.cost_cap_per_s)) t.cost_cap_per_s *= shrink;
+
+    Plan plan = plan_max_quality(tightened, t, options);
+    ++rounds;
+    if (!plan.feasible()) {
+      return {std::move(plan), OvershootReport{}, rounds, shrink};
+    }
+
+    // Judge overshoot against the *true* caps.
+    auto true_model = std::make_shared<const Model>(paths, traffic,
+                                                    options.model);
+    OvershootReport report =
+        compute_overshoot(*true_model, plan.x(), packet_bits, window_packets);
+    double worst = report.cost_overshoot;
+    for (double v : report.bandwidth_overshoot) worst = std::max(worst, v);
+
+    if (worst <= max_overshoot || shrink <= kFloor) {
+      return {std::move(plan), std::move(report), rounds, shrink};
+    }
+    shrink *= kStep;
+  }
+}
+
+}  // namespace dmc::core

@@ -1,0 +1,66 @@
+// Section IX-C: the model constrains *expected* bandwidth and cost. Over a
+// finite window of N packets the realized usage fluctuates (which packets
+// need retransmission is random), so a system that must not exceed a hard
+// cap can compute the overshoot probability and tighten the bounds fed to
+// the LP until the risk is acceptable.
+//
+// Per-packet load on a path is a small discrete random variable (it depends
+// on the combination the packet was assigned and on which attempts fired);
+// with N i.i.d.-scheduled packets the window usage is approximately normal,
+// so overshoot probabilities come from a CLT bound.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "core/planner.h"
+
+namespace dmc::core {
+
+struct UsageDistribution {
+  double mean = 0.0;      // expected bits per packet on this path (x lambda-normalized share)
+  double variance = 0.0;  // per-packet variance (bits^2)
+};
+
+struct OvershootReport {
+  // Per model path: probability that the realized bit rate over the window
+  // exceeds the path's bandwidth cap. Blackhole entries are 0.
+  std::vector<double> bandwidth_overshoot;
+  // Probability that the realized cost rate exceeds mu.
+  double cost_overshoot = 0.0;
+  // Window size used (packets).
+  std::size_t window_packets = 0;
+};
+
+// Analyses a plan: for each path, the mean/variance of per-packet load in
+// bits (enumerating attempt outcomes exactly; m <= 3 means <= 8 outcomes).
+std::vector<UsageDistribution> per_path_usage(const Model& model,
+                                              const std::vector<double>& x,
+                                              double packet_bits);
+
+// Overshoot probabilities for a window of `window_packets` packets under
+// weighted-random scheduling (the conservative case; Algorithm 1 only
+// reduces the variance).
+OvershootReport compute_overshoot(const Model& model,
+                                  const std::vector<double>& x,
+                                  double packet_bits,
+                                  std::size_t window_packets);
+
+struct RiskAdjustedPlanResult {
+  Plan plan;                   // final plan after cap tightening
+  OvershootReport report;      // overshoot of the final plan
+  int solve_rounds = 0;        // LP solves performed
+  double shrink_factor = 1.0;  // caps were multiplied by this factor
+};
+
+// Re-solves with geometrically tightened bandwidth/cost caps until every
+// overshoot probability is <= max_overshoot (or the shrink floor is hit).
+// Implements the "adjust the values in q ... and re-solve" loop of IX-C.
+RiskAdjustedPlanResult plan_with_risk_bound(const PathSet& paths,
+                                            const TrafficSpec& traffic,
+                                            double packet_bits,
+                                            std::size_t window_packets,
+                                            double max_overshoot,
+                                            const PlanOptions& options = {});
+
+}  // namespace dmc::core

@@ -1,0 +1,165 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dmc::core {
+
+namespace {
+
+void check_weights(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("scheduler: empty weight vector");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < -1e-9) {
+      throw std::invalid_argument("scheduler: negative weight");
+    }
+    sum += std::max(w, 0.0);
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    throw std::invalid_argument("scheduler: weights must sum to 1");
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Algorithm 1
+
+DeficitScheduler::DeficitScheduler(std::vector<double> weights)
+    : weights_(std::move(weights)), assigned_(weights_.size(), 0) {
+  check_weights(weights_);
+  for (double& w : weights_) w = std::max(w, 0.0);
+}
+
+std::size_t DeficitScheduler::select() {
+  std::size_t result = 0;
+  if (total_ == 0) {
+    // First packet: the combination with the highest weight.
+    result = static_cast<std::size_t>(
+        std::max_element(weights_.begin(), weights_.end()) - weights_.begin());
+  } else {
+    // argmin over assigned[l]/total - x'_l; ties prefer larger weight.
+    double best = std::numeric_limits<double>::infinity();
+    const double total = static_cast<double>(total_);
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+      const double deficit =
+          static_cast<double>(assigned_[l]) / total - weights_[l];
+      if (deficit < best - 1e-15 ||
+          (deficit <= best + 1e-15 && weights_[l] > weights_[result])) {
+        best = deficit;
+        result = l;
+      }
+    }
+  }
+  ++assigned_[result];
+  ++total_;
+  return result;
+}
+
+double DeficitScheduler::max_deviation() const {
+  if (total_ == 0) return 0.0;
+  double worst = 0.0;
+  const double total = static_cast<double>(total_);
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    worst = std::max(
+        worst,
+        std::abs(static_cast<double>(assigned_[l]) / total - weights_[l]));
+  }
+  return worst;
+}
+
+// --------------------------------------------------------- weighted random
+
+WeightedRandomScheduler::WeightedRandomScheduler(std::vector<double> weights,
+                                                 std::uint64_t seed)
+    : rng_(seed) {
+  check_weights(weights);
+  cumulative_.resize(weights.size());
+  double acc = 0.0;
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    acc += std::max(weights[l], 0.0);
+    cumulative_[l] = acc;
+  }
+  cumulative_.back() = 1.0;
+}
+
+std::size_t WeightedRandomScheduler::select() {
+  const double u = rng_.uniform();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(cumulative_.size()) - 1));
+}
+
+// -------------------------------------------------------------- round robin
+
+RoundRobinScheduler::RoundRobinScheduler(const std::vector<double>& weights,
+                                         int resolution) {
+  check_weights(weights);
+  if (resolution < 1) {
+    throw std::invalid_argument("RoundRobinScheduler: resolution < 1");
+  }
+  // Largest-remainder quantization of the weights into `resolution` slots.
+  const auto n = weights.size();
+  std::vector<int> slots(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  int used = 0;
+  for (std::size_t l = 0; l < n; ++l) {
+    const double ideal = std::max(weights[l], 0.0) * resolution;
+    slots[l] = static_cast<int>(ideal);
+    used += slots[l];
+    remainders.emplace_back(ideal - slots[l], l);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t k = 0; used < resolution && k < remainders.size(); ++k) {
+    ++slots[remainders[k].second];
+    ++used;
+  }
+
+  // Interleave: place each combination's copies at evenly spaced ideal
+  // positions, then stable-sort by position.
+  std::vector<std::pair<double, std::size_t>> placed;
+  placed.reserve(static_cast<std::size_t>(resolution));
+  for (std::size_t l = 0; l < n; ++l) {
+    for (int k = 0; k < slots[l]; ++k) {
+      placed.emplace_back((k + 0.5) / slots[l], l);
+    }
+  }
+  std::stable_sort(placed.begin(), placed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  cycle_.reserve(placed.size());
+  for (const auto& [pos, l] : placed) cycle_.push_back(l);
+  if (cycle_.empty()) {
+    throw std::logic_error("RoundRobinScheduler: empty cycle");
+  }
+}
+
+std::size_t RoundRobinScheduler::select() {
+  const std::size_t out = cycle_[position_];
+  position_ = (position_ + 1) % cycle_.size();
+  return out;
+}
+
+// ------------------------------------------------------------------ factory
+
+std::unique_ptr<ComboScheduler> make_scheduler(SchedulerKind kind,
+                                               const std::vector<double>& x,
+                                               std::uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::deficit:
+      return std::make_unique<DeficitScheduler>(x);
+    case SchedulerKind::weighted_random:
+      return std::make_unique<WeightedRandomScheduler>(x, seed);
+    case SchedulerKind::round_robin:
+      return std::make_unique<RoundRobinScheduler>(x);
+  }
+  throw std::invalid_argument("make_scheduler: unknown kind");
+}
+
+}  // namespace dmc::core

@@ -1,0 +1,84 @@
+// Discretization of the LP solution into per-packet decisions.
+//
+// The fractional optimum x' must be turned into an integral packet-to-
+// combination assignment. DeficitScheduler implements the paper's
+// Algorithm 1: keep per-combination assignment counts and always pick the
+// combination lagging furthest behind its ideal share. Two alternatives
+// (weighted random and proportional round-robin) exist for the scheduler
+// ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace dmc::core {
+
+class ComboScheduler {
+ public:
+  virtual ~ComboScheduler() = default;
+  // Returns the combination index for the next packet.
+  virtual std::size_t select() = 0;
+};
+
+// Algorithm 1. Deterministic; guarantees the realized distribution tracks
+// x' with bounded deficit. Ties in the argmin are broken toward the larger
+// target weight (the algorithm as printed would otherwise starve into
+// zero-weight combinations when all deficits are equal), then toward the
+// smaller index for determinism.
+class DeficitScheduler final : public ComboScheduler {
+ public:
+  explicit DeficitScheduler(std::vector<double> weights);
+
+  std::size_t select() override;
+
+  const std::vector<std::int64_t>& assigned() const { return assigned_; }
+  std::int64_t total() const { return total_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  // max_l |assigned[l]/total - x'_l| — the discretization error so far.
+  double max_deviation() const;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::int64_t> assigned_;
+  std::int64_t total_ = 0;
+};
+
+// I.i.d. sampling proportional to x'. Unbiased but with multinomial
+// variance; the ablation shows what Algorithm 1's determinism buys.
+class WeightedRandomScheduler final : public ComboScheduler {
+ public:
+  WeightedRandomScheduler(std::vector<double> weights, std::uint64_t seed);
+  std::size_t select() override;
+
+ private:
+  std::vector<double> cumulative_;
+  stats::Rng rng_;
+};
+
+// Fixed cyclic schedule built from an integer quantization of x' (largest-
+// remainder method over `resolution` slots), then interleaved by walking
+// each combination's ideal positions. Deterministic like Algorithm 1 but
+// with a fixed period.
+class RoundRobinScheduler final : public ComboScheduler {
+ public:
+  RoundRobinScheduler(const std::vector<double>& weights, int resolution = 128);
+  std::size_t select() override;
+
+  const std::vector<std::size_t>& cycle() const { return cycle_; }
+
+ private:
+  std::vector<std::size_t> cycle_;
+  std::size_t position_ = 0;
+};
+
+// Factory used by benches/tests.
+enum class SchedulerKind { deficit, weighted_random, round_robin };
+std::unique_ptr<ComboScheduler> make_scheduler(SchedulerKind kind,
+                                               const std::vector<double>& x,
+                                               std::uint64_t seed = 1);
+
+}  // namespace dmc::core

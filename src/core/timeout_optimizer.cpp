@@ -1,0 +1,116 @@
+#include "core/timeout_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace dmc::core {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+double objective_at(const stats::DelayDistribution& ack_delay,
+                    const stats::DelayDistribution& retrans_delay,
+                    double deadline, double t) {
+  const double ack = ack_delay.cdf(t);
+  if (ack <= 0.0) return 0.0;
+  const double retrans = retrans_delay.cdf(deadline - t);
+  return ack * retrans;
+}
+
+// Bisects for the point where the objective crosses `threshold` between a
+// point below it (`outside`) and a point at/above it (`inside`).
+double bisect_edge(const stats::DelayDistribution& ack_delay,
+                   const stats::DelayDistribution& retrans_delay,
+                   double deadline, double threshold, double outside,
+                   double inside, int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (outside + inside);
+    if (objective_at(ack_delay, retrans_delay, deadline, mid) >= threshold) {
+      inside = mid;
+    } else {
+      outside = mid;
+    }
+  }
+  return inside;
+}
+
+}  // namespace
+
+TimeoutChoice optimize_timeout(const stats::DelayDistribution& ack_delay,
+                               const stats::DelayDistribution& retrans_delay,
+                               double deadline,
+                               const TimeoutOptions& options) {
+  if (options.coarse_points < 8) {
+    throw std::invalid_argument("optimize_timeout: coarse_points too small");
+  }
+  TimeoutChoice choice;
+  choice.timeout = kInfinity;
+
+  // The ack needs at least ack_delay.min_support(); the retransmission needs
+  // at least retrans_delay.min_support() of budget after t. Outside
+  // [lo, hi] the objective is identically zero.
+  const double lo = ack_delay.min_support();
+  const double hi = deadline - retrans_delay.min_support();
+  if (!(hi > lo) || std::isinf(lo)) {
+    return choice;  // infeasible: never retransmit (t = inf)
+  }
+
+  // Coarse scan. Evaluate on a uniform grid including both endpoints.
+  const int n = options.coarse_points;
+  const double step = (hi - lo) / static_cast<double>(n);
+  double best_value = 0.0;
+  int best_index = -1;
+  std::vector<double> values(static_cast<std::size_t>(n) + 1);
+  for (int k = 0; k <= n; ++k) {
+    const double t = lo + step * static_cast<double>(k);
+    const double v = objective_at(ack_delay, retrans_delay, deadline, t);
+    values[static_cast<std::size_t>(k)] = v;
+    if (v > best_value) {
+      best_value = v;
+      best_index = k;
+    }
+  }
+  if (best_index < 0 || best_value <= 0.0) {
+    return choice;  // infeasible within numerical resolution
+  }
+
+  // Locate the flat region {t : g(t) >= (1 - tol) * max} around the best
+  // grid point and refine its edges by bisection.
+  const double threshold = best_value * (1.0 - options.plateau_tolerance);
+  int left = best_index;
+  while (left > 0 && values[static_cast<std::size_t>(left - 1)] >= threshold) {
+    --left;
+  }
+  int right = best_index;
+  while (right < n && values[static_cast<std::size_t>(right + 1)] >= threshold) {
+    ++right;
+  }
+
+  double left_edge = lo + step * static_cast<double>(left);
+  if (left > 0) {
+    left_edge = bisect_edge(ack_delay, retrans_delay, deadline, threshold,
+                            left_edge - step, left_edge,
+                            options.refine_iterations);
+  }
+  double right_edge = lo + step * static_cast<double>(right);
+  if (right < n) {
+    right_edge = bisect_edge(ack_delay, retrans_delay, deadline, threshold,
+                             right_edge + step, right_edge,
+                             options.refine_iterations);
+  }
+
+  choice.timeout = options.plateau_policy == PlateauPolicy::leftmost
+                       ? left_edge
+                       : 0.5 * (left_edge + right_edge);
+  choice.p_ack_in_time = ack_delay.cdf(choice.timeout);
+  choice.p_retrans_in_time = retrans_delay.cdf(deadline - choice.timeout);
+  choice.objective = choice.p_ack_in_time * choice.p_retrans_in_time;
+  choice.feasible = choice.objective > 0.0;
+  return choice;
+}
+
+}  // namespace dmc::core

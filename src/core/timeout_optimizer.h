@@ -1,0 +1,51 @@
+// Retransmission-timeout optimization for random delays (Equations 26/34).
+//
+// For data first sent on path i and retransmitted (if needed) on path j, the
+// sender must pick the waiting time t_{i,j} that is simultaneously large
+// enough for the acknowledgment (which needs d_i + d_min) to arrive, and
+// small enough for the retransmission (which needs d_j more) to beat the
+// deadline:
+//
+//     t_{i,j} = argmax_t  P(t + d_j <= delta) * P(d_i + d_min <= t).
+//
+// The objective can have a numerically flat maximum (the paper notes the
+// solution "does not necessarily produce a unique solution"); the plateau
+// policy controls which point of the flat region is returned.
+#pragma once
+
+#include "stats/distributions.h"
+
+namespace dmc::core {
+
+enum class PlateauPolicy {
+  // Left edge of the flat maximum. With deterministic delays this recovers
+  // Equation 4 exactly: t = d_i + d_min.
+  leftmost,
+  // Middle of the flat maximum: maximal margin against both failure modes.
+  midpoint,
+};
+
+struct TimeoutOptions {
+  int coarse_points = 4096;       // grid resolution of the initial scan
+  int refine_iterations = 64;     // bisection steps on the plateau edges
+  double plateau_tolerance = 1e-9;  // relative: counts as "at the maximum"
+  PlateauPolicy plateau_policy = PlateauPolicy::leftmost;
+};
+
+struct TimeoutChoice {
+  double timeout = 0.0;            // t_{i,j}; +inf when retransmission is futile
+  double objective = 0.0;          // max_t of the product above
+  double p_ack_in_time = 0.0;      // P(d_i + d_min <= t)
+  double p_retrans_in_time = 0.0;  // P(t + d_j <= delta)
+  bool feasible = false;           // objective > 0
+};
+
+// ack_delay: distribution of d_i + d_min (see stats::sum_distribution).
+// retrans_delay: distribution of d_j.
+// deadline: delta (absolute budget from the moment of the first send).
+TimeoutChoice optimize_timeout(const stats::DelayDistribution& ack_delay,
+                               const stats::DelayDistribution& retrans_delay,
+                               double deadline,
+                               const TimeoutOptions& options = {});
+
+}  // namespace dmc::core

@@ -1,0 +1,30 @@
+// Unit helpers. The library uses SI units internally: seconds for time,
+// bits per second for rates, bits for data amounts. The paper's tables are
+// stated in Mbps and milliseconds; these helpers keep call sites readable
+// and conversion mistakes out of the arithmetic.
+#pragma once
+
+namespace dmc {
+
+constexpr double kBitsPerByte = 8.0;
+
+// Rates.
+constexpr double bps(double v) { return v; }
+constexpr double kbps(double v) { return v * 1e3; }
+constexpr double mbps(double v) { return v * 1e6; }
+constexpr double gbps(double v) { return v * 1e9; }
+
+// Times.
+constexpr double seconds(double v) { return v; }
+constexpr double ms(double v) { return v * 1e-3; }
+constexpr double us(double v) { return v * 1e-6; }
+
+// Conversions back, for printing.
+constexpr double to_mbps(double bits_per_second) { return bits_per_second / 1e6; }
+constexpr double to_ms(double secs) { return secs * 1e3; }
+constexpr double to_us(double secs) { return secs * 1e6; }
+
+// Data sizes.
+constexpr double bytes_to_bits(double n_bytes) { return n_bytes * kBitsPerByte; }
+
+}  // namespace dmc

@@ -1,0 +1,46 @@
+// Umbrella header for the deadline-aware multipath communication library.
+//
+// Layering (each header is also usable directly):
+//   lp/         dense two-phase simplex solver
+//   stats/      delay distributions, gamma math, convolution, RNG
+//   sim/        discrete-event network simulator (links, paths, packets)
+//   core/       the paper's optimization model, planner, schedulers
+//   protocol/   deadline-aware sender/receiver, acks, baselines
+//   estimation/ online estimators and the adaptive re-planning controller
+//   experiments/ scenario library, sweep runners, table printers
+#pragma once
+
+#include "core/combination.h"
+#include "core/load_aware.h"
+#include "core/model.h"
+#include "core/paper_model.h"
+#include "core/path.h"
+#include "core/planner.h"
+#include "core/risk.h"
+#include "core/scheduler.h"
+#include "core/timeout_optimizer.h"
+#include "core/units.h"
+#include "estimation/adaptive.h"
+#include "estimation/estimators.h"
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "experiments/table.h"
+#include "lp/interior_point.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+#include "lp/validate.h"
+#include "protocol/ack.h"
+#include "protocol/baselines.h"
+#include "protocol/receiver.h"
+#include "protocol/sender.h"
+#include "protocol/session.h"
+#include "protocol/trace.h"
+#include "sim/link.h"
+#include "sim/network.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "stats/convolution.h"
+#include "stats/distributions.h"
+#include "stats/gamma_math.h"
+#include "stats/rng.h"
+#include "stats/summary.h"

@@ -1,0 +1,292 @@
+#include "estimation/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/planner.h"
+#include "core/scheduler.h"
+#include "protocol/receiver.h"
+#include "protocol/sender.h"
+#include "sim/simulator.h"
+
+namespace dmc::est {
+
+namespace {
+
+// Per-path estimator bundle plus the RTT-to-one-way conversion.
+class PathEstimators {
+ public:
+  PathEstimators(std::size_t num_paths, int ack_path,
+                 const core::PathSet& initial,
+                 const BandwidthEstimator::Options& bw_options,
+                 double loss_memory_packets)
+      : ack_path_(ack_path) {
+    for (std::size_t i = 0; i < num_paths; ++i) {
+      loss_.emplace_back(0.0, 0.0, loss_memory_packets);
+      rtt_.emplace_back();
+      BandwidthEstimator::Options opt = bw_options;
+      opt.initial_bps = initial[i].bandwidth_bps;
+      bandwidth_.emplace_back(opt);
+      initial_delay_.push_back(initial[i].mean_delay_s());
+    }
+  }
+
+  void on_rtt(int path, double rtt) {
+    rtt_[static_cast<std::size_t>(path)].add_sample(rtt);
+  }
+  void on_loss(int path) {
+    loss_[static_cast<std::size_t>(path)].on_loss();
+    loss_[static_cast<std::size_t>(path)].on_sent();
+    ++interval_loss_[static_cast<std::size_t>(path)];
+    ++interval_resolved_[static_cast<std::size_t>(path)];
+  }
+  void on_spurious(int path) {
+    loss_[static_cast<std::size_t>(path)].revert_loss();
+    if (interval_loss_[static_cast<std::size_t>(path)] > 0) {
+      --interval_loss_[static_cast<std::size_t>(path)];
+    }
+  }
+  void on_ack(int path) {
+    loss_[static_cast<std::size_t>(path)].on_sent();
+    ++interval_resolved_[static_cast<std::size_t>(path)];
+  }
+
+  // One-way delay estimate: the ack path sees rtt = d_a (data) + d_a (ack),
+  // every other path sees rtt = d_i + d_a.
+  double one_way_delay(std::size_t i) const {
+    const auto a = static_cast<std::size_t>(ack_path_);
+    if (rtt_[a].count() == 0) return initial_delay_[i];
+    const double d_ack = rtt_[a].smoothed() / 2.0;
+    if (i == a) return d_ack;
+    if (rtt_[i].count() == 0) return initial_delay_[i];
+    return std::max(1e-6, rtt_[i].smoothed() - d_ack);
+  }
+
+  double loss_estimate(std::size_t i) const { return loss_[i].estimate(); }
+  double bandwidth_estimate(std::size_t i) const {
+    return bandwidth_[i].estimate();
+  }
+
+  // Periodic bandwidth update from the interval's resolved transmissions.
+  void update_bandwidth(double interval_s, double message_bits) {
+    for (std::size_t i = 0; i < bandwidth_.size(); ++i) {
+      const double achieved =
+          static_cast<double>(interval_resolved_[i]) * message_bits /
+          interval_s;
+      const double interval_loss_rate =
+          interval_resolved_[i] > 0
+              ? static_cast<double>(interval_loss_[i]) /
+                    static_cast<double>(interval_resolved_[i])
+              : 0.0;
+      const double long_run = loss_estimate(i);
+      const bool congestion =
+          interval_loss_rate > std::max(2.0 * long_run, long_run + 0.05);
+      bandwidth_[i].update(achieved, congestion);
+      interval_loss_[i] = 0;
+      interval_resolved_[i] = 0;
+    }
+  }
+
+  void start_intervals(std::size_t n) {
+    interval_loss_.assign(n, 0);
+    interval_resolved_.assign(n, 0);
+  }
+
+ private:
+  int ack_path_;
+  std::vector<LossEstimator> loss_;
+  std::vector<DelayEstimator> rtt_;
+  std::vector<BandwidthEstimator> bandwidth_;
+  std::vector<double> initial_delay_;
+  std::vector<std::uint64_t> interval_loss_;
+  std::vector<std::uint64_t> interval_resolved_;
+};
+
+int lowest_mean_delay(const std::vector<sim::PathConfig>& paths) {
+  int best = 0;
+  double best_delay = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    double d = paths[i].forward.prop_delay_s;
+    if (paths[i].forward.extra_delay) d += paths[i].forward.extra_delay->mean();
+    if (d < best_delay) {
+      best_delay = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+AdaptiveResult run_adaptive_session(
+    const std::vector<sim::PathConfig>& true_paths,
+    const core::TrafficSpec& traffic, const AdaptiveOptions& options) {
+  const std::size_t n = true_paths.size();
+  if (options.initial_estimates.size() != n) {
+    throw std::invalid_argument(
+        "run_adaptive_session: initial estimates must cover every path");
+  }
+
+  sim::Simulator simulator(options.session.seed);
+  sim::Network network(simulator, true_paths);
+  proto::Trace trace;
+
+  const int ack_path = options.session.ack_path >= 0
+                           ? options.session.ack_path
+                           : lowest_mean_delay(true_paths);
+
+  PathEstimators estimators(n, ack_path, options.initial_estimates,
+                            options.bandwidth, options.loss_memory_packets);
+  estimators.start_intervals(n);
+
+  // --- initial plan from the cold-start beliefs --------------------------
+  core::PlanOptions plan_options;
+  plan_options.model = options.model;
+  core::Plan plan =
+      core::plan_max_quality(options.initial_estimates, traffic, plan_options);
+  if (!plan.feasible()) {
+    throw std::invalid_argument("run_adaptive_session: initial plan infeasible");
+  }
+
+  // Converged-regime accounting: verdicts for messages generated in the
+  // final quarter of the run, judged per sequence number so deliveries of
+  // earlier messages cannot leak into the tail window.
+  const std::uint64_t tail_first_seq = options.session.num_messages -
+                                       options.session.num_messages / 4;
+  std::uint64_t tail_on_time = 0;
+
+  proto::ReceiverConfig receiver_config;
+  receiver_config.lifetime_s = traffic.lifetime_s;
+  receiver_config.ack_path = ack_path;
+  receiver_config.ack_window_bits = options.session.ack_window_bits;
+  receiver_config.max_ack_bytes = options.session.max_ack_bytes;
+  receiver_config.ack_overhead_bytes = options.session.ack_overhead_bytes;
+  receiver_config.ack_every = options.session.ack_every;
+  receiver_config.verdict_hook = [&](std::uint64_t seq, bool on_time) {
+    if (seq >= tail_first_seq && on_time) ++tail_on_time;
+  };
+  proto::DeadlineReceiver receiver(simulator, receiver_config, trace);
+
+  proto::SenderConfig sender_config;
+  sender_config.num_messages = options.session.num_messages;
+  sender_config.message_bytes = options.session.message_bytes;
+  sender_config.timeout_guard_s = options.session.timeout_guard_s;
+  sender_config.fast_retransmit_dupacks =
+      options.session.fast_retransmit_dupacks;
+  proto::DeadlineSender sender(
+      simulator, plan,
+      core::make_scheduler(options.session.scheduler, plan.x(),
+                           options.session.seed ^ 0x5eedULL),
+      sender_config, trace);
+
+  proto::SenderHooks hooks;
+  hooks.on_rtt_sample = [&](int path, double rtt) {
+    estimators.on_rtt(path, rtt);
+  };
+  hooks.on_loss_inferred = [&](int path) { estimators.on_loss(path); };
+  hooks.on_spurious_loss = [&](int path) { estimators.on_spurious(path); };
+  hooks.on_ack_for_path = [&](int path) { estimators.on_ack(path); };
+  sender.set_hooks(std::move(hooks));
+
+  receiver.set_ack_sender([&network](int path, sim::Packet packet) {
+    network.server_send(path, std::move(packet));
+  });
+  sender.set_data_sender([&network](int path, sim::Packet packet) {
+    network.client_send(path, std::move(packet));
+  });
+  network.set_server_receiver([&receiver](int path, sim::Packet packet) {
+    receiver.on_data(path, packet);
+  });
+  network.set_client_receiver([&sender](int path, sim::Packet packet) {
+    sender.on_ack(path, packet);
+  });
+
+  // --- periodic re-planning ----------------------------------------------
+  AdaptiveResult result;
+  ChangeDetector detector(options.change);
+  const double message_bits =
+      8.0 * static_cast<double>(options.session.message_bytes);
+  const double run_length_s = static_cast<double>(options.session.num_messages) *
+                              message_bits / traffic.rate_bps;
+
+  std::function<void()> replan_tick = [&]() {
+    if (options.probe_bandwidth) {
+      estimators.update_bandwidth(options.replan_interval_s, message_bits);
+    }
+
+    // Current beliefs -> candidate path set.
+    core::PathSet estimates;
+    ChangeDetector::Snapshot snapshot;
+    for (std::size_t i = 0; i < n; ++i) {
+      core::PathSpec spec = options.initial_estimates[i];
+      spec.bandwidth_bps = options.probe_bandwidth
+                               ? estimators.bandwidth_estimate(i)
+                               : options.initial_estimates[i].bandwidth_bps;
+      spec.delay_s =
+          estimators.one_way_delay(i) * options.delay_margin_factor;
+      spec.delay_dist = nullptr;  // adaptive mode plans deterministically
+      spec.loss_rate = std::min(0.99, estimators.loss_estimate(i));
+      estimates.add(spec);
+      snapshot.bandwidth_bps.push_back(spec.bandwidth_bps);
+      snapshot.delay_s.push_back(spec.delay_s);
+      snapshot.loss.push_back(spec.loss_rate);
+    }
+
+    ReplanEvent event;
+    event.time_s = simulator.now();
+    event.estimates = estimates;
+    if (detector.significant_change(snapshot)) {
+      core::Plan next = core::plan_max_quality(estimates, traffic, plan_options);
+      if (next.feasible()) {
+        event.replanned = true;
+        event.planned_quality = next.quality();
+        sender.replace_plan(
+            next, core::make_scheduler(options.session.scheduler, next.x(),
+                                       options.session.seed ^ 0xadadULL));
+        detector.commit(std::move(snapshot));
+        ++result.replans;
+      }
+    }
+    result.timeline.push_back(std::move(event));
+
+    if (simulator.now() < run_length_s) {
+      simulator.in(options.replan_interval_s, replan_tick);
+    }
+  };
+  simulator.in(options.replan_interval_s, replan_tick);
+
+  for (const NetworkEvent& event : options.network_events) {
+    simulator.at(event.time_s, [&network, apply = event.apply] {
+      apply(network);
+    });
+  }
+
+  sender.start();
+  simulator.run();
+
+  result.session.trace = trace;
+  result.session.measured_quality = trace.quality();
+  result.session.elapsed_s = simulator.now();
+  result.session.events = simulator.events_executed();
+  for (std::size_t i = 0; i < n; ++i) {
+    result.session.forward_links.push_back(
+        network.forward_link(static_cast<int>(i)).stats());
+    result.session.reverse_links.push_back(
+        network.reverse_link(static_cast<int>(i)).stats());
+  }
+
+  // Converged regime: quality over the messages generated in the final
+  // quarter of the run (per-sequence accounting via the verdict hook).
+  const std::uint64_t tail_generated =
+      trace.generated > tail_first_seq ? trace.generated - tail_first_seq : 0;
+  result.converged_quality =
+      tail_generated > 0
+          ? static_cast<double>(tail_on_time) /
+                static_cast<double>(tail_generated)
+          : trace.quality();
+  return result;
+}
+
+}  // namespace dmc::est

@@ -1,0 +1,67 @@
+// Closed-loop operation: estimate path characteristics online, re-solve the
+// LP when they move significantly, swap the plan into the running sender.
+// This is the protocol sketched across Sections VIII-A and VIII-B: loss
+// starts at 0% and is refined per loss; delay comes from RTT samples (the
+// ack path's RTT halves into a one-way estimate, other paths subtract the
+// ack leg); the LP re-solves only on significant change.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path.h"
+#include "estimation/estimators.h"
+#include "protocol/session.h"
+#include "sim/network.h"
+
+namespace dmc::est {
+
+struct NetworkEvent {
+  double time_s = 0.0;
+  std::function<void(sim::Network&)> apply;
+};
+
+struct AdaptiveOptions {
+  // Initial beliefs fed to the first plan (the "cold start"): typically the
+  // provisioned bandwidths with zero loss and a crude delay guess.
+  core::PathSet initial_estimates;
+  // Scheduled mid-run changes to the true network (path degradation,
+  // recovery, ...). The controller only sees them through its estimators —
+  // the "varying conditions" regime the paper leaves to future work.
+  std::vector<NetworkEvent> network_events;
+  double replan_interval_s = 0.5;
+  // Effective window (in resolved transmissions) of the loss estimators;
+  // 0 keeps the paper's cumulative lost/sent ratio, a finite window lets
+  // the estimate fall again when a loss episode ends.
+  double loss_memory_packets = 30000.0;
+  // Safety factor applied to estimated delays when planning (the paper
+  // plans with conservative delays in Experiment 1).
+  double delay_margin_factor = 1.05;
+  bool probe_bandwidth = false;  // AIMD probing vs trusting the estimate
+  BandwidthEstimator::Options bandwidth;
+  ChangeDetector::Options change;
+  core::ModelOptions model;
+  proto::SessionConfig session;
+};
+
+struct ReplanEvent {
+  double time_s = 0.0;
+  bool replanned = false;          // false = change detector said "stable"
+  double planned_quality = 0.0;    // LP prediction at this point
+  core::PathSet estimates;         // what the controller believed
+};
+
+struct AdaptiveResult {
+  proto::SessionResult session;
+  std::vector<ReplanEvent> timeline;
+  int replans = 0;
+  // Quality over the final quarter of the run — the converged regime.
+  double converged_quality = 0.0;
+};
+
+// Runs a full adaptive session against the true network.
+AdaptiveResult run_adaptive_session(
+    const std::vector<sim::PathConfig>& true_paths,
+    const core::TrafficSpec& traffic, const AdaptiveOptions& options);
+
+}  // namespace dmc::est

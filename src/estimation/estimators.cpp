@@ -1,0 +1,88 @@
+#include "estimation/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmc::est {
+
+std::optional<ShiftedGammaFit> fit_shifted_gamma(
+    const std::vector<double>& samples) {
+  if (samples.size() < 8) return std::nullopt;
+  double min = samples.front();
+  double sum = 0.0;
+  for (double v : samples) {
+    min = std::min(min, v);
+    sum += v;
+  }
+  const double n = static_cast<double>(samples.size());
+  const double mean = sum / n;
+  double m2 = 0.0;
+  for (double v : samples) m2 += (v - mean) * (v - mean);
+  const double var = m2 / n;
+  if (var <= 0.0) return std::nullopt;
+
+  // Put the shift a touch below the minimum so the excess stays positive;
+  // a fraction of a standard deviation works well in practice.
+  const double shift = std::max(0.0, min - 0.05 * std::sqrt(var));
+  const double excess_mean = mean - shift;
+  if (excess_mean <= 0.0) return std::nullopt;
+
+  ShiftedGammaFit fit;
+  fit.shift = shift;
+  fit.shape = excess_mean * excess_mean / var;
+  fit.scale = var / excess_mean;
+  return fit;
+}
+
+void DelayEstimator::add_sample(double delay_s) {
+  samples_.add(delay_s);
+  if (smoothed_.has_value()) {
+    smoothed_ = (1.0 - alpha_) * *smoothed_ + alpha_ * delay_s;
+  } else {
+    smoothed_ = delay_s;
+  }
+}
+
+void BandwidthEstimator::update(double achieved_bps, bool congestion) {
+  if (congestion) {
+    // The path cannot sustain the current estimate; back off, but never
+    // below what it demonstrably achieved.
+    estimate_ = std::max({options_.floor_bps, achieved_bps,
+                          estimate_ * options_.multiplicative_decrease});
+  } else {
+    // Sustained: probe upward from the larger of estimate and achieved.
+    estimate_ = std::max(estimate_, achieved_bps) +
+                options_.additive_increase_bps;
+  }
+}
+
+bool ChangeDetector::significant_change(const Snapshot& current) const {
+  if (!last_.has_value()) return true;
+  const Snapshot& base = *last_;
+  if (base.bandwidth_bps.size() != current.bandwidth_bps.size() ||
+      base.delay_s.size() != current.delay_s.size() ||
+      base.loss.size() != current.loss.size()) {
+    return true;
+  }
+  const auto moved = [&](double was, double now) {
+    const double denom = std::max(std::abs(was), 1e-12);
+    return std::abs(now - was) / denom > options_.relative_threshold;
+  };
+  for (std::size_t i = 0; i < base.bandwidth_bps.size(); ++i) {
+    if (moved(base.bandwidth_bps[i], current.bandwidth_bps[i])) return true;
+  }
+  for (std::size_t i = 0; i < base.delay_s.size(); ++i) {
+    if (moved(base.delay_s[i], current.delay_s[i])) return true;
+  }
+  for (std::size_t i = 0; i < base.loss.size(); ++i) {
+    // Loss moves on an absolute scale: 0% -> 2% matters even though the
+    // relative change is infinite.
+    if (std::abs(current.loss[i] - base.loss[i]) >
+        options_.absolute_loss_threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dmc::est

@@ -1,0 +1,161 @@
+// Online estimation of path characteristics (Section VIII-A).
+//
+// Loss: lost / sent, starting at 0 and refined per recorded loss — exactly
+// the bootstrap the paper prescribes. Delay: RTT/one-way samples feed an
+// EWMA plus a sample store; a shifted-gamma can be fitted by the method of
+// moments for the random-delay model. Bandwidth: the trickiest metric (the
+// paper surveys capacity vs available bandwidth vs bulk-transfer capacity);
+// here an AIMD probe in the PCC spirit — grow the estimate while the path
+// sustains it, multiplicative-decrease on congestion inference.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/summary.h"
+
+namespace dmc::est {
+
+class LossEstimator {
+ public:
+  // Optional smoothing pseudo-counts (alpha successes / beta losses) keep
+  // early estimates from slamming to extremes; the paper's "start at 0%"
+  // corresponds to the default (0, 0). `memory_packets` > 0 enables
+  // exponential forgetting with that effective window, so the estimate can
+  // track *improving* conditions too (a pure cumulative ratio never comes
+  // back down after a loss episode).
+  explicit LossEstimator(double prior_sent = 0.0, double prior_lost = 0.0,
+                         double memory_packets = 0.0)
+      : prior_sent_(prior_sent),
+        prior_lost_(prior_lost),
+        decay_(memory_packets > 0.0 ? 1.0 - 1.0 / memory_packets : 1.0) {}
+
+  void on_sent() {
+    sent_ = sent_ * decay_ + 1.0;
+    lost_ *= decay_;
+  }
+  void on_loss() { lost_ += 1.0; }
+
+  // Reverts one previously recorded loss (spurious-timeout detection: the
+  // "lost" packet's ack arrived after all). The sent count stays — the
+  // transmission did resolve, just not as a loss.
+  void revert_loss() { lost_ = std::max(0.0, lost_ - 1.0); }
+
+  double sent() const { return sent_; }
+  double lost() const { return lost_; }
+
+  // Current estimate of tau; 0 while nothing was sent.
+  double estimate() const {
+    const double total = sent_ + prior_sent_;
+    if (total <= 0.0) return 0.0;
+    return std::min(1.0, (lost_ + prior_lost_) / total);
+  }
+
+ private:
+  double prior_sent_;
+  double prior_lost_;
+  double decay_;
+  double sent_ = 0.0;
+  double lost_ = 0.0;
+};
+
+struct ShiftedGammaFit {
+  double shift = 0.0;
+  double shape = 1.0;
+  double scale = 1.0;
+};
+
+// Method-of-moments fit of a shifted gamma: shift slightly below the sample
+// minimum, then shape = mean^2/var and scale = var/mean of the excess.
+std::optional<ShiftedGammaFit> fit_shifted_gamma(
+    const std::vector<double>& samples);
+
+class DelayEstimator {
+ public:
+  // ewma_alpha: weight of the newest sample (TCP's SRTT uses 1/8).
+  explicit DelayEstimator(double ewma_alpha = 0.125)
+      : alpha_(ewma_alpha) {}
+
+  void add_sample(double delay_s);
+
+  std::size_t count() const { return samples_.count(); }
+  // Smoothed (EWMA) delay; 0 until the first sample.
+  double smoothed() const { return smoothed_.value_or(0.0); }
+  double mean() const { return samples_.mean(); }
+  double stddev() { return samples_.stddev(); }
+  double quantile(double p) { return samples_.quantile(p); }
+
+  // Parametric fit for the random-delay model; nullopt with < 8 samples or
+  // degenerate variance.
+  std::optional<ShiftedGammaFit> gamma_fit() const {
+    return fit_shifted_gamma(samples_.samples());
+  }
+
+  // Nonparametric alternative (Section VIII-A's discretized option).
+  stats::DelayDistributionPtr empirical() const {
+    return stats::make_empirical(samples_.samples());
+  }
+
+ private:
+  double alpha_;
+  std::optional<double> smoothed_;
+  stats::SampleSet samples_;
+};
+
+class BandwidthEstimator {
+ public:
+  struct Options {
+    double initial_bps = 1e6;
+    double additive_increase_bps = 0.5e6;  // per update without congestion
+    double multiplicative_decrease = 0.85;
+    double floor_bps = 0.1e6;
+  };
+
+  BandwidthEstimator() : BandwidthEstimator(Options()) {}
+  explicit BandwidthEstimator(Options options)
+      : options_(options), estimate_(options.initial_bps) {}
+
+  // Report achieved goodput over an interval and whether congestion was
+  // inferred (loss burst / queue growth) during it.
+  void update(double achieved_bps, bool congestion);
+
+  double estimate() const { return estimate_; }
+
+ private:
+  Options options_;
+  double estimate_;
+};
+
+// Re-solve trigger (Section VIII-B): "solve ... only when the estimations
+// of network characteristics vary significantly".
+class ChangeDetector {
+ public:
+  struct Options {
+    double relative_threshold = 0.10;  // 10% movement triggers a re-solve
+    double absolute_loss_threshold = 0.02;
+  };
+
+  ChangeDetector() : ChangeDetector(Options()) {}
+  explicit ChangeDetector(Options options) : options_(options) {}
+
+  struct Snapshot {
+    std::vector<double> bandwidth_bps;
+    std::vector<double> delay_s;
+    std::vector<double> loss;
+  };
+
+  // True when `current` deviates significantly from the last committed
+  // snapshot (always true before the first commit).
+  bool significant_change(const Snapshot& current) const;
+  void commit(Snapshot snapshot) { last_ = std::move(snapshot); }
+  bool has_baseline() const { return last_.has_value(); }
+
+ private:
+  Options options_;
+  std::optional<Snapshot> last_;
+};
+
+}  // namespace dmc::est

@@ -1,0 +1,58 @@
+#include "experiments/runner.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dmc::exp {
+
+std::uint64_t default_messages(std::uint64_t fallback) {
+  if (const char* env = std::getenv("DMC_MESSAGES")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::uint64_t>(parsed);
+  }
+  return fallback;
+}
+
+RunOutcome run_planned(const core::PathSet& planning_paths,
+                       const core::PathSet& true_paths,
+                       const core::TrafficSpec& traffic,
+                       const RunOptions& options,
+                       const core::PlanOptions& plan_options) {
+  core::Plan plan = core::plan_max_quality(planning_paths, traffic,
+                                           plan_options);
+  if (!plan.feasible()) {
+    throw std::runtime_error("run_planned: planning LP infeasible");
+  }
+  RunOutcome outcome{plan, simulate_plan(plan, true_paths, options),
+                     plan.quality()};
+  return outcome;
+}
+
+proto::SessionResult simulate_plan(const core::Plan& plan,
+                                   const core::PathSet& true_paths,
+                                   const RunOptions& options) {
+  proto::SessionConfig config = options.session;
+  config.num_messages = options.num_messages;
+  config.seed = options.seed;
+  config.timeout_guard_s = options.timeout_guard_s;
+  const auto sim_paths = proto::to_sim_paths(
+      true_paths, options.bandwidth_headroom, options.queue_capacity);
+  return proto::run_session(plan, sim_paths, config);
+}
+
+TheoryPoint theory_qualities(const core::PathSet& planning_paths,
+                             const core::TrafficSpec& traffic,
+                             const core::PlanOptions& plan_options) {
+  TheoryPoint point;
+  point.multipath =
+      core::plan_max_quality(planning_paths, traffic, plan_options).quality();
+  for (std::size_t i = 0; i < planning_paths.size(); ++i) {
+    point.single_path.push_back(
+        core::plan_single_path(planning_paths, i, traffic, plan_options)
+            .quality());
+  }
+  return point;
+}
+
+}  // namespace dmc::exp

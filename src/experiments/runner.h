@@ -1,0 +1,61 @@
+// Experiment drivers shared by the bench binaries: run a planned strategy
+// over a (possibly different) true network, and sweep helpers for the
+// figure series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/path.h"
+#include "core/planner.h"
+#include "protocol/session.h"
+
+namespace dmc::exp {
+
+struct RunOptions {
+  std::uint64_t num_messages = 100000;
+  std::uint64_t seed = 42;
+  double timeout_guard_s = 0.0;
+  double bandwidth_headroom = 1.0;  // true link rate / modeled bandwidth
+  std::size_t queue_capacity = 100;
+  proto::SessionConfig session;  // scheduler/ack knobs (messages/seed/guard
+                                 // fields here are overwritten by the above)
+};
+
+// Number of messages honoring the DMC_MESSAGES environment override, so a
+// full-fidelity 100k-message run can be dialed down for quick smoke runs.
+std::uint64_t default_messages(std::uint64_t fallback = 100000);
+
+// Plans on `planning_paths`, simulates on `true_paths`. The two differ in
+// Experiment 1 (conservative vs raw delays) and Experiment 3 (estimation
+// errors).
+struct RunOutcome {
+  core::Plan plan;                 // the plan that was executed
+  proto::SessionResult session;    // measured outcome
+  double theory_quality = 0.0;     // plan.quality() — the LP's prediction
+};
+
+RunOutcome run_planned(const core::PathSet& planning_paths,
+                       const core::PathSet& true_paths,
+                       const core::TrafficSpec& traffic,
+                       const RunOptions& options = {},
+                       const core::PlanOptions& plan_options = {});
+
+// Simulates an existing plan over the true paths.
+proto::SessionResult simulate_plan(const core::Plan& plan,
+                                   const core::PathSet& true_paths,
+                                   const RunOptions& options = {});
+
+// Multipath & single-path theory quality for one traffic point (the four
+// series of Figure 2 minus the simulation).
+struct TheoryPoint {
+  double multipath = 0.0;
+  std::vector<double> single_path;  // one entry per path
+};
+
+TheoryPoint theory_qualities(const core::PathSet& planning_paths,
+                             const core::TrafficSpec& traffic,
+                             const core::PlanOptions& plan_options = {});
+
+}  // namespace dmc::exp

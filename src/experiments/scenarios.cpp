@@ -1,0 +1,77 @@
+#include "experiments/scenarios.h"
+
+#include "core/units.h"
+
+namespace dmc::exp {
+
+core::PathSet fig1_paths() {
+  core::PathSet paths;
+  paths.add({.name = "high-bandwidth",
+             .bandwidth_bps = mbps(10),
+             .delay_s = ms(600),
+             .loss_rate = 0.10});
+  paths.add({.name = "low-latency",
+             .bandwidth_bps = mbps(1),
+             .delay_s = ms(200),
+             .loss_rate = 0.0});
+  return paths;
+}
+
+core::TrafficSpec fig1_traffic() {
+  return {.rate_bps = mbps(10), .lifetime_s = seconds(1.0)};
+}
+
+core::PathSet table3_paths() {
+  core::PathSet paths;
+  paths.add({.name = "path1",
+             .bandwidth_bps = mbps(80),
+             .delay_s = ms(400),
+             .loss_rate = 0.2});
+  paths.add({.name = "path2",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(100),
+             .loss_rate = 0.0});
+  return paths;
+}
+
+core::PathSet table3_model_paths() {
+  core::PathSet paths;
+  paths.add({.name = "path1",
+             .bandwidth_bps = mbps(80),
+             .delay_s = ms(450),
+             .loss_rate = 0.2});
+  paths.add({.name = "path2",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(150),
+             .loss_rate = 0.0});
+  return paths;
+}
+
+core::PathSet table5_paths() {
+  core::PathSet paths;
+  core::PathSpec path1{.name = "path1",
+                       .bandwidth_bps = mbps(80),
+                       .loss_rate = 0.2};
+  path1.delay_dist = stats::make_shifted_gamma(ms(400), 10.0, ms(4));
+  paths.add(std::move(path1));
+  core::PathSpec path2{.name = "path2",
+                       .bandwidth_bps = mbps(20),
+                       .loss_rate = 0.0};
+  path2.delay_dist = stats::make_shifted_gamma(ms(100), 5.0, ms(2));
+  paths.add(std::move(path2));
+  return paths;
+}
+
+core::TrafficSpec table5_traffic() {
+  return {.rate_bps = mbps(90), .lifetime_s = ms(750)};
+}
+
+core::TrafficSpec table4_traffic_rate(double lambda_bps) {
+  return {.rate_bps = lambda_bps, .lifetime_s = ms(800)};
+}
+
+core::TrafficSpec table4_traffic_lifetime(double delta_s) {
+  return {.rate_bps = mbps(90), .lifetime_s = delta_s};
+}
+
+}  // namespace dmc::exp

@@ -1,0 +1,32 @@
+// The paper's concrete scenarios, so tests, benches and examples agree on
+// the exact numbers.
+#pragma once
+
+#include "core/path.h"
+
+namespace dmc::exp {
+
+// Figure 1 / Section II: the intuition scenario. 10 Mbps of data with a
+// 1-second lifetime over a fast-but-lossy path and a slow-but-clean path.
+core::PathSet fig1_paths();
+core::TrafficSpec fig1_traffic();
+
+// Table III: path characteristics of Experiments 1 and 3 (raw values).
+core::PathSet table3_paths();
+
+// The conservative variant the paper feeds its model in Experiment 1
+// (450 ms / 150 ms instead of 400/100, absorbing queueing deviation).
+core::PathSet table3_model_paths();
+
+// Table V: shifted-gamma paths of Experiment 2.
+core::PathSet table5_paths();
+
+// Experiment 2 traffic: lambda = 90 Mbps, delta = 750 ms.
+core::TrafficSpec table5_traffic();
+
+// Experiment 1 traffic for the rate sweep (delta = 800 ms) and for the
+// lifetime sweep (lambda = 90 Mbps).
+core::TrafficSpec table4_traffic_rate(double lambda_bps);
+core::TrafficSpec table4_traffic_lifetime(double delta_s);
+
+}  // namespace dmc::exp

@@ -1,0 +1,38 @@
+// Fixed-width text tables and CSV output for the bench binaries, so every
+// reproduced table/figure prints in a uniform, diffable format.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dmc::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; cells are stringified values.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 4);
+  static std::string percent(double fraction, int precision = 1);
+
+  // Aligned text rendering.
+  void print(std::ostream& out = std::cout) const;
+
+  // CSV rendering (for plotting).
+  void print_csv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner for bench output.
+void banner(const std::string& title, std::ostream& out = std::cout);
+
+}  // namespace dmc::exp

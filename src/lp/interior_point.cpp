@@ -1,0 +1,292 @@
+#include "lp/interior_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "lp/matrix.h"
+
+namespace dmc::lp {
+
+namespace {
+
+// Standard-form container: min c.x  s.t.  Ax = b, x >= 0.
+struct StandardForm {
+  Matrix a;                // m x n
+  std::vector<double> b;   // m
+  std::vector<double> c;   // n
+  std::size_t structural;  // first `structural` variables map back to x
+  double sense_factor;     // +1 min, -1 max (applied to c)
+};
+
+// Converts the general problem: <= rows gain a slack, >= rows a surplus.
+StandardForm to_standard_form(const Problem& problem) {
+  const std::size_t n0 = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+  std::size_t extra = 0;
+  for (const Constraint& c : problem.constraints) {
+    if (c.relation != Relation::equal) ++extra;
+  }
+
+  StandardForm sf;
+  sf.structural = n0;
+  sf.sense_factor = problem.sense == Sense::minimize ? 1.0 : -1.0;
+  sf.a = Matrix(m, n0 + extra, 0.0);
+  sf.b.resize(m);
+  sf.c.assign(n0 + extra, 0.0);
+  for (std::size_t j = 0; j < n0; ++j) {
+    sf.c[j] = sf.sense_factor * problem.objective[j];
+  }
+
+  std::size_t next_extra = n0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const Constraint& row = problem.constraints[r];
+    // Row equilibration: the multipath LPs mix O(1e8) bandwidth rows with
+    // O(1) probability rows, which wrecks the normal-equation conditioning.
+    // Scaling a row and its rhs leaves the solution unchanged (the slack
+    // variable absorbs the row's scale).
+    double row_scale = 0.0;
+    for (double v : row.coefficients) row_scale = std::max(row_scale, std::abs(v));
+    row_scale = std::max(row_scale, 1e-30);
+    for (std::size_t j = 0; j < n0; ++j) {
+      sf.a(r, j) = row.coefficients[j] / row_scale;
+    }
+    sf.b[r] = row.rhs / row_scale;
+    if (row.relation == Relation::less_equal) {
+      sf.a(r, next_extra++) = 1.0;
+    } else if (row.relation == Relation::greater_equal) {
+      sf.a(r, next_extra++) = -1.0;
+    }
+  }
+
+  // Objective scaling (value is recomputed from the original coefficients
+  // by the caller, so this only conditions the iterations).
+  double c_scale = 0.0;
+  for (double v : sf.c) c_scale = std::max(c_scale, std::abs(v));
+  if (c_scale > 0.0) {
+    for (double& v : sf.c) v /= c_scale;
+  }
+  return sf;
+}
+
+// Dense symmetric positive-definite solve via Cholesky; adds diagonal
+// regularization and retries if the factorization stalls (near-degenerate
+// iterates late in the solve).
+bool cholesky_solve(Matrix m, std::vector<double> rhs,
+                    std::vector<double>& out) {
+  const std::size_t n = m.rows();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    Matrix l = m;
+    bool ok = true;
+    for (std::size_t k = 0; k < n && ok; ++k) {
+      double diag = l(k, k);
+      for (std::size_t j = 0; j < k; ++j) diag -= l(k, j) * l(k, j);
+      if (diag <= 0.0 || !std::isfinite(diag)) {
+        ok = false;
+        break;
+      }
+      const double root = std::sqrt(diag);
+      l(k, k) = root;
+      for (std::size_t i = k + 1; i < n; ++i) {
+        double v = l(i, k);
+        for (std::size_t j = 0; j < k; ++j) v -= l(i, j) * l(k, j);
+        l(i, k) = v / root;
+      }
+    }
+    if (!ok) {
+      // Regularize and retry.
+      double scale = 0.0;
+      for (std::size_t k = 0; k < n; ++k) scale = std::max(scale, m(k, k));
+      const double bump = std::max(scale, 1.0) * 1e-12 *
+                          std::pow(10.0, 3.0 * (attempt + 1));
+      for (std::size_t k = 0; k < n; ++k) m(k, k) += bump;
+      continue;
+    }
+    // Forward then backward substitution.
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = rhs[i];
+      for (std::size_t j = 0; j < i; ++j) v -= l(i, j) * y[j];
+      y[i] = v / l(i, i);
+    }
+    out.assign(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+      double v = y[i];
+      for (std::size_t j = i + 1; j < n; ++j) v -= l(j, i) * out[j];
+      out[i] = v / l(i, i);
+    }
+    return true;
+  }
+  return false;
+}
+
+double norm_inf(const std::vector<double>& v) {
+  double out = 0.0;
+  for (double x : v) out = std::max(out, std::abs(x));
+  return out;
+}
+
+}  // namespace
+
+Solution InteriorPointSolver::solve(const Problem& problem) const {
+  Solution solution;
+  const StandardForm sf = to_standard_form(problem);
+  const std::size_t m = sf.a.rows();
+  const std::size_t n = sf.a.cols();
+  if (m == 0 || n == 0) {
+    solution.status = SolveStatus::infeasible;
+    return solution;
+  }
+
+  // Initial strictly positive point, scaled to the data magnitude.
+  double data_scale = 1.0;
+  for (double v : sf.b) data_scale = std::max(data_scale, std::abs(v));
+  for (double v : sf.c) data_scale = std::max(data_scale, std::abs(v));
+  std::vector<double> x(n, data_scale);
+  std::vector<double> s(n, data_scale);
+  std::vector<double> y(m, 0.0);
+
+  std::vector<double> rb(m), rc(n), dx(n), ds(n), dy(m);
+  std::vector<double> dx_aff(n), ds_aff(n);
+
+  const auto compute_residuals = [&] {
+    // rb = Ax - b ; rc = A'y + s - c.
+    for (std::size_t i = 0; i < m; ++i) {
+      double v = -sf.b[i];
+      for (std::size_t j = 0; j < n; ++j) v += sf.a(i, j) * x[j];
+      rb[i] = v;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      double v = s[j] - sf.c[j];
+      for (std::size_t i = 0; i < m; ++i) v += sf.a(i, j) * y[i];
+      rc[j] = v;
+    }
+  };
+
+  // Solves the Newton normal equations for a given complementarity target:
+  //   (A D A') dy = -rb - A D (rc - s + target ./ x)
+  //   dx = D (A' dy + rc - s + target ./ x)     with D = diag(x ./ s)
+  //   ds = -s + target ./ x - (s ./ x) dx
+  const auto newton_step = [&](const std::vector<double>& target,
+                               std::vector<double>& out_dx,
+                               std::vector<double>& out_dy,
+                               std::vector<double>& out_ds) -> bool {
+    std::vector<double> d(n);
+    std::vector<double> g(n);  // rc - s + target ./ x
+    for (std::size_t j = 0; j < n; ++j) {
+      d[j] = x[j] / s[j];
+      g[j] = rc[j] - s[j] + target[j] / x[j];
+    }
+    Matrix normal(m, m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t k = i; k < m; ++k) {
+        double v = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          v += sf.a(i, j) * d[j] * sf.a(k, j);
+        }
+        normal(i, k) = v;
+        normal(k, i) = v;
+      }
+    }
+    std::vector<double> rhs(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      double v = -rb[i];
+      for (std::size_t j = 0; j < n; ++j) v -= sf.a(i, j) * d[j] * g[j];
+      rhs[i] = v;
+    }
+    if (!cholesky_solve(std::move(normal), std::move(rhs), out_dy)) {
+      return false;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      double aty = 0.0;
+      for (std::size_t i = 0; i < m; ++i) aty += sf.a(i, j) * out_dy[i];
+      out_dx[j] = d[j] * (aty + g[j]);
+      out_ds[j] = -s[j] + target[j] / x[j] - (s[j] / x[j]) * out_dx[j];
+    }
+    return true;
+  };
+
+  const auto max_step = [&](const std::vector<double>& v,
+                            const std::vector<double>& dv) {
+    double alpha = 1.0;
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      if (dv[j] < 0.0) alpha = std::min(alpha, -v[j] / dv[j]);
+    }
+    return alpha;
+  };
+
+  for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    compute_residuals();
+    double mu = 0.0;
+    for (std::size_t j = 0; j < n; ++j) mu += x[j] * s[j];
+    mu /= static_cast<double>(n);
+
+    const double scale = 1.0 + data_scale;
+    if (norm_inf(rb) / scale < options_.tolerance &&
+        norm_inf(rc) / scale < options_.tolerance &&
+        mu / scale < options_.tolerance) {
+      solution.status = SolveStatus::optimal;
+      solution.x.assign(problem.num_variables(), 0.0);
+      for (std::size_t j = 0; j < sf.structural; ++j) {
+        solution.x[j] = std::max(0.0, x[j]);
+      }
+      double value = 0.0;
+      for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+        value += problem.objective[j] * solution.x[j];
+      }
+      solution.objective_value = value;
+      solution.iterations = iteration;
+      return solution;
+    }
+    if (norm_inf(rb) > options_.divergence_threshold ||
+        norm_inf(rc) > options_.divergence_threshold ||
+        !std::isfinite(mu)) {
+      solution.status = SolveStatus::infeasible;
+      solution.iterations = iteration;
+      return solution;
+    }
+
+    // Predictor (affine scaling, sigma = 0).
+    std::vector<double> target(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) target[j] = 0.0;
+    if (!newton_step(target, dx_aff, dy, ds_aff)) {
+      solution.status = SolveStatus::iteration_limit;
+      solution.iterations = iteration;
+      return solution;
+    }
+    const double alpha_p_aff = max_step(x, dx_aff);
+    const double alpha_d_aff = max_step(s, ds_aff);
+    double mu_aff = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      mu_aff += (x[j] + alpha_p_aff * dx_aff[j]) *
+                (s[j] + alpha_d_aff * ds_aff[j]);
+    }
+    mu_aff /= static_cast<double>(n);
+    const double sigma = std::pow(mu_aff / mu, 3.0);
+
+    // Corrector with Mehrotra's second-order term.
+    for (std::size_t j = 0; j < n; ++j) {
+      target[j] = sigma * mu - dx_aff[j] * ds_aff[j];
+    }
+    if (!newton_step(target, dx, dy, ds)) {
+      solution.status = SolveStatus::iteration_limit;
+      solution.iterations = iteration;
+      return solution;
+    }
+
+    const double alpha_p = options_.step_fraction * max_step(x, dx);
+    const double alpha_d = options_.step_fraction * max_step(s, ds);
+    for (std::size_t j = 0; j < n; ++j) {
+      x[j] += alpha_p * dx[j];
+      s[j] += alpha_d * ds[j];
+    }
+    for (std::size_t i = 0; i < m; ++i) y[i] += alpha_d * dy[i];
+    ++solution.iterations;
+  }
+
+  solution.status = SolveStatus::iteration_limit;
+  return solution;
+}
+
+}  // namespace dmc::lp

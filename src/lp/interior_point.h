@@ -1,0 +1,41 @@
+// Primal-dual interior-point LP solver (Mehrotra predictor-corrector).
+//
+// Section VIII-B of the paper discusses solving the multipath LP with
+// interior-point methods (Karmarkar's O(n^{3.5} L)); this implementation
+// provides an independent second solver used to cross-validate the simplex
+// (tests/test_interior_point.cpp) and to compare solver families in the
+// Figure 4 bench.
+//
+// Scope: optimized for the small dense problems this library produces.
+// Infeasible or unbounded instances are reported as `iteration_limit` or
+// `infeasible` on residual blow-up rather than via a homogeneous self-dual
+// embedding; the simplex solver remains the authority for status
+// classification.
+#pragma once
+
+#include "lp/problem.h"
+#include "lp/simplex.h"  // for Solution / SolveStatus
+
+namespace dmc::lp {
+
+class InteriorPointSolver {
+ public:
+  struct Options {
+    int max_iterations = 100;
+    double tolerance = 1e-9;          // relative residual + gap target
+    double step_fraction = 0.995;     // fraction-to-boundary rule
+    double divergence_threshold = 1e10;  // residual blow-up -> infeasible
+  };
+
+  InteriorPointSolver() = default;
+  explicit InteriorPointSolver(Options options) : options_(options) {}
+
+  Solution solve(const Problem& problem) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace dmc::lp

@@ -1,0 +1,70 @@
+// Minimal dense row-major matrix used by the simplex tableau and by the
+// paper-faithful model builders. Deliberately small: the LPs in this library
+// have n^m variables and n+2 rows, so no sparse machinery is warranted.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dmc::lp {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[index(r, c)];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[index(r, c)];
+  }
+
+  std::span<double> row(std::size_t r) {
+    check_row(r);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    check_row(r);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  // row(r) += factor * row(src). The simplex pivot primitive.
+  void add_scaled_row(std::size_t r, std::size_t src, double factor) {
+    check_row(r);
+    check_row(src);
+    double* dst = data_.data() + r * cols_;
+    const double* from = data_.data() + src * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] += factor * from[c];
+  }
+
+  void scale_row(std::size_t r, double factor) {
+    for (double& v : row(r)) v *= factor;
+  }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t index(std::size_t r, std::size_t c) const {
+    check_row(r);
+    if (c >= cols_) throw std::out_of_range("matrix column " + std::to_string(c));
+    return r * cols_ + c;
+  }
+  void check_row(std::size_t r) const {
+    if (r >= rows_) throw std::out_of_range("matrix row " + std::to_string(r));
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dmc::lp

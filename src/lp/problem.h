@@ -1,0 +1,54 @@
+// Linear-program description shared by the solver and the model builders.
+//
+// The canonical form accepted here is
+//     optimize   c . x
+//     subject to a_k . x  (<= | = | >=)  b_k     for every constraint k
+//                x >= 0
+// which is exactly the shape of Equation 10 / Equation 20 in the paper
+// (maximize p'x s.t. Ax <= q, Bx = 1, x >= 0).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dmc::lp {
+
+enum class Sense { maximize, minimize };
+
+enum class Relation { less_equal, equal, greater_equal };
+
+struct Constraint {
+  std::vector<double> coefficients;
+  Relation relation = Relation::less_equal;
+  double rhs = 0.0;
+  std::string name;  // optional, used in diagnostics
+};
+
+struct Problem {
+  Sense sense = Sense::maximize;
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+
+  std::size_t num_variables() const { return objective.size(); }
+  std::size_t num_constraints() const { return constraints.size(); }
+
+  // Appends a constraint, checking that its width matches the objective.
+  void add_constraint(std::vector<double> coefficients, Relation relation,
+                      double rhs, std::string name = {}) {
+    if (coefficients.size() != objective.size()) {
+      throw std::invalid_argument(
+          "constraint width " + std::to_string(coefficients.size()) +
+          " does not match variable count " + std::to_string(objective.size()));
+    }
+    constraints.push_back(
+        Constraint{std::move(coefficients), relation, rhs, std::move(name)});
+  }
+};
+
+// Human-readable rendering, intended for test failures and debugging.
+std::string to_string(const Problem& problem);
+
+}  // namespace dmc::lp

@@ -1,0 +1,345 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "lp/matrix.h"
+
+namespace dmc::lp {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::optimal: return "optimal";
+    case SolveStatus::infeasible: return "infeasible";
+    case SolveStatus::unbounded: return "unbounded";
+    case SolveStatus::iteration_limit: return "iteration_limit";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Problem& problem) {
+  std::ostringstream out;
+  out << (problem.sense == Sense::maximize ? "maximize" : "minimize") << " [";
+  for (std::size_t j = 0; j < problem.objective.size(); ++j) {
+    if (j > 0) out << ", ";
+    out << problem.objective[j];
+  }
+  out << "]\n";
+  for (const Constraint& c : problem.constraints) {
+    out << "  [";
+    for (std::size_t j = 0; j < c.coefficients.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << c.coefficients[j];
+    }
+    const char* rel = c.relation == Relation::less_equal      ? "<="
+                      : c.relation == Relation::greater_equal ? ">="
+                                                              : "=";
+    out << "] " << rel << " " << c.rhs;
+    if (!c.name.empty()) out << "   (" << c.name << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+// Internal solver state. The tableau holds one row per constraint plus a
+// trailing objective row; columns are [structural | slack/surplus |
+// artificial | rhs]. All constraints are normalized to have rhs >= 0 before
+// slack variables are attached, so the phase-1 basis is the artificial /
+// slack identity.
+class Tableau {
+ public:
+  Tableau(const Problem& problem, const SimplexSolver::Options& options)
+      : options_(options), num_structural_(problem.num_variables()) {
+    build(problem);
+  }
+
+  Solution run(const Problem& problem) {
+    Solution solution;
+    if (!phase1(solution)) return solution;
+    if (!phase2(solution)) return solution;
+
+    solution.status = SolveStatus::optimal;
+    solution.x.assign(num_structural_, 0.0);
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      const std::size_t var = basis_[r];
+      if (var < num_structural_) solution.x[var] = rhs(r);
+    }
+    double value = 0.0;
+    for (std::size_t j = 0; j < num_structural_; ++j) {
+      value += problem.objective[j] * solution.x[j];
+    }
+    solution.objective_value = value;
+    return solution;
+  }
+
+ private:
+  void build(const Problem& problem) {
+    num_rows_ = problem.num_constraints();
+
+    // Count auxiliary columns. Constraints are normalized so rhs >= 0 first;
+    // normalization flips the relation when it multiplies a row by -1.
+    struct RowPlan {
+      Relation relation;
+      double sign;  // +1 or -1 applied to coefficients and rhs
+    };
+    std::vector<RowPlan> plans;
+    plans.reserve(num_rows_);
+    std::size_t num_slack = 0;
+    std::size_t num_artificial = 0;
+    for (const Constraint& c : problem.constraints) {
+      RowPlan plan{c.relation, 1.0};
+      if (c.rhs < 0.0) {
+        plan.sign = -1.0;
+        if (c.relation == Relation::less_equal) {
+          plan.relation = Relation::greater_equal;
+        } else if (c.relation == Relation::greater_equal) {
+          plan.relation = Relation::less_equal;
+        }
+      }
+      if (plan.relation == Relation::less_equal) {
+        num_slack += 1;  // slack enters the initial basis
+      } else if (plan.relation == Relation::greater_equal) {
+        num_slack += 1;  // surplus
+        num_artificial += 1;
+      } else {
+        num_artificial += 1;
+      }
+      plans.push_back(plan);
+    }
+
+    slack_begin_ = num_structural_;
+    artificial_begin_ = slack_begin_ + num_slack;
+    num_cols_ = artificial_begin_ + num_artificial;  // + rhs appended below
+    tab_ = Matrix(num_rows_ + 1, num_cols_ + 1, 0.0);
+    basis_.assign(num_rows_, 0);
+
+    std::size_t next_slack = slack_begin_;
+    std::size_t next_artificial = artificial_begin_;
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      const Constraint& c = problem.constraints[r];
+      const RowPlan& plan = plans[r];
+      // Row equilibration: the multipath LPs mix O(1e8) bandwidth rows with
+      // O(1) probability rows; dividing each row (and its rhs) by its
+      // largest coefficient leaves the structural solution unchanged (the
+      // slack absorbs the scale) and keeps the tableau numerically sane.
+      double row_scale = 0.0;
+      for (double v : c.coefficients) {
+        row_scale = std::max(row_scale, std::abs(v));
+      }
+      if (row_scale <= 0.0) row_scale = 1.0;
+      for (std::size_t j = 0; j < num_structural_; ++j) {
+        tab_(r, j) = plan.sign * c.coefficients[j] / row_scale;
+      }
+      tab_(r, num_cols_) = plan.sign * c.rhs / row_scale;
+
+      if (plan.relation == Relation::less_equal) {
+        tab_(r, next_slack) = 1.0;
+        basis_[r] = next_slack;
+        ++next_slack;
+      } else if (plan.relation == Relation::greater_equal) {
+        tab_(r, next_slack) = -1.0;  // surplus
+        ++next_slack;
+        tab_(r, next_artificial) = 1.0;
+        basis_[r] = next_artificial;
+        ++next_artificial;
+      } else {
+        tab_(r, next_artificial) = 1.0;
+        basis_[r] = next_artificial;
+        ++next_artificial;
+      }
+    }
+  }
+
+  double rhs(std::size_t r) const { return tab_(r, num_cols_); }
+  std::size_t objective_row() const { return num_rows_; }
+
+  // Installs the reduced-cost row for minimizing `cost` (indexed over all
+  // columns; absent entries are zero). Row := -cost, then add cost[basic] *
+  // constraint row for every basic variable with a nonzero cost, which makes
+  // every basic reduced cost exactly zero.
+  void install_objective(const std::vector<double>& cost) {
+    for (std::size_t j = 0; j <= num_cols_; ++j) tab_(objective_row(), j) = 0.0;
+    for (std::size_t j = 0; j < cost.size(); ++j) {
+      tab_(objective_row(), j) = -cost[j];
+    }
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      const std::size_t var = basis_[r];
+      if (var < cost.size() && cost[var] != 0.0) {
+        tab_.add_scaled_row(objective_row(), r, cost[var]);
+      }
+    }
+  }
+
+  // Runs pivots until no entering column remains. `allowed` limits which
+  // columns may enter (phase 2 excludes artificials). Returns false on
+  // unbounded or iteration limit, filling `solution.status`.
+  bool optimize(Solution& solution, std::size_t allowed_cols) {
+    std::int64_t degenerate_streak = 0;
+    bool use_bland = false;
+    while (true) {
+      if (solution.iterations >= options_.max_iterations) {
+        solution.status = SolveStatus::iteration_limit;
+        return false;
+      }
+      const std::size_t entering = pick_entering(allowed_cols, use_bland);
+      if (entering == kNone) return true;  // optimal for this phase
+
+      const std::size_t leaving = pick_leaving(entering);
+      if (leaving == kNone) {
+        solution.status = SolveStatus::unbounded;
+        return false;
+      }
+
+      const bool degenerate = rhs(leaving) <= options_.epsilon;
+      pivot(leaving, entering);
+      ++solution.iterations;
+      if (degenerate) {
+        if (++degenerate_streak >= options_.degenerate_switch) use_bland = true;
+      } else {
+        degenerate_streak = 0;
+        use_bland = false;
+      }
+    }
+  }
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  // The objective row stores z_j - c_j for the minimization problem; a
+  // positive entry means the column improves the objective.
+  std::size_t pick_entering(std::size_t allowed_cols, bool use_bland) const {
+    const auto row = tab_.row(objective_row());
+    if (use_bland) {
+      for (std::size_t j = 0; j < allowed_cols; ++j) {
+        if (row[j] > options_.epsilon) return j;
+      }
+      return kNone;
+    }
+    std::size_t best = kNone;
+    double best_value = options_.epsilon;
+    for (std::size_t j = 0; j < allowed_cols; ++j) {
+      if (row[j] > best_value) {
+        best_value = row[j];
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  std::size_t pick_leaving(std::size_t entering) const {
+    std::size_t best = kNone;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      const double a = tab_(r, entering);
+      if (a <= options_.epsilon) continue;
+      const double ratio = rhs(r) / a;
+      // Ties broken by smallest basis index (lexicographic flavour) to help
+      // avoid cycling even under Dantzig pricing.
+      if (ratio < best_ratio - options_.epsilon ||
+          (ratio < best_ratio + options_.epsilon &&
+           (best == kNone || basis_[r] < basis_[best]))) {
+        best_ratio = ratio;
+        best = r;
+      }
+    }
+    return best;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    tab_.scale_row(row, 1.0 / tab_(row, col));
+    for (std::size_t r = 0; r <= num_rows_; ++r) {
+      if (r == row) continue;
+      const double factor = tab_(r, col);
+      if (factor != 0.0) tab_.add_scaled_row(r, row, -factor);
+    }
+    basis_[row] = col;
+  }
+
+  bool phase1(Solution& solution) {
+    if (artificial_begin_ == num_cols_) return true;  // no artificials needed
+
+    std::vector<double> cost(num_cols_, 0.0);
+    for (std::size_t j = artificial_begin_; j < num_cols_; ++j) cost[j] = 1.0;
+    install_objective(cost);
+    if (!optimize(solution, num_cols_)) return false;
+
+    // Sum of artificials is -objective_row_rhs (row stores z - c relative to
+    // a minimization started at 0). Recompute directly for robustness.
+    double artificial_sum = 0.0;
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] >= artificial_begin_) artificial_sum += rhs(r);
+    }
+    if (artificial_sum > 1e-7) {
+      solution.status = SolveStatus::infeasible;
+      return false;
+    }
+
+    // Drive any remaining (zero-valued) artificials out of the basis so that
+    // phase 2 never reactivates them.
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (basis_[r] < artificial_begin_) continue;
+      std::size_t col = kNone;
+      for (std::size_t j = 0; j < artificial_begin_; ++j) {
+        if (std::abs(tab_(r, j)) > options_.epsilon) {
+          col = j;
+          break;
+        }
+      }
+      if (col != kNone) {
+        pivot(r, col);
+        ++solution.iterations;
+      }
+      // If the row is all zeros over the real columns the constraint was
+      // redundant; a zero-valued basic artificial is then harmless because
+      // artificial columns are excluded from entering in phase 2.
+    }
+    return true;
+  }
+
+  bool phase2(Solution& solution) {
+    // Internally always minimize; flip the sign for maximization problems.
+    std::vector<double> cost(num_cols_, 0.0);
+    for (std::size_t j = 0; j < num_structural_; ++j) {
+      cost[j] = sense_factor_ * original_objective_[j];
+    }
+    install_objective(cost);
+    return optimize(solution, artificial_begin_);
+  }
+
+ public:
+  void set_objective(const std::vector<double>& objective, Sense sense) {
+    original_objective_ = objective;
+    sense_factor_ = (sense == Sense::maximize) ? -1.0 : 1.0;
+  }
+
+ private:
+  SimplexSolver::Options options_;
+  std::size_t num_structural_ = 0;
+  std::size_t slack_begin_ = 0;
+  std::size_t artificial_begin_ = 0;
+  std::size_t num_cols_ = 0;  // not counting the rhs column
+  std::size_t num_rows_ = 0;
+  Matrix tab_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> original_objective_;
+  double sense_factor_ = 1.0;
+};
+
+}  // namespace
+
+Solution SimplexSolver::solve(const Problem& problem) const {
+  for (const Constraint& c : problem.constraints) {
+    if (c.coefficients.size() != problem.num_variables()) {
+      throw std::invalid_argument("malformed problem: constraint '" + c.name +
+                                  "' width mismatch");
+    }
+  }
+  Tableau tableau(problem, options_);
+  tableau.set_objective(problem.objective, problem.sense);
+  return tableau.run(problem);
+}
+
+}  // namespace dmc::lp

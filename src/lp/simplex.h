@@ -1,0 +1,51 @@
+// Two-phase primal simplex solver for small dense linear programs.
+//
+// This replaces the CGAL LP solver used in the paper's evaluation
+// (Section VII-A). The deadline-multipath LPs are tiny and dense
+// (n^m variables, n+2 rows), so a dense tableau with Dantzig pricing and a
+// Bland's-rule anti-cycling fallback is both simple and fast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lp/problem.h"
+
+namespace dmc::lp {
+
+enum class SolveStatus { optimal, infeasible, unbounded, iteration_limit };
+
+std::string to_string(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::iteration_limit;
+  std::vector<double> x;          // primal values, empty unless optimal
+  double objective_value = 0.0;   // c . x in the problem's own sense
+  std::int64_t iterations = 0;    // total pivots across both phases
+
+  bool optimal() const { return status == SolveStatus::optimal; }
+};
+
+class SimplexSolver {
+ public:
+  struct Options {
+    double epsilon = 1e-9;           // pivot / feasibility tolerance
+    std::int64_t max_iterations = 200000;
+    // After this many consecutive degenerate pivots the solver switches from
+    // Dantzig pricing to Bland's rule, which guarantees termination.
+    std::int64_t degenerate_switch = 64;
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  Solution solve(const Problem& problem) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace dmc::lp

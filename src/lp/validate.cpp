@@ -1,0 +1,43 @@
+#include "lp/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmc::lp {
+
+ValidationReport validate(const Problem& problem,
+                          const std::vector<double>& x) {
+  if (x.size() != problem.num_variables()) {
+    throw std::invalid_argument("validate: x has wrong dimension");
+  }
+  ValidationReport report;
+  report.min_variable = 0.0;
+  for (double v : x) report.min_variable = std::min(report.min_variable, v);
+
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    report.objective_value += problem.objective[j] * x[j];
+  }
+
+  std::size_t index = 0;
+  for (const Constraint& c : problem.constraints) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) lhs += c.coefficients[j] * x[j];
+    double violation = 0.0;
+    switch (c.relation) {
+      case Relation::less_equal: violation = lhs - c.rhs; break;
+      case Relation::greater_equal: violation = c.rhs - lhs; break;
+      case Relation::equal: violation = std::abs(lhs - c.rhs); break;
+    }
+    if (violation > report.max_violation) {
+      report.max_violation = violation;
+      report.worst_constraint =
+          c.name.empty() ? ("row " + std::to_string(index)) : c.name;
+    }
+    ++index;
+  }
+  report.feasible = report.ok(1e-6);
+  return report;
+}
+
+}  // namespace dmc::lp

@@ -1,0 +1,28 @@
+// Solution validation: independent feasibility / objective checks used by
+// tests and by callers that want to distrust the solver (Core Guidelines
+// P.7: catch run-time errors early).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.h"
+
+namespace dmc::lp {
+
+struct ValidationReport {
+  bool feasible = false;
+  double max_violation = 0.0;     // worst constraint violation
+  double min_variable = 0.0;      // most negative variable value
+  double objective_value = 0.0;   // c . x
+  std::string worst_constraint;   // name/index of worst violated row
+
+  bool ok(double tolerance) const {
+    return max_violation <= tolerance && min_variable >= -tolerance;
+  }
+};
+
+// Checks x against the constraint system of `problem`.
+ValidationReport validate(const Problem& problem, const std::vector<double>& x);
+
+}  // namespace dmc::lp

@@ -1,0 +1,53 @@
+// Acknowledgment frames (Section VIII-C).
+//
+// The paper prescribes that acks carry a combination of: (a) the range of
+// packet numbers the receiver is expecting, (b) a bit vector describing
+// what was received in a window of consecutive packets, and (c) the packet
+// that was just received, for RTT estimation. This frame carries all three:
+//
+//   cumulative  — every seq < cumulative has been received (the low end of
+//                 the expected range)
+//   window      — received-flags for seqs [window_base, window_base + W)
+//   echo_seq /  — the packet (and which of its transmission attempts)
+//   echo_attempt  that triggered this ack
+//
+// Encoding is fixed-header + packed bit vector. When the in-flight window
+// exceeds what max_bytes allows, the bit vector is truncated from the tail —
+// exactly the high bandwidth-delay-product regime the paper discusses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dmc::proto {
+
+struct AckFrame {
+  std::uint64_t cumulative = 0;
+  std::uint64_t window_base = 0;
+  std::vector<bool> window;  // window[k] = received(window_base + k)
+  std::uint64_t echo_seq = 0;
+  std::uint8_t echo_attempt = 0;
+
+  bool acknowledges(std::uint64_t seq) const {
+    if (seq < cumulative) return true;
+    if (seq == echo_seq) return true;
+    if (seq >= window_base && seq - window_base < window.size()) {
+      return window[static_cast<std::size_t>(seq - window_base)];
+    }
+    return false;
+  }
+};
+
+// Header: cumulative(8) window_base(8) echo_seq(8) echo_attempt(1)
+// window_bits(2) + ceil(bits/8) packed bytes.
+inline constexpr std::size_t kAckHeaderBytes = 27;
+
+// Encodes the frame into at most max_bytes; the window is truncated to fit.
+std::vector<std::uint8_t> encode_ack(const AckFrame& frame,
+                                     std::size_t max_bytes);
+
+// Decodes a frame; throws std::invalid_argument on malformed input.
+AckFrame decode_ack(std::span<const std::uint8_t> bytes);
+
+}  // namespace dmc::proto

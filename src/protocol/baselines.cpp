@@ -1,0 +1,222 @@
+#include "protocol/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "lp/simplex.h"
+
+namespace dmc::proto {
+
+core::Plan make_manual_plan(const core::PathSet& paths,
+                            const core::TrafficSpec& traffic,
+                            const std::vector<double>& x,
+                            const core::ModelOptions& options) {
+  auto model = std::make_shared<const core::Model>(paths, traffic, options);
+  if (x.size() != model->combos().size()) {
+    throw std::invalid_argument("make_manual_plan: x has wrong dimension");
+  }
+  double sum = 0.0;
+  for (double v : x) {
+    if (v < -1e-9) {
+      throw std::invalid_argument("make_manual_plan: negative weight");
+    }
+    sum += v;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    throw std::invalid_argument("make_manual_plan: weights must sum to 1");
+  }
+
+  lp::Solution solution;
+  solution.status = lp::SolveStatus::optimal;
+  solution.x = x;
+  solution.objective_value = model->evaluate(x).quality;
+  return core::Plan(std::move(model), std::move(solution));
+}
+
+core::Plan make_proportional_split_plan(const core::PathSet& paths,
+                                        const core::TrafficSpec& traffic,
+                                        const core::ModelOptions& options) {
+  auto model = std::make_shared<const core::Model>(paths, traffic, options);
+  const auto& combos = model->combos();
+  std::vector<double> x(combos.size(), 0.0);
+
+  double total_bandwidth = 0.0;
+  for (const core::PathSpec& p : paths) total_bandwidth += p.bandwidth_bps;
+
+  // Diagonal combinations (i, i, ..., i): all attempts on the same path.
+  // Shares are capped at what the path can actually carry (including its
+  // own retransmissions); the rest is dropped, as a real link would do.
+  double assigned = 0.0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::size_t mi = model->model_index(i);
+    std::vector<std::size_t> attempts(
+        static_cast<std::size_t>(combos.transmissions()), mi);
+    const std::size_t l = combos.encode(attempts);
+    const double load = model->metrics()[l].expected_load[mi];
+    const double share = paths[i].bandwidth_bps / total_bandwidth;
+    const double cap =
+        load > 0.0 ? paths[i].bandwidth_bps / (traffic.rate_bps * load)
+                   : share;
+    x[l] = std::min(share, cap);
+    assigned += x[l];
+  }
+  if (assigned < 1.0) {
+    // Leftover traffic exceeds capacity: it is dropped (blackhole when
+    // available; otherwise scale up proportionally, which mirrors a sender
+    // that blindly overdrives the links).
+    if (model->has_blackhole()) {
+      std::vector<std::size_t> attempts(
+          static_cast<std::size_t>(combos.transmissions()), 0);
+      x[combos.encode(attempts)] += 1.0 - assigned;
+    } else {
+      for (double& v : x) v /= assigned;
+    }
+  }
+
+  lp::Solution solution;
+  solution.status = lp::SolveStatus::optimal;
+  solution.x = x;
+  solution.objective_value = model->evaluate(x).quality;
+  return core::Plan(std::move(model), std::move(solution));
+}
+
+core::Plan make_greedy_flow_plan(const core::PathSet& paths,
+                                 const core::TrafficSpec& traffic,
+                                 const core::ModelOptions& options) {
+  core::ModelOptions with_blackhole = options;
+  with_blackhole.use_blackhole = true;  // leftovers must go somewhere
+  auto model =
+      std::make_shared<const core::Model>(paths, traffic, with_blackhole);
+  const auto& combos = model->combos();
+
+  // Candidate assignments: one real path per flow share (retransmissions on
+  // the same path), ranked by delivery probability.
+  struct Candidate {
+    std::size_t combo;
+    double p;
+    std::size_t real_path;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::size_t mi = model->model_index(i);
+    std::vector<std::size_t> attempts(
+        static_cast<std::size_t>(combos.transmissions()), mi);
+    const std::size_t l = combos.encode(attempts);
+    candidates.push_back({l, model->metrics()[l].delivery_probability, i});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.p > b.p; });
+
+  std::vector<double> x(combos.size(), 0.0);
+  std::vector<double> remaining_bw;
+  for (const core::PathSpec& p : paths) remaining_bw.push_back(p.bandwidth_bps);
+  double remaining_cost = traffic.cost_cap_per_s;
+  double remaining_traffic = 1.0;
+
+  for (const Candidate& c : candidates) {
+    if (remaining_traffic <= 0.0) break;
+    const core::ComboMetrics& m = model->metrics()[c.combo];
+    // Largest fraction this combination can carry within its path's
+    // bandwidth (all attempts are on the same real path here) and the cost
+    // cap.
+    const std::size_t mi = model->model_index(c.real_path);
+    const double load = m.expected_load[mi];  // attempts per unit traffic
+    double f = remaining_traffic;
+    if (load > 0.0) {
+      f = std::min(f, remaining_bw[c.real_path] / (traffic.rate_bps * load));
+    }
+    if (!std::isinf(remaining_cost) && m.cost_per_bit > 0.0) {
+      f = std::min(f, remaining_cost / (traffic.rate_bps * m.cost_per_bit));
+    }
+    if (f <= 0.0) continue;
+    x[c.combo] += f;
+    remaining_traffic -= f;
+    remaining_bw[c.real_path] -= f * traffic.rate_bps * load;
+    if (!std::isinf(remaining_cost)) {
+      remaining_cost -= f * traffic.rate_bps * m.cost_per_bit;
+    }
+  }
+
+  // Whatever could not be placed is dropped.
+  if (remaining_traffic > 0.0) {
+    std::vector<std::size_t> attempts(
+        static_cast<std::size_t>(combos.transmissions()), 0);
+    x[combos.encode(attempts)] += remaining_traffic;
+  }
+
+  lp::Solution solution;
+  solution.status = lp::SolveStatus::optimal;
+  solution.x = x;
+  solution.objective_value = model->evaluate(x).quality;
+  return core::Plan(std::move(model), std::move(solution));
+}
+
+DuplicationPlan plan_duplication(const core::PathSet& paths,
+                                 const core::TrafficSpec& traffic) {
+  traffic.check();
+  const std::size_t n = paths.size();
+  if (n == 0 || n > 16) {
+    throw std::invalid_argument("plan_duplication: need 1..16 paths");
+  }
+  const double lambda = traffic.rate_bps;
+  const double delta = traffic.lifetime_s;
+
+  // Variables: one weight per subset of paths (the empty subset is the
+  // "drop" option). Quality of a subset: P(at least one copy on time).
+  const std::size_t num_subsets = std::size_t{1} << n;
+  std::vector<double> p(num_subsets, 0.0);
+  std::vector<double> cost(num_subsets, 0.0);
+  for (std::size_t s = 1; s < num_subsets; ++s) {
+    double miss = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(s & (std::size_t{1} << i))) continue;
+      const bool in_time = paths[i].mean_delay_s() <= delta;
+      miss *= 1.0 - (in_time ? (1.0 - paths[i].loss_rate) : 0.0);
+      cost[s] += lambda * paths[i].cost_per_bit;
+    }
+    p[s] = 1.0 - miss;
+  }
+
+  lp::Problem problem;
+  problem.sense = lp::Sense::maximize;
+  problem.objective = p;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(num_subsets, 0.0);
+    for (std::size_t s = 0; s < num_subsets; ++s) {
+      if (s & (std::size_t{1} << i)) row[s] = lambda;
+    }
+    problem.add_constraint(std::move(row), lp::Relation::less_equal,
+                           paths[i].bandwidth_bps,
+                           "bandwidth[" + paths[i].name + "]");
+  }
+  if (!std::isinf(traffic.cost_cap_per_s)) {
+    problem.add_constraint(cost, lp::Relation::less_equal,
+                           traffic.cost_cap_per_s, "cost");
+  }
+  problem.add_constraint(std::vector<double>(num_subsets, 1.0),
+                         lp::Relation::equal, 1.0, "sum_w");
+
+  const lp::SimplexSolver solver;
+  const lp::Solution solution = solver.solve(problem);
+
+  DuplicationPlan out;
+  out.feasible = solution.optimal();
+  if (!out.feasible) return out;
+  out.quality = solution.objective_value;
+  for (std::size_t s = 0; s < num_subsets; ++s) {
+    if (solution.x[s] <= 1e-9) continue;
+    std::vector<std::size_t> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s & (std::size_t{1} << i)) subset.push_back(i);
+    }
+    out.subsets.push_back(std::move(subset));
+    out.weights.push_back(solution.x[s]);
+    out.cost_per_s += solution.x[s] * cost[s];
+  }
+  return out;
+}
+
+}  // namespace dmc::proto

@@ -1,0 +1,54 @@
+// Comparison strategies for the baseline bench:
+//   * manual plans (evaluate any handcrafted allocation, e.g. the exact
+//     solutions printed in the paper's Table IV);
+//   * proportional split: traffic divided by bandwidth share, retransmitted
+//     on the same path — multipath without deadline awareness;
+//   * greedy flow assignment: whole-flow-to-best-combination in the spirit
+//     of Wu et al. [18], which the paper contrasts with packet-level
+//     splitting;
+//   * duplication: every packet copied onto several paths simultaneously
+//     (open-loop redundancy, Section IX-B), solved as a small LP over path
+//     subsets.
+#pragma once
+
+#include <vector>
+
+#include "core/planner.h"
+
+namespace dmc::proto {
+
+// Wraps a handcrafted allocation x (over the model's combinations) into a
+// Plan so it can be simulated and evaluated like a solver plan.
+core::Plan make_manual_plan(const core::PathSet& paths,
+                            const core::TrafficSpec& traffic,
+                            const std::vector<double>& x,
+                            const core::ModelOptions& options = {});
+
+// x_{i,i} proportional to b_i: spreads load by capacity, retransmits on the
+// same path, never drops deliberately.
+core::Plan make_proportional_split_plan(const core::PathSet& paths,
+                                        const core::TrafficSpec& traffic,
+                                        const core::ModelOptions& options = {});
+
+// Assigns the flow greedily: best delivery-probability combination first,
+// as much traffic as its bandwidth allows, then the next. Flow-level
+// assignment cannot drop deliberately; leftovers go to the blackhole.
+core::Plan make_greedy_flow_plan(const core::PathSet& paths,
+                                 const core::TrafficSpec& traffic,
+                                 const core::ModelOptions& options = {});
+
+// Duplication baseline: packets are sent simultaneously on subsets of
+// paths. Returns the optimal subset mix and its expected quality, solved
+// exactly as an LP over the 2^n - 1 nonempty subsets.
+struct DuplicationPlan {
+  std::vector<std::vector<std::size_t>> subsets;  // real path indices
+  std::vector<double> weights;                    // fraction per subset
+  double quality = 0.0;
+  double cost_per_s = 0.0;
+  bool feasible = false;
+};
+
+DuplicationPlan plan_duplication(const core::PathSet& paths,
+                                 const core::TrafficSpec& traffic);
+
+}  // namespace dmc::proto

@@ -1,0 +1,82 @@
+// Forward error correction as the open-loop alternative to retransmission
+// (Section IX-B). The paper deliberately excludes coding from its model and
+// argues its benefits are "questionable" because (a) recovering a loss
+// requires waiting for enough of the group, and (b) correlated losses gut
+// open-loop redundancy. This module makes that argument quantitative:
+//
+//   * an analytic model of (K, R) MDS block coding striped over the paths:
+//     each group of K data packets gains R parity packets; any K of the
+//     K + R in-time arrivals reconstruct everything;
+//   * a simulated sender/receiver pair executing the same scheme over the
+//     discrete-event network (including Gilbert-Elliott burst loss, which
+//     the analytic i.i.d. model cannot see);
+//   * a small planner that picks R and the striping subject to bandwidth.
+//
+// The companion bench (bench_fec) compares this against the paper's
+// closed-loop LP: retransmission wins whenever the deadline admits a repair
+// round trip; FEC only pays below that threshold, and bursts erode it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path.h"
+#include "protocol/trace.h"
+#include "sim/network.h"
+
+namespace dmc::proto {
+
+struct FecConfig {
+  int data_per_group = 8;   // K
+  int parity_per_group = 2; // R
+  // Stripe packets over paths proportionally to bandwidth (true) or send
+  // each whole group on the least-loaded single path (false).
+  bool stripe_across_paths = true;
+};
+
+// Analytic evaluation under i.i.d. losses and deterministic delays.
+struct FecAnalysis {
+  double quality = 0.0;         // P(data packet delivered in time)
+  double overhead = 0.0;        // (K+R)/K - 1
+  std::vector<double> send_rate_bps;  // per path, data + parity
+  bool bandwidth_feasible = true;
+  // Decomposition: P(own copy in time) and P(recovered via the group).
+  double p_direct = 0.0;
+  double p_recovery_gain = 0.0;
+};
+
+FecAnalysis analyze_fec(const core::PathSet& paths,
+                        const core::TrafficSpec& traffic,
+                        const FecConfig& config);
+
+// Sweeps R in [0, max_parity] and returns the best feasible configuration.
+FecConfig plan_fec(const core::PathSet& paths,
+                   const core::TrafficSpec& traffic, int data_per_group,
+                   int max_parity);
+
+// Simulated execution over a sim::Network (no acks, no retransmission: the
+// scheme is open-loop). Returns the measured on-time fraction; "on time"
+// counts direct arrivals plus packets reconstructed once the K-th group
+// member arrives within the original packet's deadline.
+struct FecSessionResult {
+  std::uint64_t generated = 0;
+  std::uint64_t direct_on_time = 0;
+  std::uint64_t recovered_on_time = 0;
+  std::uint64_t lost = 0;
+  double measured_quality = 0.0;
+  double parity_rate_bps = 0.0;
+};
+
+struct FecSessionConfig {
+  std::uint64_t num_messages = 100000;
+  std::size_t message_bytes = 1024;
+  std::uint64_t seed = 1;
+};
+
+FecSessionResult run_fec_session(const core::PathSet& paths,
+                                 const core::TrafficSpec& traffic,
+                                 const FecConfig& config,
+                                 const std::vector<sim::PathConfig>& network,
+                                 const FecSessionConfig& session = {});
+
+}  // namespace dmc::proto

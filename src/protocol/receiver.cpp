@@ -1,0 +1,90 @@
+#include "protocol/receiver.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmc::proto {
+
+DeadlineReceiver::DeadlineReceiver(sim::Simulator& simulator,
+                                   ReceiverConfig config, Trace& trace)
+    : simulator_(simulator), config_(config), trace_(trace) {
+  if (config_.lifetime_s <= 0.0) {
+    throw std::invalid_argument("DeadlineReceiver: lifetime must be > 0");
+  }
+  if (config_.ack_every == 0) {
+    throw std::invalid_argument("DeadlineReceiver: ack_every must be >= 1");
+  }
+}
+
+bool DeadlineReceiver::already_received(std::uint64_t seq) const {
+  return seq < cumulative_ || pending_.contains(seq);
+}
+
+void DeadlineReceiver::mark_received(std::uint64_t seq) {
+  highest_seen_ = std::max(highest_seen_, seq);
+  if (seq < cumulative_) return;
+  pending_.insert(seq);
+  while (pending_.contains(cumulative_)) {
+    pending_.erase(cumulative_);
+    ++cumulative_;
+  }
+}
+
+AckFrame DeadlineReceiver::build_ack(const sim::Packet& packet) const {
+  AckFrame frame;
+  frame.cumulative = cumulative_;
+  // Anchor the window at the newest arrivals rather than the cumulative
+  // edge: under partial reliability the cumulative edge sticks at the first
+  // permanently-lost packet, and with a large bandwidth-delay product the
+  // window would never reach the packets currently in flight (the
+  // Section VIII-C discussion). Recent packets are the ones whose
+  // retransmission timers are still pending.
+  const std::uint64_t bits = config_.ack_window_bits;
+  frame.window_base = cumulative_;
+  if (bits > 0 && highest_seen_ + 1 > bits) {
+    frame.window_base = std::max(cumulative_, highest_seen_ + 1 - bits);
+  }
+  frame.echo_seq = packet.seq;
+  frame.echo_attempt = packet.attempt;
+  frame.window.assign(config_.ack_window_bits, false);
+  for (std::size_t k = 0; k < frame.window.size(); ++k) {
+    frame.window[k] = pending_.contains(frame.window_base + k);
+  }
+  return frame;
+}
+
+void DeadlineReceiver::on_data(int path, const sim::Packet& packet) {
+  (void)path;
+  if (already_received(packet.seq)) {
+    ++trace_.duplicates;
+  } else {
+    mark_received(packet.seq);
+    ++trace_.delivered_unique;
+    const double delay = simulator_.now() - packet.created_at;
+    delays_.add(delay);
+    const bool on_time = delay <= config_.lifetime_s;
+    if (on_time) {
+      ++trace_.on_time;
+    } else {
+      ++trace_.late;
+    }
+    if (config_.verdict_hook) config_.verdict_hook(packet.seq, on_time);
+  }
+
+  // Acknowledge even duplicates: the sender may still be retransmitting.
+  if (++data_since_ack_ >= config_.ack_every && ack_sender_) {
+    data_since_ack_ = 0;
+    const AckFrame frame = build_ack(packet);
+    sim::Packet ack;
+    ack.is_ack = true;
+    ack.seq = packet.seq;
+    ack.created_at = packet.created_at;
+    ack.ack_payload = encode_ack(frame, config_.max_ack_bytes);
+    ack.size_bytes = config_.ack_overhead_bytes + ack.ack_payload.size();
+    ack.sent_at = simulator_.now();
+    ++trace_.acks_sent;
+    ack_sender_(config_.ack_path, std::move(ack));
+  }
+}
+
+}  // namespace dmc::proto

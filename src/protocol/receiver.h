@@ -1,0 +1,69 @@
+// Server side of the deadline-aware protocol: deduplicates arrivals, checks
+// the enclosed creation timestamp against the lifetime (Section VII-A), and
+// responds to each data packet with an acknowledgment on the lowest-delay
+// path (Section VIII-C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "protocol/ack.h"
+#include "protocol/trace.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "stats/summary.h"
+
+namespace dmc::proto {
+
+struct ReceiverConfig {
+  double lifetime_s = 0.0;          // delta: on-time verdict threshold
+  int ack_path = 0;                 // real path index for acknowledgments
+  std::size_t ack_window_bits = 256;
+  std::size_t max_ack_bytes = 64;   // cap on the encoded ack frame
+  std::size_t ack_overhead_bytes = 28;  // simulated UDP/IP framing
+  // Send one ack every `ack_every` data packets (1 = ack per packet).
+  std::uint32_t ack_every = 1;
+  // Optional per-message verdict callback: fires once per unique sequence
+  // number on its first arrival, with the on-time decision.
+  std::function<void(std::uint64_t seq, bool on_time)> verdict_hook;
+};
+
+class DeadlineReceiver {
+ public:
+  using AckSender = std::function<void(int path, sim::Packet)>;
+
+  DeadlineReceiver(sim::Simulator& simulator, ReceiverConfig config,
+                   Trace& trace);
+
+  void set_ack_sender(AckSender sender) { ack_sender_ = std::move(sender); }
+
+  // Hook for data packets arriving from the network.
+  void on_data(int path, const sim::Packet& packet);
+
+  // One-way delay samples of first arrivals (seconds). Non-const because
+  // quantile queries sort lazily.
+  stats::SampleSet& delay_samples() { return delays_; }
+  const stats::SampleSet& delay_samples() const { return delays_; }
+
+ private:
+  bool already_received(std::uint64_t seq) const;
+  void mark_received(std::uint64_t seq);
+  AckFrame build_ack(const sim::Packet& packet) const;
+
+  sim::Simulator& simulator_;
+  ReceiverConfig config_;
+  Trace& trace_;
+  AckSender ack_sender_;
+
+  // Receive tracking: everything below `cumulative_` was received; sparse
+  // out-of-order arrivals live in `pending_` until the cumulative edge
+  // sweeps past them.
+  std::uint64_t cumulative_ = 0;
+  std::uint64_t highest_seen_ = 0;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t data_since_ack_ = 0;
+  stats::SampleSet delays_;
+};
+
+}  // namespace dmc::proto

@@ -1,0 +1,309 @@
+#include "protocol/sender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/units.h"
+
+namespace dmc::proto {
+
+namespace {
+
+// Translates a plan combination into real-path attempt sequences (-1 marks
+// the blackhole) plus execution timeouts, so an in-flight message stays
+// valid even if the plan is later replaced.
+struct ComboProgram {
+  std::vector<int> attempt_paths;
+  std::vector<double> timeouts;
+};
+
+ComboProgram compile_combo(const core::Model& model, std::size_t combo,
+                           double guard) {
+  const core::ComboMetrics& metrics = model.metrics()[combo];
+  ComboProgram program;
+  program.attempt_paths.reserve(metrics.attempts.size());
+  const int offset = model.has_blackhole() ? 1 : 0;
+  for (std::size_t model_path : metrics.attempts) {
+    program.attempt_paths.push_back(static_cast<int>(model_path) - offset);
+  }
+  program.timeouts.reserve(metrics.timeouts.size());
+  for (double t : metrics.timeouts) {
+    program.timeouts.push_back(std::isinf(t) ? t : t + guard);
+  }
+  return program;
+}
+
+}  // namespace
+
+DeadlineSender::DeadlineSender(sim::Simulator& simulator, core::Plan plan,
+                               std::unique_ptr<core::ComboScheduler> scheduler,
+                               SenderConfig config, Trace& trace)
+    : simulator_(simulator),
+      plan_(std::move(plan)),
+      scheduler_(std::move(scheduler)),
+      config_(config),
+      trace_(trace) {
+  if (!plan_.feasible()) {
+    throw std::invalid_argument("DeadlineSender: plan is not feasible");
+  }
+  if (!scheduler_) {
+    throw std::invalid_argument("DeadlineSender: null scheduler");
+  }
+  if (config_.num_messages == 0) {
+    throw std::invalid_argument("DeadlineSender: zero messages");
+  }
+  const double lambda = plan_.model().traffic().rate_bps;
+  inter_message_s_ =
+      bytes_to_bits(static_cast<double>(config_.message_bytes)) / lambda;
+
+  const std::size_t n = plan_.model().real_paths().size();
+  path_tx_counter_.assign(n, 0);
+  path_outstanding_.resize(n);
+}
+
+DeadlineSender::~DeadlineSender() = default;
+
+void DeadlineSender::start() {
+  generate_next();
+}
+
+void DeadlineSender::generate_next() {
+  if (next_seq_ >= config_.num_messages) return;
+  const std::uint64_t seq = next_seq_++;
+  ++trace_.generated;
+  if (hooks_.on_generated) hooks_.on_generated(seq);
+  assign_and_send(seq);
+  simulator_.in(inter_message_s_, [this] { generate_next(); });
+}
+
+void DeadlineSender::assign_and_send(std::uint64_t seq) {
+  const std::size_t combo = scheduler_->select();
+  const ComboProgram program =
+      compile_combo(plan_.model(), combo, config_.timeout_guard_s);
+
+  if (program.attempt_paths.front() < 0) {
+    ++trace_.assigned_blackhole;  // deliberate drop (Section V-C)
+    return;
+  }
+
+  Outstanding state;
+  state.attempt_paths = program.attempt_paths;
+  state.timeouts = program.timeouts;
+  state.created_at = simulator_.now();
+  auto [it, inserted] = outstanding_.emplace(seq, std::move(state));
+  if (!inserted) throw std::logic_error("duplicate sequence number");
+  transmit(seq, it->second, /*is_fast=*/false);
+}
+
+void DeadlineSender::transmit(std::uint64_t seq, Outstanding& state,
+                              bool is_fast) {
+  const int real_path =
+      state.attempt_paths[static_cast<std::size_t>(state.stage)];
+  state.sent_at = simulator_.now();
+  state.dupacks = 0;
+  state.path_tx_index = path_tx_counter_[static_cast<std::size_t>(real_path)]++;
+  path_outstanding_[static_cast<std::size_t>(real_path)]
+      .emplace(state.path_tx_index, seq);
+
+  sim::Packet packet;
+  packet.seq = seq;
+  packet.created_at = state.created_at;
+  packet.attempt = static_cast<std::uint8_t>(state.stage);
+  packet.size_bytes = config_.message_bytes;
+  packet.sent_at = state.sent_at;
+  ++trace_.transmissions;
+  if (state.stage > 0) {
+    ++trace_.retransmissions;
+    if (is_fast) ++trace_.fast_retransmissions;
+  }
+  if (data_sender_) data_sender_(real_path, std::move(packet));
+
+  // Arm the retransmission timer unless this was the last attempt or the
+  // next attempt is the blackhole ("send once, never retransmit").
+  const auto stage = static_cast<std::size_t>(state.stage);
+  const bool has_next =
+      stage + 1 < state.attempt_paths.size() &&
+      state.attempt_paths[stage + 1] >= 0 &&
+      stage < state.timeouts.size() && !std::isinf(state.timeouts[stage]);
+  if (has_next) {
+    state.timer = simulator_.in(state.timeouts[stage], [this, seq] {
+      on_attempt_failed(seq, /*is_fast=*/false);
+    });
+  } else {
+    // Final attempt: give up once the data is safely past its lifetime so
+    // the bookkeeping for never-acknowledged messages is reclaimed.
+    const double lifetime = plan_.model().traffic().lifetime_s;
+    const double give_up_at = state.created_at + 2.0 * lifetime;
+    const double delay = std::max(give_up_at - simulator_.now(), lifetime);
+    state.timer = simulator_.in(delay, [this, seq] {
+      on_attempt_failed(seq, /*is_fast=*/false);
+    });
+  }
+}
+
+void DeadlineSender::on_attempt_failed(std::uint64_t seq, bool is_fast) {
+  const auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;  // already acknowledged
+  Outstanding& state = it->second;
+
+  // Dup-ack evidence is circumstantial (reordering, ack loss); acting on it
+  // only makes sense when a further attempt exists to fire. For the final
+  // attempt, keep waiting for the conclusive timer instead of writing the
+  // packet off early.
+  if (is_fast) {
+    const auto s = static_cast<std::size_t>(state.stage);
+    const bool next_exists = s + 1 < state.attempt_paths.size() &&
+                             state.attempt_paths[s + 1] >= 0 &&
+                             s < state.timeouts.size() &&
+                             !std::isinf(state.timeouts[s]);
+    if (!next_exists) {
+      state.dupacks = 0;
+      return;
+    }
+  }
+
+  // A fast retransmit races the timer; disarm it so the stage cannot be
+  // advanced twice for the same failure.
+  if (state.timer.valid()) {
+    simulator_.cancel(state.timer);
+    state.timer = sim::EventId{};
+  }
+
+  const auto stage = static_cast<std::size_t>(state.stage);
+  const int old_path = state.attempt_paths[stage];
+  path_outstanding_[static_cast<std::size_t>(old_path)].erase(
+      state.path_tx_index);
+  state.lost_attempt_mask |= static_cast<std::uint8_t>(1u << stage);
+  if (hooks_.on_loss_inferred) hooks_.on_loss_inferred(old_path);
+
+  const bool has_next = stage + 1 < state.attempt_paths.size() &&
+                        state.attempt_paths[stage + 1] >= 0 &&
+                        stage < state.timeouts.size() &&
+                        !std::isinf(state.timeouts[stage]);
+  if (!has_next) {
+    ++trace_.gave_up;
+    outstanding_.erase(it);
+    return;
+  }
+  ++state.stage;
+  transmit(seq, state, is_fast);
+}
+
+void DeadlineSender::acknowledge(std::uint64_t seq, bool count_hook) {
+  const auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;
+  Outstanding& state = it->second;
+
+  const int path = state.attempt_paths[static_cast<std::size_t>(state.stage)];
+  path_outstanding_[static_cast<std::size_t>(path)].erase(state.path_tx_index);
+  if (state.timer.valid()) simulator_.cancel(state.timer);
+  if (count_hook && hooks_.on_ack_for_path) hooks_.on_ack_for_path(path);
+
+  // Keep a bounded record when earlier attempts were written off as lost:
+  // their acks may still arrive and prove the timeouts spurious.
+  if (state.lost_attempt_mask != 0 && hooks_.on_spurious_loss) {
+    if (resolved_with_losses_.size() >= kResolvedHistory) {
+      resolved_with_losses_.erase(resolved_with_losses_.begin());
+    }
+    resolved_with_losses_.emplace(
+        seq,
+        ResolvedRecord{state.attempt_paths, state.lost_attempt_mask});
+  }
+  outstanding_.erase(it);
+}
+
+void DeadlineSender::register_dupack_scan(int real_path,
+                                          std::uint64_t acked_tx_index) {
+  if (config_.fast_retransmit_dupacks <= 0) return;
+  auto& ordered = path_outstanding_[static_cast<std::size_t>(real_path)];
+  // Every outstanding transmission sent on this path *before* the acked one
+  // has been overtaken; per-path reordering being unlikely, count it.
+  std::vector<std::uint64_t> to_fail;
+  for (auto it = ordered.begin();
+       it != ordered.end() && it->first < acked_tx_index; ++it) {
+    const auto out = outstanding_.find(it->second);
+    if (out == outstanding_.end()) continue;
+    if (++out->second.dupacks >= config_.fast_retransmit_dupacks) {
+      to_fail.push_back(it->second);
+    }
+  }
+  for (std::uint64_t seq : to_fail) on_attempt_failed(seq, /*is_fast=*/true);
+}
+
+void DeadlineSender::on_ack(int path, const sim::Packet& packet) {
+  (void)path;
+  ++trace_.acks_received;
+  const AckFrame frame = decode_ack(packet.ack_payload);
+
+  // RTT sample: only when the echoed attempt is the one currently in
+  // flight and it was a first attempt (Karn's rule).
+  const auto it = outstanding_.find(frame.echo_seq);
+  if (it != outstanding_.end()) {
+    if (static_cast<int>(frame.echo_attempt) == it->second.stage) {
+      const int tx_path =
+          it->second
+              .attempt_paths[static_cast<std::size_t>(it->second.stage)];
+      if (hooks_.on_rtt_sample && it->second.stage == 0) {
+        hooks_.on_rtt_sample(tx_path, simulator_.now() - it->second.sent_at);
+      }
+      register_dupack_scan(tx_path, it->second.path_tx_index);
+    } else if (static_cast<int>(frame.echo_attempt) < it->second.stage) {
+      // The echoed attempt was already written off as lost and
+      // retransmitted, yet its ack arrived: the timeout was spurious.
+      const auto bit = static_cast<std::uint8_t>(1u << frame.echo_attempt);
+      if ((it->second.lost_attempt_mask & bit) != 0) {
+        it->second.lost_attempt_mask &= static_cast<std::uint8_t>(~bit);
+        if (hooks_.on_spurious_loss) {
+          hooks_.on_spurious_loss(
+              it->second.attempt_paths[frame.echo_attempt]);
+        }
+      }
+    }
+  } else {
+    // Already resolved: a late ack can still exonerate an attempt that was
+    // written off before the message completed.
+    const auto resolved = resolved_with_losses_.find(frame.echo_seq);
+    if (resolved != resolved_with_losses_.end()) {
+      const auto bit = static_cast<std::uint8_t>(1u << frame.echo_attempt);
+      if ((resolved->second.lost_attempt_mask & bit) != 0) {
+        resolved->second.lost_attempt_mask &= static_cast<std::uint8_t>(~bit);
+        if (hooks_.on_spurious_loss) {
+          hooks_.on_spurious_loss(
+              resolved->second.attempt_paths[frame.echo_attempt]);
+        }
+        if (resolved->second.lost_attempt_mask == 0) {
+          resolved_with_losses_.erase(resolved);
+        }
+      }
+    }
+  }
+
+  // Clear everything this frame acknowledges: the echo, the cumulative
+  // prefix, and the window bits. (The redundancy matters when earlier acks
+  // were lost on the return path.)
+  acknowledge(frame.echo_seq, /*count_hook=*/true);
+  std::vector<std::uint64_t> acked;
+  for (auto it2 = outstanding_.begin();
+       it2 != outstanding_.end() && it2->first < frame.cumulative; ++it2) {
+    acked.push_back(it2->first);
+  }
+  for (std::size_t k = 0; k < frame.window.size(); ++k) {
+    if (!frame.window[k]) continue;
+    const std::uint64_t seq = frame.window_base + k;
+    if (outstanding_.contains(seq)) acked.push_back(seq);
+  }
+  for (std::uint64_t seq : acked) acknowledge(seq, /*count_hook=*/false);
+}
+
+void DeadlineSender::replace_plan(
+    core::Plan plan, std::unique_ptr<core::ComboScheduler> scheduler) {
+  if (!plan.feasible()) {
+    throw std::invalid_argument("replace_plan: plan is not feasible");
+  }
+  if (!scheduler) throw std::invalid_argument("replace_plan: null scheduler");
+  plan_ = std::move(plan);
+  scheduler_ = std::move(scheduler);
+}
+
+}  // namespace dmc::proto

@@ -1,0 +1,136 @@
+// Client side of the deadline-aware protocol.
+//
+// The sender generates messages at the application rate lambda, assigns
+// each to a path combination with a scheduler (Algorithm 1 by default),
+// transmits and retransmits according to the plan's timeouts, drops
+// messages assigned to the blackhole, and processes acknowledgments.
+// Optional fast retransmit (Section VIII-D) advances to the next attempt
+// after a configurable number of acks for packets sent later on the same
+// path (per-path reordering being unlikely in this architecture).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/scheduler.h"
+#include "protocol/ack.h"
+#include "protocol/trace.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace dmc::proto {
+
+struct SenderConfig {
+  std::uint64_t num_messages = 100000;
+  std::size_t message_bytes = sim::kDefaultMessageBytes;
+  // Extra slack added to every plan timeout at execution time (the paper
+  // adds 100 ms in Experiment 1 to absorb queueing-delay deviation).
+  double timeout_guard_s = 0.0;
+  // Fast retransmit after this many acks for later same-path packets;
+  // 0 disables the mechanism. TCP uses 3 (Section VIII-D).
+  int fast_retransmit_dupacks = 0;
+};
+
+// Observer hooks for online estimation (estimation/adaptive.h) and tests.
+struct SenderHooks {
+  // rtt: echo-based round-trip sample for a first-attempt transmission on
+  // `path` (Karn's rule: retransmitted attempts produce no sample).
+  std::function<void(int path, double rtt)> on_rtt_sample;
+  // A transmission on `path` was declared lost (timer or fast retransmit).
+  std::function<void(int path)> on_loss_inferred;
+  // A previously inferred loss on `path` turned out spurious: the ack for
+  // the "lost" attempt arrived after the timer had already fired (Eifel-
+  // style detection). Estimators should revert the loss sample.
+  std::function<void(int path)> on_spurious_loss;
+  // A transmission on `path` was acknowledged.
+  std::function<void(int path)> on_ack_for_path;
+  // A message was generated (fires before assignment).
+  std::function<void(std::uint64_t seq)> on_generated;
+};
+
+class DeadlineSender {
+ public:
+  using DataSender = std::function<void(int path, sim::Packet)>;
+
+  DeadlineSender(sim::Simulator& simulator, core::Plan plan,
+                 std::unique_ptr<core::ComboScheduler> scheduler,
+                 SenderConfig config, Trace& trace);
+  ~DeadlineSender();
+
+  DeadlineSender(const DeadlineSender&) = delete;
+  DeadlineSender& operator=(const DeadlineSender&) = delete;
+
+  void set_data_sender(DataSender sender) { data_sender_ = std::move(sender); }
+  void set_hooks(SenderHooks hooks) { hooks_ = std::move(hooks); }
+
+  // Schedules message generation starting at the current simulation time.
+  void start();
+
+  // Hook for acknowledgment packets arriving from the network.
+  void on_ack(int path, const sim::Packet& packet);
+
+  // Swaps in a new plan and scheduler; messages already in flight keep the
+  // timeouts they were sent with. Used by the adaptive controller.
+  void replace_plan(core::Plan plan,
+                    std::unique_ptr<core::ComboScheduler> scheduler);
+
+  const core::Plan& plan() const { return plan_; }
+  std::uint64_t outstanding() const { return outstanding_.size(); }
+
+ private:
+  // A message still being worked on: which attempt sequence it follows and
+  // where it currently stands.
+  struct Outstanding {
+    std::vector<int> attempt_paths;    // real path per attempt; -1 = blackhole
+    std::vector<double> timeouts;      // timeout after attempt k
+    int stage = 0;                     // current attempt index
+    double created_at = 0.0;
+    double sent_at = 0.0;              // when the current attempt went out
+    sim::EventId timer;
+    std::uint64_t path_tx_index = 0;   // per-path send counter of the
+                                       // current attempt (fast retransmit)
+    int dupacks = 0;
+    std::uint8_t lost_attempt_mask = 0;  // attempts written off as lost
+  };
+
+  // Messages that resolved while carrying loss verdicts: a late ack for
+  // one of their written-off attempts proves the loss was spurious.
+  struct ResolvedRecord {
+    std::vector<int> attempt_paths;
+    std::uint8_t lost_attempt_mask = 0;
+  };
+
+  void generate_next();
+  void assign_and_send(std::uint64_t seq);
+  void transmit(std::uint64_t seq, Outstanding& state, bool is_fast);
+  void on_attempt_failed(std::uint64_t seq, bool is_fast);
+  void acknowledge(std::uint64_t seq, bool count_hook);
+  void register_dupack_scan(int real_path, std::uint64_t acked_tx_index);
+
+  sim::Simulator& simulator_;
+  core::Plan plan_;
+  std::unique_ptr<core::ComboScheduler> scheduler_;
+  SenderConfig config_;
+  Trace& trace_;
+  DataSender data_sender_;
+  SenderHooks hooks_;
+
+  double inter_message_s_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+
+  // Ordered so that cumulative acknowledgments can sweep a prefix.
+  std::map<std::uint64_t, Outstanding> outstanding_;
+  // Bounded history for spurious-loss reversal after resolution.
+  std::map<std::uint64_t, ResolvedRecord> resolved_with_losses_;
+  static constexpr std::size_t kResolvedHistory = 8192;
+  // Per real path: send counter and outstanding transmissions in send order
+  // (tx index -> seq), for the dup-ack scan.
+  std::vector<std::uint64_t> path_tx_counter_;
+  std::vector<std::map<std::uint64_t, std::uint64_t>> path_outstanding_;
+};
+
+}  // namespace dmc::proto

@@ -1,0 +1,135 @@
+#include "protocol/session.h"
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "protocol/receiver.h"
+#include "protocol/sender.h"
+#include "sim/simulator.h"
+
+namespace dmc::proto {
+
+std::vector<sim::PathConfig> to_sim_paths(const core::PathSet& paths,
+                                          double bandwidth_headroom,
+                                          std::size_t queue_capacity) {
+  if (bandwidth_headroom < 1.0) {
+    throw std::invalid_argument("to_sim_paths: headroom must be >= 1");
+  }
+  std::vector<sim::PathConfig> out;
+  out.reserve(paths.size());
+  for (const core::PathSpec& p : paths) {
+    if (p.is_blackhole()) {
+      throw std::invalid_argument("to_sim_paths: blackhole is not simulated");
+    }
+    sim::LinkConfig link;
+    link.rate_bps = p.bandwidth_bps * bandwidth_headroom;
+    link.loss_rate = p.loss_rate;
+    link.queue_capacity = queue_capacity;
+    if (p.is_random()) {
+      // Shift goes into the fixed propagation part when known; the sampled
+      // component rides on top. For arbitrary distributions, sample the
+      // whole delay (prop = 0).
+      link.prop_delay_s = p.delay_dist->min_support();
+      link.extra_delay = stats::make_shifted(p.delay_dist,
+                                             -p.delay_dist->min_support());
+    } else {
+      link.prop_delay_s = p.delay_s;
+    }
+    out.push_back(sim::symmetric_path(link, p.name));
+  }
+  return out;
+}
+
+namespace {
+
+int lowest_delay_path(const std::vector<sim::PathConfig>& paths) {
+  int best = 0;
+  double best_delay = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    double d = paths[i].forward.prop_delay_s;
+    if (paths[i].forward.extra_delay) {
+      d += paths[i].forward.extra_delay->mean();
+    }
+    if (d < best_delay) {
+      best_delay = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SessionResult run_session(const core::Plan& plan,
+                          const std::vector<sim::PathConfig>& true_paths,
+                          const SessionConfig& config) {
+  if (!plan.feasible()) {
+    throw std::invalid_argument("run_session: plan is not feasible");
+  }
+  if (plan.model().real_paths().size() != true_paths.size()) {
+    throw std::invalid_argument(
+        "run_session: plan and network disagree on the number of paths");
+  }
+
+  sim::Simulator simulator(config.seed);
+  sim::Network network(simulator, true_paths);
+
+  Trace trace;
+
+  ReceiverConfig receiver_config;
+  receiver_config.lifetime_s = plan.model().traffic().lifetime_s;
+  receiver_config.ack_path = config.ack_path >= 0
+                                 ? config.ack_path
+                                 : lowest_delay_path(true_paths);
+  receiver_config.ack_window_bits = config.ack_window_bits;
+  receiver_config.max_ack_bytes = config.max_ack_bytes;
+  receiver_config.ack_overhead_bytes = config.ack_overhead_bytes;
+  receiver_config.ack_every = config.ack_every;
+  DeadlineReceiver receiver(simulator, receiver_config, trace);
+
+  SenderConfig sender_config;
+  sender_config.num_messages = config.num_messages;
+  sender_config.message_bytes = config.message_bytes;
+  sender_config.timeout_guard_s = config.timeout_guard_s;
+  sender_config.fast_retransmit_dupacks = config.fast_retransmit_dupacks;
+  DeadlineSender sender(simulator, plan,
+                        core::make_scheduler(config.scheduler, plan.x(),
+                                             config.seed ^ 0x5eedULL),
+                        sender_config, trace);
+
+  receiver.set_ack_sender([&network](int path, sim::Packet packet) {
+    network.server_send(path, std::move(packet));
+  });
+  sender.set_data_sender([&network](int path, sim::Packet packet) {
+    network.client_send(path, std::move(packet));
+  });
+  network.set_server_receiver([&receiver](int path, sim::Packet packet) {
+    receiver.on_data(path, packet);
+  });
+  network.set_client_receiver([&sender](int path, sim::Packet packet) {
+    sender.on_ack(path, packet);
+  });
+
+  sender.start();
+  simulator.run();
+
+  SessionResult result;
+  result.trace = trace;
+  result.measured_quality = trace.quality();
+  result.elapsed_s = simulator.now();
+  result.events = simulator.events_executed();
+  for (std::size_t i = 0; i < true_paths.size(); ++i) {
+    result.forward_links.push_back(network.forward_link(static_cast<int>(i)).stats());
+    result.reverse_links.push_back(network.reverse_link(static_cast<int>(i)).stats());
+  }
+  stats::SampleSet& delays = receiver.delay_samples();
+  if (delays.count() > 0) {
+    result.delay_mean_s = delays.mean();
+    result.delay_p50_s = delays.quantile(0.5);
+    result.delay_p99_s = delays.quantile(0.99);
+  }
+  return result;
+}
+
+}  // namespace dmc::proto

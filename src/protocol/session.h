@@ -1,0 +1,64 @@
+// End-to-end wiring: a plan, a simulated network, a sender, and a receiver.
+// run_session() is the reproduction of the paper's experiment loop: the
+// client generates N timestamped messages at rate lambda, the server
+// verifies deadlines and acknowledges on the lowest-delay path, and the
+// measured quality is on_time / generated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/scheduler.h"
+#include "protocol/trace.h"
+#include "sim/link.h"
+#include "sim/network.h"
+#include "stats/summary.h"
+
+namespace dmc::proto {
+
+struct SessionConfig {
+  std::uint64_t num_messages = 100000;  // paper: 100,000 messages
+  std::size_t message_bytes = 1024;     // paper: 1024 B incl. header
+  core::SchedulerKind scheduler = core::SchedulerKind::deficit;
+  std::uint64_t seed = 1;
+  double timeout_guard_s = 0.0;         // extra slack on plan timeouts
+  int fast_retransmit_dupacks = 0;      // 0 = off (Section VIII-D)
+  // Ack parameters (Section VIII-C).
+  std::size_t ack_window_bits = 256;
+  std::size_t max_ack_bytes = 64;
+  std::size_t ack_overhead_bytes = 28;
+  std::uint32_t ack_every = 1;
+  // Ack return path; -1 = pick the true lowest-delay path automatically.
+  int ack_path = -1;
+};
+
+struct SessionResult {
+  Trace trace;
+  double measured_quality = 0.0;  // on_time / generated
+  double elapsed_s = 0.0;         // simulated duration
+  std::uint64_t events = 0;       // simulator events executed
+  std::vector<sim::LinkStats> forward_links;
+  std::vector<sim::LinkStats> reverse_links;
+  // One-way delay of first arrivals: mean / p50 / p99 (seconds).
+  double delay_mean_s = 0.0;
+  double delay_p50_s = 0.0;
+  double delay_p99_s = 0.0;
+};
+
+// Simulates `plan` over the given *true* network paths (which may differ
+// from the paths the plan was computed for — that gap is Experiment 3).
+SessionResult run_session(const core::Plan& plan,
+                          const std::vector<sim::PathConfig>& true_paths,
+                          const SessionConfig& config = {});
+
+// Converts true path characteristics into simulator link configs. The
+// reverse (ack) direction mirrors the forward one, like a bidirectional
+// point-to-point channel. `bandwidth_headroom` scales the link rate above
+// the modeled bandwidth (Experiment 2 over-provisions to isolate the delay
+// distribution from queueing).
+std::vector<sim::PathConfig> to_sim_paths(const core::PathSet& paths,
+                                          double bandwidth_headroom = 1.0,
+                                          std::size_t queue_capacity = 100);
+
+}  // namespace dmc::proto

@@ -1,0 +1,30 @@
+// Counters collected during a protocol run; the measured communication
+// quality (on_time / generated) is the simulation series of Figure 2.
+#pragma once
+
+#include <cstdint>
+
+namespace dmc::proto {
+
+struct Trace {
+  std::uint64_t generated = 0;           // messages produced by the app
+  std::uint64_t assigned_blackhole = 0;  // dropped deliberately (x0,*)
+  std::uint64_t transmissions = 0;       // data packets handed to links
+  std::uint64_t retransmissions = 0;     // transmissions with attempt > 0
+  std::uint64_t fast_retransmissions = 0;  // triggered by dup-acks, not timer
+  std::uint64_t delivered_unique = 0;    // first arrivals at the receiver
+  std::uint64_t on_time = 0;             // first arrival within the lifetime
+  std::uint64_t late = 0;                // first arrival after the deadline
+  std::uint64_t duplicates = 0;          // repeat arrivals
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t gave_up = 0;             // exhausted attempts without an ack
+
+  double quality() const {
+    return generated > 0
+               ? static_cast<double>(on_time) / static_cast<double>(generated)
+               : 0.0;
+  }
+};
+
+}  // namespace dmc::proto

@@ -1,0 +1,47 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace dmc::sim {
+
+EventId EventQueue::schedule(Time time, Callback callback) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{time, seq});
+  callbacks_.emplace(seq, std::move(callback));
+  ++live_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  const auto erased = callbacks_.erase(id.value);
+  if (erased > 0) {
+    --live_;
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() {
+  skip_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty");
+  return heap_.top().time;
+}
+
+std::pair<Time, EventQueue::Callback> EventQueue::pop() {
+  skip_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty");
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto node = callbacks_.extract(entry.seq);
+  --live_;
+  return {entry.time, std::move(node.mapped())};
+}
+
+}  // namespace dmc::sim

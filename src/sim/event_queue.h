@@ -1,0 +1,58 @@
+// Time-ordered event queue for the discrete-event simulator. Events at the
+// same timestamp execute in scheduling (FIFO) order, which keeps runs
+// deterministic. Cancellation is O(1) via lazy deletion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace dmc::sim {
+
+using Time = double;  // seconds since simulation start
+
+struct EventId {
+  std::uint64_t value = 0;  // 0 means "no event"
+  bool valid() const { return value != 0; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventId schedule(Time time, Callback callback);
+
+  // Returns true if the event existed and had not yet run.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  // Time of the next live event; queue must not be empty.
+  Time next_time();
+
+  // Pops and returns the next live event's callback, advancing past any
+  // cancelled entries. Queue must not be empty.
+  std::pair<Time, Callback> pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void skip_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace dmc::sim

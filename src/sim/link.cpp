@@ -1,0 +1,103 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/units.h"
+
+namespace dmc::sim {
+
+Link::Link(Simulator& simulator, LinkConfig config, std::string name)
+    : simulator_(simulator),
+      config_(std::move(config)),
+      name_(std::move(name)),
+      rng_(simulator.rng().fork()) {
+  if (config_.rate_bps <= 0.0) {
+    throw std::invalid_argument("Link '" + name_ + "': rate must be > 0");
+  }
+  if (config_.prop_delay_s < 0.0) {
+    throw std::invalid_argument("Link '" + name_ + "': negative delay");
+  }
+  if (config_.loss_rate < 0.0 || config_.loss_rate > 1.0) {
+    throw std::invalid_argument("Link '" + name_ + "': loss not in [0,1]");
+  }
+}
+
+void Link::send(Packet packet) {
+  ++stats_.offered;
+  if (queue_depth_ >= config_.queue_capacity) {
+    ++stats_.queue_drops;
+    return;
+  }
+  ++queue_depth_;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth_);
+
+  const double serialization =
+      bytes_to_bits(static_cast<double>(packet.size_bytes)) / config_.rate_bps;
+  const Time start = std::max(simulator_.now(), free_at_);
+  const Time departure = start + serialization;
+  free_at_ = departure;
+  stats_.busy_time_s += serialization;
+  stats_.bytes_sent += static_cast<double>(packet.size_bytes);
+
+  simulator_.at(departure, [this, p = std::move(packet)]() mutable {
+    depart(std::move(p));
+  });
+}
+
+bool Link::draw_loss() {
+  if (!config_.burst_loss.has_value()) {
+    return rng_.bernoulli(config_.loss_rate);
+  }
+  const BurstLoss& burst = *config_.burst_loss;
+  if (in_bad_state_) {
+    if (rng_.bernoulli(burst.p_exit_bad)) in_bad_state_ = false;
+  } else {
+    if (rng_.bernoulli(burst.p_enter_bad)) in_bad_state_ = true;
+  }
+  return rng_.bernoulli(in_bad_state_ ? burst.loss_bad : config_.loss_rate);
+}
+
+void Link::set_loss_rate(double loss_rate) {
+  if (loss_rate < 0.0 || loss_rate > 1.0) {
+    throw std::invalid_argument("set_loss_rate: not in [0,1]");
+  }
+  config_.loss_rate = loss_rate;
+}
+
+void Link::set_prop_delay(double delay_s) {
+  if (delay_s < 0.0) throw std::invalid_argument("set_prop_delay: negative");
+  config_.prop_delay_s = delay_s;
+}
+
+void Link::set_rate(double rate_bps) {
+  if (rate_bps <= 0.0) throw std::invalid_argument("set_rate: must be > 0");
+  config_.rate_bps = rate_bps;
+}
+
+void Link::depart(Packet packet) {
+  --queue_depth_;
+  if (draw_loss()) {
+    ++stats_.loss_drops;
+    return;
+  }
+  double delay = config_.prop_delay_s;
+  if (config_.extra_delay) delay += config_.extra_delay->sample(rng_);
+  Time arrival = simulator_.now() + delay;
+  if (config_.preserve_order) {
+    arrival = std::max(arrival, last_arrival_);
+    last_arrival_ = arrival;
+  }
+  simulator_.at(arrival, [this, p = std::move(packet)]() mutable {
+    ++stats_.delivered;
+    if (receiver_) receiver_(std::move(p));
+  });
+}
+
+double Link::utilization() const {
+  const Time elapsed = simulator_.now();
+  return elapsed > 0.0 ? stats_.busy_time_s / elapsed : 0.0;
+}
+
+}  // namespace dmc::sim

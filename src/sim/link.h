@@ -1,0 +1,105 @@
+// Unidirectional point-to-point link: finite transmission rate
+// (serialization delay), fixed propagation delay, optional random extra
+// delay (the shifted-gamma jitter of Experiment 2), Bernoulli packet
+// erasure, and a finite drop-tail queue. Queueing delay therefore *emerges*
+// when a link runs near capacity, which is the effect Experiment 1 guards
+// against with conservative delay estimates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "stats/distributions.h"
+
+namespace dmc::sim {
+
+// Two-state Markov (Gilbert-Elliott) burst-loss model. The chain steps once
+// per packet; in the bad state packets are lost with `loss_bad`, in the good
+// state with the link's base loss_rate. The stationary loss rate is
+//   pi_bad = p_enter_bad / (p_enter_bad + p_exit_bad)
+//   loss   = (1 - pi_bad) * loss_rate + pi_bad * loss_bad,
+// so bursts can be added while holding the average fixed — the correlated-
+// loss regime of Section IX-B / Bolot [31].
+struct BurstLoss {
+  double p_enter_bad = 0.0;  // P(good -> bad) per packet
+  double p_exit_bad = 1.0;   // P(bad -> good) per packet
+  double loss_bad = 1.0;     // erasure probability while in the bad state
+};
+
+struct LinkConfig {
+  double rate_bps = 0.0;        // transmission (serialization) rate, > 0
+  double prop_delay_s = 0.0;    // fixed one-way propagation delay
+  double loss_rate = 0.0;       // i.i.d. packet erasure probability
+  // Optional correlated-loss overlay; when set, loss_rate applies in the
+  // good state and BurstLoss governs the bad state.
+  std::optional<BurstLoss> burst_loss;
+  std::size_t queue_capacity = 100;  // packets awaiting transmission
+  // Optional per-packet random delay added on top of prop_delay_s; models
+  // d = eta + X with prop_delay_s = eta and extra_delay = X (Section VI-B).
+  stats::DelayDistributionPtr extra_delay;
+  // Real single-route paths are FIFO: delay jitter comes from queueing and
+  // never reorders packets. When true (default), a sampled arrival time is
+  // clamped to be no earlier than the previous packet's arrival, preserving
+  // the paper's "per-path packet re-ordering is a relatively unlikely
+  // event" assumption (Section VIII-D). Set false to model multi-route
+  // paths that genuinely reorder.
+  bool preserve_order = true;
+};
+
+struct LinkStats {
+  std::uint64_t offered = 0;       // packets handed to send()
+  std::uint64_t queue_drops = 0;   // dropped: queue full
+  std::uint64_t loss_drops = 0;    // dropped: Bernoulli erasure
+  std::uint64_t delivered = 0;     // handed to the receiver callback
+  double bytes_sent = 0.0;
+  double busy_time_s = 0.0;        // total serialization time
+  std::size_t max_queue_depth = 0;
+};
+
+class Link {
+ public:
+  using Receiver = std::function<void(Packet)>;
+
+  Link(Simulator& simulator, LinkConfig config, std::string name);
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  // Hands a packet to the link. Drops silently (recorded in stats) when the
+  // queue is full, like a drop-tail router queue.
+  void send(Packet packet);
+
+  const LinkConfig& config() const { return config_; }
+  const LinkStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  std::size_t queue_depth() const { return queue_depth_; }
+
+  // Mean utilization so far: busy time / elapsed time.
+  double utilization() const;
+
+  // Live reconfiguration (time-varying conditions; the adaptive controller
+  // is expected to notice through its estimators, not through these).
+  void set_loss_rate(double loss_rate);
+  void set_prop_delay(double delay_s);
+  void set_rate(double rate_bps);
+
+ private:
+  void depart(Packet packet);
+  bool draw_loss();
+
+  Simulator& simulator_;
+  LinkConfig config_;
+  std::string name_;
+  Receiver receiver_;
+  LinkStats stats_;
+  stats::Rng rng_;          // per-link stream (loss + jitter draws)
+  Time free_at_ = 0.0;      // when the transmitter finishes its backlog
+  Time last_arrival_ = 0.0; // FIFO clamp for jittered arrivals
+  std::size_t queue_depth_ = 0;
+  bool in_bad_state_ = false;  // Gilbert-Elliott state
+};
+
+}  // namespace dmc::sim

@@ -1,0 +1,60 @@
+#include "sim/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dmc::sim {
+
+PathConfig symmetric_path(LinkConfig both_directions, std::string name) {
+  PathConfig path;
+  path.forward = both_directions;
+  path.reverse = std::move(both_directions);
+  path.name = std::move(name);
+  return path;
+}
+
+Network::Network(Simulator& simulator, std::vector<PathConfig> paths) {
+  if (paths.empty()) {
+    throw std::invalid_argument("Network: need at least one path");
+  }
+  forward_.reserve(paths.size());
+  reverse_.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::string base =
+        paths[i].name.empty() ? ("path" + std::to_string(i)) : paths[i].name;
+    forward_.push_back(std::make_unique<Link>(
+        simulator, std::move(paths[i].forward), base + "/fwd"));
+    reverse_.push_back(std::make_unique<Link>(
+        simulator, std::move(paths[i].reverse), base + "/rev"));
+  }
+}
+
+void Network::set_server_receiver(Receiver receiver) {
+  for (std::size_t i = 0; i < forward_.size(); ++i) {
+    forward_[i]->set_receiver(
+        [receiver, path = static_cast<int>(i)](Packet packet) {
+          receiver(path, std::move(packet));
+        });
+  }
+}
+
+void Network::set_client_receiver(Receiver receiver) {
+  for (std::size_t i = 0; i < reverse_.size(); ++i) {
+    reverse_[i]->set_receiver(
+        [receiver, path = static_cast<int>(i)](Packet packet) {
+          receiver(path, std::move(packet));
+        });
+  }
+}
+
+void Network::client_send(int path, Packet packet) {
+  packet.path = path;
+  forward_.at(path)->send(std::move(packet));
+}
+
+void Network::server_send(int path, Packet packet) {
+  packet.path = path;
+  reverse_.at(path)->send(std::move(packet));
+}
+
+}  // namespace dmc::sim

@@ -1,0 +1,55 @@
+// A client and a server joined by n independent bidirectional paths, each a
+// pair of unidirectional links. This reproduces the paper's Experiment
+// setup: "multiple UDP sockets between two network nodes ... associated with
+// different devices communicating in pairs over a point-to-point channel"
+// (Section VII-A). Path i's forward link carries data, its reverse link
+// carries acknowledgments.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/link.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace dmc::sim {
+
+struct PathConfig {
+  LinkConfig forward;   // client -> server (data)
+  LinkConfig reverse;   // server -> client (acks)
+  std::string name;
+};
+
+// Builds a symmetric path: the reverse link mirrors the forward link's
+// characteristics, matching a bidirectional point-to-point channel.
+PathConfig symmetric_path(LinkConfig both_directions, std::string name);
+
+class Network {
+ public:
+  // Receiver callbacks get the path index the packet arrived on.
+  using Receiver = std::function<void(int path, Packet)>;
+
+  Network(Simulator& simulator, std::vector<PathConfig> paths);
+
+  std::size_t num_paths() const { return forward_.size(); }
+
+  void set_server_receiver(Receiver receiver);
+  void set_client_receiver(Receiver receiver);
+
+  void client_send(int path, Packet packet);
+  void server_send(int path, Packet packet);
+
+  Link& forward_link(int path) { return *forward_.at(path); }
+  Link& reverse_link(int path) { return *reverse_.at(path); }
+  const Link& forward_link(int path) const { return *forward_.at(path); }
+  const Link& reverse_link(int path) const { return *reverse_.at(path); }
+
+ private:
+  std::vector<std::unique_ptr<Link>> forward_;
+  std::vector<std::unique_ptr<Link>> reverse_;
+};
+
+}  // namespace dmc::sim

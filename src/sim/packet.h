@@ -1,0 +1,32 @@
+// Simulated packets. Mirrors the paper's Experiment setup: each data
+// message is 1024 bytes including an application header with a creation
+// timestamp and a sequence number; acknowledgments carry the encoded ack
+// frame (protocol/ack.h) whose byte size determines their transmission time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace dmc::sim {
+
+// 1024 bytes per message as in Section VII-A, header included.
+inline constexpr std::size_t kDefaultMessageBytes = 1024;
+
+struct Packet {
+  // --- On-the-wire fields -------------------------------------------------
+  std::uint64_t seq = 0;      // application sequence number
+  Time created_at = 0.0;      // application-header timestamp
+  std::uint8_t attempt = 0;   // which (re)transmission this is, 0-based
+  bool is_ack = false;
+  std::vector<std::uint8_t> ack_payload;  // encoded AckFrame when is_ack
+  std::size_t size_bytes = kDefaultMessageBytes;
+
+  // --- Simulation/tracing metadata (not transmitted) ----------------------
+  int path = -1;               // path index the packet rides
+  Time sent_at = 0.0;          // when the sender handed it to the link
+};
+
+}  // namespace dmc::sim

@@ -1,0 +1,51 @@
+// Discrete-event simulation kernel: a clock, an event queue, and a seeded
+// random stream. This is the substrate that stands in for ns-3 in the
+// paper's evaluation (Section VII-A); see DESIGN.md for the substitution
+// rationale.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "stats/rng.h"
+
+namespace dmc::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `callback` at absolute time `t` (must be >= now()).
+  EventId at(Time t, EventQueue::Callback callback);
+
+  // Schedules `callback` `dt` seconds from now (dt >= 0).
+  EventId in(Time dt, EventQueue::Callback callback) {
+    return at(now_ + dt, std::move(callback));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Runs until the event queue drains.
+  void run();
+
+  // Runs events with time <= `t`, then sets the clock to `t`.
+  void run_until(Time t);
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+  stats::Rng& rng() { return rng_; }
+
+ private:
+  Time now_ = 0.0;
+  EventQueue queue_;
+  stats::Rng rng_;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace dmc::sim

@@ -1,0 +1,169 @@
+#include "stats/convolution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmc::stats {
+
+GriddedDistribution::GriddedDistribution(double lo, double step,
+                                         std::vector<double> cdf_values)
+    : lo_(lo), step_(step), cdf_(std::move(cdf_values)) {
+  if (cdf_.size() < 2) {
+    throw std::invalid_argument("GriddedDistribution: need >= 2 grid points");
+  }
+  if (step <= 0.0) {
+    throw std::invalid_argument("GriddedDistribution: step must be > 0");
+  }
+  // Clamp to [0, 1], enforce monotonicity, pin the last point to 1 so the
+  // tabulated CDF is a genuine distribution function.
+  double prev = 0.0;
+  for (double& v : cdf_) {
+    v = std::clamp(v, 0.0, 1.0);
+    v = std::max(v, prev);
+    prev = v;
+  }
+  cdf_.back() = 1.0;
+
+  // Moments by midpoint rule over the implied density.
+  double mean = 0.0;
+  double second = 0.0;
+  for (std::size_t k = 1; k < cdf_.size(); ++k) {
+    const double mass = cdf_[k] - cdf_[k - 1];
+    const double mid = lo_ + (static_cast<double>(k) - 0.5) * step_;
+    mean += mass * mid;
+    second += mass * mid * mid;
+  }
+  mean_ = mean;
+  variance_ = std::max(0.0, second - mean * mean);
+}
+
+double GriddedDistribution::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  const double pos = (x - lo_) / step_;
+  const auto k = static_cast<std::size_t>(pos);
+  if (k + 1 >= cdf_.size()) return 1.0;
+  const double frac = pos - static_cast<double>(k);
+  return cdf_[k] + frac * (cdf_[k + 1] - cdf_[k]);
+}
+
+double GriddedDistribution::pdf(double x) const {
+  if (x <= lo_ || x >= lo_ + step_ * static_cast<double>(cdf_.size() - 1)) {
+    return 0.0;
+  }
+  const double h = step_;
+  return (cdf(x + 0.5 * h) - cdf(x - 0.5 * h)) / h;
+}
+
+double GriddedDistribution::quantile(double p) const {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::domain_error("quantile: p must be in [0,1)");
+  }
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), p);
+  const auto k = static_cast<std::size_t>(it - cdf_.begin());
+  if (k == 0) return lo_;
+  const double c0 = cdf_[k - 1];
+  const double c1 = cdf_[k];
+  const double frac = (c1 > c0) ? (p - c0) / (c1 - c0) : 0.0;
+  return lo_ + (static_cast<double>(k - 1) + frac) * step_;
+}
+
+double GriddedDistribution::sample(Rng& rng) const {
+  return quantile(rng.uniform());
+}
+
+std::string GriddedDistribution::describe() const {
+  std::ostringstream out;
+  out << "Gridded(lo=" << lo_ << ", step=" << step_ << ", n=" << cdf_.size()
+      << ")";
+  return out.str();
+}
+
+namespace {
+
+const DeterministicDelay* as_deterministic(const DelayDistributionPtr& d) {
+  return dynamic_cast<const DeterministicDelay*>(d.get());
+}
+
+const ShiftedGammaDelay* as_shifted_gamma(const DelayDistributionPtr& d) {
+  return dynamic_cast<const ShiftedGammaDelay*>(d.get());
+}
+
+// Numeric convolution: discretize B into probability masses per grid cell,
+// then F_{A+B}(t) = sum_cells mass_b(s) * F_A(t - s).
+DelayDistributionPtr numeric_sum(const DelayDistributionPtr& a,
+                                 const DelayDistributionPtr& b,
+                                 const ConvolutionOptions& options) {
+  const double a_lo = a->quantile(0.0);
+  const double a_hi = a->quantile(1.0 - options.tail);
+  const double b_lo = b->quantile(0.0);
+  const double b_hi = b->quantile(1.0 - options.tail);
+
+  double step = options.step;
+  const double width = (a_hi + b_hi) - (a_lo + b_lo);
+  if (width / step > static_cast<double>(options.max_points)) {
+    step = width / static_cast<double>(options.max_points);
+  }
+
+  const auto b_cells = static_cast<std::size_t>(
+      std::ceil((b_hi - b_lo) / step)) + 1;
+  std::vector<double> b_mass(b_cells);
+  std::vector<double> b_mid(b_cells);
+  double prev_cdf = 0.0;
+  for (std::size_t k = 0; k < b_cells; ++k) {
+    const double right = b_lo + (static_cast<double>(k) + 1.0) * step;
+    const double c = b->cdf(right);
+    b_mass[k] = c - prev_cdf;
+    b_mid[k] = right - 0.5 * step;
+    prev_cdf = c;
+  }
+  // Fold any truncated upper-tail mass into the last cell.
+  b_mass[b_cells - 1] += 1.0 - prev_cdf;
+
+  const double lo = a_lo + b_lo;
+  const auto n = static_cast<std::size_t>(
+      std::ceil(((a_hi + b_hi) - lo) / step)) + 2;
+  std::vector<double> cdf(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = lo + static_cast<double>(i) * step;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < b_cells; ++k) {
+      if (b_mass[k] == 0.0) continue;
+      acc += b_mass[k] * a->cdf(t - b_mid[k]);
+    }
+    cdf[i] = acc;
+  }
+  return std::make_shared<GriddedDistribution>(lo, step, std::move(cdf));
+}
+
+}  // namespace
+
+DelayDistributionPtr sum_distribution(const DelayDistributionPtr& a,
+                                      const DelayDistributionPtr& b,
+                                      const ConvolutionOptions& options) {
+  if (!a || !b) throw std::invalid_argument("sum_distribution: null input");
+
+  // Deterministic + anything: a pure shift.
+  if (const auto* da = as_deterministic(a)) {
+    if (const auto* db = as_deterministic(b)) {
+      return make_deterministic(da->value() + db->value());
+    }
+    return make_shifted(b, da->value());
+  }
+  if (const auto* db = as_deterministic(b)) {
+    return make_shifted(a, db->value());
+  }
+
+  // Gamma + Gamma with a common scale: shapes add, shifts add.
+  const auto* ga = as_shifted_gamma(a);
+  const auto* gb = as_shifted_gamma(b);
+  if (ga != nullptr && gb != nullptr && ga->scale() == gb->scale()) {
+    return make_shifted_gamma(ga->shift() + gb->shift(),
+                              ga->shape() + gb->shape(), ga->scale());
+  }
+
+  return numeric_sum(a, b, options);
+}
+
+}  // namespace dmc::stats

@@ -1,0 +1,60 @@
+// Distribution of the sum of two independent delays, needed by the
+// retransmission-timeout optimization (Equation 34): the acknowledgment for
+// a transmission on path i arrives after d_i + d_min, whose CDF is the
+// convolution F_{X_i} * f_{X_min}.
+//
+// Exact closed forms are used where they exist (deterministic shifts, two
+// gammas with a common scale); everything else falls back to a dense grid.
+#pragma once
+
+#include <vector>
+
+#include "stats/distributions.h"
+
+namespace dmc::stats {
+
+// A distribution tabulated as a CDF on a uniform grid. Implements the full
+// DelayDistribution interface: cdf by linear interpolation, pdf by central
+// difference, quantile by inverse interpolation, sampling by inverse-CDF.
+class GriddedDistribution final : public DelayDistribution {
+ public:
+  // cdf_values[k] = P(X <= lo + k * step); must be nondecreasing, start
+  // near 0 and end near 1 (it is clamped and renormalized internally).
+  GriddedDistribution(double lo, double step, std::vector<double> cdf_values);
+
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double min_support() const override { return lo_; }
+  std::string describe() const override;
+
+  double grid_step() const { return step_; }
+  std::size_t grid_size() const { return cdf_.size(); }
+
+ private:
+  double lo_;
+  double step_;
+  std::vector<double> cdf_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+struct ConvolutionOptions {
+  // Grid resolution for the numeric fallback. 0.25 ms resolves the paper's
+  // millisecond-scale timeouts with sub-ms error.
+  double step = 0.25e-3;
+  // Support is truncated to [quantile(tail), quantile(1 - tail)] per input.
+  double tail = 1e-9;
+  // Hard cap on grid points to bound memory for very wide supports.
+  std::size_t max_points = 1 << 20;
+};
+
+// Distribution of A + B for independent A, B.
+DelayDistributionPtr sum_distribution(const DelayDistributionPtr& a,
+                                      const DelayDistributionPtr& b,
+                                      const ConvolutionOptions& options = {});
+
+}  // namespace dmc::stats

@@ -1,0 +1,202 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/gamma_math.h"
+
+namespace dmc::stats {
+
+// ---------------------------------------------------------------- constant
+
+DeterministicDelay::DeterministicDelay(double value) : value_(value) {
+  if (!(value >= 0.0) && !std::isinf(value)) {
+    throw std::invalid_argument("DeterministicDelay: value must be >= 0");
+  }
+}
+
+double DeterministicDelay::cdf(double x) const {
+  return x >= value_ ? 1.0 : 0.0;
+}
+
+double DeterministicDelay::pdf(double) const { return 0.0; }
+
+double DeterministicDelay::quantile(double p) const {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::domain_error("quantile: p must be in [0,1)");
+  }
+  return value_;
+}
+
+double DeterministicDelay::sample(Rng&) const { return value_; }
+
+std::string DeterministicDelay::describe() const {
+  std::ostringstream out;
+  out << "Deterministic(" << value_ << "s)";
+  return out.str();
+}
+
+// ------------------------------------------------------------ shifted gamma
+
+ShiftedGammaDelay::ShiftedGammaDelay(double shift, double shape, double scale)
+    : shift_(shift), shape_(shape), scale_(scale) {
+  if (shift < 0.0) {
+    throw std::invalid_argument("ShiftedGammaDelay: shift must be >= 0");
+  }
+  if (shape <= 0.0 || scale <= 0.0) {
+    throw std::invalid_argument(
+        "ShiftedGammaDelay: shape and scale must be > 0");
+  }
+}
+
+double ShiftedGammaDelay::cdf(double x) const {
+  if (x <= shift_) return 0.0;
+  return regularized_gamma_p(shape_, (x - shift_) / scale_);
+}
+
+double ShiftedGammaDelay::pdf(double x) const {
+  if (x < shift_) return 0.0;
+  return gamma_pdf(shape_, scale_, x - shift_);
+}
+
+double ShiftedGammaDelay::quantile(double p) const {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::domain_error("quantile: p must be in [0,1)");
+  }
+  if (p == 0.0) return shift_;
+  return shift_ + scale_ * inverse_regularized_gamma_p(shape_, p);
+}
+
+double ShiftedGammaDelay::sample(Rng& rng) const {
+  return shift_ + rng.gamma(shape_, scale_);
+}
+
+std::string ShiftedGammaDelay::describe() const {
+  std::ostringstream out;
+  out << "ShiftedGamma(shift=" << shift_ << ", shape=" << shape_
+      << ", scale=" << scale_ << ")";
+  return out.str();
+}
+
+// ---------------------------------------------------------------- uniform
+
+UniformDelay::UniformDelay(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (lo < 0.0 || hi < lo) {
+    throw std::invalid_argument("UniformDelay: need 0 <= lo <= hi");
+  }
+}
+
+double UniformDelay::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformDelay::pdf(double x) const {
+  if (x < lo_ || x > hi_ || hi_ == lo_) return 0.0;
+  return 1.0 / (hi_ - lo_);
+}
+
+double UniformDelay::quantile(double p) const {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::domain_error("quantile: p must be in [0,1)");
+  }
+  return lo_ + p * (hi_ - lo_);
+}
+
+double UniformDelay::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+std::string UniformDelay::describe() const {
+  std::ostringstream out;
+  out << "Uniform(" << lo_ << ", " << hi_ << ")";
+  return out.str();
+}
+
+// --------------------------------------------------------------- empirical
+
+EmpiricalDelay::EmpiricalDelay(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("EmpiricalDelay: need at least one sample");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  if (sorted_.front() < 0.0) {
+    throw std::invalid_argument("EmpiricalDelay: samples must be >= 0");
+  }
+  mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+          static_cast<double>(sorted_.size());
+  double m2 = 0.0;
+  for (double v : sorted_) m2 += (v - mean_) * (v - mean_);
+  variance_ = m2 / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDelay::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDelay::pdf(double) const { return 0.0; }
+
+double EmpiricalDelay::quantile(double p) const {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::domain_error("quantile: p must be in [0,1)");
+  }
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_.size()));
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+double EmpiricalDelay::sample(Rng& rng) const {
+  return sorted_[rng.integer(sorted_.size())];
+}
+
+std::string EmpiricalDelay::describe() const {
+  std::ostringstream out;
+  out << "Empirical(n=" << sorted_.size() << ", mean=" << mean_ << ")";
+  return out.str();
+}
+
+// ----------------------------------------------------------------- shifted
+
+ShiftedDelay::ShiftedDelay(DelayDistributionPtr base, double delta)
+    : base_(std::move(base)), delta_(delta) {
+  if (!base_) throw std::invalid_argument("ShiftedDelay: null base");
+  if (base_->min_support() + delta < 0.0) {
+    throw std::invalid_argument("ShiftedDelay: support would become negative");
+  }
+}
+
+std::string ShiftedDelay::describe() const {
+  std::ostringstream out;
+  out << base_->describe() << " + " << delta_;
+  return out.str();
+}
+
+// --------------------------------------------------------------- factories
+
+DelayDistributionPtr make_deterministic(double value) {
+  return std::make_shared<DeterministicDelay>(value);
+}
+
+DelayDistributionPtr make_shifted_gamma(double shift, double shape,
+                                        double scale) {
+  return std::make_shared<ShiftedGammaDelay>(shift, shape, scale);
+}
+
+DelayDistributionPtr make_uniform(double lo, double hi) {
+  return std::make_shared<UniformDelay>(lo, hi);
+}
+
+DelayDistributionPtr make_empirical(std::vector<double> samples) {
+  return std::make_shared<EmpiricalDelay>(std::move(samples));
+}
+
+DelayDistributionPtr make_shifted(DelayDistributionPtr base, double delta) {
+  return std::make_shared<ShiftedDelay>(std::move(base), delta);
+}
+
+}  // namespace dmc::stats

@@ -1,0 +1,162 @@
+// Delay distributions for the random-delay extension of the model
+// (Section VI-B). A path's one-way delay d_i is a random variable d_i ~ D_i;
+// the paper uses a shifted gamma distribution (Equations 24 and 31), and
+// Section VIII-A also suggests discretizing recorded samples, which the
+// Empirical distribution implements.
+//
+// Note on parameter conventions: the paper states E[d_i] = eta_i + alpha_i *
+// beta_i and Var[d_i] = alpha_i * beta_i^2, which makes beta a *scale*
+// parameter, while its Equation 31 writes gamma(alpha, beta x) (a rate
+// convention). The stated moments are the physically sensible reading for
+// Table V (E[d_1] = 400 + 10*4 = 440 ms), so this library uses the scale
+// convention throughout.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace dmc::stats {
+
+// Interface for a nonnegative-support random delay. All times in seconds.
+class DelayDistribution {
+ public:
+  virtual ~DelayDistribution() = default;
+
+  // P(delay <= x).
+  virtual double cdf(double x) const = 0;
+  // Density at x; step distributions return 0 away from their atoms.
+  virtual double pdf(double x) const = 0;
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+  // Smallest x with cdf(x) >= p, for p in [0, 1).
+  virtual double quantile(double p) const = 0;
+  virtual double sample(Rng& rng) const = 0;
+  // Infimum of the support (the location/shift parameter for shifted
+  // families); useful for bracketing numeric searches.
+  virtual double min_support() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using DelayDistributionPtr = std::shared_ptr<const DelayDistribution>;
+
+// A constant delay; reduces the random-delay model to the fixed-delay model
+// of Section V.
+class DeterministicDelay final : public DelayDistribution {
+ public:
+  explicit DeterministicDelay(double value);
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double min_support() const override { return value_; }
+  std::string describe() const override;
+
+  double value() const { return value_; }
+
+ private:
+  double value_;
+};
+
+// d = shift + X, X ~ Gamma(shape alpha, scale theta). The paper's Table V
+// model with eta = shift, alpha_i = alpha, beta_i = theta.
+class ShiftedGammaDelay final : public DelayDistribution {
+ public:
+  ShiftedGammaDelay(double shift, double shape, double scale);
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double mean() const override { return shift_ + shape_ * scale_; }
+  double variance() const override { return shape_ * scale_ * scale_; }
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double min_support() const override { return shift_; }
+  std::string describe() const override;
+
+  double shift() const { return shift_; }
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shift_;
+  double shape_;
+  double scale_;
+};
+
+// Uniform delay on [lo, hi]; handy in tests and for modelling jitter with
+// hard bounds.
+class UniformDelay final : public DelayDistribution {
+ public:
+  UniformDelay(double lo, double hi);
+  double cdf(double x) const override;
+  double pdf(double x) const override;
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double min_support() const override { return lo_; }
+  std::string describe() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+// Distribution of recorded delay samples (Section VIII-A's discretized
+// alternative to fitting a parametric family). CDF is the right-continuous
+// empirical step function; sampling is bootstrap resampling.
+class EmpiricalDelay final : public DelayDistribution {
+ public:
+  explicit EmpiricalDelay(std::vector<double> samples);
+  double cdf(double x) const override;
+  double pdf(double x) const override;  // always 0 (atoms), by convention
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  double quantile(double p) const override;
+  double sample(Rng& rng) const override;
+  double min_support() const override { return sorted_.front(); }
+  std::string describe() const override;
+
+  std::size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+// base shifted right by delta: d = delta + X.
+class ShiftedDelay final : public DelayDistribution {
+ public:
+  ShiftedDelay(DelayDistributionPtr base, double delta);
+  double cdf(double x) const override { return base_->cdf(x - delta_); }
+  double pdf(double x) const override { return base_->pdf(x - delta_); }
+  double mean() const override { return base_->mean() + delta_; }
+  double variance() const override { return base_->variance(); }
+  double quantile(double p) const override {
+    return base_->quantile(p) + delta_;
+  }
+  double sample(Rng& rng) const override { return base_->sample(rng) + delta_; }
+  double min_support() const override { return base_->min_support() + delta_; }
+  std::string describe() const override;
+
+ private:
+  DelayDistributionPtr base_;
+  double delta_;
+};
+
+// Convenience factories.
+DelayDistributionPtr make_deterministic(double value);
+DelayDistributionPtr make_shifted_gamma(double shift, double shape,
+                                        double scale);
+DelayDistributionPtr make_uniform(double lo, double hi);
+DelayDistributionPtr make_empirical(std::vector<double> samples);
+DelayDistributionPtr make_shifted(DelayDistributionPtr base, double delta);
+
+}  // namespace dmc::stats

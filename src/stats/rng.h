@@ -1,0 +1,55 @@
+// Deterministic random-number generation. Every stochastic component in the
+// library takes an explicit seed so that experiments are reproducible
+// run-to-run (DESIGN.md, "Determinism").
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace dmc::stats {
+
+// Thin wrapper over a 64-bit Mersenne Twister with the handful of draw
+// shapes the library needs. Copyable; copies continue the same stream
+// independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  double uniform() { return uniform_(engine_); }  // [0, 1)
+
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  // Gamma variate with shape alpha and *scale* theta (mean alpha * theta).
+  double gamma(double alpha, double scale) {
+    std::gamma_distribution<double> dist(alpha, scale);
+    return dist(engine_);
+  }
+
+  double exponential(double mean) {
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+  }
+
+  std::uint64_t integer(std::uint64_t bound) {  // [0, bound)
+    std::uniform_int_distribution<std::uint64_t> dist(0, bound - 1);
+    return dist(engine_);
+  }
+
+  // Derives an independent child stream; used to give each simulated link
+  // its own stream so adding a link never perturbs another link's draws.
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace dmc::stats

@@ -1,0 +1,92 @@
+// Streaming descriptive statistics (Welford) plus a sample store for
+// percentiles; used by estimators and by experiment reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace dmc::stats {
+
+// Constant-memory running mean / variance / extrema.
+class StreamingSummary {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  void reset() { *this = StreamingSummary{}; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Keeps all samples; provides exact quantiles. Fine for the sample counts
+// this library works with (<= a few hundred thousand doubles).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    summary_.add(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const { return summary_.mean(); }
+  double stddev() const { return summary_.stddev(); }
+  double variance() const { return summary_.variance(); }
+  double min() const { return summary_.min(); }
+  double max() const { return summary_.max(); }
+
+  // Exact sample quantile (nearest-rank), p in [0, 1].
+  double quantile(double p) {
+    if (samples_.empty()) {
+      throw std::logic_error("SampleSet::quantile on empty set");
+    }
+    if (p < 0.0 || p > 1.0) {
+      throw std::domain_error("quantile: p must be in [0,1]");
+    }
+    ensure_sorted();
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(rank, samples_.size() - 1)];
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+  std::vector<double> take_samples() && { return std::move(samples_); }
+
+ private:
+  void ensure_sorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  StreamingSummary summary_;
+  bool sorted_ = false;
+};
+
+}  // namespace dmc::stats

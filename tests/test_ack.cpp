@@ -1,0 +1,110 @@
+#include "protocol/ack.h"
+
+#include <gtest/gtest.h>
+
+namespace dmc::proto {
+namespace {
+
+AckFrame sample_frame() {
+  AckFrame frame;
+  frame.cumulative = 1000;
+  frame.window_base = 1000;
+  frame.echo_seq = 1234;
+  frame.echo_attempt = 2;
+  frame.window.assign(40, false);
+  frame.window[3] = true;
+  frame.window[17] = true;
+  frame.window[39] = true;
+  return frame;
+}
+
+TEST(Ack, EncodeDecodeRoundTrip) {
+  const AckFrame frame = sample_frame();
+  const auto bytes = encode_ack(frame, 256);
+  const AckFrame decoded = decode_ack(bytes);
+  EXPECT_EQ(decoded.cumulative, frame.cumulative);
+  EXPECT_EQ(decoded.window_base, frame.window_base);
+  EXPECT_EQ(decoded.echo_seq, frame.echo_seq);
+  EXPECT_EQ(decoded.echo_attempt, frame.echo_attempt);
+  EXPECT_EQ(decoded.window, frame.window);
+}
+
+TEST(Ack, EncodedSizeIsHeaderPlusPackedBits) {
+  AckFrame frame = sample_frame();
+  frame.window.assign(40, true);
+  EXPECT_EQ(encode_ack(frame, 256).size(), kAckHeaderBytes + 5);  // ceil(40/8)
+  frame.window.clear();
+  EXPECT_EQ(encode_ack(frame, 256).size(), kAckHeaderBytes);
+}
+
+TEST(Ack, WindowTruncatedToFitByteBudget) {
+  AckFrame frame = sample_frame();
+  frame.window.assign(1024, true);
+  const auto bytes = encode_ack(frame, kAckHeaderBytes + 8);  // room for 64 bits
+  const AckFrame decoded = decode_ack(bytes);
+  EXPECT_EQ(decoded.window.size(), 64u);
+  for (bool b : decoded.window) EXPECT_TRUE(b);
+}
+
+TEST(Ack, TruncationKeepsThePrefix) {
+  // The high bandwidth-delay-product case of Section VIII-C: the tail of
+  // the window is sacrificed, the oldest (most urgent) bits survive.
+  AckFrame frame = sample_frame();
+  frame.window.assign(100, false);
+  frame.window[0] = frame.window[5] = true;
+  frame.window[90] = true;  // will be cut
+  const AckFrame decoded = decode_ack(encode_ack(frame, kAckHeaderBytes + 2));
+  ASSERT_EQ(decoded.window.size(), 16u);
+  EXPECT_TRUE(decoded.window[0]);
+  EXPECT_TRUE(decoded.window[5]);
+}
+
+TEST(Ack, AcknowledgesSemantics) {
+  const AckFrame frame = sample_frame();
+  EXPECT_TRUE(frame.acknowledges(0));      // below cumulative
+  EXPECT_TRUE(frame.acknowledges(999));    // below cumulative
+  EXPECT_TRUE(frame.acknowledges(1234));   // the echo
+  EXPECT_TRUE(frame.acknowledges(1003));   // window bit 3
+  EXPECT_TRUE(frame.acknowledges(1017));   // window bit 17
+  EXPECT_FALSE(frame.acknowledges(1001));  // hole
+  EXPECT_FALSE(frame.acknowledges(5000));  // beyond window
+}
+
+TEST(Ack, RejectsTinyBudget) {
+  EXPECT_THROW((void)encode_ack(sample_frame(), kAckHeaderBytes - 1),
+               std::invalid_argument);
+}
+
+TEST(Ack, DecodeRejectsMalformedInput) {
+  std::vector<std::uint8_t> short_frame(kAckHeaderBytes - 1, 0);
+  EXPECT_THROW((void)decode_ack(short_frame), std::invalid_argument);
+
+  // Claim 64 window bits but provide no window bytes.
+  AckFrame frame = sample_frame();
+  frame.window.assign(64, true);
+  auto bytes = encode_ack(frame, 256);
+  bytes.resize(kAckHeaderBytes);  // chop the window off
+  EXPECT_THROW((void)decode_ack(bytes), std::invalid_argument);
+}
+
+class AckWindowSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AckWindowSizes, RoundTripsEveryOtherBitPattern) {
+  AckFrame frame;
+  frame.cumulative = 7;
+  frame.window_base = 7;
+  frame.echo_seq = 11;
+  frame.window.resize(GetParam());
+  for (std::size_t k = 0; k < frame.window.size(); ++k) {
+    frame.window[k] = (k % 2 == 0);
+  }
+  const AckFrame decoded = decode_ack(encode_ack(frame, 4096));
+  EXPECT_EQ(decoded.window, frame.window);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AckWindowSizes,
+                         ::testing::Values(0, 1, 7, 8, 9, 63, 64, 65, 255,
+                                           256, 1000));
+
+}  // namespace
+}  // namespace dmc::proto

@@ -1,0 +1,129 @@
+#include "estimation/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "protocol/session.h"
+
+namespace dmc::est {
+namespace {
+
+AdaptiveOptions base_options(core::PathSet initial, std::uint64_t messages) {
+  AdaptiveOptions options;
+  options.initial_estimates = std::move(initial);
+  options.session.num_messages = messages;
+  options.session.seed = 21;
+  options.replan_interval_s = 0.25;
+  return options;
+}
+
+TEST(Adaptive, ConvergesToNearTheoryWithColdStart) {
+  // True network: Table III. Initial beliefs: correct bandwidths (known
+  // provisioning), crude delay guesses, zero loss (Section VIII-A).
+  const auto truth = exp::table3_paths();
+  core::PathSet initial;
+  initial.add({.name = "path1",
+               .bandwidth_bps = mbps(80),
+               .delay_s = ms(300),
+               .loss_rate = 0.0});
+  initial.add({.name = "path2",
+               .bandwidth_bps = mbps(20),
+               .delay_s = ms(80),
+               .loss_rate = 0.0});
+  const core::TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+
+  auto options = base_options(initial, 60000);
+  options.delay_margin_factor = 1.15;
+  const auto result =
+      run_adaptive_session(proto::to_sim_paths(truth), traffic, options);
+
+  // The oracle plan (true conservative characteristics) reaches 93.3%.
+  EXPECT_GT(result.replans, 1);
+  EXPECT_GT(result.converged_quality, 0.88);
+  EXPECT_FALSE(result.timeline.empty());
+}
+
+TEST(Adaptive, StableEstimatesStopTriggeringReplans) {
+  const auto truth = exp::table3_paths();
+  core::PathSet initial = exp::table3_model_paths();  // near-perfect start
+  const core::TrafficSpec traffic{.rate_bps = mbps(40), .lifetime_s = ms(800)};
+
+  const auto result = run_adaptive_session(
+      proto::to_sim_paths(truth), traffic, base_options(initial, 40000));
+
+  // Re-plans happen early (loss estimate moves off 0), then stop: the
+  // change detector (Section VIII-B) suppresses needless solves.
+  ASSERT_GE(result.timeline.size(), 8u);
+  int late_replans = 0;
+  for (std::size_t i = result.timeline.size() / 2; i < result.timeline.size();
+       ++i) {
+    if (result.timeline[i].replanned) ++late_replans;
+  }
+  EXPECT_LE(late_replans, 2);
+  EXPECT_LT(result.replans, static_cast<int>(result.timeline.size()));
+}
+
+TEST(Adaptive, LossEstimateReachesTruePathLoss) {
+  const auto truth = exp::table3_paths();  // path 1 loses 20%
+  core::PathSet initial;
+  initial.add({.name = "path1",
+               .bandwidth_bps = mbps(80),
+               .delay_s = ms(450),
+               .loss_rate = 0.0});
+  initial.add({.name = "path2",
+               .bandwidth_bps = mbps(20),
+               .delay_s = ms(150),
+               .loss_rate = 0.0});
+  const core::TrafficSpec traffic{.rate_bps = mbps(60), .lifetime_s = ms(800)};
+
+  const auto result = run_adaptive_session(proto::to_sim_paths(truth),
+                                           traffic, base_options(initial, 50000));
+
+  ASSERT_FALSE(result.timeline.empty());
+  const auto& final_estimates = result.timeline.back().estimates;
+  EXPECT_NEAR(final_estimates[0].loss_rate, 0.2, 0.05);
+  // Path 2 has no Bernoulli loss, but the plan saturates it, so the
+  // estimator legitimately picks up a few percent of queue-overflow drops
+  // and spurious timeouts; it must stay well below path 1's real 20%.
+  EXPECT_LT(final_estimates[1].loss_rate, 0.08);
+}
+
+TEST(Adaptive, DelayEstimatesApproachTruth) {
+  const auto truth = exp::table3_paths();  // 400 / 100 ms one way
+  core::PathSet initial;
+  initial.add({.name = "path1",
+               .bandwidth_bps = mbps(80),
+               .delay_s = ms(200),  // badly wrong
+               .loss_rate = 0.0});
+  initial.add({.name = "path2",
+               .bandwidth_bps = mbps(20),
+               .delay_s = ms(50),
+               .loss_rate = 0.0});
+  const core::TrafficSpec traffic{.rate_bps = mbps(40), .lifetime_s = ms(900)};
+
+  auto options = base_options(initial, 40000);
+  options.delay_margin_factor = 1.0;  // judge the raw estimate
+  const auto result =
+      run_adaptive_session(proto::to_sim_paths(truth), traffic, options);
+
+  const auto& final_estimates = result.timeline.back().estimates;
+  // RTT-derived one-way estimates include serialization and ack transit,
+  // so allow a ~15% envelope above the propagation delay.
+  EXPECT_NEAR(final_estimates[0].delay_s, ms(400), ms(60));
+  EXPECT_NEAR(final_estimates[1].delay_s, ms(100), ms(25));
+}
+
+TEST(Adaptive, RequiresMatchingEstimateCount) {
+  const auto truth = exp::table3_paths();
+  core::PathSet just_one;
+  just_one.add(truth[0]);
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(800)};
+  EXPECT_THROW((void)run_adaptive_session(proto::to_sim_paths(truth), traffic,
+                                          base_options(just_one, 100)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc::est

@@ -1,0 +1,205 @@
+#include "protocol/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+#include "experiments/scenarios.h"
+
+namespace dmc::proto {
+namespace {
+
+TEST(ManualPlan, ReproducesPaperSolutionQuality) {
+  const auto paths = exp::table3_model_paths();
+  const core::TrafficSpec traffic{.rate_bps = mbps(100),
+                                  .lifetime_s = ms(800)};
+  const core::Model model(paths, traffic);
+  std::vector<double> x(model.combos().size(), 0.0);
+  const auto idx = [&](std::size_t i, std::size_t j) {
+    std::size_t attempts[] = {i, j};
+    return model.combos().encode(attempts);
+  };
+  x[idx(0, 0)] = 4.0 / 25.0;
+  x[idx(1, 2)] = 4.0 / 5.0;
+  x[idx(2, 2)] = 1.0 / 25.0;
+  const core::Plan plan = make_manual_plan(paths, traffic, x);
+  EXPECT_TRUE(plan.feasible());
+  EXPECT_NEAR(plan.quality(), 0.84, 1e-12);
+}
+
+TEST(ManualPlan, ValidatesInput) {
+  const auto paths = exp::table3_model_paths();
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(800)};
+  EXPECT_THROW((void)make_manual_plan(paths, traffic, {1.0}),
+               std::invalid_argument);
+  std::vector<double> not_normalized(9, 0.0);
+  not_normalized[0] = 0.5;
+  EXPECT_THROW((void)make_manual_plan(paths, traffic, not_normalized),
+               std::invalid_argument);
+  std::vector<double> negative(9, 0.0);
+  negative[0] = 1.5;
+  negative[1] = -0.5;
+  EXPECT_THROW((void)make_manual_plan(paths, traffic, negative),
+               std::invalid_argument);
+}
+
+TEST(ProportionalSplit, NeverBeatsTheOptimum) {
+  const auto paths = exp::table3_model_paths();
+  for (double rate : {40.0, 90.0, 140.0}) {
+    const core::TrafficSpec traffic{.rate_bps = mbps(rate),
+                                    .lifetime_s = ms(800)};
+    const core::Plan split = make_proportional_split_plan(paths, traffic);
+    const core::Plan best = core::plan_max_quality(paths, traffic);
+    EXPECT_LE(split.quality(), best.quality() + 1e-9) << "rate " << rate;
+  }
+}
+
+TEST(ProportionalSplit, SplitsByBandwidthShare) {
+  const auto paths = exp::table3_model_paths();
+  const core::TrafficSpec traffic{.rate_bps = mbps(50), .lifetime_s = ms(800)};
+  const core::Plan split = make_proportional_split_plan(paths, traffic);
+  const auto& model = split.model();
+  std::size_t a11[] = {1, 1};
+  std::size_t a22[] = {2, 2};
+  EXPECT_NEAR(split.weight(model.combos().encode(a11)), 0.8, 1e-12);
+  EXPECT_NEAR(split.weight(model.combos().encode(a22)), 0.2, 1e-12);
+}
+
+TEST(ProportionalSplit, IsWorseUnderDeadlinePressure) {
+  // At lambda = 90, delta = 800 ms the optimum reaches 93.3% by using
+  // path 2 for path-1 retransmissions. Same-path splitting retransmits on
+  // path 1 itself, which arrives past the deadline (450+150+450 > 800), so
+  // its combination only delivers 1 - tau = 0.8, and capacity caps the
+  // path-1 share at 80/108: Q = (80/108) * 0.8 + 0.2 = 79.3%.
+  const auto paths = exp::table3_model_paths();
+  const core::TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const core::Plan split = make_proportional_split_plan(paths, traffic);
+  const core::Plan best = core::plan_max_quality(paths, traffic);
+  EXPECT_NEAR(split.quality(), (80.0 / 108.0) * 0.8 + 0.2, 1e-9);
+  EXPECT_LT(split.quality(), best.quality() - 0.10);
+}
+
+TEST(ProportionalSplit, OverloadIsDroppedNotFantasized) {
+  // Beyond total capacity the baseline must not report impossible quality
+  // (its send rates must respect the bandwidth caps).
+  const auto paths = exp::table3_model_paths();
+  const core::TrafficSpec traffic{.rate_bps = mbps(140),
+                                  .lifetime_s = ms(800)};
+  const core::Plan split = make_proportional_split_plan(paths, traffic);
+  EXPECT_LE(split.send_rate_bps()[1], mbps(80) + 1.0);
+  EXPECT_LE(split.send_rate_bps()[2], mbps(20) + 1.0);
+}
+
+TEST(GreedyFlow, RespectsCapacitiesAndFallsShortOfOptimum) {
+  const auto paths = exp::table3_model_paths();
+  const core::TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const core::Plan greedy = make_greedy_flow_plan(paths, traffic);
+  const core::Plan best = core::plan_max_quality(paths, traffic);
+
+  // Feasible: send rates within bandwidths.
+  const auto& s = greedy.send_rate_bps();
+  EXPECT_LE(s[1], mbps(80) + 1.0);
+  EXPECT_LE(s[2], mbps(20) + 1.0);
+  // Flow-level assignment cannot exploit cross-path retransmission.
+  EXPECT_LE(greedy.quality(), best.quality() + 1e-9);
+  EXPECT_GT(greedy.quality(), 0.0);
+}
+
+TEST(GreedyFlow, UsesBestPathFirst) {
+  // Plenty of capacity: everything should land on the highest-p combo.
+  const auto paths = exp::table3_model_paths();
+  const core::TrafficSpec traffic{.rate_bps = mbps(5), .lifetime_s = ms(800)};
+  const core::Plan greedy = make_greedy_flow_plan(paths, traffic);
+  // Path 2 retransmitting on itself delivers 100% within 800 ms.
+  std::size_t a22[] = {2, 2};
+  EXPECT_NEAR(greedy.weight(greedy.model().combos().encode(a22)), 1.0, 1e-9);
+  EXPECT_NEAR(greedy.quality(), 1.0, 1e-9);
+}
+
+TEST(Duplication, SinglePathDegeneratesToThatPath) {
+  core::PathSet paths;
+  paths.add({.name = "p",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(100),
+             .loss_rate = 0.1});
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const DuplicationPlan plan = plan_duplication(paths, traffic);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.quality, 0.9, 1e-9);
+}
+
+TEST(Duplication, TwoCleanPathsGiveProductLossImprovement) {
+  core::PathSet paths;
+  paths.add({.name = "a",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(100),
+             .loss_rate = 0.2});
+  paths.add({.name = "b",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(120),
+             .loss_rate = 0.3});
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const DuplicationPlan plan = plan_duplication(paths, traffic);
+  ASSERT_TRUE(plan.feasible);
+  // Capacity allows duplicating everything: 1 - 0.2*0.3 = 0.94.
+  EXPECT_NEAR(plan.quality, 0.94, 1e-9);
+}
+
+TEST(Duplication, LatePathsContributeNothing) {
+  core::PathSet paths;
+  paths.add({.name = "late",
+             .bandwidth_bps = mbps(100),
+             .delay_s = ms(900),
+             .loss_rate = 0.0});
+  paths.add({.name = "ontime",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(100),
+             .loss_rate = 0.1});
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const DuplicationPlan plan = plan_duplication(paths, traffic);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.quality, 0.9, 1e-9);  // only the on-time path helps
+}
+
+TEST(Duplication, CapacityLimitsForceMixing) {
+  core::PathSet paths;
+  paths.add({.name = "a",
+             .bandwidth_bps = mbps(5),
+             .delay_s = ms(100),
+             .loss_rate = 0.0});
+  paths.add({.name = "b",
+             .bandwidth_bps = mbps(5),
+             .delay_s = ms(100),
+             .loss_rate = 0.0});
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const DuplicationPlan plan = plan_duplication(paths, traffic);
+  ASSERT_TRUE(plan.feasible);
+  // No room to duplicate: each path carries half, no redundancy possible.
+  EXPECT_NEAR(plan.quality, 1.0, 1e-9);
+  for (const auto& subset : plan.subsets) EXPECT_EQ(subset.size(), 1u);
+}
+
+TEST(Duplication, RetransmissionBeatsDuplicationWhenDeadlineAllows) {
+  // Section IX-B's skepticism about open-loop redundancy: with time for a
+  // retransmission, closed-loop repair wins (or ties) because duplication
+  // burns bandwidth on packets that were going to arrive anyway.
+  const auto paths = exp::table3_model_paths();
+  const core::TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const DuplicationPlan dup = plan_duplication(paths, traffic);
+  const core::Plan retrans = core::plan_max_quality(paths, traffic);
+  ASSERT_TRUE(dup.feasible);
+  EXPECT_GE(retrans.quality(), dup.quality - 1e-9);
+}
+
+TEST(Duplication, RejectsTooManyPaths) {
+  core::PathSet paths;
+  for (int i = 0; i < 17; ++i) {
+    paths.add({.name = "p" + std::to_string(i),
+               .bandwidth_bps = mbps(1),
+               .delay_s = ms(10)});
+  }
+  const core::TrafficSpec traffic{.rate_bps = mbps(1), .lifetime_s = ms(100)};
+  EXPECT_THROW((void)plan_duplication(paths, traffic), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc::proto

@@ -1,0 +1,68 @@
+#include "core/combination.h"
+
+#include <gtest/gtest.h>
+
+namespace dmc::core {
+namespace {
+
+TEST(CombinationSpace, SizeIsNToTheM) {
+  EXPECT_EQ(CombinationSpace(3, 2).size(), 9u);
+  EXPECT_EQ(CombinationSpace(3, 3).size(), 27u);
+  EXPECT_EQ(CombinationSpace(5, 1).size(), 5u);
+  EXPECT_EQ(CombinationSpace(1, 4).size(), 1u);
+}
+
+TEST(CombinationSpace, Equation13IndexingForTwoTransmissions) {
+  // Paper: i = l mod n (first transmission), j = floor(l / n).
+  const CombinationSpace space(3, 2);
+  for (std::size_t l = 0; l < space.size(); ++l) {
+    EXPECT_EQ(space.attempt_path(l, 0), l % 3);
+    EXPECT_EQ(space.attempt_path(l, 1), l / 3);
+  }
+}
+
+TEST(CombinationSpace, DecodeEncodeRoundTrip) {
+  const CombinationSpace space(4, 3);
+  for (std::size_t l = 0; l < space.size(); ++l) {
+    const auto attempts = space.decode(l);
+    ASSERT_EQ(attempts.size(), 3u);
+    EXPECT_EQ(space.encode(attempts), l);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(space.attempt_path(l, k),
+                attempts[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+TEST(CombinationSpace, LabelsUsePaperNotation) {
+  const CombinationSpace space(3, 2);
+  std::size_t attempts_12[] = {1, 2};
+  const std::size_t l = space.encode(attempts_12);
+  EXPECT_EQ(space.label(l), "x1,2");
+  EXPECT_EQ(space.label(0), "x0,0");
+}
+
+TEST(CombinationSpace, SingleTransmissionLabels) {
+  const CombinationSpace space(3, 1);
+  EXPECT_EQ(space.label(2), "x2");
+  EXPECT_EQ(space.decode(2), (std::vector<std::size_t>{2}));
+}
+
+TEST(CombinationSpace, RejectsBadArguments) {
+  EXPECT_THROW(CombinationSpace(0, 2), std::invalid_argument);
+  EXPECT_THROW(CombinationSpace(3, 0), std::invalid_argument);
+  const CombinationSpace space(3, 2);
+  EXPECT_THROW((void)space.decode(9), std::out_of_range);
+  EXPECT_THROW((void)space.attempt_path(0, 2), std::out_of_range);
+  std::size_t too_many[] = {0, 1, 2};
+  EXPECT_THROW((void)space.encode(too_many), std::invalid_argument);
+  std::size_t bad_path[] = {0, 3};
+  EXPECT_THROW((void)space.encode(bad_path), std::out_of_range);
+}
+
+TEST(CombinationSpace, OverflowDetected) {
+  EXPECT_THROW(CombinationSpace(1000000, 5), std::overflow_error);
+}
+
+}  // namespace
+}  // namespace dmc::core

@@ -1,0 +1,191 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "stats/rng.h"
+
+namespace dmc::stats {
+namespace {
+
+TEST(DeterministicDelay, StepCdf) {
+  const DeterministicDelay d(0.5);
+  EXPECT_EQ(d.cdf(0.49), 0.0);
+  EXPECT_EQ(d.cdf(0.5), 1.0);
+  EXPECT_EQ(d.cdf(1.0), 1.0);
+  EXPECT_EQ(d.mean(), 0.5);
+  EXPECT_EQ(d.variance(), 0.0);
+  EXPECT_EQ(d.quantile(0.0), 0.5);
+  EXPECT_EQ(d.quantile(0.999), 0.5);
+  Rng rng(1);
+  EXPECT_EQ(d.sample(rng), 0.5);
+}
+
+TEST(DeterministicDelay, InfiniteValueModelsBlackhole) {
+  const DeterministicDelay d(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(d.cdf(1e12), 0.0);
+  EXPECT_TRUE(std::isinf(d.mean()));
+}
+
+TEST(DeterministicDelay, RejectsNegative) {
+  EXPECT_THROW(DeterministicDelay(-1.0), std::invalid_argument);
+}
+
+TEST(ShiftedGammaDelay, MomentsMatchPaperConvention) {
+  // Table V path 1: eta = 400 ms, alpha = 10, beta = 4 ms ->
+  // E = 440 ms, Var = 160 ms^2 (beta is a *scale* parameter; see the
+  // header note on the paper's Eq. 31 inconsistency).
+  const ShiftedGammaDelay d(0.400, 10.0, 0.004);
+  EXPECT_NEAR(d.mean(), 0.440, 1e-12);
+  EXPECT_NEAR(d.variance(), 160e-6, 1e-12);
+  EXPECT_EQ(d.min_support(), 0.400);
+}
+
+TEST(ShiftedGammaDelay, CdfQuantileRoundTrip) {
+  const ShiftedGammaDelay d(0.1, 5.0, 0.002);
+  for (double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(ShiftedGammaDelay, SampleMomentsConverge) {
+  const ShiftedGammaDelay d(0.4, 10.0, 0.004);
+  Rng rng(7);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = d.sample(rng);
+    EXPECT_GE(v, d.min_support());
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, d.mean(), 3e-4);
+  EXPECT_NEAR(var, d.variance(), 2e-5);
+}
+
+TEST(ShiftedGammaDelay, RejectsBadParameters) {
+  EXPECT_THROW(ShiftedGammaDelay(-0.1, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ShiftedGammaDelay(0.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ShiftedGammaDelay(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(UniformDelay, BasicProperties) {
+  const UniformDelay d(0.1, 0.3);
+  EXPECT_EQ(d.cdf(0.1), 0.0);
+  EXPECT_NEAR(d.cdf(0.2), 0.5, 1e-12);
+  EXPECT_EQ(d.cdf(0.3), 1.0);
+  EXPECT_NEAR(d.mean(), 0.2, 1e-12);
+  EXPECT_NEAR(d.quantile(0.25), 0.15, 1e-12);
+  EXPECT_THROW(UniformDelay(0.3, 0.1), std::invalid_argument);
+}
+
+TEST(EmpiricalDelay, StepFunctionSemantics) {
+  const EmpiricalDelay d({0.3, 0.1, 0.2, 0.2});  // constructor sorts
+  EXPECT_EQ(d.cdf(0.05), 0.0);
+  EXPECT_NEAR(d.cdf(0.1), 0.25, 1e-12);
+  EXPECT_NEAR(d.cdf(0.2), 0.75, 1e-12);
+  EXPECT_EQ(d.cdf(0.3), 1.0);
+  EXPECT_NEAR(d.mean(), 0.2, 1e-12);
+  EXPECT_EQ(d.min_support(), 0.1);
+  EXPECT_EQ(d.size(), 4u);
+}
+
+TEST(EmpiricalDelay, BootstrapSamplesComeFromData) {
+  const EmpiricalDelay d({0.1, 0.2, 0.3});
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double v = d.sample(rng);
+    EXPECT_TRUE(v == 0.1 || v == 0.2 || v == 0.3);
+  }
+}
+
+TEST(EmpiricalDelay, RejectsEmptyAndNegative) {
+  EXPECT_THROW(EmpiricalDelay({}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalDelay({-0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(ShiftedDelay, ShiftsEverything) {
+  const auto base = make_uniform(0.0, 0.1);
+  const ShiftedDelay d(base, 0.5);
+  EXPECT_NEAR(d.mean(), 0.55, 1e-12);
+  EXPECT_EQ(d.min_support(), 0.5);
+  EXPECT_NEAR(d.cdf(0.55), 0.5, 1e-12);
+  EXPECT_NEAR(d.quantile(0.5), 0.55, 1e-12);
+}
+
+TEST(ShiftedDelay, RejectsNegativeSupport) {
+  EXPECT_THROW(ShiftedDelay(make_uniform(0.0, 0.1), -0.5),
+               std::invalid_argument);
+  EXPECT_THROW(ShiftedDelay(nullptr, 0.1), std::invalid_argument);
+}
+
+// ----------------------------------------------------- interface property
+
+struct DistributionCase {
+  const char* name;
+  DelayDistributionPtr dist;
+};
+
+class DistributionContract
+    : public ::testing::TestWithParam<DistributionCase> {};
+
+TEST_P(DistributionContract, CdfIsMonotoneWithCorrectLimits) {
+  const auto& d = *GetParam().dist;
+  const double lo = d.min_support();
+  const double hi = d.quantile(0.9999);
+  EXPECT_LE(d.cdf(lo - 1e-6), 1e-9);
+  double prev = 0.0;
+  for (int i = 0; i <= 200; ++i) {
+    const double x = lo + (hi - lo) * i / 200.0;
+    const double c = d.cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_GE(d.cdf(hi + (hi - lo) + 1.0), 0.9999 - 1e-9);
+}
+
+TEST_P(DistributionContract, QuantileInvertsCdf) {
+  const auto& d = *GetParam().dist;
+  for (double p : {0.05, 0.3, 0.5, 0.7, 0.95}) {
+    const double x = d.quantile(p);
+    // Right-continuity: cdf(quantile(p)) >= p, and just below it is < p +
+    // an atom's width for step functions.
+    EXPECT_GE(d.cdf(x) + 1e-9, p);
+  }
+}
+
+TEST_P(DistributionContract, SampleMeanApproachesMean) {
+  const auto& d = *GetParam().dist;
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  const double tolerance =
+      5.0 * std::sqrt(std::max(d.variance(), 1e-12) / n) + 1e-9;
+  EXPECT_NEAR(sum / n, d.mean(), tolerance) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DistributionContract,
+    ::testing::Values(
+        DistributionCase{"deterministic", make_deterministic(0.25)},
+        DistributionCase{"gamma", make_shifted_gamma(0.1, 10.0, 0.004)},
+        DistributionCase{"gamma_small_shape",
+                         make_shifted_gamma(0.0, 0.7, 0.01)},
+        DistributionCase{"uniform", make_uniform(0.05, 0.15)},
+        DistributionCase{"empirical",
+                         make_empirical({0.1, 0.12, 0.15, 0.2, 0.25, 0.3})},
+        DistributionCase{"shifted",
+                         make_shifted(make_uniform(0.0, 0.1), 0.4)}),
+    [](const ::testing::TestParamInfo<DistributionCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dmc::stats

@@ -1,0 +1,167 @@
+#include "estimation/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace dmc::est {
+namespace {
+
+TEST(LossEstimator, StartsAtZeroAndRefines) {
+  LossEstimator est;
+  EXPECT_EQ(est.estimate(), 0.0);  // Section VIII-A: "first be set to 0%"
+  for (int i = 0; i < 80; ++i) est.on_sent();
+  EXPECT_EQ(est.estimate(), 0.0);
+  for (int i = 0; i < 20; ++i) {
+    est.on_sent();
+    est.on_loss();
+  }
+  EXPECT_NEAR(est.estimate(), 0.2, 1e-12);
+  EXPECT_NEAR(est.sent(), 100.0, 1e-9);
+  EXPECT_NEAR(est.lost(), 20.0, 1e-9);
+}
+
+TEST(LossEstimator, FiniteMemoryTracksRecovery) {
+  LossEstimator est(0.0, 0.0, /*memory_packets=*/100.0);
+  // A lossy episode followed by a clean one; the estimate must fall back.
+  for (int i = 0; i < 500; ++i) {
+    est.on_sent();
+    if (i % 4 == 0) est.on_loss();  // ~25% loss
+  }
+  EXPECT_NEAR(est.estimate(), 0.25, 0.05);
+  for (int i = 0; i < 500; ++i) est.on_sent();  // clean traffic
+  EXPECT_LT(est.estimate(), 0.02);
+}
+
+TEST(LossEstimator, InfiniteMemoryNeverForgets) {
+  LossEstimator est;  // cumulative, the paper's VIII-A ratio
+  for (int i = 0; i < 100; ++i) {
+    est.on_sent();
+    est.on_loss();
+  }
+  for (int i = 0; i < 100; ++i) est.on_sent();
+  EXPECT_NEAR(est.estimate(), 0.5, 1e-9);
+}
+
+TEST(LossEstimator, PriorSmoothsEarlyEstimates) {
+  LossEstimator est(10.0, 1.0);
+  EXPECT_NEAR(est.estimate(), 0.1, 1e-12);
+  est.on_sent();
+  est.on_loss();
+  EXPECT_NEAR(est.estimate(), 2.0 / 11.0, 1e-12);
+}
+
+TEST(DelayEstimator, EwmaConvergesToStableValue) {
+  DelayEstimator est(0.125);
+  for (int i = 0; i < 200; ++i) est.add_sample(0.1);
+  EXPECT_NEAR(est.smoothed(), 0.1, 1e-9);
+  // A step change moves the EWMA gradually.
+  est.add_sample(0.2);
+  EXPECT_NEAR(est.smoothed(), 0.1 + 0.125 * 0.1, 1e-9);
+}
+
+TEST(DelayEstimator, TracksSampleStatistics) {
+  DelayEstimator est;
+  for (double v : {0.1, 0.2, 0.3}) est.add_sample(v);
+  EXPECT_EQ(est.count(), 3u);
+  EXPECT_NEAR(est.mean(), 0.2, 1e-12);
+  EXPECT_NEAR(est.quantile(0.5), 0.2, 1e-12);
+}
+
+TEST(DelayEstimator, EmpiricalDistributionReflectsSamples) {
+  DelayEstimator est;
+  for (int i = 1; i <= 100; ++i) est.add_sample(i / 100.0);
+  const auto dist = est.empirical();
+  EXPECT_NEAR(dist->cdf(0.5), 0.5, 0.01);
+  EXPECT_NEAR(dist->mean(), 0.505, 1e-9);
+}
+
+TEST(FitShiftedGamma, RecoversKnownParameters) {
+  // Sample from the Table V path-1 distribution and refit.
+  const auto truth = stats::make_shifted_gamma(dmc::ms(400), 10.0, dmc::ms(4));
+  stats::Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(truth->sample(rng));
+
+  const auto fit = fit_shifted_gamma(samples);
+  ASSERT_TRUE(fit.has_value());
+  // Moments are what the planner consumes; they must match tightly.
+  const double fit_mean = fit->shift + fit->shape * fit->scale;
+  const double fit_var = fit->shape * fit->scale * fit->scale;
+  EXPECT_NEAR(fit_mean, truth->mean(), 5e-4);
+  EXPECT_NEAR(fit_var, truth->variance(), 2e-5);
+  EXPECT_NEAR(fit->shift, dmc::ms(400), dmc::ms(8));
+}
+
+TEST(FitShiftedGamma, RejectsDegenerateInput) {
+  EXPECT_FALSE(fit_shifted_gamma({0.1, 0.2}).has_value());  // too few
+  EXPECT_FALSE(fit_shifted_gamma(std::vector<double>(20, 0.5)).has_value());
+}
+
+TEST(BandwidthEstimator, GrowsWithoutCongestionAndBacksOff) {
+  BandwidthEstimator::Options options;
+  options.initial_bps = 10e6;
+  options.additive_increase_bps = 1e6;
+  options.multiplicative_decrease = 0.5;
+  BandwidthEstimator est(options);
+
+  est.update(9e6, false);
+  EXPECT_NEAR(est.estimate(), 11e6, 1e-6);  // max(10,9) + 1
+  est.update(11e6, false);
+  EXPECT_NEAR(est.estimate(), 12e6, 1e-6);
+  est.update(5e6, true);  // congestion: halve, but never below achieved
+  EXPECT_NEAR(est.estimate(), 6e6, 1e-6);
+  est.update(7e6, true);  // achieved floor dominates
+  EXPECT_NEAR(est.estimate(), 7e6, 1e-6);
+}
+
+TEST(BandwidthEstimator, NeverDropsBelowFloor) {
+  BandwidthEstimator::Options options;
+  options.initial_bps = 1e6;
+  options.floor_bps = 0.5e6;
+  options.multiplicative_decrease = 0.1;
+  BandwidthEstimator est(options);
+  est.update(0.0, true);
+  EXPECT_GE(est.estimate(), 0.5e6);
+}
+
+TEST(ChangeDetector, FirstSnapshotAlwaysSignificant) {
+  ChangeDetector detector;
+  EXPECT_FALSE(detector.has_baseline());
+  EXPECT_TRUE(detector.significant_change({{1e6}, {0.1}, {0.0}}));
+}
+
+TEST(ChangeDetector, SmallMovesAreIgnored) {
+  ChangeDetector detector;
+  detector.commit({{100e6}, {0.1}, {0.05}});
+  EXPECT_FALSE(detector.significant_change({{105e6}, {0.105}, {0.06}}));
+}
+
+TEST(ChangeDetector, LargeRelativeMovesTrigger) {
+  ChangeDetector detector;
+  detector.commit({{100e6}, {0.1}, {0.05}});
+  EXPECT_TRUE(detector.significant_change({{80e6}, {0.1}, {0.05}}));
+  EXPECT_TRUE(detector.significant_change({{100e6}, {0.15}, {0.05}}));
+}
+
+TEST(ChangeDetector, LossMovesOnAbsoluteScale) {
+  ChangeDetector detector;
+  detector.commit({{100e6}, {0.1}, {0.0}});
+  // 0% -> 1%: below the 2-point absolute threshold, despite infinite
+  // relative change.
+  EXPECT_FALSE(detector.significant_change({{100e6}, {0.1}, {0.01}}));
+  EXPECT_TRUE(detector.significant_change({{100e6}, {0.1}, {0.04}}));
+}
+
+TEST(ChangeDetector, ShapeMismatchTriggers) {
+  ChangeDetector detector;
+  detector.commit({{1e6}, {0.1}, {0.0}});
+  EXPECT_TRUE(detector.significant_change({{1e6, 2e6}, {0.1, 0.2}, {0.0, 0.0}}));
+}
+
+}  // namespace
+}  // namespace dmc::est

@@ -1,0 +1,136 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dmc::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(EventId{}));  // null id
+}
+
+TEST(EventQueue, CancelledEntriesAreSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId id = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_time(), 1.0);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, EmptyAccessThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.at(0.5, [&] { times.push_back(sim.now()); });
+  sim.in(1.5, [&] { times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{0.5, 1.5}));
+  EXPECT_EQ(sim.now(), 1.5);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.in(0.1, recurse);
+  };
+  sim.in(0.1, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_NEAR(sim.now(), 0.5, 1e-12);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.at(static_cast<double>(i), [&] { ++count; });
+  }
+  sim.run_until(5.0);
+  EXPECT_EQ(count, 5);  // events at t = 1..5 inclusive
+  EXPECT_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(3.0);
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.at(1.0, [] {});
+  sim.run();
+  EXPECT_THROW((void)sim.at(0.5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelStopsScheduledEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.in(1.0, [&] { ran = true; });
+  sim.in(0.5, [&] { sim.cancel(id); });
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace dmc::sim

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/units.h"
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "experiments/table.h"
+
+namespace dmc::exp {
+namespace {
+
+TEST(Scenarios, Table3MatchesPaper) {
+  const auto paths = table3_paths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].bandwidth_bps, mbps(80));
+  EXPECT_EQ(paths[0].delay_s, ms(400));
+  EXPECT_EQ(paths[0].loss_rate, 0.2);
+  EXPECT_EQ(paths[1].bandwidth_bps, mbps(20));
+  EXPECT_EQ(paths[1].delay_s, ms(100));
+  EXPECT_EQ(paths[1].loss_rate, 0.0);
+}
+
+TEST(Scenarios, Table5MomentsMatchPaper) {
+  const auto paths = table5_paths();
+  // E[d1] = 400 + 10*4 = 440 ms; E[d2] = 100 + 5*2 = 110 ms.
+  EXPECT_NEAR(paths[0].mean_delay_s(), ms(440), 1e-9);
+  EXPECT_NEAR(paths[1].mean_delay_s(), ms(110), 1e-9);
+  EXPECT_TRUE(paths.any_random());
+  EXPECT_EQ(paths.min_delay_index(), 1u);
+}
+
+TEST(Scenarios, Fig1IsTheIntroScenario) {
+  const auto paths = fig1_paths();
+  EXPECT_EQ(paths[0].bandwidth_bps, mbps(10));
+  EXPECT_EQ(paths[0].delay_s, ms(600));
+  EXPECT_EQ(paths[0].loss_rate, 0.10);
+  EXPECT_EQ(paths[1].bandwidth_bps, mbps(1));
+  EXPECT_EQ(fig1_traffic().rate_bps, mbps(10));
+  EXPECT_EQ(fig1_traffic().lifetime_s, 1.0);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table table({"rate", "quality"});
+  table.add_row({"10", "100.0%"});
+  table.add_row({"140", "60.0%"});
+  EXPECT_EQ(table.rows(), 2u);
+
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("rate"), std::string::npos);
+  EXPECT_NE(text.find("60.0%"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, FormattingHelpers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::percent(0.933333, 1), "93.3%");
+  EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}
+
+TEST(Table, RejectsMalformedRows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Runner, TheoryQualitiesProduceFigure2Series) {
+  const auto point = theory_qualities(table3_model_paths(),
+                                      table4_traffic_rate(mbps(90)));
+  EXPECT_NEAR(point.multipath, 42.0 / 45.0, 1e-9);
+  ASSERT_EQ(point.single_path.size(), 2u);
+  EXPECT_NEAR(point.single_path[0], 0.8 * 80.0 / 90.0, 1e-9);
+  EXPECT_NEAR(point.single_path[1], 2.0 / 9.0, 1e-9);
+}
+
+TEST(Runner, DefaultMessagesHonorsEnvironment) {
+  // No env var set in the test harness: fallback applies.
+  unsetenv("DMC_MESSAGES");
+  EXPECT_EQ(default_messages(12345), 12345u);
+  setenv("DMC_MESSAGES", "777", 1);
+  EXPECT_EQ(default_messages(12345), 777u);
+  unsetenv("DMC_MESSAGES");
+}
+
+TEST(Runner, RunPlannedWiresPlanningAgainstTruth) {
+  RunOptions options;
+  options.num_messages = 4000;
+  const auto outcome =
+      run_planned(table3_model_paths(), table3_paths(),
+                  table4_traffic_rate(mbps(40)), options);
+  EXPECT_NEAR(outcome.theory_quality, 1.0, 1e-9);
+  EXPECT_GT(outcome.session.measured_quality, 0.99);
+}
+
+}  // namespace
+}  // namespace dmc::exp

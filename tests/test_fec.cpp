@@ -1,0 +1,187 @@
+#include "protocol/fec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "protocol/session.h"
+
+namespace dmc::proto {
+namespace {
+
+core::PathSet single_path(double loss, double delay_ms = 100.0,
+                          double bw_mbps = 100.0) {
+  core::PathSet paths;
+  paths.add({.name = "p",
+             .bandwidth_bps = mbps(bw_mbps),
+             .delay_s = ms(delay_ms),
+             .loss_rate = loss});
+  return paths;
+}
+
+TEST(FecAnalysis, NoParityEqualsRawDelivery) {
+  const auto paths = single_path(0.1);
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const FecAnalysis a = analyze_fec(paths, traffic, {8, 0, true});
+  EXPECT_NEAR(a.quality, 0.9, 1e-12);
+  EXPECT_EQ(a.overhead, 0.0);
+  EXPECT_NEAR(a.p_recovery_gain, 0.0, 1e-12);
+}
+
+TEST(FecAnalysis, SinglePathBinomialTail) {
+  // (2,1) code on one path with loss q: packet delivered iff own arrives,
+  // or own lost and both others arrive: p + (1-p)... with p = 1-q:
+  // P = p + q * p^2.
+  const double q = 0.2;
+  const auto paths = single_path(q);
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const FecAnalysis a = analyze_fec(paths, traffic, {2, 1, true});
+  const double p = 1.0 - q;
+  EXPECT_NEAR(a.quality, p + q * p * p, 1e-12);
+}
+
+TEST(FecAnalysis, MoreParityMonotonicallyHelps) {
+  const auto paths = single_path(0.15);
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  double previous = -1.0;
+  for (int r = 0; r <= 6; ++r) {
+    const FecAnalysis a = analyze_fec(paths, traffic, {8, r, true});
+    EXPECT_GE(a.quality + 1e-12, previous) << "r=" << r;
+    previous = a.quality;
+  }
+  EXPECT_GT(previous, 0.99);  // 6 parity over 15% loss is plenty
+}
+
+TEST(FecAnalysis, LatePathsContributeNothingToRecovery) {
+  core::PathSet paths;
+  paths.add({.name = "late",
+             .bandwidth_bps = mbps(100),
+             .delay_s = ms(900),
+             .loss_rate = 0.0});
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const FecAnalysis a = analyze_fec(paths, traffic, {4, 4, true});
+  EXPECT_NEAR(a.quality, 0.0, 1e-12);
+}
+
+TEST(FecAnalysis, BandwidthAccountsForParityOverhead) {
+  const auto paths = single_path(0.1, 100.0, /*bw_mbps=*/12.0);
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const FecAnalysis tight = analyze_fec(paths, traffic, {8, 2, true});
+  // 10 Mbps * 10/8 = 12.5 > 12: infeasible.
+  EXPECT_FALSE(tight.bandwidth_feasible);
+  const FecAnalysis ok = analyze_fec(paths, traffic, {8, 1, true});
+  EXPECT_TRUE(ok.bandwidth_feasible);
+  EXPECT_NEAR(ok.send_rate_bps[0], mbps(10) * 9.0 / 8.0, 1.0);
+}
+
+TEST(FecAnalysis, StripingUsesAllPaths) {
+  const auto paths = exp::table3_model_paths();
+  const core::TrafficSpec traffic{.rate_bps = mbps(40), .lifetime_s = ms(800)};
+  const FecAnalysis striped = analyze_fec(paths, traffic, {8, 2, true});
+  EXPECT_GT(striped.send_rate_bps[0], 0.0);
+  EXPECT_GT(striped.send_rate_bps[1], 0.0);
+  const FecAnalysis single = analyze_fec(paths, traffic, {8, 2, false});
+  EXPECT_EQ(single.send_rate_bps[1], 0.0);  // all on the fat path
+}
+
+TEST(FecAnalysis, RejectsBadShapes) {
+  const auto paths = single_path(0.1);
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  EXPECT_THROW((void)analyze_fec(paths, traffic, {0, 1, true}),
+               std::invalid_argument);
+  EXPECT_THROW((void)analyze_fec(paths, traffic, {60, 10, true}),
+               std::invalid_argument);
+}
+
+TEST(FecPlanner, PicksZeroParityOnCleanPaths) {
+  const auto paths = single_path(0.0);
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const FecConfig config = plan_fec(paths, traffic, 8, 6);
+  EXPECT_EQ(config.parity_per_group, 0);
+}
+
+TEST(FecPlanner, SpendsParityOnLossyPaths) {
+  const auto paths = single_path(0.2);
+  const core::TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const FecConfig config = plan_fec(paths, traffic, 8, 6);
+  EXPECT_GE(config.parity_per_group, 3);  // 20% loss needs real redundancy
+}
+
+TEST(FecSession, SimulationMatchesAnalysisUnderIidLoss) {
+  const auto paths = single_path(0.15, 100.0, 100.0);
+  const core::TrafficSpec traffic{.rate_bps = mbps(20), .lifetime_s = ms(500)};
+  const FecConfig config{8, 3, true};
+  const FecAnalysis analysis = analyze_fec(paths, traffic, config);
+
+  FecSessionConfig session;
+  session.num_messages = 40000;
+  session.seed = 9;
+  const auto result = run_fec_session(paths, traffic, config,
+                                      to_sim_paths(paths), session);
+  EXPECT_NEAR(result.measured_quality, analysis.quality, 0.01);
+  EXPECT_GT(result.recovered_on_time, 0u);
+}
+
+TEST(FecSession, BurstLossHurtsFecMoreThanStationaryRate) {
+  // Same stationary 15% loss, but in bursts of ~8 packets: several group
+  // members die together and the (8,3) code collapses.
+  const auto paths = single_path(0.15, 100.0, 100.0);
+  const core::TrafficSpec traffic{.rate_bps = mbps(20), .lifetime_s = ms(500)};
+  const FecConfig config{8, 3, true};
+
+  auto iid_network = to_sim_paths(paths);
+  auto burst_network = to_sim_paths(paths);
+  sim::BurstLoss burst;
+  burst.loss_bad = 1.0;
+  burst.p_exit_bad = 1.0 / 8.0;
+  burst.p_enter_bad = 0.15 * burst.p_exit_bad / 0.85;
+  burst_network[0].forward.loss_rate = 0.0;
+  burst_network[0].forward.burst_loss = burst;
+
+  FecSessionConfig session;
+  session.num_messages = 40000;
+  session.seed = 10;
+  const auto iid = run_fec_session(paths, traffic, config, iid_network,
+                                   session);
+  const auto bursty = run_fec_session(paths, traffic, config, burst_network,
+                                      session);
+  EXPECT_LT(bursty.measured_quality, iid.measured_quality - 0.03);
+}
+
+TEST(FecVsArq, RetransmissionWinsWhenDeadlineAllows) {
+  // Section IX-B quantified: with room for a repair round trip, the LP's
+  // closed-loop plan meets or beats the best FEC configuration.
+  const auto paths = exp::table3_model_paths();
+  const core::TrafficSpec traffic{.rate_bps = mbps(60), .lifetime_s = ms(800)};
+  const core::Plan arq = core::plan_max_quality(paths, traffic);
+  const FecConfig best_fec = plan_fec(paths, traffic, 8, 8);
+  const FecAnalysis fec = analyze_fec(paths, traffic, best_fec);
+  EXPECT_GE(arq.quality() + 1e-9, fec.quality);
+}
+
+TEST(FecVsArq, FecWinsWhenNoRepairLoopFits) {
+  // Both paths arrive within 300 ms, but the repair loop (200 + 150 + d_j
+  // >= 500 ms) cannot complete: ARQ degenerates to first attempts
+  // (Q = (20 + 40*0.8)/60 = 86.7%) while parity still recovers losses.
+  core::PathSet paths;
+  paths.add({.name = "lossy",
+             .bandwidth_bps = mbps(80),
+             .delay_s = ms(200),
+             .loss_rate = 0.2});
+  paths.add({.name = "clean",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(150),
+             .loss_rate = 0.0});
+  const core::TrafficSpec traffic{.rate_bps = mbps(60), .lifetime_s = ms(300)};
+  const core::Plan arq = core::plan_max_quality(paths, traffic);
+  EXPECT_NEAR(arq.quality(), (20.0 + 40.0 * 0.8) / 60.0, 1e-9);
+  const FecConfig best_fec = plan_fec(paths, traffic, 8, 8);
+  const FecAnalysis fec = analyze_fec(paths, traffic, best_fec);
+  EXPECT_GT(fec.quality, arq.quality() + 0.03);
+}
+
+}  // namespace
+}  // namespace dmc::proto

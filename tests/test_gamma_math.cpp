@@ -1,0 +1,128 @@
+#include "stats/gamma_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dmc::stats {
+namespace {
+
+TEST(GammaMath, KnownValuesShapeOne) {
+  // For a = 1 the gamma CDF is 1 - e^{-x}.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(GammaMath, KnownValuesShapeTwo) {
+  // For a = 2: P(2, x) = 1 - e^{-x}(1 + x).
+  for (double x : {0.5, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(regularized_gamma_p(2.0, x),
+                1.0 - std::exp(-x) * (1.0 + x), 1e-12);
+  }
+}
+
+TEST(GammaMath, HalfShapeMatchesErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 2.25, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(GammaMath, BoundaryValues) {
+  EXPECT_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+  EXPECT_EQ(regularized_gamma_q(3.0, 0.0), 1.0);
+  EXPECT_EQ(regularized_gamma_p(3.0, std::numeric_limits<double>::infinity()),
+            1.0);
+}
+
+TEST(GammaMath, ComplementsSumToOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 25.0, 80.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaMath, MonotoneInX) {
+  const double a = 4.0;
+  double prev = -1.0;
+  for (double x = 0.0; x <= 20.0; x += 0.25) {
+    const double p = regularized_gamma_p(a, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(GammaMath, InverseRoundTrips) {
+  for (double a : {0.5, 1.0, 3.0, 10.0, 40.0}) {
+    for (double p : {0.001, 0.1, 0.5, 0.9, 0.999}) {
+      const double x = inverse_regularized_gamma_p(a, p);
+      EXPECT_NEAR(regularized_gamma_p(a, x), p, 1e-9)
+          << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(GammaMath, InverseEdgeCases) {
+  EXPECT_EQ(inverse_regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_THROW((void)inverse_regularized_gamma_p(2.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)inverse_regularized_gamma_p(2.0, -0.1),
+               std::domain_error);
+}
+
+TEST(GammaMath, DomainErrors) {
+  EXPECT_THROW((void)regularized_gamma_p(0.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)regularized_gamma_p(-1.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)regularized_gamma_p(1.0, -1.0), std::domain_error);
+}
+
+TEST(GammaMath, PdfIntegratesToCdf) {
+  // Trapezoid-integrate the density and compare against the CDF.
+  const double a = 7.0;
+  const double scale = 2.0;
+  const double upper = 40.0;
+  const int steps = 40000;
+  double integral = 0.0;
+  double prev = gamma_pdf(a, scale, 0.0);
+  for (int i = 1; i <= steps; ++i) {
+    const double x = upper * i / steps;
+    const double cur = gamma_pdf(a, scale, x);
+    integral += 0.5 * (prev + cur) * (upper / steps);
+    prev = cur;
+  }
+  EXPECT_NEAR(integral, regularized_gamma_p(a, upper / scale), 1e-6);
+}
+
+TEST(GammaMath, PdfEdgeBehaviour) {
+  EXPECT_EQ(gamma_pdf(2.0, 1.0, -1.0), 0.0);
+  EXPECT_EQ(gamma_pdf(2.0, 1.0, 0.0), 0.0);           // shape > 1
+  EXPECT_NEAR(gamma_pdf(1.0, 2.0, 0.0), 0.5, 1e-12);  // exponential at 0
+  EXPECT_THROW((void)gamma_pdf(0.0, 1.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)gamma_pdf(1.0, 0.0, 1.0), std::domain_error);
+}
+
+// Property sweep: P(a, .) is a valid CDF for a wide range of shapes.
+class GammaShapeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaShapeSweep, BehavesLikeACdf) {
+  const double a = GetParam();
+  EXPECT_EQ(regularized_gamma_p(a, 0.0), 0.0);
+  EXPECT_GT(regularized_gamma_p(a, a * 100.0 + 100.0), 0.999);
+  double prev = 0.0;
+  for (double x = 0.0; x < 5.0 * a + 10.0; x += (a + 1.0) / 16.0) {
+    const double p = regularized_gamma_p(a, x);
+    EXPECT_GE(p, prev - 1e-14);
+    EXPECT_LE(p, 1.0 + 1e-14);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaShapeSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 5.0, 10.0,
+                                           25.0, 100.0));
+
+}  // namespace
+}  // namespace dmc::stats

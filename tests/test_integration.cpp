@@ -1,0 +1,195 @@
+// Cross-cutting integration and invariant tests: trace conservation laws,
+// planning from discretized (empirical) delay samples (Section VIII-A's
+// alternative to parametric fitting), random-delay model sanity across
+// random instances, and end-to-end theory to simulation agreement on
+// randomized scenarios.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "experiments/runner.h"
+#include "experiments/scenarios.h"
+#include "protocol/session.h"
+#include "stats/rng.h"
+
+namespace dmc {
+namespace {
+
+// ------------------------------------------------ trace conservation laws
+
+TEST(TraceInvariants, CountsBalanceAcrossARun) {
+  const auto planning = exp::table3_model_paths();
+  const auto truth = exp::table3_paths();
+  exp::RunOptions options;
+  options.num_messages = 15000;
+  options.seed = 123;
+  const auto outcome = exp::run_planned(
+      planning, truth, exp::table4_traffic_rate(mbps(120)), options);
+  const proto::Trace& t = outcome.session.trace;
+
+  // Every generated message is either dropped deliberately or transmitted.
+  EXPECT_EQ(t.generated, options.num_messages);
+  EXPECT_EQ(t.transmissions, t.generated - t.assigned_blackhole +
+                                 t.retransmissions);
+  // Unique deliveries split into on-time and late.
+  EXPECT_EQ(t.delivered_unique, t.on_time + t.late);
+  // Nothing is delivered that was never sent.
+  EXPECT_LE(t.delivered_unique + t.duplicates, t.transmissions);
+  // Every non-blackholed message resolves: delivered or given up. (The
+  // sender's give-up timer guarantees no message is left dangling.)
+  EXPECT_LE(t.delivered_unique + t.gave_up, t.generated);
+  EXPECT_GE(t.delivered_unique + t.gave_up + t.assigned_blackhole,
+            t.generated);
+  // Acks: one per data packet with ack_every = 1, minus losses in transit.
+  EXPECT_LE(t.acks_received, t.acks_sent);
+  EXPECT_EQ(t.acks_sent, t.delivered_unique + t.duplicates);
+}
+
+TEST(TraceInvariants, LinkStatsAgreeWithTrace) {
+  core::PathSet paths;
+  paths.add({.name = "p",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(100),
+             .loss_rate = 0.1});
+  const core::TrafficSpec traffic{.rate_bps = mbps(10),
+                                  .lifetime_s = seconds(1.0)};
+  const auto plan = core::plan_max_quality(paths, traffic);
+  proto::SessionConfig config;
+  config.num_messages = 8000;
+  config.seed = 5;
+  const auto result =
+      proto::run_session(plan, proto::to_sim_paths(paths), config);
+
+  const auto& fwd = result.forward_links[0];
+  EXPECT_EQ(fwd.offered, result.trace.transmissions);
+  EXPECT_EQ(fwd.offered, fwd.delivered + fwd.loss_drops + fwd.queue_drops);
+  EXPECT_EQ(fwd.delivered,
+            result.trace.delivered_unique + result.trace.duplicates);
+}
+
+// ------------------------------- planning from empirical delay samples
+
+TEST(EmpiricalPlanning, DiscretizedDistributionsMatchParametricPlan) {
+  // Section VIII-A: instead of fitting a shifted gamma, record delay
+  // samples and use the empirical distribution directly. Planning from
+  // 20k samples of the true Table V distributions must reproduce the
+  // parametric plan's quality closely.
+  const auto parametric = exp::table5_paths();
+  const auto traffic = exp::table5_traffic();
+
+  stats::Rng rng(2024);
+  core::PathSet empirical;
+  for (const auto& p : parametric) {
+    std::vector<double> samples;
+    samples.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+      samples.push_back(p.delay_dist->sample(rng));
+    }
+    core::PathSpec spec = p;
+    spec.delay_dist = stats::make_empirical(std::move(samples));
+    empirical.add(std::move(spec));
+  }
+
+  const core::Plan reference = core::plan_max_quality(parametric, traffic);
+  const core::Plan discretized = core::plan_max_quality(empirical, traffic);
+  ASSERT_TRUE(reference.feasible());
+  ASSERT_TRUE(discretized.feasible());
+  EXPECT_NEAR(discretized.quality(), reference.quality(), 0.005);
+
+  // The optimized timeouts from samples land near the parametric ones.
+  const auto& combos = discretized.model().combos();
+  std::size_t a12[] = {1, 2};
+  EXPECT_NEAR(discretized.model().metrics()[combos.encode(a12)].timeouts[0],
+              reference.model().metrics()[combos.encode(a12)].timeouts[0],
+              ms(10));
+}
+
+// --------------------------------- random-delay model sanity (regression)
+
+class RandomDelayModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDelayModelProperty, DeliveryProbabilitiesStayInUnitInterval) {
+  // Regression for the Equation 28 double-counting fix: across random
+  // jittery instances with tight deadlines, every combination's delivery
+  // probability must be a probability.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 13);
+  std::uniform_real_distribution<double> shift(10.0, 120.0);   // ms
+  std::uniform_real_distribution<double> shape(2.0, 12.0);
+  std::uniform_real_distribution<double> scale(1.0, 8.0);      // ms
+  std::uniform_real_distribution<double> loss(0.0, 0.3);
+  std::uniform_real_distribution<double> lifetime(60.0, 400.0);  // ms
+
+  core::PathSet paths;
+  const int n = 2 + GetParam() % 2;
+  for (int i = 0; i < n; ++i) {
+    core::PathSpec p{.name = "p" + std::to_string(i),
+                     .bandwidth_bps = mbps(20),
+                     .loss_rate = loss(rng)};
+    p.delay_dist =
+        stats::make_shifted_gamma(ms(shift(rng)), shape(rng), ms(scale(rng)));
+    paths.add(std::move(p));
+  }
+  const core::TrafficSpec traffic{.rate_bps = mbps(10),
+                                  .lifetime_s = ms(lifetime(rng))};
+  const core::Model model(paths, traffic);
+  for (std::size_t l = 0; l < model.combos().size(); ++l) {
+    const double p = model.metrics()[l].delivery_probability;
+    EXPECT_GE(p, -1e-12) << model.combos().label(l);
+    EXPECT_LE(p, 1.0 + 1e-12) << model.combos().label(l);
+  }
+  const core::Plan plan = core::plan_max_quality(paths, traffic);
+  ASSERT_TRUE(plan.feasible());
+  EXPECT_LE(plan.quality(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDelayModelProperty,
+                         ::testing::Range(1, 21));
+
+// ----------------------- randomized theory-vs-simulation agreement sweep
+
+class TheorySimAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(TheorySimAgreement, MeasuredQualityTracksTheoryOnRandomScenarios) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 101);
+  std::uniform_real_distribution<double> bw(10.0, 60.0);
+  std::uniform_real_distribution<double> delay(50.0, 300.0);
+  std::uniform_real_distribution<double> loss(0.0, 0.25);
+
+  core::PathSet truth;
+  for (int i = 0; i < 2; ++i) {
+    truth.add({.name = "p" + std::to_string(i),
+               .bandwidth_bps = mbps(bw(rng)),
+               .delay_s = ms(delay(rng)),
+               .loss_rate = loss(rng)});
+  }
+  // Conservative planning copy: +15% delay margin (the Experiment 1
+  // technique keeps simulated timers clear of serialization and queueing).
+  core::PathSet planning;
+  for (const auto& p : truth) {
+    core::PathSpec q = p;
+    q.delay_s *= 1.15;
+    planning.add(q);
+  }
+  const core::TrafficSpec traffic{
+      .rate_bps = mbps(0.6 * (truth[0].bandwidth_bps +
+                              truth[1].bandwidth_bps) / 1e6),
+      .lifetime_s = ms(700)};
+
+  exp::RunOptions options;
+  options.num_messages = 8000;
+  options.seed = 1000 + static_cast<std::uint64_t>(GetParam());
+  const auto outcome = exp::run_planned(planning, truth, traffic, options);
+  // The plan is computed against the conservative copy, so its prediction
+  // is a lower bound the (better) true network should meet within noise.
+  EXPECT_GT(outcome.session.measured_quality,
+            outcome.theory_quality - 0.04)
+      << "theory " << outcome.theory_quality << " measured "
+      << outcome.session.measured_quality;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheorySimAgreement, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace dmc

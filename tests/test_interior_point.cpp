@@ -1,0 +1,189 @@
+#include "lp/interior_point.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/model.h"
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "lp/validate.h"
+
+namespace dmc::lp {
+namespace {
+
+Problem make_problem(Sense sense, std::vector<double> objective) {
+  Problem p;
+  p.sense = sense;
+  p.objective = std::move(objective);
+  return p;
+}
+
+TEST(InteriorPoint, SolvesTextbookMaximization) {
+  Problem p = make_problem(Sense::maximize, {3, 5});
+  p.add_constraint({1, 0}, Relation::less_equal, 4);
+  p.add_constraint({0, 2}, Relation::less_equal, 12);
+  p.add_constraint({3, 2}, Relation::less_equal, 18);
+
+  const Solution s = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 36.0, 1e-6);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-5);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-5);
+}
+
+TEST(InteriorPoint, SolvesMinimizationWithGreaterEqual) {
+  Problem p = make_problem(Sense::minimize, {2, 3});
+  p.add_constraint({1, 1}, Relation::greater_equal, 4);
+  p.add_constraint({1, 2}, Relation::greater_equal, 6);
+
+  const Solution s = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 10.0, 1e-6);
+}
+
+TEST(InteriorPoint, HandlesEqualityConstraints) {
+  Problem p = make_problem(Sense::maximize, {1, 2});
+  p.add_constraint({1, 1}, Relation::equal, 1);
+
+  const Solution s = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 2.0, 1e-6);
+}
+
+TEST(InteriorPoint, DegenerateProblemsStillConverge) {
+  // Beale's cycling example is harmless for interior-point methods.
+  Problem p = make_problem(Sense::minimize, {-0.75, 150, -0.02, 6});
+  p.add_constraint({0.25, -60, -0.04, 9}, Relation::less_equal, 0);
+  p.add_constraint({0.5, -90, -0.02, 3}, Relation::less_equal, 0);
+  p.add_constraint({0, 0, 1, 0}, Relation::less_equal, 1);
+
+  const Solution s = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, -0.05, 1e-6);
+}
+
+TEST(InteriorPoint, AgreesWithSimplexOnPaperModel) {
+  const auto paths = exp::table3_model_paths();
+  for (double rate : {40.0, 90.0, 120.0}) {
+    const core::TrafficSpec traffic{.rate_bps = mbps(rate),
+                                    .lifetime_s = ms(800)};
+    const core::Model model(paths, traffic);
+    const Problem problem = model.quality_lp();
+    const Solution simplex = SimplexSolver().solve(problem);
+    const Solution ipm = InteriorPointSolver().solve(problem);
+    ASSERT_TRUE(simplex.optimal());
+    ASSERT_TRUE(ipm.optimal()) << "rate " << rate;
+    EXPECT_NEAR(ipm.objective_value, simplex.objective_value, 1e-6)
+        << "rate " << rate;
+    EXPECT_TRUE(validate(problem, ipm.x).ok(1e-5));
+  }
+}
+
+TEST(InteriorPoint, AgreesOnCostMinimization) {
+  core::PathSet paths;
+  paths.add({.name = "a",
+             .bandwidth_bps = mbps(80),
+             .delay_s = ms(450),
+             .loss_rate = 0.2,
+             .cost_per_bit = 2e-6});
+  paths.add({.name = "b",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(150),
+             .loss_rate = 0.0,
+             .cost_per_bit = 1e-6});
+  const core::TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const core::Model model(paths, traffic);
+  const Problem problem = model.cost_min_lp(0.9);
+  const Solution simplex = SimplexSolver().solve(problem);
+  const Solution ipm = InteriorPointSolver().solve(problem);
+  ASSERT_TRUE(simplex.optimal());
+  ASSERT_TRUE(ipm.optimal());
+  EXPECT_NEAR(ipm.objective_value, simplex.objective_value,
+              1e-6 * simplex.objective_value + 1e-6);
+}
+
+TEST(InteriorPoint, ScalesToThreeTransmissionProblems) {
+  core::PathSet paths;
+  for (int i = 0; i < 5; ++i) {
+    paths.add({.name = "p" + std::to_string(i),
+               .bandwidth_bps = mbps(20.0 + 10.0 * i),
+               .delay_s = ms(100.0 + 80.0 * i),
+               .loss_rate = 0.05 * i});
+  }
+  core::ModelOptions options;
+  options.transmissions = 3;  // 216 variables
+  const core::Model model(paths,
+                          {.rate_bps = mbps(120), .lifetime_s = seconds(1.2)},
+                          options);
+  const Problem problem = model.quality_lp();
+  const Solution simplex = SimplexSolver().solve(problem);
+  const Solution ipm = InteriorPointSolver().solve(problem);
+  ASSERT_TRUE(simplex.optimal());
+  ASSERT_TRUE(ipm.optimal());
+  EXPECT_NEAR(ipm.objective_value, simplex.objective_value, 1e-5);
+}
+
+// Cross-validation on the same random LP family the simplex property test
+// uses: both solvers must agree on the optimum.
+class InteriorPointRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(InteriorPointRandomProperty, MatchesSimplexObjective) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 77);
+  std::uniform_real_distribution<double> coef(0.1, 3.0);
+  std::uniform_real_distribution<double> obj(-1.0, 2.0);
+  std::uniform_int_distribution<int> dims(2, 6);
+  std::uniform_int_distribution<int> rows(2, 6);
+
+  const auto n = static_cast<std::size_t>(dims(rng));
+  const int m = rows(rng);
+
+  Problem p;
+  p.sense = Sense::maximize;
+  for (std::size_t j = 0; j < n; ++j) p.objective.push_back(obj(rng));
+  for (int r = 0; r < m; ++r) {
+    std::vector<double> row;
+    for (std::size_t j = 0; j < n; ++j) row.push_back(coef(rng));
+    p.add_constraint(std::move(row), Relation::less_equal,
+                     std::uniform_real_distribution<double>(1.0, 10.0)(rng));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> box(n, 0.0);
+    box[j] = 1.0;
+    p.add_constraint(std::move(box), Relation::less_equal, 20.0);
+  }
+
+  const Solution simplex = SimplexSolver().solve(p);
+  const Solution ipm = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(simplex.optimal());
+  ASSERT_TRUE(ipm.optimal()) << to_string(p);
+  EXPECT_NEAR(ipm.objective_value, simplex.objective_value,
+              1e-5 * (1.0 + std::abs(simplex.objective_value)))
+      << to_string(p);
+  EXPECT_TRUE(validate(p, ipm.x).ok(1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InteriorPointRandomProperty,
+                         ::testing::Range(1, 31));
+
+TEST(InteriorPoint, ReportsNonConvergenceOnInfeasibleSystem) {
+  Problem p = make_problem(Sense::maximize, {1});
+  p.add_constraint({1}, Relation::less_equal, 1);
+  p.add_constraint({1}, Relation::greater_equal, 2);
+  const Solution s = InteriorPointSolver().solve(p);
+  EXPECT_FALSE(s.optimal());  // infeasible or iteration_limit, never optimal
+}
+
+TEST(InteriorPoint, IterationCountsAreSmall) {
+  // Path-following methods converge in tens of iterations regardless of
+  // vertex count — the contrast with simplex the paper alludes to.
+  const auto paths = exp::table3_model_paths();
+  const core::Model model(paths,
+                          {.rate_bps = mbps(90), .lifetime_s = ms(800)});
+  const Solution s = InteriorPointSolver().solve(model.quality_lp());
+  ASSERT_TRUE(s.optimal());
+  EXPECT_LE(s.iterations, 50);
+}
+
+}  // namespace
+}  // namespace dmc::lp

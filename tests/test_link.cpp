@@ -1,0 +1,155 @@
+#include "sim/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/units.h"
+#include "sim/network.h"
+
+namespace dmc::sim {
+namespace {
+
+Packet data_packet(std::uint64_t seq, std::size_t bytes = 1000) {
+  Packet p;
+  p.seq = seq;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Link, DeliversWithSerializationPlusPropagation) {
+  Simulator sim;
+  LinkConfig config{.rate_bps = dmc::mbps(8), .prop_delay_s = 0.1};
+  Link link(sim, config, "l");
+  double arrival = -1.0;
+  link.set_receiver([&](Packet) { arrival = sim.now(); });
+  link.send(data_packet(1, 1000));  // 8000 bits at 8 Mbps = 1 ms
+  sim.run();
+  EXPECT_NEAR(arrival, 0.101, 1e-12);
+  EXPECT_EQ(link.stats().delivered, 1u);
+}
+
+TEST(Link, BackToBackPacketsQueueBehindEachOther) {
+  Simulator sim;
+  LinkConfig config{.rate_bps = dmc::mbps(8), .prop_delay_s = 0.0};
+  Link link(sim, config, "l");
+  std::vector<double> arrivals;
+  link.set_receiver([&](Packet) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 3; ++i) link.send(data_packet(i, 1000));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 0.001, 1e-12);
+  EXPECT_NEAR(arrivals[1], 0.002, 1e-12);  // queueing delay emerges
+  EXPECT_NEAR(arrivals[2], 0.003, 1e-12);
+}
+
+TEST(Link, DropTailQueueDropsWhenFull) {
+  Simulator sim;
+  LinkConfig config{.rate_bps = dmc::mbps(8), .prop_delay_s = 0.0,
+                    .loss_rate = 0.0, .queue_capacity = 2};
+  Link link(sim, config, "l");
+  int delivered = 0;
+  link.set_receiver([&](Packet) { ++delivered; });
+  for (int i = 0; i < 5; ++i) link.send(data_packet(i));
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.stats().queue_drops, 3u);
+  EXPECT_EQ(link.stats().offered, 5u);
+  EXPECT_EQ(link.stats().max_queue_depth, 2u);
+}
+
+TEST(Link, BernoulliLossMatchesConfiguredRate) {
+  Simulator sim(99);
+  LinkConfig config{.rate_bps = dmc::gbps(10), .prop_delay_s = 0.0,
+                    .loss_rate = 0.2, .queue_capacity = 1000000};
+  Link link(sim, config, "l");
+  int delivered = 0;
+  link.set_receiver([&](Packet) { ++delivered; });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) link.send(data_packet(i, 100));
+  sim.run();
+  const double loss =
+      static_cast<double>(link.stats().loss_drops) / static_cast<double>(n);
+  EXPECT_NEAR(loss, 0.2, 0.01);
+  EXPECT_EQ(link.stats().loss_drops + static_cast<std::uint64_t>(delivered),
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(Link, RandomExtraDelayShiftsArrivals) {
+  Simulator sim(7);
+  LinkConfig config{.rate_bps = dmc::gbps(1), .prop_delay_s = 0.1};
+  config.extra_delay = stats::make_uniform(0.01, 0.02);
+  Link link(sim, config, "l");
+  std::vector<double> arrivals;
+  link.set_receiver([&](Packet) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 200; ++i) link.send(data_packet(i, 100));
+  sim.run();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const double base = 100.0 * 8.0 / 1e9 * static_cast<double>(i + 1) + 0.1;
+    const double extra = arrivals[i] - base;
+    EXPECT_GE(extra, 0.01 - 1e-9);
+    EXPECT_LE(extra, 0.02 + 1e-9);
+  }
+}
+
+TEST(Link, UtilizationTracksBusyTime) {
+  Simulator sim;
+  LinkConfig config{.rate_bps = dmc::mbps(8), .prop_delay_s = 0.0};
+  Link link(sim, config, "l");
+  link.set_receiver([](Packet) {});
+  link.send(data_packet(0, 1000));  // 1 ms busy
+  sim.run();                        // ends at 1 ms
+  EXPECT_NEAR(link.utilization(), 1.0, 1e-9);
+}
+
+TEST(Link, RejectsBadConfig) {
+  Simulator sim;
+  EXPECT_THROW(Link(sim, LinkConfig{.rate_bps = 0.0}, "l"),
+               std::invalid_argument);
+  EXPECT_THROW(Link(sim,
+                    LinkConfig{.rate_bps = 1.0, .prop_delay_s = -1.0}, "l"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Link(sim, LinkConfig{.rate_bps = 1.0, .prop_delay_s = 0.0,
+                           .loss_rate = 1.5},
+           "l"),
+      std::invalid_argument);
+}
+
+TEST(Network, RoutesDataAndAcksPerPath) {
+  Simulator sim;
+  std::vector<PathConfig> paths;
+  paths.push_back(symmetric_path(
+      LinkConfig{.rate_bps = dmc::mbps(10), .prop_delay_s = 0.01}, "a"));
+  paths.push_back(symmetric_path(
+      LinkConfig{.rate_bps = dmc::mbps(10), .prop_delay_s = 0.02}, "b"));
+  Network net(sim, paths);
+
+  std::vector<std::pair<int, std::uint64_t>> server_got;
+  std::vector<std::pair<int, std::uint64_t>> client_got;
+  net.set_server_receiver([&](int path, Packet p) {
+    server_got.emplace_back(path, p.seq);
+    net.server_send(path, p);  // bounce back
+  });
+  net.set_client_receiver(
+      [&](int path, Packet p) { client_got.emplace_back(path, p.seq); });
+
+  net.client_send(0, data_packet(100));
+  net.client_send(1, data_packet(200));
+  sim.run();
+
+  ASSERT_EQ(server_got.size(), 2u);
+  ASSERT_EQ(client_got.size(), 2u);
+  EXPECT_EQ(server_got[0], (std::pair<int, std::uint64_t>{0, 100}));
+  EXPECT_EQ(server_got[1], (std::pair<int, std::uint64_t>{1, 200}));
+  EXPECT_EQ(client_got[0], (std::pair<int, std::uint64_t>{0, 100}));
+  EXPECT_EQ(client_got[1], (std::pair<int, std::uint64_t>{1, 200}));
+}
+
+TEST(Network, RequiresAtLeastOnePath) {
+  Simulator sim;
+  EXPECT_THROW(Network(sim, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc::sim

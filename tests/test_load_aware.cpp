@@ -1,0 +1,97 @@
+#include "core/load_aware.h"
+
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+#include "experiments/scenarios.h"
+
+namespace dmc::core {
+namespace {
+
+std::vector<LoadAwarePath> wrap(const PathSet& paths,
+                                const LoadResponse& response) {
+  std::vector<LoadAwarePath> out;
+  for (const PathSpec& p : paths) out.push_back({p, response});
+  return out;
+}
+
+TEST(LoadAware, NoResponseReducesToPlainPlan) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const auto result = plan_load_aware(wrap(paths, LoadResponse{}), traffic);
+  ASSERT_TRUE(result.plan.feasible());
+  EXPECT_TRUE(result.converged);
+  const Plan plain = plan_max_quality(paths, traffic);
+  EXPECT_NEAR(result.plan.quality(), plain.quality(), 1e-6);
+  EXPECT_NEAR(result.naive_quality, plain.quality(), 1e-6);
+}
+
+TEST(LoadAware, QueueDelayResponseLowersPredictedQuality) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  LoadResponse response;
+  response.queue_delay_at_half_load_s = ms(30);
+  response.max_queue_delay_s = ms(200);
+  const auto result = plan_load_aware(wrap(paths, response), traffic);
+  ASSERT_TRUE(result.plan.feasible());
+  const Plan naive = plan_max_quality(paths, traffic);
+  // Load-adjusted delays can only hurt vs the zero-load fiction.
+  EXPECT_LE(result.plan.quality(), naive.quality() + 1e-9);
+  // Utilizations are tracked per real path.
+  ASSERT_EQ(result.utilization.size(), 2u);
+  for (double u : result.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+}
+
+TEST(LoadAware, FixpointBeatsOrMatchesNaivePlanUnderLoadEffects) {
+  // The iteration's value: judge the zero-load plan under the true
+  // (load-adjusted) characteristics and compare with the fixpoint plan.
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  LoadResponse response;
+  response.queue_delay_at_half_load_s = ms(40);
+  response.max_queue_delay_s = ms(300);
+  response.extra_loss_at_capacity = 0.1;
+  const auto result = plan_load_aware(wrap(paths, response), traffic);
+  ASSERT_TRUE(result.plan.feasible());
+  EXPECT_GE(result.plan.quality() + 1e-6, result.naive_quality);
+}
+
+TEST(LoadAware, ConvergesWithinRounds) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(60), .lifetime_s = ms(800)};
+  LoadResponse response;
+  response.queue_delay_at_half_load_s = ms(10);
+  LoadAwareOptions options;
+  options.max_rounds = 50;
+  const auto result =
+      plan_load_aware(wrap(paths, response), traffic, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.rounds, 50);
+}
+
+TEST(LoadAware, LossRampReducesQuality) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  LoadResponse lossy;
+  lossy.extra_loss_at_capacity = 0.3;
+  const auto with_loss = plan_load_aware(wrap(paths, lossy), traffic);
+  const auto without = plan_load_aware(wrap(paths, LoadResponse{}), traffic);
+  EXPECT_LT(with_loss.plan.quality(), without.plan.quality());
+}
+
+TEST(LoadAware, ValidatesArguments) {
+  const TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(800)};
+  EXPECT_THROW((void)plan_load_aware({}, traffic), std::invalid_argument);
+  LoadAwareOptions bad;
+  bad.damping = 0.0;
+  const auto paths = exp::table3_model_paths();
+  EXPECT_THROW(
+      (void)plan_load_aware(wrap(paths, LoadResponse{}), traffic, bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc::core

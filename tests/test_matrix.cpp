@@ -1,0 +1,69 @@
+#include "lp/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace dmc::lp {
+namespace {
+
+TEST(Matrix, ConstructsWithFill) {
+  const Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, ElementAccessReadsAndWrites) {
+  Matrix m(2, 2);
+  m(0, 1) = 7.0;
+  m(1, 0) = -3.0;
+  EXPECT_EQ(m(0, 1), 7.0);
+  EXPECT_EQ(m(1, 0), -3.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, AddScaledRow) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(0, 2) = 3.0;
+  m(1, 0) = 10.0;
+  m.add_scaled_row(1, 0, -2.0);
+  EXPECT_EQ(m(1, 0), 8.0);
+  EXPECT_EQ(m(1, 1), -4.0);
+  EXPECT_EQ(m(1, 2), -6.0);
+}
+
+TEST(Matrix, ScaleRow) {
+  Matrix m(1, 2, 3.0);
+  m.scale_row(0, 2.0);
+  EXPECT_EQ(m(0, 0), 6.0);
+  EXPECT_EQ(m(0, 1), 6.0);
+}
+
+TEST(Matrix, BoundsChecking) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m(0, 2), std::out_of_range);
+  EXPECT_THROW((void)m.row(5), std::out_of_range);
+}
+
+TEST(Matrix, EqualityComparesShapeAndData) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2.0;
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, Matrix(2, 3, 1.0));
+}
+
+}  // namespace
+}  // namespace dmc::lp

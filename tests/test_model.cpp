@@ -1,0 +1,394 @@
+// Tests of the optimization model against the paper's published numbers.
+// Path characteristics are Table III with the conservative delays the paper
+// feeds its model in Experiment 1 (450/150 ms); Table IV's qualities follow
+// exactly from those inputs.
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "lp/validate.h"
+
+namespace dmc::core {
+namespace {
+
+PlanOptions defaults() { return {}; }
+
+// ---------------------------------------------------------- Table IV top
+
+struct RateCase {
+  double rate_mbps;
+  double quality;  // paper's printed Q
+};
+
+class TableIvRates : public ::testing::TestWithParam<RateCase> {};
+
+TEST_P(TableIvRates, QualityMatchesPaper) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(GetParam().rate_mbps),
+                            .lifetime_s = ms(800)};
+  const Plan plan = plan_max_quality(paths, traffic, defaults());
+  ASSERT_TRUE(plan.feasible());
+  EXPECT_NEAR(plan.quality(), GetParam().quality, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableIvRates,
+    ::testing::Values(RateCase{10, 1.0}, RateCase{20, 1.0}, RateCase{40, 1.0},
+                      RateCase{60, 1.0}, RateCase{80, 1.0},
+                      RateCase{100, 0.84}, RateCase{120, 0.70},
+                      RateCase{140, 0.60}),
+    [](const auto& info) {
+      return "lambda" + std::to_string(static_cast<int>(info.param.rate_mbps));
+    });
+
+// -------------------------------------------------------- Table IV bottom
+
+struct LifetimeCase {
+  double lifetime_ms;
+  double quality;
+};
+
+class TableIvLifetimes : public ::testing::TestWithParam<LifetimeCase> {};
+
+TEST_P(TableIvLifetimes, QualityMatchesPaper) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90),
+                            .lifetime_s = ms(GetParam().lifetime_ms)};
+  const Plan plan = plan_max_quality(paths, traffic, defaults());
+  ASSERT_TRUE(plan.feasible());
+  EXPECT_NEAR(plan.quality(), GetParam().quality, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableIvLifetimes,
+    ::testing::Values(LifetimeCase{150, 2.0 / 9.0},
+                      LifetimeCase{400, 2.0 / 9.0},
+                      LifetimeCase{450, 7.6 / 9.0},
+                      LifetimeCase{700, 7.6 / 9.0},
+                      LifetimeCase{750, 42.0 / 45.0},
+                      LifetimeCase{1000, 42.0 / 45.0},
+                      LifetimeCase{1050, 42.0 / 45.0},
+                      LifetimeCase{1500, 42.0 / 45.0}),
+    [](const auto& info) {
+      return "delta" + std::to_string(static_cast<int>(info.param.lifetime_ms));
+    });
+
+// The paper's own printed solutions must evaluate to the same qualities
+// (the LP has alternate optima; objective values are the invariant).
+TEST(TableIv, PaperSolutionsEvaluateToPublishedQuality) {
+  const auto paths = exp::table3_model_paths();
+  const Model model(paths, {.rate_bps = mbps(100), .lifetime_s = ms(800)});
+  // lambda = 100 row: x0,0 = 4/25, x1,2 = 4/5, x2,2 = 1/25.
+  std::vector<double> x(model.combos().size(), 0.0);
+  const auto idx = [&](std::size_t i, std::size_t j) {
+    std::size_t attempts[] = {i, j};
+    return model.combos().encode(attempts);
+  };
+  x[idx(0, 0)] = 4.0 / 25.0;
+  x[idx(1, 2)] = 4.0 / 5.0;
+  x[idx(2, 2)] = 1.0 / 25.0;
+  const PlanMetrics metrics = model.evaluate(x);
+  EXPECT_NEAR(metrics.quality, 0.84, 1e-12);
+  // And it satisfies the constraint system.
+  const auto report = lp::validate(model.quality_lp(), x);
+  EXPECT_TRUE(report.ok(1e-6)) << report.worst_constraint;
+}
+
+TEST(TableIv, PaperLifetimeSolutionsAreFeasibleAndOptimal) {
+  const auto paths = exp::table3_model_paths();
+  struct Row {
+    double lifetime_ms;
+    std::vector<std::pair<std::pair<int, int>, double>> entries;
+    double quality;
+  };
+  const std::vector<Row> rows = {
+      {200, {{{0, 0}, 7.0 / 9}, {{2, 2}, 2.0 / 9}}, 2.0 / 9},
+      {600, {{{1, 0}, 7.0 / 9}, {{2, 2}, 2.0 / 9}}, 7.6 / 9},
+      {800,
+       {{{0, 0}, 1.0 / 15}, {{1, 2}, 8.0 / 9}, {{2, 2}, 2.0 / 45}},
+       42.0 / 45},
+      {1100,
+       {{{0, 0}, 1.0 / 27}, {{1, 1}, 20.0 / 27}, {{2, 2}, 2.0 / 9}},
+       42.0 / 45},
+  };
+  for (const Row& row : rows) {
+    const TrafficSpec traffic{.rate_bps = mbps(90),
+                              .lifetime_s = ms(row.lifetime_ms)};
+    const Model model(paths, traffic);
+    std::vector<double> x(model.combos().size(), 0.0);
+    for (const auto& [ij, weight] : row.entries) {
+      std::size_t attempts[] = {static_cast<std::size_t>(ij.first),
+                                static_cast<std::size_t>(ij.second)};
+      x[model.combos().encode(attempts)] = weight;
+    }
+    EXPECT_NEAR(model.evaluate(x).quality, row.quality, 1e-9)
+        << "lifetime " << row.lifetime_ms;
+    EXPECT_TRUE(lp::validate(model.quality_lp(), x).ok(1e-6))
+        << "lifetime " << row.lifetime_ms;
+    // No allocation can beat the printed quality (it is optimal).
+    const Plan best = plan_max_quality(paths, traffic, defaults());
+    EXPECT_NEAR(best.quality(), row.quality, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------- structure
+
+TEST(Model, BandwidthConstraintsHoldAtOptimum) {
+  const auto paths = exp::table3_model_paths();
+  for (double rate : {40.0, 90.0, 140.0}) {
+    const TrafficSpec traffic{.rate_bps = mbps(rate), .lifetime_s = ms(800)};
+    const Plan plan = plan_max_quality(paths, traffic, defaults());
+    ASSERT_TRUE(plan.feasible());
+    const auto& s = plan.send_rate_bps();
+    // Model path 1 and 2 are the real paths (0 is the blackhole).
+    EXPECT_LE(s[1], mbps(80) + 1e-3);
+    EXPECT_LE(s[2], mbps(20) + 1e-3);
+  }
+}
+
+TEST(Model, WeightsSumToOneAtOptimum) {
+  const auto paths = exp::table3_model_paths();
+  const Plan plan = plan_max_quality(
+      paths, {.rate_bps = mbps(120), .lifetime_s = ms(800)}, defaults());
+  double sum = 0.0;
+  for (double v : plan.x()) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Model, EvaluateMatchesLpObjective) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const Model model(paths, traffic);
+  const lp::Problem problem = model.quality_lp();
+  const lp::SimplexSolver solver;
+  const lp::Solution solution = solver.solve(problem);
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(model.evaluate(solution.x).quality, solution.objective_value,
+              1e-9);
+}
+
+TEST(Model, BlackholeAbsorbsOverload) {
+  // Far beyond capacity: most data must be dropped; quality equals the
+  // capacity-limited optimum and x0,* absorbs the rest.
+  const auto paths = exp::table3_model_paths();
+  const Plan plan = plan_max_quality(
+      paths, {.rate_bps = mbps(1000), .lifetime_s = ms(800)}, defaults());
+  ASSERT_TRUE(plan.feasible());
+  // Path 1 carries <= 80 of 1000 at 80% delivery; path 2 <= 20 at 100%:
+  // Q <= (80 * 0.8 + 20) / 1000 = 0.084.
+  EXPECT_NEAR(plan.quality(), 0.084, 1e-9);
+}
+
+TEST(Model, WithoutBlackholeOverloadIsInfeasible) {
+  const auto paths = exp::table3_model_paths();
+  ModelOptions options;
+  options.use_blackhole = false;
+  const Model model(paths, {.rate_bps = mbps(1000), .lifetime_s = ms(800)},
+                    options);
+  const lp::SimplexSolver solver;
+  EXPECT_EQ(solver.solve(model.quality_lp()).status,
+            lp::SolveStatus::infeasible);
+}
+
+TEST(Model, ShortLifetimeMakesAllDeliveryImpossible) {
+  const auto paths = exp::table3_model_paths();
+  const Plan plan = plan_max_quality(
+      paths, {.rate_bps = mbps(10), .lifetime_s = ms(100)}, defaults());
+  ASSERT_TRUE(plan.feasible());
+  EXPECT_NEAR(plan.quality(), 0.0, 1e-12);  // no path makes 100 ms
+}
+
+TEST(Model, RetransmissionBudgetMonotonicity) {
+  // More allowed transmissions can only help (m = 1 vs 2 vs 3).
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(60), .lifetime_s = seconds(2.0)};
+  double previous = -1.0;
+  for (int m : {1, 2, 3}) {
+    PlanOptions options;
+    options.model.transmissions = m;
+    const Plan plan = plan_max_quality(paths, traffic, options);
+    ASSERT_TRUE(plan.feasible());
+    EXPECT_GE(plan.quality() + 1e-9, previous) << "m=" << m;
+    previous = plan.quality();
+  }
+  // With a 2-second lifetime a third transmission genuinely helps path 1
+  // traffic (two losses in a row still beat the deadline).
+  PlanOptions m3;
+  m3.model.transmissions = 3;
+  PlanOptions m1;
+  m1.model.transmissions = 1;
+  EXPECT_GT(plan_max_quality(paths, traffic, m3).quality(),
+            plan_max_quality(paths, traffic, m1).quality());
+}
+
+TEST(Model, SingleTransmissionQualityIsClosedForm) {
+  // m = 1: no retransmission. Best: fill path 2 (no loss), rest on path 1.
+  const auto paths = exp::table3_model_paths();
+  PlanOptions options;
+  options.model.transmissions = 1;
+  const Plan plan = plan_max_quality(
+      paths, {.rate_bps = mbps(90), .lifetime_s = ms(800)}, options);
+  // 20/90 on path 2 at quality 1; 70/90 on path 1 at 0.8.
+  EXPECT_NEAR(plan.quality(), (20.0 + 70.0 * 0.8) / 90.0, 1e-9);
+}
+
+TEST(Model, TimeoutGuardShiftsFeasibility) {
+  // With a large enough guard, the retransmission no longer beats the
+  // deadline, so quality falls back to the no-retransmission value.
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  PlanOptions guarded;
+  guarded.model.timeout_guard_s = ms(100);  // 450+150+100+150 = 850 > 800
+  const Plan plan = plan_max_quality(paths, traffic, guarded);
+  EXPECT_NEAR(plan.quality(), 7.6 / 9.0, 1e-9);  // the delta=450..700 value
+}
+
+TEST(Model, CostConstraintBindsWhenTight) {
+  // Give paths costs and cap the spend; quality must drop vs uncapped.
+  PathSet paths;
+  paths.add({.name = "fast",
+             .bandwidth_bps = mbps(80),
+             .delay_s = ms(450),
+             .loss_rate = 0.2,
+             .cost_per_bit = 2e-6});
+  paths.add({.name = "slow",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(150),
+             .loss_rate = 0.0,
+             .cost_per_bit = 1e-6});
+  const TrafficSpec unlimited{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  TrafficSpec capped = unlimited;
+  capped.cost_cap_per_s = 60.0;  // well below the unconstrained spend
+
+  const Plan rich = plan_max_quality(paths, unlimited, defaults());
+  const Plan poor = plan_max_quality(paths, capped, defaults());
+  ASSERT_TRUE(rich.feasible());
+  ASSERT_TRUE(poor.feasible());
+  EXPECT_GT(rich.cost_per_s(), 60.0);
+  EXPECT_LE(poor.cost_per_s(), 60.0 + 1e-6);
+  EXPECT_LT(poor.quality(), rich.quality());
+}
+
+TEST(Model, CostMinimizationIsDualToQualityMaximization) {
+  PathSet paths;
+  paths.add({.name = "fast",
+             .bandwidth_bps = mbps(80),
+             .delay_s = ms(450),
+             .loss_rate = 0.2,
+             .cost_per_bit = 2e-6});
+  paths.add({.name = "slow",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(150),
+             .loss_rate = 0.0,
+             .cost_per_bit = 1e-6});
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+
+  // Max quality with unlimited budget, then min cost at that quality: the
+  // resulting cost is the cheapest way to be optimal, and re-maximizing
+  // quality with that budget recovers the same quality.
+  const Plan best = plan_max_quality(paths, traffic, defaults());
+  const Plan cheapest = plan_min_cost(paths, traffic, best.quality() - 1e-9,
+                                      defaults());
+  ASSERT_TRUE(cheapest.feasible());
+  EXPECT_LE(cheapest.cost_per_s(), best.cost_per_s() + 1e-6);
+  EXPECT_GE(cheapest.quality(), best.quality() - 1e-6);
+
+  TrafficSpec capped = traffic;
+  capped.cost_cap_per_s = cheapest.cost_per_s() + 1e-6;
+  const Plan re = plan_max_quality(paths, capped, defaults());
+  EXPECT_NEAR(re.quality(), best.quality(), 1e-6);
+}
+
+TEST(Model, CostMinInfeasibleAboveAchievableQuality) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const Plan plan = plan_min_cost(paths, traffic, 0.99, defaults());
+  EXPECT_FALSE(plan.feasible());  // max achievable is 93.3%
+}
+
+TEST(Model, RejectsInvalidInputs) {
+  const auto paths = exp::table3_model_paths();
+  EXPECT_THROW(Model(PathSet{}, {.rate_bps = 1.0, .lifetime_s = 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Model(paths, {.rate_bps = 0.0, .lifetime_s = 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(Model(paths, {.rate_bps = 1.0, .lifetime_s = 0.0}),
+               std::invalid_argument);
+  ModelOptions bad;
+  bad.timeout_guard_s = -1.0;
+  EXPECT_THROW(Model(paths, {.rate_bps = 1.0, .lifetime_s = 1.0}, bad),
+               std::invalid_argument);
+  PathSet with_blackhole = paths;
+  with_blackhole.add(blackhole_path());
+  EXPECT_THROW(Model(with_blackhole, {.rate_bps = 1.0, .lifetime_s = 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Model, EvaluateRejectsWrongDimension) {
+  const auto paths = exp::table3_model_paths();
+  const Model model(paths, {.rate_bps = mbps(10), .lifetime_s = ms(800)});
+  EXPECT_THROW((void)model.evaluate({1.0}), std::invalid_argument);
+}
+
+// Fig. 1 scenario: the paper's introductory example must reach 100%.
+TEST(Model, Figure1ScenarioReachesFullQuality) {
+  const Plan plan =
+      plan_max_quality(exp::fig1_paths(), exp::fig1_traffic(), defaults());
+  ASSERT_TRUE(plan.feasible());
+  EXPECT_NEAR(plan.quality(), 1.0, 1e-9);
+  // And neither path alone achieves it.
+  EXPECT_LT(plan_single_path(exp::fig1_paths(), 0, exp::fig1_traffic())
+                .quality(),
+            1.0 - 1e-6);
+  EXPECT_LT(plan_single_path(exp::fig1_paths(), 1, exp::fig1_traffic())
+                .quality(),
+            1.0 - 1e-6);
+}
+
+// Property: across random path sets, the solver's plan always satisfies
+// the constraint system and beats every single path.
+class ModelRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelRandomProperty, PlanIsFeasibleAndDominatesSinglePaths) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> bw(5.0, 100.0);     // Mbps
+  std::uniform_real_distribution<double> delay(20.0, 700.0);  // ms
+  std::uniform_real_distribution<double> loss(0.0, 0.4);
+  std::uniform_int_distribution<int> count(2, 4);
+
+  PathSet paths;
+  const int n = count(rng);
+  for (int i = 0; i < n; ++i) {
+    paths.add({.name = "p" + std::to_string(i),
+               .bandwidth_bps = mbps(bw(rng)),
+               .delay_s = ms(delay(rng)),
+               .loss_rate = loss(rng)});
+  }
+  const TrafficSpec traffic{.rate_bps = mbps(50), .lifetime_s = ms(900)};
+
+  const Plan plan = plan_max_quality(paths, traffic, defaults());
+  ASSERT_TRUE(plan.feasible());
+  EXPECT_GE(plan.quality(), -1e-9);
+  EXPECT_LE(plan.quality(), 1.0 + 1e-9);
+
+  const Model& model = plan.model();
+  const auto report = lp::validate(model.quality_lp(), plan.x());
+  EXPECT_TRUE(report.ok(1e-6)) << report.worst_constraint;
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_GE(plan.quality() + 1e-9,
+              plan_single_path(paths, i, traffic).quality())
+        << "multipath must dominate path " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelRandomProperty, ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace dmc::core

@@ -1,0 +1,165 @@
+// Randomized property sweeps over the optimization model:
+//   * quality-max and cost-min are consistent duals across random
+//     instances (Section VI-A);
+//   * the literal paper matrices (Eqs. 11-18) agree with the general
+//     builder coefficient-by-coefficient on random instances, not just the
+//     paper's scenarios;
+//   * monotonicity properties a sane deadline model must satisfy.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/paper_model.h"
+#include "core/planner.h"
+#include "core/units.h"
+#include "lp/simplex.h"
+
+namespace dmc::core {
+namespace {
+
+PathSet random_paths(std::mt19937_64& rng, int n, bool with_costs) {
+  std::uniform_real_distribution<double> bw(5.0, 80.0);
+  std::uniform_real_distribution<double> delay(30.0, 500.0);
+  std::uniform_real_distribution<double> loss(0.0, 0.35);
+  std::uniform_real_distribution<double> cost(0.5e-6, 8e-6);
+  PathSet paths;
+  for (int i = 0; i < n; ++i) {
+    paths.add({.name = "p" + std::to_string(i),
+               .bandwidth_bps = mbps(bw(rng)),
+               .delay_s = ms(delay(rng)),
+               .loss_rate = loss(rng),
+               .cost_per_bit = with_costs ? cost(rng) : 0.0});
+  }
+  return paths;
+}
+
+class DualityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualityProperty, CostMinAndQualityMaxAreConsistent) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31);
+  const PathSet paths = random_paths(rng, 2 + GetParam() % 3, true);
+  const TrafficSpec traffic{.rate_bps = mbps(40), .lifetime_s = ms(800)};
+
+  const Plan best = plan_max_quality(paths, traffic);
+  ASSERT_TRUE(best.feasible());
+
+  // 1. Cost-min at the achieved quality must be feasible and no more
+  //    expensive than the quality-max plan.
+  const Plan cheapest = plan_min_cost(paths, traffic, best.quality() - 1e-9);
+  ASSERT_TRUE(cheapest.feasible());
+  EXPECT_LE(cheapest.cost_per_s(), best.cost_per_s() + 1e-6);
+  EXPECT_GE(cheapest.quality(), best.quality() - 1e-6);
+
+  // 2. Budgeting exactly the cheapest spend recovers the same quality (to
+  //    solver tolerance: the quality and cost rows differ by ~8 orders of
+  //    magnitude, so the recovered optimum can sit a few 1e-5 off).
+  TrafficSpec capped = traffic;
+  capped.cost_cap_per_s = cheapest.cost_per_s() + 1e-6;
+  const Plan re = plan_max_quality(paths, capped);
+  ASSERT_TRUE(re.feasible());
+  EXPECT_NEAR(re.quality(), best.quality(), 1e-4);
+
+  // 3. Any quality above the max is infeasible for cost-min.
+  if (best.quality() < 0.999) {
+    const Plan impossible =
+        plan_min_cost(paths, traffic, best.quality() + 1e-3);
+    EXPECT_FALSE(impossible.feasible());
+  }
+
+  // 4. Cost-min quality floors trace a nondecreasing cost curve.
+  double previous_cost = -1.0;
+  for (double floor : {0.25, 0.5, 0.75}) {
+    if (floor > best.quality()) break;
+    const Plan plan = plan_min_cost(paths, traffic, floor);
+    ASSERT_TRUE(plan.feasible()) << "floor " << floor;
+    EXPECT_GE(plan.cost_per_s() + 1e-9, previous_cost) << "floor " << floor;
+    previous_cost = plan.cost_per_s();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualityProperty, ::testing::Range(1, 21));
+
+class PaperMatrixProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperMatrixProperty, LiteralMatricesMatchGeneralBuilder) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 53);
+  const PathSet real = random_paths(rng, 2 + GetParam() % 3, true);
+  std::uniform_real_distribution<double> life(100.0, 1200.0);
+  const TrafficSpec traffic{.rate_bps = mbps(50),
+                            .lifetime_s = ms(life(rng))};
+
+  PathSet model_paths;
+  model_paths.add(blackhole_path());
+  for (const auto& p : real) model_paths.add(p);
+
+  const auto paper = build_paper_quality(model_paths, traffic);
+  const Model general(real, traffic);
+
+  ASSERT_EQ(paper.p.size(), general.combos().size());
+  for (std::size_t l = 0; l < paper.p.size(); ++l) {
+    EXPECT_NEAR(paper.p[l], general.metrics()[l].delivery_probability, 1e-12)
+        << general.combos().label(l);
+    for (std::size_t k = 0; k < model_paths.size(); ++k) {
+      EXPECT_NEAR(paper.a(k, l),
+                  traffic.rate_bps * general.metrics()[l].expected_load[k],
+                  1e-4)
+          << general.combos().label(l) << " row " << k;
+    }
+    EXPECT_NEAR(paper.a(model_paths.size(), l),
+                traffic.rate_bps * general.metrics()[l].cost_per_bit, 1e-9)
+        << general.combos().label(l);
+  }
+
+  // Solving either formulation yields the same optimum.
+  const lp::Solution paper_solution =
+      lp::SimplexSolver().solve(to_problem(paper));
+  const Plan general_plan = plan_max_quality(real, traffic);
+  ASSERT_TRUE(paper_solution.optimal());
+  ASSERT_TRUE(general_plan.feasible());
+  EXPECT_NEAR(paper_solution.objective_value, general_plan.quality(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperMatrixProperty, ::testing::Range(1, 16));
+
+class MonotonicityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityProperty, QualityIsMonotoneInLifetimeRateAndBandwidth) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 97);
+  const PathSet paths = random_paths(rng, 2, false);
+
+  // Longer lifetimes can only help.
+  double previous = -1.0;
+  for (double lifetime : {200.0, 400.0, 700.0, 1000.0, 1500.0}) {
+    const Plan plan = plan_max_quality(
+        paths, {.rate_bps = mbps(30), .lifetime_s = ms(lifetime)});
+    ASSERT_TRUE(plan.feasible());
+    EXPECT_GE(plan.quality() + 1e-9, previous) << "lifetime " << lifetime;
+    previous = plan.quality();
+  }
+
+  // Higher data rates can only hurt.
+  previous = 2.0;
+  for (double rate : {10.0, 30.0, 60.0, 120.0}) {
+    const Plan plan = plan_max_quality(
+        paths, {.rate_bps = mbps(rate), .lifetime_s = ms(800)});
+    ASSERT_TRUE(plan.feasible());
+    EXPECT_LE(plan.quality() - 1e-9, previous) << "rate " << rate;
+    previous = plan.quality();
+  }
+
+  // More bandwidth on any path can only help.
+  const TrafficSpec traffic{.rate_bps = mbps(60), .lifetime_s = ms(800)};
+  const double base = plan_max_quality(paths, traffic).quality();
+  PathSet upgraded;
+  upgraded.add(paths[0]);
+  PathSpec boosted = paths[1];
+  boosted.bandwidth_bps *= 2.0;
+  upgraded.add(boosted);
+  EXPECT_GE(plan_max_quality(upgraded, traffic).quality() + 1e-9, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityProperty,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace dmc::core

@@ -1,0 +1,205 @@
+// Cross-checks the general m-transmission model against the literal
+// matrices of the paper (Equations 11-18, 20-23, 28-30): for m = 2 the two
+// builders must agree coefficient by coefficient.
+#include "core/paper_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.h"
+#include "core/planner.h"
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "lp/simplex.h"
+
+namespace dmc::core {
+namespace {
+
+PathSet model_paths_with_blackhole(const PathSet& real) {
+  PathSet out;
+  out.add(blackhole_path());
+  for (const auto& p : real) out.add(p);
+  return out;
+}
+
+TEST(PaperModel, QualityObjectiveMatchesGeneralBuilder) {
+  const auto real = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const auto paper =
+      build_paper_quality(model_paths_with_blackhole(real), traffic);
+  const Model general(real, traffic);
+
+  ASSERT_EQ(paper.p.size(), general.combos().size());
+  for (std::size_t l = 0; l < paper.p.size(); ++l) {
+    EXPECT_NEAR(paper.p[l], general.metrics()[l].delivery_probability, 1e-12)
+        << general.combos().label(l);
+  }
+}
+
+TEST(PaperModel, BandwidthRowsMatchGeneralBuilder) {
+  const auto real = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const auto model_paths = model_paths_with_blackhole(real);
+  const auto paper = build_paper_quality(model_paths, traffic);
+  const Model general(real, traffic);
+
+  // Row k of the paper's A = lambda * expected_load[k] in the general form.
+  for (std::size_t k = 0; k < model_paths.size(); ++k) {
+    for (std::size_t l = 0; l < paper.p.size(); ++l) {
+      EXPECT_NEAR(paper.a(k, l),
+                  traffic.rate_bps * general.metrics()[l].expected_load[k],
+                  1e-6)
+          << "row " << k << " " << general.combos().label(l);
+    }
+  }
+  // Cost row (all costs are zero in Table III -> all zeros).
+  for (std::size_t l = 0; l < paper.p.size(); ++l) {
+    EXPECT_NEAR(paper.a(model_paths.size(), l),
+                traffic.rate_bps * general.metrics()[l].cost_per_bit, 1e-9);
+  }
+}
+
+TEST(PaperModel, CostRowMatchesWithNonzeroCosts) {
+  PathSet real;
+  real.add({.name = "a",
+            .bandwidth_bps = mbps(50),
+            .delay_s = ms(300),
+            .loss_rate = 0.1,
+            .cost_per_bit = 3e-6});
+  real.add({.name = "b",
+            .bandwidth_bps = mbps(10),
+            .delay_s = ms(100),
+            .loss_rate = 0.05,
+            .cost_per_bit = 7e-6});
+  const TrafficSpec traffic{.rate_bps = mbps(30), .lifetime_s = ms(700)};
+  const auto paper =
+      build_paper_quality(model_paths_with_blackhole(real), traffic);
+  const Model general(real, traffic);
+  const std::size_t cost_row = real.size() + 1;
+  for (std::size_t l = 0; l < paper.p.size(); ++l) {
+    EXPECT_NEAR(paper.a(cost_row, l),
+                traffic.rate_bps * general.metrics()[l].cost_per_bit, 1e-9)
+        << general.combos().label(l);
+  }
+}
+
+TEST(PaperModel, SolvingPaperProblemGivesSameOptimum) {
+  const auto real = exp::table3_model_paths();
+  for (double rate : {40.0, 90.0, 120.0}) {
+    const TrafficSpec traffic{.rate_bps = mbps(rate), .lifetime_s = ms(800)};
+    const auto paper =
+        build_paper_quality(model_paths_with_blackhole(real), traffic);
+    const lp::Solution paper_solution =
+        lp::SimplexSolver().solve(to_problem(paper));
+    const Plan general = plan_max_quality(real, traffic);
+    ASSERT_TRUE(paper_solution.optimal());
+    ASSERT_TRUE(general.feasible());
+    EXPECT_NEAR(paper_solution.objective_value, general.quality(), 1e-9)
+        << "rate " << rate;
+  }
+}
+
+TEST(PaperModel, CostVariantSelectsCheapPathWhenQualityAllows) {
+  PathSet real;
+  real.add({.name = "expensive-good",
+            .bandwidth_bps = mbps(50),
+            .delay_s = ms(100),
+            .loss_rate = 0.0,
+            .cost_per_bit = 10e-6});
+  real.add({.name = "cheap-ok",
+            .bandwidth_bps = mbps(50),
+            .delay_s = ms(150),
+            .loss_rate = 0.1,
+            .cost_per_bit = 1e-6});
+  const TrafficSpec traffic{.rate_bps = mbps(20), .lifetime_s = ms(800)};
+
+  // Quality >= 0.9 is reachable on the cheap path alone (it can retransmit
+  // within the deadline), so the cost optimum must avoid the expensive one.
+  const auto paper =
+      build_paper_cost(model_paths_with_blackhole(real), traffic, 0.9);
+  const lp::Solution solution = lp::SimplexSolver().solve(to_problem(paper));
+  ASSERT_TRUE(solution.optimal());
+
+  const Plan reference = plan_min_cost(real, traffic, 0.9);
+  ASSERT_TRUE(reference.feasible());
+  EXPECT_NEAR(solution.objective_value, reference.cost_per_s(), 1e-6);
+  // The cheap path can deliver 0.9 on its own: cost < sending anything on
+  // the expensive path.
+  EXPECT_LT(solution.objective_value, traffic.rate_bps * 10e-6);
+}
+
+TEST(PaperModel, CostVariantInfeasibleWhenQualityTooHigh) {
+  const auto real = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const auto paper =
+      build_paper_cost(model_paths_with_blackhole(real), traffic, 0.99);
+  EXPECT_EQ(lp::SimplexSolver().solve(to_problem(paper)).status,
+            lp::SolveStatus::infeasible);
+}
+
+TEST(PaperModel, RandomVariantMatchesGeneralBuilder) {
+  const auto real = exp::table5_paths();
+  const auto traffic = exp::table5_traffic();
+  const Model general(real, traffic);
+  const auto& combos = general.combos();
+
+  // Extract the pairwise timeout table the general model computed.
+  const std::size_t n = general.model_paths().size();
+  std::vector<std::vector<double>> timeouts(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::size_t attempts[] = {i, j};
+      timeouts[i][j] =
+          general.metrics()[combos.encode(attempts)].timeouts[0];
+    }
+  }
+
+  const auto paper = build_paper_random_quality(general.model_paths(),
+                                                traffic, timeouts);
+  for (std::size_t l = 0; l < combos.size(); ++l) {
+    EXPECT_NEAR(paper.p[l], general.metrics()[l].delivery_probability, 1e-9)
+        << combos.label(l);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(paper.a(k, l),
+                  traffic.rate_bps * general.metrics()[l].expected_load[k],
+                  1e-3)
+          << combos.label(l) << " row " << k;
+    }
+  }
+}
+
+TEST(PaperModel, DeterministicDistributionsReduceToFixedDelayModel) {
+  // Forcing the random-delay machinery onto deterministic paths must
+  // reproduce the fixed-delay coefficients (Equation 28 degenerates to 12).
+  const auto real = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const Model fixed(real, traffic);
+  ModelOptions forced;
+  forced.force_random = true;
+  const Model random(real, traffic, forced);
+
+  for (std::size_t l = 0; l < fixed.combos().size(); ++l) {
+    EXPECT_NEAR(fixed.metrics()[l].delivery_probability,
+                random.metrics()[l].delivery_probability, 1e-9)
+        << fixed.combos().label(l);
+    for (std::size_t k = 0; k < fixed.model_paths().size(); ++k) {
+      EXPECT_NEAR(fixed.metrics()[l].expected_load[k],
+                  random.metrics()[l].expected_load[k], 1e-9);
+    }
+  }
+}
+
+TEST(PaperModel, InputValidation) {
+  const TrafficSpec traffic{.rate_bps = 1.0, .lifetime_s = 1.0};
+  EXPECT_THROW((void)build_paper_quality(PathSet{}, traffic),
+               std::invalid_argument);
+  const auto paths = model_paths_with_blackhole(exp::table3_model_paths());
+  EXPECT_THROW((void)build_paper_cost(paths, traffic, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_paper_random_quality(paths, traffic, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc::core

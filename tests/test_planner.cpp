@@ -1,0 +1,126 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+#include "experiments/scenarios.h"
+
+namespace dmc::core {
+namespace {
+
+TEST(Planner, PlanExposesSolutionDetails) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(100), .lifetime_s = ms(800)};
+  const Plan plan = plan_max_quality(paths, traffic);
+  ASSERT_TRUE(plan.feasible());
+  EXPECT_EQ(plan.status(), lp::SolveStatus::optimal);
+  EXPECT_GT(plan.lp_iterations(), 0);
+  EXPECT_EQ(plan.x().size(), 9u);  // (2 paths + blackhole)^2
+
+  const auto nonzero = plan.nonzero_weights();
+  ASSERT_FALSE(nonzero.empty());
+  // Sorted descending.
+  for (std::size_t i = 1; i < nonzero.size(); ++i) {
+    EXPECT_GE(nonzero[i - 1].second, nonzero[i].second);
+  }
+  double sum = 0.0;
+  for (const auto& [l, w] : nonzero) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+
+  EXPECT_FALSE(plan.summary().empty());
+  EXPECT_NE(plan.summary().find("Q="), std::string::npos);
+}
+
+TEST(Planner, SendRatesExposedPerModelPath) {
+  const auto paths = exp::table3_model_paths();
+  const Plan plan = plan_max_quality(
+      paths, {.rate_bps = mbps(90), .lifetime_s = ms(800)});
+  ASSERT_EQ(plan.send_rate_bps().size(), 3u);
+  // Paths saturate at the optimum for lambda = 90 (Table IV).
+  EXPECT_NEAR(plan.send_rate_bps()[1], mbps(80), 1e3);
+  EXPECT_NEAR(plan.send_rate_bps()[2], mbps(20), 1e3);
+}
+
+TEST(Planner, InfeasiblePlanReportsStatusAndZeroX) {
+  const auto paths = exp::table3_model_paths();
+  const Plan plan = plan_min_cost(
+      paths, {.rate_bps = mbps(90), .lifetime_s = ms(800)}, 0.999);
+  EXPECT_FALSE(plan.feasible());
+  EXPECT_EQ(plan.status(), lp::SolveStatus::infeasible);
+  EXPECT_EQ(plan.x().size(), 9u);
+  for (double v : plan.x()) EXPECT_EQ(v, 0.0);
+  EXPECT_NE(plan.summary().find("infeasible"), std::string::npos);
+}
+
+TEST(Planner, SinglePathUsesOwnDelayForAcks) {
+  // Path 1 alone: dmin = 450 ms, so the retransmission loop takes 1350 ms
+  // > 800 and only the first attempt counts: Q = 0.8 * min(1, 80/90).
+  const auto paths = exp::table3_model_paths();
+  const Plan plan = plan_single_path(
+      paths, 0, {.rate_bps = mbps(90), .lifetime_s = ms(800)});
+  EXPECT_NEAR(plan.quality(), 0.8 * (80.0 / 90.0), 1e-9);
+  EXPECT_THROW(
+      (void)plan_single_path(paths, 5,
+                             {.rate_bps = mbps(90), .lifetime_s = ms(800)}),
+      std::out_of_range);
+}
+
+TEST(Planner, WeightAndLabelAccessors) {
+  const auto paths = exp::table3_model_paths();
+  const Plan plan = plan_max_quality(
+      paths, {.rate_bps = mbps(40), .lifetime_s = ms(800)});
+  double sum = 0.0;
+  for (std::size_t l = 0; l < plan.x().size(); ++l) {
+    sum += plan.weight(l);
+    EXPECT_EQ(plan.label(l)[0], 'x');
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Planner, PathSetValidation) {
+  PathSet paths;
+  EXPECT_THROW(
+      paths.add({.name = "bad", .bandwidth_bps = -1.0, .delay_s = 0.1}),
+      std::invalid_argument);
+  EXPECT_THROW(paths.add({.name = "bad",
+                          .bandwidth_bps = 1.0,
+                          .delay_s = 0.1,
+                          .loss_rate = 1.5}),
+               std::invalid_argument);
+  EXPECT_THROW(paths.add({.name = "bad",
+                          .bandwidth_bps = 1.0,
+                          .delay_s = -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(paths.add({.name = "bad",
+                          .bandwidth_bps = 1.0,
+                          .delay_s = 0.1,
+                          .cost_per_bit = -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Planner, PathSetMinDelaySemantics) {
+  PathSet paths;
+  paths.add({.name = "a", .bandwidth_bps = 1.0, .delay_s = 0.3});
+  paths.add({.name = "b", .bandwidth_bps = 1.0, .delay_s = 0.1});
+  paths.add(blackhole_path());  // infinite delay: never the minimum
+  EXPECT_EQ(paths.min_delay_index(), 1u);
+  EXPECT_EQ(paths.min_delay(), 0.1);
+
+  PathSet only_blackhole;
+  only_blackhole.add(blackhole_path());
+  EXPECT_THROW((void)only_blackhole.min_delay_index(), std::logic_error);
+}
+
+TEST(Planner, RandomPathsUseExpectedDelayForDmin) {
+  PathSet paths;
+  core::PathSpec jittery{.name = "jittery", .bandwidth_bps = mbps(10)};
+  jittery.delay_dist = stats::make_shifted_gamma(ms(90), 10.0, ms(4));  // E=130
+  paths.add(jittery);
+  paths.add({.name = "steady", .bandwidth_bps = mbps(10), .delay_s = ms(120)});
+  // E[jittery] = 130 ms > 120 ms: the steady path is the ack path (Eq. 25).
+  EXPECT_EQ(paths.min_delay_index(), 1u);
+  EXPECT_TRUE(paths.any_random());
+}
+
+}  // namespace
+}  // namespace dmc::core

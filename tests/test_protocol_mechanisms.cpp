@@ -1,0 +1,307 @@
+// Regression tests for protocol mechanisms discovered during reproduction:
+// FIFO-preserving jitter, spurious-timeout reversal, dup-ack safety on
+// final attempts, burst-loss links, and live link reconfiguration.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "estimation/adaptive.h"
+#include "experiments/scenarios.h"
+#include "protocol/baselines.h"
+#include "protocol/receiver.h"
+#include "protocol/sender.h"
+#include "sim/network.h"
+
+namespace dmc {
+namespace {
+
+// ------------------------------------------------------- FIFO jitter
+
+TEST(FifoJitter, PreserveOrderPreventsReordering) {
+  sim::Simulator simulator(3);
+  sim::LinkConfig config{.rate_bps = gbps(1), .prop_delay_s = ms(10),
+                         .queue_capacity = 100000};
+  config.extra_delay = stats::make_uniform(0.0, ms(50));  // heavy jitter
+  config.preserve_order = true;
+  sim::Link link(simulator, config, "fifo");
+  std::vector<std::uint64_t> arrivals;
+  link.set_receiver([&](sim::Packet p) { arrivals.push_back(p.seq); });
+  for (int i = 0; i < 500; ++i) {
+    sim::Packet p;
+    p.seq = static_cast<std::uint64_t>(i);
+    p.size_bytes = 100;
+    link.send(std::move(p));
+  }
+  simulator.run();
+  ASSERT_EQ(arrivals.size(), 500u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_LT(arrivals[i - 1], arrivals[i]) << "reordered at " << i;
+  }
+}
+
+TEST(FifoJitter, DisablingPreserveOrderAllowsReordering) {
+  sim::Simulator simulator(3);
+  sim::LinkConfig config{.rate_bps = gbps(1), .prop_delay_s = ms(10),
+                         .queue_capacity = 100000};
+  config.extra_delay = stats::make_uniform(0.0, ms(50));
+  config.preserve_order = false;
+  sim::Link link(simulator, config, "chaotic");
+  std::vector<std::uint64_t> arrivals;
+  link.set_receiver([&](sim::Packet p) { arrivals.push_back(p.seq); });
+  for (int i = 0; i < 500; ++i) {
+    sim::Packet p;
+    p.seq = static_cast<std::uint64_t>(i);
+    p.size_bytes = 100;
+    link.send(std::move(p));
+  }
+  simulator.run();
+  int inversions = 0;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i - 1] > arrivals[i]) ++inversions;
+  }
+  EXPECT_GT(inversions, 50);  // i.i.d. 50 ms jitter at ~1 us spacing
+}
+
+TEST(FifoJitter, ClampOnlyDefersNeverAdvances) {
+  // Every arrival still respects its own sampled delay as a lower bound.
+  sim::Simulator simulator(5);
+  sim::LinkConfig config{.rate_bps = gbps(1), .prop_delay_s = ms(20),
+                         .queue_capacity = 100000};
+  config.extra_delay = stats::make_uniform(0.0, ms(5));
+  sim::Link link(simulator, config, "fifo");
+  std::vector<double> arrivals;
+  link.set_receiver([&](sim::Packet) { arrivals.push_back(simulator.now()); });
+  for (int i = 0; i < 100; ++i) {
+    sim::Packet p;
+    p.size_bytes = 100;
+    link.send(std::move(p));
+  }
+  simulator.run();
+  for (double t : arrivals) EXPECT_GE(t, ms(20));
+}
+
+// ------------------------------------------------- burst loss (IX-B)
+
+TEST(BurstLoss, StationaryRateMatchesConfiguration) {
+  sim::Simulator simulator(11);
+  sim::LinkConfig config{.rate_bps = gbps(10), .prop_delay_s = 0.0,
+                         .queue_capacity = 1000000};
+  sim::BurstLoss burst;
+  burst.loss_bad = 1.0;
+  burst.p_exit_bad = 0.125;                          // bursts of ~8
+  burst.p_enter_bad = 0.2 * 0.125 / 0.8;             // stationary 20%
+  config.burst_loss = burst;
+  sim::Link link(simulator, config, "bursty");
+  link.set_receiver([](sim::Packet) {});
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sim::Packet p;
+    p.size_bytes = 100;
+    link.send(std::move(p));
+  }
+  simulator.run();
+  const double loss = static_cast<double>(link.stats().loss_drops) / n;
+  EXPECT_NEAR(loss, 0.2, 0.02);
+}
+
+TEST(BurstLoss, LossesAreActuallyBursty) {
+  sim::Simulator simulator(13);
+  sim::LinkConfig config{.rate_bps = gbps(10), .prop_delay_s = 0.0,
+                         .queue_capacity = 1000000};
+  sim::BurstLoss burst;
+  burst.loss_bad = 1.0;
+  burst.p_exit_bad = 0.125;
+  burst.p_enter_bad = 0.2 * 0.125 / 0.8;
+  config.burst_loss = burst;
+  sim::Link link(simulator, config, "bursty");
+  std::vector<bool> delivered;
+  int sent = 0;
+  link.set_receiver([&](sim::Packet p) {
+    delivered[static_cast<std::size_t>(p.seq)] = true;
+  });
+  const int n = 100000;
+  delivered.assign(n, false);
+  for (; sent < n; ++sent) {
+    sim::Packet p;
+    p.seq = static_cast<std::uint64_t>(sent);
+    p.size_bytes = 100;
+    link.send(std::move(p));
+  }
+  simulator.run();
+  // P(loss | previous lost) should be far above the stationary 20%.
+  int pairs = 0;
+  int conditional = 0;
+  for (int i = 1; i < n; ++i) {
+    if (!delivered[static_cast<std::size_t>(i - 1)]) {
+      ++pairs;
+      if (!delivered[static_cast<std::size_t>(i)]) ++conditional;
+    }
+  }
+  const double p_conditional = static_cast<double>(conditional) / pairs;
+  EXPECT_GT(p_conditional, 0.6);  // ~1 - p_exit = 0.875 in theory
+}
+
+// --------------------------------------------- live link reconfiguration
+
+TEST(LinkReconfig, SettersValidateAndApply) {
+  sim::Simulator simulator(1);
+  sim::Link link(simulator,
+                 sim::LinkConfig{.rate_bps = mbps(10), .prop_delay_s = ms(10)},
+                 "l");
+  link.set_loss_rate(0.5);
+  EXPECT_EQ(link.config().loss_rate, 0.5);
+  link.set_prop_delay(ms(20));
+  EXPECT_EQ(link.config().prop_delay_s, ms(20));
+  link.set_rate(mbps(20));
+  EXPECT_EQ(link.config().rate_bps, mbps(20));
+  EXPECT_THROW(link.set_loss_rate(1.5), std::invalid_argument);
+  EXPECT_THROW(link.set_prop_delay(-1.0), std::invalid_argument);
+  EXPECT_THROW(link.set_rate(0.0), std::invalid_argument);
+}
+
+// -------------------------------------------- spurious-timeout reversal
+
+struct HookCounts {
+  long losses = 0;
+  long spurious = 0;
+  long acks = 0;
+};
+
+// Runs a single-path session with the believed delay `believed_ms` against
+// a true delay of `true_ms` and returns the hook counters.
+HookCounts run_with_timers(double believed_ms, double true_ms,
+                           double true_loss, std::uint64_t messages,
+                           double guard_ms = 0.0) {
+  core::PathSet believed;
+  believed.add({.name = "p",
+                .bandwidth_bps = mbps(20),
+                .delay_s = ms(believed_ms),
+                .loss_rate = 0.2});
+  core::TrafficSpec traffic{.rate_bps = mbps(4), .lifetime_s = ms(800)};
+  core::Model model(believed, traffic);
+  std::vector<double> x(model.combos().size(), 0.0);
+  std::size_t attempts[] = {1, 1};
+  x[model.combos().encode(attempts)] = 1.0;
+  const core::Plan plan = proto::make_manual_plan(believed, traffic, x);
+
+  sim::Simulator simulator(17);
+  sim::LinkConfig link{.rate_bps = mbps(20), .prop_delay_s = ms(true_ms),
+                       .loss_rate = true_loss};
+  sim::Network network(simulator, {sim::symmetric_path(link, "p")});
+  proto::Trace trace;
+  proto::ReceiverConfig receiver_config;
+  receiver_config.lifetime_s = traffic.lifetime_s;
+  proto::DeadlineReceiver receiver(simulator, receiver_config, trace);
+  proto::SenderConfig sender_config;
+  sender_config.num_messages = messages;
+  sender_config.timeout_guard_s = ms(guard_ms);
+  proto::DeadlineSender sender(
+      simulator, plan,
+      core::make_scheduler(core::SchedulerKind::deficit, plan.x()),
+      sender_config, trace);
+
+  HookCounts counts;
+  proto::SenderHooks hooks;
+  hooks.on_loss_inferred = [&](int) { ++counts.losses; };
+  hooks.on_spurious_loss = [&](int) { ++counts.spurious; };
+  hooks.on_ack_for_path = [&](int) { ++counts.acks; };
+  sender.set_hooks(std::move(hooks));
+
+  receiver.set_ack_sender([&](int path, sim::Packet packet) {
+    network.server_send(path, std::move(packet));
+  });
+  sender.set_data_sender([&](int path, sim::Packet packet) {
+    network.client_send(path, std::move(packet));
+  });
+  network.set_server_receiver([&](int path, sim::Packet packet) {
+    receiver.on_data(path, packet);
+  });
+  network.set_client_receiver([&](int path, sim::Packet packet) {
+    sender.on_ack(path, packet);
+  });
+  sender.start();
+  simulator.run();
+  return counts;
+}
+
+TEST(SpuriousReversal, CorrectTimersProduceNoSpuriousSignals) {
+  // Equation-4 timers tie the ack arrival exactly (serialization loses the
+  // race), so correct *delays* still need a small execution guard — the
+  // same 100 ms guard the paper adds in Experiment 1.
+  const HookCounts counts = run_with_timers(100.0, 100.0, 0.2, 5000, 10.0);
+  EXPECT_EQ(counts.spurious, 0);
+  // Inferred losses track the real 20% (of first attempts) plus second-
+  // attempt losses.
+  EXPECT_GT(counts.losses, 800);
+  EXPECT_LT(counts.losses, 1600);
+}
+
+TEST(SpuriousReversal, AggressiveTimersAreDetectedAndReverted) {
+  // Believed delay 30 ms -> timer at 60 ms; true RTT ~200 ms: every packet
+  // times out spuriously, and nearly every timeout must be reverted.
+  const HookCounts counts = run_with_timers(30.0, 100.0, 0.0, 5000);
+  EXPECT_GT(counts.losses, 4500);
+  EXPECT_GT(counts.spurious, counts.losses * 9 / 10);
+}
+
+TEST(SpuriousReversal, NetLossEstimateStaysHonest) {
+  const HookCounts counts = run_with_timers(30.0, 100.0, 0.1, 20000);
+  const double net = static_cast<double>(counts.losses - counts.spurious) /
+                     static_cast<double>(counts.losses + counts.acks);
+  // True per-transmission loss is 10%; acks for retransmissions that were
+  // themselves lost inflate it mildly. Without the reversal this estimate
+  // would be > 0.9.
+  EXPECT_LT(net, 0.2);
+  EXPECT_GT(net, 0.05);
+}
+
+// ------------------------------------------------- dynamic re-planning
+
+TEST(DynamicAdaptation, ControllerTracksMidRunDegradation) {
+  core::PathSet truth;
+  truth.add({.name = "a",
+             .bandwidth_bps = mbps(40),
+             .delay_s = ms(150),
+             .loss_rate = 0.02});
+  truth.add({.name = "b",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(100),
+             .loss_rate = 0.0});
+  const core::TrafficSpec traffic{.rate_bps = mbps(30), .lifetime_s = ms(600)};
+
+  est::AdaptiveOptions options;
+  options.initial_estimates.add({.name = "a",
+                                 .bandwidth_bps = mbps(40),
+                                 .delay_s = ms(160),
+                                 .loss_rate = 0.0});
+  options.initial_estimates.add({.name = "b",
+                                 .bandwidth_bps = mbps(20),
+                                 .delay_s = ms(110),
+                                 .loss_rate = 0.0});
+  options.session.num_messages = 40000;  // ~10.9 s
+  options.session.seed = 99;
+  options.replan_interval_s = 0.25;
+  options.network_events.push_back(
+      {4.0, [](sim::Network& network) {
+         network.forward_link(0).set_loss_rate(0.40);
+       }});
+
+  const auto result = est::run_adaptive_session(proto::to_sim_paths(truth),
+                                                traffic, options);
+
+  // The loss estimate for path a must climb after t = 4 s.
+  double estimate_before = -1.0;
+  double estimate_late = -1.0;
+  for (const auto& event : result.timeline) {
+    if (event.time_s <= 3.9) estimate_before = event.estimates[0].loss_rate;
+    estimate_late = event.estimates[0].loss_rate;
+  }
+  EXPECT_LT(estimate_before, 0.08);
+  EXPECT_GT(estimate_late, 0.12);
+  EXPECT_GE(result.replans, 2);  // initial + at least the degradation
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,141 @@
+#include "core/risk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.h"
+#include "experiments/scenarios.h"
+
+namespace dmc::core {
+namespace {
+
+constexpr double kPacketBits = 8.0 * 1024.0;
+
+TEST(Risk, UsageMeanMatchesExpectedLoad) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const Model model(paths, traffic);
+  const Plan plan = plan_max_quality(paths, traffic);
+
+  const auto usage = per_path_usage(model, plan.x(), kPacketBits);
+  const auto metrics = model.evaluate(plan.x());
+  // Per-packet mean bits on path k * packet rate == S_k.
+  const double packets_per_s = traffic.rate_bps / kPacketBits;
+  for (std::size_t k = 0; k < usage.size(); ++k) {
+    EXPECT_NEAR(usage[k].mean * packets_per_s, metrics.send_rate_bps[k],
+                mbps(90) * 1e-9)
+        << "path " << k;
+  }
+}
+
+TEST(Risk, DeterministicCombosHaveZeroVariance) {
+  // A plan with no loss has no retransmission randomness.
+  PathSet paths;
+  paths.add({.name = "clean",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(100),
+             .loss_rate = 0.0});
+  const TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(500)};
+  const Model model(paths, traffic);
+  const Plan plan = plan_max_quality(paths, traffic);
+  const auto usage = per_path_usage(model, plan.x(), kPacketBits);
+  for (const auto& u : usage) EXPECT_NEAR(u.variance, 0.0, 1e-9);
+}
+
+TEST(Risk, LossyPathProducesRetransmissionVariance) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(60), .lifetime_s = ms(800)};
+  const Model model(paths, traffic);
+  const Plan plan = plan_max_quality(paths, traffic);
+  const auto usage = per_path_usage(model, plan.x(), kPacketBits);
+  // Retransmissions (driven by path-1 losses) land on path 2: its per-
+  // packet load is random.
+  EXPECT_GT(usage[2].variance, 0.0);
+}
+
+TEST(Risk, OvershootShrinksWithWindowSize) {
+  // With the mean strictly below the cap, CLT overshoot decays as the
+  // window grows.
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(60), .lifetime_s = ms(800)};
+  const Model model(paths, traffic);
+  const Plan plan = plan_max_quality(paths, traffic);
+
+  const auto small = compute_overshoot(model, plan.x(), kPacketBits, 100);
+  const auto large = compute_overshoot(model, plan.x(), kPacketBits, 10000);
+  for (std::size_t k = 0; k < small.bandwidth_overshoot.size(); ++k) {
+    EXPECT_LE(large.bandwidth_overshoot[k],
+              small.bandwidth_overshoot[k] + 1e-12);
+  }
+}
+
+TEST(Risk, SaturatedPathHasMeaningfulOvershoot) {
+  // At lambda = 90 the optimum saturates both paths; realized usage
+  // exceeds the cap about half the time (CLT around the mean).
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const Model model(paths, traffic);
+  const Plan plan = plan_max_quality(paths, traffic);
+  const auto report = compute_overshoot(model, plan.x(), kPacketBits, 1000);
+  // Path 2 carries random retransmissions and is saturated in expectation.
+  EXPECT_GT(report.bandwidth_overshoot[2], 0.2);
+  EXPECT_EQ(report.window_packets, 1000u);
+}
+
+TEST(Risk, CostOvershootComputedWhenCapped) {
+  PathSet paths;
+  paths.add({.name = "a",
+             .bandwidth_bps = mbps(80),
+             .delay_s = ms(450),
+             .loss_rate = 0.2,
+             .cost_per_bit = 1e-6});
+  paths.add({.name = "b",
+             .bandwidth_bps = mbps(20),
+             .delay_s = ms(150),
+             .loss_rate = 0.0,
+             .cost_per_bit = 1e-6});
+  TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+  const Plan unconstrained = plan_max_quality(paths, traffic);
+  traffic.cost_cap_per_s = unconstrained.cost_per_s();  // exactly binding
+  const Model model(paths, traffic);
+  const auto report =
+      compute_overshoot(model, unconstrained.x(), kPacketBits, 1000);
+  EXPECT_GT(report.cost_overshoot, 0.2);  // binding cap: ~50% overshoot
+}
+
+TEST(Risk, PlanWithRiskBoundReducesOvershoot) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(90), .lifetime_s = ms(800)};
+
+  const auto result =
+      plan_with_risk_bound(paths, traffic, kPacketBits, 1000, 0.05);
+  ASSERT_TRUE(result.plan.feasible());
+  double worst = result.report.cost_overshoot;
+  for (double v : result.report.bandwidth_overshoot) {
+    worst = std::max(worst, v);
+  }
+  EXPECT_LE(worst, 0.05 + 1e-9);
+  EXPECT_LT(result.shrink_factor, 1.0);  // caps had to tighten
+  EXPECT_GT(result.solve_rounds, 1);
+  // The price of certainty: some quality given up vs the risk-neutral plan.
+  const Plan neutral = plan_max_quality(paths, traffic);
+  EXPECT_LE(result.plan.quality(), neutral.quality() + 1e-9);
+}
+
+TEST(Risk, ValidatesArguments) {
+  const auto paths = exp::table3_model_paths();
+  const TrafficSpec traffic{.rate_bps = mbps(10), .lifetime_s = ms(800)};
+  const Model model(paths, traffic);
+  const Plan plan = plan_max_quality(paths, traffic);
+  EXPECT_THROW((void)per_path_usage(model, {0.5}, kPacketBits),
+               std::invalid_argument);
+  EXPECT_THROW((void)compute_overshoot(model, plan.x(), kPacketBits, 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)plan_with_risk_bound(paths, traffic, kPacketBits, 100, 0.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc::core

@@ -1,0 +1,164 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace dmc::core {
+namespace {
+
+TEST(DeficitScheduler, FirstPickIsArgmaxWeight) {
+  DeficitScheduler s({0.2, 0.5, 0.3});
+  EXPECT_EQ(s.select(), 1u);
+}
+
+TEST(DeficitScheduler, ExactForSimpleRationalWeights) {
+  // x = (1/2, 1/4, 1/4): over any 4k assignments the counts are exact.
+  DeficitScheduler s({0.5, 0.25, 0.25});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 400; ++i) ++counts[s.select()];
+  EXPECT_EQ(counts[0], 200);
+  EXPECT_EQ(counts[1], 100);
+  EXPECT_EQ(counts[2], 100);
+}
+
+TEST(DeficitScheduler, NeverSelectsZeroWeightCombination) {
+  DeficitScheduler s({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s.select(), 1u);
+}
+
+TEST(DeficitScheduler, ZeroWeightSkippedEvenWithManyEntries) {
+  // Regression for the printed algorithm's tie quirk: when all deficits tie
+  // at zero, it must not wander into zero-weight combinations.
+  DeficitScheduler s({0.0, 0.5, 0.5, 0.0});
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100; ++i) ++counts[s.select()];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[3], 0);
+  EXPECT_EQ(counts[1] + counts[2], 100);
+}
+
+TEST(DeficitScheduler, DeviationStaysBounded) {
+  // Paper Table IV solution for lambda = 100.
+  DeficitScheduler s({4.0 / 25, 0, 0, 0, 4.0 / 5, 0, 0, 0, 1.0 / 25});
+  for (int i = 0; i < 20000; ++i) {
+    s.select();
+    EXPECT_LE(s.max_deviation(), 1.0 / std::max(1, i));  // <= 1/total
+  }
+}
+
+TEST(DeficitScheduler, TracksTargetDistributionInTheLongRun) {
+  DeficitScheduler s({0.1, 0.2, 0.3, 0.4});
+  const int n = 10000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < n; ++i) ++counts[s.select()];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 1e-3);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 1e-3);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 1e-3);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.4, 1e-3);
+}
+
+TEST(DeficitScheduler, RejectsBadWeights) {
+  EXPECT_THROW(DeficitScheduler({}), std::invalid_argument);
+  EXPECT_THROW(DeficitScheduler({0.5, 0.4}), std::invalid_argument);
+  EXPECT_THROW(DeficitScheduler({-0.5, 1.5}), std::invalid_argument);
+}
+
+// Property: for random weight vectors, the empirical distribution converges
+// to the weights with deviation O(1/total).
+class DeficitSchedulerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeficitSchedulerProperty, DeviationShrinksLikeOneOverN) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_int_distribution<int> dims(2, 16);
+  const int n = dims(rng);
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  double sum = 0.0;
+  for (double& w : weights) {
+    w = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    sum += w;
+  }
+  for (double& w : weights) w /= sum;
+
+  DeficitScheduler s(weights);
+  const int total = 5000;
+  for (int i = 0; i < total; ++i) s.select();
+  // Algorithm 1 keeps every combination within one packet of its target.
+  EXPECT_LE(s.max_deviation(), 1.5 / total) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeficitSchedulerProperty,
+                         ::testing::Range(1, 26));
+
+TEST(WeightedRandomScheduler, MatchesDistributionStatistically) {
+  WeightedRandomScheduler s({0.7, 0.1, 0.2}, 99);
+  const int n = 100000;
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < n; ++i) ++counts[s.select()];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.7, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(WeightedRandomScheduler, NeverPicksZeroWeight) {
+  WeightedRandomScheduler s({0.0, 1.0}, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s.select(), 1u);
+}
+
+TEST(WeightedRandomScheduler, DeterministicUnderSameSeed) {
+  WeightedRandomScheduler a({0.5, 0.5}, 42);
+  WeightedRandomScheduler b({0.5, 0.5}, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.select(), b.select());
+}
+
+TEST(RoundRobinScheduler, CycleRespectsWeights) {
+  RoundRobinScheduler s({0.5, 0.25, 0.25}, 8);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8; ++i) ++counts[s.select()];
+  EXPECT_EQ(counts[0], 4);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+}
+
+TEST(RoundRobinScheduler, InterleavesRatherThanBursts) {
+  RoundRobinScheduler s({0.5, 0.5}, 8);
+  // Expect alternation, not AAAA BBBB.
+  int switches = 0;
+  std::size_t prev = s.select();
+  for (int i = 0; i < 7; ++i) {
+    const std::size_t cur = s.select();
+    if (cur != prev) ++switches;
+    prev = cur;
+  }
+  EXPECT_GE(switches, 6);
+}
+
+TEST(RoundRobinScheduler, CyclePeriodicity) {
+  RoundRobinScheduler s({0.75, 0.25}, 4);
+  std::vector<std::size_t> first, second;
+  for (int i = 0; i < 4; ++i) first.push_back(s.select());
+  for (int i = 0; i < 4; ++i) second.push_back(s.select());
+  EXPECT_EQ(first, second);
+}
+
+TEST(RoundRobinScheduler, LargestRemainderHandlesUnevenWeights) {
+  RoundRobinScheduler s({0.34, 0.33, 0.33}, 100);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 100; ++i) ++counts[s.select()];
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 100);
+  EXPECT_NEAR(counts[0], 34, 1);
+  EXPECT_NEAR(counts[1], 33, 1);
+  EXPECT_NEAR(counts[2], 33, 1);
+}
+
+TEST(SchedulerFactory, CreatesEachKind) {
+  const std::vector<double> x{0.5, 0.5};
+  EXPECT_NE(make_scheduler(SchedulerKind::deficit, x), nullptr);
+  EXPECT_NE(make_scheduler(SchedulerKind::weighted_random, x, 1), nullptr);
+  EXPECT_NE(make_scheduler(SchedulerKind::round_robin, x), nullptr);
+}
+
+}  // namespace
+}  // namespace dmc::core

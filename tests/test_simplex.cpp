@@ -1,0 +1,327 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <random>
+
+#include "lp/validate.h"
+
+namespace dmc::lp {
+namespace {
+
+Problem make_problem(Sense sense, std::vector<double> objective) {
+  Problem p;
+  p.sense = sense;
+  p.objective = std::move(objective);
+  return p;
+}
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> (2, 6), z = 36.
+  Problem p = make_problem(Sense::maximize, {3, 5});
+  p.add_constraint({1, 0}, Relation::less_equal, 4);
+  p.add_constraint({0, 2}, Relation::less_equal, 12);
+  p.add_constraint({3, 2}, Relation::less_equal, 18);
+
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 36.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, SolvesMinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 4, x + 2y >= 6 -> (2, 2), z = 10.
+  Problem p = make_problem(Sense::minimize, {2, 3});
+  p.add_constraint({1, 1}, Relation::greater_equal, 4);
+  p.add_constraint({1, 2}, Relation::greater_equal, 6);
+
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 10.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // max x + 2y s.t. x + y = 1 -> (0, 1), z = 2.
+  Problem p = make_problem(Sense::maximize, {1, 2});
+  p.add_constraint({1, 1}, Relation::equal, 1);
+
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Problem p = make_problem(Sense::maximize, {1});
+  p.add_constraint({1}, Relation::less_equal, 1);
+  p.add_constraint({1}, Relation::greater_equal, 2);
+
+  const Solution s = SimplexSolver().solve(p);
+  EXPECT_EQ(s.status, SolveStatus::infeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEqualitySystem) {
+  Problem p = make_problem(Sense::minimize, {1, 1});
+  p.add_constraint({1, 1}, Relation::equal, 1);
+  p.add_constraint({1, 1}, Relation::equal, 2);
+
+  const Solution s = SimplexSolver().solve(p);
+  EXPECT_EQ(s.status, SolveStatus::infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Problem p = make_problem(Sense::maximize, {1, 0});
+  p.add_constraint({0, 1}, Relation::less_equal, 1);
+
+  const Solution s = SimplexSolver().solve(p);
+  EXPECT_EQ(s.status, SolveStatus::unbounded);
+}
+
+TEST(Simplex, MinimizationUnboundedBelow) {
+  Problem p = make_problem(Sense::minimize, {-1});
+  p.add_constraint({0}, Relation::less_equal, 1);  // vacuous
+
+  const Solution s = SimplexSolver().solve(p);
+  EXPECT_EQ(s.status, SolveStatus::unbounded);
+}
+
+TEST(Simplex, HandlesNegativeRhsByNormalization) {
+  // x >= 2 written as -x <= -2; min x -> 2.
+  Problem p = make_problem(Sense::minimize, {1});
+  p.add_constraint({-1}, Relation::less_equal, -2);
+
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 2.0, 1e-9);
+}
+
+TEST(Simplex, SurvivesBealeCyclingExample) {
+  // Beale's classic cycling LP (degenerate); Bland fallback must terminate.
+  Problem p = make_problem(Sense::minimize, {-0.75, 150, -0.02, 6});
+  p.add_constraint({0.25, -60, -0.04, 9}, Relation::less_equal, 0);
+  p.add_constraint({0.5, -90, -0.02, 3}, Relation::less_equal, 0);
+  p.add_constraint({0, 0, 1, 0}, Relation::less_equal, 1);
+
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, -0.05, 1e-9);
+}
+
+TEST(Simplex, ZeroObjectiveReturnsFeasiblePoint) {
+  Problem p = make_problem(Sense::maximize, {0, 0});
+  p.add_constraint({1, 1}, Relation::equal, 1);
+
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  const auto report = validate(p, s.x);
+  EXPECT_TRUE(report.ok(1e-9));
+}
+
+TEST(Simplex, RedundantConstraintsAreHarmless) {
+  Problem p = make_problem(Sense::maximize, {1, 1});
+  p.add_constraint({1, 1}, Relation::less_equal, 2);
+  p.add_constraint({1, 1}, Relation::less_equal, 2);  // duplicate
+  p.add_constraint({2, 2}, Relation::less_equal, 4);  // scaled duplicate
+
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 2.0, 1e-9);
+}
+
+TEST(Simplex, EqualityPlusInequalityMix) {
+  // max 2x + y + 3z s.t. x + y + z = 10, x <= 4, z >= 2: z dominates, so
+  // the optimum is (0, 0, 10) with objective 30.
+  Problem p = make_problem(Sense::maximize, {2, 1, 3});
+  p.add_constraint({1, 1, 1}, Relation::equal, 10);
+  p.add_constraint({1, 0, 0}, Relation::less_equal, 4);
+  p.add_constraint({0, 0, 1}, Relation::greater_equal, 2);
+
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective_value, 30.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(s.x[2], 10.0, 1e-9);
+
+  // With z also capped at 6 the classic answer x=4, z=6 appears.
+  p.add_constraint({0, 0, 1}, Relation::less_equal, 6);
+  const Solution s2 = SimplexSolver().solve(p);
+  ASSERT_TRUE(s2.optimal());
+  EXPECT_NEAR(s2.objective_value, 26.0, 1e-9);
+  EXPECT_NEAR(s2.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(s2.x[2], 6.0, 1e-9);
+}
+
+TEST(Simplex, ThrowsOnMalformedProblem) {
+  Problem p = make_problem(Sense::maximize, {1, 2});
+  Constraint bad;
+  bad.coefficients = {1.0};  // wrong width, bypassing add_constraint
+  bad.relation = Relation::less_equal;
+  bad.rhs = 1.0;
+  p.constraints.push_back(bad);
+  EXPECT_THROW((void)SimplexSolver().solve(p), std::invalid_argument);
+}
+
+TEST(Simplex, IterationLimitIsReported) {
+  SimplexSolver::Options options;
+  options.max_iterations = 0;
+  Problem p = make_problem(Sense::maximize, {1});
+  p.add_constraint({1}, Relation::less_equal, 1);
+
+  const Solution s = SimplexSolver(options).solve(p);
+  EXPECT_EQ(s.status, SolveStatus::iteration_limit);
+}
+
+// ------------------------------------------------------------ property
+
+// Brute-force LP reference: enumerate all vertices (intersections of
+// constraint/axis hyperplanes) of a small system and pick the best feasible
+// one. Only valid when the optimum is attained at a vertex and the LP is
+// bounded & feasible — which the generator below guarantees by bounding the
+// box and checking feasibility of the origin.
+double brute_force_max(const Problem& p) {
+  const std::size_t n = p.num_variables();
+  // Collect hyperplanes: every constraint as equality, plus x_j = 0 planes,
+  // and choose n of them; solve the linear system by Gaussian elimination.
+  struct Plane {
+    std::vector<double> a;
+    double b;
+  };
+  std::vector<Plane> planes;
+  for (const Constraint& c : p.constraints) planes.push_back({c.coefficients, c.rhs});
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> a(n, 0.0);
+    a[j] = 1.0;
+    planes.push_back({a, 0.0});
+  }
+
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> pick(n);
+  // Enumerate combinations of n planes out of planes.size().
+  std::function<void(std::size_t, std::size_t)> recurse = [&](std::size_t start,
+                                                              std::size_t k) {
+    if (k == n) {
+      // Solve the n x n system.
+      std::vector<std::vector<double>> m(n, std::vector<double>(n + 1));
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) m[r][c] = planes[pick[r]].a[c];
+        m[r][n] = planes[pick[r]].b;
+      }
+      // Gaussian elimination with partial pivoting.
+      for (std::size_t col = 0; col < n; ++col) {
+        std::size_t piv = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+          if (std::abs(m[r][col]) > std::abs(m[piv][col])) piv = r;
+        }
+        if (std::abs(m[piv][col]) < 1e-9) return;  // singular: skip
+        std::swap(m[col], m[piv]);
+        for (std::size_t r = 0; r < n; ++r) {
+          if (r == col) continue;
+          const double f = m[r][col] / m[col][col];
+          for (std::size_t c = col; c <= n; ++c) m[r][c] -= f * m[col][c];
+        }
+      }
+      std::vector<double> x(n);
+      for (std::size_t r = 0; r < n; ++r) x[r] = m[r][n] / m[r][r];
+      // Feasibility.
+      for (double v : x) {
+        if (v < -1e-7) return;
+      }
+      for (const Constraint& c : p.constraints) {
+        double lhs = 0.0;
+        for (std::size_t j = 0; j < n; ++j) lhs += c.coefficients[j] * x[j];
+        if (c.relation == Relation::less_equal && lhs > c.rhs + 1e-7) return;
+        if (c.relation == Relation::greater_equal && lhs < c.rhs - 1e-7) return;
+        if (c.relation == Relation::equal && std::abs(lhs - c.rhs) > 1e-7) return;
+      }
+      double z = 0.0;
+      for (std::size_t j = 0; j < n; ++j) z += p.objective[j] * x[j];
+      best = std::max(best, z);
+      return;
+    }
+    for (std::size_t i = start; i < planes.size(); ++i) {
+      pick[k] = i;
+      recurse(i + 1, k + 1);
+    }
+  };
+  recurse(0, 0);
+  return best;
+}
+
+class SimplexRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomProperty, MatchesBruteForceVertexEnumeration) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> coef(0.1, 3.0);
+  std::uniform_real_distribution<double> obj(-1.0, 2.0);
+  std::uniform_int_distribution<int> dims(2, 4);
+  std::uniform_int_distribution<int> rows(2, 5);
+
+  const auto n = static_cast<std::size_t>(dims(rng));
+  const int m = rows(rng);
+
+  Problem p;
+  p.sense = Sense::maximize;
+  for (std::size_t j = 0; j < n; ++j) p.objective.push_back(obj(rng));
+  // Nonnegative coefficients and positive rhs keep the origin feasible;
+  // a bounding box keeps the LP bounded.
+  for (int r = 0; r < m; ++r) {
+    std::vector<double> row;
+    for (std::size_t j = 0; j < n; ++j) row.push_back(coef(rng));
+    p.add_constraint(std::move(row), Relation::less_equal,
+                     std::uniform_real_distribution<double>(1.0, 10.0)(rng));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> row(n, 0.0);
+    row[j] = 1.0;
+    p.add_constraint(std::move(row), Relation::less_equal, 20.0);
+  }
+
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal()) << to_string(p);
+  const double reference = brute_force_max(p);
+  EXPECT_NEAR(s.objective_value, reference, 1e-6) << to_string(p);
+
+  const auto report = validate(p, s.x);
+  EXPECT_TRUE(report.ok(1e-7))
+      << "violation " << report.max_violation << " at "
+      << report.worst_constraint;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomProperty,
+                         ::testing::Range(1, 41));
+
+TEST(Validate, ReportsViolations) {
+  Problem p = make_problem(Sense::maximize, {1, 1});
+  p.add_constraint({1, 1}, Relation::less_equal, 1, "capacity");
+
+  const auto bad = validate(p, {0.8, 0.8});
+  EXPECT_FALSE(bad.ok(1e-9));
+  EXPECT_NEAR(bad.max_violation, 0.6, 1e-12);
+  EXPECT_EQ(bad.worst_constraint, "capacity");
+
+  const auto good = validate(p, {0.5, 0.5});
+  EXPECT_TRUE(good.ok(1e-9));
+  EXPECT_NEAR(good.objective_value, 1.0, 1e-12);
+}
+
+TEST(Validate, FlagsNegativeVariables) {
+  Problem p = make_problem(Sense::maximize, {1});
+  p.add_constraint({1}, Relation::less_equal, 1);
+  const auto report = validate(p, {-0.5});
+  EXPECT_LT(report.min_variable, 0.0);
+  EXPECT_FALSE(report.ok(1e-9));
+}
+
+TEST(Validate, ThrowsOnDimensionMismatch) {
+  Problem p = make_problem(Sense::maximize, {1, 2});
+  EXPECT_THROW((void)validate(p, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc::lp

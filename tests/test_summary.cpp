@@ -1,0 +1,120 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+#include "stats/rng.h"
+
+namespace dmc::stats {
+namespace {
+
+TEST(StreamingSummary, WelfordMatchesDirectComputation) {
+  StreamingSummary summary;
+  const std::vector<double> values{1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double v : values) summary.add(v);
+  EXPECT_EQ(summary.count(), 5u);
+  EXPECT_NEAR(summary.mean(), 6.2, 1e-12);
+  // Sample variance: sum (x - mean)^2 / (n - 1) = 37.2.
+  EXPECT_NEAR(summary.variance(), 37.2, 1e-9);
+  EXPECT_EQ(summary.min(), 1.0);
+  EXPECT_EQ(summary.max(), 16.0);
+}
+
+TEST(StreamingSummary, EmptyAndSingleElementEdgeCases) {
+  StreamingSummary summary;
+  EXPECT_EQ(summary.count(), 0u);
+  EXPECT_EQ(summary.mean(), 0.0);
+  EXPECT_EQ(summary.variance(), 0.0);
+  summary.add(3.0);
+  EXPECT_EQ(summary.mean(), 3.0);
+  EXPECT_EQ(summary.variance(), 0.0);  // undefined -> 0 by convention
+}
+
+TEST(StreamingSummary, ResetClearsState) {
+  StreamingSummary summary;
+  summary.add(1.0);
+  summary.add(2.0);
+  summary.reset();
+  EXPECT_EQ(summary.count(), 0u);
+  EXPECT_EQ(summary.mean(), 0.0);
+}
+
+TEST(StreamingSummary, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: huge mean, small variance.
+  StreamingSummary summary;
+  for (int i = 0; i < 1000; ++i) {
+    summary.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  }
+  EXPECT_NEAR(summary.variance(), 0.25, 1e-3);
+}
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet samples;
+  for (int i = 100; i >= 1; --i) samples.add(static_cast<double>(i));
+  EXPECT_EQ(samples.count(), 100u);
+  EXPECT_NEAR(samples.quantile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(samples.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(samples.quantile(1.0), 100.0, 1e-12);
+  EXPECT_NEAR(samples.mean(), 50.5, 1e-9);
+}
+
+TEST(SampleSet, QuantileAfterMoreInsertionsResorts) {
+  SampleSet samples;
+  samples.add(10.0);
+  samples.add(20.0);
+  EXPECT_NEAR(samples.quantile(1.0), 20.0, 1e-12);
+  samples.add(5.0);  // invalidates the sort
+  EXPECT_NEAR(samples.quantile(0.0), 5.0, 1e-12);
+}
+
+TEST(SampleSet, ErrorsOnInvalidUse) {
+  SampleSet samples;
+  EXPECT_THROW((void)samples.quantile(0.5), std::logic_error);
+  samples.add(1.0);
+  EXPECT_THROW((void)samples.quantile(-0.1), std::domain_error);
+  EXPECT_THROW((void)samples.quantile(1.1), std::domain_error);
+}
+
+TEST(Rng, SeededStreamsAreDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ForkedStreamsAreIndependentOfParentUsage) {
+  // Fork, then drawing from the parent must not perturb the child.
+  Rng parent1(7);
+  Rng child1 = parent1.fork();
+  Rng parent2(7);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 10; ++i) (void)parent2.uniform();  // extra parent draws
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.uniform(), child2.uniform());
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, IntegerStaysInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.integer(7), 7u);
+}
+
+TEST(Units, ConversionsRoundTrip) {
+  EXPECT_EQ(mbps(90), 90e6);
+  EXPECT_EQ(to_mbps(mbps(90)), 90.0);
+  EXPECT_EQ(ms(800), 0.8);
+  EXPECT_EQ(to_ms(ms(800)), 800.0);
+  EXPECT_EQ(us(250), 0.00025);
+  EXPECT_EQ(to_us(us(250)), 250.0);
+  EXPECT_EQ(kbps(64), 64e3);
+  EXPECT_EQ(gbps(1), 1e9);
+  EXPECT_EQ(bytes_to_bits(1024), 8192.0);
+}
+
+}  // namespace
+}  // namespace dmc::stats
