@@ -26,15 +26,15 @@ struct LoadResponse {
 };
 
 struct LoadAwarePath {
-  PathSpec base;          // characteristics at zero load
-  LoadResponse response;
+  PathSpec base = {};      // characteristics at zero load
+  LoadResponse response = {};
 };
 
 struct LoadAwareOptions {
   int max_rounds = 25;
   double damping = 0.5;          // weight of the new parameters per round
   double convergence_x = 1e-4;   // max |x_new - x_old| to declare a fixpoint
-  PlanOptions plan;
+  PlanOptions plan = {};
 };
 
 struct LoadAwareResult {

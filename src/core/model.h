@@ -39,7 +39,7 @@ struct ModelOptions {
   // model's feasibility checks account for it, so a guard keeps planned and
   // simulated behaviour consistent (Experiment 1 discussion).
   double timeout_guard_s = 0.0;
-  TimeoutOptions timeout;
+  TimeoutOptions timeout = {};
 };
 
 // Everything the LP needs to know about one path combination.

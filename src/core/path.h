@@ -22,7 +22,7 @@ struct PathSpec {
   double cost_per_bit = 0.0;    // c_i
   // Optional random one-way delay D_i (Section VI-B). When set, it replaces
   // delay_s in the model; delay_s is ignored.
-  stats::DelayDistributionPtr delay_dist;
+  stats::DelayDistributionPtr delay_dist = nullptr;
 
   // Expected one-way delay: E[d_i] (Equation 25) or the fixed delay.
   double mean_delay_s() const {

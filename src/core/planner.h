@@ -14,8 +14,8 @@
 namespace dmc::core {
 
 struct PlanOptions {
-  ModelOptions model;
-  lp::SimplexSolver::Options solver;
+  ModelOptions model = {};
+  lp::SimplexSolver::Options solver = {};
 };
 
 class Plan {

@@ -10,6 +10,24 @@
 //   experiments/ scenario library, sweep runners, table printers
 #pragma once
 
+// std::span (and other C++20 library facilities) are used throughout; an
+// out-of-tree build with the compiler's default -std would otherwise die in
+// 100+ unrelated-looking errors. Fail early with one clear message instead.
+// MSVC reports __cplusplus as 199711L unless /Zc:__cplusplus is set, so its
+// real language level is read from _MSVC_LANG.
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "dmc requires C++20: compile with /std:c++20 or newer"
+#endif
+#elif !defined(__cplusplus) || __cplusplus < 202002L
+#error "dmc requires C++20: compile with -std=c++20 (or use the provided CMake build, which sets it)"
+#endif
+#if defined(__has_include)
+#if !__has_include(<span>)
+#error "dmc requires a standard library providing <span> (C++20)"
+#endif
+#endif
+
 #include "core/combination.h"
 #include "core/load_aware.h"
 #include "core/model.h"

@@ -34,7 +34,7 @@ struct SessionConfig {
 };
 
 struct SessionResult {
-  Trace trace;
+  Trace trace = {};
   double measured_quality = 0.0;  // on_time / generated
   double elapsed_s = 0.0;         // simulated duration
   std::uint64_t events = 0;       // simulator events executed

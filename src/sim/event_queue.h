@@ -39,8 +39,8 @@ class EventQueue {
 
  private:
   struct Entry {
-    Time time;
-    std::uint64_t seq;
+    Time time = 0.0;
+    std::uint64_t seq = 0;
     bool operator>(const Entry& other) const {
       if (time != other.time) return time > other.time;
       return seq > other.seq;

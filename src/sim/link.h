@@ -36,11 +36,11 @@ struct LinkConfig {
   double loss_rate = 0.0;       // i.i.d. packet erasure probability
   // Optional correlated-loss overlay; when set, loss_rate applies in the
   // good state and BurstLoss governs the bad state.
-  std::optional<BurstLoss> burst_loss;
+  std::optional<BurstLoss> burst_loss = std::nullopt;
   std::size_t queue_capacity = 100;  // packets awaiting transmission
   // Optional per-packet random delay added on top of prop_delay_s; models
   // d = eta + X with prop_delay_s = eta and extra_delay = X (Section VI-B).
-  stats::DelayDistributionPtr extra_delay;
+  stats::DelayDistributionPtr extra_delay = nullptr;
   // Real single-route paths are FIFO: delay jitter comes from queueing and
   // never reorders packets. When true (default), a sampled arrival time is
   // clamped to be no earlier than the previous packet's arrival, preserving
