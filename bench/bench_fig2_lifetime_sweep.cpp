@@ -1,42 +1,34 @@
 // Reproduces Figure 2 (bottom): communication quality vs lifetime delta,
-// lambda = 90 Mbps. Same four series and methodology as the rate sweep.
+// lambda = 90 Mbps. Same four series and methodology as the rate sweep; the
+// grid definition and the sweep loop both live in fleet/grids.h now, so the
+// two Figure 2 benches share one implementation.
 #include <iostream>
 
-#include "core/units.h"
 #include "experiments/runner.h"
-#include "experiments/scenarios.h"
-#include "experiments/table.h"
+#include "fleet/engine.h"
+#include "fleet/grids.h"
 
-int main() {
+int main() try {
   using namespace dmc;
-  const auto planning = exp::table3_model_paths();
-  const auto truth = exp::table3_paths();
   const auto messages = exp::default_messages(100000);
 
   exp::banner("Figure 2 (bottom): quality vs lifetime (lambda = 90 Mbps)");
   std::cout << "messages per point: " << messages
-            << " (override with DMC_MESSAGES)\n\n";
+            << " (override with DMC_MESSAGES; threads with DMC_THREADS)\n\n";
 
-  exp::Table table({"delta (ms)", "multipath (sim)", "multipath (theory)",
-                    "path 1 (theory)", "path 2 (theory)"});
-  for (double lifetime = 100; lifetime <= 1100; lifetime += 100) {
-    const auto traffic = exp::table4_traffic_lifetime(ms(lifetime));
-    const auto theory = exp::theory_qualities(planning, traffic);
+  fleet::GridOptions grid;
+  grid.messages = messages;
+  fleet::Engine engine;
+  const auto records =
+      fleet::run_jobs(engine, fleet::fig2_lifetime_grid(grid));
 
-    exp::RunOptions options;
-    options.num_messages = messages;
-    options.seed = 4200 + static_cast<std::uint64_t>(lifetime);
-    const auto outcome = exp::run_planned(planning, truth, traffic, options);
-
-    table.add_row({exp::Table::num(lifetime, 0),
-                   exp::Table::percent(outcome.session.measured_quality),
-                   exp::Table::percent(theory.multipath),
-                   exp::Table::percent(theory.single_path[0]),
-                   exp::Table::percent(theory.single_path[1])});
-  }
-  table.print();
+  fleet::fig2_table(records, "delta (ms)").print();
   std::cout << "\nShape checks (paper): steps at ~450 ms and ~750 ms; "
                "multipath plateaus at 93.3%; path 1 alone needs delta >= "
                "450 ms for 71.1%; path 2 alone stays at 22.2%.\n";
   return 0;
+} catch (const std::exception& e) {
+  // Misconfigured DMC_MESSAGES / DMC_THREADS throw; report, don't abort.
+  std::cerr << "bench_fig2_lifetime_sweep: " << e.what() << "\n";
+  return 1;
 }

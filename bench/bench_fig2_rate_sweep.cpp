@@ -3,44 +3,35 @@
 // multipath theory, and each single path's theoretical best. The planner
 // uses the conservative delays (450/150 ms) while the simulated network has
 // the true Table III characteristics (400/100 ms) — exactly the paper's
-// Experiment 1 methodology.
+// Experiment 1 methodology. The grid is expressed as fleet job specs and
+// runs on the work-stealing engine (DMC_THREADS controls parallelism);
+// per-point seeds match the historical serial sweep.
 #include <iostream>
 
-#include "core/units.h"
 #include "experiments/runner.h"
-#include "experiments/scenarios.h"
-#include "experiments/table.h"
+#include "fleet/engine.h"
+#include "fleet/grids.h"
 
-int main() {
+int main() try {
   using namespace dmc;
-  const auto planning = exp::table3_model_paths();
-  const auto truth = exp::table3_paths();
   const auto messages = exp::default_messages(100000);
 
   exp::banner("Figure 2 (top): quality vs data rate (delta = 800 ms)");
   std::cout << "messages per point: " << messages
-            << " (override with DMC_MESSAGES)\n\n";
+            << " (override with DMC_MESSAGES; threads with DMC_THREADS)\n\n";
 
-  exp::Table table({"lambda (Mbps)", "multipath (sim)", "multipath (theory)",
-                    "path 1 (theory)", "path 2 (theory)"});
-  for (double rate = 10; rate <= 150; rate += 10) {
-    const auto traffic = exp::table4_traffic_rate(mbps(rate));
-    const auto theory = exp::theory_qualities(planning, traffic);
+  fleet::GridOptions grid;
+  grid.messages = messages;
+  fleet::Engine engine;
+  const auto records = fleet::run_jobs(engine, fleet::fig2_rate_grid(grid));
 
-    exp::RunOptions options;
-    options.num_messages = messages;
-    options.seed = 42 + static_cast<std::uint64_t>(rate);
-    const auto outcome = exp::run_planned(planning, truth, traffic, options);
-
-    table.add_row({exp::Table::num(rate, 0),
-                   exp::Table::percent(outcome.session.measured_quality),
-                   exp::Table::percent(theory.multipath),
-                   exp::Table::percent(theory.single_path[0]),
-                   exp::Table::percent(theory.single_path[1])});
-  }
-  table.print();
+  fleet::fig2_table(records, "lambda (Mbps)").print();
   std::cout << "\nShape checks (paper): multipath 100% through 80 Mbps, then "
                "84/70/60%; path 1 caps at 80%; path 2 collapses as 20/lambda."
             << "\n";
   return 0;
+} catch (const std::exception& e) {
+  // Misconfigured DMC_MESSAGES / DMC_THREADS throw; report, don't abort.
+  std::cerr << "bench_fig2_rate_sweep: " << e.what() << "\n";
+  return 1;
 }

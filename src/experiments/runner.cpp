@@ -2,16 +2,15 @@
 
 #include <cstdlib>
 #include <stdexcept>
-#include <string>
+
+#include "util/parse.h"
 
 namespace dmc::exp {
 
 std::uint64_t default_messages(std::uint64_t fallback) {
-  if (const char* env = std::getenv("DMC_MESSAGES")) {
-    const long long parsed = std::atoll(env);
-    if (parsed > 0) return static_cast<std::uint64_t>(parsed);
-  }
-  return fallback;
+  const char* env = std::getenv("DMC_MESSAGES");
+  if (env == nullptr) return fallback;
+  return util::parse_positive<std::uint64_t>("DMC_MESSAGES", env);
 }
 
 RunOutcome run_planned(const core::PathSet& planning_paths,

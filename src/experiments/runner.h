@@ -25,6 +25,8 @@ struct RunOptions {
 
 // Number of messages honoring the DMC_MESSAGES environment override, so a
 // full-fidelity 100k-message run can be dialed down for quick smoke runs.
+// Throws std::invalid_argument on non-numeric, zero, or overflowing values
+// instead of silently misparsing them.
 std::uint64_t default_messages(std::uint64_t fallback = 100000);
 
 // Plans on `planning_paths`, simulates on `true_paths`. The two differ in

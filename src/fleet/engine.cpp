@@ -1,0 +1,123 @@
+#include "fleet/engine.h"
+
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/parse.h"
+
+namespace dmc::fleet {
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t lane) {
+  // splitmix64 finalizer (Steele et al.); the golden-gamma increment keeps
+  // lane 0 distinct from the raw base.
+  std::uint64_t z = base + (lane + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+// Guarded deque of task indices. A mutex per worker keeps this simple and
+// obviously correct; tasks here are whole simulation runs (milliseconds to
+// seconds), so queue overhead is noise.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> tasks;
+
+  void push(std::size_t index) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    tasks.push_back(index);
+  }
+
+  // Owner takes from the front (its dealt order).
+  bool pop_front(std::size_t& index) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return false;
+    index = tasks.front();
+    tasks.pop_front();
+    return true;
+  }
+
+  // Thieves take from the back, away from the owner's end.
+  bool steal_back(std::size_t& index) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return false;
+    index = tasks.back();
+    tasks.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) {
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    threads = env_threads(hardware > 0 ? hardware : 1);
+  }
+  threads_ = threads > 0 ? threads : 1;
+}
+
+unsigned Engine::env_threads(unsigned fallback) {
+  const char* env = std::getenv("DMC_THREADS");
+  if (env == nullptr) return fallback;
+  return util::parse_positive<unsigned>("DMC_THREADS", env);
+}
+
+void Engine::run_tasks(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto guarded = [&](std::function<void()>& task) {
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  const auto n_workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads_, tasks.size()));
+  if (n_workers <= 1) {
+    for (auto& task : tasks) guarded(task);
+  } else {
+    std::deque<WorkerQueue> queues(n_workers);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      queues[i % n_workers].push(i);
+    }
+
+    auto worker = [&](unsigned me) {
+      std::size_t index = 0;
+      for (;;) {
+        bool got = queues[me].pop_front(index);
+        for (unsigned step = 1; !got && step < n_workers; ++step) {
+          got = queues[(me + step) % n_workers].steal_back(index);
+        }
+        // No work is ever re-queued, so a full scan coming up empty means
+        // every task is claimed (though siblings may still be mid-run).
+        if (!got) return;
+        guarded(tasks[index]);
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers - 1);
+    for (unsigned t = 1; t < n_workers; ++t) {
+      pool.emplace_back(worker, t);
+    }
+    worker(0);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dmc::fleet

@@ -1,0 +1,46 @@
+// Work-stealing thread-pool sweep engine. The paper's evaluation is a grid
+// of independent plan/simulate runs; the engine shards any such grid across
+// cores. Determinism contract: tasks own disjoint result slots and all
+// randomness is derived from per-task seeds (mix_seed), so a grid produces
+// bit-identical results at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dmc::fleet {
+
+// splitmix64 finalizer over (base, lane): derives an independent seed per
+// job / session / replicate so sibling runs never share an RNG stream and
+// adding a lane never perturbs another lane's draws.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t lane);
+
+struct EngineOptions {
+  // Worker threads; 0 means the DMC_THREADS environment override, falling
+  // back to std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  unsigned threads() const { return threads_; }
+
+  // Executes every task exactly once and blocks until all finish. Tasks are
+  // dealt round-robin onto per-worker queues; an idle worker steals from
+  // the back of its neighbours' queues, so uneven task durations balance
+  // out. Tasks must synchronize any state they share; the first exception
+  // escaping a task is rethrown here after the pool drains.
+  void run_tasks(std::vector<std::function<void()>> tasks);
+
+  // DMC_THREADS environment override; rejects non-numeric, zero, and
+  // overflowing values with a clear error instead of misparsing.
+  static unsigned env_threads(unsigned fallback);
+
+ private:
+  unsigned threads_ = 1;
+};
+
+}  // namespace dmc::fleet

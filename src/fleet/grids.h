@@ -1,0 +1,46 @@
+// The paper's evaluation grids expressed as fleet job specs, plus the
+// cross-traffic contention family the paper never measured. Every grid
+// derives per-job seeds deterministically, so a grid is reproducible at any
+// thread count and replicate count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiments/table.h"
+#include "fleet/job.h"
+
+namespace dmc::fleet {
+
+struct GridOptions {
+  std::uint64_t messages = 100000;  // per point (per session for contention)
+  std::uint64_t base_seed = 42;
+  int replicates = 1;      // seed replicates per grid point
+  bool with_theory = true;  // compute the Figure 2 theory series
+};
+
+// Figure 2 (top): quality vs data rate lambda, delta = 800 ms, Table III
+// paths (conservative model delays vs raw true delays).
+std::vector<JobSpec> fig2_rate_grid(const GridOptions& options = {});
+
+// Figure 2 (bottom): quality vs lifetime delta, lambda = 90 Mbps.
+std::vector<JobSpec> fig2_lifetime_grid(const GridOptions& options = {});
+
+// Table IV (top) rates, delta = 800 ms: plan + simulate at each rate.
+std::vector<JobSpec> table4_rate_grid(const GridOptions& options = {});
+
+// Cross-traffic family: k = 1..max_sessions sessions, each planned in
+// isolation at `rate_per_session_bps` (delta = 800 ms), contending on the
+// shared Table III network. With the default 30 Mbps per session the shared
+// 80+20 Mbps capacity saturates at k = 4.
+std::vector<JobSpec> contention_grid(int max_sessions,
+                                     double rate_per_session_bps,
+                                     const GridOptions& options = {});
+
+// Renders the classic Figure 2 four-series table from fleet records; shared
+// by bench_fig2_rate_sweep and bench_fig2_lifetime_sweep.
+exp::Table fig2_table(const std::vector<RunRecord>& records,
+                      const std::string& x_header, int x_precision = 0);
+
+}  // namespace dmc::fleet

@@ -1,0 +1,163 @@
+#include "fleet/job.h"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "protocol/multi_session.h"
+
+namespace dmc::fleet {
+namespace {
+
+void fill_session(RunRecord& record, const proto::SessionResult& session) {
+  record.measured_quality = session.measured_quality;
+  record.elapsed_s = session.elapsed_s;
+  record.events = session.events;
+  record.trace = session.trace;
+  record.delay_mean_s = session.delay_mean_s;
+  record.delay_p50_s = session.delay_p50_s;
+  record.delay_p99_s = session.delay_p99_s;
+}
+
+void fill_links(RunRecord& record, const core::PathSet& truth,
+                const std::vector<sim::LinkStats>& forward_links,
+                double elapsed_s) {
+  record.links.reserve(forward_links.size());
+  for (std::size_t i = 0; i < forward_links.size(); ++i) {
+    const sim::LinkStats& stats = forward_links[i];
+    LinkRecord link;
+    link.name = i < truth.size() ? truth[i].name : "path" + std::to_string(i);
+    link.offered = stats.offered;
+    link.delivered = stats.delivered;
+    link.queue_drops = stats.queue_drops;
+    link.loss_drops = stats.loss_drops;
+    link.utilization = elapsed_s > 0.0 ? stats.busy_time_s / elapsed_s : 0.0;
+    record.links.push_back(std::move(link));
+  }
+}
+
+std::vector<RunRecord> run_single(const JobSpec& job, const SingleJob& work) {
+  RunRecord record;
+  record.scenario = job.scenario;
+  record.params = job.params;
+  record.seed = work.options.seed;
+  record.messages = work.options.num_messages;
+  try {
+    // One multipath LP solve serves both the theory column and the executed
+    // plan; only the single-path series needs extra solves.
+    const core::Plan plan =
+        core::plan_max_quality(work.planning, work.traffic, work.plan_options);
+    if (!plan.feasible()) {
+      throw std::runtime_error("fleet: planning LP infeasible");
+    }
+    record.theory_quality = plan.quality();
+    if (work.with_theory) {
+      record.single_path_theory.reserve(work.planning.size());
+      for (std::size_t i = 0; i < work.planning.size(); ++i) {
+        record.single_path_theory.push_back(
+            core::plan_single_path(work.planning, i, work.traffic,
+                                   work.plan_options)
+                .quality());
+      }
+    }
+    const proto::SessionResult session =
+        exp::simulate_plan(plan, work.truth, work.options);
+    fill_session(record, session);
+    fill_links(record, work.truth, session.forward_links, session.elapsed_s);
+  } catch (const std::exception& e) {
+    record.ok = false;
+    record.error = e.what();
+  }
+  return {std::move(record)};
+}
+
+std::vector<RunRecord> run_multi(const JobSpec& job, const MultiJob& work) {
+  const int sessions = static_cast<int>(work.traffic.size());
+  std::vector<RunRecord> records;
+  try {
+    std::vector<proto::SessionSpec> specs;
+    specs.reserve(work.traffic.size());
+    for (std::size_t s = 0; s < work.traffic.size(); ++s) {
+      proto::SessionConfig config = work.options.session;
+      config.num_messages = work.options.num_messages;
+      config.seed = mix_seed(work.options.seed, s);
+      config.timeout_guard_s = work.options.timeout_guard_s;
+      proto::SessionSpec spec{
+          core::plan_max_quality(work.planning, work.traffic[s],
+                                 work.plan_options),
+          config, s < work.start_at_s.size() ? work.start_at_s[s] : 0.0};
+      if (!spec.plan.feasible()) {
+        throw std::runtime_error("fleet: session " + std::to_string(s) +
+                                 " planning LP infeasible");
+      }
+      specs.push_back(std::move(spec));
+    }
+    const auto sim_paths =
+        proto::to_sim_paths(work.truth, work.options.bandwidth_headroom,
+                            work.options.queue_capacity);
+    const proto::MultiSessionOutcome outcome =
+        proto::run_multi_sessions(sim_paths, specs, work.options.seed);
+
+    records.reserve(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      RunRecord record;
+      record.scenario = job.scenario;
+      record.params = job.params;
+      record.seed = specs[s].config.seed;
+      record.messages = work.options.num_messages;
+      record.session_index = static_cast<int>(s);
+      record.sessions = sessions;
+      // The isolated LP prediction this session was planned with; the gap
+      // to measured_quality is the cost of contention.
+      record.theory_quality = specs[s].plan.quality();
+      fill_session(record, outcome.sessions[s]);
+      // Shared-link totals repeat on every session's record so each record
+      // is self-contained.
+      fill_links(record, work.truth, outcome.forward_links,
+                 outcome.elapsed_s);
+      records.push_back(std::move(record));
+    }
+  } catch (const std::exception& e) {
+    RunRecord record;
+    record.scenario = job.scenario;
+    record.params = job.params;
+    record.seed = work.options.seed;
+    record.messages = work.options.num_messages;
+    record.sessions = sessions;
+    record.ok = false;
+    record.error = e.what();
+    records.assign(1, std::move(record));
+  }
+  return records;
+}
+
+}  // namespace
+
+std::vector<RunRecord> run_job(const JobSpec& job) {
+  if (const SingleJob* single = std::get_if<SingleJob>(&job.work)) {
+    return run_single(job, *single);
+  }
+  return run_multi(job, std::get<MultiJob>(job.work));
+}
+
+std::vector<RunRecord> run_jobs(Engine& engine,
+                                const std::vector<JobSpec>& jobs) {
+  std::vector<std::vector<RunRecord>> slots(jobs.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    tasks.push_back([&jobs, &slots, i] { slots[i] = run_job(jobs[i]); });
+  }
+  engine.run_tasks(std::move(tasks));
+
+  std::vector<RunRecord> records;
+  for (std::vector<RunRecord>& slot : slots) {
+    for (RunRecord& record : slot) {
+      records.push_back(std::move(record));
+    }
+  }
+  return records;
+}
+
+}  // namespace dmc::fleet

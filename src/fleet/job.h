@@ -1,0 +1,59 @@
+// Fleet job specifications: a typed description of one grid cell that the
+// engine can execute on any worker. Two shapes exist — the paper's classic
+// isolated plan/simulate run, and the multi-session contention run where
+// several independently-planned sessions share one network.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/path.h"
+#include "core/planner.h"
+#include "experiments/runner.h"
+#include "fleet/engine.h"
+#include "fleet/results.h"
+
+namespace dmc::fleet {
+
+// One independent plan-then-simulate run (a cell of Figure 2 / Table IV).
+struct SingleJob {
+  core::PathSet planning;
+  core::PathSet truth;
+  core::TrafficSpec traffic;
+  exp::RunOptions options;
+  core::PlanOptions plan_options;
+  bool with_theory = false;  // also compute the Figure 2 theory series
+};
+
+// N sessions planned independently (each unaware of the others, as real
+// endpoints would be) but simulated concurrently over one shared network.
+struct MultiJob {
+  core::PathSet planning;
+  core::PathSet truth;                     // the shared network
+  std::vector<core::TrafficSpec> traffic;  // one spec per session
+  // options.seed is the job's base seed; session s runs with
+  // mix_seed(seed, s) so streams stay independent.
+  exp::RunOptions options;
+  core::PlanOptions plan_options;
+  std::vector<double> start_at_s;  // optional stagger; empty = all at t=0
+};
+
+struct JobSpec {
+  std::string scenario;       // grid family, e.g. "fig2_rate"
+  std::vector<Param> params;  // grid coordinates of this cell
+  std::variant<SingleJob, MultiJob> work;
+};
+
+// Executes one job. Never throws: a failure comes back as one record with
+// ok=false and the exception text in `error`. A MultiJob yields one record
+// per session.
+std::vector<RunRecord> run_job(const JobSpec& job);
+
+// Runs all jobs on the engine. Returned records are in job order (then
+// session order) regardless of thread count or steal pattern — the
+// determinism the JSON diffability contract relies on.
+std::vector<RunRecord> run_jobs(Engine& engine,
+                                const std::vector<JobSpec>& jobs);
+
+}  // namespace dmc::fleet

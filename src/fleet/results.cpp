@@ -1,0 +1,160 @@
+#include "fleet/results.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace dmc::fleet {
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) return "null";  // cannot happen with a 32-byte buffer
+  return std::string(buffer, ptr);
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_trace(std::ostream& out, const proto::Trace& trace) {
+  out << "{\"generated\":" << trace.generated
+      << ",\"assigned_blackhole\":" << trace.assigned_blackhole
+      << ",\"transmissions\":" << trace.transmissions
+      << ",\"retransmissions\":" << trace.retransmissions
+      << ",\"fast_retransmissions\":" << trace.fast_retransmissions
+      << ",\"delivered_unique\":" << trace.delivered_unique
+      << ",\"on_time\":" << trace.on_time << ",\"late\":" << trace.late
+      << ",\"duplicates\":" << trace.duplicates
+      << ",\"acks_sent\":" << trace.acks_sent
+      << ",\"acks_received\":" << trace.acks_received
+      << ",\"gave_up\":" << trace.gave_up << "}";
+}
+
+void write_record(std::ostream& out, const RunRecord& record) {
+  out << "    {\"scenario\":\"" << json_escape(record.scenario) << "\"";
+  out << ",\"params\":{";
+  for (std::size_t i = 0; i < record.params.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(record.params[i].name)
+        << "\":" << format_double(record.params[i].value);
+  }
+  out << "}";
+  out << ",\"seed\":" << record.seed << ",\"messages\":" << record.messages
+      << ",\"session_index\":" << record.session_index
+      << ",\"sessions\":" << record.sessions
+      << ",\"ok\":" << (record.ok ? "true" : "false") << ",\"error\":\""
+      << json_escape(record.error) << "\"";
+  out << ",\"theory_quality\":" << format_double(record.theory_quality);
+  out << ",\"single_path_theory\":[";
+  for (std::size_t i = 0; i < record.single_path_theory.size(); ++i) {
+    if (i > 0) out << ",";
+    out << format_double(record.single_path_theory[i]);
+  }
+  out << "]";
+  out << ",\"measured_quality\":" << format_double(record.measured_quality)
+      << ",\"elapsed_s\":" << format_double(record.elapsed_s)
+      << ",\"events\":" << record.events;
+  out << ",\"trace\":";
+  write_trace(out, record.trace);
+  out << ",\"delay_s\":{\"mean\":" << format_double(record.delay_mean_s)
+      << ",\"p50\":" << format_double(record.delay_p50_s)
+      << ",\"p99\":" << format_double(record.delay_p99_s) << "}";
+  out << ",\"links\":[";
+  for (std::size_t i = 0; i < record.links.size(); ++i) {
+    const LinkRecord& link = record.links[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << json_escape(link.name)
+        << "\",\"offered\":" << link.offered
+        << ",\"delivered\":" << link.delivered
+        << ",\"queue_drops\":" << link.queue_drops
+        << ",\"loss_drops\":" << link.loss_drops
+        << ",\"utilization\":" << format_double(link.utilization) << "}";
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void ResultSet::write_json(std::ostream& out) const {
+  out << "{\n  \"schema\":\"" << kResultSchema << "\",\n  \"records\":[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    write_record(out, records[i]);
+    if (i + 1 < records.size()) out << ",";
+    out << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+std::string ResultSet::json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+void ResultSet::write_csv(std::ostream& out) const {
+  out << "scenario,params,seed,messages,session_index,sessions,ok,error,"
+         "theory_quality,measured_quality,elapsed_s,events,generated,on_time,"
+         "late,retransmissions,duplicates,gave_up,delay_mean_s,delay_p50_s,"
+         "delay_p99_s\n";
+  for (const RunRecord& record : records) {
+    std::string params;
+    for (const Param& param : record.params) {
+      if (!params.empty()) params += ";";
+      params += param.name + "=" + format_double(param.value);
+    }
+    std::string error = record.error;
+    for (char& c : error) {
+      if (c == ',' || c == '\n') c = ';';
+    }
+    out << record.scenario << "," << params << "," << record.seed << ","
+        << record.messages << "," << record.session_index << ","
+        << record.sessions << "," << (record.ok ? "true" : "false") << ","
+        << error << "," << format_double(record.theory_quality) << ","
+        << format_double(record.measured_quality) << ","
+        << format_double(record.elapsed_s) << "," << record.events << ","
+        << record.trace.generated << "," << record.trace.on_time << ","
+        << record.trace.late << "," << record.trace.retransmissions << ","
+        << record.trace.duplicates << "," << record.trace.gave_up << ","
+        << format_double(record.delay_mean_s) << ","
+        << format_double(record.delay_p50_s) << ","
+        << format_double(record.delay_p99_s) << "\n";
+  }
+}
+
+}  // namespace dmc::fleet

@@ -1,0 +1,83 @@
+// Typed result records for fleet runs and their JSON/CSV export. The JSON
+// output is schema-versioned and deterministic (fixed key order, shortest
+// round-trip number formatting, no timestamps or host information), so two
+// runs of the same grid diff cleanly — including across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "protocol/trace.h"
+
+namespace dmc::fleet {
+
+inline constexpr std::string_view kResultSchema = "dmc.fleet.result.v1";
+
+// One grid coordinate, e.g. {"rate_mbps", 90}.
+struct Param {
+  std::string name;
+  double value = 0.0;
+};
+
+// Shared-link totals of the run (forward/data direction).
+struct LinkRecord {
+  std::string name;
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t loss_drops = 0;
+  double utilization = 0.0;  // busy time / simulated duration
+};
+
+// One session of one grid cell. Single-session jobs produce exactly one
+// record (session_index = -1); a k-session contention job produces k
+// records that share scenario/params and differ in session_index.
+struct RunRecord {
+  std::string scenario;
+  std::vector<Param> params;
+  std::uint64_t seed = 0;
+  std::uint64_t messages = 0;
+  int session_index = -1;  // -1 = single-session job
+  int sessions = 1;        // sessions contending in the job
+  bool ok = true;
+  std::string error;
+
+  // LP predictions. theory_quality is the plan's expected quality (for a
+  // contention record: the *isolated* prediction the session was planned
+  // with). single_path_theory is the Figure 2 per-path series; empty when
+  // the job did not request it.
+  double theory_quality = 0.0;
+  std::vector<double> single_path_theory;
+
+  // Measured outcome.
+  double measured_quality = 0.0;
+  double elapsed_s = 0.0;
+  std::uint64_t events = 0;
+  proto::Trace trace;
+  double delay_mean_s = 0.0;
+  double delay_p50_s = 0.0;
+  double delay_p99_s = 0.0;
+  std::vector<LinkRecord> links;  // shared totals on multi-session records
+};
+
+struct ResultSet {
+  std::vector<RunRecord> records;
+
+  void write_json(std::ostream& out) const;
+  std::string json() const;
+
+  // One row per record; params flatten into a "name=value;..." column.
+  void write_csv(std::ostream& out) const;
+};
+
+// Shortest round-trip decimal representation (std::to_chars); non-finite
+// values render as JSON null.
+std::string format_double(double value);
+
+// Escapes ", backslash and control characters for a JSON string literal.
+std::string json_escape(std::string_view text);
+
+}  // namespace dmc::fleet

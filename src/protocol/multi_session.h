@@ -1,0 +1,45 @@
+// Multiple concurrent sessions over one shared simulated network. Every
+// session is a full sender/receiver pair executing its own plan, but all
+// sessions inject packets into the *same* sim::Network links, so they
+// contend for bandwidth and queue slots — the cross-traffic regime the
+// paper's single-session evaluation never measured. run_session() in
+// session.h is the one-session special case of this runner.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/session.h"
+
+namespace dmc::proto {
+
+// One contending session: the plan it executes, its protocol knobs, and an
+// optional start offset (seconds of simulated time before its first
+// message), so arrival waves can be staggered.
+struct SessionSpec {
+  core::Plan plan;
+  SessionConfig config;
+  double start_at_s = 0.0;
+};
+
+struct MultiSessionOutcome {
+  // Per-session traces/qualities/delays, in spec order. The link-stats
+  // vectors inside these stay empty: links are shared, their totals live in
+  // forward_links/reverse_links below.
+  std::vector<SessionResult> sessions;
+  double elapsed_s = 0.0;   // simulated duration until all sessions drained
+  std::uint64_t events = 0; // simulator events executed in total
+  std::vector<sim::LinkStats> forward_links;  // shared-link totals
+  std::vector<sim::LinkStats> reverse_links;
+};
+
+// Simulates all `specs` concurrently over the shared `true_paths`. Every
+// plan must be feasible and agree with `true_paths` on the path count.
+// Deterministic for a fixed (specs, network_seed) input: packets carry
+// their owning session id (sim::Packet::session) and each trace records it
+// (Trace::session_id).
+MultiSessionOutcome run_multi_sessions(
+    const std::vector<sim::PathConfig>& true_paths,
+    const std::vector<SessionSpec>& specs, std::uint64_t network_seed = 1);
+
+}  // namespace dmc::proto

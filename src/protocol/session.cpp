@@ -1,12 +1,9 @@
 #include "protocol/session.h"
 
-#include <limits>
-#include <memory>
 #include <stdexcept>
+#include <utility>
 
-#include "protocol/receiver.h"
-#include "protocol/sender.h"
-#include "sim/simulator.h"
+#include "protocol/multi_session.h"
 
 namespace dmc::proto {
 
@@ -41,26 +38,8 @@ std::vector<sim::PathConfig> to_sim_paths(const core::PathSet& paths,
   return out;
 }
 
-namespace {
-
-int lowest_delay_path(const std::vector<sim::PathConfig>& paths) {
-  int best = 0;
-  double best_delay = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < paths.size(); ++i) {
-    double d = paths[i].forward.prop_delay_s;
-    if (paths[i].forward.extra_delay) {
-      d += paths[i].forward.extra_delay->mean();
-    }
-    if (d < best_delay) {
-      best_delay = d;
-      best = static_cast<int>(i);
-    }
-  }
-  return best;
-}
-
-}  // namespace
-
+// The classic single-session entry point is the one-element special case of
+// the multi-session runner (protocol/multi_session.h).
 SessionResult run_session(const core::Plan& plan,
                           const std::vector<sim::PathConfig>& true_paths,
                           const SessionConfig& config) {
@@ -71,64 +50,11 @@ SessionResult run_session(const core::Plan& plan,
     throw std::invalid_argument(
         "run_session: plan and network disagree on the number of paths");
   }
-
-  sim::Simulator simulator(config.seed);
-  sim::Network network(simulator, true_paths);
-
-  Trace trace;
-
-  ReceiverConfig receiver_config;
-  receiver_config.lifetime_s = plan.model().traffic().lifetime_s;
-  receiver_config.ack_path = config.ack_path >= 0
-                                 ? config.ack_path
-                                 : lowest_delay_path(true_paths);
-  receiver_config.ack_window_bits = config.ack_window_bits;
-  receiver_config.max_ack_bytes = config.max_ack_bytes;
-  receiver_config.ack_overhead_bytes = config.ack_overhead_bytes;
-  receiver_config.ack_every = config.ack_every;
-  DeadlineReceiver receiver(simulator, receiver_config, trace);
-
-  SenderConfig sender_config;
-  sender_config.num_messages = config.num_messages;
-  sender_config.message_bytes = config.message_bytes;
-  sender_config.timeout_guard_s = config.timeout_guard_s;
-  sender_config.fast_retransmit_dupacks = config.fast_retransmit_dupacks;
-  DeadlineSender sender(simulator, plan,
-                        core::make_scheduler(config.scheduler, plan.x(),
-                                             config.seed ^ 0x5eedULL),
-                        sender_config, trace);
-
-  receiver.set_ack_sender([&network](int path, sim::Packet packet) {
-    network.server_send(path, std::move(packet));
-  });
-  sender.set_data_sender([&network](int path, sim::Packet packet) {
-    network.client_send(path, std::move(packet));
-  });
-  network.set_server_receiver([&receiver](int path, sim::Packet packet) {
-    receiver.on_data(path, packet);
-  });
-  network.set_client_receiver([&sender](int path, sim::Packet packet) {
-    sender.on_ack(path, packet);
-  });
-
-  sender.start();
-  simulator.run();
-
-  SessionResult result;
-  result.trace = trace;
-  result.measured_quality = trace.quality();
-  result.elapsed_s = simulator.now();
-  result.events = simulator.events_executed();
-  for (std::size_t i = 0; i < true_paths.size(); ++i) {
-    result.forward_links.push_back(network.forward_link(static_cast<int>(i)).stats());
-    result.reverse_links.push_back(network.reverse_link(static_cast<int>(i)).stats());
-  }
-  stats::SampleSet& delays = receiver.delay_samples();
-  if (delays.count() > 0) {
-    result.delay_mean_s = delays.mean();
-    result.delay_p50_s = delays.quantile(0.5);
-    result.delay_p99_s = delays.quantile(0.99);
-  }
+  MultiSessionOutcome outcome = run_multi_sessions(
+      true_paths, {SessionSpec{plan, config, 0.0}}, config.seed);
+  SessionResult result = std::move(outcome.sessions.front());
+  result.forward_links = std::move(outcome.forward_links);
+  result.reverse_links = std::move(outcome.reverse_links);
   return result;
 }
 

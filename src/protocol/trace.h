@@ -7,6 +7,7 @@
 namespace dmc::proto {
 
 struct Trace {
+  std::uint32_t session_id = 0;          // owning session in multi-session runs
   std::uint64_t generated = 0;           // messages produced by the app
   std::uint64_t assigned_blackhole = 0;  // dropped deliberately (x0,*)
   std::uint64_t transmissions = 0;       // data packets handed to links

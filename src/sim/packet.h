@@ -26,6 +26,7 @@ struct Packet {
 
   // --- Simulation/tracing metadata (not transmitted) ----------------------
   int path = -1;               // path index the packet rides
+  std::uint32_t session = 0;   // owning session in multi-session runs
   Time sent_at = 0.0;          // when the sender handed it to the link
 };
 

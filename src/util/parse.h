@@ -1,0 +1,53 @@
+// Hardened text -> number parsing shared by environment overrides
+// (DMC_MESSAGES, DMC_THREADS) and CLI flags: the whole string must parse,
+// overflow and trailing junk are errors — never a silent misparse.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace dmc::util {
+
+// Parses the entire `text` as a T; `context` names the flag or environment
+// variable in error messages.
+template <typename T>
+T parse_number(const std::string& context, std::string_view text) {
+  T value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument(context + " is out of range: '" +
+                                std::string(text) + "'");
+  }
+  if (ec != std::errc() || ptr != end) {
+    throw std::invalid_argument(context + ": invalid number '" +
+                                std::string(text) + "'");
+  }
+  if constexpr (std::is_floating_point_v<T>) {
+    // from_chars accepts "nan"/"inf"; neither is a usable quantity here.
+    if (!std::isfinite(value)) {
+      throw std::invalid_argument(context + " must be finite, got '" +
+                                  std::string(text) + "'");
+    }
+  }
+  return value;
+}
+
+// parse_number, additionally requiring a strictly positive value — for
+// counts and rates that must be > 0 (rejects zero and signed negatives).
+template <typename T>
+T parse_positive(const std::string& context, std::string_view text) {
+  const T value = parse_number<T>(context, text);
+  if (!(value > T{})) {
+    throw std::invalid_argument(context + " must be positive, got '" +
+                                std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace dmc::util

@@ -92,6 +92,23 @@ TEST(Runner, DefaultMessagesHonorsEnvironment) {
   unsetenv("DMC_MESSAGES");
 }
 
+TEST(Runner, DefaultMessagesRejectsGarbageInsteadOfMisparsing) {
+  setenv("DMC_MESSAGES", "abc", 1);
+  EXPECT_THROW(default_messages(), std::invalid_argument);
+  setenv("DMC_MESSAGES", "12abc", 1);
+  EXPECT_THROW(default_messages(), std::invalid_argument);
+  setenv("DMC_MESSAGES", "-5", 1);
+  EXPECT_THROW(default_messages(), std::invalid_argument);
+  setenv("DMC_MESSAGES", "0", 1);
+  EXPECT_THROW(default_messages(), std::invalid_argument);
+  setenv("DMC_MESSAGES", "", 1);
+  EXPECT_THROW(default_messages(), std::invalid_argument);
+  // Overflows a 64-bit count.
+  setenv("DMC_MESSAGES", "99999999999999999999999999", 1);
+  EXPECT_THROW(default_messages(), std::invalid_argument);
+  unsetenv("DMC_MESSAGES");
+}
+
 TEST(Runner, RunPlannedWiresPlanningAgainstTruth) {
   RunOptions options;
   options.num_messages = 4000;

@@ -1,0 +1,253 @@
+// Fleet subsystem tests: the work-stealing engine, thread-count-invariant
+// sweeps, the multi-session contention mode, and the JSON/CSV result layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "fleet/engine.h"
+#include "fleet/grids.h"
+#include "fleet/job.h"
+#include "fleet/results.h"
+#include "protocol/multi_session.h"
+
+namespace dmc::fleet {
+namespace {
+
+TEST(Engine, RunsEveryTaskExactlyOnce) {
+  Engine engine({4});
+  EXPECT_EQ(engine.threads(), 4u);
+  constexpr std::size_t kTasks = 64;
+  std::vector<std::atomic<int>> counts(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.push_back([&counts, i] { counts[i].fetch_add(1); });
+  }
+  engine.run_tasks(std::move(tasks));
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(Engine, MoreThreadsThanTasksStillCompletes) {
+  Engine engine({16});
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 3; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1); });
+  }
+  engine.run_tasks(std::move(tasks));
+  EXPECT_EQ(ran.load(), 3);
+  engine.run_tasks({});  // empty grid is a no-op
+}
+
+TEST(Engine, PropagatesTheFirstTaskException) {
+  // At any thread count, one failing task neither aborts its siblings nor
+  // gets swallowed: everything runs, then the first exception rethrows.
+  for (const unsigned threads : {1u, 2u}) {
+    Engine engine({threads});
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([&ran] { ran.fetch_add(1); });
+    tasks.push_back([] { throw std::runtime_error("boom"); });
+    tasks.push_back([&ran] { ran.fetch_add(1); });
+    EXPECT_THROW(engine.run_tasks(std::move(tasks)), std::runtime_error);
+    EXPECT_EQ(ran.load(), 2) << "threads " << threads;
+  }
+}
+
+TEST(Engine, MixSeedSeparatesLanesAndIsStable) {
+  EXPECT_NE(mix_seed(42, 0), mix_seed(42, 1));
+  EXPECT_NE(mix_seed(42, 0), mix_seed(43, 0));
+  EXPECT_NE(mix_seed(42, 0), 42u);
+  EXPECT_EQ(mix_seed(42, 7), mix_seed(42, 7));
+}
+
+TEST(Engine, EnvThreadsIsHardened) {
+  setenv("DMC_THREADS", "abc", 1);
+  EXPECT_THROW(Engine::env_threads(4), std::invalid_argument);
+  setenv("DMC_THREADS", "2x", 1);
+  EXPECT_THROW(Engine::env_threads(4), std::invalid_argument);
+  setenv("DMC_THREADS", "0", 1);
+  EXPECT_THROW(Engine::env_threads(4), std::invalid_argument);
+  setenv("DMC_THREADS", "99999999999999999999", 1);
+  EXPECT_THROW(Engine::env_threads(4), std::invalid_argument);
+  setenv("DMC_THREADS", "3", 1);
+  EXPECT_EQ(Engine::env_threads(4), 3u);
+  unsetenv("DMC_THREADS");
+  EXPECT_EQ(Engine::env_threads(4), 4u);
+}
+
+TEST(Fleet, GridIsBitIdenticalAcrossThreadCounts) {
+  GridOptions grid;
+  grid.messages = 120;
+  Engine serial({1});
+  Engine parallel({8});
+  ResultSet a;
+  a.records = run_jobs(serial, fig2_rate_grid(grid));
+  ResultSet b;
+  b.records = run_jobs(parallel, fig2_rate_grid(grid));
+  ASSERT_EQ(a.records.size(), 15u);
+  EXPECT_EQ(a.json(), b.json());
+}
+
+TEST(Fleet, ReplicatesGetIndependentSeeds) {
+  GridOptions grid;
+  grid.messages = 100;
+  grid.replicates = 3;
+  const auto jobs = fig2_rate_grid(grid);
+  ASSERT_EQ(jobs.size(), 45u);
+  const auto seed_of = [&](std::size_t i) {
+    return std::get<SingleJob>(jobs[i].work).options.seed;
+  };
+  EXPECT_NE(seed_of(0), seed_of(1));
+  EXPECT_NE(seed_of(1), seed_of(2));
+  // Replicate 0 keeps the historical serial-sweep seed.
+  EXPECT_EQ(seed_of(0), 42u + 10u);
+}
+
+TEST(Fleet, JobFailureIsCapturedNotThrown) {
+  JobSpec job;
+  job.scenario = "broken";
+  SingleJob work;
+  work.planning = exp::table3_model_paths();
+  core::PathSet one_path;
+  one_path.add(exp::table3_paths()[0]);
+  work.truth = one_path;  // path-count mismatch: the simulation must throw
+  work.traffic = exp::table4_traffic_rate(mbps(40));
+  work.options.num_messages = 50;
+  job.work = work;
+  const auto records = run_job(job);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_NE(records[0].error.find("paths"), std::string::npos);
+}
+
+TEST(Fleet, ContentionDegradesQualityVsIsolation) {
+  // Two sessions at 60 Mbps each on the shared 80+20 Mbps network
+  // oversubscribe it; isolated, a single 60 Mbps session is perfect.
+  GridOptions grid;
+  grid.messages = 2500;
+  grid.with_theory = false;
+  Engine engine({2});
+  const auto records = run_jobs(engine, contention_grid(2, mbps(60), grid));
+  ASSERT_EQ(records.size(), 3u);  // k=1 -> 1 record, k=2 -> 2 records
+  const RunRecord& isolated = records[0];
+  ASSERT_TRUE(isolated.ok);
+  EXPECT_EQ(isolated.sessions, 1);
+  EXPECT_GT(isolated.measured_quality, 0.99);
+  ASSERT_TRUE(records[1].ok && records[2].ok);
+  const double worst = std::min(records[1].measured_quality,
+                                records[2].measured_quality);
+  EXPECT_LT(worst, isolated.measured_quality - 0.1)
+      << "contending sessions should lose quality vs isolation";
+  std::uint64_t shared_drops = 0;
+  for (const LinkRecord& link : records[1].links) {
+    shared_drops += link.queue_drops;
+  }
+  EXPECT_GT(shared_drops, 0u) << "oversubscription should fill shared queues";
+}
+
+TEST(MultiSession, FourContendersAreDeterministicAndShareLinks) {
+  const auto planning = exp::table3_model_paths();
+  const auto truth = exp::table3_paths();
+  const auto run_once = [&] {
+    std::vector<proto::SessionSpec> specs;
+    for (int s = 0; s < 4; ++s) {
+      proto::SessionConfig config;
+      config.num_messages = 800;
+      config.seed = mix_seed(7, static_cast<std::uint64_t>(s));
+      specs.push_back(proto::SessionSpec{
+          core::plan_max_quality(planning, exp::table4_traffic_rate(mbps(25))),
+          config, 0.05 * s});
+    }
+    return proto::run_multi_sessions(proto::to_sim_paths(truth), specs, 99);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.sessions.size(), 4u);
+  std::uint64_t total_transmissions = 0;
+  std::uint64_t total_acks_sent = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(a.sessions[s].trace.session_id, s);
+    EXPECT_EQ(a.sessions[s].trace.generated, 800u);
+    EXPECT_GT(a.sessions[s].measured_quality, 0.0);
+    EXPECT_EQ(a.sessions[s].trace.on_time, b.sessions[s].trace.on_time);
+    EXPECT_EQ(a.sessions[s].trace.transmissions,
+              b.sessions[s].trace.transmissions);
+    total_transmissions += a.sessions[s].trace.transmissions;
+    total_acks_sent += a.sessions[s].trace.acks_sent;
+  }
+  EXPECT_EQ(a.events, b.events);
+  // Every data transmission of every session entered one of the two shared
+  // forward links, and every ack one of the reverse links.
+  ASSERT_EQ(a.forward_links.size(), 2u);
+  EXPECT_EQ(a.forward_links[0].offered + a.forward_links[1].offered,
+            total_transmissions);
+  EXPECT_EQ(a.reverse_links[0].offered + a.reverse_links[1].offered,
+            total_acks_sent);
+}
+
+TEST(MultiSession, ValidatesSpecs) {
+  const auto truth = exp::table3_paths();
+  EXPECT_THROW(proto::run_multi_sessions(proto::to_sim_paths(truth), {}),
+               std::invalid_argument);
+  proto::SessionSpec spec{
+      core::plan_max_quality(exp::table3_model_paths(),
+                             exp::table4_traffic_rate(mbps(40))),
+      proto::SessionConfig{}, -1.0};
+  EXPECT_THROW(proto::run_multi_sessions(proto::to_sim_paths(truth), {spec}),
+               std::invalid_argument);
+}
+
+TEST(Results, JsonIsSchemaVersionedAndEscaped) {
+  ResultSet set;
+  RunRecord record;
+  record.scenario = "weird \"name\"";
+  record.ok = false;
+  record.error = "bad\nvalue\t\"quoted\"";
+  record.params = {{"x", 1.5}};
+  record.theory_quality = std::numeric_limits<double>::quiet_NaN();
+  set.records.push_back(record);
+  const std::string json = set.json();
+  EXPECT_NE(json.find("\"schema\":\"dmc.fleet.result.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("weird \\\"name\\\""), std::string::npos);
+  EXPECT_NE(json.find("bad\\nvalue\\t\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"theory_quality\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"x\":1.5"), std::string::npos);
+}
+
+TEST(Results, CsvHasHeaderAndOneRowPerRecord) {
+  ResultSet set;
+  set.records.resize(2);
+  set.records[0].scenario = "a";
+  set.records[1].scenario = "b";
+  set.records[1].error = "commas, and\nnewlines";
+  std::ostringstream out;
+  set.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.rfind("scenario,params,seed", 0), 0u);
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // header + 2 records, despite the newline in error
+}
+
+TEST(Results, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(-0.25), "-0.25");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "null");
+}
+
+}  // namespace
+}  // namespace dmc::fleet

@@ -1,0 +1,242 @@
+// dmc_fleet: one-command reproduction of the paper's evaluation grids on
+// the fleet engine, plus the multi-session contention family. Results
+// export as schema-versioned JSON/CSV (fleet/results.h); output is
+// bit-identical at any --threads value.
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+#include "experiments/runner.h"
+#include "experiments/table.h"
+#include "fleet/engine.h"
+#include "fleet/grids.h"
+#include "fleet/job.h"
+#include "fleet/results.h"
+#include "util/parse.h"
+
+namespace {
+
+using namespace dmc;
+
+constexpr const char* kUsage = R"(usage: dmc_fleet <command> [options]
+
+commands
+  fig2-rate       Figure 2 (top): quality vs data rate, delta = 800 ms
+  fig2-lifetime   Figure 2 (bottom): quality vs lifetime, lambda = 90 Mbps
+  table4-rates    Table IV (top) rate grid
+  contention      1..N sessions contending on the shared Table III network
+  all             every grid above
+
+options
+  --threads N     worker threads (default: DMC_THREADS, else hardware)
+  --messages N    messages per point/session (DMC_MESSAGES, else 100000)
+  --seed N        base seed for the deterministic per-job streams (default 42)
+  --replicates N  seed replicates per grid point (default 1)
+  --sessions N    max contending sessions for `contention` (default 4)
+  --rate-mbps X   per-session rate for `contention` (default 30)
+  --json PATH     write the JSON result set (- = stdout)
+  --csv PATH      write the CSV result set (- = stdout)
+  --quiet         suppress the text tables
+)";
+
+struct CliOptions {
+  std::string command;
+  unsigned threads = 0;
+  std::uint64_t messages = 0;  // 0 = DMC_MESSAGES / 100000
+  std::uint64_t seed = 42;
+  int replicates = 1;
+  int sessions = 4;
+  double rate_mbps = 30.0;
+  std::string json_path;
+  std::string csv_path;
+  bool quiet = false;
+};
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  if (argc < 2) throw std::invalid_argument("missing command");
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + ": missing value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      // 0 is allowed and means "auto" (DMC_THREADS / hardware).
+      options.threads = util::parse_number<unsigned>(arg, value());
+    } else if (arg == "--messages") {
+      options.messages = util::parse_positive<std::uint64_t>(arg, value());
+    } else if (arg == "--seed") {
+      options.seed = util::parse_number<std::uint64_t>(arg, value());
+    } else if (arg == "--replicates") {
+      options.replicates = util::parse_positive<int>(arg, value());
+    } else if (arg == "--sessions") {
+      options.sessions = util::parse_positive<int>(arg, value());
+    } else if (arg == "--rate-mbps") {
+      options.rate_mbps = util::parse_positive<double>(arg, value());
+    } else if (arg == "--json") {
+      options.json_path = value();
+    } else if (arg == "--csv") {
+      options.csv_path = value();
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    }
+  }
+  return options;
+}
+
+exp::Table contention_table(const std::vector<fleet::RunRecord>& records) {
+  exp::Table table({"sessions", "session", "quality (sim)",
+                    "quality (isolated theory)", "retransmissions",
+                    "queue drops (shared)"});
+  for (const fleet::RunRecord& record : records) {
+    if (!record.ok) {
+      table.add_row({exp::Table::num(record.sessions, 0), "-",
+                     "error: " + record.error, "-", "-", "-"});
+      continue;
+    }
+    std::uint64_t queue_drops = 0;
+    for (const fleet::LinkRecord& link : record.links) {
+      queue_drops += link.queue_drops;
+    }
+    table.add_row({exp::Table::num(record.sessions, 0),
+                   exp::Table::num(record.session_index, 0),
+                   exp::Table::percent(record.measured_quality),
+                   exp::Table::percent(record.theory_quality),
+                   std::to_string(record.trace.retransmissions),
+                   std::to_string(queue_drops)});
+  }
+  return table;
+}
+
+exp::Table rate_table(const std::vector<fleet::RunRecord>& records) {
+  exp::Table table({"lambda (Mbps)", "our Q (theory)", "measured Q"});
+  for (const fleet::RunRecord& record : records) {
+    const double x = record.params.empty() ? 0.0 : record.params[0].value;
+    if (!record.ok) {
+      table.add_row(
+          {exp::Table::num(x, 0), "error: " + record.error, "-"});
+      continue;
+    }
+    table.add_row({exp::Table::num(x, 0),
+                   exp::Table::percent(record.theory_quality),
+                   exp::Table::percent(record.measured_quality)});
+  }
+  return table;
+}
+
+void write_to(const std::string& path, const fleet::ResultSet& results,
+              bool csv) {
+  if (path == "-") {
+    csv ? results.write_csv(std::cout) : results.write_json(std::cout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  csv ? results.write_csv(out) : results.write_json(out);
+}
+
+int run(const CliOptions& options) {
+  fleet::GridOptions grid;
+  grid.messages =
+      options.messages > 0 ? options.messages : exp::default_messages(100000);
+  grid.base_seed = options.seed;
+  grid.replicates = options.replicates;
+
+  fleet::Engine engine({options.threads});
+  fleet::ResultSet results;
+
+  struct GridRun {
+    std::string title;
+    std::vector<fleet::JobSpec> jobs;
+    enum { kFig2, kRates, kContention } table;
+    std::string x_header;
+  };
+  std::vector<GridRun> runs;
+  const bool all = options.command == "all";
+  if (all || options.command == "fig2-rate") {
+    runs.push_back({"Figure 2 (top): quality vs data rate (delta = 800 ms)",
+                    fleet::fig2_rate_grid(grid), GridRun::kFig2,
+                    "lambda (Mbps)"});
+  }
+  if (all || options.command == "fig2-lifetime") {
+    runs.push_back({"Figure 2 (bottom): quality vs lifetime (lambda = 90 Mbps)",
+                    fleet::fig2_lifetime_grid(grid), GridRun::kFig2,
+                    "delta (ms)"});
+  }
+  if (all || options.command == "table4-rates") {
+    runs.push_back({"Table IV (top): quality vs data rate",
+                    fleet::table4_rate_grid(grid), GridRun::kRates, ""});
+  }
+  if (all || options.command == "contention") {
+    runs.push_back(
+        {"Cross-traffic: sessions contending on the shared Table III network",
+         fleet::contention_grid(options.sessions, mbps(options.rate_mbps),
+                                grid),
+         GridRun::kContention, ""});
+  }
+  if (runs.empty()) {
+    throw std::invalid_argument("unknown command '" + options.command + "'");
+  }
+
+  std::size_t failures = 0;
+  for (GridRun& grid_run : runs) {
+    auto records = fleet::run_jobs(engine, grid_run.jobs);
+    if (!options.quiet) {
+      exp::banner(grid_run.title);
+      std::cout << "jobs: " << grid_run.jobs.size()
+                << "  threads: " << engine.threads()
+                << "  messages/point: " << grid.messages << "\n\n";
+      switch (grid_run.table) {
+        case GridRun::kFig2:
+          fleet::fig2_table(records, grid_run.x_header).print();
+          break;
+        case GridRun::kRates:
+          rate_table(records).print();
+          break;
+        case GridRun::kContention:
+          contention_table(records).print();
+          break;
+      }
+      std::cout << "\n";
+    }
+    for (const fleet::RunRecord& record : records) {
+      if (!record.ok) {
+        ++failures;
+        std::cerr << "dmc_fleet: " << record.scenario
+                  << " job failed: " << record.error << "\n";
+      }
+    }
+    results.records.insert(results.records.end(),
+                           std::make_move_iterator(records.begin()),
+                           std::make_move_iterator(records.end()));
+  }
+
+  if (!options.json_path.empty()) write_to(options.json_path, results, false);
+  if (!options.csv_path.empty()) write_to(options.csv_path, results, true);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_cli(argc, argv));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "dmc_fleet: " << e.what() << "\n\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dmc_fleet: " << e.what() << "\n";
+    return 1;
+  }
+}
