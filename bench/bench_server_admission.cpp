@@ -1,0 +1,113 @@
+// Admission-control microbenchmarks (google-benchmark): how many admission
+// decisions per second the server's control plane sustains as the in-flight
+// session count grows. The feasibility-lp policy pays one cross-traffic
+// derate + LP solve per decision; always-admit pays the blind solve; the
+// threshold gate pays only arithmetic on a rejection. The arg is the number
+// of in-flight sessions whose background load the decision must fold in.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "server/admission.h"
+#include "server/arrivals.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace dmc;
+
+// A decision context as the server would build it with `in_flight` live
+// sessions of ~8 Mbps each spread over the Table III network.
+server::AdmissionContext context_with_load(const core::PathSet& paths,
+                                           int in_flight) {
+  server::AdmissionContext context;
+  context.nominal_paths = &paths;
+  context.in_flight = in_flight;
+  context.background_bps = {0.0, 0.0};
+  for (int s = 0; s < in_flight; ++s) {
+    context.background_bps[0] += mbps(6.5);
+    context.background_bps[1] += mbps(1.5);
+    context.admitted_rate_bps += mbps(8);
+  }
+  context.residual_bps = {
+      std::max(0.0, mbps(80) - context.background_bps[0]),
+      std::max(0.0, mbps(20) - context.background_bps[1])};
+  return context;
+}
+
+server::SessionRequest request_20mbps() {
+  server::SessionRequest request;
+  request.traffic = exp::table4_traffic_rate(mbps(20));
+  request.num_messages = 400;
+  return request;
+}
+
+void BM_AdmissionFeasibilityLp(benchmark::State& state) {
+  const auto paths = exp::table3_model_paths();
+  const auto context =
+      context_with_load(paths, static_cast<int>(state.range(0)));
+  const auto request = request_20mbps();
+  auto policy = server::make_policy("feasibility-lp");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->decide(request, context).verdict);
+  }
+  state.SetItemsProcessed(state.iterations());  // admissions/sec
+}
+BENCHMARK(BM_AdmissionFeasibilityLp)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AdmissionAlwaysAdmit(benchmark::State& state) {
+  const auto paths = exp::table3_model_paths();
+  const auto context =
+      context_with_load(paths, static_cast<int>(state.range(0)));
+  const auto request = request_20mbps();
+  auto policy = server::make_policy("always-admit");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->decide(request, context).verdict);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdmissionAlwaysAdmit)->Arg(1)->Arg(16);
+
+void BM_AdmissionThresholdReject(benchmark::State& state) {
+  // The cheap path: a rejection by rate bookkeeping alone, no LP.
+  const auto paths = exp::table3_model_paths();
+  auto context = context_with_load(paths, 12);  // 96 Mbps admitted: over cap
+  const auto request = request_20mbps();
+  auto policy = server::make_policy("threshold:0.9");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->decide(request, context).verdict);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdmissionThresholdReject);
+
+// End-to-end control-plane throughput: a full server run (admission +
+// planning + simulation + teardown + re-planning) per policy over a bursty
+// 60-arrival workload. items/sec here is arrivals processed per wall
+// second, dominated by the simulation itself.
+void BM_ServerLoop(benchmark::State& state) {
+  server::ServerConfig config;
+  config.planning_paths = exp::table3_model_paths();
+  config.true_paths = exp::table3_paths();
+  config.policy = state.range(0) == 0 ? "always-admit" : "feasibility-lp";
+  config.seed = 42;
+  server::WorkloadOptions workload;
+  workload.count = 60;
+  workload.arrivals_per_s = 60.0;
+  workload.mean_rate_bps = mbps(30);
+  workload.mean_messages = 120;
+  workload.seed = 17;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        server::run_server(config, workload).deadline_miss_rate);
+  }
+  state.SetItemsProcessed(state.iterations() * workload.count);
+}
+BENCHMARK(BM_ServerLoop)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -59,6 +59,55 @@ Plan plan_max_quality(const PathSet& paths, const TrafficSpec& traffic,
   return solve(model, model->quality_lp(), options.solver);
 }
 
+PathSet apply_cross_traffic(const PathSet& paths, const CrossTraffic& cross) {
+  if (cross.background_bps.size() > paths.size()) {
+    throw std::invalid_argument(
+        "apply_cross_traffic: more background entries than paths");
+  }
+  if (cross.min_bandwidth_bps <= 0.0) {
+    throw std::invalid_argument(
+        "apply_cross_traffic: min bandwidth must be > 0");
+  }
+  PathSet out;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    PathSpec path = paths[i];
+    const double background =
+        i < cross.background_bps.size() ? cross.background_bps[i] : 0.0;
+    if (background < 0.0) {
+      throw std::invalid_argument(
+          "apply_cross_traffic: negative background load");
+    }
+    if (path.is_blackhole() || background == 0.0) {
+      out.add(std::move(path));
+      continue;
+    }
+    const double capacity = path.bandwidth_bps;
+    path.bandwidth_bps =
+        std::max(cross.min_bandwidth_bps, capacity - background);
+    if (cross.queue_delay_at_half_load_s > 0.0) {
+      // u / (1 - u), normalized to contribute exactly the configured value
+      // at u = 0.5 and capped; saturation (u >= 1) pins the cap.
+      const double u = std::min(background / capacity, 1.0);
+      const double extra =
+          u >= 1.0 ? cross.max_queue_delay_s
+                   : std::min(cross.max_queue_delay_s,
+                              cross.queue_delay_at_half_load_s * u / (1.0 - u));
+      if (path.delay_dist) {
+        path.delay_dist = stats::make_shifted(path.delay_dist, extra);
+      } else {
+        path.delay_s += extra;
+      }
+    }
+    out.add(std::move(path));
+  }
+  return out;
+}
+
+Plan plan_max_quality(const PathSet& paths, const TrafficSpec& traffic,
+                      const CrossTraffic& cross, const PlanOptions& options) {
+  return plan_max_quality(apply_cross_traffic(paths, cross), traffic, options);
+}
+
 Plan plan_min_cost(const PathSet& paths, const TrafficSpec& traffic,
                    double min_quality, const PlanOptions& options) {
   auto model = std::make_shared<const Model>(paths, traffic, options.model);

@@ -18,6 +18,30 @@ struct PlanOptions {
   lp::SimplexSolver::Options solver = {};
 };
 
+// Measured cross-traffic on each real path, as seen by an online planner:
+// other sessions' packets occupy link capacity and queue slots, so a session
+// planned against the nominal path characteristics will overestimate what it
+// can get. Folding the background load in derates bandwidth to the residual
+// and adds an M/M/1-flavoured queueing-delay term (same shape as
+// core::LoadResponse), so the LP plans against the capacity actually left.
+struct CrossTraffic {
+  // Background load per real path (bits/s), e.g. from
+  // sim::UtilizationMeter::sample(). Must match the path count; missing
+  // entries are treated as zero.
+  std::vector<double> background_bps;
+  // Extra queueing delay when background utilization reaches 50%; the term
+  // grows like u / (1 - u), normalized so u = 0.5 contributes exactly this.
+  double queue_delay_at_half_load_s = 0.0;
+  double max_queue_delay_s = 0.2;  // cap (finite buffers drain eventually)
+  // Floor on derated bandwidth: a fully occupied path keeps this much so the
+  // path stays well-formed; the LP then routes around it naturally.
+  double min_bandwidth_bps = 1.0;
+};
+
+// Path characteristics with `cross` folded in: bandwidth becomes the
+// residual, delay gains the queueing term. Blackhole entries pass through.
+PathSet apply_cross_traffic(const PathSet& paths, const CrossTraffic& cross);
+
 class Plan {
  public:
   Plan(std::shared_ptr<const Model> model, lp::Solution solution);
@@ -60,6 +84,12 @@ class Plan {
 
 // Maximize quality subject to bandwidth and cost caps (Equation 10).
 Plan plan_max_quality(const PathSet& paths, const TrafficSpec& traffic,
+                      const PlanOptions& options = {});
+
+// Contention-aware variant: plans on apply_cross_traffic(paths, cross), so
+// the allocation respects the measured footprint of concurrent sessions.
+Plan plan_max_quality(const PathSet& paths, const TrafficSpec& traffic,
+                      const CrossTraffic& cross,
                       const PlanOptions& options = {});
 
 // Minimize cost subject to quality >= min_quality (Equation 20).

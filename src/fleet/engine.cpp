@@ -8,17 +8,13 @@
 #include <thread>
 #include <utility>
 
+#include "stats/rng.h"
 #include "util/parse.h"
 
 namespace dmc::fleet {
 
 std::uint64_t mix_seed(std::uint64_t base, std::uint64_t lane) {
-  // splitmix64 finalizer (Steele et al.); the golden-gamma increment keeps
-  // lane 0 distinct from the raw base.
-  std::uint64_t z = base + (lane + 1) * 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return stats::mix_seed(base, lane);
 }
 
 namespace {

@@ -135,6 +135,61 @@ std::vector<JobSpec> contention_grid(int max_sessions,
   return jobs;
 }
 
+std::vector<JobSpec> server_grid(const ServerAxes& axes,
+                                 const GridOptions& options) {
+  if (axes.arrivals_per_s.empty() || axes.rate_mbps.empty() ||
+      axes.lifetime_ms.empty() || axes.policies.empty()) {
+    throw std::invalid_argument("server_grid: empty axis");
+  }
+  if (axes.count < 1 || axes.mean_messages < 1.0) {
+    throw std::invalid_argument(
+        "server_grid: need at least one arrival and one message");
+  }
+  const int replicates = checked_replicates(options);
+  const auto planning = exp::table3_model_paths();
+  const auto truth = exp::table3_paths();
+  std::vector<JobSpec> jobs;
+  // The cell index deliberately excludes the policy axis: every policy at
+  // one (arrivals, load, tightness, replicate) point faces the identical
+  // workload and network seed, so policy curves differ only by policy.
+  std::uint64_t cell = 0;
+  for (const double arrivals : axes.arrivals_per_s) {
+    for (const double rate : axes.rate_mbps) {
+      for (const double lifetime : axes.lifetime_ms) {
+        for (int rep = 0; rep < replicates; ++rep) {
+          // Nested mix: no replicate count can collide with another cell's
+          // lane (cell * K + rep schemes alias once rep reaches K).
+          const std::uint64_t point_seed =
+              mix_seed(mix_seed(options.base_seed, cell),
+                       static_cast<std::uint64_t>(rep));
+          for (const std::string& policy : axes.policies) {
+            ServerJob work;
+            work.config.planning_paths = planning;
+            work.config.true_paths = truth;
+            work.config.policy = policy;
+            work.config.seed = point_seed;
+            work.workload.count = axes.count;
+            work.workload.arrivals_per_s = arrivals;
+            work.workload.mean_rate_bps = mbps(rate);
+            work.workload.mean_lifetime_s = ms(lifetime);
+            work.workload.mean_messages = axes.mean_messages;
+            work.workload.seed = mix_seed(point_seed, 0xA881);
+            jobs.push_back(JobSpec{
+                "server",
+                {{"arrivals_per_s", arrivals},
+                 {"rate_mbps", rate},
+                 {"lifetime_ms", lifetime},
+                 {"replicate", static_cast<double>(rep)}},
+                std::move(work)});
+          }
+        }
+        ++cell;
+      }
+    }
+  }
+  return jobs;
+}
+
 exp::Table fig2_table(const std::vector<RunRecord>& records,
                       const std::string& x_header, int x_precision) {
   exp::Table table({x_header, "multipath (sim)", "multipath (theory)",

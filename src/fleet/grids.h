@@ -38,6 +38,23 @@ std::vector<JobSpec> contention_grid(int max_sessions,
                                      double rate_per_session_bps,
                                      const GridOptions& options = {});
 
+// Online-admission family: arrival rate x per-session load x deadline
+// tightness, each cell run once per policy through server::SessionServer
+// over the shared Table III network. The resulting admission-rate /
+// goodput / deadline-miss curves are the server analogue of Figure 2.
+struct ServerAxes {
+  std::vector<double> arrivals_per_s = {5, 10, 20, 40};
+  std::vector<double> rate_mbps = {20};      // per-session mean load
+  std::vector<double> lifetime_ms = {800};   // deadline tightness
+  std::vector<std::string> policies = {"always-admit", "feasibility-lp",
+                                       "threshold"};
+  int count = 200;             // arrivals per cell
+  double mean_messages = 400;  // mean session size (messages)
+};
+
+std::vector<JobSpec> server_grid(const ServerAxes& axes,
+                                 const GridOptions& options = {});
+
 // Renders the classic Figure 2 four-series table from fleet records; shared
 // by bench_fig2_rate_sweep and bench_fig2_lifetime_sweep.
 exp::Table fig2_table(const std::vector<RunRecord>& records,

@@ -132,11 +132,91 @@ std::vector<RunRecord> run_multi(const JobSpec& job, const MultiJob& work) {
   return records;
 }
 
+std::vector<RunRecord> run_server_job(const JobSpec& job,
+                                      const ServerJob& work) {
+  try {
+    const server::ServerOutcome outcome =
+        server::run_server(work.config, work.workload);
+    return {server_record(job.scenario, job.params, work.config, outcome)};
+  } catch (const std::exception& e) {
+    RunRecord record;
+    record.scenario = job.scenario;
+    record.params = job.params;
+    record.seed = work.config.seed;
+    record.policy = work.config.policy;
+    record.ok = false;
+    record.error = e.what();
+    return {std::move(record)};
+  }
+}
+
 }  // namespace
+
+RunRecord server_record(std::string scenario, std::vector<Param> params,
+                        const server::ServerConfig& config,
+                        const server::ServerOutcome& outcome) {
+  RunRecord record;
+  record.scenario = std::move(scenario);
+  record.params = std::move(params);
+  record.seed = config.seed;
+  record.policy = config.policy;
+  record.arrivals = outcome.arrivals;
+  record.admitted = outcome.admitted;
+  record.rejected = outcome.rejected;
+  record.expired = outcome.expired;
+  record.admission_rate = outcome.admission_rate;
+  record.deadline_miss_rate = outcome.deadline_miss_rate;
+  record.goodput_bps = outcome.goodput_bps;
+  record.mean_queue_wait_s = outcome.mean_queue_wait_s;
+  record.replans = outcome.replans;
+  record.orphan_packets = outcome.orphans.total();
+  record.sessions = static_cast<int>(outcome.arrivals);
+  record.elapsed_s = outcome.elapsed_s;
+  record.events = outcome.events;
+  record.measured_quality = 1.0 - outcome.deadline_miss_rate;
+  // Aggregate counters and the mean LP prediction over admitted sessions.
+  double predicted_sum = 0.0;
+  std::uint64_t admitted_sessions = 0;
+  for (const server::SessionRecord& session : outcome.sessions) {
+    record.messages += session.trace.generated;
+    if (session.fate != server::RequestFate::admitted &&
+        session.fate != server::RequestFate::queued_admitted) {
+      continue;
+    }
+    ++admitted_sessions;
+    predicted_sum += session.predicted_quality;
+    record.trace.generated += session.trace.generated;
+    record.trace.assigned_blackhole += session.trace.assigned_blackhole;
+    record.trace.transmissions += session.trace.transmissions;
+    record.trace.retransmissions += session.trace.retransmissions;
+    record.trace.fast_retransmissions += session.trace.fast_retransmissions;
+    record.trace.delivered_unique += session.trace.delivered_unique;
+    record.trace.on_time += session.trace.on_time;
+    record.trace.late += session.trace.late;
+    record.trace.duplicates += session.trace.duplicates;
+    record.trace.acks_sent += session.trace.acks_sent;
+    record.trace.acks_received += session.trace.acks_received;
+    record.trace.gave_up += session.trace.gave_up;
+  }
+  record.theory_quality =
+      admitted_sessions > 0
+          ? predicted_sum / static_cast<double>(admitted_sessions)
+          : 0.0;
+  fill_links(record, config.true_paths, outcome.forward_links,
+             outcome.elapsed_s);
+  if (!outcome.conserved) {
+    record.ok = false;
+    record.error = "server run violated link packet conservation";
+  }
+  return record;
+}
 
 std::vector<RunRecord> run_job(const JobSpec& job) {
   if (const SingleJob* single = std::get_if<SingleJob>(&job.work)) {
     return run_single(job, *single);
+  }
+  if (const ServerJob* server_job = std::get_if<ServerJob>(&job.work)) {
+    return run_server_job(job, *server_job);
   }
   return run_multi(job, std::get<MultiJob>(job.work));
 }

@@ -13,6 +13,8 @@
 #include "experiments/runner.h"
 #include "fleet/engine.h"
 #include "fleet/results.h"
+#include "server/arrivals.h"
+#include "server/server.h"
 
 namespace dmc::fleet {
 
@@ -39,16 +41,32 @@ struct MultiJob {
   std::vector<double> start_at_s;  // optional stagger; empty = all at t=0
 };
 
+// One online-admission run (a cell of the server grid): a workload of
+// staggered arrivals pushed through server::SessionServer under one policy.
+// Yields a single aggregate record (admission rate, deadline-miss rate,
+// goodput) with the summed per-session trace counters.
+struct ServerJob {
+  server::ServerConfig config;
+  server::WorkloadOptions workload;
+};
+
 struct JobSpec {
   std::string scenario;       // grid family, e.g. "fig2_rate"
   std::vector<Param> params;  // grid coordinates of this cell
-  std::variant<SingleJob, MultiJob> work;
+  std::variant<SingleJob, MultiJob, ServerJob> work;
 };
 
 // Executes one job. Never throws: a failure comes back as one record with
 // ok=false and the exception text in `error`. A MultiJob yields one record
 // per session.
 std::vector<RunRecord> run_job(const JobSpec& job);
+
+// Maps one finished server run into the aggregate record shape of the
+// server grid (shared by run_job and the dmc_server CLI). A conservation
+// violation comes back as ok=false.
+RunRecord server_record(std::string scenario, std::vector<Param> params,
+                        const server::ServerConfig& config,
+                        const server::ServerOutcome& outcome);
 
 // Runs all jobs on the engine. Returned records are in job order (then
 // session order) regardless of thread count or steal pattern — the

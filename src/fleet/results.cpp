@@ -95,6 +95,21 @@ void write_record(std::ostream& out, const RunRecord& record) {
   out << ",\"delay_s\":{\"mean\":" << format_double(record.delay_mean_s)
       << ",\"p50\":" << format_double(record.delay_p50_s)
       << ",\"p99\":" << format_double(record.delay_p99_s) << "}";
+  if (!record.policy.empty()) {
+    out << ",\"server\":{\"policy\":\"" << json_escape(record.policy)
+        << "\",\"arrivals\":" << record.arrivals
+        << ",\"admitted\":" << record.admitted
+        << ",\"rejected\":" << record.rejected
+        << ",\"expired\":" << record.expired
+        << ",\"admission_rate\":" << format_double(record.admission_rate)
+        << ",\"deadline_miss_rate\":"
+        << format_double(record.deadline_miss_rate)
+        << ",\"goodput_bps\":" << format_double(record.goodput_bps)
+        << ",\"mean_queue_wait_s\":"
+        << format_double(record.mean_queue_wait_s)
+        << ",\"replans\":" << record.replans
+        << ",\"orphan_packets\":" << record.orphan_packets << "}";
+  }
   out << ",\"links\":[";
   for (std::size_t i = 0; i < record.links.size(); ++i) {
     const LinkRecord& link = record.links[i];
@@ -131,7 +146,8 @@ void ResultSet::write_csv(std::ostream& out) const {
   out << "scenario,params,seed,messages,session_index,sessions,ok,error,"
          "theory_quality,measured_quality,elapsed_s,events,generated,on_time,"
          "late,retransmissions,duplicates,gave_up,delay_mean_s,delay_p50_s,"
-         "delay_p99_s\n";
+         "delay_p99_s,policy,arrivals,admitted,rejected,expired,"
+         "admission_rate,deadline_miss_rate,goodput_bps\n";
   for (const RunRecord& record : records) {
     std::string params;
     for (const Param& param : record.params) {
@@ -140,6 +156,10 @@ void ResultSet::write_csv(std::ostream& out) const {
     }
     std::string error = record.error;
     for (char& c : error) {
+      if (c == ',' || c == '\n') c = ';';
+    }
+    std::string policy = record.policy;
+    for (char& c : policy) {
       if (c == ',' || c == '\n') c = ';';
     }
     out << record.scenario << "," << params << "," << record.seed << ","
@@ -153,7 +173,12 @@ void ResultSet::write_csv(std::ostream& out) const {
         << record.trace.duplicates << "," << record.trace.gave_up << ","
         << format_double(record.delay_mean_s) << ","
         << format_double(record.delay_p50_s) << ","
-        << format_double(record.delay_p99_s) << "\n";
+        << format_double(record.delay_p99_s) << "," << policy << ","
+        << record.arrivals << "," << record.admitted << ","
+        << record.rejected << "," << record.expired << ","
+        << format_double(record.admission_rate) << ","
+        << format_double(record.deadline_miss_rate) << ","
+        << format_double(record.goodput_bps) << "\n";
   }
 }
 

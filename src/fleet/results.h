@@ -61,6 +61,21 @@ struct RunRecord {
   double delay_p50_s = 0.0;
   double delay_p99_s = 0.0;
   std::vector<LinkRecord> links;  // shared totals on multi-session records
+
+  // Server-grid aggregates (one record per admission-control run). `policy`
+  // is empty on classic records, and the JSON "server" object is emitted
+  // only when it is set, so pre-server result files are byte-identical.
+  std::string policy;
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;  // includes queued-then-admitted
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;   // queued until patience ran out
+  double admission_rate = 0.0;
+  double deadline_miss_rate = 0.0;  // over admitted traffic
+  double goodput_bps = 0.0;
+  double mean_queue_wait_s = 0.0;
+  std::uint64_t replans = 0;
+  std::uint64_t orphan_packets = 0;  // outlived their session's teardown
 };
 
 struct ResultSet {

@@ -1,36 +1,16 @@
 #include "protocol/multi_session.h"
 
-#include <limits>
-#include <memory>
 #include <stdexcept>
 #include <string>
-#include <utility>
 
-#include "protocol/receiver.h"
-#include "protocol/sender.h"
+#include "protocol/session_host.h"
 #include "sim/simulator.h"
 
 namespace dmc::proto {
-namespace {
 
-int lowest_delay_path(const std::vector<sim::PathConfig>& paths) {
-  int best = 0;
-  double best_delay = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < paths.size(); ++i) {
-    double d = paths[i].forward.prop_delay_s;
-    if (paths[i].forward.extra_delay) {
-      d += paths[i].forward.extra_delay->mean();
-    }
-    if (d < best_delay) {
-      best_delay = d;
-      best = static_cast<int>(i);
-    }
-  }
-  return best;
-}
-
-}  // namespace
-
+// Batch wrapper over the incremental SessionHost: validate, start every
+// session up front (staggered via start_at_s), run the simulator to drain,
+// then stop them all and collect the shared-link totals.
 MultiSessionOutcome run_multi_sessions(
     const std::vector<sim::PathConfig>& true_paths,
     const std::vector<SessionSpec>& specs, std::uint64_t network_seed) {
@@ -56,77 +36,12 @@ MultiSessionOutcome run_multi_sessions(
 
   sim::Simulator simulator(network_seed);
   sim::Network network(simulator, true_paths);
-  const int default_ack_path = lowest_delay_path(true_paths);
+  SessionHost host(simulator, network);
 
-  // unique_ptrs: senders/receivers hold references to their Trace, and all
-  // of them are captured by address in the routing lambdas below.
-  std::vector<std::unique_ptr<Trace>> traces;
-  std::vector<std::unique_ptr<DeadlineReceiver>> receivers;
-  std::vector<std::unique_ptr<DeadlineSender>> senders;
-  traces.reserve(specs.size());
-  receivers.reserve(specs.size());
-  senders.reserve(specs.size());
-
-  for (std::size_t s = 0; s < specs.size(); ++s) {
-    const SessionSpec& spec = specs[s];
-    const auto session_id = static_cast<std::uint32_t>(s);
-    auto trace = std::make_unique<Trace>();
-    trace->session_id = session_id;
-
-    ReceiverConfig receiver_config;
-    receiver_config.lifetime_s = spec.plan.model().traffic().lifetime_s;
-    receiver_config.ack_path =
-        spec.config.ack_path >= 0 ? spec.config.ack_path : default_ack_path;
-    receiver_config.ack_window_bits = spec.config.ack_window_bits;
-    receiver_config.max_ack_bytes = spec.config.max_ack_bytes;
-    receiver_config.ack_overhead_bytes = spec.config.ack_overhead_bytes;
-    receiver_config.ack_every = spec.config.ack_every;
-    auto receiver =
-        std::make_unique<DeadlineReceiver>(simulator, receiver_config, *trace);
-
-    SenderConfig sender_config;
-    sender_config.num_messages = spec.config.num_messages;
-    sender_config.message_bytes = spec.config.message_bytes;
-    sender_config.timeout_guard_s = spec.config.timeout_guard_s;
-    sender_config.fast_retransmit_dupacks = spec.config.fast_retransmit_dupacks;
-    auto sender = std::make_unique<DeadlineSender>(
-        simulator, spec.plan,
-        core::make_scheduler(spec.config.scheduler, spec.plan.x(),
-                             spec.config.seed ^ 0x5eedULL),
-        sender_config, *trace);
-
-    // Outbound packets are stamped with their session so the shared network
-    // can route arrivals back to the right endpoint.
-    receiver->set_ack_sender([&network, session_id](int path,
-                                                    sim::Packet packet) {
-      packet.session = session_id;
-      network.server_send(path, std::move(packet));
-    });
-    sender->set_data_sender([&network, session_id](int path,
-                                                   sim::Packet packet) {
-      packet.session = session_id;
-      network.client_send(path, std::move(packet));
-    });
-
-    traces.push_back(std::move(trace));
-    receivers.push_back(std::move(receiver));
-    senders.push_back(std::move(sender));
-  }
-
-  network.set_server_receiver([&receivers](int path, sim::Packet packet) {
-    receivers.at(packet.session)->on_data(path, packet);
-  });
-  network.set_client_receiver([&senders](int path, sim::Packet packet) {
-    senders.at(packet.session)->on_ack(path, packet);
-  });
-
-  for (std::size_t s = 0; s < specs.size(); ++s) {
-    if (specs[s].start_at_s > 0.0) {
-      simulator.at(specs[s].start_at_s,
-                   [sender = senders[s].get()] { sender->start(); });
-    } else {
-      senders[s]->start();
-    }
+  std::vector<std::uint32_t> ids;
+  ids.reserve(specs.size());
+  for (const SessionSpec& spec : specs) {
+    ids.push_back(host.start_session(spec));
   }
   simulator.run();
 
@@ -140,19 +55,8 @@ MultiSessionOutcome run_multi_sessions(
         network.reverse_link(static_cast<int>(i)).stats());
   }
   outcome.sessions.reserve(specs.size());
-  for (std::size_t s = 0; s < specs.size(); ++s) {
-    SessionResult result;
-    result.trace = *traces[s];
-    result.measured_quality = traces[s]->quality();
-    result.elapsed_s = outcome.elapsed_s;
-    result.events = outcome.events;
-    stats::SampleSet& delays = receivers[s]->delay_samples();
-    if (delays.count() > 0) {
-      result.delay_mean_s = delays.mean();
-      result.delay_p50_s = delays.quantile(0.5);
-      result.delay_p99_s = delays.quantile(0.99);
-    }
-    outcome.sessions.push_back(std::move(result));
+  for (const std::uint32_t id : ids) {
+    outcome.sessions.push_back(host.stop_session(id));
   }
   return outcome;
 }

@@ -62,19 +62,41 @@ DeadlineSender::DeadlineSender(sim::Simulator& simulator, core::Plan plan,
   path_outstanding_.resize(n);
 }
 
-DeadlineSender::~DeadlineSender() = default;
+DeadlineSender::~DeadlineSender() {
+  // Mid-run teardown: every pending event capturing `this` must be
+  // cancelled, or the simulator would later call into a destroyed object.
+  if (generator_.valid()) simulator_.cancel(generator_);
+  for (auto& [seq, state] : outstanding_) {
+    if (state.timer.valid()) simulator_.cancel(state.timer);
+  }
+}
 
 void DeadlineSender::start() {
   generate_next();
 }
 
 void DeadlineSender::generate_next() {
-  if (next_seq_ >= config_.num_messages) return;
+  generator_ = sim::EventId{};
+  if (next_seq_ >= config_.num_messages) {
+    maybe_drained();
+    return;
+  }
   const std::uint64_t seq = next_seq_++;
   ++trace_.generated;
   if (hooks_.on_generated) hooks_.on_generated(seq);
   assign_and_send(seq);
-  simulator_.in(inter_message_s_, [this] { generate_next(); });
+  if (next_seq_ < config_.num_messages) {
+    generator_ = simulator_.in(inter_message_s_, [this] { generate_next(); });
+  }
+  maybe_drained();
+}
+
+void DeadlineSender::maybe_drained() {
+  if (drained_ || next_seq_ < config_.num_messages || !outstanding_.empty()) {
+    return;
+  }
+  drained_ = true;
+  if (hooks_.on_drained) hooks_.on_drained();
 }
 
 void DeadlineSender::assign_and_send(std::uint64_t seq) {
@@ -184,6 +206,7 @@ void DeadlineSender::on_attempt_failed(std::uint64_t seq, bool is_fast) {
   if (!has_next) {
     ++trace_.gave_up;
     outstanding_.erase(it);
+    maybe_drained();
     return;
   }
   ++state.stage;
@@ -211,6 +234,7 @@ void DeadlineSender::acknowledge(std::uint64_t seq, bool count_hook) {
         ResolvedRecord{state.attempt_paths, state.lost_attempt_mask});
   }
   outstanding_.erase(it);
+  maybe_drained();
 }
 
 void DeadlineSender::register_dupack_scan(int real_path,

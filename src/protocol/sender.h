@@ -50,6 +50,12 @@ struct SenderHooks {
   std::function<void(int path)> on_ack_for_path;
   // A message was generated (fires before assignment).
   std::function<void(std::uint64_t seq)> on_generated;
+  // All messages have been generated and the last outstanding one resolved
+  // (acknowledged or given up): the sender will never emit another packet.
+  // Fires at most once, possibly from inside ack processing — the callback
+  // must not destroy the sender synchronously (defer teardown to a fresh
+  // simulator event, as proto::SessionHost does).
+  std::function<void()> on_drained;
 };
 
 class DeadlineSender {
@@ -80,6 +86,8 @@ class DeadlineSender {
 
   const core::Plan& plan() const { return plan_; }
   std::uint64_t outstanding() const { return outstanding_.size(); }
+  // True once on_drained has fired (or would have: the hook is optional).
+  bool drained() const { return drained_; }
 
  private:
   // A message still being worked on: which attempt sequence it follows and
@@ -105,6 +113,7 @@ class DeadlineSender {
   };
 
   void generate_next();
+  void maybe_drained();
   void assign_and_send(std::uint64_t seq);
   void transmit(std::uint64_t seq, Outstanding& state, bool is_fast);
   void on_attempt_failed(std::uint64_t seq, bool is_fast);
@@ -121,6 +130,10 @@ class DeadlineSender {
 
   double inter_message_s_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  bool drained_ = false;
+  // The self-scheduling message-generation event; tracked so mid-run
+  // teardown (server admission loop) can cancel it in the destructor.
+  sim::EventId generator_;
 
   // Ordered so that cumulative acknowledgments can sweep a prefix.
   std::map<std::uint64_t, Outstanding> outstanding_;

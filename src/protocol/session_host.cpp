@@ -1,0 +1,199 @@
+#include "protocol/session_host.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dmc::proto {
+
+namespace {
+
+int lowest_delay_path(const sim::Network& network) {
+  int best = 0;
+  double best_delay = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < network.num_paths(); ++i) {
+    const sim::LinkConfig& config =
+        network.forward_link(static_cast<int>(i)).config();
+    double d = config.prop_delay_s;
+    if (config.extra_delay) d += config.extra_delay->mean();
+    if (d < best_delay) {
+      best_delay = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SessionHost::SessionHost(sim::Simulator& simulator, sim::Network& network)
+    : simulator_(simulator),
+      network_(network),
+      default_ack_path_(lowest_delay_path(network)) {
+  // Dispatch by the session id stamped into every packet; arrivals for
+  // sessions that were torn down while their packets were still inside the
+  // network count as orphans rather than crashing or silently vanishing.
+  network_.set_server_receiver([this](int path, sim::Packet packet) {
+    const auto it = sessions_.find(packet.session);
+    if (it == sessions_.end()) {
+      ++orphans_.data_packets;
+      return;
+    }
+    it->second.receiver->on_data(path, packet);
+  });
+  network_.set_client_receiver([this](int path, sim::Packet packet) {
+    const auto it = sessions_.find(packet.session);
+    if (it == sessions_.end()) {
+      ++orphans_.ack_packets;
+      return;
+    }
+    it->second.sender->on_ack(path, packet);
+  });
+}
+
+std::uint32_t SessionHost::start_session(const SessionSpec& spec,
+                                         CompletionHandler on_complete) {
+  if (!spec.plan.feasible()) {
+    throw std::invalid_argument("SessionHost: plan is not feasible");
+  }
+  if (spec.plan.model().real_paths().size() != network_.num_paths()) {
+    throw std::invalid_argument(
+        "SessionHost: plan and network disagree on the number of paths");
+  }
+  const std::uint32_t session_id = next_id_++;
+
+  Endpoint endpoint;
+  endpoint.config = spec.config;
+  endpoint.on_complete = std::move(on_complete);
+  endpoint.trace = std::make_unique<Trace>();
+  endpoint.trace->session_id = session_id;
+
+  ReceiverConfig receiver_config;
+  receiver_config.lifetime_s = spec.plan.model().traffic().lifetime_s;
+  receiver_config.ack_path =
+      spec.config.ack_path >= 0 ? spec.config.ack_path : default_ack_path_;
+  receiver_config.ack_window_bits = spec.config.ack_window_bits;
+  receiver_config.max_ack_bytes = spec.config.max_ack_bytes;
+  receiver_config.ack_overhead_bytes = spec.config.ack_overhead_bytes;
+  receiver_config.ack_every = spec.config.ack_every;
+  endpoint.receiver = std::make_unique<DeadlineReceiver>(
+      simulator_, receiver_config, *endpoint.trace);
+
+  SenderConfig sender_config;
+  sender_config.num_messages = spec.config.num_messages;
+  sender_config.message_bytes = spec.config.message_bytes;
+  sender_config.timeout_guard_s = spec.config.timeout_guard_s;
+  sender_config.fast_retransmit_dupacks = spec.config.fast_retransmit_dupacks;
+  endpoint.sender = std::make_unique<DeadlineSender>(
+      simulator_, spec.plan,
+      core::make_scheduler(spec.config.scheduler, spec.plan.x(),
+                           spec.config.seed ^ 0x5eedULL),
+      sender_config, *endpoint.trace);
+
+  // Outbound packets are stamped with their session so the shared network
+  // can route arrivals back to the right endpoint.
+  endpoint.receiver->set_ack_sender(
+      [this, session_id](int path, sim::Packet packet) {
+        packet.session = session_id;
+        network_.server_send(path, std::move(packet));
+      });
+  endpoint.sender->set_data_sender(
+      [this, session_id](int path, sim::Packet packet) {
+        packet.session = session_id;
+        network_.client_send(path, std::move(packet));
+      });
+
+  SenderHooks hooks;
+  // Deferred to a fresh event so the handler may tear the session down even
+  // though the drain was detected inside ack processing.
+  hooks.on_drained = [this, session_id] {
+    simulator_.in(0.0, [this, session_id] {
+      const auto it = sessions_.find(session_id);
+      if (it == sessions_.end() || !it->second.on_complete) return;
+      it->second.on_complete(session_id);
+    });
+  };
+  endpoint.sender->set_hooks(std::move(hooks));
+
+  DeadlineSender* sender = endpoint.sender.get();
+  const auto [it, inserted] =
+      sessions_.emplace(session_id, std::move(endpoint));
+  if (spec.start_at_s > simulator_.now()) {
+    it->second.start_event =
+        simulator_.at(spec.start_at_s, [sender] { sender->start(); });
+  } else {
+    sender->start();
+  }
+  return session_id;
+}
+
+SessionResult SessionHost::stop_session(std::uint32_t id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("SessionHost: session " + std::to_string(id) +
+                                " is not live");
+  }
+  Endpoint& endpoint = it->second;
+  SessionResult result;
+  result.trace = *endpoint.trace;
+  result.measured_quality = endpoint.trace->quality();
+  result.elapsed_s = simulator_.now();
+  result.events = simulator_.events_executed();
+  stats::SampleSet& delays = endpoint.receiver->delay_samples();
+  if (delays.count() > 0) {
+    result.delay_mean_s = delays.mean();
+    result.delay_p50_s = delays.quantile(0.5);
+    result.delay_p99_s = delays.quantile(0.99);
+  }
+  // A session stopped before its deferred start must not fire into the
+  // destroyed sender (cancelling an already-run event is a no-op).
+  if (endpoint.start_event.valid()) simulator_.cancel(endpoint.start_event);
+  // Destroying the sender cancels its pending timers; packets already inside
+  // the network keep flowing and will be counted as orphans on arrival.
+  sessions_.erase(it);
+  return result;
+}
+
+void SessionHost::replace_plan(std::uint32_t id, core::Plan plan) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("SessionHost: session " + std::to_string(id) +
+                                " is not live");
+  }
+  Endpoint& endpoint = it->second;
+  ++endpoint.replans;
+  // Derive a fresh deterministic scheduler stream per re-plan so replacing a
+  // plan never replays the previous scheduler's draws.
+  const std::uint64_t seed =
+      endpoint.config.seed ^ 0x5eedULL ^
+      (static_cast<std::uint64_t>(endpoint.replans) * 0x9e3779b97f4a7c15ULL);
+  auto scheduler =
+      core::make_scheduler(endpoint.config.scheduler, plan.x(), seed);
+  endpoint.sender->replace_plan(std::move(plan), std::move(scheduler));
+}
+
+const SessionHost::Endpoint& SessionHost::at(std::uint32_t id,
+                                             const char* what) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument(std::string("SessionHost::") + what +
+                                ": session " + std::to_string(id) +
+                                " is not live");
+  }
+  return it->second;
+}
+
+const Trace& SessionHost::trace(std::uint32_t id) const {
+  return *at(id, "trace").trace;
+}
+
+const core::Plan& SessionHost::plan(std::uint32_t id) const {
+  return at(id, "plan").sender->plan();
+}
+
+bool SessionHost::drained(std::uint32_t id) const {
+  return at(id, "drained").sender->drained();
+}
+
+}  // namespace dmc::proto

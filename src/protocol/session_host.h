@@ -1,0 +1,99 @@
+// Incremental session lifecycle over one shared network: start endpoints at
+// runtime, observe their progress, and tear them down mid-run — the
+// primitive the online session server (server/server.h) builds admission
+// control on. run_multi_sessions() is now a thin batch wrapper over this
+// class: it starts every session up front and stops them all after the
+// simulator drains.
+//
+// Teardown safety: stopping a session destroys its sender/receiver (pending
+// retransmission timers are cancelled), but packets it already injected keep
+// flowing through the shared links. Arrivals addressed to a stopped session
+// are counted as orphans instead of being delivered — so shared-link packet
+// conservation (sim::LinkStats::conserved()) holds across any admit/teardown
+// sequence, which the teardown regression tests assert.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "protocol/multi_session.h"
+#include "protocol/receiver.h"
+#include "protocol/sender.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dmc::proto {
+
+// Packets that arrived for sessions no longer live (torn down mid-run).
+struct OrphanStats {
+  std::uint64_t data_packets = 0;  // at the server side
+  std::uint64_t ack_packets = 0;   // at the client side
+  std::uint64_t total() const { return data_packets + ack_packets; }
+};
+
+class SessionHost {
+ public:
+  // Fired (via a zero-delay follow-up event, so the handler may stop the
+  // session) when a session's sender has generated all messages and the last
+  // outstanding one resolved.
+  using CompletionHandler = std::function<void(std::uint32_t id)>;
+
+  SessionHost(sim::Simulator& simulator, sim::Network& network);
+
+  SessionHost(const SessionHost&) = delete;
+  SessionHost& operator=(const SessionHost&) = delete;
+
+  // Starts a session and returns its id (sequential from 0, also stamped
+  // into every packet and the session's Trace). spec.start_at_s is absolute
+  // simulation time; values at or before now() start the sender immediately.
+  // The plan must be feasible and agree with the network on the path count.
+  std::uint32_t start_session(const SessionSpec& spec,
+                              CompletionHandler on_complete = nullptr);
+
+  // Tears the session down and returns its final counters. The id must be
+  // live. elapsed_s/events in the result are the simulator totals at stop
+  // time; link-stat vectors stay empty (links are shared).
+  SessionResult stop_session(std::uint32_t id);
+
+  // Swaps a live session's plan (and a freshly seeded scheduler) — the
+  // contention-aware re-planning entry point. Messages already in flight
+  // keep the timeouts they were sent with.
+  void replace_plan(std::uint32_t id, core::Plan plan);
+
+  bool live(std::uint32_t id) const { return sessions_.contains(id); }
+  std::size_t live_count() const { return sessions_.size(); }
+  const Trace& trace(std::uint32_t id) const;
+  const core::Plan& plan(std::uint32_t id) const;
+  bool drained(std::uint32_t id) const;
+
+  const OrphanStats& orphans() const { return orphans_; }
+
+  // The true lowest-delay path of the network — the default ack return path.
+  int default_ack_path() const { return default_ack_path_; }
+
+ private:
+  struct Endpoint {
+    std::unique_ptr<Trace> trace;
+    std::unique_ptr<DeadlineReceiver> receiver;
+    std::unique_ptr<DeadlineSender> sender;
+    SessionConfig config;
+    CompletionHandler on_complete;
+    int replans = 0;
+    // Deferred start (spec.start_at_s in the future); cancelled on stop so
+    // teardown before the start instant cannot fire into a dead sender.
+    sim::EventId start_event;
+  };
+
+  const Endpoint& at(std::uint32_t id, const char* what) const;
+
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  std::unordered_map<std::uint32_t, Endpoint> sessions_;
+  std::uint32_t next_id_ = 0;
+  int default_ack_path_ = 0;
+  OrphanStats orphans_;
+};
+
+}  // namespace dmc::proto

@@ -1,0 +1,136 @@
+#include "server/admission.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/parse.h"
+
+namespace dmc::server {
+
+namespace {
+
+const core::PathSet& nominal(const AdmissionContext& context) {
+  if (context.nominal_paths == nullptr) {
+    throw std::invalid_argument("AdmissionContext: null nominal paths");
+  }
+  return *context.nominal_paths;
+}
+
+// The PR-2 status quo as a policy: plan blind against the nominal paths and
+// admit unconditionally, however oversubscribed the network already is.
+class AlwaysAdmit final : public AdmissionPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+
+  Decision decide(const SessionRequest& request,
+                  const AdmissionContext& context) override {
+    Decision decision;
+    decision.plan = core::plan_max_quality(nominal(context), request.traffic,
+                                           context.plan_options);
+    decision.predicted_quality = decision.plan->quality();
+    decision.verdict =
+        decision.plan->feasible() ? Verdict::admit : Verdict::reject;
+    return decision;
+  }
+
+ private:
+  std::string name_ = "always-admit";
+};
+
+// The paper's LP solved against residual capacity: admit only sessions whose
+// predicted quality clears the bar, so every admitted session is expected to
+// meet its deadline profile even under the current cross-traffic.
+class FeasibilityLp final : public AdmissionPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+
+  Decision decide(const SessionRequest& request,
+                  const AdmissionContext& context) override {
+    core::CrossTraffic cross = context.cross_model;
+    cross.background_bps = context.background_bps;
+    Decision decision;
+    decision.plan = core::plan_max_quality(nominal(context), request.traffic,
+                                           cross, context.plan_options);
+    decision.predicted_quality = decision.plan->quality();
+    if (!decision.plan->feasible()) {
+      decision.verdict = Verdict::reject;
+    } else if (decision.predicted_quality + 1e-12 >= context.min_quality) {
+      decision.verdict = Verdict::admit;
+    } else {
+      // Not enough residual capacity right now; capacity frees up on
+      // departures, so wait rather than walk away.
+      decision.verdict = Verdict::queue;
+      decision.plan.reset();
+    }
+    return decision;
+  }
+
+ private:
+  std::string name_ = "feasibility-lp";
+};
+
+// Pure bookkeeping baseline: no LP at admission time (the session still gets
+// a blind nominal plan when admitted), just a cap on the sum of admitted
+// rates as a fraction of total nominal forward capacity.
+class RateThreshold final : public AdmissionPolicy {
+ public:
+  explicit RateThreshold(double fraction)
+      : fraction_(fraction), name_("threshold:" + exp_format(fraction)) {
+    if (fraction <= 0.0 || fraction > 1.0) {
+      throw std::invalid_argument(
+          "threshold policy: fraction must be in (0, 1]");
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+
+  Decision decide(const SessionRequest& request,
+                  const AdmissionContext& context) override {
+    double capacity = 0.0;
+    for (const core::PathSpec& path : nominal(context)) {
+      if (!path.is_blackhole()) capacity += path.bandwidth_bps;
+    }
+    Decision decision;
+    if (context.admitted_rate_bps + request.traffic.rate_bps >
+        fraction_ * capacity) {
+      decision.verdict = Verdict::reject;
+      return decision;
+    }
+    decision.plan = core::plan_max_quality(nominal(context), request.traffic,
+                                           context.plan_options);
+    decision.predicted_quality = decision.plan->quality();
+    decision.verdict =
+        decision.plan->feasible() ? Verdict::admit : Verdict::reject;
+    return decision;
+  }
+
+ private:
+  // Shortest clean rendering for the policy name ("threshold:0.9").
+  static std::string exp_format(double value) {
+    std::string text = std::to_string(value);
+    while (!text.empty() && text.back() == '0') text.pop_back();
+    if (!text.empty() && text.back() == '.') text.pop_back();
+    return text;
+  }
+
+  double fraction_ = 0.9;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<AdmissionPolicy> make_policy(const std::string& spec) {
+  if (spec == "always-admit") return std::make_unique<AlwaysAdmit>();
+  if (spec == "feasibility-lp") return std::make_unique<FeasibilityLp>();
+  if (spec == "threshold") return std::make_unique<RateThreshold>(0.9);
+  if (spec.rfind("threshold:", 0) == 0) {
+    const double fraction = util::parse_positive<double>(
+        "threshold policy fraction", spec.substr(10));
+    return std::make_unique<RateThreshold>(fraction);
+  }
+  throw std::invalid_argument(
+      "unknown admission policy '" + spec +
+      "' (expected always-admit, feasibility-lp, threshold[:fraction])");
+}
+
+}  // namespace dmc::server

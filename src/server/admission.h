@@ -1,0 +1,65 @@
+// Admission control for the online session server. Each arriving session is
+// judged against the *residual* capacity of the shared network — link
+// bandwidth minus the measured footprint of in-flight sessions — in the
+// spirit of DDCCast's residual-capacity feasibility gate and Ahani et al.'s
+// joint admission/routing of deadline flows. Three policies ship for
+// comparison:
+//
+//   always-admit    the PR-2 status quo: plan blind on nominal paths, admit
+//                   everything (the baseline the feasibility gate beats).
+//   feasibility-lp  solve the paper's LP against residual capacity; admit
+//                   iff the predicted quality clears min_quality, else queue
+//                   for retry when capacity frees up.
+//   threshold[:f]   capacity bookkeeping only, no LP: admit while the sum of
+//                   admitted session rates stays below fraction f (default
+//                   0.9) of total nominal forward capacity; reject above.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "server/arrivals.h"
+
+namespace dmc::server {
+
+// What the policy may look at when deciding. Residual/background come from
+// sim::UtilizationMeter, i.e. they are measurements, not bookkeeping.
+struct AdmissionContext {
+  const core::PathSet* nominal_paths = nullptr;  // zero-load characteristics
+  std::vector<double> residual_bps;    // measured residual per path
+  std::vector<double> background_bps;  // measured cross-traffic per path
+  int in_flight = 0;                   // live sessions right now
+  double admitted_rate_bps = 0.0;      // sum of live sessions' lambda
+  core::PlanOptions plan_options;
+  double min_quality = 0.9;            // feasibility bar for LP policies
+  core::CrossTraffic cross_model;      // how background folds into planning
+};
+
+enum class Verdict {
+  admit,   // start now, with Decision::plan
+  queue,   // not now — retry on the next departure (until patience runs out)
+  reject,  // never
+};
+
+struct Decision {
+  Verdict verdict = Verdict::reject;
+  std::optional<core::Plan> plan;  // required when verdict == admit
+  double predicted_quality = 0.0;  // plan quality the decision was based on
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  virtual const std::string& name() const = 0;
+  virtual Decision decide(const SessionRequest& request,
+                          const AdmissionContext& context) = 0;
+};
+
+// Parses a policy spec: "always-admit", "feasibility-lp", "threshold" or
+// "threshold:<fraction>". Throws std::invalid_argument on anything else.
+std::unique_ptr<AdmissionPolicy> make_policy(const std::string& spec);
+
+}  // namespace dmc::server

@@ -1,0 +1,101 @@
+#include "server/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "stats/rng.h"
+
+namespace dmc::server {
+
+namespace {
+
+void check_jitter(const char* name, double jitter) {
+  if (jitter < 0.0 || jitter >= 1.0) {
+    throw std::invalid_argument(std::string("WorkloadOptions: ") + name +
+                                " must be in [0, 1)");
+  }
+}
+
+double draw(stats::Rng& rng, double mean, double jitter) {
+  if (jitter == 0.0) return mean;
+  return rng.uniform(mean * (1.0 - jitter), mean * (1.0 + jitter));
+}
+
+// Per-session parameter draws, shared by both arrival shapes so a Poisson
+// workload and a trace replay of its arrival instants draw identically.
+SessionRequest draw_request(stats::Rng& rng, std::uint64_t id,
+                            double arrival_s, const WorkloadOptions& options) {
+  SessionRequest request;
+  request.id = id;
+  request.arrival_s = arrival_s;
+  request.traffic.rate_bps = draw(rng, options.mean_rate_bps,
+                                  options.rate_jitter);
+  request.traffic.lifetime_s =
+      draw(rng, options.mean_lifetime_s, options.lifetime_jitter);
+  request.num_messages = static_cast<std::uint64_t>(std::max(
+      1.0, std::round(draw(rng, options.mean_messages,
+                           options.messages_jitter))));
+  request.utility = draw(rng, options.mean_utility, options.utility_jitter);
+  request.traffic.check();
+  return request;
+}
+
+}  // namespace
+
+void WorkloadOptions::check() const {
+  if (count < 1) {
+    throw std::invalid_argument("WorkloadOptions: count must be >= 1");
+  }
+  if (arrivals_per_s <= 0.0) {
+    throw std::invalid_argument(
+        "WorkloadOptions: arrival rate must be > 0");
+  }
+  if (mean_rate_bps <= 0.0 || mean_lifetime_s <= 0.0 || mean_messages < 1.0) {
+    throw std::invalid_argument("WorkloadOptions: means must be positive");
+  }
+  check_jitter("rate_jitter", rate_jitter);
+  check_jitter("lifetime_jitter", lifetime_jitter);
+  check_jitter("messages_jitter", messages_jitter);
+  check_jitter("utility_jitter", utility_jitter);
+}
+
+std::vector<SessionRequest> poisson_arrivals(const WorkloadOptions& options) {
+  options.check();
+  stats::Rng rng(options.seed);
+  std::vector<SessionRequest> requests;
+  requests.reserve(static_cast<std::size_t>(options.count));
+  double t = 0.0;
+  for (int i = 0; i < options.count; ++i) {
+    t += rng.exponential(1.0 / options.arrivals_per_s);
+    requests.push_back(
+        draw_request(rng, static_cast<std::uint64_t>(i), t, options));
+  }
+  return requests;
+}
+
+std::vector<SessionRequest> trace_arrivals(const std::vector<double>& times,
+                                           const WorkloadOptions& options) {
+  WorkloadOptions checked = options;
+  checked.count = std::max<int>(1, static_cast<int>(times.size()));
+  checked.check();
+  if (times.empty()) {
+    throw std::invalid_argument("trace_arrivals: empty trace");
+  }
+  if (!std::is_sorted(times.begin(), times.end())) {
+    throw std::invalid_argument("trace_arrivals: times must be ascending");
+  }
+  if (times.front() < 0.0) {
+    throw std::invalid_argument("trace_arrivals: negative arrival time");
+  }
+  stats::Rng rng(options.seed);
+  std::vector<SessionRequest> requests;
+  requests.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    requests.push_back(draw_request(rng, i, times[i], options));
+  }
+  return requests;
+}
+
+}  // namespace dmc::server

@@ -1,0 +1,54 @@
+// Workload generation for the online session server: sessions arrive over
+// time (Poisson or trace-driven) with per-session draws of data rate, size,
+// deadline tightness, and utility — the staggered multi-user regime the
+// ROADMAP's north star describes and the paper's one-shot evaluation never
+// reaches. All draws come from one seeded stream, so a workload is a pure
+// function of its options.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path.h"
+
+namespace dmc::server {
+
+// One session wanting admission: when it arrives, what it wants to send,
+// and how valuable it is.
+struct SessionRequest {
+  std::uint64_t id = 0;         // arrival index (dense, from 0)
+  double arrival_s = 0.0;       // absolute simulation time
+  core::TrafficSpec traffic;    // lambda / delta / cost cap of this session
+  std::uint64_t num_messages = 0;  // session size (messages of message_bytes)
+  double utility = 1.0;         // weight for value-aware policies
+};
+
+struct WorkloadOptions {
+  int count = 100;                   // number of arrivals
+  double arrivals_per_s = 10.0;      // Poisson intensity
+  std::uint64_t seed = 1;
+
+  // Per-session parameter draws: value ~ U[mean * (1 - jitter),
+  // mean * (1 + jitter)]. Zero jitter makes the dimension deterministic.
+  double mean_rate_bps = 20e6;       // lambda draw
+  double rate_jitter = 0.5;
+  double mean_lifetime_s = 0.8;      // delta draw (deadline tightness)
+  double lifetime_jitter = 0.25;
+  double mean_messages = 400;        // session size draw
+  double messages_jitter = 0.5;
+  double mean_utility = 1.0;
+  double utility_jitter = 0.0;
+
+  void check() const;
+};
+
+// Poisson arrivals: exponential inter-arrival gaps at `arrivals_per_s`.
+std::vector<SessionRequest> poisson_arrivals(const WorkloadOptions& options);
+
+// Trace-driven arrivals: explicit arrival instants (sorted ascending, >= 0),
+// per-session parameters drawn exactly as in poisson_arrivals. `count` is
+// ignored; the trace length wins.
+std::vector<SessionRequest> trace_arrivals(const std::vector<double>& times,
+                                           const WorkloadOptions& options);
+
+}  // namespace dmc::server

@@ -1,0 +1,387 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/units.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/utilization.h"
+#include "stats/rng.h"
+
+namespace dmc::server {
+
+void ServerConfig::check() const {
+  if (planning_paths.empty() || true_paths.empty()) {
+    throw std::invalid_argument("ServerConfig: need at least one path");
+  }
+  if (planning_paths.size() != true_paths.size()) {
+    throw std::invalid_argument(
+        "ServerConfig: planning and true path counts disagree");
+  }
+  if (min_quality < 0.0 || min_quality > 1.0) {
+    throw std::invalid_argument("ServerConfig: min_quality not in [0,1]");
+  }
+  if (max_queue_wait_s < 0.0) {
+    throw std::invalid_argument("ServerConfig: negative queue patience");
+  }
+  if (utilization_window_s < 0.0) {
+    throw std::invalid_argument("ServerConfig: negative utilization window");
+  }
+}
+
+const char* to_string(RequestFate fate) {
+  switch (fate) {
+    case RequestFate::rejected:
+      return "rejected";
+    case RequestFate::expired:
+      return "expired";
+    case RequestFate::admitted:
+      return "admitted";
+    case RequestFate::queued_admitted:
+      return "queued-admitted";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Expected offered rate per *real* path of a plan, retransmission load
+// included (Equation 2 evaluated at the plan's allocation).
+std::vector<double> real_path_rates(const core::Plan& plan) {
+  const core::Model& model = plan.model();
+  const std::vector<double>& s = plan.send_rate_bps();
+  std::vector<double> rates(model.real_paths().size(), 0.0);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    rates[i] = s.at(model.model_index(i));
+  }
+  return rates;
+}
+
+// Bookkeeping for one admitted, still-running session.
+struct LiveSession {
+  std::size_t request_index = 0;
+  double admitted_at_s = 0.0;
+  double rate_bps = 0.0;                 // application lambda
+  double planned_quality = 0.0;
+  std::vector<double> planned_rate_bps;  // per real path, incl. retransmits
+  int replans = 0;
+};
+
+// The whole event-driven run: one simulator, one shared network, the
+// incremental session host, the utilization meter, and the admission state
+// machine wired together by simulator events.
+class Loop {
+ public:
+  Loop(const ServerConfig& config, const std::vector<SessionRequest>& requests)
+      : config_(config),
+        requests_(requests),
+        simulator_(config.seed),
+        network_(simulator_,
+                 proto::to_sim_paths(config.true_paths,
+                                     config.bandwidth_headroom,
+                                     config.queue_capacity)),
+        host_(simulator_, network_),
+        meter_(network_, config.utilization_window_s),
+        policy_(make_policy(config.policy)) {}
+
+  ServerOutcome run() {
+    outcome_.sessions.resize(requests_.size());
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+      outcome_.sessions[i].request_id = requests_[i].id;
+      outcome_.sessions[i].arrival_s = requests_[i].arrival_s;
+      simulator_.at(requests_[i].arrival_s, [this, i] { handle_arrival(i); });
+    }
+    simulator_.run();
+    finalize();
+    return std::move(outcome_);
+  }
+
+ private:
+  struct Pending {
+    std::size_t request_index = 0;
+    double queued_at_s = 0.0;
+  };
+
+  void handle_arrival(std::size_t i) {
+    apply_decision(i, policy_->decide(requests_[i], context()),
+                   /*from_queue=*/false);
+  }
+
+  // Measured background load per path. The meter reports the footprint of
+  // the last sampling window, which may still contain traffic of sessions
+  // that have since departed — so it is capped by the summed planned rates
+  // of sessions the window could have measured ("settled"). Sessions
+  // admitted at or after the window closed cannot show up in the
+  // measurement yet and are accounted at their planned rates on top;
+  // sessions admitted mid-window count as measured (their partial footprint
+  // may understate them for one window, never double-count them).
+  std::vector<double> background() {
+    const std::vector<sim::PathUsage>& usage =
+        meter_.sample(simulator_.now());
+    const double window_end = meter_.window_end();
+    std::vector<double> settled(usage.size(), 0.0);
+    std::vector<double> fresh(usage.size(), 0.0);
+    for (const auto& [id, session] : live_) {
+      std::vector<double>& bucket =
+          session.admitted_at_s >= window_end ? fresh : settled;
+      for (std::size_t p = 0; p < bucket.size(); ++p) {
+        bucket[p] += session.planned_rate_bps[p];
+      }
+    }
+    std::vector<double> load(usage.size(), 0.0);
+    for (std::size_t p = 0; p < load.size(); ++p) {
+      load[p] = std::min(usage[p].footprint_bps, settled[p]) + fresh[p];
+    }
+    return load;
+  }
+
+  AdmissionContext context() {
+    AdmissionContext context;
+    context.nominal_paths = &config_.planning_paths;
+    context.background_bps = background();
+    context.residual_bps.resize(context.background_bps.size());
+    for (std::size_t p = 0; p < context.residual_bps.size(); ++p) {
+      const double rate =
+          network_.forward_link(static_cast<int>(p)).config().rate_bps;
+      context.residual_bps[p] =
+          std::max(0.0, rate - context.background_bps[p]);
+    }
+    context.in_flight = static_cast<int>(live_.size());
+    for (const auto& [id, session] : live_) {
+      context.admitted_rate_bps += session.rate_bps;
+    }
+    context.plan_options = config_.plan_options;
+    context.min_quality = config_.min_quality;
+    context.cross_model = config_.cross_model;
+    return context;
+  }
+
+  // Returns true when the request left the pending state (admitted or
+  // rejected); false keeps it queued.
+  bool apply_decision(std::size_t i, Decision decision, bool from_queue) {
+    SessionRecord& record = outcome_.sessions[i];
+    // A queue verdict with nothing running means the request cannot clear
+    // the bar even on an idle network; no departure will ever change that.
+    if (decision.verdict == Verdict::queue && live_.empty()) {
+      decision.verdict = Verdict::reject;
+    }
+    switch (decision.verdict) {
+      case Verdict::admit:
+        start_session(i, std::move(*decision.plan),
+                      decision.predicted_quality, from_queue);
+        return true;
+      case Verdict::reject:
+        record.fate = RequestFate::rejected;
+        record.predicted_quality = decision.predicted_quality;
+        ++outcome_.rejected;
+        return true;
+      case Verdict::queue:
+        if (!from_queue) {
+          pending_.push_back(Pending{i, simulator_.now()});
+          simulator_.at(simulator_.now() + config_.max_queue_wait_s,
+                        [this, i] { expire_if_pending(i); });
+        }
+        return false;
+    }
+    return true;
+  }
+
+  void start_session(std::size_t i, core::Plan plan, double predicted_quality,
+                     bool from_queue) {
+    const SessionRequest& request = requests_[i];
+    proto::SessionConfig session_config = config_.session;
+    session_config.num_messages = request.num_messages;
+    session_config.seed = stats::mix_seed(config_.seed, request.id + 1);
+
+    LiveSession live;
+    live.request_index = i;
+    live.admitted_at_s = simulator_.now();
+    live.rate_bps = request.traffic.rate_bps;
+    live.planned_quality = plan.quality();
+    live.planned_rate_bps = real_path_rates(plan);
+
+    const std::uint32_t id = host_.start_session(
+        proto::SessionSpec{std::move(plan), session_config, 0.0},
+        [this](std::uint32_t session_id) { on_departure(session_id); });
+    live_.emplace(id, std::move(live));
+
+    SessionRecord& record = outcome_.sessions[i];
+    record.fate =
+        from_queue ? RequestFate::queued_admitted : RequestFate::admitted;
+    record.predicted_quality = predicted_quality;
+    record.admitted_at_s = simulator_.now();
+    record.queue_wait_s = simulator_.now() - request.arrival_s;
+    ++outcome_.admitted;
+  }
+
+  void on_departure(std::uint32_t id) {
+    const auto it = live_.find(id);
+    if (it == live_.end()) return;  // stopped by other means already
+    SessionRecord& record = outcome_.sessions[it->second.request_index];
+    const proto::SessionResult result = host_.stop_session(id);
+    record.trace = result.trace;
+    record.measured_quality = result.measured_quality;
+    record.completed_at_s = simulator_.now();
+    record.replans = it->second.replans;
+    live_.erase(it);
+
+    // Freed capacity: first give waiting requests a chance, then let the
+    // surviving sessions re-plan onto the larger residual.
+    retry_queued();
+    if (config_.replan_on_departure) replan_live();
+  }
+
+  void retry_queued() {
+    std::vector<Pending> still_pending;
+    still_pending.reserve(pending_.size());
+    for (const Pending& pending : pending_) {
+      const Decision decision =
+          policy_->decide(requests_[pending.request_index], context());
+      if (!apply_decision(pending.request_index, decision,
+                          /*from_queue=*/true)) {
+        still_pending.push_back(pending);
+      }
+    }
+    pending_ = std::move(still_pending);
+  }
+
+  void expire_if_pending(std::size_t i) {
+    const auto it = std::find_if(
+        pending_.begin(), pending_.end(),
+        [i](const Pending& pending) { return pending.request_index == i; });
+    if (it == pending_.end()) return;  // admitted or rejected meanwhile
+    pending_.erase(it);
+    outcome_.sessions[i].fate = RequestFate::expired;
+    ++outcome_.expired;
+  }
+
+  void replan_live() {
+    for (auto& [id, session] : live_) {
+      // Only sessions that had to compromise can gain from freed capacity.
+      if (session.planned_quality >= 1.0 - 1e-9) continue;
+      core::CrossTraffic cross = config_.cross_model;
+      cross.background_bps = background();
+      // Exclude the session's own footprint from its background estimate.
+      for (std::size_t p = 0; p < cross.background_bps.size(); ++p) {
+        cross.background_bps[p] = std::max(
+            0.0, cross.background_bps[p] - session.planned_rate_bps[p]);
+      }
+      const core::Plan plan = core::plan_max_quality(
+          config_.planning_paths, requests_[session.request_index].traffic,
+          cross, config_.plan_options);
+      if (!plan.feasible() ||
+          plan.quality() <= session.planned_quality + 1e-6) {
+        continue;
+      }
+      session.planned_quality = plan.quality();
+      session.planned_rate_bps = real_path_rates(plan);
+      ++session.replans;
+      ++outcome_.replans;
+      host_.replace_plan(id, plan);
+    }
+  }
+
+  void finalize() {
+    outcome_.arrivals = requests_.size();
+    outcome_.elapsed_s = simulator_.now();
+    outcome_.events = simulator_.events_executed();
+    outcome_.orphans = host_.orphans();
+
+    std::uint64_t generated = 0;
+    std::uint64_t on_time = 0;
+    double wait_sum = 0.0;
+    for (const SessionRecord& record : outcome_.sessions) {
+      if (record.fate != RequestFate::admitted &&
+          record.fate != RequestFate::queued_admitted) {
+        continue;
+      }
+      generated += record.trace.generated;
+      on_time += record.trace.on_time;
+      wait_sum += record.queue_wait_s;
+    }
+    outcome_.admission_rate =
+        outcome_.arrivals > 0
+            ? static_cast<double>(outcome_.admitted) /
+                  static_cast<double>(outcome_.arrivals)
+            : 0.0;
+    outcome_.deadline_miss_rate =
+        generated > 0 ? 1.0 - static_cast<double>(on_time) /
+                                  static_cast<double>(generated)
+                      : 0.0;
+    outcome_.goodput_bps =
+        outcome_.elapsed_s > 0.0
+            ? static_cast<double>(on_time) *
+                  bytes_to_bits(
+                      static_cast<double>(config_.session.message_bytes)) /
+                  outcome_.elapsed_s
+            : 0.0;
+    outcome_.mean_queue_wait_s =
+        outcome_.admitted > 0
+            ? wait_sum / static_cast<double>(outcome_.admitted)
+            : 0.0;
+
+    outcome_.conserved = true;
+    for (std::size_t p = 0; p < network_.num_paths(); ++p) {
+      const sim::LinkStats& forward =
+          network_.forward_link(static_cast<int>(p)).stats();
+      const sim::LinkStats& reverse =
+          network_.reverse_link(static_cast<int>(p)).stats();
+      outcome_.conserved = outcome_.conserved && forward.conserved() &&
+                           reverse.conserved() && forward.in_flight == 0 &&
+                           reverse.in_flight == 0;
+      outcome_.forward_links.push_back(forward);
+      outcome_.reverse_links.push_back(reverse);
+    }
+  }
+
+  const ServerConfig& config_;
+  const std::vector<SessionRequest>& requests_;
+  sim::Simulator simulator_;
+  sim::Network network_;
+  proto::SessionHost host_;
+  sim::UtilizationMeter meter_;
+  std::unique_ptr<AdmissionPolicy> policy_;
+  ServerOutcome outcome_;
+  // Host session id -> bookkeeping; std::map so every sweep over the live
+  // set (re-planning, background attribution) runs in deterministic order.
+  std::map<std::uint32_t, LiveSession> live_;
+  std::vector<Pending> pending_;  // FIFO retry order
+};
+
+}  // namespace
+
+SessionServer::SessionServer(ServerConfig config)
+    : config_(std::move(config)) {
+  config_.check();
+  // Fail fast on a bad policy spec instead of at the first arrival.
+  make_policy(config_.policy);
+}
+
+ServerOutcome SessionServer::run(const std::vector<SessionRequest>& requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].arrival_s < 0.0) {
+      throw std::invalid_argument("SessionServer: negative arrival time");
+    }
+    if (i > 0 && requests[i].arrival_s < requests[i - 1].arrival_s) {
+      throw std::invalid_argument(
+          "SessionServer: arrivals must be sorted by time");
+    }
+    if (requests[i].num_messages == 0) {
+      throw std::invalid_argument("SessionServer: zero-message session");
+    }
+  }
+  Loop loop(config_, requests);
+  return loop.run();
+}
+
+ServerOutcome run_server(const ServerConfig& config,
+                         const WorkloadOptions& workload) {
+  SessionServer server(config);
+  return server.run(poisson_arrivals(workload));
+}
+
+}  // namespace dmc::server

@@ -1,0 +1,122 @@
+// The online session server: an event-driven loop that admits, plans, runs,
+// and tears down sessions at runtime over one shared sim::Network. This is
+// the control layer between the paper's offline single-session optimization
+// and the ROADMAP's multi-user north star:
+//
+//   arrivals -> admission (LP vs residual) -> planner -> network
+//      |             |                           ^
+//      |             +-- queue (patience) -------+
+//      +-- reject                  ^
+//          departures -> retry queued + re-plan live sessions
+//
+// Each arrival is judged against the *measured* residual capacity of the
+// shared links (sim::UtilizationMeter); admitted sessions get plans with the
+// measured cross-traffic folded into the LP inputs (core::CrossTraffic), and
+// on every departure the freed capacity triggers queued-request retries and
+// contention-aware re-planning of degraded live sessions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/path.h"
+#include "core/planner.h"
+#include "protocol/session.h"
+#include "protocol/session_host.h"
+#include "server/admission.h"
+#include "server/arrivals.h"
+#include "sim/link.h"
+
+namespace dmc::server {
+
+struct ServerConfig {
+  core::PathSet planning_paths;  // nominal (zero-load) characteristics
+  core::PathSet true_paths;      // simulated truth (may differ, Experiment 3)
+  std::string policy = "feasibility-lp";
+  double min_quality = 0.9;        // feasibility bar for LP admission
+  double max_queue_wait_s = 2.0;   // patience of a queued request
+  bool replan_on_departure = true;
+  core::CrossTraffic cross_model;  // how measured load folds into planning
+  core::PlanOptions plan_options;
+  proto::SessionConfig session;    // protocol knobs (seed/messages per-session)
+  std::uint64_t seed = 1;          // network seed + per-session stream base
+  double bandwidth_headroom = 1.0;
+  std::size_t queue_capacity = 100;
+  // Minimum utilization-meter window: admission events closer together than
+  // this reuse the previous measurement instead of trusting a micro-window.
+  double utilization_window_s = 0.01;
+
+  void check() const;
+};
+
+enum class RequestFate {
+  rejected,         // turned away at arrival
+  expired,          // queued but patience ran out before capacity freed
+  admitted,         // started at arrival time
+  queued_admitted,  // queued first, admitted on a later departure
+};
+
+const char* to_string(RequestFate fate);
+
+// One row per request, in request order.
+struct SessionRecord {
+  std::uint64_t request_id = 0;
+  double arrival_s = 0.0;
+  RequestFate fate = RequestFate::rejected;
+  double predicted_quality = 0.0;  // LP prediction behind the decision
+  double queue_wait_s = 0.0;       // admission delay (0 when direct)
+  double admitted_at_s = std::numeric_limits<double>::quiet_NaN();
+  double completed_at_s = std::numeric_limits<double>::quiet_NaN();
+  int replans = 0;                 // times this session was re-planned
+  proto::Trace trace;              // admitted sessions only
+  double measured_quality = 0.0;   // on_time / generated
+};
+
+struct ServerOutcome {
+  std::vector<SessionRecord> sessions;  // request order
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;  // includes queued_admitted
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  double admission_rate = 0.0;      // admitted / arrivals
+  // 1 - sum(on_time) / sum(generated) over admitted sessions: the fraction
+  // of accepted traffic that missed its deadline (blackhole-dropped and
+  // given-up messages count as misses, as they should).
+  double deadline_miss_rate = 0.0;
+  double goodput_bps = 0.0;         // on-time payload bits / elapsed
+  double mean_queue_wait_s = 0.0;   // over admitted sessions
+  std::uint64_t replans = 0;
+  double elapsed_s = 0.0;
+  std::uint64_t events = 0;
+  proto::OrphanStats orphans;       // packets that outlived their session
+  std::vector<sim::LinkStats> forward_links;
+  std::vector<sim::LinkStats> reverse_links;
+  // Shared-link packet conservation held at drain (teardown leaked nothing):
+  // offered == queue_drops + loss_drops + delivered and in_flight == 0 on
+  // every link.
+  bool conserved = false;
+};
+
+class SessionServer {
+ public:
+  explicit SessionServer(ServerConfig config);
+
+  // Runs the whole workload to completion (arrivals must be sorted by
+  // arrival_s ascending) and returns per-request records plus aggregates.
+  // Deterministic for fixed (config, requests).
+  ServerOutcome run(const std::vector<SessionRequest>& requests);
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  ServerConfig config_;
+};
+
+// Convenience: generate the workload and run it in one call.
+ServerOutcome run_server(const ServerConfig& config,
+                         const WorkloadOptions& workload);
+
+}  // namespace dmc::server

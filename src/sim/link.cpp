@@ -31,6 +31,7 @@ void Link::send(Packet packet) {
     return;
   }
   ++queue_depth_;
+  ++stats_.in_flight;
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth_);
 
   const double serialization =
@@ -80,6 +81,7 @@ void Link::depart(Packet packet) {
   --queue_depth_;
   if (draw_loss()) {
     ++stats_.loss_drops;
+    --stats_.in_flight;
     return;
   }
   double delay = config_.prop_delay_s;
@@ -91,6 +93,7 @@ void Link::depart(Packet packet) {
   }
   simulator_.at(arrival, [this, p = std::move(packet)]() mutable {
     ++stats_.delivered;
+    --stats_.in_flight;
     if (receiver_) receiver_(std::move(p));
   });
 }

@@ -58,6 +58,17 @@ struct LinkStats {
   double bytes_sent = 0.0;
   double busy_time_s = 0.0;        // total serialization time
   std::size_t max_queue_depth = 0;
+
+  // Conservation invariant used by the session-teardown regression tests:
+  // every accepted packet is eventually delivered or dropped, never lost to
+  // bookkeeping. `in_flight` is the gauge of accepted-but-unresolved packets
+  // (queued or propagating), so at any instant
+  //   offered == queue_drops + loss_drops + delivered + in_flight
+  // and in_flight == 0 once the simulator drains.
+  std::uint64_t in_flight = 0;
+  bool conserved() const {
+    return offered == queue_drops + loss_drops + delivered + in_flight;
+  }
 };
 
 class Link {

@@ -1,0 +1,37 @@
+#include "sim/utilization.h"
+
+#include <algorithm>
+
+namespace dmc::sim {
+
+UtilizationMeter::UtilizationMeter(const Network& network, double min_window_s)
+    : network_(network), min_window_s_(min_window_s) {
+  const std::size_t n = network.num_paths();
+  last_busy_s_.assign(n, 0.0);
+  last_usage_.assign(n, PathUsage{});
+  for (std::size_t i = 0; i < n; ++i) {
+    last_usage_[i].residual_bps =
+        network.forward_link(static_cast<int>(i)).config().rate_bps;
+  }
+}
+
+std::vector<PathUsage> UtilizationMeter::sample(double now) {
+  const double window = now - last_time_;
+  if (window <= 0.0 || window < min_window_s_) return last_usage_;
+  for (std::size_t i = 0; i < last_busy_s_.size(); ++i) {
+    const Link& link = network_.forward_link(static_cast<int>(i));
+    const double busy = link.stats().busy_time_s;
+    PathUsage usage;
+    usage.utilization = (busy - last_busy_s_[i]) / window;
+    usage.footprint_bps = usage.utilization * link.config().rate_bps;
+    usage.residual_bps =
+        std::max(0.0, link.config().rate_bps - usage.footprint_bps);
+    last_busy_s_[i] = busy;
+    last_usage_[i] = usage;
+  }
+  window_start_ = last_time_;
+  last_time_ = now;
+  return last_usage_;
+}
+
+}  // namespace dmc::sim

@@ -1,0 +1,58 @@
+// Windowed per-link utilization accounting for online admission control.
+// The admission controller needs the *measured* footprint of in-flight
+// sessions, not the cumulative since-t=0 average that Link::utilization()
+// reports: a link that was idle for the first hour and is saturated now must
+// read as saturated. The meter samples each link's cumulative busy-time
+// counter and reports utilization over the interval since the previous
+// sample, i.e. the footprint of whatever traffic is in flight right now.
+#pragma once
+
+#include <vector>
+
+#include "sim/network.h"
+
+namespace dmc::sim {
+
+// Usage of one path's forward (data) link over the last sampling window.
+struct PathUsage {
+  // Fraction of the window the transmitter was busy. Can exceed 1: the link
+  // books serialization time when a packet is *accepted*, so a burst that
+  // fills the queue charges its whole backlog to the window it arrived in —
+  // exactly the conservative reading an admission controller wants.
+  double utilization = 0.0;
+  double footprint_bps = 0.0;  // utilization * link rate
+  double residual_bps = 0.0;   // link rate minus footprint, clamped >= 0
+};
+
+class UtilizationMeter {
+ public:
+  // `min_window_s` guards against meaningless micro-windows: a sample less
+  // than this after the previous one returns the previous reading instead of
+  // measuring an interval too short to contain representative traffic.
+  explicit UtilizationMeter(const Network& network, double min_window_s = 0.0);
+
+  // Advances the window to `now` and returns per-path forward-link usage.
+  // The first call measures from t = 0. A too-short window (below
+  // min_window_s, including two samples at the same instant) returns the
+  // previous reading instead of dividing by zero.
+  std::vector<PathUsage> sample(double now);
+
+  // The most recent reading without advancing the window.
+  const std::vector<PathUsage>& last() const { return last_usage_; }
+
+  // Start/end instants of the interval behind last(): traffic injected
+  // after window_end() cannot be in the reading yet, which is how the
+  // admission loop tells measured sessions from just-admitted ones.
+  double window_start() const { return window_start_; }
+  double window_end() const { return last_time_; }
+
+ private:
+  const Network& network_;
+  double min_window_s_ = 0.0;
+  double window_start_ = 0.0;
+  double last_time_ = 0.0;
+  std::vector<double> last_busy_s_;     // per path: cumulative busy time
+  std::vector<PathUsage> last_usage_;
+};
+
+}  // namespace dmc::sim

@@ -8,6 +8,19 @@
 
 namespace dmc::stats {
 
+// splitmix64 finalizer over (base, lane): derives an independent seed per
+// job / session / replicate so sibling runs never share an RNG stream and
+// adding a lane never perturbs another lane's draws. (fleet::mix_seed is an
+// alias of this; the server's per-session streams use it directly.)
+inline std::uint64_t mix_seed(std::uint64_t base, std::uint64_t lane) {
+  // splitmix64 finalizer (Steele et al.); the golden-gamma increment keeps
+  // lane 0 distinct from the raw base.
+  std::uint64_t z = base + (lane + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 // Thin wrapper over a 64-bit Mersenne Twister with the handful of draw
 // shapes the library needs. Copyable; copies continue the same stream
 // independently.

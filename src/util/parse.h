@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <vector>
 
 namespace dmc::util {
 
@@ -48,6 +49,26 @@ T parse_positive(const std::string& context, std::string_view text) {
                                 std::string(text) + "'");
   }
   return value;
+}
+
+// Splits a comma-separated CLI list, skipping empty segments; `context`
+// names the flag in the error thrown when nothing remains.
+inline std::vector<std::string> split_list(const std::string& context,
+                                           std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string_view::npos ? text.size()
+                                                            : comma;
+    if (end > start) out.emplace_back(text.substr(start, end - start));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    throw std::invalid_argument(context + ": empty list");
+  }
+  return out;
 }
 
 }  // namespace dmc::util

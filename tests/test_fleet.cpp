@@ -195,6 +195,48 @@ TEST(MultiSession, FourContendersAreDeterministicAndShareLinks) {
             total_acks_sent);
 }
 
+TEST(Fleet, ServerGridIsBitIdenticalAcrossThreadCounts) {
+  // The 1-vs-8-thread bit-identity contract extended to the online
+  // admission grid: every cell runs its own event loop with per-cell seed
+  // streams, so the JSON must not depend on the worker count.
+  ServerAxes axes;
+  axes.arrivals_per_s = {20, 50};
+  axes.policies = {"always-admit", "feasibility-lp"};
+  axes.count = 25;
+  axes.mean_messages = 80;
+  GridOptions grid;
+  Engine serial({1});
+  Engine parallel({8});
+  ResultSet a;
+  a.records = run_jobs(serial, server_grid(axes, grid));
+  ResultSet b;
+  b.records = run_jobs(parallel, server_grid(axes, grid));
+  ASSERT_EQ(a.records.size(), 4u);
+  for (const RunRecord& record : a.records) {
+    ASSERT_TRUE(record.ok) << record.error;
+    EXPECT_EQ(record.arrivals, 25u);
+    EXPECT_FALSE(record.policy.empty());
+  }
+  EXPECT_EQ(a.json(), b.json());
+}
+
+TEST(Fleet, ServerGridSharesWorkloadAcrossPolicies) {
+  ServerAxes axes;
+  axes.arrivals_per_s = {10};
+  axes.policies = {"always-admit", "feasibility-lp", "threshold"};
+  const auto jobs = server_grid(axes, {});
+  ASSERT_EQ(jobs.size(), 3u);
+  const auto& a = std::get<ServerJob>(jobs[0].work);
+  const auto& b = std::get<ServerJob>(jobs[1].work);
+  // Identical workload and network seed: the policy axis is the only
+  // difference, so the curves are directly comparable.
+  EXPECT_EQ(a.workload.seed, b.workload.seed);
+  EXPECT_EQ(a.config.seed, b.config.seed);
+  EXPECT_NE(a.config.policy, b.config.policy);
+  EXPECT_THROW(server_grid(ServerAxes{.policies = {}}, {}),
+               std::invalid_argument);
+}
+
 TEST(MultiSession, ValidatesSpecs) {
   const auto truth = exp::table3_paths();
   EXPECT_THROW(proto::run_multi_sessions(proto::to_sim_paths(truth), {}),
@@ -223,6 +265,61 @@ TEST(Results, JsonIsSchemaVersionedAndEscaped) {
   EXPECT_NE(json.find("bad\\nvalue\\t\\\"quoted\\\""), std::string::npos);
   EXPECT_NE(json.find("\"theory_quality\":null"), std::string::npos);
   EXPECT_NE(json.find("\"x\":1.5"), std::string::npos);
+}
+
+TEST(Results, ServerFieldsRoundTripThroughJsonAndCsv) {
+  // The server-grid fields: special characters in policy names must stay
+  // escaped, and non-finite quality values must come out as JSON null /
+  // "null" — never literal nan/inf, which would break parsers downstream.
+  ResultSet set;
+  RunRecord record;
+  record.scenario = "server";
+  record.policy = "weird \"lp\",v2\n";
+  record.arrivals = 200;
+  record.admitted = 150;
+  record.rejected = 40;
+  record.expired = 10;
+  record.admission_rate = 0.75;
+  record.deadline_miss_rate = std::numeric_limits<double>::quiet_NaN();
+  record.goodput_bps = std::numeric_limits<double>::infinity();
+  record.mean_queue_wait_s = 0.125;
+  record.replans = 7;
+  record.orphan_packets = 3;
+  set.records.push_back(record);
+
+  const std::string json = set.json();
+  EXPECT_NE(json.find("\"server\":{\"policy\":\"weird \\\"lp\\\",v2\\n\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"arrivals\":200"), std::string::npos);
+  EXPECT_NE(json.find("\"admission_rate\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_miss_rate\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_bps\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"replans\":7"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+
+  std::ostringstream csv_out;
+  set.write_csv(csv_out);
+  const std::string csv = csv_out.str();
+  EXPECT_NE(csv.find(",policy,arrivals,admitted,rejected,expired,"
+                     "admission_rate,deadline_miss_rate,goodput_bps"),
+            std::string::npos);
+  // Commas/newlines in the policy name are flattened so the row count and
+  // column count stay intact.
+  EXPECT_NE(csv.find("weird \"lp\";v2;"), std::string::npos);
+  EXPECT_NE(csv.find(",200,150,40,10,0.75,null,null"), std::string::npos);
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2u);  // header + 1 record
+
+  // Classic records carry no policy, so their JSON has no server block and
+  // stays byte-compatible with pre-server result files.
+  ResultSet classic;
+  classic.records.resize(1);
+  classic.records[0].scenario = "fig2_rate";
+  EXPECT_EQ(classic.json().find("\"server\""), std::string::npos);
 }
 
 TEST(Results, CsvHasHeaderAndOneRowPerRecord) {

@@ -1,0 +1,506 @@
+// Online session server tests: workload generation, admission policies,
+// the event-driven admission/teardown loop, mid-run teardown packet
+// conservation, utilization metering, and contention-aware re-planning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "protocol/session.h"
+#include "protocol/session_host.h"
+#include "server/admission.h"
+#include "server/arrivals.h"
+#include "server/server.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/utilization.h"
+#include "stats/rng.h"
+
+namespace dmc::server {
+namespace {
+
+ServerConfig table3_config(const std::string& policy) {
+  ServerConfig config;
+  config.planning_paths = exp::table3_model_paths();
+  config.true_paths = exp::table3_paths();
+  config.policy = policy;
+  config.seed = 7;
+  return config;
+}
+
+WorkloadOptions small_workload() {
+  WorkloadOptions workload;
+  workload.count = 40;
+  workload.arrivals_per_s = 50.0;
+  workload.mean_rate_bps = mbps(25);
+  workload.mean_messages = 120;
+  workload.seed = 3;
+  return workload;
+}
+
+TEST(Arrivals, PoissonIsDeterministicSortedAndWithinJitterBounds) {
+  WorkloadOptions options;
+  options.count = 200;
+  options.arrivals_per_s = 10.0;
+  options.seed = 11;
+  const auto a = poisson_arrivals(options);
+  const auto b = poisson_arrivals(options);
+  ASSERT_EQ(a.size(), 200u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].num_messages, b[i].num_messages);
+    EXPECT_EQ(a[i].id, i);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+    }
+    EXPECT_GE(a[i].traffic.rate_bps,
+              options.mean_rate_bps * (1.0 - options.rate_jitter));
+    EXPECT_LE(a[i].traffic.rate_bps,
+              options.mean_rate_bps * (1.0 + options.rate_jitter));
+    EXPECT_GE(a[i].traffic.lifetime_s,
+              options.mean_lifetime_s * (1.0 - options.lifetime_jitter));
+  }
+  // Mean inter-arrival should be near 1 / rate (law of large numbers).
+  const double mean_gap = a.back().arrival_s / 200.0;
+  EXPECT_NEAR(mean_gap, 0.1, 0.03);
+  // A different seed gives a different workload.
+  options.seed = 12;
+  EXPECT_NE(poisson_arrivals(options)[0].arrival_s, a[0].arrival_s);
+}
+
+TEST(Arrivals, TraceDrivenTakesInstantsVerbatim) {
+  WorkloadOptions options;
+  options.seed = 5;
+  const std::vector<double> times = {0.0, 0.25, 0.25, 1.0};
+  const auto requests = trace_arrivals(times, options);
+  ASSERT_EQ(requests.size(), 4u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(requests[i].arrival_s, times[i]);
+  }
+  EXPECT_THROW(trace_arrivals({}, options), std::invalid_argument);
+  EXPECT_THROW(trace_arrivals({0.5, 0.1}, options), std::invalid_argument);
+  EXPECT_THROW(trace_arrivals({-1.0}, options), std::invalid_argument);
+}
+
+TEST(Arrivals, OptionsAreValidated) {
+  WorkloadOptions options;
+  options.count = 0;
+  EXPECT_THROW(options.check(), std::invalid_argument);
+  options = {};
+  options.arrivals_per_s = 0.0;
+  EXPECT_THROW(options.check(), std::invalid_argument);
+  options = {};
+  options.rate_jitter = 1.0;  // would allow a zero-rate draw
+  EXPECT_THROW(options.check(), std::invalid_argument);
+  options = {};
+  options.mean_messages = 0.0;
+  EXPECT_THROW(options.check(), std::invalid_argument);
+}
+
+TEST(Admission, PolicyFactoryParsesSpecs) {
+  EXPECT_EQ(make_policy("always-admit")->name(), "always-admit");
+  EXPECT_EQ(make_policy("feasibility-lp")->name(), "feasibility-lp");
+  EXPECT_EQ(make_policy("threshold")->name(), "threshold:0.9");
+  EXPECT_EQ(make_policy("threshold:0.5")->name(), "threshold:0.5");
+  EXPECT_THROW(make_policy("nope"), std::invalid_argument);
+  EXPECT_THROW(make_policy("threshold:0"), std::invalid_argument);
+  EXPECT_THROW(make_policy("threshold:1.5"), std::invalid_argument);
+  EXPECT_THROW(make_policy("threshold:abc"), std::invalid_argument);
+}
+
+TEST(Admission, FeasibilityLpGatesOnResidualCapacity) {
+  const auto paths = exp::table3_model_paths();
+  SessionRequest request;
+  request.traffic = exp::table4_traffic_rate(mbps(60));
+  request.num_messages = 100;
+
+  AdmissionContext context;
+  context.nominal_paths = &paths;
+  context.background_bps = {0.0, 0.0};
+  context.residual_bps = {mbps(80), mbps(20)};
+  auto policy = make_policy("feasibility-lp");
+  const Decision idle = policy->decide(request, context);
+  EXPECT_EQ(idle.verdict, Verdict::admit);
+  ASSERT_TRUE(idle.plan.has_value());
+  EXPECT_GT(idle.predicted_quality, 0.99);
+
+  // 70 of the 80 Mbps path already occupied: 60 Mbps cannot fit on time.
+  context.background_bps = {mbps(70), 0.0};
+  context.residual_bps = {mbps(10), mbps(20)};
+  const Decision busy = policy->decide(request, context);
+  EXPECT_EQ(busy.verdict, Verdict::queue);
+  EXPECT_FALSE(busy.plan.has_value());
+  EXPECT_LT(busy.predicted_quality, 0.9);
+}
+
+TEST(Admission, ThresholdCapsAdmittedRate) {
+  const auto paths = exp::table3_model_paths();
+  SessionRequest request;
+  request.traffic = exp::table4_traffic_rate(mbps(30));
+  AdmissionContext context;
+  context.nominal_paths = &paths;
+  auto policy = make_policy("threshold:0.9");
+  // Table III: 100 Mbps total capacity; 30 on top of 50 fits under 90.
+  context.admitted_rate_bps = mbps(50);
+  EXPECT_EQ(policy->decide(request, context).verdict, Verdict::admit);
+  // 30 on top of 65 would exceed the 90 Mbps cap.
+  context.admitted_rate_bps = mbps(65);
+  EXPECT_EQ(policy->decide(request, context).verdict, Verdict::reject);
+}
+
+TEST(UtilizationMeter, MeasuresWindowedFootprint) {
+  sim::Simulator simulator(1);
+  sim::LinkConfig link;
+  link.rate_bps = mbps(8);  // 1 kB packet serializes in 1 ms
+  const auto paths = {sim::symmetric_path(link, "p")};
+  sim::Network network(simulator, paths);
+  sim::UtilizationMeter meter(network, 0.0);
+
+  // 10 packets of 1000 B in a 0.1 s window: 10 ms busy -> 10% utilization.
+  for (int i = 0; i < 10; ++i) {
+    sim::Packet packet;
+    packet.size_bytes = 1000;
+    network.client_send(0, packet);
+  }
+  simulator.run_until(0.1);
+  auto usage = meter.sample(0.1);
+  ASSERT_EQ(usage.size(), 1u);
+  EXPECT_NEAR(usage[0].utilization, 0.1, 1e-9);
+  EXPECT_NEAR(usage[0].footprint_bps, mbps(0.8), 1.0);
+  EXPECT_NEAR(usage[0].residual_bps, mbps(7.2), 1.0);
+
+  // Idle second window: utilization drops to zero, residual recovers.
+  simulator.run_until(0.2);
+  usage = meter.sample(0.2);
+  EXPECT_EQ(usage[0].utilization, 0.0);
+  EXPECT_NEAR(usage[0].residual_bps, mbps(8), 1e-6);
+
+  // A sample inside the minimum window returns the previous reading.
+  sim::UtilizationMeter guarded(network, 0.05);
+  guarded.sample(0.2);
+  const double before = guarded.window_end();
+  guarded.sample(0.21);
+  EXPECT_EQ(guarded.window_end(), before);
+}
+
+TEST(SessionHost, StartStopMidRunCountsOrphansAndConserves) {
+  // One session torn down the moment its first packets are still in flight:
+  // the network keeps draining them, they land as orphans, and every link
+  // conserves its packet counts.
+  sim::Simulator simulator(3);
+  const auto sim_paths = proto::to_sim_paths(exp::table3_paths());
+  sim::Network network(simulator, sim_paths);
+  proto::SessionHost host(simulator, network);
+
+  proto::SessionConfig config;
+  config.num_messages = 50;
+  config.seed = 9;
+  const core::Plan plan = core::plan_max_quality(
+      exp::table3_model_paths(), exp::table4_traffic_rate(mbps(40)));
+  const std::uint32_t id =
+      host.start_session(proto::SessionSpec{plan, config, 0.0});
+  EXPECT_TRUE(host.live(id));
+  EXPECT_EQ(host.live_count(), 1u);
+
+  // Let a few packets into the links, then kill the session mid-flight.
+  simulator.run_until(0.01);
+  const proto::SessionResult result = host.stop_session(id);
+  EXPECT_FALSE(host.live(id));
+  EXPECT_GT(result.trace.transmissions, 0u);
+  EXPECT_THROW(host.stop_session(id), std::invalid_argument);
+
+  simulator.run();  // drain the stragglers
+  EXPECT_GT(host.orphans().total(), 0u);
+  for (std::size_t p = 0; p < network.num_paths(); ++p) {
+    const int path = static_cast<int>(p);
+    const sim::LinkStats& fwd = network.forward_link(path).stats();
+    const sim::LinkStats& rev = network.reverse_link(path).stats();
+    EXPECT_TRUE(fwd.conserved()) << "forward path " << p;
+    EXPECT_TRUE(rev.conserved()) << "reverse path " << p;
+    EXPECT_EQ(fwd.in_flight, 0u);
+    EXPECT_EQ(rev.in_flight, 0u);
+  }
+}
+
+TEST(SessionHost, StopBeforeDeferredStartCancelsTheStartEvent) {
+  // Tearing a session down before its start_at_s must cancel the deferred
+  // start event — otherwise the simulator would later call into the
+  // destroyed sender.
+  sim::Simulator simulator(5);
+  const auto sim_paths = proto::to_sim_paths(exp::table3_paths());
+  sim::Network network(simulator, sim_paths);
+  proto::SessionHost host(simulator, network);
+
+  proto::SessionConfig config;
+  config.num_messages = 20;
+  const core::Plan plan = core::plan_max_quality(
+      exp::table3_model_paths(), exp::table4_traffic_rate(mbps(40)));
+  const std::uint32_t id =
+      host.start_session(proto::SessionSpec{plan, config, 1.0});
+  const proto::SessionResult result = host.stop_session(id);
+  EXPECT_EQ(result.trace.generated, 0u);
+  simulator.run();  // must not fire the cancelled start (ASan would catch)
+  EXPECT_EQ(simulator.now(), 0.0);
+}
+
+TEST(Server, ThreeSessionTeardownConservesPacketCounts) {
+  // The teardown regression of the accounting fix: three staggered sessions
+  // admitted and torn down at runtime; afterwards every shared link's
+  // counters balance and every dispatched packet is attributed to a session
+  // or counted as an orphan — nothing leaks, nothing double-counts.
+  WorkloadOptions workload;
+  workload.seed = 21;
+  workload.mean_rate_bps = mbps(35);
+  workload.mean_messages = 300;
+  workload.count = 3;
+  SessionServer server(table3_config("always-admit"));
+  const ServerOutcome outcome =
+      server.run(trace_arrivals({0.0, 0.01, 0.02}, workload));
+
+  ASSERT_EQ(outcome.admitted, 3u);
+  EXPECT_TRUE(outcome.conserved);
+  std::uint64_t forward_offered = 0;
+  std::uint64_t forward_delivered = 0;
+  std::uint64_t reverse_offered = 0;
+  std::uint64_t reverse_delivered = 0;
+  for (const sim::LinkStats& stats : outcome.forward_links) {
+    EXPECT_TRUE(stats.conserved());
+    EXPECT_EQ(stats.in_flight, 0u);
+    forward_offered += stats.offered;
+    forward_delivered += stats.delivered;
+  }
+  for (const sim::LinkStats& stats : outcome.reverse_links) {
+    EXPECT_TRUE(stats.conserved());
+    EXPECT_EQ(stats.in_flight, 0u);
+    reverse_offered += stats.offered;
+    reverse_delivered += stats.delivered;
+  }
+  std::uint64_t transmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t data_received = 0;
+  std::uint64_t acks_received = 0;
+  for (const SessionRecord& record : outcome.sessions) {
+    transmissions += record.trace.transmissions;
+    acks_sent += record.trace.acks_sent;
+    data_received += record.trace.delivered_unique + record.trace.duplicates;
+    acks_received += record.trace.acks_received;
+  }
+  // Every transmission entered a forward link; every forward delivery went
+  // to a live session's receiver or the orphan counter; same for acks.
+  EXPECT_EQ(forward_offered, transmissions);
+  EXPECT_EQ(forward_delivered, data_received + outcome.orphans.data_packets);
+  EXPECT_EQ(reverse_offered, acks_sent);
+  EXPECT_EQ(reverse_delivered, acks_received + outcome.orphans.ack_packets);
+}
+
+TEST(Server, RunsAreDeterministic) {
+  const WorkloadOptions workload = small_workload();
+  SessionServer server(table3_config("feasibility-lp"));
+  const auto requests = poisson_arrivals(workload);
+  const ServerOutcome a = server.run(requests);
+  const ServerOutcome b = server.run(requests);
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.replans, b.replans);
+  EXPECT_EQ(a.deadline_miss_rate, b.deadline_miss_rate);
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i].fate, b.sessions[i].fate);
+    EXPECT_EQ(a.sessions[i].trace.on_time, b.sessions[i].trace.on_time);
+    EXPECT_EQ(a.sessions[i].queue_wait_s, b.sessions[i].queue_wait_s);
+  }
+}
+
+TEST(Server, FeasibilityGateBeatsAlwaysAdmitUnderOverload) {
+  // The acceptance criterion: at high load the feasibility-lp policy must
+  // achieve a strictly lower deadline-miss rate than always-admit on the
+  // identical workload.
+  WorkloadOptions workload;
+  workload.count = 60;
+  workload.arrivals_per_s = 60.0;
+  workload.mean_rate_bps = mbps(30);
+  workload.mean_messages = 250;
+  workload.seed = 17;
+
+  SessionServer blind(table3_config("always-admit"));
+  SessionServer gated(table3_config("feasibility-lp"));
+  const auto requests = poisson_arrivals(workload);
+  const ServerOutcome blind_outcome = blind.run(requests);
+  const ServerOutcome gated_outcome = gated.run(requests);
+
+  EXPECT_EQ(blind_outcome.admitted, 60u);
+  EXPECT_GT(blind_outcome.deadline_miss_rate, 0.2)
+      << "oversubscription should hurt the blind policy";
+  EXPECT_LT(gated_outcome.deadline_miss_rate,
+            blind_outcome.deadline_miss_rate)
+      << "the feasibility gate must strictly beat blind admission";
+  EXPECT_LT(gated_outcome.deadline_miss_rate, 0.1);
+  EXPECT_LT(gated_outcome.admitted, blind_outcome.admitted);
+  EXPECT_TRUE(blind_outcome.conserved);
+  EXPECT_TRUE(gated_outcome.conserved);
+  // Departure events freed capacity, so re-planning must have fired.
+  EXPECT_GT(gated_outcome.replans, 0u);
+}
+
+TEST(Server, QueuedRequestIsAdmittedWhenCapacityFrees) {
+  // Session A fills the network; B arrives while A runs, queues, and is
+  // admitted once A departs.
+  WorkloadOptions workload;
+  workload.seed = 4;
+  workload.mean_rate_bps = mbps(60);
+  workload.rate_jitter = 0.0;
+  workload.lifetime_jitter = 0.0;
+  workload.mean_messages = 2000;
+  workload.messages_jitter = 0.0;
+  workload.count = 2;
+  ServerConfig config = table3_config("feasibility-lp");
+  config.min_quality = 0.95;
+  SessionServer server(config);
+  const ServerOutcome outcome =
+      server.run(trace_arrivals({0.0, 0.05}, workload));
+
+  ASSERT_EQ(outcome.sessions.size(), 2u);
+  EXPECT_EQ(outcome.sessions[0].fate, RequestFate::admitted);
+  EXPECT_EQ(outcome.sessions[1].fate, RequestFate::queued_admitted);
+  EXPECT_GT(outcome.sessions[1].queue_wait_s, 0.0);
+  EXPECT_GT(outcome.sessions[1].measured_quality, 0.95);
+  EXPECT_EQ(outcome.admitted, 2u);
+}
+
+TEST(Server, QueuedRequestExpiresWhenNothingFrees) {
+  // A long-running session occupies the network past the patience of the
+  // queued request behind it.
+  WorkloadOptions workload;
+  workload.seed = 4;
+  workload.mean_rate_bps = mbps(60);
+  workload.rate_jitter = 0.0;
+  workload.lifetime_jitter = 0.0;
+  workload.mean_messages = 4000;  // ~0.55 s at 60 Mbps
+  workload.messages_jitter = 0.0;
+  workload.count = 2;
+  ServerConfig config = table3_config("feasibility-lp");
+  config.min_quality = 0.95;
+  config.max_queue_wait_s = 0.1;  // far shorter than A's lifetime
+  SessionServer server(config);
+  const ServerOutcome outcome =
+      server.run(trace_arrivals({0.0, 0.05}, workload));
+
+  ASSERT_EQ(outcome.sessions.size(), 2u);
+  EXPECT_EQ(outcome.sessions[0].fate, RequestFate::admitted);
+  EXPECT_EQ(outcome.sessions[1].fate, RequestFate::expired);
+  EXPECT_EQ(outcome.expired, 1u);
+  EXPECT_EQ(outcome.admitted, 1u);
+}
+
+TEST(Server, InfeasibleOnIdleNetworkIsRejectedNotQueued) {
+  // A request beyond even the idle network's capacity can never be served;
+  // the gate must reject it outright instead of queueing it to expiry.
+  WorkloadOptions workload;
+  workload.seed = 2;
+  workload.mean_rate_bps = mbps(200);  // twice the whole network
+  workload.rate_jitter = 0.0;
+  workload.mean_messages = 100;
+  workload.count = 1;
+  SessionServer server(table3_config("feasibility-lp"));
+  const ServerOutcome outcome = server.run(trace_arrivals({0.0}, workload));
+  ASSERT_EQ(outcome.sessions.size(), 1u);
+  EXPECT_EQ(outcome.sessions[0].fate, RequestFate::rejected);
+  EXPECT_EQ(outcome.rejected, 1u);
+}
+
+TEST(Server, ValidatesConfigAndRequests) {
+  ServerConfig config = table3_config("feasibility-lp");
+  config.min_quality = 1.5;
+  EXPECT_THROW(SessionServer{config}, std::invalid_argument);
+  config = table3_config("no-such-policy");
+  EXPECT_THROW(SessionServer{config}, std::invalid_argument);
+
+  SessionServer server(table3_config("always-admit"));
+  SessionRequest request;
+  request.traffic = exp::table4_traffic_rate(mbps(10));
+  request.num_messages = 10;
+  request.arrival_s = 0.5;
+  SessionRequest earlier = request;
+  earlier.arrival_s = 0.1;
+  EXPECT_THROW(server.run({request, earlier}), std::invalid_argument);
+  request.num_messages = 0;
+  EXPECT_THROW(server.run({request}), std::invalid_argument);
+}
+
+TEST(Planner, CrossTrafficDeratesBandwidthAndInflatesDelay) {
+  core::PathSet paths;
+  paths.add({"p1", mbps(80), 0.1, 0.01, 1.0, nullptr});
+  paths.add({"p2", mbps(20), 0.4, 0.001, 2.0, nullptr});
+
+  core::CrossTraffic cross;
+  cross.background_bps = {mbps(40), 0.0};
+  cross.queue_delay_at_half_load_s = 0.02;
+  const core::PathSet derated = core::apply_cross_traffic(paths, cross);
+  ASSERT_EQ(derated.size(), 2u);
+  EXPECT_NEAR(derated[0].bandwidth_bps, mbps(40), 1.0);
+  // u = 0.5 contributes exactly the configured queueing delay.
+  EXPECT_NEAR(derated[0].delay_s, 0.1 + 0.02, 1e-12);
+  // Untouched path passes through.
+  EXPECT_EQ(derated[1].bandwidth_bps, mbps(20));
+  EXPECT_EQ(derated[1].delay_s, 0.4);
+
+  // Saturated background: bandwidth floors at the minimum, delay at the cap.
+  cross.background_bps = {mbps(100), 0.0};
+  const core::PathSet saturated = core::apply_cross_traffic(paths, cross);
+  EXPECT_EQ(saturated[0].bandwidth_bps, cross.min_bandwidth_bps);
+  EXPECT_NEAR(saturated[0].delay_s, 0.1 + cross.max_queue_delay_s, 1e-12);
+
+  cross.background_bps = {0.0, 0.0, 0.0};
+  EXPECT_THROW(core::apply_cross_traffic(paths, cross),
+               std::invalid_argument);
+  cross.background_bps = {-1.0};
+  EXPECT_THROW(core::apply_cross_traffic(paths, cross),
+               std::invalid_argument);
+}
+
+TEST(MultiSession, StaggeredArrivalReplayIsDeterministic) {
+  // Heterogeneous per-session start offsets (the staggered-arrival path the
+  // server exercises) must replay bit-identically: same traces, same event
+  // count, same elapsed time.
+  const auto planning = exp::table3_model_paths();
+  const auto truth = exp::table3_paths();
+  const std::vector<double> offsets = {0.0, 0.137, 0.02, 0.31, 0.0991};
+  const auto run_once = [&] {
+    std::vector<proto::SessionSpec> specs;
+    for (std::size_t s = 0; s < offsets.size(); ++s) {
+      proto::SessionConfig config;
+      config.num_messages = 400;
+      config.seed = stats::mix_seed(13, s);
+      specs.push_back(proto::SessionSpec{
+          core::plan_max_quality(planning, exp::table4_traffic_rate(mbps(20))),
+          config, offsets[s]});
+    }
+    return proto::run_multi_sessions(proto::to_sim_paths(truth), specs, 31);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.sessions.size(), offsets.size());
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.elapsed_s, b.elapsed_s);
+  for (std::size_t s = 0; s < offsets.size(); ++s) {
+    EXPECT_EQ(a.sessions[s].trace.generated, 400u);
+    EXPECT_EQ(a.sessions[s].trace.on_time, b.sessions[s].trace.on_time);
+    EXPECT_EQ(a.sessions[s].trace.transmissions,
+              b.sessions[s].trace.transmissions);
+    EXPECT_EQ(a.sessions[s].trace.acks_received,
+              b.sessions[s].trace.acks_received);
+    EXPECT_EQ(a.sessions[s].delay_p99_s, b.sessions[s].delay_p99_s);
+  }
+  // The batch wrapper leaves no orphans: all sessions outlive the drain.
+  for (const sim::LinkStats& stats : a.forward_links) {
+    EXPECT_TRUE(stats.conserved());
+    EXPECT_EQ(stats.in_flight, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dmc::server

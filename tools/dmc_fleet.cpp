@@ -28,6 +28,7 @@ commands
   fig2-lifetime   Figure 2 (bottom): quality vs lifetime, lambda = 90 Mbps
   table4-rates    Table IV (top) rate grid
   contention      1..N sessions contending on the shared Table III network
+  server          online admission: arrival-rate sweep per admission policy
   all             every grid above
 
 options
@@ -36,7 +37,12 @@ options
   --seed N        base seed for the deterministic per-job streams (default 42)
   --replicates N  seed replicates per grid point (default 1)
   --sessions N    max contending sessions for `contention` (default 4)
-  --rate-mbps X   per-session rate for `contention` (default 30)
+  --rate-mbps X   per-session rate for `contention`/`server` (default 30/20)
+  --policies L    comma-separated admission policies for `server`
+                  (default always-admit,feasibility-lp,threshold)
+  --count N       arrivals per `server` grid cell (default 200)
+  --session-messages N
+                  mean session size for `server` (default 400)
   --json PATH     write the JSON result set (- = stdout)
   --csv PATH      write the CSV result set (- = stdout)
   --quiet         suppress the text tables
@@ -49,7 +55,10 @@ struct CliOptions {
   std::uint64_t seed = 42;
   int replicates = 1;
   int sessions = 4;
-  double rate_mbps = 30.0;
+  double rate_mbps = 0.0;  // 0 = per-command default (30 contention, 20 server)
+  std::string policies = "always-admit,feasibility-lp,threshold";
+  int count = 200;
+  std::uint64_t session_messages = 400;
   std::string json_path;
   std::string csv_path;
   bool quiet = false;
@@ -80,6 +89,13 @@ CliOptions parse_cli(int argc, char** argv) {
       options.sessions = util::parse_positive<int>(arg, value());
     } else if (arg == "--rate-mbps") {
       options.rate_mbps = util::parse_positive<double>(arg, value());
+    } else if (arg == "--policies") {
+      options.policies = value();
+    } else if (arg == "--count") {
+      options.count = util::parse_positive<int>(arg, value());
+    } else if (arg == "--session-messages") {
+      options.session_messages =
+          util::parse_positive<std::uint64_t>(arg, value());
     } else if (arg == "--json") {
       options.json_path = value();
     } else if (arg == "--csv") {
@@ -113,6 +129,30 @@ exp::Table contention_table(const std::vector<fleet::RunRecord>& records) {
                    exp::Table::percent(record.theory_quality),
                    std::to_string(record.trace.retransmissions),
                    std::to_string(queue_drops)});
+  }
+  return table;
+}
+
+exp::Table server_table(const std::vector<fleet::RunRecord>& records) {
+  exp::Table table({"arrivals/s", "policy", "admitted", "admission rate",
+                    "deadline miss", "goodput (Mbps)", "queue wait (ms)",
+                    "replans"});
+  for (const fleet::RunRecord& record : records) {
+    const double x = record.params.empty() ? 0.0 : record.params[0].value;
+    if (!record.ok) {
+      table.add_row({exp::Table::num(x, 0), record.policy,
+                     "error: " + record.error, "-", "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row(
+        {exp::Table::num(x, 0), record.policy,
+         std::to_string(record.admitted) + "/" +
+             std::to_string(record.arrivals),
+         exp::Table::percent(record.admission_rate),
+         exp::Table::percent(record.deadline_miss_rate),
+         exp::Table::num(to_mbps(record.goodput_bps), 1),
+         exp::Table::num(to_ms(record.mean_queue_wait_s), 1),
+         std::to_string(record.replans)});
   }
   return table;
 }
@@ -159,7 +199,7 @@ int run(const CliOptions& options) {
   struct GridRun {
     std::string title;
     std::vector<fleet::JobSpec> jobs;
-    enum { kFig2, kRates, kContention } table;
+    enum { kFig2, kRates, kContention, kServer } table;
     std::string x_header;
   };
   std::vector<GridRun> runs;
@@ -179,11 +219,22 @@ int run(const CliOptions& options) {
                     fleet::table4_rate_grid(grid), GridRun::kRates, ""});
   }
   if (all || options.command == "contention") {
+    const double rate =
+        options.rate_mbps > 0.0 ? options.rate_mbps : 30.0;
     runs.push_back(
         {"Cross-traffic: sessions contending on the shared Table III network",
-         fleet::contention_grid(options.sessions, mbps(options.rate_mbps),
-                                grid),
+         fleet::contention_grid(options.sessions, mbps(rate), grid),
          GridRun::kContention, ""});
+  }
+  if (all || options.command == "server") {
+    fleet::ServerAxes axes;
+    axes.policies = util::split_list("--policies", options.policies);
+    axes.count = options.count;
+    axes.mean_messages = static_cast<double>(options.session_messages);
+    if (options.rate_mbps > 0.0) axes.rate_mbps = {options.rate_mbps};
+    runs.push_back(
+        {"Online admission: arrival-rate sweep on the Table III network",
+         fleet::server_grid(axes, grid), GridRun::kServer, ""});
   }
   if (runs.empty()) {
     throw std::invalid_argument("unknown command '" + options.command + "'");
@@ -206,6 +257,9 @@ int run(const CliOptions& options) {
           break;
         case GridRun::kContention:
           contention_table(records).print();
+          break;
+        case GridRun::kServer:
+          server_table(records).print();
           break;
       }
       std::cout << "\n";

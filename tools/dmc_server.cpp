@@ -1,0 +1,235 @@
+// dmc_server: drive the online session server (server/server.h) over one
+// workload of staggered arrivals — admission control, contention-aware
+// planning, and departure-triggered re-planning over the shared Table III
+// network. Prints per-session fates and aggregate curves; exports the same
+// schema-versioned JSON/CSV as dmc_fleet (one aggregate record per policy).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "experiments/table.h"
+#include "fleet/job.h"
+#include "fleet/results.h"
+#include "server/arrivals.h"
+#include "server/server.h"
+#include "util/parse.h"
+
+namespace {
+
+using namespace dmc;
+
+constexpr const char* kUsage = R"(usage: dmc_server [options]
+
+Runs an online-admission workload against the shared Table III network,
+once per policy, over the identical arrival sequence.
+
+options
+  --policies L      comma-separated admission policies
+                    (default always-admit,feasibility-lp,threshold)
+  --count N         number of arrivals (default 200)
+  --arrival-rate X  Poisson arrivals per second (default 20)
+  --rate-mbps X     mean per-session data rate (default 20)
+  --lifetime-ms X   mean per-session deadline (default 800)
+  --messages N      mean messages per session (default 400)
+  --min-quality X   feasibility-lp admission bar (default 0.9)
+  --patience-s X    queued-request patience (default 2)
+  --no-replan       disable re-planning on departure events
+  --seed N          workload + network seed (default 42)
+  --trace T         comma-separated arrival instants instead of Poisson
+  --json PATH       write the JSON result set (- = stdout)
+  --csv PATH        write the CSV result set (- = stdout)
+  --sessions        also print the per-session fate table
+  --quiet           suppress the text tables
+)";
+
+struct CliOptions {
+  std::string policies = "always-admit,feasibility-lp,threshold";
+  int count = 200;
+  double arrival_rate = 20.0;
+  double rate_mbps = 20.0;
+  double lifetime_ms = 800.0;
+  std::uint64_t messages = 400;
+  double min_quality = 0.9;
+  double patience_s = 2.0;
+  bool replan = true;
+  std::uint64_t seed = 42;
+  std::string trace;
+  std::string json_path;
+  std::string csv_path;
+  bool per_session = false;
+  bool quiet = false;
+};
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + ": missing value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--policies") {
+      options.policies = value();
+    } else if (arg == "--count") {
+      options.count = util::parse_positive<int>(arg, value());
+    } else if (arg == "--arrival-rate") {
+      options.arrival_rate = util::parse_positive<double>(arg, value());
+    } else if (arg == "--rate-mbps") {
+      options.rate_mbps = util::parse_positive<double>(arg, value());
+    } else if (arg == "--lifetime-ms") {
+      options.lifetime_ms = util::parse_positive<double>(arg, value());
+    } else if (arg == "--messages") {
+      options.messages = util::parse_positive<std::uint64_t>(arg, value());
+    } else if (arg == "--min-quality") {
+      options.min_quality = util::parse_number<double>(arg, value());
+    } else if (arg == "--patience-s") {
+      options.patience_s = util::parse_number<double>(arg, value());
+    } else if (arg == "--no-replan") {
+      options.replan = false;
+    } else if (arg == "--seed") {
+      options.seed = util::parse_number<std::uint64_t>(arg, value());
+    } else if (arg == "--trace") {
+      options.trace = value();
+    } else if (arg == "--json") {
+      options.json_path = value();
+    } else if (arg == "--csv") {
+      options.csv_path = value();
+    } else if (arg == "--sessions") {
+      options.per_session = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    }
+  }
+  return options;
+}
+
+std::vector<server::SessionRequest> build_workload(
+    const CliOptions& options) {
+  server::WorkloadOptions workload;
+  workload.count = options.count;
+  workload.arrivals_per_s = options.arrival_rate;
+  workload.mean_rate_bps = mbps(options.rate_mbps);
+  workload.mean_lifetime_s = ms(options.lifetime_ms);
+  workload.mean_messages = static_cast<double>(options.messages);
+  workload.seed = options.seed;
+  if (options.trace.empty()) return server::poisson_arrivals(workload);
+  std::vector<double> times;
+  for (const std::string& item : util::split_list("--trace", options.trace)) {
+    times.push_back(util::parse_number<double>("--trace", item));
+  }
+  return server::trace_arrivals(times, workload);
+}
+
+exp::Table session_table(const server::ServerOutcome& outcome) {
+  exp::Table table({"req", "arrival (s)", "fate", "wait (ms)", "predicted Q",
+                    "measured Q", "replans"});
+  for (const server::SessionRecord& record : outcome.sessions) {
+    const bool ran = record.fate == server::RequestFate::admitted ||
+                     record.fate == server::RequestFate::queued_admitted;
+    table.add_row({std::to_string(record.request_id),
+                   exp::Table::num(record.arrival_s, 3),
+                   server::to_string(record.fate),
+                   exp::Table::num(to_ms(record.queue_wait_s), 1),
+                   ran ? exp::Table::percent(record.predicted_quality)
+                       : std::string("-"),
+                   ran ? exp::Table::percent(record.measured_quality)
+                       : std::string("-"),
+                   std::to_string(record.replans)});
+  }
+  return table;
+}
+
+void write_to(const std::string& path, const fleet::ResultSet& results,
+              bool csv) {
+  if (path == "-") {
+    csv ? results.write_csv(std::cout) : results.write_json(std::cout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  csv ? results.write_csv(out) : results.write_json(out);
+}
+
+int run(const CliOptions& options) {
+  const std::vector<server::SessionRequest> requests =
+      build_workload(options);
+
+  fleet::ResultSet results;
+  exp::Table summary({"policy", "admitted", "rejected", "expired",
+                      "admission rate", "deadline miss", "goodput (Mbps)",
+                      "orphans", "replans"});
+  std::size_t failures = 0;
+  for (const std::string& policy :
+       util::split_list("--policies", options.policies)) {
+    server::ServerConfig config;
+    config.planning_paths = exp::table3_model_paths();
+    config.true_paths = exp::table3_paths();
+    config.policy = policy;
+    config.min_quality = options.min_quality;
+    config.max_queue_wait_s = options.patience_s;
+    config.replan_on_departure = options.replan;
+    config.seed = options.seed;
+
+    server::SessionServer session_server(config);
+    const server::ServerOutcome outcome = session_server.run(requests);
+    if (!outcome.conserved) {
+      std::cerr << "dmc_server: link packet conservation violated under "
+                << policy << "\n";
+      ++failures;
+    }
+
+    summary.add_row(
+        {policy, std::to_string(outcome.admitted),
+         std::to_string(outcome.rejected), std::to_string(outcome.expired),
+         exp::Table::percent(outcome.admission_rate),
+         exp::Table::percent(outcome.deadline_miss_rate),
+         exp::Table::num(to_mbps(outcome.goodput_bps), 1),
+         std::to_string(outcome.orphans.total()),
+         std::to_string(outcome.replans)});
+    if (!options.quiet && options.per_session) {
+      exp::banner("per-session fates: " + policy);
+      session_table(outcome).print();
+      std::cout << "\n";
+    }
+    results.records.push_back(
+        fleet::server_record("server",
+                             {{"arrivals_per_s", options.arrival_rate},
+                              {"rate_mbps", options.rate_mbps},
+                              {"lifetime_ms", options.lifetime_ms}},
+                             config, outcome));
+  }
+
+  if (!options.quiet) {
+    exp::banner("online admission: " + std::to_string(requests.size()) +
+                " arrivals at " + exp::Table::num(options.arrival_rate, 1) +
+                "/s");
+    summary.print();
+    std::cout << "\n";
+  }
+  if (!options.json_path.empty()) write_to(options.json_path, results, false);
+  if (!options.csv_path.empty()) write_to(options.csv_path, results, true);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_cli(argc, argv));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "dmc_server: " << e.what() << "\n\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dmc_server: " << e.what() << "\n";
+    return 1;
+  }
+}
