@@ -1,0 +1,157 @@
+// Warm-started vs cold LP re-solves on the admission / re-planning hot path
+// (google-benchmark). Each iteration mutates the measured background load —
+// the residual-capacity drift one admission or departure causes — and asks
+// for a fresh plan, either through the stateless cold pipeline (model
+// rebuild + two-phase simplex, the PR-3 status quo) or through a persistent
+// core::Planner (metrics re-bind + dual-simplex re-solve from the stored
+// basis). The benchmark arg is the real-path count; 10 paths with m = 2
+// transmissions is a 121-column LP. The PR-4 acceptance bar: warm admission
+// throughput >= 3x cold at 10 paths (see BENCH_pr4.json).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "server/admission.h"
+#include "server/arrivals.h"
+
+namespace {
+
+using namespace dmc;
+
+// Synthetic n-path networks extending the Table III shape: heterogeneous
+// bandwidth, delay, and loss so the LP has real structure at every size.
+core::PathSet make_paths(int n) {
+  core::PathSet paths;
+  for (int i = 0; i < n; ++i) {
+    core::PathSpec path;
+    path.name = "p" + std::to_string(i);
+    path.bandwidth_bps = mbps(20.0 + 15.0 * static_cast<double>(i % 5));
+    path.delay_s = ms(60.0 + 35.0 * static_cast<double>(i % 7));
+    path.loss_rate = 0.002 * static_cast<double>(1 + i % 4);
+    paths.add(std::move(path));
+  }
+  return paths;
+}
+
+server::SessionRequest request_20mbps() {
+  server::SessionRequest request;
+  request.traffic = exp::table4_traffic_rate(mbps(20));
+  request.num_messages = 400;
+  return request;
+}
+
+// Deterministic background-load drift, mimicking the PR-3 admission
+// workload's churn: a cheap xorshift stream scaled per path.
+struct LoadDrift {
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  double next_fraction() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state % 1000) / 1250.0;  // [0, 0.8)
+  }
+  void fill(const core::PathSet& paths, std::vector<double>& out) {
+    out.resize(paths.size());
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      out[p] = paths[p].bandwidth_bps * next_fraction();
+    }
+  }
+};
+
+server::AdmissionContext make_context(const core::PathSet& paths) {
+  server::AdmissionContext context;
+  context.nominal_paths = &paths;
+  context.background_bps.assign(paths.size(), 0.0);
+  context.residual_bps.assign(paths.size(), 0.0);
+  return context;
+}
+
+// The PR-3 status quo: every decision rebuilds the model and runs the
+// two-phase simplex from scratch.
+void BM_AdmissionColdLp(benchmark::State& state) {
+  const auto paths = make_paths(static_cast<int>(state.range(0)));
+  const auto request = request_20mbps();
+  auto policy = server::make_policy("feasibility-lp");
+  auto context = make_context(paths);
+  LoadDrift drift;
+  for (auto _ : state) {
+    drift.fill(paths, context.background_bps);
+    benchmark::DoNotOptimize(policy->decide(request, context).verdict);
+  }
+  state.SetItemsProcessed(state.iterations());  // admissions/sec
+}
+BENCHMARK(BM_AdmissionColdLp)->Arg(2)->Arg(4)->Arg(10);
+
+// The PR-4 hot path: one persistent planner across decisions — combination
+// metrics re-bound, the LP re-optimized from the previous optimal basis.
+void BM_AdmissionWarmLp(benchmark::State& state) {
+  const auto paths = make_paths(static_cast<int>(state.range(0)));
+  const auto request = request_20mbps();
+  auto policy = server::make_policy("feasibility-lp");
+  auto context = make_context(paths);
+  core::Planner planner(core::Planner::Options{{}, true});
+  context.planner = &planner;
+  LoadDrift drift;
+  for (auto _ : state) {
+    drift.fill(paths, context.background_bps);
+    benchmark::DoNotOptimize(policy->decide(request, context).verdict);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["warm_solves"] =
+      static_cast<double>(planner.lp_stats().warm_solves);
+  state.counters["fallbacks"] =
+      static_cast<double>(planner.lp_stats().fallbacks);
+}
+BENCHMARK(BM_AdmissionWarmLp)->Arg(2)->Arg(4)->Arg(10);
+
+// Departure-triggered re-planning: the same session re-solved against a
+// drifting residual. Cold rebuilds paths + model + LP; warm pushes the new
+// capacities into the session's planner as a rhs-only delta.
+void BM_ReplanCold(benchmark::State& state) {
+  const auto paths = make_paths(static_cast<int>(state.range(0)));
+  const auto traffic = exp::table4_traffic_rate(mbps(20));
+  core::CrossTraffic cross;
+  LoadDrift drift;
+  for (auto _ : state) {
+    drift.fill(paths, cross.background_bps);
+    benchmark::DoNotOptimize(
+        core::plan_max_quality(paths, traffic, cross, {}).quality());
+  }
+  state.SetItemsProcessed(state.iterations());  // replans/sec
+}
+BENCHMARK(BM_ReplanCold)->Arg(2)->Arg(4)->Arg(10);
+
+void BM_ReplanWarm(benchmark::State& state) {
+  const auto paths = make_paths(static_cast<int>(state.range(0)));
+  const auto traffic = exp::table4_traffic_rate(mbps(20));
+  core::Planner planner(core::Planner::Options{{}, true});
+  core::Plan current = planner.plan(paths, traffic);
+  core::ReplanDelta delta;
+  delta.bandwidth_bps.assign(paths.size(), 0.0);
+  LoadDrift drift;
+  std::vector<double> background;
+  for (auto _ : state) {
+    drift.fill(paths, background);
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      delta.bandwidth_bps[p] =
+          std::max(1.0, paths[p].bandwidth_bps - background[p]);
+    }
+    current = planner.replan(current, delta);
+    benchmark::DoNotOptimize(current.quality());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["warm_solves"] =
+      static_cast<double>(planner.lp_stats().warm_solves);
+  state.counters["fallbacks"] =
+      static_cast<double>(planner.lp_stats().fallbacks);
+}
+BENCHMARK(BM_ReplanWarm)->Arg(2)->Arg(4)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -49,15 +49,18 @@ Model::Model(PathSet real_paths, TrafficSpec traffic, ModelOptions options)
   dmin_ = model_paths_.min_delay();
 
   random_ = options_.force_random || model_paths_.any_random();
-  metrics_.resize(combos_.size());
+  std::vector<ComboMetrics> metrics(combos_.size());
   if (random_) {
-    compute_random_metrics();
+    compute_random_metrics(metrics);
   } else {
-    compute_deterministic_metrics();
+    compute_deterministic_metrics(metrics);
   }
+  metrics_ = std::make_shared<const std::vector<ComboMetrics>>(
+      std::move(metrics));
 }
 
-void Model::compute_deterministic_metrics() {
+void Model::compute_deterministic_metrics(
+    std::vector<ComboMetrics>& metrics) const {
   const int m = options_.transmissions;
   const std::size_t n = model_paths_.size();
   const double delta = traffic_.lifetime_s;
@@ -69,7 +72,7 @@ void Model::compute_deterministic_metrics() {
   }
 
   for (std::size_t l = 0; l < combos_.size(); ++l) {
-    ComboMetrics& combo = metrics_[l];
+    ComboMetrics& combo = metrics[l];
     combo.attempts = combos_.decode(l);
     combo.expected_load.assign(n, 0.0);
     combo.timeouts.clear();
@@ -98,7 +101,8 @@ void Model::compute_deterministic_metrics() {
   }
 }
 
-void Model::compute_random_metrics() {
+void Model::compute_random_metrics(
+    std::vector<ComboMetrics>& metrics) const {
   const int m = options_.transmissions;
   const std::size_t n = model_paths_.size();
   const double delta = traffic_.lifetime_s;
@@ -151,7 +155,7 @@ void Model::compute_random_metrics() {
   }
 
   for (std::size_t l = 0; l < combos_.size(); ++l) {
-    ComboMetrics& combo = metrics_[l];
+    ComboMetrics& combo = metrics[l];
     combo.attempts = combos_.decode(l);
     combo.expected_load.assign(n, 0.0);
     combo.timeouts.clear();
@@ -211,7 +215,7 @@ void Model::add_shared_constraints(lp::Problem& problem) const {
     if (std::isinf(cap)) continue;
     std::vector<double> row(combos_.size(), 0.0);
     for (std::size_t l = 0; l < combos_.size(); ++l) {
-      row[l] = lambda * metrics_[l].expected_load[path];
+      row[l] = lambda * (*metrics_)[l].expected_load[path];
     }
     problem.add_constraint(std::move(row), lp::Relation::less_equal, cap,
                            "bandwidth[" + model_paths_[path].name + "]");
@@ -227,7 +231,7 @@ lp::Problem Model::quality_lp() const {
   problem.sense = lp::Sense::maximize;
   problem.objective.resize(combos_.size());
   for (std::size_t l = 0; l < combos_.size(); ++l) {
-    problem.objective[l] = metrics_[l].delivery_probability;
+    problem.objective[l] = (*metrics_)[l].delivery_probability;
   }
 
   add_shared_constraints(problem);
@@ -236,12 +240,72 @@ lp::Problem Model::quality_lp() const {
   if (!std::isinf(traffic_.cost_cap_per_s)) {
     std::vector<double> row(combos_.size(), 0.0);
     for (std::size_t l = 0; l < combos_.size(); ++l) {
-      row[l] = traffic_.rate_bps * metrics_[l].cost_per_bit;
+      row[l] = traffic_.rate_bps * (*metrics_)[l].cost_per_bit;
     }
     problem.add_constraint(std::move(row), lp::Relation::less_equal,
                            traffic_.cost_cap_per_s, "cost");
   }
   return problem;
+}
+
+lp::Problem Model::quality_lp_normalized() const {
+  const std::size_t n = model_paths_.size();
+  lp::Problem problem;
+  problem.sense = lp::Sense::maximize;
+  problem.objective.resize(combos_.size());
+  for (std::size_t l = 0; l < combos_.size(); ++l) {
+    problem.objective[l] = (*metrics_)[l].delivery_probability;
+  }
+
+  const double lambda = traffic_.rate_bps;
+  for (std::size_t path = 0; path < n; ++path) {
+    const double cap = model_paths_[path].bandwidth_bps;
+    if (std::isinf(cap)) continue;
+    std::vector<double> row(combos_.size(), 0.0);
+    for (std::size_t l = 0; l < combos_.size(); ++l) {
+      row[l] = (*metrics_)[l].expected_load[path];
+    }
+    problem.add_constraint(std::move(row), lp::Relation::less_equal,
+                           cap / lambda,
+                           "bandwidth[" + model_paths_[path].name + "]");
+  }
+  problem.add_constraint(std::vector<double>(combos_.size(), 1.0),
+                         lp::Relation::equal, 1.0, "sum_x");
+  if (!std::isinf(traffic_.cost_cap_per_s)) {
+    std::vector<double> row(combos_.size(), 0.0);
+    for (std::size_t l = 0; l < combos_.size(); ++l) {
+      row[l] = (*metrics_)[l].cost_per_bit;
+    }
+    problem.add_constraint(std::move(row), lp::Relation::less_equal,
+                           traffic_.cost_cap_per_s / lambda, "cost");
+  }
+  return problem;
+}
+
+Model Model::rebind(const TrafficSpec& traffic,
+                    const std::vector<double>& real_bandwidth_bps) const {
+  if (traffic.lifetime_s != traffic_.lifetime_s) {
+    throw std::invalid_argument(
+        "Model::rebind: lifetime changed; combination metrics would be stale");
+  }
+  traffic.check();
+  if (real_bandwidth_bps.size() != real_paths_.size()) {
+    throw std::invalid_argument(
+        "Model::rebind: bandwidth count does not match path count");
+  }
+  Model copy = *this;
+  std::vector<PathSpec> paths;
+  paths.reserve(real_paths_.size());
+  for (std::size_t i = 0; i < real_paths_.size(); ++i) {
+    PathSpec path = real_paths_[i];
+    path.bandwidth_bps = real_bandwidth_bps[i];
+    paths.push_back(std::move(path));
+  }
+  copy.real_paths_ = PathSet(std::move(paths));  // re-checks bandwidth > 0
+  copy.model_paths_ =
+      build_model_paths(copy.real_paths_, copy.options_.use_blackhole);
+  copy.traffic_ = traffic;
+  return copy;
 }
 
 lp::Problem Model::cost_min_lp(double min_quality) const {
@@ -252,7 +316,7 @@ lp::Problem Model::cost_min_lp(double min_quality) const {
   problem.sense = lp::Sense::minimize;
   problem.objective.resize(combos_.size());
   for (std::size_t l = 0; l < combos_.size(); ++l) {
-    problem.objective[l] = traffic_.rate_bps * metrics_[l].cost_per_bit;
+    problem.objective[l] = traffic_.rate_bps * (*metrics_)[l].cost_per_bit;
   }
 
   add_shared_constraints(problem);
@@ -260,7 +324,7 @@ lp::Problem Model::cost_min_lp(double min_quality) const {
   // Quality bound (Equations 21-23): sum p_l x_l >= min_quality.
   std::vector<double> row(combos_.size(), 0.0);
   for (std::size_t l = 0; l < combos_.size(); ++l) {
-    row[l] = metrics_[l].delivery_probability;
+    row[l] = (*metrics_)[l].delivery_probability;
   }
   problem.add_constraint(std::move(row), lp::Relation::greater_equal,
                          min_quality, "quality");
@@ -274,11 +338,11 @@ PlanMetrics Model::evaluate(const std::vector<double>& x) const {
   PlanMetrics out;
   out.send_rate_bps.assign(model_paths_.size(), 0.0);
   for (std::size_t l = 0; l < combos_.size(); ++l) {
-    out.quality += metrics_[l].delivery_probability * x[l];
-    out.cost_per_s += traffic_.rate_bps * metrics_[l].cost_per_bit * x[l];
+    out.quality += (*metrics_)[l].delivery_probability * x[l];
+    out.cost_per_s += traffic_.rate_bps * (*metrics_)[l].cost_per_bit * x[l];
     for (std::size_t path = 0; path < model_paths_.size(); ++path) {
       out.send_rate_bps[path] +=
-          traffic_.rate_bps * metrics_[l].expected_load[path] * x[l];
+          traffic_.rate_bps * (*metrics_)[l].expected_load[path] * x[l];
     }
   }
   return out;

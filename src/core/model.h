@@ -75,7 +75,7 @@ class Model {
   const TrafficSpec& traffic() const { return traffic_; }
   const ModelOptions& options() const { return options_; }
   const CombinationSpace& combos() const { return combos_; }
-  const std::vector<ComboMetrics>& metrics() const { return metrics_; }
+  const std::vector<ComboMetrics>& metrics() const { return *metrics_; }
 
   bool has_blackhole() const { return options_.use_blackhole; }
   // Model index of a real path (identity + 1 when the blackhole is on).
@@ -91,6 +91,22 @@ class Model {
   // Equation 10: maximize quality subject to bandwidth, cost, and sum-to-1.
   lp::Problem quality_lp() const;
 
+  // Equation 10 with the bandwidth and cost rows divided by lambda: the
+  // same feasible set and optimum (pure row scaling), but the coefficient
+  // matrix becomes rate-independent — two sessions' LPs then differ only in
+  // the right-hand side, which is what lets lp::IncrementalSolver reuse one
+  // optimal basis across admission decisions (see core::Planner).
+  lp::Problem quality_lp_normalized() const;
+
+  // Cheap re-bind for warm-started re-planning: a copy of this model with
+  // new per-real-path capacities and a new rate / cost cap, reusing the
+  // combination metrics instead of recomputing them. Valid because the
+  // metrics depend only on delays, losses, costs, and the lifetime — the
+  // lifetime must therefore be unchanged (checked), as must the paths'
+  // delay/loss/cost characteristics (the caller's contract).
+  Model rebind(const TrafficSpec& traffic,
+               const std::vector<double>& real_bandwidth_bps) const;
+
   // Equation 20: minimize cost subject to bandwidth, quality >= min_quality,
   // and sum-to-1. (The paper writes the quality bound's rhs as mu; the
   // consistent sign with Equation 22's negated coefficients is -mu, which is
@@ -101,8 +117,8 @@ class Model {
   PlanMetrics evaluate(const std::vector<double>& x) const;
 
  private:
-  void compute_deterministic_metrics();
-  void compute_random_metrics();
+  void compute_deterministic_metrics(std::vector<ComboMetrics>& metrics) const;
+  void compute_random_metrics(std::vector<ComboMetrics>& metrics) const;
   void add_shared_constraints(lp::Problem& problem) const;
 
   PathSet real_paths_;
@@ -110,7 +126,10 @@ class Model {
   TrafficSpec traffic_;
   ModelOptions options_;
   CombinationSpace combos_;
-  std::vector<ComboMetrics> metrics_;
+  // Immutable once computed and shared between rebound copies (rebind), so
+  // the re-planning hot path neither recomputes nor deep-copies the n^m
+  // combination table.
+  std::shared_ptr<const std::vector<ComboMetrics>> metrics_;
   double dmin_ = 0.0;
   std::size_t dmin_model_index_ = 0;
   bool random_ = false;

@@ -1,6 +1,7 @@
 #include "core/planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -112,6 +113,195 @@ Plan plan_min_cost(const PathSet& paths, const TrafficSpec& traffic,
                    double min_quality, const PlanOptions& options) {
   auto model = std::make_shared<const Model>(paths, traffic, options.model);
   return solve(model, model->cost_min_lp(min_quality), options.solver);
+}
+
+namespace {
+
+// A cached model's combination metrics stay valid when the new inputs
+// differ only in bandwidth and rate / cost cap: metrics depend on delays,
+// losses, per-bit costs, and the lifetime alone. Random-delay paths compare
+// by distribution identity — apply_cross_traffic builds fresh shifted
+// distributions when it inflates delays, so a delay change can never alias
+// a cached model.
+bool rebindable(const Model& model, const PathSet& paths,
+                const TrafficSpec& traffic) {
+  if (traffic.lifetime_s != model.traffic().lifetime_s) return false;
+  const PathSet& base = model.real_paths();
+  if (paths.size() != base.size()) return false;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const PathSpec& a = base[i];
+    const PathSpec& b = paths[i];
+    if (a.delay_dist != b.delay_dist) return false;
+    if (!a.delay_dist && a.delay_s != b.delay_s) return false;
+    if (a.loss_rate != b.loss_rate || a.cost_per_bit != b.cost_per_bit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The bandwidth column of apply_cross_traffic — same derate rule, same
+// argument checks — without materializing the derated PathSet. Bit-for-bit
+// agreement with apply_cross_traffic is what keeps the warm fast path and
+// the cold rebuild path planning against identical capacities.
+std::vector<double> derated_bandwidth(const PathSet& paths,
+                                      const CrossTraffic& cross) {
+  if (cross.background_bps.size() > paths.size()) {
+    throw std::invalid_argument(
+        "apply_cross_traffic: more background entries than paths");
+  }
+  if (cross.min_bandwidth_bps <= 0.0) {
+    throw std::invalid_argument(
+        "apply_cross_traffic: min bandwidth must be > 0");
+  }
+  std::vector<double> out;
+  out.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const double background =
+        i < cross.background_bps.size() ? cross.background_bps[i] : 0.0;
+    if (background < 0.0) {
+      throw std::invalid_argument(
+          "apply_cross_traffic: negative background load");
+    }
+    out.push_back(background == 0.0 || paths[i].is_blackhole()
+                      ? paths[i].bandwidth_bps
+                      : std::max(cross.min_bandwidth_bps,
+                                 paths[i].bandwidth_bps - background));
+  }
+  return out;
+}
+
+}  // namespace
+
+Planner::Planner(Options options) : options_(std::move(options)) {
+  lp::IncrementalSolver::Options solver_options;
+  solver_options.simplex = options_.plan.solver;
+  solver_ = lp::IncrementalSolver(solver_options);
+}
+
+Planner::Planner(PlanOptions plan_options, bool warm_start)
+    : Planner(Options{std::move(plan_options), warm_start}) {}
+
+Plan Planner::solve_model(std::shared_ptr<const Model> model) {
+  lp::Problem problem = model->quality_lp_normalized();
+  lp::Solution solution = options_.warm_start ? solver_.resolve(problem)
+                                              : solver_.solve(problem);
+  cached_ = model;
+  return Plan(std::move(model), std::move(solution));
+}
+
+bool Planner::delta_compatible(const PathSet& paths,
+                               const TrafficSpec& traffic) const {
+  if (!options_.warm_start || !cached_) return false;
+  if (!rebindable(*cached_, paths, traffic)) return false;
+  // The stored LP's row layout must survive: a cost row appears exactly
+  // when the cost cap is finite, and every real path must own a (finite)
+  // bandwidth row for the row <-> path index mapping to hold.
+  if (std::isinf(traffic.cost_cap_per_s) !=
+      std::isinf(cached_->traffic().cost_cap_per_s)) {
+    return false;
+  }
+  const std::size_t expected_rows =
+      paths.size() + 1 + (std::isinf(traffic.cost_cap_per_s) ? 0 : 1);
+  if (solver_.problem().num_constraints() != expected_rows ||
+      solver_.problem().num_variables() != cached_->combos().size()) {
+    return false;
+  }
+  for (const PathSpec& path : paths) {
+    if (!std::isfinite(path.bandwidth_bps)) return false;
+  }
+  return true;
+}
+
+Plan Planner::plan_delta(const TrafficSpec& traffic,
+                         std::vector<double> bandwidth) {
+  // Hot path: the cached metrics and the solver's stored LP carry over;
+  // new capacities and rate are a pure rhs patch (objective == delivery
+  // probabilities, untouched by rate and bandwidth).
+  auto model =
+      std::make_shared<const Model>(cached_->rebind(traffic, bandwidth));
+  const double lambda = traffic.rate_bps;
+  lp::ProblemDelta delta;
+  delta.rhs.reserve(bandwidth.size() + 1);
+  for (std::size_t i = 0; i < bandwidth.size(); ++i) {
+    delta.rhs.push_back({i, bandwidth[i] / lambda});
+  }
+  if (!std::isinf(traffic.cost_cap_per_s)) {
+    delta.rhs.push_back(
+        {bandwidth.size() + 1, traffic.cost_cap_per_s / lambda});
+  }
+  lp::Solution solution = solver_.resolve(delta);
+  cached_ = model;
+  return Plan(std::move(model), std::move(solution));
+}
+
+Plan Planner::plan(const PathSet& paths, const TrafficSpec& traffic) {
+  if (delta_compatible(paths, traffic)) {
+    std::vector<double> bandwidth;
+    bandwidth.reserve(paths.size());
+    for (const PathSpec& path : paths) {
+      bandwidth.push_back(path.bandwidth_bps);
+    }
+    return plan_delta(traffic, std::move(bandwidth));
+  }
+  std::shared_ptr<const Model> model;
+  if (options_.warm_start && cached_ && rebindable(*cached_, paths, traffic)) {
+    std::vector<double> bandwidth;
+    bandwidth.reserve(paths.size());
+    for (const PathSpec& path : paths) {
+      bandwidth.push_back(path.bandwidth_bps);
+    }
+    model = std::make_shared<const Model>(cached_->rebind(traffic, bandwidth));
+  } else {
+    model = std::make_shared<const Model>(paths, traffic, options_.plan.model);
+  }
+  return solve_model(std::move(model));
+}
+
+Plan Planner::plan(const PathSet& paths, const TrafficSpec& traffic,
+                   const CrossTraffic& cross) {
+  // Without queueing-delay inflation the cross traffic only derates
+  // bandwidth, so the derated PathSet never needs to exist on the hot path.
+  if (cross.queue_delay_at_half_load_s == 0.0 &&
+      delta_compatible(paths, traffic)) {
+    return plan_delta(traffic, derated_bandwidth(paths, cross));
+  }
+  return plan(apply_cross_traffic(paths, cross), traffic);
+}
+
+Plan Planner::replan(const Plan& previous, const ReplanDelta& delta) {
+  const Model& base = previous.model();
+  if (delta.bandwidth_bps.size() != base.real_paths().size()) {
+    throw std::invalid_argument(
+        "ReplanDelta: bandwidth count does not match the plan's path count");
+  }
+  auto model = std::make_shared<const Model>(
+      base.rebind(base.traffic(), delta.bandwidth_bps));
+  // Fast path: the solver still holds this plan's LP, so the new capacities
+  // are a pure rhs delta — no problem rebuild, a few dual pivots. The row
+  // mapping (bandwidth row i == real path i) assumes every real path has a
+  // finite capacity row; an infinite-bandwidth path drops its row, so that
+  // (unusual) shape takes the generic path below.
+  bool finite_caps = true;
+  for (const PathSpec& path : base.real_paths()) {
+    finite_caps = finite_caps && std::isfinite(path.bandwidth_bps);
+  }
+  for (const double cap : delta.bandwidth_bps) {
+    finite_caps = finite_caps && std::isfinite(cap);
+  }
+  if (finite_caps && options_.warm_start && solver_.has_basis() &&
+      cached_ == previous.model_ptr()) {
+    const double lambda = base.traffic().rate_bps;
+    lp::ProblemDelta lp_delta;
+    lp_delta.rhs.reserve(delta.bandwidth_bps.size());
+    for (std::size_t i = 0; i < delta.bandwidth_bps.size(); ++i) {
+      lp_delta.rhs.push_back({i, delta.bandwidth_bps[i] / lambda});
+    }
+    lp::Solution solution = solver_.resolve(lp_delta);
+    cached_ = model;
+    return Plan(std::move(model), std::move(solution));
+  }
+  return solve_model(std::move(model));
 }
 
 Plan plan_single_path(const PathSet& paths, std::size_t index,

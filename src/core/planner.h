@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/model.h"
+#include "lp/incremental.h"
 #include "lp/simplex.h"
 
 namespace dmc::core {
@@ -102,5 +103,71 @@ Plan plan_min_cost(const PathSet& paths, const TrafficSpec& traffic,
 Plan plan_single_path(const PathSet& paths, std::size_t index,
                       const TrafficSpec& traffic,
                       const PlanOptions& options = {});
+
+// Residual-capacity delta for warm re-planning: the new capacity of each
+// real path (bits/s), e.g. nominal bandwidth minus measured background from
+// sim::UtilizationMeter. Everything else about the previous plan's problem
+// (deadline, rate, cost cap, delays) is unchanged, which is what makes the
+// re-solve a pure right-hand-side update.
+struct ReplanDelta {
+  std::vector<double> bandwidth_bps;  // one entry per real path
+};
+
+// Stateful planning front-end for the admission / re-planning hot path. A
+// Planner owns an lp::IncrementalSolver plus the last solve's Model, and
+// re-optimizes successive LPs from the previous optimal basis instead of
+// running two simplex phases from scratch. Two layers of reuse:
+//
+//   * the Model cache: when consecutive calls differ only in bandwidths and
+//     rate/cost cap (residual-capacity drift under admission churn), the
+//     combination metrics are re-bound instead of recomputed;
+//   * the LP basis: the rate-normalized LP (Model::quality_lp_normalized)
+//     makes those same calls pure rhs updates, which the solver absorbs
+//     with a few dual simplex pivots.
+//
+// One Planner serves one stream of related decisions — a server's admission
+// pipeline, or one live session's re-plans. The free functions above remain
+// the stateless one-shot API. With warm_start off every call solves cold
+// through the same canonical pipeline, so toggling warm start changes how
+// fast a plan is found, not (for a unique optimum) which plan.
+class Planner {
+ public:
+  struct Options {
+    PlanOptions plan;
+    bool warm_start = true;
+  };
+
+  Planner() = default;
+  explicit Planner(Options options);
+  explicit Planner(PlanOptions plan_options, bool warm_start = true);
+
+  // plan_max_quality, warm-capable.
+  Plan plan(const PathSet& paths, const TrafficSpec& traffic);
+  Plan plan(const PathSet& paths, const TrafficSpec& traffic,
+            const CrossTraffic& cross);
+
+  // Re-solves `previous`'s LP with new capacity caps (rhs-only delta).
+  Plan replan(const Plan& previous, const ReplanDelta& delta);
+
+  bool warm_start() const { return options_.warm_start; }
+  const lp::IncrementalSolver::Stats& lp_stats() const {
+    return solver_.stats();
+  }
+  // Zeroes the solve counters, keeping the warm state. A copied planner
+  // (e.g. a session's re-plan snapshot of the admission planner) calls
+  // this so summing per-planner stats never double-counts the original's.
+  void reset_lp_stats() { solver_.reset_stats(); }
+
+ private:
+  Plan solve_model(std::shared_ptr<const Model> model);
+  // True when the cached model's metrics and the solver's stored LP can
+  // absorb (paths, traffic) as a pure rhs patch.
+  bool delta_compatible(const PathSet& paths, const TrafficSpec& traffic) const;
+  Plan plan_delta(const TrafficSpec& traffic, std::vector<double> bandwidth);
+
+  Options options_;
+  lp::IncrementalSolver solver_;
+  std::shared_ptr<const Model> cached_;  // model behind solver_'s stored LP
+};
 
 }  // namespace dmc::core

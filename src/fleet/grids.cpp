@@ -167,6 +167,7 @@ std::vector<JobSpec> server_grid(const ServerAxes& axes,
             work.config.planning_paths = planning;
             work.config.true_paths = truth;
             work.config.policy = policy;
+            work.config.warm_start = axes.warm_start;
             work.config.seed = point_seed;
             work.workload.count = axes.count;
             work.workload.arrivals_per_s = arrivals;

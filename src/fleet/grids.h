@@ -50,6 +50,10 @@ struct ServerAxes {
                                        "threshold"};
   int count = 200;             // arrivals per cell
   double mean_messages = 400;  // mean session size (messages)
+  // Warm-started LP re-solves in every cell's server (ServerConfig::
+  // warm_start); the per-record lp_* counters make the cold/warm split
+  // visible in the exported results.
+  bool warm_start = true;
 };
 
 std::vector<JobSpec> server_grid(const ServerAxes& axes,

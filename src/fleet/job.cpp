@@ -170,6 +170,10 @@ RunRecord server_record(std::string scenario, std::vector<Param> params,
   record.mean_queue_wait_s = outcome.mean_queue_wait_s;
   record.replans = outcome.replans;
   record.orphan_packets = outcome.orphans.total();
+  record.warm_start = config.warm_start;
+  record.lp_warm_solves = outcome.lp.warm_solves;
+  record.lp_cold_solves = outcome.lp.cold_solves;
+  record.lp_fallbacks = outcome.lp.fallbacks;
   record.sessions = static_cast<int>(outcome.arrivals);
   record.elapsed_s = outcome.elapsed_s;
   record.events = outcome.events;

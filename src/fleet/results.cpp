@@ -108,7 +108,11 @@ void write_record(std::ostream& out, const RunRecord& record) {
         << ",\"mean_queue_wait_s\":"
         << format_double(record.mean_queue_wait_s)
         << ",\"replans\":" << record.replans
-        << ",\"orphan_packets\":" << record.orphan_packets << "}";
+        << ",\"orphan_packets\":" << record.orphan_packets
+        << ",\"warm_start\":" << (record.warm_start ? "true" : "false")
+        << ",\"lp_warm_solves\":" << record.lp_warm_solves
+        << ",\"lp_cold_solves\":" << record.lp_cold_solves
+        << ",\"lp_fallbacks\":" << record.lp_fallbacks << "}";
   }
   out << ",\"links\":[";
   for (std::size_t i = 0; i < record.links.size(); ++i) {
@@ -147,7 +151,8 @@ void ResultSet::write_csv(std::ostream& out) const {
          "theory_quality,measured_quality,elapsed_s,events,generated,on_time,"
          "late,retransmissions,duplicates,gave_up,delay_mean_s,delay_p50_s,"
          "delay_p99_s,policy,arrivals,admitted,rejected,expired,"
-         "admission_rate,deadline_miss_rate,goodput_bps\n";
+         "admission_rate,deadline_miss_rate,goodput_bps,warm_start,"
+         "lp_warm_solves,lp_cold_solves,lp_fallbacks\n";
   for (const RunRecord& record : records) {
     std::string params;
     for (const Param& param : record.params) {
@@ -178,7 +183,10 @@ void ResultSet::write_csv(std::ostream& out) const {
         << record.rejected << "," << record.expired << ","
         << format_double(record.admission_rate) << ","
         << format_double(record.deadline_miss_rate) << ","
-        << format_double(record.goodput_bps) << "\n";
+        << format_double(record.goodput_bps) << ","
+        << (record.warm_start ? "true" : "false") << ","
+        << record.lp_warm_solves << "," << record.lp_cold_solves << ","
+        << record.lp_fallbacks << "\n";
   }
 }
 

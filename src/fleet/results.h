@@ -76,6 +76,14 @@ struct RunRecord {
   double mean_queue_wait_s = 0.0;
   std::uint64_t replans = 0;
   std::uint64_t orphan_packets = 0;  // outlived their session's teardown
+  // Warm-started LP re-solve accounting (PR 4): how much of the control
+  // plane's solver work the stored-basis path absorbed. Deterministic, so
+  // it lives in the diffable result schema; wall-clock speedups are the
+  // bench_warm_start benchmark's job.
+  bool warm_start = false;
+  std::uint64_t lp_warm_solves = 0;
+  std::uint64_t lp_cold_solves = 0;
+  std::uint64_t lp_fallbacks = 0;
 };
 
 struct ResultSet {

@@ -1,0 +1,206 @@
+#include "lp/basis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmc::lp {
+
+ComputationalForm ComputationalForm::build(const Problem& problem) {
+  ComputationalForm form;
+  form.rows = problem.num_constraints();
+  form.structural = problem.num_variables();
+  form.sense_factor = problem.sense == Sense::maximize ? -1.0 : 1.0;
+
+  // First pass: normalize every row to rhs >= 0 (flipping the relation when
+  // the row is multiplied by -1) and count auxiliary columns. This mirrors
+  // the dense tableau construction in lp/simplex.cpp exactly; the shared
+  // layout is what makes SimplexSolver's reported basis usable here.
+  form.relation.reserve(form.rows);
+  form.flipped.reserve(form.rows);
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (const Constraint& c : problem.constraints) {
+    Relation relation = c.relation;
+    const bool flip = c.rhs < 0.0;
+    if (flip) {
+      if (relation == Relation::less_equal) {
+        relation = Relation::greater_equal;
+      } else if (relation == Relation::greater_equal) {
+        relation = Relation::less_equal;
+      }
+    }
+    if (relation == Relation::less_equal) {
+      num_slack += 1;
+    } else if (relation == Relation::greater_equal) {
+      num_slack += 1;  // surplus
+      num_artificial += 1;
+    } else {
+      num_artificial += 1;
+    }
+    form.relation.push_back(relation);
+    form.flipped.push_back(flip);
+  }
+
+  const std::size_t slack_begin = form.structural;
+  form.artificial_begin = slack_begin + num_slack;
+  form.cols = form.artificial_begin + num_artificial;
+  form.matrix.assign(form.rows * form.cols, 0.0);
+  form.b.assign(form.rows, 0.0);
+  form.rhs_factor.assign(form.rows, 1.0);
+  form.cost.assign(form.cols, 0.0);
+  form.slack_of_row.assign(form.rows, kNone);
+  form.artificial_of_row.assign(form.rows, kNone);
+
+  for (std::size_t j = 0; j < form.structural; ++j) {
+    form.cost[j] = form.sense_factor * problem.objective[j];
+  }
+
+  std::size_t next_slack = slack_begin;
+  std::size_t next_artificial = form.artificial_begin;
+  for (std::size_t r = 0; r < form.rows; ++r) {
+    const Constraint& c = problem.constraints[r];
+    // Row equilibration, same rule as the tableau solver: divide by the
+    // largest structural coefficient so mixed-magnitude rows (O(1e8)
+    // bandwidth next to O(1) probability) stay numerically sane.
+    double row_scale = 0.0;
+    for (double v : c.coefficients) {
+      row_scale = std::max(row_scale, std::abs(v));
+    }
+    // A vacuous all-zero row (e.g. the cost row when every path is free)
+    // normalizes by its rhs instead, so a huge cap cannot dominate the
+    // b-scale the warm solver derives its feasibility tolerance from.
+    if (row_scale <= 0.0) row_scale = std::max(1.0, std::abs(c.rhs));
+    const double factor = (form.flipped[r] ? -1.0 : 1.0) / row_scale;
+    for (std::size_t j = 0; j < form.structural; ++j) {
+      form.matrix[j * form.rows + r] = factor * c.coefficients[j];
+    }
+    form.b[r] = factor * c.rhs;
+    form.rhs_factor[r] = factor;
+
+    if (form.relation[r] == Relation::less_equal) {
+      form.slack_of_row[r] = next_slack;
+      form.matrix[next_slack * form.rows + r] = 1.0;
+      ++next_slack;
+    } else if (form.relation[r] == Relation::greater_equal) {
+      form.slack_of_row[r] = next_slack;
+      form.matrix[next_slack * form.rows + r] = -1.0;  // surplus
+      ++next_slack;
+      form.artificial_of_row[r] = next_artificial;
+      form.matrix[next_artificial * form.rows + r] = 1.0;
+      ++next_artificial;
+    } else {
+      form.artificial_of_row[r] = next_artificial;
+      form.matrix[next_artificial * form.rows + r] = 1.0;
+      ++next_artificial;
+    }
+  }
+  return form;
+}
+
+bool BasisFactorization::factorize(const ComputationalForm& form,
+                                   const std::vector<std::size_t>& basis) {
+  rows_ = form.rows;
+  etas_.clear();
+  if (basis.size() != rows_) return false;
+
+  // Gather B row-major, then Doolittle LU with partial pivoting in place.
+  lu_.assign(rows_ * rows_, 0.0);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    if (basis[k] >= form.cols) return false;
+    const std::span<const double> col = form.column(basis[k]);
+    for (std::size_t r = 0; r < rows_; ++r) lu_[r * rows_ + k] = col[r];
+  }
+  perm_.resize(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) perm_[r] = r;
+
+  for (std::size_t k = 0; k < rows_; ++k) {
+    std::size_t pivot = k;
+    double best = std::abs(lu_[perm_[k] * rows_ + k]);
+    for (std::size_t r = k + 1; r < rows_; ++r) {
+      const double v = std::abs(lu_[perm_[r] * rows_ + k]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;  // numerically singular basis
+    std::swap(perm_[k], perm_[pivot]);
+    const double diag = lu_[perm_[k] * rows_ + k];
+    for (std::size_t r = k + 1; r < rows_; ++r) {
+      double& mult = lu_[perm_[r] * rows_ + k];
+      mult /= diag;
+      if (mult == 0.0) continue;
+      for (std::size_t j = k + 1; j < rows_; ++j) {
+        lu_[perm_[r] * rows_ + j] -= mult * lu_[perm_[k] * rows_ + j];
+      }
+    }
+  }
+  return true;
+}
+
+void BasisFactorization::ftran(std::vector<double>& x) const {
+  // Solve (P B) z = P x with L U z, then apply the eta file in order:
+  // B_k = B E_1 ... E_k, so B_k^{-1} = E_k^{-1} ... E_1^{-1} B^{-1}.
+  std::vector<double> y(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double v = x[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) v -= lu_[perm_[i] * rows_ + j] * y[j];
+    y[i] = v;
+  }
+  for (std::size_t i = rows_; i-- > 0;) {
+    double v = y[i];
+    for (std::size_t j = i + 1; j < rows_; ++j) {
+      v -= lu_[perm_[i] * rows_ + j] * x[j];
+    }
+    x[i] = v / lu_[perm_[i] * rows_ + i];
+  }
+  for (const Eta& eta : etas_) {
+    const double pivot_value = x[eta.pos] / eta.w[eta.pos];
+    for (std::size_t i = 0; i < rows_; ++i) {
+      x[i] -= eta.w[i] * pivot_value;
+    }
+    x[eta.pos] = pivot_value;
+  }
+}
+
+void BasisFactorization::btran(std::vector<double>& y) const {
+  // (B E_1 ... E_k)^T v = y: peel eta transposes in reverse, then solve
+  // U^T L^T (P v) = y.
+  for (std::size_t e = etas_.size(); e-- > 0;) {
+    const Eta& eta = etas_[e];
+    double v = y[eta.pos];
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (i != eta.pos) v -= eta.w[i] * y[i];
+    }
+    y[eta.pos] = v / eta.w[eta.pos];
+  }
+  std::vector<double> z(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double v = y[i];
+    for (std::size_t j = 0; j < i; ++j) v -= lu_[perm_[j] * rows_ + i] * z[j];
+    z[i] = v / lu_[perm_[i] * rows_ + i];
+  }
+  std::vector<double> w(rows_);
+  for (std::size_t i = rows_; i-- > 0;) {
+    double v = z[i];
+    for (std::size_t j = i + 1; j < rows_; ++j) {
+      v -= lu_[perm_[j] * rows_ + i] * w[j];
+    }
+    w[i] = v;
+  }
+  for (std::size_t i = 0; i < rows_; ++i) y[perm_[i]] = w[i];
+}
+
+bool BasisFactorization::update(std::size_t pos, const std::vector<double>& w) {
+  if (pos >= rows_ || w.size() != rows_) return false;
+  // Product-form safety: a tiny pivot in the eta column makes every later
+  // ftran/btran amplify error; signal the caller to refactorize instead.
+  double scale = 0.0;
+  for (double v : w) scale = std::max(scale, std::abs(v));
+  if (std::abs(w[pos]) < 1e-9 * std::max(1.0, scale)) return false;
+  etas_.push_back(Eta{pos, w});
+  return true;
+}
+
+}  // namespace dmc::lp

@@ -1,0 +1,96 @@
+// Computational standard form and basis factorization for the revised
+// simplex re-solve engine (lp::IncrementalSolver).
+//
+// ComputationalForm lowers a general Problem into
+//     minimize  cost . z   subject to  A z = b,  z >= 0
+// with the exact column layout the dense tableau solver (lp/simplex.cpp)
+// uses internally: [structural | slack/surplus | artificial], slack and
+// artificial columns assigned row by row after normalizing every row to a
+// non-negative right-hand side. Matching layouts is what lets a basis
+// reported by a cold SimplexSolver run seed a warm re-solve here.
+//
+// BasisFactorization holds a dense LU factorization (partial pivoting) of
+// the current basis matrix B plus a product-form eta file, so successive
+// pivots update the factorization in O(m^2) instead of refactorizing. The
+// deadline-multipath LPs have m = n_paths + 2 rows, so everything stays
+// dense and small by design (see lp/matrix.h).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "lp/problem.h"
+
+namespace dmc::lp {
+
+struct ComputationalForm {
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::size_t rows = 0;
+  std::size_t structural = 0;        // == problem.num_variables()
+  std::size_t artificial_begin = 0;  // first artificial column
+  std::size_t cols = 0;              // total columns, artificials included
+
+  // Column-major constraint matrix (rows * cols) and scaled rhs (>= 0).
+  std::vector<double> matrix;
+  std::vector<double> b;
+  // b[r] == rhs_factor[r] * constraint[r].rhs: lets a cached form absorb a
+  // rhs-only delta by patching b in place instead of rebuilding the matrix.
+  std::vector<double> rhs_factor;
+  // Phase-2 cost: sense-folded objective over structural columns, zero on
+  // slack/surplus/artificial columns (minimization internally).
+  std::vector<double> cost;
+
+  // Per-row layout bookkeeping, used to decide whether a stored basis is
+  // still interpretable after the problem changed: a row that flips sign
+  // (rhs crossed zero) or changes relation re-assigns its auxiliary
+  // columns, which invalidates every stored column index.
+  std::vector<Relation> relation;           // post-normalization relation
+  std::vector<bool> flipped;                // row multiplied by -1
+  std::vector<std::size_t> slack_of_row;    // kNone when the row has none
+  std::vector<std::size_t> artificial_of_row;  // kNone when none
+
+  double sense_factor = 1.0;  // +1 minimize, -1 maximize
+
+  static ComputationalForm build(const Problem& problem);
+
+  std::span<const double> column(std::size_t j) const {
+    return {matrix.data() + j * rows, rows};
+  }
+};
+
+// Dense LU factorization of the basis matrix with product-form updates.
+class BasisFactorization {
+ public:
+  // Factorizes B = [form.column(basis[0]) ... form.column(basis[m-1])].
+  // Clears the eta file. Returns false when B is numerically singular.
+  bool factorize(const ComputationalForm& form,
+                 const std::vector<std::size_t>& basis);
+
+  // x := B^{-1} x (forward transformation).
+  void ftran(std::vector<double>& x) const;
+  // y := B^{-T} y (backward transformation).
+  void btran(std::vector<double>& y) const;
+
+  // Replaces basis position `pos` by a column whose ftran image is `w`
+  // (w = B^{-1} a_entering). Returns false when the pivot element is too
+  // small for a stable product-form update — refactorize then.
+  bool update(std::size_t pos, const std::vector<double>& w);
+
+  std::size_t eta_count() const { return etas_.size(); }
+  std::size_t rows() const { return rows_; }
+
+ private:
+  struct Eta {
+    std::size_t pos = 0;
+    std::vector<double> w;  // B^{-1} a_entering at update time
+  };
+
+  std::size_t rows_ = 0;
+  std::vector<double> lu_;          // row-major packed L\U of P B
+  std::vector<std::size_t> perm_;   // row permutation: (P B)[k] = B[perm[k]]
+  std::vector<Eta> etas_;
+};
+
+}  // namespace dmc::lp

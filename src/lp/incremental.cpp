@@ -1,0 +1,524 @@
+#include "lp/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace dmc::lp {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+void check_problem(const Problem& problem) {
+  for (const Constraint& c : problem.constraints) {
+    if (c.coefficients.size() != problem.num_variables()) {
+      throw std::invalid_argument("malformed problem: constraint '" + c.name +
+                                  "' width mismatch");
+    }
+  }
+}
+
+// Same shape = the stored basis indices still mean the same columns: equal
+// variable/row counts, equal relations, and no rhs sign change (a flip
+// re-assigns the slack/surplus/artificial layout).
+bool same_shape(const Problem& a, const Problem& b) {
+  if (a.num_variables() != b.num_variables() ||
+      a.num_constraints() != b.num_constraints() || a.sense != b.sense) {
+    return false;
+  }
+  for (std::size_t r = 0; r < a.num_constraints(); ++r) {
+    if (a.constraints[r].relation != b.constraints[r].relation) return false;
+    if ((a.constraints[r].rhs < 0.0) != (b.constraints[r].rhs < 0.0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void IncrementalSolver::reset() {
+  problem_ = Problem{};
+  basis_.clear();
+  form_valid_ = false;
+}
+
+const ComputationalForm& IncrementalSolver::ensure_form() {
+  if (!form_valid_) {
+    form_ = ComputationalForm::build(problem_);
+    form_valid_ = true;
+  }
+  return form_;
+}
+
+Solution IncrementalSolver::solve(const Problem& problem) {
+  check_problem(problem);
+  problem_ = problem;
+  form_valid_ = false;
+  return cold_solve();
+}
+
+Solution IncrementalSolver::cold_solve() {
+  ++stats_.cold_solves;
+  const SimplexSolver solver(options_.simplex);
+  Solution solution = solver.solve(problem_);
+  basis_ = solution.optimal() ? solution.basis : std::vector<std::size_t>{};
+  if (solution.optimal()) {
+    const ComputationalForm& form = ensure_form();
+    BasisFactorization factorization;
+    if (basis_.size() == form.rows && factorization.factorize(form, basis_)) {
+      refine_vertex(form, factorization);
+      if (!canonical_extract(form, factorization, solution)) {
+        // Keep the tableau's solution; drop the warm state rather than seed
+        // re-solves from a basis the factorization rejected.
+        basis_ = solution.basis;
+      }
+    }
+  }
+  return solution;
+}
+
+void IncrementalSolver::refine_vertex(const ComputationalForm& form,
+                                      BasisFactorization& factorization) {
+  const std::size_t m = form.rows;
+  const double eps = options_.simplex.epsilon;
+  double c_scale = 1.0;
+  for (std::size_t j = 0; j < form.structural; ++j) {
+    c_scale = std::max(c_scale, std::abs(form.cost[j]));
+  }
+  const double face_tol = 1e-7 * c_scale;
+  // Secondary objective: minimize sum_j j * z_j over the optimal face —
+  // push mass toward low column indices. Tolerance scaled to its range.
+  const double secondary_tol = 1e-7 * static_cast<double>(form.cols);
+
+  std::vector<bool> is_basic(form.cols, false);
+  for (const std::size_t j : basis_) is_basic[j] = true;
+
+  std::vector<double> xb(m), y(m), y2(m);
+  const std::int64_t max_pivots = 32 + 4 * static_cast<std::int64_t>(m);
+  for (std::int64_t iteration = 0; iteration < max_pivots; ++iteration) {
+    xb = form.b;
+    factorization.ftran(xb);
+    for (std::size_t r = 0; r < m; ++r) y[r] = form.cost[basis_[r]];
+    factorization.btran(y);
+    for (std::size_t r = 0; r < m; ++r) {
+      y2[r] = static_cast<double>(basis_[r]);
+    }
+    factorization.btran(y2);
+
+    std::size_t entering = kNone;
+    double best_d2 = -secondary_tol;
+    for (std::size_t j = 0; j < form.artificial_begin; ++j) {
+      if (is_basic[j]) continue;
+      const std::span<const double> col = form.column(j);
+      double d = form.cost[j];
+      for (std::size_t r = 0; r < m; ++r) d -= y[r] * col[r];
+      if (d > face_tol) continue;  // entering would leave the optimal face
+      double d2 = static_cast<double>(j);
+      for (std::size_t r = 0; r < m; ++r) d2 -= y2[r] * col[r];
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        entering = j;
+      }
+    }
+    if (entering == kNone) return;  // canonical vertex reached
+
+    std::vector<double> w(form.column(entering).begin(),
+                          form.column(entering).end());
+    factorization.ftran(w);
+    std::size_t leaving = kNone;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      if (w[r] <= eps) continue;
+      const double ratio = xb[r] / w[r];
+      if (ratio < best_ratio - eps ||
+          (ratio < best_ratio + eps &&
+           (leaving == kNone || basis_[r] < basis_[leaving]))) {
+        best_ratio = ratio;
+        leaving = r;
+      }
+    }
+    if (leaving == kNone) return;  // face ray: keep the current vertex
+    is_basic[basis_[leaving]] = false;
+    is_basic[entering] = true;
+    basis_[leaving] = entering;
+    if (!factorization.update(leaving, w) ||
+        factorization.eta_count() >= options_.refactor_interval) {
+      if (!factorization.factorize(form, basis_)) return;
+    }
+  }
+}
+
+bool IncrementalSolver::canonical_extract(const ComputationalForm& form,
+                                          BasisFactorization& factorization,
+                                          Solution& solution) {
+  // Bit-identical extraction regardless of pivot history: the row order of
+  // the basis is bookkeeping (permuting it permutes B's columns and x_B
+  // together), but it steers the LU elimination order and therefore the
+  // last-ulp rounding of x. Sorting the basis and refactorizing fresh gives
+  // every path to the same basis the same arithmetic. A pivot-free re-solve
+  // already holds exactly that factorization (sorted basis, no etas), so it
+  // skips the redundant refactorization.
+  const bool fresh = std::is_sorted(basis_.begin(), basis_.end()) &&
+                     factorization.eta_count() == 0;
+  std::sort(basis_.begin(), basis_.end());
+  if (!fresh && !factorization.factorize(form, basis_)) return false;
+  std::vector<double> xb = form.b;
+  factorization.ftran(xb);
+  solution.basis = basis_;
+  solution.x.assign(problem_.num_variables(), 0.0);
+  for (std::size_t r = 0; r < form.rows; ++r) {
+    if (basis_[r] < form.structural) solution.x[basis_[r]] = xb[r];
+  }
+  double value = 0.0;
+  for (std::size_t j = 0; j < problem_.num_variables(); ++j) {
+    value += problem_.objective[j] * solution.x[j];
+  }
+  solution.objective_value = value;
+  return true;
+}
+
+Solution IncrementalSolver::resolve(const Problem& problem) {
+  check_problem(problem);
+  const bool compatible = has_basis() && same_shape(problem_, problem);
+  problem_ = problem;
+  form_valid_ = false;
+  if (!compatible) {
+    if (has_basis()) ++stats_.fallbacks;
+    return cold_solve();
+  }
+  Solution solution;
+  if (!warm_solve(solution)) {
+    ++stats_.fallbacks;
+    return cold_solve();
+  }
+  return solution;
+}
+
+Solution IncrementalSolver::resolve(const ProblemDelta& delta) {
+  const bool had_basis = has_basis();
+  const std::size_t rows = problem_.num_constraints();
+  const std::size_t old_vars = problem_.num_variables();
+
+  // Validate the whole delta before touching anything: a throw must not
+  // leave the stored problem (or its cached form) half-mutated.
+  for (const auto& [row, rhs] : delta.rhs) {
+    (void)rhs;
+    if (row >= rows) {
+      throw std::invalid_argument("ProblemDelta: rhs row out of range");
+    }
+  }
+  for (const auto& [col, value] : delta.objective) {
+    (void)value;
+    if (col >= old_vars) {
+      throw std::invalid_argument(
+          "ProblemDelta: objective column out of range");
+    }
+  }
+  for (const std::size_t col : delta.removed_columns) {
+    if (col >= old_vars) {
+      throw std::invalid_argument("ProblemDelta: removed column out of range");
+    }
+  }
+  for (const ProblemDelta::NewColumn& column : delta.added_columns) {
+    if (column.coefficients.size() != rows) {
+      throw std::invalid_argument("ProblemDelta: new column height mismatch");
+    }
+  }
+
+  for (const auto& [row, rhs] : delta.rhs) {
+    if ((problem_.constraints[row].rhs < 0.0) != (rhs < 0.0)) {
+      // A sign change re-assigns the row's slack/surplus/artificial layout:
+      // the stored basis and cached form no longer describe these columns.
+      basis_.clear();
+      form_valid_ = false;
+    }
+    problem_.constraints[row].rhs = rhs;
+    if (form_valid_) form_.b[row] = form_.rhs_factor[row] * rhs;
+  }
+  for (const auto& [col, value] : delta.objective) {
+    problem_.objective[col] = value;
+    if (form_valid_) form_.cost[col] = form_.sense_factor * value;
+  }
+  if (!delta.removed_columns.empty() || !delta.added_columns.empty()) {
+    form_valid_ = false;
+  }
+
+  // Removals: descending unique order so earlier erasures do not shift the
+  // later indices; the basis is remapped (or invalidated) alongside.
+  std::vector<std::size_t> removed = delta.removed_columns;
+  std::sort(removed.begin(), removed.end(), std::greater<>());
+  removed.erase(std::unique(removed.begin(), removed.end()), removed.end());
+  for (const std::size_t col : removed) {
+    problem_.objective.erase(problem_.objective.begin() +
+                             static_cast<std::ptrdiff_t>(col));
+    for (Constraint& c : problem_.constraints) {
+      c.coefficients.erase(c.coefficients.begin() +
+                           static_cast<std::ptrdiff_t>(col));
+    }
+  }
+  for (const ProblemDelta::NewColumn& column : delta.added_columns) {
+    problem_.objective.push_back(column.objective);
+    for (std::size_t r = 0; r < rows; ++r) {
+      problem_.constraints[r].coefficients.push_back(column.coefficients[r]);
+    }
+  }
+
+  // Remap the stored basis into the post-delta column numbering. Removing a
+  // *basic* column leaves no valid basis — that is the forced cold path.
+  if (has_basis() && (!removed.empty() || !delta.added_columns.empty())) {
+    const std::size_t new_vars = problem_.num_variables();
+    bool valid = true;
+    for (std::size_t& entry : basis_) {
+      if (entry < old_vars) {
+        std::size_t shift = 0;
+        for (const std::size_t col : removed) {
+          if (col == entry) {
+            valid = false;
+            break;
+          }
+          if (col < entry) ++shift;
+        }
+        if (!valid) break;
+        entry -= shift;
+      } else {
+        entry = entry - old_vars + new_vars;  // slack/surplus/artificial
+      }
+    }
+    if (!valid) basis_.clear();
+  }
+
+  if (!has_basis()) {
+    if (had_basis) ++stats_.fallbacks;  // basis invalidated by the delta
+    return cold_solve();
+  }
+  Solution solution;
+  if (!warm_solve(solution)) {
+    ++stats_.fallbacks;
+    return cold_solve();
+  }
+  return solution;
+}
+
+bool IncrementalSolver::warm_solve(Solution& solution) {
+  const ComputationalForm& form = ensure_form();
+  const std::size_t m = form.rows;
+  if (basis_.size() != m || m == 0) return false;
+  {
+    std::vector<std::size_t> sorted = basis_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.back() >= form.cols ||
+        std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return false;
+    }
+  }
+
+  BasisFactorization factorization;
+  if (!factorization.factorize(form, basis_)) return false;
+
+  const double eps = options_.simplex.epsilon;
+  double b_scale = 1.0;
+  for (const double v : form.b) b_scale = std::max(b_scale, std::abs(v));
+  double c_scale = 1.0;
+  for (std::size_t j = 0; j < form.structural; ++j) {
+    c_scale = std::max(c_scale, std::abs(form.cost[j]));
+  }
+  const double feas_tol = 1e-7 * b_scale;
+  const double dual_tol = 1e-7 * c_scale;
+
+  std::vector<bool> is_basic(form.cols, false);
+  for (const std::size_t j : basis_) is_basic[j] = true;
+
+  std::vector<double> xb, y, d(form.artificial_begin, 0.0);
+  const auto refresh = [&] {
+    xb = form.b;
+    factorization.ftran(xb);
+    y.assign(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) y[r] = form.cost[basis_[r]];
+    factorization.btran(y);
+    for (std::size_t j = 0; j < form.artificial_begin; ++j) {
+      if (is_basic[j]) {
+        d[j] = 0.0;
+        continue;
+      }
+      double v = form.cost[j];
+      const std::span<const double> col = form.column(j);
+      for (std::size_t r = 0; r < m; ++r) v -= y[r] * col[r];
+      d[j] = v;
+    }
+  };
+  const auto primal_feasible = [&] {
+    for (const double v : xb) {
+      if (v < -feas_tol) return false;
+    }
+    return true;
+  };
+  const auto dual_feasible = [&] {
+    for (std::size_t j = 0; j < form.artificial_begin; ++j) {
+      if (!is_basic[j] && d[j] < -dual_tol) return false;
+    }
+    return true;
+  };
+  // Applies a pivot (basis position `row` <- column `entering`, with
+  // `w` = B^{-1} a_entering) and keeps the factorization fresh.
+  const auto pivot = [&](std::size_t row, std::size_t entering,
+                         const std::vector<double>& w) {
+    is_basic[basis_[row]] = false;
+    is_basic[entering] = true;
+    basis_[row] = entering;
+    if (!factorization.update(row, w) ||
+        factorization.eta_count() >= options_.refactor_interval) {
+      if (!factorization.factorize(form, basis_)) return false;
+    }
+    return true;
+  };
+
+  refresh();
+  std::int64_t pivots = 0;
+  std::int64_t degenerate_streak = 0;
+  bool use_bland = false;
+  const auto count_pivot = [&](bool degenerate) {
+    ++pivots;
+    if (degenerate) {
+      if (++degenerate_streak >= options_.degenerate_switch) use_bland = true;
+    } else {
+      degenerate_streak = 0;
+      use_bland = false;
+    }
+    return pivots < options_.max_warm_iterations;
+  };
+
+  bool primal_ok = primal_feasible();
+  bool dual_ok = dual_feasible();
+
+  if (dual_ok && !primal_ok) {
+    // Rhs moved (capacity drift): the basis kept dual feasibility, so dual
+    // simplex walks back to primal feasibility.
+    while (!primal_ok) {
+      std::size_t leaving = kNone;
+      double most_negative = -feas_tol;
+      for (std::size_t r = 0; r < m; ++r) {
+        if (use_bland) {
+          // Anti-cycling flavour: smallest basis index among infeasible rows.
+          if (xb[r] < -feas_tol &&
+              (leaving == kNone || basis_[r] < basis_[leaving])) {
+            leaving = r;
+          }
+        } else if (xb[r] < most_negative) {
+          most_negative = xb[r];
+          leaving = r;
+        }
+      }
+      if (leaving == kNone) break;  // feasible after all (tolerance edge)
+
+      std::vector<double> rho(m, 0.0);
+      rho[leaving] = 1.0;
+      factorization.btran(rho);
+      std::size_t entering = kNone;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < form.artificial_begin; ++j) {
+        if (is_basic[j]) continue;
+        const std::span<const double> col = form.column(j);
+        double alpha = 0.0;
+        for (std::size_t r = 0; r < m; ++r) alpha += rho[r] * col[r];
+        if (alpha >= -eps) continue;  // cannot repair the negative basic
+        const double ratio = d[j] / -alpha;
+        if (ratio < best_ratio - eps ||
+            (ratio < best_ratio + eps && (entering == kNone || j < entering))) {
+          best_ratio = ratio;
+          entering = j;
+        }
+      }
+      if (entering == kNone) {
+        // The violated row cannot be repaired by any real column: the
+        // updated problem is (primal) infeasible.
+        solution.status = SolveStatus::infeasible;
+        solution.iterations = pivots;
+        ++stats_.warm_solves;
+        stats_.warm_pivots += static_cast<std::uint64_t>(pivots);
+        return true;
+      }
+      std::vector<double> w(form.column(entering).begin(),
+                            form.column(entering).end());
+      factorization.ftran(w);
+      if (std::abs(w[leaving]) <= eps) return false;  // unstable pivot
+      const bool degenerate = d[entering] <= dual_tol;
+      if (!pivot(leaving, entering, w)) return false;
+      if (!count_pivot(degenerate)) return false;
+      refresh();
+      primal_ok = primal_feasible();
+    }
+    dual_ok = dual_feasible();
+  }
+
+  if (primal_ok && !dual_ok) {
+    // Objective moved (new columns, new deadline profile): the basis kept
+    // primal feasibility, so primal phase-2 pivots restore optimality.
+    while (true) {
+      std::size_t entering = kNone;
+      double most_negative = -dual_tol;
+      for (std::size_t j = 0; j < form.artificial_begin; ++j) {
+        if (is_basic[j] || d[j] >= -dual_tol) continue;
+        if (use_bland) {
+          entering = j;
+          break;
+        }
+        if (d[j] < most_negative) {
+          most_negative = d[j];
+          entering = j;
+        }
+      }
+      if (entering == kNone) break;  // optimal
+
+      std::vector<double> w(form.column(entering).begin(),
+                            form.column(entering).end());
+      factorization.ftran(w);
+      std::size_t leaving = kNone;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m; ++r) {
+        if (w[r] <= eps) continue;
+        const double ratio = xb[r] / w[r];
+        if (ratio < best_ratio - eps ||
+            (ratio < best_ratio + eps &&
+             (leaving == kNone || basis_[r] < basis_[leaving]))) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+      if (leaving == kNone) {
+        solution.status = SolveStatus::unbounded;
+        solution.iterations = pivots;
+        ++stats_.warm_solves;
+        stats_.warm_pivots += static_cast<std::uint64_t>(pivots);
+        return true;
+      }
+      const bool degenerate = xb[leaving] <= feas_tol;
+      if (!pivot(leaving, entering, w)) return false;
+      if (!count_pivot(degenerate)) return false;
+      refresh();
+    }
+    primal_ok = primal_feasible();
+    dual_ok = true;
+  }
+
+  if (!primal_ok || !dual_ok) return false;  // combined change: solve cold
+
+  // An artificial still basic at a positive level means the re-optimized
+  // point violates its original constraint — phase-1 territory, go cold.
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis_[r] >= form.artificial_begin && xb[r] > feas_tol) return false;
+  }
+
+  refine_vertex(form, factorization);
+  if (!canonical_extract(form, factorization, solution)) return false;
+  solution.status = SolveStatus::optimal;
+  solution.iterations = pivots;
+  ++stats_.warm_solves;
+  stats_.warm_pivots += static_cast<std::uint64_t>(pivots);
+  return true;
+}
+
+}  // namespace dmc::lp

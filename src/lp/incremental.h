@@ -1,0 +1,148 @@
+// Warm-started LP re-solve engine for the admission / re-planning hot path.
+//
+// The online server solves the paper's LP thousands of times per run, and
+// successive instances differ only in a handful of right-hand sides
+// (residual capacity drift as sessions join and leave) or objective entries
+// (a new session's deadline profile). IncrementalSolver keeps the optimal
+// basis and its factorization from the previous solve and re-optimizes from
+// there with dual simplex pivots (rhs changed: the basis stays dual
+// feasible) or primal simplex pivots (objective changed: the basis stays
+// primal feasible) instead of solving two phases from scratch — the
+// standard re-optimization play of revised simplex codes, which
+// arXiv:1905.04719 and arXiv:2310.19077 lean on to make deadline LPs viable
+// online.
+//
+// Any delta the stored basis cannot absorb — a removed basic column, a row
+// whose rhs changed sign (the auxiliary-column layout re-shuffles), a
+// singular basis after coefficient edits, cycling, or a basis that is
+// neither primal nor dual feasible after a combined change — falls back to
+// a cold two-phase SimplexSolver solve, whose reported basis then re-seeds
+// the warm state. Correctness therefore never depends on the warm path;
+// tests/test_warm_start.cpp and tests/test_solver_differential.cpp assert
+// warm == cold on status and objective across randomized delta sequences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/basis.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+
+namespace dmc::lp {
+
+// A targeted change to the previously solved problem. Entries not listed
+// keep their old values. Application order: rhs and objective edits first
+// (indices into the pre-delta problem), then column removals (pre-delta
+// indices, duplicates ignored), then new columns appended at the end.
+struct ProblemDelta {
+  std::vector<std::pair<std::size_t, double>> rhs;        // row -> new b
+  std::vector<std::pair<std::size_t, double>> objective;  // col -> new c
+  std::vector<std::size_t> removed_columns;  // pre-delta column indices
+  struct NewColumn {
+    double objective = 0.0;
+    std::vector<double> coefficients;  // one per constraint row
+  };
+  std::vector<NewColumn> added_columns;
+
+  bool empty() const {
+    return rhs.empty() && objective.empty() && removed_columns.empty() &&
+           added_columns.empty();
+  }
+};
+
+class IncrementalSolver {
+ public:
+  struct Options {
+    SimplexSolver::Options simplex = {};  // tolerances + cold-solve limits
+    // Warm pivots before giving up on the basis and solving cold. Warm
+    // re-solves on this library's LPs take a handful of pivots; a hundred
+    // means the delta was not incremental after all.
+    std::int64_t max_warm_iterations = 1000;
+    // Product-form eta vectors accumulated before refactorizing the basis.
+    std::size_t refactor_interval = 24;
+    // After this many consecutive degenerate pivots the warm loops switch
+    // to Bland's rule (termination guarantee), as the cold solver does.
+    std::int64_t degenerate_switch = 64;
+  };
+
+  struct Stats {
+    std::uint64_t cold_solves = 0;  // two-phase solves (first + fallbacks)
+    std::uint64_t warm_solves = 0;  // re-solves served from the stored basis
+    std::uint64_t warm_pivots = 0;  // pivots across all warm re-solves
+    std::uint64_t fallbacks = 0;    // warm attempts that went cold
+
+    Stats& operator+=(const Stats& other) {
+      cold_solves += other.cold_solves;
+      warm_solves += other.warm_solves;
+      warm_pivots += other.warm_pivots;
+      fallbacks += other.fallbacks;
+      return *this;
+    }
+  };
+
+  IncrementalSolver() = default;
+  explicit IncrementalSolver(Options options) : options_(options) {}
+
+  // Cold solve: two-phase simplex, stores the problem and (when optimal)
+  // the final basis as the warm-start state for subsequent re-solves.
+  Solution solve(const Problem& problem);
+
+  // Re-solve after replacing the problem wholesale. Warm-starts from the
+  // stored basis when the new problem has the same shape (variable count,
+  // row count, relations, rhs signs); otherwise solves cold.
+  Solution resolve(const Problem& problem);
+
+  // Re-solve after a targeted delta to the stored problem.
+  Solution resolve(const ProblemDelta& delta);
+
+  bool has_basis() const { return !basis_.empty(); }
+  void reset();
+  // Zeroes the counters without touching the warm state — for snapshots
+  // that inherit a basis but must account their own solves only.
+  void reset_stats() { stats_ = Stats{}; }
+
+  // The problem the stored state describes (post-delta).
+  const Problem& problem() const { return problem_; }
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Solution cold_solve();
+  // Attempts a warm re-solve from basis_; returns false when the caller
+  // should fall back to a cold solve (and counts the fallback).
+  bool warm_solve(Solution& solution);
+  // Deterministic vertex selection on the optimal face. Alternate optima
+  // are real in the multipath LPs (several combinations can tie on
+  // delivery probability), and which optimal vertex a simplex run lands on
+  // depends on its pivot history — a cold two-phase run and a warm dual
+  // re-solve would disagree. Both paths therefore finish by minimizing a
+  // fixed secondary objective (the column index) over the zero-reduced-cost
+  // face, whose optimum is unique for generic data; together with the
+  // shared extraction below this makes "warm start on" and "warm start off"
+  // return bit-identical plans (the server determinism contract).
+  void refine_vertex(const ComputationalForm& form,
+                     BasisFactorization& factorization);
+  // Sorts basis_, refactorizes it fresh, and recomputes x, the objective,
+  // and the basis of `solution` — the shared final step that makes any two
+  // paths ending on the same basis return bit-identical solutions. False
+  // when the (sorted) basis unexpectedly fails to factorize.
+  bool canonical_extract(const ComputationalForm& form,
+                         BasisFactorization& factorization,
+                         Solution& solution);
+
+  // Returns the cached computational form of problem_, rebuilding it only
+  // when a structural change invalidated it. Rhs/objective deltas patch the
+  // cache in place — the hot-path resolve then skips the O(rows * cols)
+  // lowering entirely.
+  const ComputationalForm& ensure_form();
+
+  Options options_;
+  Problem problem_;
+  std::vector<std::size_t> basis_;
+  ComputationalForm form_;
+  bool form_valid_ = false;
+  Stats stats_;
+};
+
+}  // namespace dmc::lp

@@ -48,7 +48,10 @@ StandardForm to_standard_form(const Problem& problem) {
     // variable absorbs the row's scale).
     double row_scale = 0.0;
     for (double v : row.coefficients) row_scale = std::max(row_scale, std::abs(v));
-    row_scale = std::max(row_scale, 1e-30);
+    // An all-zero row has nothing to equilibrate; dividing by a 1e-30 floor
+    // would blow its rhs up to ~1e30 and trip the divergence check on the
+    // first iteration (found by tests/test_solver_differential.cpp).
+    if (row_scale <= 0.0) row_scale = 1.0;
     for (std::size_t j = 0; j < n0; ++j) {
       sf.a(r, j) = row.coefficients[j] / row_scale;
     }
@@ -216,11 +219,50 @@ Solution InteriorPointSolver::solve(const Problem& problem) const {
     return alpha;
   };
 
+  // Classifies a diverging or stalled iterate. A primal ray — x growing
+  // without bound while Ax - b stays (relatively) satisfied and the
+  // minimization objective heads to -inf — certifies an unbounded problem;
+  // residual blow-up without that signature is (dual-ray) infeasibility.
+  // This is what lets the solver differential suite assert status agreement
+  // with the simplex solver on unbounded instances.
+  // Caveat: a problem can carry a negative-cost recession ray *and* be
+  // infeasible (the classic "infeasible or unbounded" ambiguity commercial
+  // codes report as a combined status); this signature then reads
+  // `unbounded` where the simplex proof says `infeasible`. The differential
+  // suite accepts exactly that one-sided disagreement.
+  const auto primal_ray = [&] {
+    const double norm_x = norm_inf(x);
+    if (norm_x <= 1e6 * (1.0 + data_scale)) return false;
+    if (norm_inf(rb) >= 1e-5 * (1.0 + norm_x)) return false;
+    double cx = 0.0;
+    for (std::size_t j = 0; j < n; ++j) cx += sf.c[j] * x[j];
+    return cx < -1e-6 * norm_x;
+  };
+  // A diverging *dual objective* b.y is the shape of a dual ray, i.e. an
+  // infeasibility certificate. The dual objective (not just |y|) matters:
+  // on rank-deficient but consistent rows — duplicated constraints with
+  // equal rhs — y drifts unboundedly along null(A^T) with b.y pinned, and
+  // that drift must not read as infeasibility.
+  const auto dual_ray = [&] {
+    double by = 0.0;
+    for (std::size_t i = 0; i < m; ++i) by += sf.b[i] * y[i];
+    return by > 1e4 * (1.0 + data_scale);
+  };
+
   for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
     compute_residuals();
     double mu = 0.0;
     for (std::size_t j = 0; j < n; ++j) mu += x[j] * s[j];
     mu /= static_cast<double>(n);
+
+    // Catch a primal ray while the iterate is still numerically clean: on
+    // unbounded problems x explodes and mu goes non-finite within a few
+    // more steps, after which no signature survives to classify.
+    if (primal_ray()) {
+      solution.status = SolveStatus::unbounded;
+      solution.iterations = iteration;
+      return solution;
+    }
 
     const double scale = 1.0 + data_scale;
     if (norm_inf(rb) / scale < options_.tolerance &&
@@ -242,7 +284,16 @@ Solution InteriorPointSolver::solve(const Problem& problem) const {
     if (norm_inf(rb) > options_.divergence_threshold ||
         norm_inf(rc) > options_.divergence_threshold ||
         !std::isfinite(mu)) {
-      solution.status = SolveStatus::infeasible;
+      // Same honesty as the post-loop classifier: a blow-up is only called
+      // infeasible when the dual iterate diverges with it (a dual-ray
+      // shape); a numerical explosion on rank-deficient data abstains.
+      if (primal_ray()) {
+        solution.status = SolveStatus::unbounded;
+      } else if (dual_ray()) {
+        solution.status = SolveStatus::infeasible;
+      } else {
+        solution.status = SolveStatus::iteration_limit;
+      }
       solution.iterations = iteration;
       return solution;
     }
@@ -285,7 +336,23 @@ Solution InteriorPointSolver::solve(const Problem& problem) const {
     ++solution.iterations;
   }
 
-  solution.status = SolveStatus::iteration_limit;
+  // Out of iterations: classify what the iterate stalled against. A primal
+  // ray is unbounded. A persistent primal residual with complementarity
+  // already converged *and* a diverging dual objective (see dual_ray) is
+  // infeasibility. Anything less clear-cut honestly stays iteration_limit —
+  // the differential suite treats that as an abstention, not a verdict.
+  compute_residuals();
+  double mu = 0.0;
+  for (std::size_t j = 0; j < n; ++j) mu += x[j] * s[j];
+  mu /= static_cast<double>(n);
+  if (primal_ray()) {
+    solution.status = SolveStatus::unbounded;
+  } else if (std::isfinite(mu) && mu < 1e-6 * (1.0 + data_scale) &&
+             norm_inf(rb) > 1e-5 * (1.0 + norm_inf(x)) && dual_ray()) {
+    solution.status = SolveStatus::infeasible;
+  } else {
+    solution.status = SolveStatus::iteration_limit;
+  }
   return solution;
 }
 

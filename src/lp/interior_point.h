@@ -7,10 +7,16 @@
 // Figure 4 bench.
 //
 // Scope: optimized for the small dense problems this library produces.
-// Infeasible or unbounded instances are reported as `iteration_limit` or
-// `infeasible` on residual blow-up rather than via a homogeneous self-dual
-// embedding; the simplex solver remains the authority for status
-// classification.
+// Infeasible and unbounded instances are detected by divergence direction
+// rather than via a homogeneous self-dual embedding: a primal ray (iterate
+// norm exploding while Ax - b stays relatively satisfied and the objective
+// heads to -inf) reports `unbounded`, a diverging dual objective b.y (the
+// shape of a dual ray) reports `infeasible`, and anything less clear-cut —
+// including residual blow-ups on rank-deficient data — honestly stays
+// `iteration_limit`. That is a heuristic certificate, not a proof; the
+// simplex solver remains the authority on status, and
+// tests/test_solver_differential.cpp holds the two to agreement on
+// randomized instances (treating `iteration_limit` as an abstention).
 #pragma once
 
 #include "lp/problem.h"

@@ -63,6 +63,7 @@ class Tableau {
     if (!phase2(solution)) return solution;
 
     solution.status = SolveStatus::optimal;
+    solution.basis = basis_;
     solution.x.assign(num_structural_, 0.0);
     for (std::size_t r = 0; r < num_rows_; ++r) {
       const std::size_t var = basis_[r];

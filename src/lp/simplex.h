@@ -24,6 +24,12 @@ struct Solution {
   double objective_value = 0.0;   // c . x in the problem's own sense
   std::int64_t iterations = 0;    // total pivots across both phases
 
+  // Final basis: one column index per constraint row, in the canonical
+  // computational-form layout [structural | slack/surplus | artificial]
+  // that lp::ComputationalForm::build reproduces. Filled on optimal solves
+  // only; this is what seeds lp::IncrementalSolver's warm re-solves.
+  std::vector<std::size_t> basis;
+
   bool optimal() const { return status == SolveStatus::optimal; }
 };
 

@@ -49,8 +49,11 @@ class FeasibilityLp final : public AdmissionPolicy {
     core::CrossTraffic cross = context.cross_model;
     cross.background_bps = context.background_bps;
     Decision decision;
-    decision.plan = core::plan_max_quality(nominal(context), request.traffic,
-                                           cross, context.plan_options);
+    decision.plan =
+        context.planner != nullptr
+            ? context.planner->plan(nominal(context), request.traffic, cross)
+            : core::plan_max_quality(nominal(context), request.traffic, cross,
+                                     context.plan_options);
     decision.predicted_quality = decision.plan->quality();
     if (!decision.plan->feasible()) {
       decision.verdict = Verdict::reject;

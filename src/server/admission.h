@@ -36,6 +36,12 @@ struct AdmissionContext {
   core::PlanOptions plan_options;
   double min_quality = 0.9;            // feasibility bar for LP policies
   core::CrossTraffic cross_model;      // how background folds into planning
+  // Optional warm-started planner shared across this server's decisions.
+  // Successive feasibility-lp decisions differ only in residual capacity
+  // (and per-request rate/deadline), so the LP policies re-solve from the
+  // previous optimal basis through it instead of solving cold every time.
+  // Null keeps the stateless plan_max_quality path.
+  core::Planner* planner = nullptr;
 };
 
 enum class Verdict {

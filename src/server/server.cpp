@@ -69,6 +69,11 @@ struct LiveSession {
   double planned_quality = 0.0;
   std::vector<double> planned_rate_bps;  // per real path, incl. retransmits
   int replans = 0;
+  // Warm re-solve state for this session's re-plans: seeded from the
+  // admission planner (whose stored basis is exactly this session's LP when
+  // the feasibility-lp policy just solved it), then advanced by every
+  // departure-triggered re-plan.
+  core::Planner planner;
 };
 
 // The whole event-driven run: one simulator, one shared network, the
@@ -86,7 +91,9 @@ class Loop {
                                      config.queue_capacity)),
         host_(simulator_, network_),
         meter_(network_, config.utilization_window_s),
-        policy_(make_policy(config.policy)) {}
+        policy_(make_policy(config.policy)),
+        planner_(core::Planner::Options{config.plan_options,
+                                        config.warm_start}) {}
 
   ServerOutcome run() {
     outcome_.sessions.resize(requests_.size());
@@ -157,6 +164,7 @@ class Loop {
     context.plan_options = config_.plan_options;
     context.min_quality = config_.min_quality;
     context.cross_model = config_.cross_model;
+    context.planner = &planner_;
     return context;
   }
 
@@ -203,6 +211,11 @@ class Loop {
     live.rate_bps = request.traffic.rate_bps;
     live.planned_quality = plan.quality();
     live.planned_rate_bps = real_path_rates(plan);
+    live.planner = planner_;  // snapshot: basis of this session's LP
+    // The snapshot copies the admission planner's counters too; zero them
+    // so the per-session stats summed into outcome_.lp count only this
+    // session's re-plan solves.
+    live.planner.reset_lp_stats();
 
     const std::uint32_t id = host_.start_session(
         proto::SessionSpec{std::move(plan), session_config, 0.0},
@@ -227,6 +240,7 @@ class Loop {
     record.measured_quality = result.measured_quality;
     record.completed_at_s = simulator_.now();
     record.replans = it->second.replans;
+    outcome_.lp += it->second.planner.lp_stats();
     live_.erase(it);
 
     // Freed capacity: first give waiting requests a chance, then let the
@@ -270,9 +284,12 @@ class Loop {
         cross.background_bps[p] = std::max(
             0.0, cross.background_bps[p] - session.planned_rate_bps[p]);
       }
-      const core::Plan plan = core::plan_max_quality(
+      // The planner absorbs the freed capacity as a pure rhs delta when
+      // the cross model only derates bandwidth (no delay inflation), and
+      // rebuilds — still warm-starting — otherwise.
+      core::Plan plan = session.planner.plan(
           config_.planning_paths, requests_[session.request_index].traffic,
-          cross, config_.plan_options);
+          cross);
       if (!plan.feasible() ||
           plan.quality() <= session.planned_quality + 1e-6) {
         continue;
@@ -281,7 +298,7 @@ class Loop {
       session.planned_rate_bps = real_path_rates(plan);
       ++session.replans;
       ++outcome_.replans;
-      host_.replace_plan(id, plan);
+      host_.replace_plan(id, std::move(plan));
     }
   }
 
@@ -290,6 +307,10 @@ class Loop {
     outcome_.elapsed_s = simulator_.now();
     outcome_.events = simulator_.events_executed();
     outcome_.orphans = host_.orphans();
+    outcome_.lp += planner_.lp_stats();
+    for (const auto& [id, session] : live_) {
+      outcome_.lp += session.planner.lp_stats();
+    }
 
     std::uint64_t generated = 0;
     std::uint64_t on_time = 0;
@@ -345,6 +366,9 @@ class Loop {
   proto::SessionHost host_;
   sim::UtilizationMeter meter_;
   std::unique_ptr<AdmissionPolicy> policy_;
+  // Shared warm-start state across admission decisions; per-session re-plan
+  // state lives in LiveSession::planner.
+  core::Planner planner_;
   ServerOutcome outcome_;
   // Host session id -> bookkeeping; std::map so every sweep over the live
   // set (re-planning, background attribution) runs in deterministic order.

@@ -39,6 +39,12 @@ struct ServerConfig {
   double min_quality = 0.9;        // feasibility bar for LP admission
   double max_queue_wait_s = 2.0;   // patience of a queued request
   bool replan_on_departure = true;
+  // Warm-started LP re-solves (core::Planner / lp::IncrementalSolver): the
+  // admission pipeline shares one planner across feasibility-lp decisions
+  // and each live session re-plans from its previous optimal basis. Off
+  // solves every LP cold through the same canonical pipeline — same plans
+  // (for unique optima), measurably slower control plane.
+  bool warm_start = true;
   core::CrossTraffic cross_model;  // how measured load folds into planning
   core::PlanOptions plan_options;
   proto::SessionConfig session;    // protocol knobs (seed/messages per-session)
@@ -91,6 +97,10 @@ struct ServerOutcome {
   std::uint64_t replans = 0;
   double elapsed_s = 0.0;
   std::uint64_t events = 0;
+  // LP solver work behind every admission decision and re-plan, summed over
+  // the shared admission planner and all per-session re-planners. With
+  // warm_start off, warm_solves stays 0 and every solve counts as cold.
+  lp::IncrementalSolver::Stats lp;
   proto::OrphanStats orphans;       // packets that outlived their session
   std::vector<sim::LinkStats> forward_links;
   std::vector<sim::LinkStats> reverse_links;

@@ -315,6 +315,99 @@ TEST(Server, RunsAreDeterministic) {
   }
 }
 
+// Field-by-field trace identity: the strongest equality the simulator can
+// express. Used by the warm-start determinism tests below, where "the same
+// plans" must mean bit-identical simulated behaviour, not merely close.
+void expect_traces_identical(const proto::Trace& a, const proto::Trace& b,
+                             std::size_t i) {
+  EXPECT_EQ(a.generated, b.generated) << "session " << i;
+  EXPECT_EQ(a.assigned_blackhole, b.assigned_blackhole) << "session " << i;
+  EXPECT_EQ(a.transmissions, b.transmissions) << "session " << i;
+  EXPECT_EQ(a.retransmissions, b.retransmissions) << "session " << i;
+  EXPECT_EQ(a.fast_retransmissions, b.fast_retransmissions) << "session " << i;
+  EXPECT_EQ(a.delivered_unique, b.delivered_unique) << "session " << i;
+  EXPECT_EQ(a.on_time, b.on_time) << "session " << i;
+  EXPECT_EQ(a.late, b.late) << "session " << i;
+  EXPECT_EQ(a.duplicates, b.duplicates) << "session " << i;
+  EXPECT_EQ(a.acks_sent, b.acks_sent) << "session " << i;
+  EXPECT_EQ(a.acks_received, b.acks_received) << "session " << i;
+  EXPECT_EQ(a.gave_up, b.gave_up) << "session " << i;
+}
+
+void expect_outcomes_identical(const ServerOutcome& a, const ServerOutcome& b) {
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.expired, b.expired);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.replans, b.replans);
+  EXPECT_EQ(a.elapsed_s, b.elapsed_s);
+  EXPECT_EQ(a.deadline_miss_rate, b.deadline_miss_rate);
+  EXPECT_EQ(a.goodput_bps, b.goodput_bps);
+  EXPECT_EQ(a.mean_queue_wait_s, b.mean_queue_wait_s);
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i].fate, b.sessions[i].fate) << "session " << i;
+    EXPECT_EQ(a.sessions[i].predicted_quality, b.sessions[i].predicted_quality)
+        << "session " << i;
+    EXPECT_EQ(a.sessions[i].measured_quality, b.sessions[i].measured_quality)
+        << "session " << i;
+    EXPECT_EQ(a.sessions[i].queue_wait_s, b.sessions[i].queue_wait_s)
+        << "session " << i;
+    EXPECT_EQ(a.sessions[i].replans, b.sessions[i].replans) << "session " << i;
+    const bool a_done = std::isnan(a.sessions[i].completed_at_s);
+    const bool b_done = std::isnan(b.sessions[i].completed_at_s);
+    EXPECT_EQ(a_done, b_done) << "session " << i;
+    if (!a_done && !b_done) {
+      EXPECT_EQ(a.sessions[i].admitted_at_s, b.sessions[i].admitted_at_s)
+          << "session " << i;
+      EXPECT_EQ(a.sessions[i].completed_at_s, b.sessions[i].completed_at_s)
+          << "session " << i;
+    }
+    expect_traces_identical(a.sessions[i].trace, b.sessions[i].trace, i);
+  }
+}
+
+// The warm-start contract: same seed + config produce bit-identical
+// admission and teardown traces with warm start on vs off. The incremental
+// solver's canonical-vertex extraction is what makes this hold — warm and
+// cold re-solves land on the same optimum, to the last bit, so warm start
+// is a pure control-plane performance knob.
+TEST(Server, WarmStartToggleKeepsTracesBitIdentical) {
+  for (const char* policy : {"feasibility-lp", "always-admit"}) {
+    ServerConfig warm = table3_config(policy);
+    warm.warm_start = true;
+    ServerConfig cold = table3_config(policy);
+    cold.warm_start = false;
+
+    WorkloadOptions workload = small_workload();
+    workload.count = 60;  // enough churn for queued retries and re-plans
+    const auto requests = poisson_arrivals(workload);
+
+    const ServerOutcome a = SessionServer(warm).run(requests);
+    const ServerOutcome b = SessionServer(cold).run(requests);
+    expect_outcomes_identical(a, b);
+
+    // The toggle must actually change how the control plane solves: warm
+    // mode re-solves from the stored basis, cold mode never does.
+    EXPECT_GT(a.lp.warm_solves, 0u) << policy;
+    EXPECT_EQ(b.lp.warm_solves, 0u) << policy;
+    EXPECT_GT(b.lp.cold_solves, a.lp.cold_solves) << policy;
+  }
+}
+
+TEST(Server, WarmStartRunsAreRepeatable) {
+  ServerConfig config = table3_config("feasibility-lp");
+  config.warm_start = true;
+  const auto requests = poisson_arrivals(small_workload());
+  const ServerOutcome a = SessionServer(config).run(requests);
+  const ServerOutcome b = SessionServer(config).run(requests);
+  expect_outcomes_identical(a, b);
+  EXPECT_EQ(a.lp.warm_solves, b.lp.warm_solves);
+  EXPECT_EQ(a.lp.cold_solves, b.lp.cold_solves);
+  EXPECT_EQ(a.lp.fallbacks, b.lp.fallbacks);
+  EXPECT_EQ(a.lp.warm_pivots, b.lp.warm_pivots);
+}
+
 TEST(Server, FeasibilityGateBeatsAlwaysAdmitUnderOverload) {
   // The acceptance criterion: at high load the feasibility-lp policy must
   // achieve a strictly lower deadline-miss rate than always-admit on the

@@ -1,0 +1,330 @@
+// Property tests for the warm-started re-solve engine and its planner
+// front-end: a warm solve must equal a cold solve — status, objective, and
+// (through the canonical-vertex contract) the solution itself — across
+// randomized delta sequences mimicking admission/departure churn, including
+// the forced fallback paths (basis invalidated by column removal, shape
+// changes, rhs sign flips).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/planner.h"
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "lp/incremental.h"
+#include "lp/simplex.h"
+#include "lp/validate.h"
+
+namespace dmc::lp {
+namespace {
+
+// A multipath-shaped base problem: nonnegative rows, capacity rhs, and the
+// sum-to-one convexity row, like Equation 10 after normalization.
+Problem multipath_shape(std::mt19937_64& rng, std::size_t n, std::size_t m) {
+  std::uniform_real_distribution<double> coefficient(0.1, 3.0);
+  std::uniform_real_distribution<double> capacity(0.5, 6.0);
+  Problem p;
+  p.sense = Sense::maximize;
+  p.objective.resize(n);
+  for (double& c : p.objective) c = coefficient(rng) / 3.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<double> row(n);
+    for (double& v : row) v = coefficient(rng);
+    p.add_constraint(std::move(row), Relation::less_equal, capacity(rng));
+  }
+  p.add_constraint(std::vector<double>(n, 1.0), Relation::equal, 1.0);
+  return p;
+}
+
+void expect_matches_cold(const IncrementalSolver& solver,
+                         const Solution& warm, const std::string& what) {
+  const Solution cold = SimplexSolver().solve(solver.problem());
+  ASSERT_EQ(warm.status, cold.status) << what;
+  if (!cold.optimal()) return;
+  EXPECT_NEAR(warm.objective_value, cold.objective_value,
+              1e-7 * (1.0 + std::abs(cold.objective_value)))
+      << what;
+  const ValidationReport report = validate(solver.problem(), warm.x);
+  EXPECT_TRUE(report.ok(1e-6))
+      << what << ": violation " << report.max_violation << " in "
+      << report.worst_constraint;
+}
+
+TEST(WarmStart, RhsDeltaSequencesMatchColdSolves) {
+  std::mt19937_64 rng(101);
+  std::uniform_real_distribution<double> capacity(0.05, 6.0);
+  for (int instance = 0; instance < 40; ++instance) {
+    const std::size_t n = 4 + rng() % 10;
+    const std::size_t m = 2 + rng() % 4;
+    IncrementalSolver solver;
+    solver.solve(multipath_shape(rng, n, m));
+    for (int step = 0; step < 25; ++step) {
+      // Residual-capacity churn: a random subset of capacity rows drifts,
+      // exactly the admission/departure pattern the server produces.
+      ProblemDelta delta;
+      for (std::size_t r = 0; r < m; ++r) {
+        if ((rng() % 2) == 0) {
+          delta.rhs.push_back({r, capacity(rng)});
+        }
+      }
+      const Solution warm = solver.resolve(delta);
+      expect_matches_cold(solver, warm,
+                          "instance " + std::to_string(instance) + " step " +
+                              std::to_string(step));
+    }
+    // Rhs-only churn never invalidates a basis, so no warm attempt falls
+    // back; a cold solve beyond the first happens only when the previous
+    // solve ended infeasible (no basis to keep warm).
+    EXPECT_EQ(solver.stats().fallbacks, 0u) << "instance " << instance;
+    EXPECT_EQ(solver.stats().warm_solves + solver.stats().cold_solves, 26u)
+        << "instance " << instance;
+  }
+}
+
+TEST(WarmStart, ObjectiveDeltasMatchColdSolves) {
+  std::mt19937_64 rng(202);
+  std::uniform_real_distribution<double> weight(0.0, 1.0);
+  IncrementalSolver solver;
+  solver.solve(multipath_shape(rng, 12, 4));
+  for (int step = 0; step < 50; ++step) {
+    // A new session's deadline profile: delivery probabilities move, the
+    // constraint matrix stays.
+    ProblemDelta delta;
+    for (std::size_t j = 0; j < solver.problem().num_variables(); ++j) {
+      if ((rng() % 3) == 0) delta.objective.push_back({j, weight(rng)});
+    }
+    const Solution warm = solver.resolve(delta);
+    expect_matches_cold(solver, warm, "step " + std::to_string(step));
+  }
+  EXPECT_GT(solver.stats().warm_solves, 0u);
+}
+
+TEST(WarmStart, ColumnAdditionsEnterWarm) {
+  std::mt19937_64 rng(303);
+  std::uniform_real_distribution<double> coefficient(0.1, 3.0);
+  IncrementalSolver solver;
+  solver.solve(multipath_shape(rng, 6, 3));
+  for (int step = 0; step < 20; ++step) {
+    ProblemDelta delta;
+    ProblemDelta::NewColumn column;
+    column.objective = coefficient(rng) / 2.0;  // occasionally the new best
+    for (std::size_t r = 0; r < solver.problem().num_constraints(); ++r) {
+      const bool convexity_row =
+          solver.problem().constraints[r].relation == Relation::equal;
+      column.coefficients.push_back(convexity_row ? 1.0 : coefficient(rng));
+    }
+    delta.added_columns.push_back(std::move(column));
+    const Solution warm = solver.resolve(delta);
+    expect_matches_cold(solver, warm, "step " + std::to_string(step));
+  }
+  EXPECT_EQ(solver.stats().fallbacks, 0u);
+}
+
+TEST(WarmStart, RemovingBasicColumnForcesColdFallback) {
+  std::mt19937_64 rng(404);
+  IncrementalSolver solver;
+  const Solution first = solver.solve(multipath_shape(rng, 8, 3));
+  ASSERT_TRUE(first.optimal());
+  // Remove a column that is basic in the stored optimum: the stored basis
+  // cannot survive, so the engine must fall back to a cold solve — and the
+  // result must still match a from-scratch solve exactly.
+  std::size_t basic_structural = solver.problem().num_variables();
+  for (const std::size_t j : first.basis) {
+    if (j < solver.problem().num_variables()) {
+      basic_structural = j;
+      break;
+    }
+  }
+  ASSERT_LT(basic_structural, solver.problem().num_variables())
+      << "optimum uses no structural column?";
+  ProblemDelta delta;
+  delta.removed_columns.push_back(basic_structural);
+  const Solution after = solver.resolve(delta);
+  EXPECT_EQ(solver.stats().fallbacks, 1u);
+  EXPECT_EQ(solver.stats().cold_solves, 2u);
+  expect_matches_cold(solver, after, "post-removal");
+
+  // Removing a nonbasic column keeps the basis warm.
+  const Solution current = SimplexSolver().solve(solver.problem());
+  ASSERT_TRUE(current.optimal());
+  std::size_t nonbasic = solver.problem().num_variables();
+  for (std::size_t j = 0; j < solver.problem().num_variables(); ++j) {
+    bool basic = false;
+    for (const std::size_t b : current.basis) basic = basic || b == j;
+    if (!basic) {
+      nonbasic = j;
+      break;
+    }
+  }
+  ASSERT_LT(nonbasic, solver.problem().num_variables());
+  ProblemDelta keep_warm;
+  keep_warm.removed_columns.push_back(nonbasic);
+  const Solution warm = solver.resolve(keep_warm);
+  EXPECT_EQ(solver.stats().fallbacks, 1u);  // unchanged
+  expect_matches_cold(solver, warm, "nonbasic removal");
+}
+
+TEST(WarmStart, ShapeChangesFallBackCold) {
+  std::mt19937_64 rng(505);
+  // Capacities above 3 keep every instance feasible (coefficients are at
+  // most 3 and x is convex), so each solve leaves a basis and the fallback
+  // accounting below is deterministic.
+  const auto feasible_shape = [&rng](std::size_t n, std::size_t m) {
+    Problem p = multipath_shape(rng, n, m);
+    for (Constraint& c : p.constraints) {
+      if (c.relation == Relation::less_equal) c.rhs += 3.0;
+    }
+    return p;
+  };
+  IncrementalSolver solver;
+  ASSERT_TRUE(solver.solve(feasible_shape(6, 3)).optimal());
+  // Different row count: no warm interpretation of the stored basis.
+  const Solution other = solver.resolve(feasible_shape(6, 5));
+  EXPECT_EQ(solver.stats().fallbacks, 1u);
+  expect_matches_cold(solver, other, "row-count change");
+
+  // Rhs sign flip re-assigns the slack layout: also a documented fallback.
+  Problem flipped = solver.problem();
+  flipped.constraints[0].rhs = -1.0;
+  flipped.constraints[0].relation = Relation::greater_equal;
+  const Solution after_flip = solver.resolve(flipped);
+  EXPECT_EQ(solver.stats().fallbacks, 2u);
+  expect_matches_cold(solver, after_flip, "rhs sign flip");
+}
+
+TEST(WarmStart, InfeasibleTighteningAndRecovery) {
+  std::mt19937_64 rng(606);
+  IncrementalSolver solver;
+  const Problem base = multipath_shape(rng, 8, 2);
+  ASSERT_TRUE(solver.solve(base).optimal());
+  // Tighten every capacity below what the convexity row needs: infeasible;
+  // then restore: optimal again — all warm, no fallbacks.
+  ProblemDelta tighten;
+  tighten.rhs.push_back({0, 1e-4});
+  tighten.rhs.push_back({1, 1e-4});
+  EXPECT_EQ(solver.resolve(tighten).status, SolveStatus::infeasible);
+  ProblemDelta restore;
+  restore.rhs.push_back({0, base.constraints[0].rhs});
+  restore.rhs.push_back({1, base.constraints[1].rhs});
+  const Solution back = solver.resolve(restore);
+  EXPECT_TRUE(back.optimal());
+  EXPECT_EQ(solver.stats().fallbacks, 0u);
+  expect_matches_cold(solver, back, "recovery");
+}
+
+}  // namespace
+}  // namespace dmc::lp
+
+namespace dmc::core {
+namespace {
+
+// Planner-level property: with warm start on, plans must be *bit-identical*
+// to warm start off across residual-capacity churn — the canonical-vertex
+// contract that makes the server's warm-start toggle a pure performance
+// knob. Warm start off in turn matches the stateless plan_max_quality
+// optimum on objective.
+TEST(WarmStart, PlannerWarmAndColdPlansAreBitIdentical) {
+  const PathSet paths = exp::table3_model_paths();
+  const TrafficSpec traffic = exp::table4_traffic_rate(mbps(20));
+  Planner warm(Planner::Options{{}, true});
+  Planner cold(Planner::Options{{}, false});
+  std::mt19937_64 rng(707);
+  std::uniform_real_distribution<double> load0(0.0, mbps(70));
+  std::uniform_real_distribution<double> load1(0.0, mbps(18));
+  for (int step = 0; step < 200; ++step) {
+    CrossTraffic cross;
+    cross.background_bps = {load0(rng), load1(rng)};
+    const Plan a = warm.plan(paths, traffic, cross);
+    const Plan b = cold.plan(paths, traffic, cross);
+    ASSERT_EQ(a.feasible(), b.feasible()) << "step " << step;
+    if (!a.feasible()) continue;
+    ASSERT_EQ(a.x().size(), b.x().size());
+    for (std::size_t l = 0; l < a.x().size(); ++l) {
+      EXPECT_EQ(a.x()[l], b.x()[l]) << "step " << step << " combo " << l;
+    }
+    EXPECT_EQ(a.quality(), b.quality()) << "step " << step;
+
+    const Plan reference = plan_max_quality(paths, traffic, cross, {});
+    EXPECT_NEAR(a.quality(), reference.quality(), 1e-7) << "step " << step;
+  }
+  // The warm planner must actually be warm: one cold solve, the rest warm.
+  EXPECT_EQ(warm.lp_stats().cold_solves, 1u);
+  EXPECT_EQ(warm.lp_stats().warm_solves, 199u);
+  EXPECT_EQ(cold.lp_stats().warm_solves, 0u);
+}
+
+TEST(WarmStart, ReplanDeltaMatchesFullReplan) {
+  const PathSet paths = exp::table3_model_paths();
+  const TrafficSpec traffic = exp::table4_traffic_rate(mbps(30));
+  std::mt19937_64 rng(808);
+  std::uniform_real_distribution<double> load0(0.0, mbps(60));
+  std::uniform_real_distribution<double> load1(0.0, mbps(15));
+
+  Planner planner(Planner::Options{{}, true});
+  Plan current = planner.plan(paths, traffic);
+  ASSERT_TRUE(current.feasible());
+  for (int step = 0; step < 50; ++step) {
+    // The residual-capacity delta the server derives from its utilization
+    // meter, against a from-scratch plan of the identical derated paths.
+    CrossTraffic cross;
+    cross.background_bps = {load0(rng), load1(rng)};
+    ReplanDelta delta;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      const double background = cross.background_bps[p];
+      delta.bandwidth_bps.push_back(
+          background == 0.0
+              ? paths[p].bandwidth_bps
+              : std::max(cross.min_bandwidth_bps,
+                         paths[p].bandwidth_bps - background));
+    }
+    const Plan fast = planner.replan(current, delta);
+    const Plan reference = plan_max_quality(paths, traffic, cross, {});
+    ASSERT_EQ(fast.feasible(), reference.feasible()) << "step " << step;
+    if (fast.feasible()) {
+      EXPECT_NEAR(fast.quality(), reference.quality(), 1e-7)
+          << "step " << step;
+      // The rebound model must report the residual capacities it planned on.
+      for (std::size_t p = 0; p < paths.size(); ++p) {
+        EXPECT_EQ(fast.model().real_paths()[p].bandwidth_bps,
+                  delta.bandwidth_bps[p]);
+      }
+      current = fast;
+    }
+  }
+  EXPECT_GT(planner.lp_stats().warm_solves, 0u);
+  EXPECT_EQ(planner.lp_stats().fallbacks, 0u);
+}
+
+TEST(WarmStart, ReplanRejectsMismatchedDeltaWidth) {
+  const PathSet paths = exp::table3_model_paths();
+  Planner planner;
+  const Plan plan = planner.plan(paths, exp::table4_traffic_rate(mbps(20)));
+  ReplanDelta delta;
+  delta.bandwidth_bps = {mbps(10)};  // one entry, two paths
+  EXPECT_THROW(planner.replan(plan, delta), std::invalid_argument);
+}
+
+TEST(WarmStart, ModelRebindGuardsItsContract) {
+  const PathSet paths = exp::table3_model_paths();
+  const TrafficSpec traffic = exp::table4_traffic_rate(mbps(20));
+  const Model model(paths, traffic, {});
+  TrafficSpec other = traffic;
+  other.lifetime_s *= 2.0;  // metrics depend on the lifetime
+  EXPECT_THROW(model.rebind(other, {mbps(10), mbps(10)}),
+               std::invalid_argument);
+  EXPECT_THROW(model.rebind(traffic, {mbps(10)}), std::invalid_argument);
+
+  const Model rebound = model.rebind(traffic, {mbps(12), mbps(34)});
+  EXPECT_EQ(rebound.real_paths()[0].bandwidth_bps, mbps(12));
+  EXPECT_EQ(rebound.real_paths()[1].bandwidth_bps, mbps(34));
+  // Metrics carry over untouched.
+  ASSERT_EQ(rebound.metrics().size(), model.metrics().size());
+  for (std::size_t l = 0; l < model.metrics().size(); ++l) {
+    EXPECT_EQ(rebound.metrics()[l].delivery_probability,
+              model.metrics()[l].delivery_probability);
+  }
+}
+
+}  // namespace
+}  // namespace dmc::core

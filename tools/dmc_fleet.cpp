@@ -43,6 +43,8 @@ options
   --count N       arrivals per `server` grid cell (default 200)
   --session-messages N
                   mean session size for `server` (default 400)
+  --warm-start M  on|off: warm-started LP re-solves in every `server` cell
+                  (default on; the lp_* result columns show the split)
   --json PATH     write the JSON result set (- = stdout)
   --csv PATH      write the CSV result set (- = stdout)
   --quiet         suppress the text tables
@@ -59,6 +61,7 @@ struct CliOptions {
   std::string policies = "always-admit,feasibility-lp,threshold";
   int count = 200;
   std::uint64_t session_messages = 400;
+  bool warm_start = true;
   std::string json_path;
   std::string csv_path;
   bool quiet = false;
@@ -96,6 +99,15 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--session-messages") {
       options.session_messages =
           util::parse_positive<std::uint64_t>(arg, value());
+    } else if (arg == "--warm-start") {
+      const std::string mode = value();
+      if (mode == "on") {
+        options.warm_start = true;
+      } else if (mode == "off") {
+        options.warm_start = false;
+      } else {
+        throw std::invalid_argument("--warm-start: expected on or off");
+      }
     } else if (arg == "--json") {
       options.json_path = value();
     } else if (arg == "--csv") {
@@ -231,6 +243,7 @@ int run(const CliOptions& options) {
     axes.policies = util::split_list("--policies", options.policies);
     axes.count = options.count;
     axes.mean_messages = static_cast<double>(options.session_messages);
+    axes.warm_start = options.warm_start;
     if (options.rate_mbps > 0.0) axes.rate_mbps = {options.rate_mbps};
     runs.push_back(
         {"Online admission: arrival-rate sweep on the Table III network",

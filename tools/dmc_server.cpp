@@ -37,6 +37,8 @@ options
   --min-quality X   feasibility-lp admission bar (default 0.9)
   --patience-s X    queued-request patience (default 2)
   --no-replan       disable re-planning on departure events
+  --no-warm-start   solve every admission/re-plan LP cold (default: warm
+                    re-solves from the previous optimal basis)
   --seed N          workload + network seed (default 42)
   --trace T         comma-separated arrival instants instead of Poisson
   --json PATH       write the JSON result set (- = stdout)
@@ -55,6 +57,7 @@ struct CliOptions {
   double min_quality = 0.9;
   double patience_s = 2.0;
   bool replan = true;
+  bool warm_start = true;
   std::uint64_t seed = 42;
   std::string trace;
   std::string json_path;
@@ -91,6 +94,8 @@ CliOptions parse_cli(int argc, char** argv) {
       options.patience_s = util::parse_number<double>(arg, value());
     } else if (arg == "--no-replan") {
       options.replan = false;
+    } else if (arg == "--no-warm-start") {
+      options.warm_start = false;
     } else if (arg == "--seed") {
       options.seed = util::parse_number<std::uint64_t>(arg, value());
     } else if (arg == "--trace") {
@@ -166,7 +171,7 @@ int run(const CliOptions& options) {
   fleet::ResultSet results;
   exp::Table summary({"policy", "admitted", "rejected", "expired",
                       "admission rate", "deadline miss", "goodput (Mbps)",
-                      "orphans", "replans"});
+                      "orphans", "replans", "lp warm/cold"});
   std::size_t failures = 0;
   for (const std::string& policy :
        util::split_list("--policies", options.policies)) {
@@ -177,6 +182,7 @@ int run(const CliOptions& options) {
     config.min_quality = options.min_quality;
     config.max_queue_wait_s = options.patience_s;
     config.replan_on_departure = options.replan;
+    config.warm_start = options.warm_start;
     config.seed = options.seed;
 
     server::SessionServer session_server(config);
@@ -194,7 +200,9 @@ int run(const CliOptions& options) {
          exp::Table::percent(outcome.deadline_miss_rate),
          exp::Table::num(to_mbps(outcome.goodput_bps), 1),
          std::to_string(outcome.orphans.total()),
-         std::to_string(outcome.replans)});
+         std::to_string(outcome.replans),
+         std::to_string(outcome.lp.warm_solves) + "/" +
+             std::to_string(outcome.lp.cold_solves)});
     if (!options.quiet && options.per_session) {
       exp::banner("per-session fates: " + policy);
       session_table(outcome).print();
