@@ -120,7 +120,8 @@ void Model::compute_random_metrics(
     if (model_paths_[i].is_blackhole()) {
       ack_delay[i] = stats::make_deterministic(kInfinity);
     } else {
-      ack_delay[i] = stats::sum_distribution(delay[i], ack_path_delay);
+      ack_delay[i] = stats::sum_distribution(delay[i], ack_path_delay,
+                                             options_.convolution);
     }
   }
 

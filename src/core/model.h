@@ -22,6 +22,7 @@
 #include "core/path.h"
 #include "core/timeout_optimizer.h"
 #include "lp/problem.h"
+#include "stats/convolution.h"
 
 namespace dmc::core {
 
@@ -40,6 +41,10 @@ struct ModelOptions {
   // simulated behaviour consistent (Experiment 1 discussion).
   double timeout_guard_s = 0.0;
   TimeoutOptions timeout = {};
+  // Grid policy for the numeric convolutions behind the ack-delay
+  // distributions d_i + d_min (Equation 34). The defaults adapt the grid to
+  // the input spread and convolve via FFT; see stats::ConvolutionOptions.
+  stats::ConvolutionOptions convolution = {};
 };
 
 // Everything the LP needs to know about one path combination.

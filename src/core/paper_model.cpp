@@ -149,7 +149,8 @@ PaperMatrices build_paper_cost(const PathSet& model_paths,
 
 PaperMatrices build_paper_random_quality(
     const PathSet& model_paths, const TrafficSpec& traffic,
-    const std::vector<std::vector<double>>& timeouts) {
+    const std::vector<std::vector<double>>& timeouts,
+    const stats::ConvolutionOptions& convolution) {
   check_inputs(model_paths, traffic);
   const std::size_t n = model_paths.size();
   if (timeouts.size() != n) {
@@ -169,7 +170,8 @@ PaperMatrices build_paper_random_quality(
     delay[i] = model_paths[i].distribution();
     ack_delay[i] = model_paths[i].is_blackhole()
                        ? stats::make_deterministic(kInfinity)
-                       : stats::sum_distribution(delay[i], ack_path);
+                       : stats::sum_distribution(delay[i], ack_path,
+                                                 convolution);
   }
 
   PaperMatrices m;

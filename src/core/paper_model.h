@@ -15,6 +15,7 @@
 #include "core/path.h"
 #include "lp/matrix.h"
 #include "lp/problem.h"
+#include "stats/convolution.h"
 #include "stats/distributions.h"
 
 namespace dmc::core {
@@ -47,9 +48,11 @@ PaperMatrices build_paper_cost(const PathSet& model_paths,
 // Equations 28-30: same layout, but delivery/retransmission probabilities
 // come from the delay distributions and the supplied timeout table
 // t[i][j] = t_{i,j} (entries may be +inf for "never retransmit").
+// `convolution` controls the grids behind the d_i + d_min distributions.
 PaperMatrices build_paper_random_quality(
     const PathSet& model_paths, const TrafficSpec& traffic,
-    const std::vector<std::vector<double>>& timeouts);
+    const std::vector<std::vector<double>>& timeouts,
+    const stats::ConvolutionOptions& convolution = {});
 
 // Converts the matrices into a solver-ready problem. Rows whose bound is
 // +inf (the blackhole's bandwidth row, or an absent cost cap) are dropped.

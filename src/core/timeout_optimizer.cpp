@@ -40,11 +40,41 @@ double bisect_edge(const stats::DelayDistribution& ack_delay,
 
 }  // namespace
 
+namespace {
+
+// Scan resolution: enough points that the grid step tracks the faster of
+// the two CDFs (see TimeoutOptions::scan_points_per_sigma), clamped to
+// [min_coarse_points, coarse_points]. Sigma is a smoothness proxy, so it
+// only applies to continuous inputs: atomic distributions (empirical,
+// deterministic) jump instantaneously no matter their spread, and a
+// sigma-coarsened grid could step right over a narrow plateau between two
+// far-apart atoms — those keep the full coarse grid.
+int scan_points(const stats::DelayDistribution& ack_delay,
+                const stats::DelayDistribution& retrans_delay, double lo,
+                double hi, const TimeoutOptions& options) {
+  if (options.scan_points_per_sigma <= 0.0) return options.coarse_points;
+  if (!ack_delay.continuous() || !retrans_delay.continuous()) {
+    return options.coarse_points;
+  }
+  const double sigma = stats::min_positive_sigma(ack_delay, retrans_delay);
+  if (!std::isfinite(sigma)) return options.coarse_points;
+  const double target =
+      std::ceil((hi - lo) / sigma * options.scan_points_per_sigma);
+  const int floor_points =
+      std::min(options.min_coarse_points, options.coarse_points);
+  if (target >= static_cast<double>(options.coarse_points)) {
+    return options.coarse_points;
+  }
+  return std::max(floor_points, static_cast<int>(target));
+}
+
+}  // namespace
+
 TimeoutChoice optimize_timeout(const stats::DelayDistribution& ack_delay,
                                const stats::DelayDistribution& retrans_delay,
                                double deadline,
                                const TimeoutOptions& options) {
-  if (options.coarse_points < 8) {
+  if (options.coarse_points < 8 || options.min_coarse_points < 8) {
     throw std::invalid_argument("optimize_timeout: coarse_points too small");
   }
   TimeoutChoice choice;
@@ -58,16 +88,31 @@ TimeoutChoice optimize_timeout(const stats::DelayDistribution& ack_delay,
   if (!(hi > lo) || std::isinf(lo)) {
     return choice;  // infeasible: never retransmit (t = inf)
   }
+  if (std::isinf(hi)) {
+    // Infinite deadline: everything arrives in time, so retransmission
+    // timing is moot — "wait forever" loses nothing, and a finite scan
+    // grid over [lo, inf) would be built from NaNs.
+    return choice;
+  }
 
-  // Coarse scan. Evaluate on a uniform grid including both endpoints.
-  const int n = options.coarse_points;
+  // Coarse scan on a uniform grid including both endpoints. Both CDFs are
+  // evaluated with one batched grid call each (no per-point virtual
+  // dispatch; the gamma kernel amortizes its transcendentals), then the
+  // objective at t_k = lo + k * step is ack[k] * retrans[n - k], since
+  // deadline - t_k walks the retransmission grid backwards.
+  const int n = scan_points(ack_delay, retrans_delay, lo, hi, options);
   const double step = (hi - lo) / static_cast<double>(n);
+  std::vector<double> ack_values(static_cast<std::size_t>(n) + 1);
+  std::vector<double> retrans_values(static_cast<std::size_t>(n) + 1);
+  ack_delay.cdf_grid(lo, step, ack_values.size(), ack_values.data());
+  retrans_delay.cdf_grid(deadline - hi, step, retrans_values.size(),
+                         retrans_values.data());
   double best_value = 0.0;
   int best_index = -1;
   std::vector<double> values(static_cast<std::size_t>(n) + 1);
   for (int k = 0; k <= n; ++k) {
-    const double t = lo + step * static_cast<double>(k);
-    const double v = objective_at(ack_delay, retrans_delay, deadline, t);
+    const double v = ack_values[static_cast<std::size_t>(k)] *
+                     retrans_values[static_cast<std::size_t>(n - k)];
     values[static_cast<std::size_t>(k)] = v;
     if (v > best_value) {
       best_value = v;

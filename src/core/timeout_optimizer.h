@@ -26,10 +26,23 @@ enum class PlateauPolicy {
 };
 
 struct TimeoutOptions {
-  int coarse_points = 4096;       // grid resolution of the initial scan
+  int coarse_points = 4096;       // cap on the grid resolution of the scan
   int refine_iterations = 64;     // bisection steps on the plateau edges
   double plateau_tolerance = 1e-9;  // relative: counts as "at the maximum"
   PlateauPolicy plateau_policy = PlateauPolicy::leftmost;
+  // Adaptive scan resolution: the grid step targets sigma_min /
+  // scan_points_per_sigma, where sigma_min is the smaller standard
+  // deviation of the two input distributions — a *continuous* objective
+  // cannot vary faster than the CDFs it multiplies, so resolution beyond
+  // that is wasted. The point count is clamped to [min_coarse_points,
+  // coarse_points]; atomic inputs (deterministic, empirical — see
+  // DelayDistribution::continuous), whose CDFs jump regardless of sigma,
+  // keep the full coarse_points grid. Set to 0 to disable adaptivity. The
+  // plateau
+  // edges are refined by bisection on the exact CDFs either way, so the
+  // scan grid only has to *find* the plateau, not resolve it.
+  double scan_points_per_sigma = 64.0;
+  int min_coarse_points = 256;
 };
 
 struct TimeoutChoice {

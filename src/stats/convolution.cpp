@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "stats/fft.h"
 
 namespace dmc::stats {
 
@@ -26,9 +29,12 @@ GriddedDistribution::GriddedDistribution(double lo, double step,
   }
   cdf_.back() = 1.0;
 
-  // Moments by midpoint rule over the implied density.
-  double mean = 0.0;
-  double second = 0.0;
+  // Moments by midpoint rule over the implied density. Mass at or below the
+  // first grid point (cdf_[0] > 0) is an atom at lo_ — e.g. a discretized
+  // point mass sitting on the support edge — and counts toward the moments
+  // like any other mass.
+  double mean = cdf_[0] * lo_;
+  double second = cdf_[0] * lo_ * lo_;
   for (std::size_t k = 1; k < cdf_.size(); ++k) {
     const double mass = cdf_[k] - cdf_[k - 1];
     const double mid = lo_ + (static_cast<double>(k) - 0.5) * step_;
@@ -39,27 +45,49 @@ GriddedDistribution::GriddedDistribution(double lo, double step,
   variance_ = std::max(0.0, second - mean * mean);
 }
 
-double GriddedDistribution::cdf(double x) const {
-  if (x <= lo_) return 0.0;
+double GriddedDistribution::cdf_at(double x) const {
+  // Negated comparison so NaN lands in the 0 branch; together with the
+  // bound check below, nothing non-finite ever reaches the integer cast
+  // (casting NaN or a huge double to size_t is UB).
+  if (!(x >= lo_)) return 0.0;
   const double pos = (x - lo_) / step_;
+  if (pos >= static_cast<double>(cdf_.size() - 1)) return 1.0;
   const auto k = static_cast<std::size_t>(pos);
-  if (k + 1 >= cdf_.size()) return 1.0;
   const double frac = pos - static_cast<double>(k);
   return cdf_[k] + frac * (cdf_[k + 1] - cdf_[k]);
 }
 
-double GriddedDistribution::pdf(double x) const {
-  if (x <= lo_ || x >= lo_ + step_ * static_cast<double>(cdf_.size() - 1)) {
-    return 0.0;
+double GriddedDistribution::cdf(double x) const { return cdf_at(x); }
+
+void GriddedDistribution::cdf_grid(double t0, double dt, std::size_t n,
+                                   double* out) const {
+  if (!check_grid_args(dt, n, out)) return;
+  // Non-virtual interpolation sweep; cdf_at inlines into the loop.
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = cdf_at(t0 + static_cast<double>(k) * dt);
   }
-  const double h = step_;
-  return (cdf(x + 0.5 * h) - cdf(x - 0.5 * h)) / h;
+}
+
+double GriddedDistribution::pdf(double x) const {
+  const double hi = upper_support();
+  if (x < lo_ || x > hi) return 0.0;
+  // Central difference in the interior; within half a step of a support
+  // edge the window is clamped to one-sided so it never reads the flat
+  // extension beyond the table (which biased edge densities low).
+  const double a = std::max(x - 0.5 * step_, lo_);
+  const double b = std::min(x + 0.5 * step_, hi);
+  if (!(b > a)) return 0.0;
+  return (cdf(b) - cdf(a)) / (b - a);
 }
 
 double GriddedDistribution::quantile(double p) const {
-  if (p < 0.0 || p >= 1.0) {
-    throw std::domain_error("quantile: p must be in [0,1)");
+  if (!(p >= 0.0) || !(p <= 1.0)) {
+    throw std::domain_error("quantile: p must be in [0,1]");
   }
+  // Generalized inverse inf{x : cdf(x) >= p}: p at or below the atom at lo_
+  // lands on lo_; p == 1 lands on the first grid point that reaches 1 (the
+  // least upper bound of the support, since the table is pinned to end at
+  // 1).
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), p);
   const auto k = static_cast<std::size_t>(it - cdf_.begin());
   if (k == 0) return lo_;
@@ -90,61 +118,112 @@ const ShiftedGammaDelay* as_shifted_gamma(const DelayDistributionPtr& d) {
   return dynamic_cast<const ShiftedGammaDelay*>(d.get());
 }
 
-// Numeric convolution: discretize B into probability masses per grid cell,
-// then F_{A+B}(t) = sum_cells mass_b(s) * F_A(t - s).
+// Probability masses of `d` binned onto a uniform grid: mass[k] covers
+// (lo + k step, lo + (k+1) step], evaluated with one batched CDF call.
+// Mass at the support edge lo itself (an atom) lands in cell 0, and the
+// upper tail truncated at hi is folded into the last cell, so the masses
+// always sum to 1.
+std::vector<double> discretize(const DelayDistribution& d, double lo,
+                               double hi, double step) {
+  const auto cells = static_cast<std::size_t>(
+                         std::ceil(std::max(0.0, hi - lo) / step)) +
+                     1;
+  std::vector<double> cdf(cells);
+  d.cdf_grid(lo + step, step, cells, cdf.data());
+  std::vector<double> mass(cells);
+  double prev = 0.0;  // P(X < lo) = 0 at the exact support start
+  for (std::size_t k = 0; k < cells; ++k) {
+    mass[k] = std::max(0.0, cdf[k] - prev);
+    prev = cdf[k];
+  }
+  mass.back() += std::max(0.0, 1.0 - prev);
+  return mass;
+}
+
+// Grid resolution policy: fixed `step` unless `adaptive`, in which case the
+// step tracks the narrower input's spread. Sigma is a smoothness proxy, so
+// adaptivity only applies when both inputs are continuous — an atomic
+// input's CDF jumps regardless of its spread, and two far-apart atoms
+// would read as a huge sigma and a needlessly coarse grid (the same guard
+// core::optimize_timeout's scan applies). Always coarsened as needed to
+// respect max_points over the combined support width.
+double pick_step(const DelayDistribution& a, const DelayDistribution& b,
+                 double width, const ConvolutionOptions& options) {
+  double step = options.step;
+  if (options.adaptive && options.points_per_sigma > 0.0 && a.continuous() &&
+      b.continuous()) {
+    const double sigma = min_positive_sigma(a, b);
+    if (std::isfinite(sigma)) {
+      step = std::clamp(sigma / options.points_per_sigma, options.min_step,
+                        options.max_step);
+    }
+  }
+  if (width / step > static_cast<double>(options.max_points)) {
+    step = width / static_cast<double>(options.max_points);
+  }
+  return step;
+}
+
 DelayDistributionPtr numeric_sum(const DelayDistributionPtr& a,
                                  const DelayDistributionPtr& b,
                                  const ConvolutionOptions& options) {
+  if (options.step <= 0.0 || options.min_step <= 0.0 ||
+      options.max_step < options.min_step) {
+    throw std::invalid_argument("sum_distribution: bad grid step options");
+  }
+  if (options.max_points < 2) {
+    throw std::invalid_argument("sum_distribution: max_points too small");
+  }
   const double a_lo = a->quantile(0.0);
   const double a_hi = a->quantile(1.0 - options.tail);
   const double b_lo = b->quantile(0.0);
   const double b_hi = b->quantile(1.0 - options.tail);
-
-  double step = options.step;
   const double width = (a_hi + b_hi) - (a_lo + b_lo);
-  if (width / step > static_cast<double>(options.max_points)) {
-    step = width / static_cast<double>(options.max_points);
+  if (!std::isfinite(width)) {
+    throw std::invalid_argument(
+        "sum_distribution: input support is not finite");
   }
 
-  const auto b_cells = static_cast<std::size_t>(
-      std::ceil((b_hi - b_lo) / step)) + 1;
-  std::vector<double> b_mass(b_cells);
-  std::vector<double> b_mid(b_cells);
-  double prev_cdf = 0.0;
-  for (std::size_t k = 0; k < b_cells; ++k) {
-    const double right = b_lo + (static_cast<double>(k) + 1.0) * step;
-    const double c = b->cdf(right);
-    b_mass[k] = c - prev_cdf;
-    b_mid[k] = right - 0.5 * step;
-    prev_cdf = c;
-  }
-  // Fold any truncated upper-tail mass into the last cell.
-  b_mass[b_cells - 1] += 1.0 - prev_cdf;
+  const double step = pick_step(*a, *b, width, options);
+  const std::vector<double> mass_a = discretize(*a, a_lo, a_hi, step);
+  const std::vector<double> mass_b = discretize(*b, b_lo, b_hi, step);
 
+  // The FFT wins once the direct sum's n * m work dwarfs the transform
+  // setup; below that the direct sum is cheaper and exact to the last bit.
+  constexpr std::size_t kDirectCrossover = 1 << 14;
+  bool use_fft = options.method == ConvolutionMethod::fft;
+  if (options.method == ConvolutionMethod::automatic) {
+    use_fft = mass_a.size() * mass_b.size() > kDirectCrossover;
+  }
+  const std::vector<double> conv = use_fft ? fft_convolve(mass_a, mass_b)
+                                           : direct_convolve(mass_a, mass_b);
+
+  // conv[k] is the mass whose cell midpoints sum to lo + (k+1) * step. The
+  // CDF at grid point j counts every mass strictly below it plus *half* of
+  // the mass sitting exactly on it: sampling the discrete CDF mid-jump is
+  // what keeps the scheme second-order accurate in the step (full
+  // inclusion would evaluate the underlying CDF half a cell to the right —
+  // a first-order bias). One node past the last mass closes the grid at 1.
   const double lo = a_lo + b_lo;
-  const auto n = static_cast<std::size_t>(
-      std::ceil(((a_hi + b_hi) - lo) / step)) + 2;
-  std::vector<double> cdf(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double t = lo + static_cast<double>(i) * step;
-    double acc = 0.0;
-    for (std::size_t k = 0; k < b_cells; ++k) {
-      if (b_mass[k] == 0.0) continue;
-      acc += b_mass[k] * a->cdf(t - b_mid[k]);
-    }
-    cdf[i] = acc;
+  std::vector<double> cdf(conv.size() + 2);
+  cdf[0] = 0.0;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < conv.size(); ++k) {
+    const double mass = std::max(0.0, conv[k]);  // clamp FFT roundoff
+    cdf[k + 1] = acc + 0.5 * mass;
+    acc += mass;
   }
+  cdf[conv.size() + 1] = acc;
   return std::make_shared<GriddedDistribution>(lo, step, std::move(cdf));
 }
 
 }  // namespace
 
-DelayDistributionPtr sum_distribution(const DelayDistributionPtr& a,
-                                      const DelayDistributionPtr& b,
-                                      const ConvolutionOptions& options) {
+DelayDistributionPtr numeric_sum_distribution(
+    const DelayDistributionPtr& a, const DelayDistributionPtr& b,
+    const ConvolutionOptions& options) {
   if (!a || !b) throw std::invalid_argument("sum_distribution: null input");
-
-  // Deterministic + anything: a pure shift.
+  // Deterministic inputs have zero-width grids; shifting is exact.
   if (const auto* da = as_deterministic(a)) {
     if (const auto* db = as_deterministic(b)) {
       return make_deterministic(da->value() + db->value());
@@ -154,6 +233,13 @@ DelayDistributionPtr sum_distribution(const DelayDistributionPtr& a,
   if (const auto* db = as_deterministic(b)) {
     return make_shifted(a, db->value());
   }
+  return numeric_sum(a, b, options);
+}
+
+DelayDistributionPtr sum_distribution(const DelayDistributionPtr& a,
+                                      const DelayDistributionPtr& b,
+                                      const ConvolutionOptions& options) {
+  if (!a || !b) throw std::invalid_argument("sum_distribution: null input");
 
   // Gamma + Gamma with a common scale: shapes add, shifts add.
   const auto* ga = as_shifted_gamma(a);
@@ -163,7 +249,7 @@ DelayDistributionPtr sum_distribution(const DelayDistributionPtr& a,
                               ga->shape() + gb->shape(), ga->scale());
   }
 
-  return numeric_sum(a, b, options);
+  return numeric_sum_distribution(a, b, options);
 }
 
 }  // namespace dmc::stats

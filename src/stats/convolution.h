@@ -4,9 +4,15 @@
 // convolution F_{X_i} * f_{X_min}.
 //
 // Exact closed forms are used where they exist (deterministic shifts, two
-// gammas with a common scale); everything else falls back to a dense grid.
+// gammas with a common scale); everything else falls back to a gridded
+// numeric convolution. The numeric path discretizes both inputs to
+// probability-mass vectors (batched CDF kernels, see
+// DelayDistribution::cdf_grid), convolves the masses — via the radix-2 FFT
+// in stats/fft.h for anything beyond toy sizes — and prefix-sums back to a
+// CDF: O((n + m) log (n + m)) instead of the O(n * m) direct sum.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "stats/distributions.h"
@@ -15,7 +21,10 @@ namespace dmc::stats {
 
 // A distribution tabulated as a CDF on a uniform grid. Implements the full
 // DelayDistribution interface: cdf by linear interpolation, pdf by central
-// difference, quantile by inverse interpolation, sampling by inverse-CDF.
+// difference (one-sided within half a step of either support edge),
+// quantile by inverse interpolation, sampling by inverse-CDF. Mass at or
+// below the first grid point (cdf_values[0] > 0) is a genuine atom at lo:
+// it is included in the moments and reported by cdf(lo).
 class GriddedDistribution final : public DelayDistribution {
  public:
   // cdf_values[k] = P(X <= lo + k * step); must be nondecreasing, start
@@ -23,18 +32,31 @@ class GriddedDistribution final : public DelayDistribution {
   GriddedDistribution(double lo, double step, std::vector<double> cdf_values);
 
   double cdf(double x) const override;
+  void cdf_grid(double t0, double dt, std::size_t n,
+                double* out) const override;
   double pdf(double x) const override;
   double mean() const override { return mean_; }
   double variance() const override { return variance_; }
   double quantile(double p) const override;
   double sample(Rng& rng) const override;
   double min_support() const override { return lo_; }
+  // The interpolated CDF is continuous everywhere except a possible atom
+  // at lo (cdf_values[0] > 0); sigma-based grid heuristics must not treat
+  // a table carrying that atom as smooth.
+  bool continuous() const override { return cdf_.front() == 0.0; }
   std::string describe() const override;
 
   double grid_step() const { return step_; }
   std::size_t grid_size() const { return cdf_.size(); }
+  // Last grid point (the least upper bound of the tabulated support).
+  double upper_support() const {
+    return lo_ + step_ * static_cast<double>(cdf_.size() - 1);
+  }
 
  private:
+  // The single interpolation body behind cdf() and the cdf_grid() sweep.
+  double cdf_at(double x) const;
+
   double lo_;
   double step_;
   std::vector<double> cdf_;
@@ -42,19 +64,56 @@ class GriddedDistribution final : public DelayDistribution {
   double variance_ = 0.0;
 };
 
-struct ConvolutionOptions {
-  // Grid resolution for the numeric fallback. 0.25 ms resolves the paper's
-  // millisecond-scale timeouts with sub-ms error.
-  double step = 0.25e-3;
-  // Support is truncated to [quantile(tail), quantile(1 - tail)] per input.
-  double tail = 1e-9;
-  // Hard cap on grid points to bound memory for very wide supports.
-  std::size_t max_points = 1 << 20;
+// How the numeric fallback convolves the two mass vectors.
+enum class ConvolutionMethod {
+  // FFT beyond a small crossover size, direct below it (the FFT's setup
+  // costs more than a tiny direct sum).
+  automatic,
+  // Always the O(n * m) direct sum (reference / differential testing).
+  direct,
+  // Always the O((n + m) log (n + m)) FFT path.
+  fft,
 };
 
-// Distribution of A + B for independent A, B.
+struct ConvolutionOptions {
+  // Fixed grid resolution used when `adaptive` is off, and the fallback
+  // when neither input has positive variance to scale from. 0.25 ms
+  // resolves the paper's millisecond-scale timeouts with sub-ms error.
+  double step = 0.25e-3;
+  // Adaptive resolution: scale the grid step to the narrower input's
+  // spread, step = clamp(sigma_min / points_per_sigma, min_step, max_step),
+  // where sigma_min is the smallest positive standard deviation among the
+  // inputs. Narrow distributions get the fine grid they need; wide ones
+  // stop paying for resolution they cannot use. Applies only when both
+  // inputs are continuous (see DelayDistribution::continuous) — sigma says
+  // nothing about how fast an atomic CDF jumps, so atomic inputs keep the
+  // fixed `step`.
+  bool adaptive = true;
+  double points_per_sigma = 64.0;
+  double min_step = 1e-6;   // 1 us floor (deterministic-spike inputs)
+  double max_step = 2e-3;   // 2 ms cap (wide supports)
+  // Support is truncated to [quantile(0), quantile(1 - tail)] per input;
+  // the truncated upper-tail mass is folded into the last cell.
+  double tail = 1e-9;
+  // Hard cap on grid points to bound memory for very wide supports (the
+  // step is coarsened to fit).
+  std::size_t max_points = 1 << 20;
+  ConvolutionMethod method = ConvolutionMethod::automatic;
+};
+
+// Distribution of A + B for independent A, B. Uses exact closed forms where
+// they exist (deterministic shifts; same-scale gammas) and the gridded
+// numeric convolution below otherwise.
 DelayDistributionPtr sum_distribution(const DelayDistributionPtr& a,
                                       const DelayDistributionPtr& b,
                                       const ConvolutionOptions& options = {});
+
+// The gridded numeric convolution itself, bypassing the closed-form
+// shortcuts (except that deterministic inputs still reduce to exact shifts:
+// a zero-width grid has nothing to discretize). Exposed so differential
+// tests can pit it — with any ConvolutionMethod — against the closed forms.
+DelayDistributionPtr numeric_sum_distribution(
+    const DelayDistributionPtr& a, const DelayDistributionPtr& b,
+    const ConvolutionOptions& options = {});
 
 }  // namespace dmc::stats

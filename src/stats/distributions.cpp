@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -9,6 +10,36 @@
 #include "stats/gamma_math.h"
 
 namespace dmc::stats {
+
+namespace {
+
+// Shared [0, 1] bounds check for the closed-interval quantile contract
+// documented on DelayDistribution::quantile.
+void check_quantile_p(double p) {
+  if (!(p >= 0.0) || !(p <= 1.0)) {
+    throw std::domain_error("quantile: p must be in [0,1]");
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ base default
+
+bool DelayDistribution::check_grid_args(double dt, std::size_t n,
+                                        const double* out) {
+  if (!(dt > 0.0)) throw std::domain_error("cdf_grid: dt must be > 0");
+  if (n == 0) return false;
+  if (out == nullptr) throw std::invalid_argument("cdf_grid: null buffer");
+  return true;
+}
+
+void DelayDistribution::cdf_grid(double t0, double dt, std::size_t n,
+                                 double* out) const {
+  if (!check_grid_args(dt, n, out)) return;
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = cdf(t0 + static_cast<double>(k) * dt);
+  }
+}
 
 // ---------------------------------------------------------------- constant
 
@@ -22,12 +53,23 @@ double DeterministicDelay::cdf(double x) const {
   return x >= value_ ? 1.0 : 0.0;
 }
 
+void DeterministicDelay::cdf_grid(double t0, double dt, std::size_t n,
+                                  double* out) const {
+  if (!check_grid_args(dt, n, out)) return;
+  // Step function: 0 strictly before the atom, 1 from it on. Negated
+  // comparison so a NaN grid point lands in the 0 branch exactly like
+  // cdf(NaN).
+  std::size_t k = 0;
+  while (k < n && !(t0 + static_cast<double>(k) * dt >= value_)) {
+    out[k++] = 0.0;
+  }
+  while (k < n) out[k++] = 1.0;
+}
+
 double DeterministicDelay::pdf(double) const { return 0.0; }
 
 double DeterministicDelay::quantile(double p) const {
-  if (p < 0.0 || p >= 1.0) {
-    throw std::domain_error("quantile: p must be in [0,1)");
-  }
+  check_quantile_p(p);
   return value_;
 }
 
@@ -57,16 +99,21 @@ double ShiftedGammaDelay::cdf(double x) const {
   return regularized_gamma_p(shape_, (x - shift_) / scale_);
 }
 
+void ShiftedGammaDelay::cdf_grid(double t0, double dt, std::size_t n,
+                                 double* out) const {
+  gamma_cdf_grid(shape_, scale_, shift_, t0, dt, n, out);
+}
+
 double ShiftedGammaDelay::pdf(double x) const {
   if (x < shift_) return 0.0;
   return gamma_pdf(shape_, scale_, x - shift_);
 }
 
 double ShiftedGammaDelay::quantile(double p) const {
-  if (p < 0.0 || p >= 1.0) {
-    throw std::domain_error("quantile: p must be in [0,1)");
-  }
+  check_quantile_p(p);
   if (p == 0.0) return shift_;
+  // Unbounded upper tail: the least upper bound of the support.
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
   return shift_ + scale_ * inverse_regularized_gamma_p(shape_, p);
 }
 
@@ -101,9 +148,7 @@ double UniformDelay::pdf(double x) const {
 }
 
 double UniformDelay::quantile(double p) const {
-  if (p < 0.0 || p >= 1.0) {
-    throw std::domain_error("quantile: p must be in [0,1)");
-  }
+  check_quantile_p(p);
   return lo_ + p * (hi_ - lo_);
 }
 
@@ -139,12 +184,24 @@ double EmpiricalDelay::cdf(double x) const {
          static_cast<double>(sorted_.size());
 }
 
+void EmpiricalDelay::cdf_grid(double t0, double dt, std::size_t n,
+                              double* out) const {
+  if (!check_grid_args(dt, n, out)) return;
+  // One merge pass over the sorted samples: O(n + samples) instead of a
+  // binary search per grid point.
+  const double inv = 1.0 / static_cast<double>(sorted_.size());
+  std::size_t rank = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double x = t0 + static_cast<double>(k) * dt;
+    while (rank < sorted_.size() && sorted_[rank] <= x) ++rank;
+    out[k] = static_cast<double>(rank) * inv;
+  }
+}
+
 double EmpiricalDelay::pdf(double) const { return 0.0; }
 
 double EmpiricalDelay::quantile(double p) const {
-  if (p < 0.0 || p >= 1.0) {
-    throw std::domain_error("quantile: p must be in [0,1)");
-  }
+  check_quantile_p(p);
   const auto rank = static_cast<std::size_t>(
       p * static_cast<double>(sorted_.size()));
   return sorted_[std::min(rank, sorted_.size() - 1)];
@@ -174,6 +231,20 @@ std::string ShiftedDelay::describe() const {
   std::ostringstream out;
   out << base_->describe() << " + " << delta_;
   return out.str();
+}
+
+// ----------------------------------------------------------------- helpers
+
+double min_positive_sigma(const DelayDistribution& a,
+                          const DelayDistribution& b) {
+  double sigma = std::numeric_limits<double>::infinity();
+  for (const DelayDistribution* d : {&a, &b}) {
+    const double variance = d->variance();
+    if (variance > 0.0 && std::isfinite(variance)) {
+      sigma = std::min(sigma, std::sqrt(variance));
+    }
+  }
+  return sigma;
 }
 
 // --------------------------------------------------------------- factories

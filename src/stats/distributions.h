@@ -12,6 +12,7 @@
 // convention throughout.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,17 +28,44 @@ class DelayDistribution {
 
   // P(delay <= x).
   virtual double cdf(double x) const = 0;
+  // Batched CDF on a uniform grid: out[k] = cdf(t0 + k * dt) for k in
+  // [0, n), dt > 0. Semantically identical to calling cdf() per point; the
+  // default implementation does exactly that. Overridden where a whole grid
+  // is much cheaper than n virtual point calls — the shifted gamma routes
+  // through the batched kernel in gamma_math (one lgamma per grid), the
+  // gridded distribution through a linear interpolation sweep, the
+  // empirical distribution through a single merge pass. This is the API the
+  // convolution and timeout-scan hot paths are built on.
+  virtual void cdf_grid(double t0, double dt, std::size_t n,
+                        double* out) const;
   // Density at x; step distributions return 0 away from their atoms.
   virtual double pdf(double x) const = 0;
   virtual double mean() const = 0;
   virtual double variance() const = 0;
-  // Smallest x with cdf(x) >= p, for p in [0, 1).
+  // Generalized inverse: the smallest x with cdf(x) >= p. Uniform contract
+  // across every implementation: p must lie in the closed interval [0, 1]
+  // (anything else throws std::domain_error); quantile(0) is the lower
+  // support bound (== min_support()); quantile(1) is the least upper bound
+  // of the support, +infinity for distributions with unbounded tails (e.g.
+  // the shifted gamma). For p strictly between, atoms make the result land
+  // exactly on the atom carrying p.
   virtual double quantile(double p) const = 0;
   virtual double sample(Rng& rng) const = 0;
   // Infimum of the support (the location/shift parameter for shifted
   // families); useful for bracketing numeric searches.
   virtual double min_support() const = 0;
+  // Whether the CDF is continuous (carries no atoms). Atomic distributions
+  // (deterministic, empirical) jump instantaneously, so grid heuristics
+  // that scale resolution to the standard deviation — a smoothness proxy —
+  // must not trust sigma for them (see core::optimize_timeout's scan).
+  virtual bool continuous() const { return true; }
   virtual std::string describe() const = 0;
+
+ protected:
+  // Shared precondition check for cdf_grid implementations: throws
+  // std::domain_error on dt <= 0 and std::invalid_argument on a null
+  // buffer; returns false when n == 0 (an empty grid is a no-op).
+  static bool check_grid_args(double dt, std::size_t n, const double* out);
 };
 
 using DelayDistributionPtr = std::shared_ptr<const DelayDistribution>;
@@ -48,12 +76,15 @@ class DeterministicDelay final : public DelayDistribution {
  public:
   explicit DeterministicDelay(double value);
   double cdf(double x) const override;
+  void cdf_grid(double t0, double dt, std::size_t n,
+                double* out) const override;
   double pdf(double x) const override;
   double mean() const override { return value_; }
   double variance() const override { return 0.0; }
   double quantile(double p) const override;
   double sample(Rng& rng) const override;
   double min_support() const override { return value_; }
+  bool continuous() const override { return false; }  // one atom
   std::string describe() const override;
 
   double value() const { return value_; }
@@ -68,6 +99,8 @@ class ShiftedGammaDelay final : public DelayDistribution {
  public:
   ShiftedGammaDelay(double shift, double shape, double scale);
   double cdf(double x) const override;
+  void cdf_grid(double t0, double dt, std::size_t n,
+                double* out) const override;
   double pdf(double x) const override;
   double mean() const override { return shift_ + shape_ * scale_; }
   double variance() const override { return shape_ * scale_ * scale_; }
@@ -115,12 +148,15 @@ class EmpiricalDelay final : public DelayDistribution {
  public:
   explicit EmpiricalDelay(std::vector<double> samples);
   double cdf(double x) const override;
+  void cdf_grid(double t0, double dt, std::size_t n,
+                double* out) const override;
   double pdf(double x) const override;  // always 0 (atoms), by convention
   double mean() const override { return mean_; }
   double variance() const override { return variance_; }
   double quantile(double p) const override;
   double sample(Rng& rng) const override;
   double min_support() const override { return sorted_.front(); }
+  bool continuous() const override { return false; }  // atoms at samples
   std::string describe() const override;
 
   std::size_t size() const { return sorted_.size(); }
@@ -136,6 +172,10 @@ class ShiftedDelay final : public DelayDistribution {
  public:
   ShiftedDelay(DelayDistributionPtr base, double delta);
   double cdf(double x) const override { return base_->cdf(x - delta_); }
+  void cdf_grid(double t0, double dt, std::size_t n,
+                double* out) const override {
+    base_->cdf_grid(t0 - delta_, dt, n, out);
+  }
   double pdf(double x) const override { return base_->pdf(x - delta_); }
   double mean() const override { return base_->mean() + delta_; }
   double variance() const override { return base_->variance(); }
@@ -144,12 +184,20 @@ class ShiftedDelay final : public DelayDistribution {
   }
   double sample(Rng& rng) const override { return base_->sample(rng) + delta_; }
   double min_support() const override { return base_->min_support() + delta_; }
+  bool continuous() const override { return base_->continuous(); }
   std::string describe() const override;
 
  private:
   DelayDistributionPtr base_;
   double delta_;
 };
+
+// Smallest positive finite standard deviation among {a, b}, or +infinity
+// when neither input has one (both deterministic / degenerate). The shared
+// yardstick for sigma-scaled grid policies: the numeric convolution's
+// adaptive step and the timeout optimizer's scan resolution.
+double min_positive_sigma(const DelayDistribution& a,
+                          const DelayDistribution& b);
 
 // Convenience factories.
 DelayDistributionPtr make_deterministic(double value);

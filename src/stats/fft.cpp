@@ -1,0 +1,153 @@
+#include "stats/fft.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace dmc::stats {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Per-size plan cache so repeated convolutions (every model build / re-plan
+// convolves at similar grid sizes) pay the twiddle table and bit-reversal
+// permutation once. Plans are immutable after construction and never
+// evicted — only power-of-two sizes exist, so the cache stays tiny — which
+// makes the returned reference safe to use outside the lock.
+const Fft& plan_for(std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::unique_ptr<const Fft>> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::unique_ptr<const Fft>& slot = cache[n];
+  if (!slot) slot = std::make_unique<const Fft>(n);
+  return *slot;
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Fft::Fft(std::size_t n) : n_(n) {
+  if (n < 2 || !is_pow2(n)) {
+    throw std::invalid_argument("Fft: size must be a power of two >= 2");
+  }
+  // Twiddle table from sincos directly (rather than accumulating products),
+  // so spectral error stays at machine precision for every size.
+  twiddle_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle = -kTwoPi * static_cast<double>(k) /
+                         static_cast<double>(n);
+    twiddle_[k] = std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+  bitrev_.resize(n);
+  bitrev_[0] = 0;
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+}
+
+void Fft::transform(std::complex<double>* data, bool inverse) const {
+  for (std::size_t i = 1; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies in explicit real/imaginary arithmetic: std::complex
+  // operator* routes through the NaN-recovering __muldc3 helper, which is
+  // several times slower than the four multiplies actually needed here.
+  const double conj_sign = inverse ? -1.0 : 1.0;
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t stride = n_ / len;
+    for (std::size_t block = 0; block < n_; block += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::complex<double> tw = twiddle_[k * stride];
+        const double wr = tw.real();
+        const double wi = conj_sign * tw.imag();
+        std::complex<double>& lo = data[block + k];
+        std::complex<double>& hi = data[block + k + half];
+        const double vr = hi.real() * wr - hi.imag() * wi;
+        const double vi = hi.real() * wi + hi.imag() * wr;
+        const double ur = lo.real();
+        const double ui = lo.imag();
+        lo = std::complex<double>(ur + vr, ui + vi);
+        hi = std::complex<double>(ur - vr, ui - vi);
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      data[i] = std::complex<double>(data[i].real() * scale,
+                                     data[i].imag() * scale);
+    }
+  }
+}
+
+std::vector<double> fft_convolve(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_n = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(std::max<std::size_t>(out_n, 2));
+
+  // Pack a into the real lane and b into the imaginary lane: for real
+  // inputs one transform yields both spectra, via
+  //   A(k) = (F(k) + conj F(n-k)) / 2,   B(k) = -i (F(k) - conj F(n-k)) / 2.
+  std::vector<std::complex<double>> buf(n);
+  for (std::size_t i = 0; i < a.size(); ++i) buf[i].real(a[i]);
+  for (std::size_t i = 0; i < b.size(); ++i) buf[i].imag(b[i]);
+
+  const Fft& fft = plan_for(n);
+  fft.forward(buf.data());
+
+  const std::size_t mask = n - 1;
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const std::size_t km = (n - k) & mask;
+    const std::complex<double> x = buf[k];
+    const std::complex<double> y = buf[km];
+    // A = (x + conj y) / 2, B = -i (x - conj y) / 2, C = A * B, in explicit
+    // real arithmetic (see the note in transform()).
+    const double ar = 0.5 * (x.real() + y.real());
+    const double ai = 0.5 * (x.imag() - y.imag());
+    const double br = 0.5 * (x.imag() + y.imag());
+    const double bi = -0.5 * (x.real() - y.real());
+    const double cr = ar * br - ai * bi;
+    const double ci = ar * bi + ai * br;
+    buf[k] = std::complex<double>(cr, ci);
+    // a * b is real, so its spectrum is conjugate-symmetric.
+    if (km != k) buf[km] = std::complex<double>(cr, -ci);
+  }
+
+  fft.inverse(buf.data());
+
+  std::vector<double> out(out_n);
+  for (std::size_t i = 0; i < out_n; ++i) out[i] = buf[i].real();
+  return out;
+}
+
+std::vector<double> direct_convolve(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ai = a[i];
+    if (ai == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += ai * b[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace dmc::stats

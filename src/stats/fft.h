@@ -1,0 +1,62 @@
+// Radix-2 FFT built from scratch (no dependency beyond <complex>), sized for
+// the distribution kernels in stats/convolution.cpp: convolving two
+// probability-mass vectors of n and m cells costs O((n + m) log (n + m))
+// here versus the O(n * m) of the direct sum, which is what turns the
+// retransmission-timeout convolutions (Equation 34) from milliseconds into
+// microseconds.
+//
+// The real-input convolution packs both sequences into one complex
+// transform (a in the real lane, b in the imaginary lane), so a full linear
+// convolution costs two FFTs instead of three.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dmc::stats {
+
+// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+// A reusable transform plan: twiddle factors and the bit-reversal
+// permutation are computed once per size and shared by the forward and
+// inverse passes of one convolution.
+class Fft {
+ public:
+  // n must be a power of two, n >= 2.
+  explicit Fft(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  // In-place decimation-in-time transforms over data[0..n).
+  void forward(std::complex<double>* data) const { transform(data, false); }
+  // Inverse transform, including the 1/n normalization.
+  void inverse(std::complex<double>* data) const { transform(data, true); }
+
+ private:
+  void transform(std::complex<double>* data, bool inverse) const;
+
+  std::size_t n_;
+  std::vector<std::complex<double>> twiddle_;  // e^{-2 pi i k / n}, k < n/2
+  std::vector<std::uint32_t> bitrev_;
+};
+
+// Linear convolution of two real sequences: out[k] = sum_i a[i] * b[k - i],
+// with out.size() == a.size() + b.size() - 1. Computed by zero-padded FFT;
+// roundoff is ~1e-15 relative to sum|a| * sum|b| (callers convolving
+// probability masses clamp stray negatives when prefix-summing to a CDF).
+// Either input empty yields an empty result. Plans are cached per size
+// (thread-safe), so repeated convolutions at similar grid sizes skip the
+// twiddle-table setup.
+std::vector<double> fft_convolve(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+// Reference O(n * m) direct convolution with the same contract; used for
+// small inputs (where FFT setup dominates) and as the differential-test
+// oracle for the FFT path.
+std::vector<double> direct_convolve(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+}  // namespace dmc::stats

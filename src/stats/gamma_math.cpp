@@ -1,8 +1,10 @@
 #include "stats/gamma_math.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace dmc::stats {
 
@@ -12,9 +14,17 @@ constexpr int kMaxIterations = 500;
 constexpr double kEpsilon = 1e-15;
 constexpr double kTiny = 1e-300;
 
-// Series representation: P(a, x) = e^{-x} x^a / Gamma(a) * sum_k x^k /
-// (a (a+1) ... (a+k)). Converges quickly for x < a + 1.
-double gamma_p_series(double a, double x) {
+// The shared prefactor of both representations below:
+//   w = exp(-x + a * log x - lgamma(a)) = x^a e^{-x} / Gamma(a).
+// `log_gamma_a` is lgamma(a), hoisted by the batched kernels so a whole
+// grid pays it once.
+double gamma_prefactor(double a, double x, double log_gamma_a) {
+  return std::exp(-x + a * std::log(x) - log_gamma_a);
+}
+
+// Series representation: P(a, x) = w * sum_k x^k / (a (a+1) ... (a+k)).
+// Converges quickly for x < a + 1.
+double gamma_p_series(double a, double x, double prefactor) {
   double term = 1.0 / a;
   double sum = term;
   double ap = a;
@@ -24,11 +34,12 @@ double gamma_p_series(double a, double x) {
     sum += term;
     if (std::abs(term) < std::abs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * prefactor;
 }
 
-// Lentz continued fraction for Q(a, x); converges quickly for x > a + 1.
-double gamma_q_continued_fraction(double a, double x) {
+// Lentz continued fraction for Q(a, x) = w * cf; converges quickly for
+// x > a + 1.
+double gamma_q_continued_fraction(double a, double x, double prefactor) {
   double b = x + 1.0 - a;
   double c = 1.0 / kTiny;
   double d = 1.0 / b;
@@ -45,27 +56,40 @@ double gamma_q_continued_fraction(double a, double x) {
     h *= delta;
     if (std::abs(delta - 1.0) < kEpsilon) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * prefactor;
+}
+
+// P(a, x) for x > 0 finite, given the precomputed prefactor.
+double gamma_p_from_prefactor(double a, double x, double prefactor) {
+  if (x < a + 1.0) return gamma_p_series(a, x, prefactor);
+  return 1.0 - gamma_q_continued_fraction(a, x, prefactor);
+}
+
+void check_gamma_domain(double a, double x, const char* name) {
+  if (a <= 0.0) {
+    throw std::domain_error(std::string(name) + ": a must be > 0");
+  }
+  if (x < 0.0) {
+    throw std::domain_error(std::string(name) + ": x must be >= 0");
+  }
 }
 
 }  // namespace
 
 double regularized_gamma_p(double a, double x) {
-  if (a <= 0.0) throw std::domain_error("regularized_gamma_p: a must be > 0");
-  if (x < 0.0) throw std::domain_error("regularized_gamma_p: x must be >= 0");
+  check_gamma_domain(a, x, "regularized_gamma_p");
   if (x == 0.0) return 0.0;
   if (std::isinf(x)) return 1.0;
-  if (x < a + 1.0) return gamma_p_series(a, x);
-  return 1.0 - gamma_q_continued_fraction(a, x);
+  return gamma_p_from_prefactor(a, x, gamma_prefactor(a, x, std::lgamma(a)));
 }
 
 double regularized_gamma_q(double a, double x) {
-  if (a <= 0.0) throw std::domain_error("regularized_gamma_q: a must be > 0");
-  if (x < 0.0) throw std::domain_error("regularized_gamma_q: x must be >= 0");
+  check_gamma_domain(a, x, "regularized_gamma_q");
   if (x == 0.0) return 1.0;
   if (std::isinf(x)) return 0.0;
-  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
-  return gamma_q_continued_fraction(a, x);
+  const double prefactor = gamma_prefactor(a, x, std::lgamma(a));
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x, prefactor);
+  return gamma_q_continued_fraction(a, x, prefactor);
 }
 
 double inverse_regularized_gamma_p(double a, double p) {
@@ -103,6 +127,80 @@ double gamma_pdf(double a, double scale, double x) {
                                : (a == 1.0 ? 1.0 / scale : 0.0);
   const double z = x / scale;
   return std::exp((a - 1.0) * std::log(z) - z - std::lgamma(a)) / scale;
+}
+
+void regularized_gamma_p_batch(double a, const double* x, double* out,
+                               std::size_t n) {
+  if (a <= 0.0) {
+    throw std::domain_error("regularized_gamma_p_batch: a must be > 0");
+  }
+  if (n == 0) return;
+  if (x == nullptr || out == nullptr) {
+    throw std::invalid_argument("regularized_gamma_p_batch: null buffer");
+  }
+  const double log_gamma_a = std::lgamma(a);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double xk = x[k];
+    if (xk < 0.0) {
+      throw std::domain_error("regularized_gamma_p_batch: x must be >= 0");
+    }
+    if (xk == 0.0) {
+      out[k] = 0.0;
+    } else if (std::isinf(xk)) {
+      out[k] = 1.0;
+    } else {
+      out[k] =
+          gamma_p_from_prefactor(a, xk, gamma_prefactor(a, xk, log_gamma_a));
+    }
+  }
+}
+
+void gamma_cdf_grid(double shape, double scale, double shift, double t0,
+                    double dt, std::size_t n, double* out) {
+  if (shape <= 0.0 || scale <= 0.0) {
+    throw std::domain_error("gamma_cdf_grid: shape and scale must be > 0");
+  }
+  if (!(dt > 0.0)) {
+    throw std::domain_error("gamma_cdf_grid: dt must be > 0");
+  }
+  if (n == 0) return;
+  if (out == nullptr) {
+    throw std::invalid_argument("gamma_cdf_grid: null buffer");
+  }
+
+  // Points at or below the shift carry zero CDF; find the first one above.
+  std::size_t first = 0;
+  while (first < n && !(t0 + static_cast<double>(first) * dt > shift)) {
+    out[first++] = 0.0;
+  }
+  if (first == n) return;
+
+  const double log_gamma_a = std::lgamma(shape);
+
+  // Chunked evaluation: z and the transcendental prefactor w = x^a e^{-x} /
+  // Gamma(a) are produced in contiguous fixed-size passes (stack buffers, no
+  // data-dependent branches), leaving only the short series / continued-
+  // fraction refinement per point.
+  constexpr std::size_t kChunk = 256;
+  double z[kChunk];
+  double w[kChunk];
+  for (std::size_t base = first; base < n; base += kChunk) {
+    const std::size_t count = std::min(kChunk, n - base);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double t = t0 + static_cast<double>(base + i) * dt;
+      z[i] = (t - shift) / scale;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      w[i] = std::exp(-z[i] + shape * std::log(z[i]) - log_gamma_a);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      // z can only be +inf here (the sub-shift prefix was peeled off), and
+      // the scalar cdf() contract says P(a, inf) = 1; the prefactor w is
+      // NaN there, so bypass the series / continued fraction.
+      out[base + i] =
+          std::isinf(z[i]) ? 1.0 : gamma_p_from_prefactor(shape, z[i], w[i]);
+    }
+  }
 }
 
 }  // namespace dmc::stats

@@ -5,7 +5,16 @@
 // Implemented from scratch (series expansion for x < a + 1, continued
 // fraction otherwise) so the library has no dependency beyond the standard
 // library's lgamma.
+//
+// Besides the scalar entry points there are batched kernels: evaluating a
+// whole grid of CDF points per call amortizes lgamma (one call per batch
+// instead of one per point) and splits the transcendental work (log, exp)
+// into tight contiguous loops the compiler can vectorize, which is what the
+// convolution and timeout-scan hot paths need (see stats/convolution.cpp
+// and core/timeout_optimizer.cpp).
 #pragma once
+
+#include <cstddef>
 
 namespace dmc::stats {
 
@@ -23,5 +32,22 @@ double inverse_regularized_gamma_p(double a, double p);
 
 // Gamma density with shape a and scale theta evaluated at x >= 0.
 double gamma_pdf(double a, double scale, double x);
+
+// Batched P(a, .): out[k] = regularized_gamma_p(a, x[k]) for k in [0, n),
+// matching the scalar function's values and domain checks (a > 0, every
+// x[k] >= 0) but paying lgamma(a) once for the whole batch.
+void regularized_gamma_p_batch(double a, const double* x, double* out,
+                               std::size_t n);
+
+// Shifted-gamma CDF on a uniform grid:
+//   out[k] = P(shape, (t0 + k * dt - shift) / scale)   for k in [0, n),
+// with out[k] = 0 where the grid point is at or below the shift. Requires
+// shape > 0, scale > 0, dt > 0. This is the kernel behind
+// ShiftedGammaDelay::cdf_grid: one lgamma per call, then chunked
+// vectorization-friendly passes for the grid points, logs, and
+// exponentials, with only the short data-dependent series / continued-
+// fraction tails left scalar.
+void gamma_cdf_grid(double shape, double scale, double shift, double t0,
+                    double dt, std::size_t n, double* out);
 
 }  // namespace dmc::stats

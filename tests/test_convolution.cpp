@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "stats/rng.h"
 
@@ -117,6 +118,98 @@ TEST(GriddedDistribution, RejectsDegenerateGrids) {
   EXPECT_THROW(GriddedDistribution(0.0, 0.1, {0.5}), std::invalid_argument);
   EXPECT_THROW(GriddedDistribution(0.0, 0.0, {0.0, 1.0}),
                std::invalid_argument);
+}
+
+// Regression: mass at or below the first grid point (an atom at the lower
+// support) used to be silently dropped from the moments because the
+// midpoint loop started at k = 1.
+TEST(GriddedDistribution, AtomAtLowerSupportCountsTowardMoments) {
+  // 0.3 of the mass sits exactly at lo = 1.0; the rest spreads over two
+  // cells with midpoints 1.25 and 1.75.
+  const GriddedDistribution g(1.0, 0.5, {0.3, 0.65, 1.0});
+  const double mean = 0.3 * 1.0 + 0.35 * 1.25 + 0.35 * 1.75;
+  const double second =
+      0.3 * 1.0 + 0.35 * 1.25 * 1.25 + 0.35 * 1.75 * 1.75;
+  EXPECT_NEAR(g.mean(), mean, 1e-12);
+  EXPECT_NEAR(g.variance(), second - mean * mean, 1e-12);
+  // The atom is also visible to the CDF at lo itself (P(X <= lo) = 0.3),
+  // while anything strictly below stays at 0.
+  EXPECT_NEAR(g.cdf(1.0), 0.3, 1e-12);
+  EXPECT_EQ(g.cdf(1.0 - 1e-9), 0.0);
+}
+
+TEST(GriddedDistribution, NonFiniteArgumentsNeverReachTheTableCast) {
+  // NaN/inf must short-circuit before the float-to-index cast (UB); NaN
+  // reads as "not in support" and +inf as "past the support".
+  const GriddedDistribution g(1.0, 0.5, {0.3, 0.65, 1.0});
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(g.cdf(nan), 0.0);
+  EXPECT_EQ(g.cdf(inf), 1.0);
+  EXPECT_EQ(g.cdf(-inf), 0.0);
+  double out[3];
+  g.cdf_grid(nan, 0.5, 3, out);  // every grid point is NaN
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[2], 0.0);
+}
+
+TEST(GriddedDistribution, AtomAtLowerSupportMakesItDiscontinuous) {
+  const GriddedDistribution with_atom(1.0, 0.5, {0.3, 0.65, 1.0});
+  EXPECT_FALSE(with_atom.continuous());
+  const GriddedDistribution smooth(1.0, 0.5, {0.0, 0.65, 1.0});
+  EXPECT_TRUE(smooth.continuous());
+}
+
+TEST(GriddedDistribution, QuantileEdgeSemantics) {
+  const GriddedDistribution g(1.0, 0.5, {0.3, 0.65, 1.0});
+  // Closed-interval contract shared by every DelayDistribution.
+  EXPECT_EQ(g.quantile(0.0), 1.0);
+  EXPECT_EQ(g.quantile(1.0), g.upper_support());
+  // p at or below the atom's mass lands on the atom (inf{x : F(x) >= p}).
+  EXPECT_EQ(g.quantile(0.1), 1.0);
+  EXPECT_EQ(g.quantile(0.3), 1.0);
+  EXPECT_THROW((void)g.quantile(-0.01), std::domain_error);
+  EXPECT_THROW((void)g.quantile(1.01), std::domain_error);
+  EXPECT_THROW((void)g.quantile(std::nan("")), std::domain_error);
+  // If the table reaches 1 before the last point, quantile(1) is the first
+  // point that does (the true least upper bound of the support).
+  const GriddedDistribution early(0.0, 0.25, {0.0, 0.5, 1.0, 1.0, 1.0});
+  EXPECT_NEAR(early.quantile(1.0), 0.5, 1e-12);
+}
+
+// Regression: the central-difference pdf used to read the flat extension
+// beyond the support within half a step of either edge, biasing edge
+// densities toward half their true value.
+TEST(GriddedDistribution, PdfUsesOneSidedDifferencesAtTheEdges) {
+  // Uniform(0, 1) table: the true density is 1 everywhere on the support.
+  std::vector<double> cdf;
+  for (int i = 0; i <= 100; ++i) cdf.push_back(i / 100.0);
+  const GriddedDistribution g(0.0, 0.01, cdf);
+  EXPECT_NEAR(g.pdf(0.0), 1.0, 1e-9);          // was 0
+  EXPECT_NEAR(g.pdf(0.004), 1.0, 1e-9);        // was ~0.9
+  EXPECT_NEAR(g.pdf(1.0), 1.0, 1e-9);          // was 0
+  EXPECT_NEAR(g.pdf(1.0 - 0.004), 1.0, 1e-9);  // was ~0.9
+  EXPECT_EQ(g.pdf(-0.001), 0.0);
+  EXPECT_EQ(g.pdf(1.001), 0.0);
+}
+
+TEST(GriddedDistribution, NumericPdfIntegratesToOne) {
+  // Numeric-convolution output (a genuinely smooth table): the midpoint
+  // integral of pdf() over the support must recover the total mass.
+  const auto a = make_shifted_gamma(0.05, 6.0, 0.003);
+  const auto b = make_shifted_gamma(0.02, 3.0, 0.002);
+  const auto sum = numeric_sum_distribution(a, b);
+  const auto* g = dynamic_cast<const GriddedDistribution*>(sum.get());
+  ASSERT_NE(g, nullptr);
+  const double lo = g->min_support();
+  const double hi = g->upper_support();
+  const int steps = 20000;
+  const double h = (hi - lo) / steps;
+  double integral = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    integral += g->pdf(lo + (i + 0.5) * h) * h;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
 }
 
 }  // namespace

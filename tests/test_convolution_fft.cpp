@@ -1,0 +1,315 @@
+// Property suite for the fast distribution kernels: the radix-2 FFT, the
+// FFT-vs-direct convolution differential, and the gridded numeric
+// convolution against closed forms (gamma + gamma with a common scale is
+// exactly Gamma(a1 + a2) — the one family where truth is available in
+// closed form over random parameter draws).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "stats/convolution.h"
+#include "stats/fft.h"
+#include "stats/rng.h"
+
+namespace dmc::stats {
+namespace {
+
+double sup_cdf_distance(const DelayDistribution& x, const DelayDistribution& y,
+                        double lo, double hi, int points = 4000) {
+  double worst = 0.0;
+  for (int i = 0; i <= points; ++i) {
+    const double t = lo + (hi - lo) * i / points;
+    worst = std::max(worst, std::fabs(x.cdf(t) - y.cdf(t)));
+  }
+  return worst;
+}
+
+// ------------------------------------------------------------- FFT module
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2((1u << 20) + 1), 1u << 21);
+}
+
+TEST(Fft, RejectsNonPowerOfTwoSizes) {
+  EXPECT_THROW(Fft(0), std::invalid_argument);
+  EXPECT_THROW(Fft(1), std::invalid_argument);
+  EXPECT_THROW(Fft(12), std::invalid_argument);
+  EXPECT_NO_THROW(Fft(16));
+}
+
+TEST(Fft, InverseRoundTripsRandomData) {
+  Rng rng(42);
+  for (std::size_t n : {2u, 8u, 64u, 1024u}) {
+    std::vector<std::complex<double>> data(n);
+    for (auto& v : data) {
+      v = std::complex<double>(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    }
+    const auto original = data;
+    const Fft fft(n);
+    fft.forward(data.data());
+    fft.inverse(data.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[i].real(), original[i].real(), 1e-12) << "n=" << n;
+      EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-12) << "n=" << n;
+    }
+  }
+}
+
+TEST(Fft, ForwardMatchesNaiveDft) {
+  Rng rng(7);
+  const std::size_t n = 32;
+  std::vector<std::complex<double>> data(n);
+  for (auto& v : data) {
+    v = std::complex<double>(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  }
+  auto transformed = data;
+  const Fft fft(n);
+  fft.forward(transformed.data());
+  constexpr double kPi = 3.14159265358979323846;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> expected(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * kPi * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      expected += data[j] * std::complex<double>(std::cos(angle),
+                                                 std::sin(angle));
+    }
+    EXPECT_NEAR(transformed[k].real(), expected.real(), 1e-10);
+    EXPECT_NEAR(transformed[k].imag(), expected.imag(), 1e-10);
+  }
+}
+
+TEST(FftConvolve, MatchesDirectOnRandomSequences) {
+  Rng rng(123);
+  for (const auto& [na, nb] : std::vector<std::pair<int, int>>{
+           {1, 1}, {1, 7}, {5, 3}, {64, 64}, {1000, 37}, {513, 511}}) {
+    std::vector<double> a(static_cast<std::size_t>(na));
+    std::vector<double> b(static_cast<std::size_t>(nb));
+    for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    const auto fast = fft_convolve(a, b);
+    const auto slow = direct_convolve(a, b);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(fast[i], slow[i], 1e-11)
+          << "na=" << na << " nb=" << nb << " i=" << i;
+    }
+  }
+}
+
+TEST(FftConvolve, ImpulseIsIdentity) {
+  const std::vector<double> impulse{1.0};
+  const std::vector<double> signal{0.1, 0.4, 0.3, 0.2};
+  const auto out = fft_convolve(impulse, signal);
+  ASSERT_EQ(out.size(), signal.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], signal[i], 1e-14);
+  }
+  // A delayed impulse shifts.
+  const auto shifted = fft_convolve({0.0, 0.0, 1.0}, signal);
+  ASSERT_EQ(shifted.size(), signal.size() + 2);
+  EXPECT_NEAR(shifted[0], 0.0, 1e-14);
+  EXPECT_NEAR(shifted[1], 0.0, 1e-14);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    EXPECT_NEAR(shifted[i + 2], signal[i], 1e-14);
+  }
+}
+
+TEST(FftConvolve, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(fft_convolve({}, {1.0, 2.0}).empty());
+  EXPECT_TRUE(fft_convolve({1.0}, {}).empty());
+  EXPECT_TRUE(direct_convolve({}, {}).empty());
+}
+
+TEST(FftConvolve, MassVectorsConserveTotalMass) {
+  Rng rng(9);
+  std::vector<double> a(700), b(300);
+  double sa = 0.0, sb = 0.0;
+  for (auto& v : a) sa += (v = rng.uniform());
+  for (auto& v : b) sb += (v = rng.uniform());
+  for (auto& v : a) v /= sa;
+  for (auto& v : b) v /= sb;
+  const auto out = fft_convolve(a, b);
+  double total = 0.0;
+  for (double v : out) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// --------------------------------------- numeric sum vs gamma closed form
+
+struct GammaPair {
+  double shift_a, shape_a, shift_b, shape_b, scale;
+};
+
+GammaPair draw_pair(Rng& rng) {
+  // Shapes >= 1.5 keep the density bounded (the paper's Table V uses 5 and
+  // 10); shifts and scales span the millisecond regime of Section VI.
+  return {rng.uniform(0.0, 0.5), rng.uniform(1.5, 20.0),
+          rng.uniform(0.0, 0.3), rng.uniform(1.5, 12.0),
+          rng.uniform(0.5e-3, 6e-3)};
+}
+
+TEST(NumericSum, FftMatchesClosedFormGammaOverRandomDraws) {
+  Rng rng(2024);
+  ConvolutionOptions options;
+  options.points_per_sigma = 256.0;  // fine grid: second-order error ~1e-7
+  options.method = ConvolutionMethod::fft;
+  for (int trial = 0; trial < 8; ++trial) {
+    const GammaPair p = draw_pair(rng);
+    const auto a = make_shifted_gamma(p.shift_a, p.shape_a, p.scale);
+    const auto b = make_shifted_gamma(p.shift_b, p.shape_b, p.scale);
+    const auto exact = sum_distribution(a, b);  // same-scale closed form
+    ASSERT_NE(dynamic_cast<const ShiftedGammaDelay*>(exact.get()), nullptr);
+    const auto numeric = numeric_sum_distribution(a, b, options);
+    ASSERT_NE(dynamic_cast<const GriddedDistribution*>(numeric.get()),
+              nullptr);
+    const double lo = exact->min_support();
+    const double hi = exact->quantile(0.99999);
+    EXPECT_LE(sup_cdf_distance(*numeric, *exact, lo, hi), 1e-6)
+        << "trial " << trial;
+    EXPECT_NEAR(numeric->mean(), exact->mean(), 1e-9) << "trial " << trial;
+    EXPECT_NEAR(numeric->variance(), exact->variance(),
+                1e-4 * exact->variance())
+        << "trial " << trial;
+  }
+}
+
+TEST(NumericSum, FftAndDirectProduceTheSameGrid) {
+  Rng rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    const GammaPair p = draw_pair(rng);
+    // Different scales force the genuinely-numeric regime.
+    const auto a = make_shifted_gamma(p.shift_a, p.shape_a, p.scale);
+    const auto b = make_shifted_gamma(p.shift_b, p.shape_b, 0.7 * p.scale);
+    ConvolutionOptions fft_options;
+    fft_options.method = ConvolutionMethod::fft;
+    ConvolutionOptions direct_options;
+    direct_options.method = ConvolutionMethod::direct;
+    const auto via_fft = numeric_sum_distribution(a, b, fft_options);
+    const auto via_direct = numeric_sum_distribution(a, b, direct_options);
+    const auto* gf = dynamic_cast<const GriddedDistribution*>(via_fft.get());
+    const auto* gd =
+        dynamic_cast<const GriddedDistribution*>(via_direct.get());
+    ASSERT_NE(gf, nullptr);
+    ASSERT_NE(gd, nullptr);
+    ASSERT_EQ(gf->grid_size(), gd->grid_size());
+    ASSERT_EQ(gf->grid_step(), gd->grid_step());
+    // Same discretization, different convolution engine: agreement is down
+    // to FFT roundoff, far below any discretization error.
+    EXPECT_LE(sup_cdf_distance(*via_fft, *via_direct, gf->min_support(),
+                               gf->upper_support()),
+              1e-12)
+        << "trial " << trial;
+    EXPECT_NEAR(via_fft->mean(), via_direct->mean(), 1e-12);
+    EXPECT_NEAR(via_fft->variance(), via_direct->variance(), 1e-12);
+  }
+}
+
+TEST(NumericSum, MomentsAddOverRandomDraws) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 6; ++trial) {
+    const GammaPair p = draw_pair(rng);
+    const auto a = make_shifted_gamma(p.shift_a, p.shape_a, p.scale);
+    const auto b = make_shifted_gamma(p.shift_b, p.shape_b, 1.3 * p.scale);
+    const auto sum = numeric_sum_distribution(a, b);
+    const double mean = a->mean() + b->mean();
+    const double variance = a->variance() + b->variance();
+    EXPECT_NEAR(sum->mean(), mean, 1e-8 + 1e-6 * mean) << "trial " << trial;
+    EXPECT_NEAR(sum->variance(), variance, 1e-3 * variance)
+        << "trial " << trial;
+  }
+}
+
+TEST(NumericSum, DeterministicSpikePlusGamma) {
+  // A one-sample empirical distribution is a point mass that does *not* hit
+  // the deterministic shortcut, so it exercises the numeric path's handling
+  // of atoms: the spike quantizes to the grid (at most one cell of error).
+  const auto spike = make_empirical({0.2});
+  const auto gamma = make_shifted_gamma(0.1, 5.0, 0.002);
+  const auto exact = make_shifted(gamma, 0.2);
+  const auto numeric = numeric_sum_distribution(spike, gamma);
+  const auto* grid = dynamic_cast<const GriddedDistribution*>(numeric.get());
+  ASSERT_NE(grid, nullptr);
+  const double step = grid->grid_step();
+  EXPECT_NEAR(numeric->mean(), exact->mean(), step);
+  EXPECT_NEAR(numeric->variance(), exact->variance(),
+              0.05 * exact->variance() + step * step);
+  // CDF within one grid cell of the exact shifted gamma everywhere.
+  const double lo = exact->min_support();
+  const double hi = exact->quantile(0.9999);
+  for (int i = 0; i <= 2000; ++i) {
+    const double t = lo + (hi - lo) * i / 2000;
+    EXPECT_GE(numeric->cdf(t) + 1e-12, exact->cdf(t - step));
+    EXPECT_LE(numeric->cdf(t) - 1e-12, exact->cdf(t + step));
+  }
+}
+
+TEST(NumericSum, WideSupportRespectsMaxPointsCap) {
+  const auto wide = make_uniform(0.0, 5.0);
+  const auto gamma = make_shifted_gamma(0.0, 2.0, 0.0005);
+  ConvolutionOptions options;
+  options.max_points = 4096;
+  const auto sum = numeric_sum_distribution(wide, gamma, options);
+  const auto* grid = dynamic_cast<const GriddedDistribution*>(sum.get());
+  ASSERT_NE(grid, nullptr);
+  EXPECT_LE(grid->grid_size(), 4096u + 4u);
+  // Moments still add despite the coarsened grid.
+  EXPECT_NEAR(sum->mean(), wide->mean() + gamma->mean(), 2e-3);
+  EXPECT_NEAR(sum->variance(), wide->variance() + gamma->variance(),
+              0.01 * (wide->variance() + gamma->variance()));
+}
+
+TEST(NumericSum, AtomicInputsKeepTheFixedGridStep) {
+  // Sigma is meaningless as a smoothness proxy for atoms: two far-apart
+  // empirical samples read as a huge sigma, and a sigma-scaled step would
+  // quantize the atoms far more coarsely than the fixed default. Atomic
+  // inputs must fall back to options.step.
+  const auto atoms = make_empirical({0.01, 0.5});
+  const auto gamma = make_shifted_gamma(0.0, 8.0, 0.05);
+  ConvolutionOptions options;
+  const auto sum = numeric_sum_distribution(atoms, gamma, options);
+  const auto* grid = dynamic_cast<const GriddedDistribution*>(sum.get());
+  ASSERT_NE(grid, nullptr);
+  EXPECT_EQ(grid->grid_step(), options.step);
+}
+
+TEST(NumericSum, AdaptiveGridTracksTheNarrowInput) {
+  const auto narrow = make_shifted_gamma(0.01, 4.0, 1e-4);  // sigma = 0.2 ms
+  const auto other = make_shifted_gamma(0.1, 8.0, 0.004);
+  const auto adaptive = numeric_sum_distribution(narrow, other);
+  const auto* ga = dynamic_cast<const GriddedDistribution*>(adaptive.get());
+  ASSERT_NE(ga, nullptr);
+  const double sigma = std::sqrt(narrow->variance());
+  EXPECT_LE(ga->grid_step(), sigma / 32.0);  // well below the fixed 0.25 ms
+
+  ConvolutionOptions fixed;
+  fixed.adaptive = false;
+  const auto coarse = numeric_sum_distribution(narrow, other, fixed);
+  const auto* gc = dynamic_cast<const GriddedDistribution*>(coarse.get());
+  ASSERT_NE(gc, nullptr);
+  EXPECT_EQ(gc->grid_step(), fixed.step);
+}
+
+TEST(NumericSum, RejectsUnboundedInputs) {
+  // A shifted-to-infinity distribution has no finite grid; the numeric
+  // path must refuse rather than loop or allocate without bound.
+  const auto finite = make_shifted_gamma(0.1, 5.0, 0.002);
+  const auto inf_spike =
+      make_shifted(finite, std::numeric_limits<double>::infinity());
+  EXPECT_THROW((void)numeric_sum_distribution(inf_spike, finite),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc::stats

@@ -4,7 +4,9 @@
 
 #include <cmath>
 #include <memory>
+#include <vector>
 
+#include "stats/convolution.h"
 #include "stats/rng.h"
 
 namespace dmc::stats {
@@ -124,6 +126,29 @@ TEST(ShiftedDelay, RejectsNegativeSupport) {
   EXPECT_THROW(ShiftedDelay(nullptr, 0.1), std::invalid_argument);
 }
 
+TEST(DeterministicDelay, CdfGridTreatsNanLikeCdf) {
+  const DeterministicDelay d(0.5);
+  EXPECT_EQ(d.cdf(std::nan("")), 0.0);
+  double out[2] = {-1.0, -1.0};
+  d.cdf_grid(std::nan(""), 0.1, 2, out);  // every grid point is NaN
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(DelayDistribution, ContinuityFlagsMatchTheFamilies) {
+  EXPECT_FALSE(make_deterministic(0.25)->continuous());
+  EXPECT_FALSE(make_empirical({0.1, 0.2})->continuous());
+  EXPECT_TRUE(make_shifted_gamma(0.1, 5.0, 0.002)->continuous());
+  EXPECT_TRUE(make_uniform(0.0, 0.1)->continuous());
+  // Wrappers inherit the base's continuity.
+  EXPECT_FALSE(make_shifted(make_empirical({0.1, 0.2}), 0.5)->continuous());
+  EXPECT_TRUE(make_shifted(make_uniform(0.0, 0.1), 0.5)->continuous());
+  // Gridded tables are continuous unless they carry an atom at lo
+  // (see GriddedDistribution::continuous).
+  EXPECT_TRUE(GriddedDistribution(0.0, 0.1, {0.0, 0.5, 1.0}).continuous());
+  EXPECT_FALSE(GriddedDistribution(0.0, 0.1, {0.2, 0.5, 1.0}).continuous());
+}
+
 // ----------------------------------------------------- interface property
 
 struct DistributionCase {
@@ -160,6 +185,47 @@ TEST_P(DistributionContract, QuantileInvertsCdf) {
   }
 }
 
+// The closed-interval quantile contract documented on DelayDistribution:
+// p in [0, 1], with p = 0 the lower support bound and p = 1 the least
+// upper bound of the support (+inf for unbounded tails). Everything
+// outside throws.
+TEST_P(DistributionContract, QuantileAcceptsTheClosedUnitInterval) {
+  const auto& d = *GetParam().dist;
+  EXPECT_EQ(d.quantile(0.0), d.min_support());
+  const double top = d.quantile(1.0);
+  EXPECT_GE(top, d.quantile(1.0 - 1e-9));
+  if (std::isfinite(top)) {
+    EXPECT_GE(d.cdf(top) + 1e-9, 1.0);
+  }
+  EXPECT_THROW((void)d.quantile(-1e-9), std::domain_error);
+  EXPECT_THROW((void)d.quantile(1.0 + 1e-9), std::domain_error);
+  EXPECT_THROW((void)d.quantile(std::nan("")), std::domain_error);
+}
+
+// cdf_grid is semantically a batched cdf(): any override must agree with
+// the virtual point evaluation everywhere on the grid.
+TEST_P(DistributionContract, CdfGridMatchesPointwiseCdf) {
+  const auto& d = *GetParam().dist;
+  const double lo = d.min_support();
+  const double hi = d.quantile(0.9999);
+  const double span = std::max(hi - lo, 1e-3);
+  // Start below the support and overshoot it, so the grid crosses both
+  // edges.
+  const double t0 = lo - 0.25 * span;
+  const std::size_t n = 1337;
+  const double dt = 1.75 * span / static_cast<double>(n);
+  std::vector<double> batched(n);
+  d.cdf_grid(t0, dt, n, batched.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    const double x = t0 + static_cast<double>(k) * dt;
+    EXPECT_NEAR(batched[k], d.cdf(x), 1e-12)
+        << GetParam().name << " k=" << k;
+  }
+  EXPECT_THROW(d.cdf_grid(t0, 0.0, n, batched.data()), std::domain_error);
+  EXPECT_THROW(d.cdf_grid(t0, -0.1, n, batched.data()), std::domain_error);
+  EXPECT_NO_THROW(d.cdf_grid(t0, dt, 0, nullptr));  // empty grid is a no-op
+}
+
 TEST_P(DistributionContract, SampleMeanApproachesMean) {
   const auto& d = *GetParam().dist;
   Rng rng(11);
@@ -182,7 +248,11 @@ INSTANTIATE_TEST_SUITE_P(
         DistributionCase{"empirical",
                          make_empirical({0.1, 0.12, 0.15, 0.2, 0.25, 0.3})},
         DistributionCase{"shifted",
-                         make_shifted(make_uniform(0.0, 0.1), 0.4)}),
+                         make_shifted(make_uniform(0.0, 0.1), 0.4)},
+        DistributionCase{"gridded",
+                         std::make_shared<GriddedDistribution>(
+                             0.05, 0.01,
+                             std::vector<double>{0.1, 0.3, 0.6, 0.85, 1.0})}),
     [](const ::testing::TestParamInfo<DistributionCase>& info) {
       return info.param.name;
     });

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 namespace dmc::stats {
 namespace {
@@ -102,6 +104,103 @@ TEST(GammaMath, PdfEdgeBehaviour) {
   EXPECT_NEAR(gamma_pdf(1.0, 2.0, 0.0), 0.5, 1e-12);  // exponential at 0
   EXPECT_THROW((void)gamma_pdf(0.0, 1.0, 1.0), std::domain_error);
   EXPECT_THROW((void)gamma_pdf(1.0, 0.0, 1.0), std::domain_error);
+}
+
+// ------------------------------------------------------- batched kernels
+
+TEST(GammaBatch, MatchesScalarAcrossShapesAndArguments) {
+  for (double a : {0.25, 0.5, 1.0, 2.5, 10.0, 100.0}) {
+    std::vector<double> x;
+    for (double v = 0.0; v <= 4.0 * a + 20.0; v += (a + 1.0) / 7.0) {
+      x.push_back(v);
+    }
+    x.push_back(std::numeric_limits<double>::infinity());
+    std::vector<double> batched(x.size());
+    regularized_gamma_p_batch(a, x.data(), batched.data(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(batched[i], regularized_gamma_p(a, x[i]))
+          << "a=" << a << " x=" << x[i];
+    }
+  }
+}
+
+TEST(GammaBatch, DomainAndBufferErrors) {
+  double x[] = {0.5, 1.0};
+  double out[2];
+  EXPECT_THROW(regularized_gamma_p_batch(0.0, x, out, 2), std::domain_error);
+  EXPECT_THROW(regularized_gamma_p_batch(-1.0, x, out, 2),
+               std::domain_error);
+  double bad[] = {0.5, -1.0};
+  EXPECT_THROW(regularized_gamma_p_batch(2.0, bad, out, 2),
+               std::domain_error);
+  EXPECT_THROW(regularized_gamma_p_batch(2.0, nullptr, out, 2),
+               std::invalid_argument);
+  EXPECT_NO_THROW(regularized_gamma_p_batch(2.0, nullptr, nullptr, 0));
+}
+
+TEST(GammaCdfGrid, MatchesScalarShiftedGammaCdf) {
+  // Grid straddling the shift: points at or below it are exactly 0, points
+  // above match the scalar evaluation (same series / continued fraction,
+  // same prefactor expression; the tolerance only allows for instruction
+  // scheduling differences such as FMA contraction).
+  const double shift = 0.4, shape = 10.0, scale = 0.004;
+  const double t0 = 0.39, dt = 0.0005;
+  const std::size_t n = 400;
+  std::vector<double> grid(n);
+  gamma_cdf_grid(shape, scale, shift, t0, dt, n, grid.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = t0 + static_cast<double>(k) * dt;
+    if (t <= shift) {
+      EXPECT_EQ(grid[k], 0.0);
+    } else {
+      EXPECT_NEAR(grid[k], regularized_gamma_p(shape, (t - shift) / scale),
+                  1e-14)
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(GammaCdfGrid, SmallShapesAndChunkBoundaries) {
+  // Shapes below 1 have a singular density at the origin; the grid kernel
+  // must still match the scalar values. 1000 points also crosses several
+  // internal chunk boundaries.
+  for (double shape : {0.25, 0.7, 1.0, 3.0}) {
+    const std::size_t n = 1000;
+    std::vector<double> grid(n);
+    gamma_cdf_grid(shape, 1.0, 0.0, -0.5, 0.01, n, grid.data());
+    for (std::size_t k = 0; k < n; k += 17) {
+      const double t = -0.5 + static_cast<double>(k) * 0.01;
+      const double expected =
+          t <= 0.0 ? 0.0 : regularized_gamma_p(shape, t);
+      EXPECT_NEAR(grid[k], expected, 1e-14) << "shape=" << shape
+                                            << " k=" << k;
+    }
+  }
+}
+
+TEST(GammaCdfGrid, InfiniteGridPointsFollowTheScalarContract) {
+  // Like the scalar cdf, a grid point at +inf evaluates to exactly 1 (the
+  // naive prefactor would be NaN there).
+  const double inf = std::numeric_limits<double>::infinity();
+  double out[3] = {-1.0, -1.0, -1.0};
+  gamma_cdf_grid(10.0, 1.0, 0.0, inf, 1.0, 3, out);
+  EXPECT_EQ(out[0], 1.0);
+  EXPECT_EQ(out[1], 1.0);
+  EXPECT_EQ(out[2], 1.0);
+}
+
+TEST(GammaCdfGrid, DomainErrors) {
+  double out[4];
+  EXPECT_THROW(gamma_cdf_grid(0.0, 1.0, 0.0, 0.0, 0.1, 4, out),
+               std::domain_error);
+  EXPECT_THROW(gamma_cdf_grid(1.0, 0.0, 0.0, 0.0, 0.1, 4, out),
+               std::domain_error);
+  EXPECT_THROW(gamma_cdf_grid(1.0, 1.0, 0.0, 0.0, 0.0, 4, out),
+               std::domain_error);
+  EXPECT_THROW(gamma_cdf_grid(1.0, 1.0, 0.0, 0.0, -0.1, 4, out),
+               std::domain_error);
+  EXPECT_THROW(gamma_cdf_grid(1.0, 1.0, 0.0, 0.0, 0.1, 4, nullptr),
+               std::invalid_argument);
 }
 
 // Property sweep: P(a, .) is a valid CDF for a wide range of shapes.

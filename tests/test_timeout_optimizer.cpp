@@ -46,6 +46,18 @@ TEST(TimeoutOptimizer, InfeasibleWhenWindowIsEmpty) {
   EXPECT_TRUE(std::isinf(choice.timeout));
 }
 
+TEST(TimeoutOptimizer, InfiniteDeadlineMeansNeverRetransmit) {
+  // With no deadline everything arrives in time; the optimizer must not
+  // try to grid [lo, inf) (the grid points would be NaN) and "wait
+  // forever" loses nothing.
+  const auto ack = stats::make_shifted_gamma(ms(200), 10.0, ms(2));
+  const auto retrans = stats::make_shifted_gamma(ms(100), 5.0, ms(2));
+  const TimeoutChoice choice = optimize_timeout(
+      *ack, *retrans, std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(choice.feasible);
+  EXPECT_TRUE(std::isinf(choice.timeout));
+}
+
 TEST(TimeoutOptimizer, InfeasibleWhenAckNeverArrives) {
   const auto ack = stats::make_deterministic(
       std::numeric_limits<double>::infinity());
@@ -129,6 +141,24 @@ TEST(TimeoutOptimizer, ChoiceIsNoWorseThanAnySampledAlternative) {
     const double g = ack->cdf(t) * retrans->cdf(delta - t);
     EXPECT_LE(g, choice.objective + 1e-6) << "t=" << t;
   }
+}
+
+// Atomic distributions defeat the sigma-scaled scan heuristic: two
+// far-apart clusters give a huge sigma, but the objective can still hide a
+// narrow plateau between atoms. Such inputs must keep the full coarse grid.
+TEST(TimeoutOptimizer, AtomicDistributionsKeepTheFullScanGrid) {
+  // ack: atoms at 0.1 (mass 1/4) and 5.0 (mass 3/4); retrans: atoms at
+  // 0.3 / 0.305 / 3.0. With deadline 5.308 the unique maximum (objective
+  // 2/3) lives on t in [5.0, 5.003] — ~3 ms wide inside a ~4.9 s bracket,
+  // far below the sigma-scaled resolution (~19 ms) but resolvable at the
+  // full 4096-point grid.
+  const auto ack = stats::make_empirical({0.1, 5.0, 5.0, 5.0});
+  const auto retrans = stats::make_empirical({0.3, 0.305, 3.0});
+  const TimeoutChoice choice = optimize_timeout(*ack, *retrans, 5.308);
+  ASSERT_TRUE(choice.feasible);
+  EXPECT_GT(choice.objective, 0.6);  // 2/3 plateau, not the 1/3 shoulder
+  EXPECT_GE(choice.timeout, 4.999);
+  EXPECT_LE(choice.timeout, 5.004);
 }
 
 TEST(TimeoutOptimizer, RejectsTinyGrids) {
