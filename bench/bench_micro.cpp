@@ -51,14 +51,21 @@ void BM_WeightedRandomSelect(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightedRandomSelect)->Arg(9)->Arg(121)->Arg(1331);
 
+// Self-rescheduling tick stored inline in the calendar entry (the common
+// shape of protocol timers: small, trivially copyable captures).
+struct Tick {
+  sim::Simulator* simulator;
+  int* count;
+  void operator()() const {
+    if (++*count < 10000) simulator->in(1e-6, *this);
+  }
+};
+
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator simulator(1);
     int count = 0;
-    std::function<void()> tick = [&] {
-      if (++count < 10000) simulator.in(1e-6, tick);
-    };
-    simulator.in(1e-6, tick);
+    simulator.in(1e-6, Tick{&simulator, &count});
     simulator.run();
     benchmark::DoNotOptimize(count);
   }
@@ -74,11 +81,11 @@ void BM_LinkPacketPath(benchmark::State& state) {
                            .queue_capacity = 1000000};
     sim::Link link(simulator, config, "bench");
     std::uint64_t delivered = 0;
-    link.set_receiver([&](sim::Packet) { ++delivered; });
+    link.set_receiver([&](sim::PooledPacket) { ++delivered; });
     for (int i = 0; i < 5000; ++i) {
-      sim::Packet packet;
-      packet.seq = static_cast<std::uint64_t>(i);
-      packet.size_bytes = 1024;
+      sim::PooledPacket packet = simulator.packets().acquire();
+      packet->seq = static_cast<std::uint64_t>(i);
+      packet->size_bytes = 1024;
       link.send(std::move(packet));
     }
     simulator.run();

@@ -1,0 +1,151 @@
+// Simulator-core throughput benchmarks (google-benchmark), pinned so the
+// allocation-free core (pooled packets, inline-callback calendar queue)
+// stays fast: raw event schedule/run, timer arm/cancel churn (the dominant
+// protocol pattern: most retransmission timers are cancelled by an ack, not
+// fired), sustained single-link packet streaming, and a full protocol
+// session over a lossy link. Record alongside bench_micro in BENCH_*.json.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/planner.h"
+#include "core/scheduler.h"
+#include "core/units.h"
+#include "protocol/baselines.h"
+#include "protocol/receiver.h"
+#include "protocol/sender.h"
+#include "sim/network.h"
+
+namespace {
+
+using namespace dmc;
+
+// Self-rescheduling tick with a trivially copyable capture: the common shape
+// of protocol timers, stored inline in the calendar entry.
+struct Tick {
+  sim::Simulator* simulator;
+  std::uint64_t* remaining;
+  void operator()() const {
+    if (--*remaining > 0) simulator->in(1e-6, *this);
+  }
+};
+
+void BM_EventScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator(1);
+    std::uint64_t remaining = n;
+    simulator.in(1e-6, Tick{&simulator, &remaining});
+    simulator.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventScheduleRun)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// Timer churn: every packet event arms a retransmission timer ~100 ms out
+// and the next event cancels it — the calendar must absorb far-horizon
+// entries that never fire (generation-checked lazy sweep).
+void BM_TimerArmCancel(benchmark::State& state) {
+  constexpr std::uint64_t kEvents = 100000;
+  for (auto _ : state) {
+    sim::Simulator simulator(1);
+    std::uint64_t count = 0;
+    sim::EventId pending{};
+    std::function<void()> tick = [&] {
+      if (pending.valid()) simulator.cancel(pending);
+      pending = simulator.in(0.1, [] {});  // timer that will be cancelled
+      if (++count < kEvents) simulator.in(1e-6, tick);
+    };
+    simulator.in(1e-6, tick);
+    simulator.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_TimerArmCancel)->Unit(benchmark::kMillisecond);
+
+// Sustained pooled-packet streaming through one lossy link: a source event
+// injects a packet per tick; the pool recycles delivered ones.
+void BM_LinkSustainedStream(benchmark::State& state) {
+  constexpr std::uint64_t kPackets = 50000;
+  for (auto _ : state) {
+    sim::Simulator simulator(1);
+    sim::LinkConfig config{.rate_bps = gbps(1), .prop_delay_s = ms(1),
+                           .loss_rate = 0.05, .queue_capacity = 1000000};
+    sim::Link link(simulator, config, "bench");
+    std::uint64_t delivered = 0;
+    link.set_receiver([&](sim::PooledPacket) { ++delivered; });
+    std::uint64_t sent = 0;
+    std::function<void()> source = [&] {
+      sim::PooledPacket packet = simulator.packets().acquire();
+      packet->seq = sent;
+      packet->size_bytes = 1024;
+      link.send(std::move(packet));
+      if (++sent < kPackets) simulator.in(9e-6, source);  // ~90% utilization
+    };
+    simulator.in(0.0, source);
+    simulator.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets);
+}
+BENCHMARK(BM_LinkSustainedStream)->Unit(benchmark::kMillisecond);
+
+// Full protocol session: deadline sender/receiver over a lossy two-way path
+// with retransmission timers, dup-ack scans and in-place ack frames.
+// items_per_second counts application messages end to end.
+void BM_ProtocolSessionSteadyState(benchmark::State& state) {
+  core::PathSet believed;
+  believed.add({.name = "p",
+                .bandwidth_bps = mbps(100),
+                .delay_s = ms(10),
+                .loss_rate = 0.05});
+  core::TrafficSpec traffic{.rate_bps = mbps(20), .lifetime_s = ms(200)};
+  core::Model model(believed, traffic);
+  std::vector<double> x(model.combos().size(), 0.0);
+  std::size_t attempts[] = {1, 1};
+  x[model.combos().encode(attempts)] = 1.0;
+  const core::Plan plan = proto::make_manual_plan(believed, traffic, x);
+  constexpr std::uint64_t kMessages = 20000;
+
+  for (auto _ : state) {
+    sim::Simulator simulator(7);
+    sim::LinkConfig link{.rate_bps = mbps(100), .prop_delay_s = ms(10),
+                         .loss_rate = 0.05, .queue_capacity = 100000};
+    sim::Network network(simulator, {sim::symmetric_path(link, "p")});
+    proto::Trace trace;
+    proto::ReceiverConfig receiver_config;
+    receiver_config.lifetime_s = traffic.lifetime_s;
+    proto::DeadlineReceiver receiver(simulator, receiver_config, trace);
+    proto::SenderConfig sender_config;
+    sender_config.num_messages = kMessages;
+    sender_config.timeout_guard_s = ms(5);
+    sender_config.fast_retransmit_dupacks = 3;
+    proto::DeadlineSender sender(
+        simulator, plan,
+        core::make_scheduler(core::SchedulerKind::deficit, plan.x()),
+        sender_config, trace);
+    receiver.set_ack_sender([&](int path, sim::PooledPacket packet) {
+      network.server_send(path, std::move(packet));
+    });
+    sender.set_data_sender([&](int path, sim::PooledPacket packet) {
+      network.client_send(path, std::move(packet));
+    });
+    network.set_server_receiver([&](int path, sim::PooledPacket packet) {
+      receiver.on_data(path, *packet);
+    });
+    network.set_client_receiver([&](int path, sim::PooledPacket packet) {
+      sender.on_ack(path, *packet);
+    });
+    sender.start();
+    simulator.run();
+    benchmark::DoNotOptimize(trace.delivered_unique);
+  }
+  state.SetItemsProcessed(state.iterations() * kMessages);
+}
+BENCHMARK(BM_ProtocolSessionSteadyState)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

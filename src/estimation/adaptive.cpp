@@ -190,17 +190,17 @@ AdaptiveResult run_adaptive_session(
   hooks.on_ack_for_path = [&](int path) { estimators.on_ack(path); };
   sender.set_hooks(std::move(hooks));
 
-  receiver.set_ack_sender([&network](int path, sim::Packet packet) {
+  receiver.set_ack_sender([&network](int path, sim::PooledPacket packet) {
     network.server_send(path, std::move(packet));
   });
-  sender.set_data_sender([&network](int path, sim::Packet packet) {
+  sender.set_data_sender([&network](int path, sim::PooledPacket packet) {
     network.client_send(path, std::move(packet));
   });
-  network.set_server_receiver([&receiver](int path, sim::Packet packet) {
-    receiver.on_data(path, packet);
+  network.set_server_receiver([&receiver](int path, sim::PooledPacket packet) {
+    receiver.on_data(path, *packet);
   });
-  network.set_client_receiver([&sender](int path, sim::Packet packet) {
-    sender.on_ack(path, packet);
+  network.set_client_receiver([&sender](int path, sim::PooledPacket packet) {
+    sender.on_ack(path, *packet);
   });
 
   // --- periodic re-planning ----------------------------------------------

@@ -1,86 +1,41 @@
 #include "protocol/ack.h"
 
-#include <algorithm>
-#include <stdexcept>
-
 namespace dmc::proto {
-
-namespace {
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t at) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)])
-         << (8 * i);
-  }
-  return v;
-}
-
-std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
-  return static_cast<std::uint16_t>(in[at] |
-                                    (static_cast<std::uint16_t>(in[at + 1])
-                                     << 8));
-}
-
-}  // namespace
 
 std::vector<std::uint8_t> encode_ack(const AckFrame& frame,
                                      std::size_t max_bytes) {
-  if (max_bytes < kAckHeaderBytes) {
-    throw std::invalid_argument("encode_ack: max_bytes below header size");
-  }
-  // Truncate the window from the tail so the frame fits.
-  const std::size_t budget_bytes = max_bytes - kAckHeaderBytes;
-  const std::size_t max_bits = std::min<std::size_t>(budget_bytes * 8, 0xffff);
-  const std::size_t bits = std::min(frame.window.size(), max_bits);
-
-  std::vector<std::uint8_t> out;
-  out.reserve(kAckHeaderBytes + (bits + 7) / 8);
-  put_u64(out, frame.cumulative);
-  put_u64(out, frame.window_base);
-  put_u64(out, frame.echo_seq);
-  out.push_back(frame.echo_attempt);
-  put_u16(out, static_cast<std::uint16_t>(bits));
-  std::uint8_t current = 0;
-  for (std::size_t k = 0; k < bits; ++k) {
-    if (frame.window[k]) current |= static_cast<std::uint8_t>(1u << (k % 8));
-    if (k % 8 == 7) {
-      out.push_back(current);
-      current = 0;
-    }
-  }
-  if (bits % 8 != 0) out.push_back(current);
+  const std::size_t bits = ack_truncated_bits(frame.window.size(), max_bytes);
+  std::vector<std::uint8_t> out(ack_encoded_size(bits));
+  encode_ack_into(out.data(), frame.cumulative, frame.window_base,
+                  frame.echo_seq, frame.echo_attempt, bits,
+                  [&frame](std::size_t c) {
+                    std::uint64_t word = 0;
+                    const std::size_t base = c * 64;
+                    const std::size_t n =
+                        frame.window.size() - base < 64
+                            ? frame.window.size() - base
+                            : std::size_t{64};
+                    for (std::size_t k = 0; k < n; ++k) {
+                      if (frame.window[base + k]) {
+                        word |= std::uint64_t{1} << k;
+                      }
+                    }
+                    return word;
+                  });
   return out;
 }
 
 AckFrame decode_ack(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < kAckHeaderBytes) {
-    throw std::invalid_argument("decode_ack: frame too short");
-  }
+  const AckView view(bytes);
   AckFrame frame;
-  frame.cumulative = get_u64(bytes, 0);
-  frame.window_base = get_u64(bytes, 8);
-  frame.echo_seq = get_u64(bytes, 16);
-  frame.echo_attempt = bytes[24];
-  const std::size_t bits = get_u16(bytes, 25);
-  if (bytes.size() < kAckHeaderBytes + (bits + 7) / 8) {
-    throw std::invalid_argument("decode_ack: truncated window");
-  }
+  frame.cumulative = view.cumulative();
+  frame.window_base = view.window_base();
+  frame.echo_seq = view.echo_seq();
+  frame.echo_attempt = view.echo_attempt();
+  const std::size_t bits = view.window_bits();
   frame.window.resize(bits);
   for (std::size_t k = 0; k < bits; ++k) {
-    const std::uint8_t byte = bytes[kAckHeaderBytes + k / 8];
-    frame.window[k] = (byte >> (k % 8)) & 1u;
+    frame.window[k] = view.window_bit(k);
   }
   return frame;
 }

@@ -14,10 +14,19 @@
 // Encoding is fixed-header + packed bit vector. When the in-flight window
 // exceeds what max_bytes allows, the bit vector is truncated from the tail —
 // exactly the high bandwidth-delay-product regime the paper discusses.
+//
+// Two interfaces share the wire format. The hot path is allocation-free:
+// encode_ack_into() writes straight into a caller-owned buffer from 64-bit
+// window chunks, and AckView reads a frame in place without materialising
+// the bit vector. AckFrame plus encode_ack()/decode_ack() remain as the
+// value-semantic interface for tests and offline tooling; both paths
+// produce/consume byte-identical frames.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace dmc::proto {
@@ -42,6 +51,114 @@ struct AckFrame {
 // Header: cumulative(8) window_base(8) echo_seq(8) echo_attempt(1)
 // window_bits(2) + ceil(bits/8) packed bytes.
 inline constexpr std::size_t kAckHeaderBytes = 27;
+
+// Window-bit count after truncating `window_bits` to what max_bytes (and the
+// 16-bit length field) allow.
+inline std::size_t ack_truncated_bits(std::size_t window_bits,
+                                      std::size_t max_bytes) {
+  if (max_bytes < kAckHeaderBytes) {
+    throw std::invalid_argument("encode_ack: max_bytes below header size");
+  }
+  const std::size_t budget_bits = (max_bytes - kAckHeaderBytes) * 8;
+  const std::size_t max_bits = budget_bits < 0xffff ? budget_bits : 0xffff;
+  return window_bits < max_bits ? window_bits : max_bits;
+}
+
+inline std::size_t ack_encoded_size(std::size_t bits) {
+  return kAckHeaderBytes + (bits + 7) / 8;
+}
+
+// Encodes a frame into `out`, which must hold ack_encoded_size(bits) bytes;
+// `bits` must already be truncated via ack_truncated_bits(). The window
+// content is supplied as 64-bit little-endian chunks: word_at(c) returns
+// received-flags for seqs [window_base + 64c, window_base + 64c + 64), of
+// which only the low `bits - 64c` are used for the final chunk.
+template <typename WordFn>
+void encode_ack_into(std::uint8_t* out, std::uint64_t cumulative,
+                     std::uint64_t window_base, std::uint64_t echo_seq,
+                     std::uint8_t echo_attempt, std::size_t bits,
+                     WordFn word_at) {
+  const auto put_u64 = [](std::uint8_t* p, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  put_u64(out, cumulative);
+  put_u64(out + 8, window_base);
+  put_u64(out + 16, echo_seq);
+  out[24] = echo_attempt;
+  out[25] = static_cast<std::uint8_t>(bits);
+  out[26] = static_cast<std::uint8_t>(bits >> 8);
+  std::uint8_t* body = out + kAckHeaderBytes;
+  for (std::size_t c = 0; c * 64 < bits; ++c) {
+    std::uint64_t word = word_at(c);
+    std::size_t chunk_bits = bits - c * 64;
+    if (chunk_bits >= 64) {
+      chunk_bits = 64;
+    } else {
+      word &= (std::uint64_t{1} << chunk_bits) - 1;
+    }
+    const std::size_t chunk_bytes = (chunk_bits + 7) / 8;
+    for (std::size_t j = 0; j < chunk_bytes; ++j) {
+      body[c * 8 + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+  }
+}
+
+// Zero-copy reader over an encoded frame. Validates the same invariants as
+// decode_ack() but leaves the window packed in the caller's buffer.
+class AckView {
+ public:
+  explicit AckView(std::span<const std::uint8_t> bytes) : p_(bytes.data()) {
+    if (bytes.size() < kAckHeaderBytes) {
+      throw std::invalid_argument("decode_ack: frame too short");
+    }
+    bits_ = static_cast<std::size_t>(p_[25]) |
+            (static_cast<std::size_t>(p_[26]) << 8);
+    if (bytes.size() < ack_encoded_size(bits_)) {
+      throw std::invalid_argument("decode_ack: truncated window");
+    }
+  }
+
+  std::uint64_t cumulative() const { return get_u64(0); }
+  std::uint64_t window_base() const { return get_u64(8); }
+  std::uint64_t echo_seq() const { return get_u64(16); }
+  std::uint8_t echo_attempt() const { return p_[24]; }
+  std::size_t window_bits() const { return bits_; }
+
+  bool window_bit(std::size_t k) const {
+    return (p_[kAckHeaderBytes + k / 8] >> (k % 8)) & 1u;
+  }
+
+  // Window bits [64w, 64w + 64) as a little-endian word, zero-padded past
+  // window_bits(); encoding guarantees padding bits in the last byte are 0.
+  std::uint64_t window_word(std::size_t w) const {
+    const std::size_t first_byte = w * 8;
+    const std::size_t total_bytes = (bits_ + 7) / 8;
+    std::uint64_t word = 0;
+    const std::size_t n =
+        first_byte < total_bytes ? (total_bytes - first_byte < 8
+                                        ? total_bytes - first_byte
+                                        : std::size_t{8})
+                                 : 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      word |= static_cast<std::uint64_t>(p_[kAckHeaderBytes + first_byte + j])
+              << (8 * j);
+    }
+    return word;
+  }
+
+ private:
+  std::uint64_t get_u64(std::size_t at) const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p_[at + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    return v;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t bits_;
+};
 
 // Encodes the frame into at most max_bytes; the window is truncated to fit.
 std::vector<std::uint8_t> encode_ack(const AckFrame& frame,

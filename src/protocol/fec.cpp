@@ -188,23 +188,24 @@ FecSessionResult run_fec_session(const core::PathSet& paths,
   };
   std::map<std::uint64_t, GroupState> groups;
 
-  net.set_server_receiver([&](int, sim::Packet packet) {
-    const std::uint64_t group_id = packet.seq / static_cast<std::uint64_t>(total);
+  net.set_server_receiver([&](int, sim::PooledPacket packet) {
+    const std::uint64_t group_id =
+        packet->seq / static_cast<std::uint64_t>(total);
     const auto index =
-        static_cast<int>(packet.seq % static_cast<std::uint64_t>(total));
+        static_cast<int>(packet->seq % static_cast<std::uint64_t>(total));
     GroupState& group = groups[group_id];
     if (group.reconstructed) return;
 
     const double now = simulator.now();
     const bool within_own_deadline =
-        now - packet.created_at <= traffic.lifetime_s;
+        now - packet->created_at <= traffic.lifetime_s;
     if (index < k && within_own_deadline) {
       ++result.direct_on_time;
       // Remove from missing if it was registered (it may arrive before the
       // sender registered nothing — registration happens at send).
       auto& missing = group.missing_data_seqs;
       for (std::size_t m = 0; m < missing.size(); ++m) {
-        if (missing[m] == packet.seq) {
+        if (missing[m] == packet->seq) {
           missing.erase(missing.begin() + static_cast<std::ptrdiff_t>(m));
           group.deadlines.erase(group.deadlines.begin() +
                                 static_cast<std::ptrdiff_t>(m));
@@ -244,10 +245,10 @@ FecSessionResult run_fec_session(const core::PathSet& paths,
         static_cast<std::uint64_t>(index);
 
     ++result.generated;
-    sim::Packet packet;
-    packet.seq = seq;
-    packet.created_at = simulator.now();
-    packet.size_bytes = session.message_bytes;
+    sim::PooledPacket packet = simulator.packets().acquire();
+    packet->seq = seq;
+    packet->created_at = simulator.now();
+    packet->size_bytes = session.message_bytes;
     // Register as missing until it arrives (or the group reconstructs).
     GroupState& group = groups[group_id];
     if (!group.reconstructed) {
@@ -261,11 +262,11 @@ FecSessionResult run_fec_session(const core::PathSet& paths,
     if (index == k - 1) {
       // Group complete: emit parity packets back to back.
       for (int parity = 0; parity < config.parity_per_group; ++parity) {
-        sim::Packet p;
-        p.seq = group_id * static_cast<std::uint64_t>(total) +
-                static_cast<std::uint64_t>(k + parity);
-        p.created_at = simulator.now();
-        p.size_bytes = session.message_bytes;
+        sim::PooledPacket p = simulator.packets().acquire();
+        p->seq = group_id * static_cast<std::uint64_t>(total) +
+                 static_cast<std::uint64_t>(k + parity);
+        p->created_at = simulator.now();
+        p->size_bytes = session.message_bytes;
         result.parity_rate_bps += message_bits;
         net.client_send(static_cast<int>(
                             assignment[static_cast<std::size_t>(k + parity)]),

@@ -17,40 +17,45 @@ DeadlineReceiver::DeadlineReceiver(sim::Simulator& simulator,
 }
 
 bool DeadlineReceiver::already_received(std::uint64_t seq) const {
-  return seq < cumulative_ || pending_.contains(seq);
+  return seq < cumulative_ || pending_.test(seq);
 }
 
 void DeadlineReceiver::mark_received(std::uint64_t seq) {
   highest_seen_ = std::max(highest_seen_, seq);
   if (seq < cumulative_) return;
-  pending_.insert(seq);
-  while (pending_.contains(cumulative_)) {
-    pending_.erase(cumulative_);
-    ++cumulative_;
-  }
+  pending_.set(seq);
+  while (pending_.test(cumulative_)) ++cumulative_;
+  pending_.advance_floor(cumulative_);
 }
 
-AckFrame DeadlineReceiver::build_ack(const sim::Packet& packet) const {
-  AckFrame frame;
-  frame.cumulative = cumulative_;
+sim::PooledPacket DeadlineReceiver::build_ack(
+    const sim::Packet& packet) const {
   // Anchor the window at the newest arrivals rather than the cumulative
   // edge: under partial reliability the cumulative edge sticks at the first
   // permanently-lost packet, and with a large bandwidth-delay product the
   // window would never reach the packets currently in flight (the
   // Section VIII-C discussion). Recent packets are the ones whose
   // retransmission timers are still pending.
-  const std::uint64_t bits = config_.ack_window_bits;
-  frame.window_base = cumulative_;
-  if (bits > 0 && highest_seen_ + 1 > bits) {
-    frame.window_base = std::max(cumulative_, highest_seen_ + 1 - bits);
+  const std::uint64_t bits_wanted = config_.ack_window_bits;
+  std::uint64_t window_base = cumulative_;
+  if (bits_wanted > 0 && highest_seen_ + 1 > bits_wanted) {
+    window_base = std::max(cumulative_, highest_seen_ + 1 - bits_wanted);
   }
-  frame.echo_seq = packet.seq;
-  frame.echo_attempt = packet.attempt;
-  frame.window.assign(config_.ack_window_bits, false);
-  for (std::size_t k = 0; k < frame.window.size(); ++k) {
-    frame.window[k] = pending_.contains(frame.window_base + k);
-  }
-  return frame;
+  const std::size_t bits =
+      ack_truncated_bits(config_.ack_window_bits, config_.max_ack_bytes);
+
+  sim::PooledPacket ack = simulator_.packets().acquire();
+  ack->is_ack = true;
+  ack->seq = packet.seq;
+  ack->created_at = packet.created_at;
+  std::uint8_t* out = ack->ack_payload.resize(ack_encoded_size(bits));
+  encode_ack_into(out, cumulative_, window_base, packet.seq, packet.attempt,
+                  bits, [this, window_base](std::size_t c) {
+                    return pending_.word_at(window_base + c * 64);
+                  });
+  ack->size_bytes = config_.ack_overhead_bytes + ack->ack_payload.size();
+  ack->sent_at = simulator_.now();
+  return ack;
 }
 
 void DeadlineReceiver::on_data(int path, const sim::Packet& packet) {
@@ -74,16 +79,8 @@ void DeadlineReceiver::on_data(int path, const sim::Packet& packet) {
   // Acknowledge even duplicates: the sender may still be retransmitting.
   if (++data_since_ack_ >= config_.ack_every && ack_sender_) {
     data_since_ack_ = 0;
-    const AckFrame frame = build_ack(packet);
-    sim::Packet ack;
-    ack.is_ack = true;
-    ack.seq = packet.seq;
-    ack.created_at = packet.created_at;
-    ack.ack_payload = encode_ack(frame, config_.max_ack_bytes);
-    ack.size_bytes = config_.ack_overhead_bytes + ack.ack_payload.size();
-    ack.sent_at = simulator_.now();
     ++trace_.acks_sent;
-    ack_sender_(config_.ack_path, std::move(ack));
+    ack_sender_(config_.ack_path, build_ack(packet));
   }
 }
 

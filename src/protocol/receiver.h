@@ -1,14 +1,16 @@
 // Server side of the deadline-aware protocol: deduplicates arrivals, checks
 // the enclosed creation timestamp against the lifetime (Section VII-A), and
 // responds to each data packet with an acknowledgment on the lowest-delay
-// path (Section VIII-C).
+// path (Section VIII-C). The receive-tracking state is a sliding bitmap and
+// ack frames are encoded directly into a pool packet, so steady-state data
+// processing performs no heap allocation.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 
 #include "protocol/ack.h"
+#include "protocol/seq_window.h"
 #include "protocol/trace.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
@@ -31,7 +33,7 @@ struct ReceiverConfig {
 
 class DeadlineReceiver {
  public:
-  using AckSender = std::function<void(int path, sim::Packet)>;
+  using AckSender = std::function<void(int path, sim::PooledPacket)>;
 
   DeadlineReceiver(sim::Simulator& simulator, ReceiverConfig config,
                    Trace& trace);
@@ -49,7 +51,7 @@ class DeadlineReceiver {
  private:
   bool already_received(std::uint64_t seq) const;
   void mark_received(std::uint64_t seq);
-  AckFrame build_ack(const sim::Packet& packet) const;
+  sim::PooledPacket build_ack(const sim::Packet& packet) const;
 
   sim::Simulator& simulator_;
   ReceiverConfig config_;
@@ -57,11 +59,11 @@ class DeadlineReceiver {
   AckSender ack_sender_;
 
   // Receive tracking: everything below `cumulative_` was received; sparse
-  // out-of-order arrivals live in `pending_` until the cumulative edge
-  // sweeps past them.
+  // out-of-order arrivals are bits in `pending_` (floored at cumulative_)
+  // until the cumulative edge sweeps past them.
   std::uint64_t cumulative_ = 0;
   std::uint64_t highest_seen_ = 0;
-  std::unordered_set<std::uint64_t> pending_;
+  SeqBitmap pending_;
   std::uint64_t data_since_ack_ = 0;
   stats::SampleSet delays_;
 };

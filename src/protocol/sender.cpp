@@ -1,6 +1,7 @@
 #include "protocol/sender.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -8,33 +9,31 @@
 
 namespace dmc::proto {
 
-namespace {
-
-// Translates a plan combination into real-path attempt sequences (-1 marks
-// the blackhole) plus execution timeouts, so an in-flight message stays
-// valid even if the plan is later replaced.
-struct ComboProgram {
-  std::vector<int> attempt_paths;
-  std::vector<double> timeouts;
-};
-
-ComboProgram compile_combo(const core::Model& model, std::size_t combo,
-                           double guard) {
-  const core::ComboMetrics& metrics = model.metrics()[combo];
-  ComboProgram program;
-  program.attempt_paths.reserve(metrics.attempts.size());
+std::vector<DeadlineSender::ComboProgram> DeadlineSender::compile_programs(
+    const core::Model& model, double guard) {
+  const auto& metrics = model.metrics();
+  std::vector<ComboProgram> programs(metrics.size());
   const int offset = model.has_blackhole() ? 1 : 0;
-  for (std::size_t model_path : metrics.attempts) {
-    program.attempt_paths.push_back(static_cast<int>(model_path) - offset);
+  for (std::size_t c = 0; c < metrics.size(); ++c) {
+    const core::ComboMetrics& m = metrics[c];
+    if (m.attempts.size() > kMaxAttempts || m.timeouts.size() > kMaxAttempts) {
+      throw std::invalid_argument(
+          "DeadlineSender: combination exceeds kMaxAttempts attempts");
+    }
+    ComboProgram& p = programs[c];
+    p.num_attempts = static_cast<std::uint8_t>(m.attempts.size());
+    for (std::size_t i = 0; i < m.attempts.size(); ++i) {
+      p.attempt_paths[i] =
+          static_cast<std::int16_t>(static_cast<int>(m.attempts[i]) - offset);
+    }
+    p.num_timeouts = static_cast<std::uint8_t>(m.timeouts.size());
+    for (std::size_t i = 0; i < m.timeouts.size(); ++i) {
+      const double t = m.timeouts[i];
+      p.timeouts[i] = std::isinf(t) ? t : t + guard;
+    }
   }
-  program.timeouts.reserve(metrics.timeouts.size());
-  for (double t : metrics.timeouts) {
-    program.timeouts.push_back(std::isinf(t) ? t : t + guard);
-  }
-  return program;
+  return programs;
 }
-
-}  // namespace
 
 DeadlineSender::DeadlineSender(sim::Simulator& simulator, core::Plan plan,
                                std::unique_ptr<core::ComboScheduler> scheduler,
@@ -57,6 +56,8 @@ DeadlineSender::DeadlineSender(sim::Simulator& simulator, core::Plan plan,
   inter_message_s_ =
       bytes_to_bits(static_cast<double>(config_.message_bytes)) / lambda;
 
+  programs_ = compile_programs(plan_.model(), config_.timeout_guard_s);
+
   const std::size_t n = plan_.model().real_paths().size();
   path_tx_counter_.assign(n, 0);
   path_outstanding_.resize(n);
@@ -66,8 +67,12 @@ DeadlineSender::~DeadlineSender() {
   // Mid-run teardown: every pending event capturing `this` must be
   // cancelled, or the simulator would later call into a destroyed object.
   if (generator_.valid()) simulator_.cancel(generator_);
-  for (auto& [seq, state] : outstanding_) {
-    if (state.timer.valid()) simulator_.cancel(state.timer);
+  for (std::uint64_t seq = outstanding_.front(); seq < outstanding_.end();
+       ++seq) {
+    const Outstanding* state = outstanding_.find(seq);
+    if (state != nullptr && state->timer.valid()) {
+      simulator_.cancel(state->timer);
+    }
   }
 }
 
@@ -101,39 +106,36 @@ void DeadlineSender::maybe_drained() {
 
 void DeadlineSender::assign_and_send(std::uint64_t seq) {
   const std::size_t combo = scheduler_->select();
-  const ComboProgram program =
-      compile_combo(plan_.model(), combo, config_.timeout_guard_s);
+  const ComboProgram& program = programs_[combo];
 
-  if (program.attempt_paths.front() < 0) {
+  if (program.attempt_paths[0] < 0) {
     ++trace_.assigned_blackhole;  // deliberate drop (Section V-C)
     return;
   }
 
-  Outstanding state;
-  state.attempt_paths = program.attempt_paths;
-  state.timeouts = program.timeouts;
+  Outstanding& state = outstanding_.emplace(seq);
+  state = Outstanding{};  // the ring recycles cells; reset all fields
+  state.program = program;
   state.created_at = simulator_.now();
-  auto [it, inserted] = outstanding_.emplace(seq, std::move(state));
-  if (!inserted) throw std::logic_error("duplicate sequence number");
-  transmit(seq, it->second, /*is_fast=*/false);
+  transmit(seq, state, /*is_fast=*/false);
 }
 
 void DeadlineSender::transmit(std::uint64_t seq, Outstanding& state,
                               bool is_fast) {
-  const int real_path =
-      state.attempt_paths[static_cast<std::size_t>(state.stage)];
+  const auto stage = static_cast<std::size_t>(state.stage);
+  const int real_path = state.program.attempt_paths[stage];
   state.sent_at = simulator_.now();
   state.dupacks = 0;
   state.path_tx_index = path_tx_counter_[static_cast<std::size_t>(real_path)]++;
-  path_outstanding_[static_cast<std::size_t>(real_path)]
-      .emplace(state.path_tx_index, seq);
+  path_outstanding_[static_cast<std::size_t>(real_path)].emplace(
+      state.path_tx_index) = seq;
 
-  sim::Packet packet;
-  packet.seq = seq;
-  packet.created_at = state.created_at;
-  packet.attempt = static_cast<std::uint8_t>(state.stage);
-  packet.size_bytes = config_.message_bytes;
-  packet.sent_at = state.sent_at;
+  sim::PooledPacket packet = simulator_.packets().acquire();
+  packet->seq = seq;
+  packet->created_at = state.created_at;
+  packet->attempt = static_cast<std::uint8_t>(state.stage);
+  packet->size_bytes = config_.message_bytes;
+  packet->sent_at = state.sent_at;
   ++trace_.transmissions;
   if (state.stage > 0) {
     ++trace_.retransmissions;
@@ -143,13 +145,13 @@ void DeadlineSender::transmit(std::uint64_t seq, Outstanding& state,
 
   // Arm the retransmission timer unless this was the last attempt or the
   // next attempt is the blackhole ("send once, never retransmit").
-  const auto stage = static_cast<std::size_t>(state.stage);
   const bool has_next =
-      stage + 1 < state.attempt_paths.size() &&
-      state.attempt_paths[stage + 1] >= 0 &&
-      stage < state.timeouts.size() && !std::isinf(state.timeouts[stage]);
+      stage + 1 < state.program.num_attempts &&
+      state.program.attempt_paths[stage + 1] >= 0 &&
+      stage < state.program.num_timeouts &&
+      !std::isinf(state.program.timeouts[stage]);
   if (has_next) {
-    state.timer = simulator_.in(state.timeouts[stage], [this, seq] {
+    state.timer = simulator_.in(state.program.timeouts[stage], [this, seq] {
       on_attempt_failed(seq, /*is_fast=*/false);
     });
   } else {
@@ -165,20 +167,20 @@ void DeadlineSender::transmit(std::uint64_t seq, Outstanding& state,
 }
 
 void DeadlineSender::on_attempt_failed(std::uint64_t seq, bool is_fast) {
-  const auto it = outstanding_.find(seq);
-  if (it == outstanding_.end()) return;  // already acknowledged
-  Outstanding& state = it->second;
+  Outstanding* found = outstanding_.find(seq);
+  if (found == nullptr) return;  // already acknowledged
+  Outstanding& state = *found;
 
   // Dup-ack evidence is circumstantial (reordering, ack loss); acting on it
   // only makes sense when a further attempt exists to fire. For the final
   // attempt, keep waiting for the conclusive timer instead of writing the
   // packet off early.
+  const auto stage = static_cast<std::size_t>(state.stage);
   if (is_fast) {
-    const auto s = static_cast<std::size_t>(state.stage);
-    const bool next_exists = s + 1 < state.attempt_paths.size() &&
-                             state.attempt_paths[s + 1] >= 0 &&
-                             s < state.timeouts.size() &&
-                             !std::isinf(state.timeouts[s]);
+    const bool next_exists = stage + 1 < state.program.num_attempts &&
+                             state.program.attempt_paths[stage + 1] >= 0 &&
+                             stage < state.program.num_timeouts &&
+                             !std::isinf(state.program.timeouts[stage]);
     if (!next_exists) {
       state.dupacks = 0;
       return;
@@ -192,20 +194,19 @@ void DeadlineSender::on_attempt_failed(std::uint64_t seq, bool is_fast) {
     state.timer = sim::EventId{};
   }
 
-  const auto stage = static_cast<std::size_t>(state.stage);
-  const int old_path = state.attempt_paths[stage];
+  const int old_path = state.program.attempt_paths[stage];
   path_outstanding_[static_cast<std::size_t>(old_path)].erase(
       state.path_tx_index);
-  state.lost_attempt_mask |= static_cast<std::uint8_t>(1u << stage);
+  state.lost_attempt_mask |= static_cast<std::uint16_t>(1u << stage);
   if (hooks_.on_loss_inferred) hooks_.on_loss_inferred(old_path);
 
-  const bool has_next = stage + 1 < state.attempt_paths.size() &&
-                        state.attempt_paths[stage + 1] >= 0 &&
-                        stage < state.timeouts.size() &&
-                        !std::isinf(state.timeouts[stage]);
+  const bool has_next = stage + 1 < state.program.num_attempts &&
+                        state.program.attempt_paths[stage + 1] >= 0 &&
+                        stage < state.program.num_timeouts &&
+                        !std::isinf(state.program.timeouts[stage]);
   if (!has_next) {
     ++trace_.gave_up;
-    outstanding_.erase(it);
+    outstanding_.erase(seq);
     maybe_drained();
     return;
   }
@@ -214,11 +215,12 @@ void DeadlineSender::on_attempt_failed(std::uint64_t seq, bool is_fast) {
 }
 
 void DeadlineSender::acknowledge(std::uint64_t seq, bool count_hook) {
-  const auto it = outstanding_.find(seq);
-  if (it == outstanding_.end()) return;
-  Outstanding& state = it->second;
+  Outstanding* found = outstanding_.find(seq);
+  if (found == nullptr) return;
+  Outstanding& state = *found;
 
-  const int path = state.attempt_paths[static_cast<std::size_t>(state.stage)];
+  const int path =
+      state.program.attempt_paths[static_cast<std::size_t>(state.stage)];
   path_outstanding_[static_cast<std::size_t>(path)].erase(state.path_tx_index);
   if (state.timer.valid()) simulator_.cancel(state.timer);
   if (count_hook && hooks_.on_ack_for_path) hooks_.on_ack_for_path(path);
@@ -229,11 +231,13 @@ void DeadlineSender::acknowledge(std::uint64_t seq, bool count_hook) {
     if (resolved_with_losses_.size() >= kResolvedHistory) {
       resolved_with_losses_.erase(resolved_with_losses_.begin());
     }
-    resolved_with_losses_.emplace(
-        seq,
-        ResolvedRecord{state.attempt_paths, state.lost_attempt_mask});
+    ResolvedRecord record;
+    record.attempt_paths = state.program.attempt_paths;
+    record.num_attempts = state.program.num_attempts;
+    record.lost_attempt_mask = state.lost_attempt_mask;
+    resolved_with_losses_.emplace(seq, record);
   }
-  outstanding_.erase(it);
+  outstanding_.erase(seq);
   maybe_drained();
 }
 
@@ -243,58 +247,69 @@ void DeadlineSender::register_dupack_scan(int real_path,
   auto& ordered = path_outstanding_[static_cast<std::size_t>(real_path)];
   // Every outstanding transmission sent on this path *before* the acked one
   // has been overtaken; per-path reordering being unlikely, count it.
-  std::vector<std::uint64_t> to_fail;
-  for (auto it = ordered.begin();
-       it != ordered.end() && it->first < acked_tx_index; ++it) {
-    const auto out = outstanding_.find(it->second);
-    if (out == outstanding_.end()) continue;
-    if (++out->second.dupacks >= config_.fast_retransmit_dupacks) {
-      to_fail.push_back(it->second);
+  to_fail_scratch_.clear();
+  const std::uint64_t limit = std::min(ordered.end(), acked_tx_index);
+  for (std::uint64_t tx = ordered.front(); tx < limit; ++tx) {
+    const std::uint64_t* seq = ordered.find(tx);
+    if (seq == nullptr) continue;
+    Outstanding* out = outstanding_.find(*seq);
+    if (out == nullptr) continue;
+    if (++out->dupacks >= config_.fast_retransmit_dupacks) {
+      to_fail_scratch_.push_back(*seq);
     }
   }
-  for (std::uint64_t seq : to_fail) on_attempt_failed(seq, /*is_fast=*/true);
+  for (std::uint64_t seq : to_fail_scratch_) {
+    on_attempt_failed(seq, /*is_fast=*/true);
+  }
 }
 
 void DeadlineSender::on_ack(int path, const sim::Packet& packet) {
   (void)path;
   ++trace_.acks_received;
-  const AckFrame frame = decode_ack(packet.ack_payload);
+  const AckView view(packet.ack_payload.view());
+  const std::uint64_t echo_seq = view.echo_seq();
+  const std::uint8_t echo_attempt = view.echo_attempt();
 
   // RTT sample: only when the echoed attempt is the one currently in
   // flight and it was a first attempt (Karn's rule).
-  const auto it = outstanding_.find(frame.echo_seq);
-  if (it != outstanding_.end()) {
-    if (static_cast<int>(frame.echo_attempt) == it->second.stage) {
-      const int tx_path =
-          it->second
-              .attempt_paths[static_cast<std::size_t>(it->second.stage)];
-      if (hooks_.on_rtt_sample && it->second.stage == 0) {
-        hooks_.on_rtt_sample(tx_path, simulator_.now() - it->second.sent_at);
+  Outstanding* echoed = outstanding_.find(echo_seq);
+  if (echoed != nullptr) {
+    if (static_cast<int>(echo_attempt) == echoed->stage) {
+      const int tx_path = echoed->program.attempt_paths[static_cast<std::size_t>(
+          echoed->stage)];
+      if (hooks_.on_rtt_sample && echoed->stage == 0) {
+        hooks_.on_rtt_sample(tx_path, simulator_.now() - echoed->sent_at);
       }
-      register_dupack_scan(tx_path, it->second.path_tx_index);
-    } else if (static_cast<int>(frame.echo_attempt) < it->second.stage) {
+      register_dupack_scan(tx_path, echoed->path_tx_index);
+      // The scan may have fast-retransmitted (and thus moved) other
+      // messages, never the echoed one itself — its dupack count was reset
+      // by neither path; re-find to stay safe against ring growth.
+      echoed = outstanding_.find(echo_seq);
+    } else if (static_cast<int>(echo_attempt) < echoed->stage &&
+               echo_attempt < kMaxAttempts) {
       // The echoed attempt was already written off as lost and
       // retransmitted, yet its ack arrived: the timeout was spurious.
-      const auto bit = static_cast<std::uint8_t>(1u << frame.echo_attempt);
-      if ((it->second.lost_attempt_mask & bit) != 0) {
-        it->second.lost_attempt_mask &= static_cast<std::uint8_t>(~bit);
+      const auto bit = static_cast<std::uint16_t>(1u << echo_attempt);
+      if ((echoed->lost_attempt_mask & bit) != 0) {
+        echoed->lost_attempt_mask &= static_cast<std::uint16_t>(~bit);
         if (hooks_.on_spurious_loss) {
-          hooks_.on_spurious_loss(
-              it->second.attempt_paths[frame.echo_attempt]);
+          hooks_.on_spurious_loss(echoed->program.attempt_paths[echo_attempt]);
         }
       }
     }
   } else {
     // Already resolved: a late ack can still exonerate an attempt that was
     // written off before the message completed.
-    const auto resolved = resolved_with_losses_.find(frame.echo_seq);
-    if (resolved != resolved_with_losses_.end()) {
-      const auto bit = static_cast<std::uint8_t>(1u << frame.echo_attempt);
+    const auto resolved = resolved_with_losses_.find(echo_seq);
+    if (resolved != resolved_with_losses_.end() &&
+        echo_attempt < kMaxAttempts) {
+      const auto bit = static_cast<std::uint16_t>(1u << echo_attempt);
       if ((resolved->second.lost_attempt_mask & bit) != 0) {
-        resolved->second.lost_attempt_mask &= static_cast<std::uint8_t>(~bit);
+        resolved->second.lost_attempt_mask &=
+            static_cast<std::uint16_t>(~bit);
         if (hooks_.on_spurious_loss) {
           hooks_.on_spurious_loss(
-              resolved->second.attempt_paths[frame.echo_attempt]);
+              resolved->second.attempt_paths[echo_attempt]);
         }
         if (resolved->second.lost_attempt_mask == 0) {
           resolved_with_losses_.erase(resolved);
@@ -306,18 +321,28 @@ void DeadlineSender::on_ack(int path, const sim::Packet& packet) {
   // Clear everything this frame acknowledges: the echo, the cumulative
   // prefix, and the window bits. (The redundancy matters when earlier acks
   // were lost on the return path.)
-  acknowledge(frame.echo_seq, /*count_hook=*/true);
-  std::vector<std::uint64_t> acked;
-  for (auto it2 = outstanding_.begin();
-       it2 != outstanding_.end() && it2->first < frame.cumulative; ++it2) {
-    acked.push_back(it2->first);
+  acknowledge(echo_seq, /*count_hook=*/true);
+  acked_scratch_.clear();
+  const std::uint64_t sweep_end =
+      std::min(outstanding_.end(), view.cumulative());
+  for (std::uint64_t seq = outstanding_.front(); seq < sweep_end; ++seq) {
+    if (outstanding_.find(seq) != nullptr) acked_scratch_.push_back(seq);
   }
-  for (std::size_t k = 0; k < frame.window.size(); ++k) {
-    if (!frame.window[k]) continue;
-    const std::uint64_t seq = frame.window_base + k;
-    if (outstanding_.contains(seq)) acked.push_back(seq);
+  const std::uint64_t window_base = view.window_base();
+  const std::size_t nbits = view.window_bits();
+  for (std::size_t w = 0; w * 64 < nbits; ++w) {
+    std::uint64_t word = view.window_word(w);
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      word &= word - 1;
+      const std::uint64_t seq =
+          window_base + w * 64 + static_cast<unsigned>(bit);
+      if (outstanding_.find(seq) != nullptr) acked_scratch_.push_back(seq);
+    }
   }
-  for (std::uint64_t seq : acked) acknowledge(seq, /*count_hook=*/false);
+  for (std::uint64_t seq : acked_scratch_) {
+    acknowledge(seq, /*count_hook=*/false);
+  }
 }
 
 void DeadlineSender::replace_plan(
@@ -326,6 +351,7 @@ void DeadlineSender::replace_plan(
     throw std::invalid_argument("replace_plan: plan is not feasible");
   }
   if (!scheduler) throw std::invalid_argument("replace_plan: null scheduler");
+  programs_ = compile_programs(plan.model(), config_.timeout_guard_s);
   plan_ = std::move(plan);
   scheduler_ = std::move(scheduler);
 }

@@ -7,8 +7,14 @@
 // Optional fast retransmit (Section VIII-D) advances to the next attempt
 // after a configurable number of acks for packets sent later on the same
 // path (per-path reordering being unlikely in this architecture).
+//
+// Bookkeeping is allocation-free in steady state: combo programs are
+// compiled once per plan (not per message), in-flight messages live in a
+// sliding ring indexed by sequence number, per-path send order lives in
+// rings indexed by transmission counter, and acks are decoded in place.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -18,6 +24,7 @@
 #include "core/planner.h"
 #include "core/scheduler.h"
 #include "protocol/ack.h"
+#include "protocol/seq_window.h"
 #include "protocol/trace.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
@@ -60,7 +67,11 @@ struct SenderHooks {
 
 class DeadlineSender {
  public:
-  using DataSender = std::function<void(int path, sim::Packet)>;
+  using DataSender = std::function<void(int path, sim::PooledPacket)>;
+
+  // Upper bound on attempts per combo the execution engine supports; plans
+  // beyond it are rejected loudly at compile_programs() time.
+  static constexpr std::size_t kMaxAttempts = 16;
 
   DeadlineSender(sim::Simulator& simulator, core::Plan plan,
                  std::unique_ptr<core::ComboScheduler> scheduler,
@@ -90,11 +101,20 @@ class DeadlineSender {
   bool drained() const { return drained_; }
 
  private:
+  // A plan combination translated into real-path attempt sequences (-1 marks
+  // the blackhole) plus execution timeouts. Compiled once per plan; each
+  // in-flight message embeds a copy so it stays valid across replace_plan.
+  struct ComboProgram {
+    std::array<double, kMaxAttempts> timeouts{};
+    std::array<std::int16_t, kMaxAttempts> attempt_paths{};
+    std::uint8_t num_attempts = 0;
+    std::uint8_t num_timeouts = 0;
+  };
+
   // A message still being worked on: which attempt sequence it follows and
   // where it currently stands.
   struct Outstanding {
-    std::vector<int> attempt_paths;    // real path per attempt; -1 = blackhole
-    std::vector<double> timeouts;      // timeout after attempt k
+    ComboProgram program;
     int stage = 0;                     // current attempt index
     double created_at = 0.0;
     double sent_at = 0.0;              // when the current attempt went out
@@ -102,15 +122,20 @@ class DeadlineSender {
     std::uint64_t path_tx_index = 0;   // per-path send counter of the
                                        // current attempt (fast retransmit)
     int dupacks = 0;
-    std::uint8_t lost_attempt_mask = 0;  // attempts written off as lost
+    std::uint16_t lost_attempt_mask = 0;  // attempts written off as lost
   };
 
   // Messages that resolved while carrying loss verdicts: a late ack for
   // one of their written-off attempts proves the loss was spurious.
+  // Cold path — only populated when the on_spurious_loss hook is set.
   struct ResolvedRecord {
-    std::vector<int> attempt_paths;
-    std::uint8_t lost_attempt_mask = 0;
+    std::array<std::int16_t, kMaxAttempts> attempt_paths{};
+    std::uint8_t num_attempts = 0;
+    std::uint16_t lost_attempt_mask = 0;
   };
+
+  static std::vector<ComboProgram> compile_programs(const core::Model& model,
+                                                    double guard);
 
   void generate_next();
   void maybe_drained();
@@ -135,15 +160,22 @@ class DeadlineSender {
   // teardown (server admission loop) can cancel it in the destructor.
   sim::EventId generator_;
 
-  // Ordered so that cumulative acknowledgments can sweep a prefix.
-  std::map<std::uint64_t, Outstanding> outstanding_;
-  // Bounded history for spurious-loss reversal after resolution.
+  // Per plan-combination execution programs for the current plan.
+  std::vector<ComboProgram> programs_;
+
+  // Sequence-indexed ring, ordered so cumulative acks can sweep a prefix.
+  SeqSlab<Outstanding> outstanding_;
+  // Bounded history for spurious-loss reversal after resolution (cold path,
+  // hook-gated; stays a map deliberately).
   std::map<std::uint64_t, ResolvedRecord> resolved_with_losses_;
   static constexpr std::size_t kResolvedHistory = 8192;
   // Per real path: send counter and outstanding transmissions in send order
   // (tx index -> seq), for the dup-ack scan.
   std::vector<std::uint64_t> path_tx_counter_;
-  std::vector<std::map<std::uint64_t, std::uint64_t>> path_outstanding_;
+  std::vector<SeqSlab<std::uint64_t>> path_outstanding_;
+  // Reused scratch buffers for ack processing (no per-ack allocation).
+  std::vector<std::uint64_t> acked_scratch_;
+  std::vector<std::uint64_t> to_fail_scratch_;
 };
 
 }  // namespace dmc::proto

@@ -1,0 +1,167 @@
+// Allocation-free sliding-window containers keyed by monotonically
+// increasing sequence numbers. Both structures exploit the protocol's
+// structure — sequence numbers and per-path transmission indices only ever
+// grow, and entries resolve within a bounded horizon (2x lifetime give-up
+// timers) — to replace the per-message map/set nodes of the original
+// implementation with ring buffers that stop allocating once the in-flight
+// window peaks.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace dmc::proto {
+
+// Membership bitmap over a sliding window of sequence numbers. Bits below
+// floor() read as absent; the backing ring of 64-bit words grows (amortised)
+// to span the gap between the floor and the highest set bit.
+class SeqBitmap {
+ public:
+  SeqBitmap() : words_(kMinWords, 0) {}
+
+  std::uint64_t floor() const { return floor_seq_; }
+
+  bool test(std::uint64_t seq) const {
+    if (seq < floor_seq_) return false;
+    const std::uint64_t word = seq >> 6;
+    if (word - floor_word() >= words_.size()) return false;
+    return (words_[word & mask()] >> (seq & 63)) & 1u;
+  }
+
+  void set(std::uint64_t seq) {
+    assert(seq >= floor_seq_ && "SeqBitmap::set below floor");
+    const std::uint64_t word = seq >> 6;
+    if (word - floor_word() >= words_.size()) grow(word);
+    words_[word & mask()] |= std::uint64_t{1} << (seq & 63);
+  }
+
+  // Drops all bits below `new_floor` from the window. Words that slide out
+  // are cleared so the ring can re-use them for later sequence numbers.
+  void advance_floor(std::uint64_t new_floor) {
+    assert(new_floor >= floor_seq_ && "SeqBitmap floor must not retreat");
+    const std::uint64_t old_word = floor_word();
+    std::uint64_t new_word = new_floor >> 6;
+    if (new_word - old_word >= words_.size()) {
+      words_.assign(words_.size(), 0);
+    } else {
+      for (std::uint64_t w = old_word; w < new_word; ++w) {
+        words_[w & mask()] = 0;
+      }
+    }
+    floor_seq_ = new_floor;
+  }
+
+  // 64 bits describing seqs [seq, seq + 64), zero-padded outside the window.
+  // `seq` must be >= floor(): stale bits below the floor in a straddled word
+  // are shifted out, never returned.
+  std::uint64_t word_at(std::uint64_t seq) const {
+    assert(seq >= floor_seq_ && "SeqBitmap::word_at below floor");
+    const std::uint64_t word = seq >> 6;
+    const unsigned off = static_cast<unsigned>(seq & 63);
+    const std::uint64_t lo = in_window(word) ? words_[word & mask()] : 0;
+    if (off == 0) return lo;
+    const std::uint64_t hi =
+        in_window(word + 1) ? words_[(word + 1) & mask()] : 0;
+    return (lo >> off) | (hi << (64 - off));
+  }
+
+ private:
+  static constexpr std::size_t kMinWords = 8;  // 512-bit starting window
+
+  std::uint64_t floor_word() const { return floor_seq_ >> 6; }
+  std::uint64_t mask() const { return words_.size() - 1; }
+  bool in_window(std::uint64_t word) const {
+    return word >= floor_word() && word - floor_word() < words_.size();
+  }
+
+  void grow(std::uint64_t word_needed) {
+    std::size_t n = words_.size();
+    while (word_needed - floor_word() >= n) n *= 2;
+    std::vector<std::uint64_t> bigger(n, 0);
+    for (std::uint64_t w = floor_word(); w - floor_word() < words_.size();
+         ++w) {
+      bigger[w & (n - 1)] = words_[w & mask()];
+    }
+    words_.swap(bigger);
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::uint64_t floor_seq_ = 0;
+};
+
+// Ordered map over a sliding window of strictly increasing keys: emplace(id)
+// requires id >= end(), erase marks the cell dead, and the front advances
+// over dead cells. Supports the protocol's prefix sweeps (iterate ids from
+// front() to end(), probing find()) without per-node allocation.
+template <typename T>
+class SeqSlab {
+ public:
+  SeqSlab() : cells_(kMinCells) {}
+
+  std::uint64_t front() const { return front_; }
+  std::uint64_t end() const { return end_; }
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  T& emplace(std::uint64_t id) {
+    assert(id >= end_ && "SeqSlab keys must be strictly increasing");
+    if (live_ == 0) {
+      // Window empty: re-anchor instead of spanning the dead gap.
+      front_ = id;
+    }
+    if (id - front_ >= cells_.size()) grow(id);
+    end_ = id + 1;
+    Cell& cell = cells_[id & mask()];
+    assert(!cell.live);
+    cell.live = true;
+    ++live_;
+    return cell.value;
+  }
+
+  T* find(std::uint64_t id) {
+    if (id < front_ || id >= end_) return nullptr;
+    Cell& cell = cells_[id & mask()];
+    return cell.live ? &cell.value : nullptr;
+  }
+  const T* find(std::uint64_t id) const {
+    return const_cast<SeqSlab*>(this)->find(id);
+  }
+
+  void erase(std::uint64_t id) {
+    Cell& cell = cells_[id & mask()];
+    assert(id >= front_ && id < end_ && cell.live);
+    cell.live = false;
+    --live_;
+    if (id == front_) {
+      while (front_ < end_ && !cells_[front_ & mask()].live) ++front_;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinCells = 16;
+
+  struct Cell {
+    T value{};
+    bool live = false;
+  };
+
+  std::uint64_t mask() const { return cells_.size() - 1; }
+
+  void grow(std::uint64_t id_needed) {
+    std::size_t n = cells_.size();
+    while (id_needed - front_ >= n) n *= 2;
+    std::vector<Cell> bigger(n);
+    for (std::uint64_t id = front_; id < end_; ++id) {
+      bigger[id & (n - 1)] = std::move(cells_[id & mask()]);
+    }
+    cells_.swap(bigger);
+  }
+
+  std::vector<Cell> cells_;
+  std::uint64_t front_ = 0;
+  std::uint64_t end_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace dmc::proto

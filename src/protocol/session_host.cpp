@@ -34,21 +34,21 @@ SessionHost::SessionHost(sim::Simulator& simulator, sim::Network& network)
   // Dispatch by the session id stamped into every packet; arrivals for
   // sessions that were torn down while their packets were still inside the
   // network count as orphans rather than crashing or silently vanishing.
-  network_.set_server_receiver([this](int path, sim::Packet packet) {
-    const auto it = sessions_.find(packet.session);
+  network_.set_server_receiver([this](int path, sim::PooledPacket packet) {
+    const auto it = sessions_.find(packet->session);
     if (it == sessions_.end()) {
       ++orphans_.data_packets;
       return;
     }
-    it->second.receiver->on_data(path, packet);
+    it->second.receiver->on_data(path, *packet);
   });
-  network_.set_client_receiver([this](int path, sim::Packet packet) {
-    const auto it = sessions_.find(packet.session);
+  network_.set_client_receiver([this](int path, sim::PooledPacket packet) {
+    const auto it = sessions_.find(packet->session);
     if (it == sessions_.end()) {
       ++orphans_.ack_packets;
       return;
     }
-    it->second.sender->on_ack(path, packet);
+    it->second.sender->on_ack(path, *packet);
   });
 }
 
@@ -94,13 +94,13 @@ std::uint32_t SessionHost::start_session(const SessionSpec& spec,
   // Outbound packets are stamped with their session so the shared network
   // can route arrivals back to the right endpoint.
   endpoint.receiver->set_ack_sender(
-      [this, session_id](int path, sim::Packet packet) {
-        packet.session = session_id;
+      [this, session_id](int path, sim::PooledPacket packet) {
+        packet->session = session_id;
         network_.server_send(path, std::move(packet));
       });
   endpoint.sender->set_data_sender(
-      [this, session_id](int path, sim::Packet packet) {
-        packet.session = session_id;
+      [this, session_id](int path, sim::PooledPacket packet) {
+        packet->session = session_id;
         network_.client_send(path, std::move(packet));
       });
 

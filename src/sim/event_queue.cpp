@@ -1,47 +1,278 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace dmc::sim {
 
-EventId EventQueue::schedule(Time time, Callback callback) {
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{time, seq});
-  callbacks_.emplace(seq, std::move(callback));
-  ++live_;
-  return EventId{seq};
+EventQueue::EventQueue() {
+  buckets_.resize(kMinBuckets);
+  num_buckets_ = kMinBuckets;
+  bucket_mask_ = kMinBuckets - 1;
+  slots_.reserve(kMinBuckets);
+}
+
+EventQueue::~EventQueue() {
+  // Destroy every still-constructed callback: live entries and lazily
+  // cancelled ones alike (cancellation only bumps the slot generation).
+  for (Bucket& bucket : buckets_) {
+    for (std::uint32_t i = 0; i < bucket.count; ++i) {
+      Entry& e = bucket.data[i];
+      if (e.ops->destroy != nullptr) e.ops->destroy(e.storage);
+    }
+    free_entries(bucket.data);
+  }
+  for (std::size_t i = 0; i < heap_size_; ++i) {
+    Entry& e = heap_[i];
+    if (e.ops->destroy != nullptr) e.ops->destroy(e.storage);
+  }
+  free_entries(heap_);
 }
 
 bool EventQueue::cancel(EventId id) {
   if (!id.valid()) return false;
-  const auto erased = callbacks_.erase(id.value);
-  if (erased > 0) {
-    --live_;
-    return true;
-  }
-  return false;
-}
-
-void EventQueue::skip_cancelled() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) {
-    heap_.pop();
-  }
-}
-
-Time EventQueue::next_time() {
-  skip_cancelled();
-  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty");
-  return heap_.top().time;
-}
-
-std::pair<Time, EventQueue::Callback> EventQueue::pop() {
-  skip_cancelled();
-  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty");
-  const Entry entry = heap_.top();
-  heap_.pop();
-  auto node = callbacks_.extract(entry.seq);
+  const std::uint64_t index = (id.value >> 32) - 1;
+  if (index >= slots_.size()) return false;
+  const auto gen = static_cast<std::uint32_t>(id.value);
+  if (slots_[index].gen != gen) return false;
+  // The entry stays where it is and is swept (callback destroyed) when its
+  // bucket is next scanned; only the identity dies here.
+  release_slot(static_cast<std::uint32_t>(index));
   --live_;
-  return {entry.time, std::move(node.mapped())};
+  return true;
+}
+
+Time EventQueue::next_time() const {
+  if (live_ == 0) throw_empty("next_time");
+  // Logically const: sweeping cancelled entries and advancing the cursor to
+  // the first live event changes no observable ordering.
+  auto* self = const_cast<EventQueue*>(this);
+  const std::uint32_t best = self->normalize();
+  return buckets_[cursor_ & bucket_mask_].data[best].time;
+}
+
+void EventQueue::jump_to_heap_front() {
+  // The wheel is empty, so every live event sits in the heap; discard stale
+  // heap tops, then jump the cursor straight to the first event's bucket.
+  while (heap_size_ > 0 && stale(heap_[0])) {
+    Entry& top = heap_[0];
+    if (top.ops->destroy != nullptr) top.ops->destroy(top.storage);
+    heap_remove_top();
+  }
+  assert(heap_size_ > 0 && "normalize with no live events");
+  const std::uint64_t b = heap_min_bucket_;
+  if (b != kFarBucket && b > cursor_) cursor_ = b;
+  migrate_heap();
+  // If even the front event hashes beyond 2^53 buckets (e.g. a timer at
+  // +infinity), pull it into the current bucket directly: ordering is
+  // preserved because bucket scans select the full (time, seq) minimum.
+  while (wheel_entries_ == 0 && heap_size_ > 0) {
+    Bucket& bucket = buckets_[cursor_ & bucket_mask_];
+    if (bucket.count == bucket.cap) grow_bucket(bucket);
+    move_entry(&bucket.data[bucket.count++], &heap_[0]);
+    ++wheel_entries_;
+    heap_remove_top();
+  }
+}
+
+void EventQueue::migrate_heap() {
+  // Pull every heap event whose bucket now falls within the wheel horizon.
+  while (heap_size_ > 0) {
+    Entry& top = heap_[0];
+    if (stale(top)) {
+      if (top.ops->destroy != nullptr) top.ops->destroy(top.storage);
+      heap_remove_top();
+      continue;
+    }
+    std::uint64_t b = heap_min_bucket_;
+    if (b - cursor_ >= num_buckets_ && b >= cursor_) break;
+    if (b < cursor_) b = cursor_;
+    Bucket& bucket = buckets_[b & bucket_mask_];
+    if (bucket.count == bucket.cap) grow_bucket(bucket);
+    move_entry(&bucket.data[bucket.count++], &top);
+    ++wheel_entries_;
+    heap_remove_top();
+  }
+}
+
+void EventQueue::maybe_rebuild_for_heap_pressure() {
+  // Most schedules are bypassing the wheel: the bucket width no longer
+  // matches the workload's event spacing. Rebuilding is O(live), so demand
+  // at least that many schedules since the last rebuild (amortised O(1)).
+  if (ops_since_rebuild_ > live_) rebuild();
+}
+
+void EventQueue::rebuild() {
+  // Collect every still-live entry, destroying cancelled ones.
+  const std::size_t total = wheel_entries_ + heap_size_;
+  Entry* collected = allocate_entries(total);
+  std::size_t m = 0;
+  for (Bucket& bucket : buckets_) {
+    for (std::uint32_t i = 0; i < bucket.count; ++i) {
+      Entry& e = bucket.data[i];
+      if (stale(e)) {
+        if (e.ops->destroy != nullptr) e.ops->destroy(e.storage);
+      } else {
+        move_entry(&collected[m++], &e);
+      }
+    }
+    bucket.count = 0;
+  }
+  for (std::size_t i = 0; i < heap_size_; ++i) {
+    Entry& e = heap_[i];
+    if (stale(e)) {
+      if (e.ops->destroy != nullptr) e.ops->destroy(e.storage);
+    } else {
+      move_entry(&collected[m++], &e);
+    }
+  }
+  heap_size_ = 0;
+  heap_min_bucket_ = kFarBucket;
+  wheel_entries_ = 0;
+  assert(m == live_ && "rebuild lost track of live events");
+
+  // Size the ring to the live population and spread its observed span over
+  // it, so the common case lands every event within the horizon.
+  std::uint64_t n = kMinBuckets;
+  while (n < m) n <<= 1;
+  if (n != num_buckets_) {
+    for (Bucket& bucket : buckets_) free_entries(bucket.data);
+    buckets_.assign(n, Bucket{});
+    num_buckets_ = n;
+    bucket_mask_ = n - 1;
+  }
+  Time min_time = 0.0;
+  Time max_finite = 0.0;
+  bool have_any = false;
+  bool have_finite = false;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Time t = collected[i].time;
+    if (!have_any || t < min_time) min_time = t;
+    have_any = true;
+    if (t < 1e18) {
+      if (!have_finite || t > max_finite) max_finite = t;
+      have_finite = true;
+    }
+  }
+  if (have_finite && max_finite > min_time) {
+    const double span = max_finite - min_time;
+    width_ = std::clamp(span / static_cast<double>(n), kMinWidth, kMaxWidth);
+    inv_width_ = 1.0 / width_;
+  }
+  if (have_any) {
+    const std::uint64_t b = bucket_index_of(min_time);
+    cursor_ = b == kFarBucket ? cursor_ : b;
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    Entry& e = collected[i];
+    std::uint64_t b = bucket_index_of(e.time);
+    if (b < cursor_) b = cursor_;
+    if (b - cursor_ < num_buckets_) {
+      Bucket& bucket = buckets_[b & bucket_mask_];
+      if (bucket.count == bucket.cap) grow_bucket(bucket);
+      move_entry(&bucket.data[bucket.count++], &e);
+      ++wheel_entries_;
+    } else {
+      move_entry(heap_append(), &e);
+      heap_sift_last();
+    }
+  }
+  free_entries(collected);
+  ops_since_rebuild_ = 0;
+  heap_pushes_since_rebuild_ = 0;
+}
+
+void EventQueue::grow_bucket(Bucket& bucket) {
+  const std::uint32_t cap = bucket.cap == 0 ? 4 : bucket.cap * 2;
+  Entry* data = allocate_entries(cap);
+  for (std::uint32_t i = 0; i < bucket.count; ++i) {
+    move_entry(&data[i], &bucket.data[i]);
+  }
+  free_entries(bucket.data);
+  bucket.data = data;
+  bucket.cap = cap;
+}
+
+std::uint32_t EventQueue::grow_slots() {
+  const std::size_t index = slots_.size();
+  if (index >= kNoIndex) {
+    throw std::length_error("EventQueue: slot slab exhausted");
+  }
+  slots_.push_back(Slot{});
+  return static_cast<std::uint32_t>(index);
+}
+
+EventQueue::Entry* EventQueue::heap_append() {
+  if (heap_size_ == heap_cap_) {
+    const std::size_t cap = heap_cap_ == 0 ? 16 : heap_cap_ * 2;
+    Entry* data = allocate_entries(cap);
+    for (std::size_t i = 0; i < heap_size_; ++i) {
+      move_entry(&data[i], &heap_[i]);
+    }
+    free_entries(heap_);
+    heap_ = data;
+    heap_cap_ = cap;
+  }
+  return &heap_[heap_size_++];
+}
+
+void EventQueue::heap_sift_last() {
+  std::size_t i = heap_size_ - 1;
+  if (i > 0) {
+    alignas(Entry) unsigned char hole[sizeof(Entry)];
+    Entry* moving = reinterpret_cast<Entry*>(hole);
+    move_entry(moving, &heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!entry_less(*moving, heap_[parent])) break;
+      move_entry(&heap_[i], &heap_[parent]);
+      i = parent;
+    }
+    move_entry(&heap_[i], moving);
+  }
+  if (i == 0) heap_min_bucket_ = bucket_index_of(heap_[0].time);
+}
+
+void EventQueue::heap_remove_top() {
+  --heap_size_;
+  if (heap_size_ == 0) {
+    heap_min_bucket_ = kFarBucket;
+    return;
+  }
+  alignas(Entry) unsigned char hole[sizeof(Entry)];
+  Entry* moving = reinterpret_cast<Entry*>(hole);
+  move_entry(moving, &heap_[heap_size_]);
+  std::size_t i = 0;
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_size_) break;
+    if (child + 1 < heap_size_ && entry_less(heap_[child + 1], heap_[child])) {
+      ++child;
+    }
+    if (!entry_less(heap_[child], *moving)) break;
+    move_entry(&heap_[i], &heap_[child]);
+    i = child;
+  }
+  move_entry(&heap_[i], moving);
+  heap_min_bucket_ = bucket_index_of(heap_[0].time);
+}
+
+void EventQueue::throw_empty(const char* what) {
+  throw std::logic_error(std::string("EventQueue::") + what + " on empty");
+}
+
+EventQueue::Entry* EventQueue::allocate_entries(std::size_t n) {
+  if (n == 0) return nullptr;
+  return static_cast<Entry*>(
+      ::operator new(n * sizeof(Entry), std::align_val_t{alignof(Entry)}));
+}
+
+void EventQueue::free_entries(Entry* p) {
+  if (p != nullptr) {
+    ::operator delete(p, std::align_val_t{alignof(Entry)});
+  }
 }
 
 }  // namespace dmc::sim

@@ -1,12 +1,32 @@
 // Time-ordered event queue for the discrete-event simulator. Events at the
 // same timestamp execute in scheduling (FIFO) order, which keeps runs
-// deterministic. Cancellation is O(1) via lazy deletion.
+// deterministic; ordering is the lexicographic (time, sequence) pair exactly
+// as in the original binary-heap implementation.
+//
+// Storage is a two-level calendar queue (Brown, CACM 1988): a power-of-two
+// ring of time buckets of equal width holds every event within the current
+// horizon, and a binary min-heap catches far-future events until the cursor
+// advances close enough to migrate them into the ring. Bucket width and
+// count adapt to the live event population, so both microsecond-spaced
+// packet events and second-spaced session arrivals hash to O(1) buckets.
+//
+// Callbacks are stored inline in the bucket entry itself: a small-buffer
+// type-erasure with kInlineCallbackBytes of storage and a per-type static
+// ops table (invoke/destroy/relocate). No std::function, no per-event node
+// allocation, no per-event map — in steady state schedule/run_next touch
+// only memory the queue already owns.
+//
+// Cancellation is O(1) through a generation-checked slot slab: an EventId
+// names (slot index, generation); cancelling bumps the slot's generation so
+// the entry is recognised as stale and swept when its bucket is scanned.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace dmc::sim {
@@ -20,9 +40,18 @@ struct EventId {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  // Callables whose size fits here (and whose alignment is <= 16) live
+  // inline in the calendar entry; larger ones fall back to one heap box.
+  static constexpr std::size_t kInlineCallbackBytes = 48;
 
-  EventId schedule(Time time, Callback callback);
+  EventQueue();
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  template <typename F>
+  EventId schedule(Time time, F&& callback);
 
   // Returns true if the event existed and had not yet run.
   bool cancel(EventId id);
@@ -31,28 +60,315 @@ class EventQueue {
   std::size_t size() const { return live_; }
 
   // Time of the next live event; queue must not be empty.
-  Time next_time();
+  Time next_time() const;
 
-  // Pops and returns the next live event's callback, advancing past any
-  // cancelled entries. Queue must not be empty.
-  std::pair<Time, Callback> pop();
+  // Executes the next live event's callback in place and returns its
+  // timestamp. When `clock` is non-null it is set to that timestamp *before*
+  // the callback runs, so the callback observes the event's own time.
+  // Queue must not be empty.
+  Time run_next(Time* clock = nullptr);
 
  private:
-  struct Entry {
-    Time time = 0.0;
-    std::uint64_t seq = 0;
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+  // Per-callable-type operations; all pointers may assume `storage` holds a
+  // constructed object of the erased type.
+  struct Ops {
+    void (*invoke_and_destroy)(void* storage);
+    // nullptr when the type is trivially destructible.
+    void (*destroy)(void* storage);
+    // Move-construct at dst from src and destroy src; nullptr when a plain
+    // memcpy of the storage bytes is a valid relocation.
+    void (*relocate)(void* dst, void* src);
   };
 
-  void skip_cancelled();
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    const Ops* ops;
+    alignas(16) unsigned char storage[kInlineCallbackBytes];
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  // Entries are manually relocated raw storage, never value-semantically
+  // copied; buckets and the heap hold uninitialised arrays of them.
+  struct Bucket {
+    Entry* data = nullptr;
+    std::uint32_t count = 0;
+    std::uint32_t cap = 0;
+  };
+
+  struct Slot {
+    std::uint32_t gen = 1;  // matches the live entry's gen, if any
+    std::uint32_t next_free = kNoIndex;
+  };
+
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+  static constexpr std::uint64_t kFarBucket = ~std::uint64_t{0};
+  static constexpr std::size_t kMinBuckets = 256;
+  static constexpr double kMinWidth = 1e-9;
+  static constexpr double kMaxWidth = 1.0;
+
+  template <typename Fn>
+  struct InlineOps {
+    static void invoke_and_destroy(void* s) {
+      Fn* f = std::launder(reinterpret_cast<Fn*>(s));
+      struct Guard {
+        Fn* f;
+        ~Guard() { f->~Fn(); }
+      } guard{f};
+      (*f)();
+    }
+    static void destroy(void* s) {
+      std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+    }
+    static void relocate(void* dst, void* src) {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static constexpr Ops ops{
+        &invoke_and_destroy,
+        std::is_trivially_destructible_v<Fn> ? nullptr : &destroy,
+        std::is_trivially_copyable_v<Fn> ? nullptr : &relocate};
+  };
+
+  template <typename Fn>
+  struct BoxedOps {
+    static Fn*& box(void* s) { return *std::launder(reinterpret_cast<Fn**>(s)); }
+    static void invoke_and_destroy(void* s) {
+      Fn* f = box(s);
+      struct Guard {
+        Fn* f;
+        ~Guard() { delete f; }
+      } guard{f};
+      (*f)();
+    }
+    static void destroy(void* s) { delete box(s); }
+    static constexpr Ops ops{&invoke_and_destroy, &destroy, nullptr};
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCallbackBytes && alignof(Fn) <= 16;
+  }
+
+  static bool entry_less(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  // Relocates a fully-constructed entry between raw storage locations.
+  static void move_entry(Entry* dst, Entry* src) {
+    dst->time = src->time;
+    dst->seq = src->seq;
+    dst->slot = src->slot;
+    dst->gen = src->gen;
+    dst->ops = src->ops;
+    if (src->ops->relocate == nullptr) {
+      std::memcpy(dst->storage, src->storage, kInlineCallbackBytes);
+    } else {
+      src->ops->relocate(dst->storage, src->storage);
+    }
+  }
+
+  std::uint64_t bucket_index_of(Time t) const {
+    const double scaled = t * inv_width_;
+    // Guards the double->integer cast: times beyond ~2^53 buckets (and NaN)
+    // are "far" by definition and belong in the heap.
+    if (!(scaled < 9007199254740992.0)) return kFarBucket;
+    if (scaled <= 0.0) return 0;
+    return static_cast<std::uint64_t>(scaled);
+  }
+
+  bool stale(const Entry& e) const { return slots_[e.slot].gen != e.gen; }
+
+  std::uint32_t acquire_slot();
+  std::uint32_t grow_slots();
+  void release_slot(std::uint32_t index) {
+    Slot& slot = slots_[index];
+    ++slot.gen;
+    assert(slot.gen != 0 && "EventQueue: slot generation wrapped");
+    slot.next_free = free_slot_;
+    free_slot_ = index;
+  }
+
+  template <typename F>
+  void construct_callback(Entry* entry, F&& callback);
+
+  // Positions cursor_ on the bucket holding the earliest live event and
+  // returns that event's index within the bucket. Sweeps cancelled entries
+  // and migrates heap events as the cursor passes. Requires live_ > 0.
+  std::uint32_t normalize();
+
+  void advance_cursor() {
+    ++cursor_;
+    if (heap_min_bucket_ < cursor_ + num_buckets_) migrate_heap();
+  }
+
+  void jump_to_heap_front();
+  void migrate_heap();
+  void maybe_rebuild_for_heap_pressure();
+  void rebuild();
+  void grow_bucket(Bucket& bucket);
+  Entry* heap_append();
+  void heap_sift_last();
+  void heap_remove_top();
+  [[noreturn]] static void throw_empty(const char* what);
+
+  static Entry* allocate_entries(std::size_t n);
+  static void free_entries(Entry* p);
+
+  // --- Calendar ring --------------------------------------------------------
+  std::vector<Bucket> buckets_;
+  std::uint64_t num_buckets_ = 0;  // == buckets_.size(), power of two
+  std::uint64_t bucket_mask_ = 0;
+  double width_ = 1e-6;  // bucket width in seconds
+  double inv_width_ = 1e6;
+  std::uint64_t cursor_ = 0;       // absolute index of the current bucket
+  std::size_t wheel_entries_ = 0;  // entries in buckets (stale included)
+
+  // --- Far-future heap ------------------------------------------------------
+  Entry* heap_ = nullptr;
+  std::size_t heap_size_ = 0;
+  std::size_t heap_cap_ = 0;
+  std::uint64_t heap_min_bucket_ = kFarBucket;  // bucket of heap_[0]
+
+  // --- Cancellation slab ----------------------------------------------------
+  std::vector<Slot> slots_;
+  std::uint32_t free_slot_ = kNoIndex;
+
+  // --- Counters -------------------------------------------------------------
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  std::size_t ops_since_rebuild_ = 0;
+  std::size_t heap_pushes_since_rebuild_ = 0;
 };
+
+template <typename F>
+EventId EventQueue::schedule(Time time, F&& callback) {
+  const std::uint64_t seq = next_seq_++;
+  assert(next_seq_ != 0 && "EventQueue: event sequence counter wrapped");
+
+  const std::uint32_t slot_index = acquire_slot();
+  const std::uint32_t gen = slots_[slot_index].gen;
+  ++ops_since_rebuild_;
+
+  std::uint64_t b = bucket_index_of(time);
+  if (b < cursor_) b = cursor_;  // floating-point jitter: run "now"
+  Entry* entry;
+  bool in_heap;
+  if (b - cursor_ < num_buckets_) {
+    in_heap = false;
+    Bucket& bucket = buckets_[b & bucket_mask_];
+    if (bucket.count == bucket.cap) [[unlikely]] {
+      grow_bucket(bucket);
+    }
+    entry = &bucket.data[bucket.count++];
+    ++wheel_entries_;
+  } else {
+    in_heap = true;
+    entry = heap_append();
+  }
+  entry->time = time;
+  entry->seq = seq;
+  entry->slot = slot_index;
+  entry->gen = gen;
+  construct_callback(entry, std::forward<F>(callback));
+  ++live_;
+
+  if (in_heap) {
+    heap_sift_last();
+    ++heap_pushes_since_rebuild_;
+    if (heap_pushes_since_rebuild_ > 32 &&
+        heap_size_ > 2 * (wheel_entries_ + 1)) [[unlikely]] {
+      maybe_rebuild_for_heap_pressure();
+    }
+  } else if (live_ > 2 * num_buckets_) [[unlikely]] {
+    rebuild();
+  }
+  return EventId{((static_cast<std::uint64_t>(slot_index) + 1) << 32) | gen};
+}
+
+template <typename F>
+void EventQueue::construct_callback(Entry* entry, F&& callback) {
+  using Fn = std::decay_t<F>;
+  if constexpr (fits_inline<Fn>()) {
+    ::new (static_cast<void*>(entry->storage)) Fn(std::forward<F>(callback));
+    entry->ops = &InlineOps<Fn>::ops;
+  } else {
+    Fn* boxed = new Fn(std::forward<F>(callback));
+    std::memcpy(entry->storage, &boxed, sizeof(boxed));
+    entry->ops = &BoxedOps<Fn>::ops;
+  }
+}
+
+inline std::uint32_t EventQueue::acquire_slot() {
+  const std::uint32_t index = free_slot_;
+  if (index == kNoIndex) [[unlikely]] {
+    return grow_slots();
+  }
+  free_slot_ = slots_[index].next_free;
+  return index;
+}
+
+inline Time EventQueue::run_next(Time* clock) {
+  if (live_ == 0) [[unlikely]] {
+    throw_empty("run_next");
+  }
+  const std::uint32_t best = normalize();
+  Bucket& bucket = buckets_[cursor_ & bucket_mask_];
+  Entry* entry = &bucket.data[best];
+  const Time time = entry->time;
+
+  // Recycle the slot before invoking: the running event can no longer be
+  // cancelled (cancel of its id returns false, as with the old queue), and
+  // the callback may schedule new events that reuse the slot.
+  release_slot(entry->slot);
+
+  // The callback may schedule into this very bucket and reallocate its
+  // storage, so move the callable out before removing the entry.
+  const Ops* ops = entry->ops;
+  alignas(16) unsigned char scratch[kInlineCallbackBytes];
+  if (ops->relocate == nullptr) {
+    std::memcpy(scratch, entry->storage, kInlineCallbackBytes);
+  } else {
+    ops->relocate(scratch, entry->storage);
+  }
+  --bucket.count;
+  if (best != bucket.count) move_entry(entry, &bucket.data[bucket.count]);
+  --wheel_entries_;
+  --live_;
+
+  if (clock != nullptr) *clock = time;
+  ops->invoke_and_destroy(scratch);
+  return time;
+}
+
+inline std::uint32_t EventQueue::normalize() {
+  for (;;) {
+    if (wheel_entries_ == 0) [[unlikely]] {
+      jump_to_heap_front();
+    }
+    Bucket& bucket = buckets_[cursor_ & bucket_mask_];
+    std::uint32_t n = bucket.count;
+    std::uint32_t best = kNoIndex;
+    std::uint32_t i = 0;
+    while (i < n) {
+      Entry& e = bucket.data[i];
+      if (stale(e)) [[unlikely]] {
+        if (e.ops->destroy != nullptr) e.ops->destroy(e.storage);
+        --n;
+        if (i != n) move_entry(&e, &bucket.data[n]);
+        continue;  // re-examine the entry swapped into position i
+      }
+      if (best == kNoIndex || entry_less(e, bucket.data[best])) best = i;
+      ++i;
+    }
+    wheel_entries_ -= bucket.count - n;
+    bucket.count = n;
+    if (best != kNoIndex) return best;
+    advance_cursor();
+  }
+}
 
 }  // namespace dmc::sim

@@ -24,23 +24,23 @@ Link::Link(Simulator& simulator, LinkConfig config, std::string name)
   }
 }
 
-void Link::send(Packet packet) {
+void Link::send(PooledPacket packet) {
   ++stats_.offered;
   if (queue_depth_ >= config_.queue_capacity) {
     ++stats_.queue_drops;
-    return;
+    return;  // handle dies here; packet returns to the pool
   }
   ++queue_depth_;
   ++stats_.in_flight;
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_depth_);
 
   const double serialization =
-      bytes_to_bits(static_cast<double>(packet.size_bytes)) / config_.rate_bps;
+      bytes_to_bits(static_cast<double>(packet->size_bytes)) / config_.rate_bps;
   const Time start = std::max(simulator_.now(), free_at_);
   const Time departure = start + serialization;
   free_at_ = departure;
   stats_.busy_time_s += serialization;
-  stats_.bytes_sent += static_cast<double>(packet.size_bytes);
+  stats_.bytes_sent += static_cast<double>(packet->size_bytes);
 
   simulator_.at(departure, [this, p = std::move(packet)]() mutable {
     depart(std::move(p));
@@ -77,12 +77,12 @@ void Link::set_rate(double rate_bps) {
   config_.rate_bps = rate_bps;
 }
 
-void Link::depart(Packet packet) {
+void Link::depart(PooledPacket packet) {
   --queue_depth_;
   if (draw_loss()) {
     ++stats_.loss_drops;
     --stats_.in_flight;
-    return;
+    return;  // erased in transit; handle returns the packet to the pool
   }
   double delay = config_.prop_delay_s;
   if (config_.extra_delay) delay += config_.extra_delay->sample(rng_);

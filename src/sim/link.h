@@ -73,15 +73,16 @@ struct LinkStats {
 
 class Link {
  public:
-  using Receiver = std::function<void(Packet)>;
+  using Receiver = std::function<void(PooledPacket)>;
 
   Link(Simulator& simulator, LinkConfig config, std::string name);
 
   void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
   // Hands a packet to the link. Drops silently (recorded in stats) when the
-  // queue is full, like a drop-tail router queue.
-  void send(Packet packet);
+  // queue is full, like a drop-tail router queue; dropped packets return to
+  // the pool as the handle dies.
+  void send(PooledPacket packet);
 
   const LinkConfig& config() const { return config_; }
   const LinkStats& stats() const { return stats_; }
@@ -98,7 +99,7 @@ class Link {
   void set_rate(double rate_bps);
 
  private:
-  void depart(Packet packet);
+  void depart(PooledPacket packet);
   bool draw_loss();
 
   Simulator& simulator_;

@@ -32,7 +32,7 @@ Network::Network(Simulator& simulator, std::vector<PathConfig> paths) {
 void Network::set_server_receiver(Receiver receiver) {
   for (std::size_t i = 0; i < forward_.size(); ++i) {
     forward_[i]->set_receiver(
-        [receiver, path = static_cast<int>(i)](Packet packet) {
+        [receiver, path = static_cast<int>(i)](PooledPacket packet) {
           receiver(path, std::move(packet));
         });
   }
@@ -41,19 +41,19 @@ void Network::set_server_receiver(Receiver receiver) {
 void Network::set_client_receiver(Receiver receiver) {
   for (std::size_t i = 0; i < reverse_.size(); ++i) {
     reverse_[i]->set_receiver(
-        [receiver, path = static_cast<int>(i)](Packet packet) {
+        [receiver, path = static_cast<int>(i)](PooledPacket packet) {
           receiver(path, std::move(packet));
         });
   }
 }
 
-void Network::client_send(int path, Packet packet) {
-  packet.path = path;
+void Network::client_send(int path, PooledPacket packet) {
+  packet->path = path;
   forward_.at(path)->send(std::move(packet));
 }
 
-void Network::server_send(int path, Packet packet) {
-  packet.path = path;
+void Network::server_send(int path, PooledPacket packet) {
+  packet->path = path;
   reverse_.at(path)->send(std::move(packet));
 }
 

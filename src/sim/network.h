@@ -30,7 +30,7 @@ PathConfig symmetric_path(LinkConfig both_directions, std::string name);
 class Network {
  public:
   // Receiver callbacks get the path index the packet arrived on.
-  using Receiver = std::function<void(int path, Packet)>;
+  using Receiver = std::function<void(int path, PooledPacket)>;
 
   Network(Simulator& simulator, std::vector<PathConfig> paths);
 
@@ -39,8 +39,8 @@ class Network {
   void set_server_receiver(Receiver receiver);
   void set_client_receiver(Receiver receiver);
 
-  void client_send(int path, Packet packet);
-  void server_send(int path, Packet packet);
+  void client_send(int path, PooledPacket packet);
+  void server_send(int path, PooledPacket packet);
 
   Link& forward_link(int path) { return *forward_.at(path); }
   Link& reverse_link(int path) { return *reverse_.at(path); }

@@ -1,0 +1,15 @@
+#include "sim/packet.h"
+
+namespace dmc::sim {
+
+void PacketPool::grow() {
+  auto chunk = std::make_unique<Packet[]>(kChunkPackets);
+  for (std::size_t i = 0; i < kChunkPackets; ++i) {
+    chunk[i].pool_ = this;
+    chunk[i].next_free_ = free_;
+    free_ = &chunk[i];
+  }
+  chunks_.push_back(std::move(chunk));
+}
+
+}  // namespace dmc::sim

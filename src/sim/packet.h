@@ -2,10 +2,21 @@
 // message is 1024 bytes including an application header with a creation
 // timestamp and a sequence number; acknowledgments carry the encoded ack
 // frame (protocol/ack.h) whose byte size determines their transmission time.
+//
+// Packets are pool-backed: a PacketPool (owned by the Simulator) hands out
+// PooledPacket handles over arena-resident Packet objects linked through an
+// intrusive free list. Packets are pinned — neither copyable nor movable —
+// and circulate through Link/Network by handle, so the steady-state data
+// path performs no per-packet heap traffic. The ack payload is an inline
+// buffer sized for the default ack frame, with a heap overflow (retained
+// across pool reuse) for oversized frames.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -15,19 +26,181 @@ namespace dmc::sim {
 // 1024 bytes per message as in Section VII-A, header included.
 inline constexpr std::size_t kDefaultMessageBytes = 1024;
 
+class PacketPool;
+class PooledPacket;
+
+// Byte buffer for encoded ack frames: frames up to kInlineBytes (the default
+// 64-byte ack cap) live inline in the packet; larger ones use a heap buffer
+// whose capacity survives release/acquire cycles, so even oversized-ack
+// workloads stop allocating once every pooled packet has grown its buffer.
+class AckPayload {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  AckPayload() = default;
+  ~AckPayload() { delete[] overflow_; }
+  AckPayload(const AckPayload&) = delete;
+  AckPayload& operator=(const AckPayload&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  void clear() { size_ = 0; }
+
+  // Sets the payload length and returns the buffer to write it into.
+  std::uint8_t* resize(std::size_t n) {
+    if (n > kInlineBytes && n > overflow_cap_) grow(n);
+    size_ = static_cast<std::uint32_t>(n);
+    return data();
+  }
+
+  std::uint8_t* data() {
+    return size_ <= kInlineBytes ? inline_ : overflow_;
+  }
+  const std::uint8_t* data() const {
+    return size_ <= kInlineBytes ? inline_ : overflow_;
+  }
+
+  std::span<const std::uint8_t> view() const { return {data(), size_}; }
+
+  void assign(std::span<const std::uint8_t> bytes) {
+    std::uint8_t* dst = resize(bytes.size());
+    for (std::size_t i = 0; i < bytes.size(); ++i) dst[i] = bytes[i];
+  }
+
+ private:
+  void grow(std::size_t n) {
+    delete[] overflow_;
+    overflow_ = new std::uint8_t[n];
+    overflow_cap_ = static_cast<std::uint32_t>(n);
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t overflow_cap_ = 0;
+  std::uint8_t* overflow_ = nullptr;
+  std::uint8_t inline_[kInlineBytes];
+};
+
 struct Packet {
+  Packet() = default;
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+
   // --- On-the-wire fields -------------------------------------------------
   std::uint64_t seq = 0;      // application sequence number
   Time created_at = 0.0;      // application-header timestamp
   std::uint8_t attempt = 0;   // which (re)transmission this is, 0-based
   bool is_ack = false;
-  std::vector<std::uint8_t> ack_payload;  // encoded AckFrame when is_ack
+  AckPayload ack_payload;     // encoded AckFrame when is_ack
   std::size_t size_bytes = kDefaultMessageBytes;
 
   // --- Simulation/tracing metadata (not transmitted) ----------------------
   int path = -1;               // path index the packet rides
   std::uint32_t session = 0;   // owning session in multi-session runs
   Time sent_at = 0.0;          // when the sender handed it to the link
+
+ private:
+  friend class PacketPool;
+  friend class PooledPacket;
+  PacketPool* pool_ = nullptr;   // owning pool, set once at arena creation
+  Packet* next_free_ = nullptr;  // intrusive free list link
 };
+
+// Arena of pinned Packet objects with an intrusive free list. acquire()
+// reuses a released packet when one exists and only touches the heap to
+// grow the arena (amortised; stops once the in-flight population peaks).
+class PacketPool {
+ public:
+  static constexpr std::size_t kChunkPackets = 256;
+
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // Acquires a packet reset to default field values. Defined after
+  // PooledPacket, which it returns by value.
+  PooledPacket acquire();
+
+  std::size_t allocated() const { return chunks_.size() * kChunkPackets; }
+  std::size_t in_use() const { return in_use_; }
+
+ private:
+  friend class PooledPacket;
+
+  void release(Packet* p) {
+    p->next_free_ = free_;
+    free_ = p;
+    --in_use_;
+  }
+
+  Packet* take();
+  void grow();
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  Packet* free_ = nullptr;
+  std::size_t in_use_ = 0;
+};
+
+// Move-only RAII handle over a pool packet: releases the packet back to its
+// pool when destroyed. Word-sized, so it travels through event captures and
+// receiver callbacks for free.
+class PooledPacket {
+ public:
+  PooledPacket() = default;
+  explicit PooledPacket(Packet* p) : p_(p) {}
+  ~PooledPacket() { reset(); }
+
+  PooledPacket(const PooledPacket&) = delete;
+  PooledPacket& operator=(const PooledPacket&) = delete;
+  PooledPacket(PooledPacket&& other) noexcept : p_(other.p_) {
+    other.p_ = nullptr;
+  }
+  PooledPacket& operator=(PooledPacket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      p_ = other.p_;
+      other.p_ = nullptr;
+    }
+    return *this;
+  }
+
+  explicit operator bool() const { return p_ != nullptr; }
+  Packet* get() const { return p_; }
+  Packet* operator->() const { return p_; }
+  Packet& operator*() const { return *p_; }
+
+  void reset() {
+    if (p_ != nullptr) {
+      p_->pool_->release(p_);
+      p_ = nullptr;
+    }
+  }
+
+ private:
+  Packet* p_ = nullptr;
+};
+
+inline Packet* PacketPool::take() {
+  if (free_ == nullptr) [[unlikely]] {
+    grow();
+  }
+  Packet* p = free_;
+  free_ = p->next_free_;
+  ++in_use_;
+  return p;
+}
+
+inline PooledPacket PacketPool::acquire() {
+  Packet* p = take();
+  p->seq = 0;
+  p->created_at = 0.0;
+  p->attempt = 0;
+  p->is_ack = false;
+  p->ack_payload.clear();
+  p->size_bytes = kDefaultMessageBytes;
+  p->path = -1;
+  p->session = 0;
+  p->sent_at = 0.0;
+  return PooledPacket{p};
+}
 
 }  // namespace dmc::sim

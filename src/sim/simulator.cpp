@@ -5,32 +5,10 @@
 
 namespace dmc::sim {
 
-EventId Simulator::at(Time t, EventQueue::Callback callback) {
-  if (t < now_) {
-    throw std::invalid_argument("Simulator::at: time " + std::to_string(t) +
-                                " is in the past (now=" +
-                                std::to_string(now_) + ")");
-  }
-  return queue_.schedule(t, std::move(callback));
-}
-
-void Simulator::run() {
-  while (!queue_.empty()) {
-    auto [time, callback] = queue_.pop();
-    now_ = time;
-    callback();
-    ++events_executed_;
-  }
-}
-
-void Simulator::run_until(Time t) {
-  while (!queue_.empty() && queue_.next_time() <= t) {
-    auto [time, callback] = queue_.pop();
-    now_ = time;
-    callback();
-    ++events_executed_;
-  }
-  if (now_ < t) now_ = t;
+void Simulator::throw_past(Time t) const {
+  throw std::invalid_argument("Simulator::at: time " + std::to_string(t) +
+                              " is in the past (now=" + std::to_string(now_) +
+                              ")");
 }
 
 }  // namespace dmc::sim

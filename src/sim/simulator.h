@@ -1,12 +1,14 @@
-// Discrete-event simulation kernel: a clock, an event queue, and a seeded
-// random stream. This is the substrate that stands in for ns-3 in the
-// paper's evaluation (Section VII-A); see DESIGN.md for the substitution
-// rationale.
+// Discrete-event simulation kernel: a clock, an event queue, a packet pool,
+// and a seeded random stream. This is the substrate that stands in for ns-3
+// in the paper's evaluation (Section VII-A); see DESIGN.md for the
+// substitution rationale.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "sim/event_queue.h"
+#include "sim/packet.h"
 #include "stats/rng.h"
 
 namespace dmc::sim {
@@ -21,28 +23,54 @@ class Simulator {
   Time now() const { return now_; }
 
   // Schedules `callback` at absolute time `t` (must be >= now()).
-  EventId at(Time t, EventQueue::Callback callback);
+  template <typename F>
+  EventId at(Time t, F&& callback) {
+    if (t < now_) [[unlikely]] {
+      throw_past(t);
+    }
+    return queue_.schedule(t, std::forward<F>(callback));
+  }
 
   // Schedules `callback` `dt` seconds from now (dt >= 0).
-  EventId in(Time dt, EventQueue::Callback callback) {
-    return at(now_ + dt, std::move(callback));
+  template <typename F>
+  EventId in(Time dt, F&& callback) {
+    return at(now_ + dt, std::forward<F>(callback));
   }
 
   bool cancel(EventId id) { return queue_.cancel(id); }
 
   // Runs until the event queue drains.
-  void run();
+  void run() {
+    while (!queue_.empty()) {
+      queue_.run_next(&now_);
+      ++events_executed_;
+    }
+  }
 
   // Runs events with time <= `t`, then sets the clock to `t`.
-  void run_until(Time t);
+  void run_until(Time t) {
+    while (!queue_.empty() && queue_.next_time() <= t) {
+      queue_.run_next(&now_);
+      ++events_executed_;
+    }
+    if (now_ < t) now_ = t;
+  }
 
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
+  // Arena behind every packet circulating in this simulation.
+  PacketPool& packets() { return packets_; }
+
   stats::Rng& rng() { return rng_; }
 
  private:
+  [[noreturn]] void throw_past(Time t) const;
+
   Time now_ = 0.0;
+  // The pool must outlive the queue: pending events may hold PooledPacket
+  // handles that release into the pool on destruction.
+  PacketPool packets_;
   EventQueue queue_;
   stats::Rng rng_;
   std::uint64_t events_executed_ = 0;

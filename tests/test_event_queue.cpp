@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <queue>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -10,14 +15,26 @@
 namespace dmc::sim {
 namespace {
 
-TEST(EventQueue, PopsInTimeOrder) {
+void drain(EventQueue& q) {
+  while (!q.empty()) q.run_next();
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
   q.schedule(3.0, [&] { order.push_back(3); });
   q.schedule(1.0, [&] { order.push_back(1); });
   q.schedule(2.0, [&] { order.push_back(2); });
-  while (!q.empty()) q.pop().second();
+  drain(q);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunNextReturnsTimestampAndSetsClock) {
+  EventQueue q;
+  q.schedule(2.5, [] {});
+  double clock = 0.0;
+  EXPECT_EQ(q.run_next(&clock), 2.5);
+  EXPECT_EQ(clock, 2.5);
 }
 
 TEST(EventQueue, TiesBreakFifo) {
@@ -26,8 +43,36 @@ TEST(EventQueue, TiesBreakFifo) {
   for (int i = 0; i < 10; ++i) {
     q.schedule(1.0, [&order, i] { order.push_back(i); });
   }
-  while (!q.empty()) q.pop().second();
+  drain(q);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+// Same-timestamp FIFO must survive bucket sweeps, interleaved cancellation
+// and rebuilds — the determinism contract every simulation run leans on.
+TEST(EventQueue, TiesBreakFifoAtScaleWithCancellations) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  constexpr int kPerTime = 500;
+  for (int i = 0; i < kPerTime; ++i) {
+    const double t = (i % 2 == 0) ? 1.0 : 2.0;
+    ids.push_back(q.schedule(t, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel every third event; the survivors must still fire in schedule
+  // order within each timestamp.
+  std::vector<int> expected_t1;
+  std::vector<int> expected_t2;
+  for (int i = 0; i < kPerTime; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+      continue;
+    }
+    (i % 2 == 0 ? expected_t1 : expected_t2).push_back(i);
+  }
+  drain(q);
+  std::vector<int> expected = expected_t1;
+  expected.insert(expected.end(), expected_t2.begin(), expected_t2.end());
+  EXPECT_EQ(order, expected);
 }
 
 TEST(EventQueue, CancelPreventsExecution) {
@@ -56,7 +101,7 @@ TEST(EventQueue, CancelledEntriesAreSkipped) {
   q.cancel(id);
   EXPECT_EQ(q.size(), 2u);
   EXPECT_EQ(q.next_time(), 1.0);
-  while (!q.empty()) q.pop().second();
+  drain(q);
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
@@ -68,10 +113,164 @@ TEST(EventQueue, NextTimeSkipsCancelledHead) {
   EXPECT_EQ(q.next_time(), 5.0);
 }
 
+TEST(EventQueue, NextTimeIsConstAndRepeatable) {
+  EventQueue q;
+  q.schedule(4.0, [] {});
+  const EventQueue& cq = q;
+  EXPECT_EQ(cq.next_time(), 4.0);
+  EXPECT_EQ(cq.next_time(), 4.0);
+  EXPECT_EQ(q.run_next(), 4.0);
+}
+
+// A cancelled event whose id was recycled for a new event must not be
+// cancellable through the old id (generation check).
+TEST(EventQueue, StaleIdAfterSlotReuseDoesNotCancel) {
+  EventQueue q;
+  const EventId dead = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(dead));
+  bool ran = false;
+  const EventId live = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_FALSE(q.cancel(dead));  // same slot, older generation
+  drain(q);
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(q.cancel(live));  // already executed
+}
+
+TEST(EventQueue, CancelOfRunningEventReturnsFalse) {
+  EventQueue q;
+  EventId self{};
+  bool cancelled = true;
+  self = q.schedule(1.0, [&] { cancelled = q.cancel(self); });
+  drain(q);
+  EXPECT_FALSE(cancelled);
+}
+
+TEST(EventQueue, CallbackMayScheduleIntoOwnBucket) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    // Same timestamp, same bucket: may reallocate the bucket storage the
+    // running entry was relocated out of.
+    for (int i = 0; i < 64; ++i) {
+      q.schedule(1.0, [&] { ++fired; });
+    }
+  });
+  drain(q);
+  EXPECT_EQ(fired, 65);
+}
+
 TEST(EventQueue, EmptyAccessThrows) {
   EventQueue q;
   EXPECT_THROW((void)q.next_time(), std::logic_error);
-  EXPECT_THROW((void)q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.run_next(), std::logic_error);
+}
+
+TEST(EventQueue, FarFutureEventsCrossIntoTheWheel) {
+  EventQueue q;
+  std::vector<double> times;
+  // Microsecond-spaced near events plus far-future events that start out in
+  // the overflow heap and must migrate as the cursor advances.
+  for (int i = 0; i < 100; ++i) {
+    q.schedule(1e-6 * i, [&times, &q] { times.push_back(q.next_time()); });
+  }
+  std::vector<double> expected;
+  for (int i = 0; i < 8; ++i) {
+    const double t = 1000.0 + 100.0 * i;
+    q.schedule(t, [&times, t] { times.push_back(t); });
+    expected.push_back(t);
+  }
+  while (q.size() > 8) q.run_next();
+  drain(q);
+  std::vector<double> tail(times.end() - 8, times.end());
+  EXPECT_EQ(tail, expected);
+}
+
+TEST(EventQueue, LargeCallablesAreBoxed) {
+  EventQueue q;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes: exceeds inline storage
+  big[0] = 7;
+  big[31] = 9;
+  std::uint64_t got = 0;
+  q.schedule(1.0, [big, &got] { got = big[0] + big[31]; });
+  // Cancelled boxed callables must also be reclaimed (ASan verifies).
+  const EventId id = q.schedule(2.0, [big, &got] { got += big[0]; });
+  EXPECT_TRUE(q.cancel(id));
+  drain(q);
+  EXPECT_EQ(got, 16u);
+}
+
+// Differential test: random schedules (bursty times, far-future jumps,
+// random cancellations) against a reference heap. Execution order must match
+// the (time, schedule-sequence) order exactly — this drags the calendar
+// through bucket growth, rebuilds, heap migration and cursor jumps.
+TEST(EventQueue, MatchesReferenceHeapOnRandomSchedules) {
+  for (std::uint32_t seed : {1u, 2u, 42u, 2017u}) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+    EventQueue q;
+    // Reference: (time, seq) min-heap of live event ids.
+    using Ref = std::pair<double, std::uint64_t>;
+    std::priority_queue<Ref, std::vector<Ref>, std::greater<>> ref;
+    std::vector<bool> ref_cancelled;
+    std::vector<EventId> ids;
+    std::vector<std::uint64_t> executed;
+
+    double now = 0.0;
+    std::uint64_t next = 0;
+    auto schedule_one = [&] {
+      const double r = uniform(rng);
+      double t = now;
+      if (r < 0.4) {
+        t += uniform(rng) * 1e-5;  // packet-scale spacing
+      } else if (r < 0.8) {
+        t += uniform(rng) * 0.1;  // timer-scale spacing
+      } else {
+        t += 10.0 + uniform(rng) * 1000.0;  // far future (heap path)
+      }
+      const std::uint64_t id = next++;
+      ids.push_back(q.schedule(t, [&executed, id] { executed.push_back(id); }));
+      ref_cancelled.push_back(false);
+      ref.emplace(t, id);
+    };
+
+    for (int i = 0; i < 200; ++i) schedule_one();
+    std::vector<std::uint64_t> expected;
+    for (int step = 0; step < 5000; ++step) {
+      const double r = uniform(rng);
+      if (r < 0.45 && !q.empty()) {
+        // Run one event from each and compare lazily at the end.
+        while (ref_cancelled[ref.top().second]) ref.pop();
+        expected.push_back(ref.top().second);
+        now = ref.top().first;
+        ref.pop();
+        EXPECT_EQ(q.run_next(), now);
+      } else if (r < 0.55 && !ids.empty()) {
+        const std::size_t pick =
+            static_cast<std::size_t>(uniform(rng) * ids.size());
+        const std::uint64_t id = pick;
+        const bool was_live = !ref_cancelled[id] &&
+                              std::find(executed.begin(), executed.end(), id) ==
+                                  executed.end() &&
+                              (expected.empty() ||
+                               std::find(expected.begin(), expected.end(),
+                                         id) == expected.end());
+        EXPECT_EQ(q.cancel(ids[pick]), was_live);
+        if (was_live) ref_cancelled[id] = true;
+      } else {
+        schedule_one();
+      }
+    }
+    while (!q.empty()) {
+      while (ref_cancelled[ref.top().second]) ref.pop();
+      expected.push_back(ref.top().second);
+      now = ref.top().first;
+      ref.pop();
+      EXPECT_EQ(q.run_next(), now);
+    }
+    EXPECT_EQ(executed, expected) << "seed " << seed;
+  }
 }
 
 TEST(Simulator, ClockAdvancesWithEvents) {
@@ -130,6 +329,17 @@ TEST(Simulator, CancelStopsScheduledEvent) {
   sim.in(0.5, [&] { sim.cancel(id); });
   sim.run();
   EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, PendingEventsMayOwnPooledPackets) {
+  // A simulator destroyed with packet-carrying events still pending must
+  // release the handles back into the pool before the pool dies.
+  Simulator sim;
+  PooledPacket p = sim.packets().acquire();
+  p->seq = 42;
+  sim.in(1.0, [p = std::move(p)]() mutable { p.reset(); });
+  EXPECT_EQ(sim.packets().in_use(), 1u);
+  // No run(): the event (and its packet) die with the simulator.
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "core/units.h"
@@ -10,10 +11,11 @@
 namespace dmc::sim {
 namespace {
 
-Packet data_packet(std::uint64_t seq, std::size_t bytes = 1000) {
-  Packet p;
-  p.seq = seq;
-  p.size_bytes = bytes;
+PooledPacket data_packet(Simulator& sim, std::uint64_t seq,
+                         std::size_t bytes = 1000) {
+  PooledPacket p = sim.packets().acquire();
+  p->seq = seq;
+  p->size_bytes = bytes;
   return p;
 }
 
@@ -22,8 +24,8 @@ TEST(Link, DeliversWithSerializationPlusPropagation) {
   LinkConfig config{.rate_bps = dmc::mbps(8), .prop_delay_s = 0.1};
   Link link(sim, config, "l");
   double arrival = -1.0;
-  link.set_receiver([&](Packet) { arrival = sim.now(); });
-  link.send(data_packet(1, 1000));  // 8000 bits at 8 Mbps = 1 ms
+  link.set_receiver([&](PooledPacket) { arrival = sim.now(); });
+  link.send(data_packet(sim, 1, 1000));  // 8000 bits at 8 Mbps = 1 ms
   sim.run();
   EXPECT_NEAR(arrival, 0.101, 1e-12);
   EXPECT_EQ(link.stats().delivered, 1u);
@@ -34,8 +36,8 @@ TEST(Link, BackToBackPacketsQueueBehindEachOther) {
   LinkConfig config{.rate_bps = dmc::mbps(8), .prop_delay_s = 0.0};
   Link link(sim, config, "l");
   std::vector<double> arrivals;
-  link.set_receiver([&](Packet) { arrivals.push_back(sim.now()); });
-  for (int i = 0; i < 3; ++i) link.send(data_packet(i, 1000));
+  link.set_receiver([&](PooledPacket) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 3; ++i) link.send(data_packet(sim, i, 1000));
   sim.run();
   ASSERT_EQ(arrivals.size(), 3u);
   EXPECT_NEAR(arrivals[0], 0.001, 1e-12);
@@ -49,13 +51,15 @@ TEST(Link, DropTailQueueDropsWhenFull) {
                     .loss_rate = 0.0, .queue_capacity = 2};
   Link link(sim, config, "l");
   int delivered = 0;
-  link.set_receiver([&](Packet) { ++delivered; });
-  for (int i = 0; i < 5; ++i) link.send(data_packet(i));
+  link.set_receiver([&](PooledPacket) { ++delivered; });
+  for (int i = 0; i < 5; ++i) link.send(data_packet(sim, i));
   sim.run();
   EXPECT_EQ(delivered, 2);
   EXPECT_EQ(link.stats().queue_drops, 3u);
   EXPECT_EQ(link.stats().offered, 5u);
   EXPECT_EQ(link.stats().max_queue_depth, 2u);
+  // Dropped packets went back to the pool, not leaked.
+  EXPECT_EQ(sim.packets().in_use(), 0u);
 }
 
 TEST(Link, BernoulliLossMatchesConfiguredRate) {
@@ -64,9 +68,9 @@ TEST(Link, BernoulliLossMatchesConfiguredRate) {
                     .loss_rate = 0.2, .queue_capacity = 1000000};
   Link link(sim, config, "l");
   int delivered = 0;
-  link.set_receiver([&](Packet) { ++delivered; });
+  link.set_receiver([&](PooledPacket) { ++delivered; });
   const int n = 20000;
-  for (int i = 0; i < n; ++i) link.send(data_packet(i, 100));
+  for (int i = 0; i < n; ++i) link.send(data_packet(sim, i, 100));
   sim.run();
   const double loss =
       static_cast<double>(link.stats().loss_drops) / static_cast<double>(n);
@@ -81,8 +85,8 @@ TEST(Link, RandomExtraDelayShiftsArrivals) {
   config.extra_delay = stats::make_uniform(0.01, 0.02);
   Link link(sim, config, "l");
   std::vector<double> arrivals;
-  link.set_receiver([&](Packet) { arrivals.push_back(sim.now()); });
-  for (int i = 0; i < 200; ++i) link.send(data_packet(i, 100));
+  link.set_receiver([&](PooledPacket) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 200; ++i) link.send(data_packet(sim, i, 100));
   sim.run();
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     const double base = 100.0 * 8.0 / 1e9 * static_cast<double>(i + 1) + 0.1;
@@ -96,10 +100,24 @@ TEST(Link, UtilizationTracksBusyTime) {
   Simulator sim;
   LinkConfig config{.rate_bps = dmc::mbps(8), .prop_delay_s = 0.0};
   Link link(sim, config, "l");
-  link.set_receiver([](Packet) {});
-  link.send(data_packet(0, 1000));  // 1 ms busy
-  sim.run();                        // ends at 1 ms
+  link.set_receiver([](PooledPacket) {});
+  link.send(data_packet(sim, 0, 1000));  // 1 ms busy
+  sim.run();                             // ends at 1 ms
   EXPECT_NEAR(link.utilization(), 1.0, 1e-9);
+}
+
+TEST(Link, PacketsRecycleThroughThePool) {
+  Simulator sim;
+  LinkConfig config{.rate_bps = dmc::mbps(8), .prop_delay_s = 0.0};
+  Link link(sim, config, "l");
+  link.set_receiver([](PooledPacket) {});  // handle dies on delivery
+  for (int round = 0; round < 100; ++round) {
+    link.send(data_packet(sim, static_cast<std::uint64_t>(round)));
+    sim.run();
+  }
+  EXPECT_EQ(sim.packets().in_use(), 0u);
+  // One packet in flight at a time: the arena never grows past one chunk.
+  EXPECT_EQ(sim.packets().allocated(), PacketPool::kChunkPackets);
 }
 
 TEST(Link, RejectsBadConfig) {
@@ -127,15 +145,16 @@ TEST(Network, RoutesDataAndAcksPerPath) {
 
   std::vector<std::pair<int, std::uint64_t>> server_got;
   std::vector<std::pair<int, std::uint64_t>> client_got;
-  net.set_server_receiver([&](int path, Packet p) {
-    server_got.emplace_back(path, p.seq);
-    net.server_send(path, p);  // bounce back
+  net.set_server_receiver([&](int path, PooledPacket p) {
+    server_got.emplace_back(path, p->seq);
+    net.server_send(path, std::move(p));  // bounce back
   });
-  net.set_client_receiver(
-      [&](int path, Packet p) { client_got.emplace_back(path, p.seq); });
+  net.set_client_receiver([&](int path, PooledPacket p) {
+    client_got.emplace_back(path, p->seq);
+  });
 
-  net.client_send(0, data_packet(100));
-  net.client_send(1, data_packet(200));
+  net.client_send(0, data_packet(sim, 100));
+  net.client_send(1, data_packet(sim, 200));
   sim.run();
 
   ASSERT_EQ(server_got.size(), 2u);

@@ -27,11 +27,11 @@ TEST(FifoJitter, PreserveOrderPreventsReordering) {
   config.preserve_order = true;
   sim::Link link(simulator, config, "fifo");
   std::vector<std::uint64_t> arrivals;
-  link.set_receiver([&](sim::Packet p) { arrivals.push_back(p.seq); });
+  link.set_receiver([&](sim::PooledPacket p) { arrivals.push_back(p->seq); });
   for (int i = 0; i < 500; ++i) {
-    sim::Packet p;
-    p.seq = static_cast<std::uint64_t>(i);
-    p.size_bytes = 100;
+    sim::PooledPacket p = simulator.packets().acquire();
+    p->seq = static_cast<std::uint64_t>(i);
+    p->size_bytes = 100;
     link.send(std::move(p));
   }
   simulator.run();
@@ -49,11 +49,11 @@ TEST(FifoJitter, DisablingPreserveOrderAllowsReordering) {
   config.preserve_order = false;
   sim::Link link(simulator, config, "chaotic");
   std::vector<std::uint64_t> arrivals;
-  link.set_receiver([&](sim::Packet p) { arrivals.push_back(p.seq); });
+  link.set_receiver([&](sim::PooledPacket p) { arrivals.push_back(p->seq); });
   for (int i = 0; i < 500; ++i) {
-    sim::Packet p;
-    p.seq = static_cast<std::uint64_t>(i);
-    p.size_bytes = 100;
+    sim::PooledPacket p = simulator.packets().acquire();
+    p->seq = static_cast<std::uint64_t>(i);
+    p->size_bytes = 100;
     link.send(std::move(p));
   }
   simulator.run();
@@ -72,10 +72,11 @@ TEST(FifoJitter, ClampOnlyDefersNeverAdvances) {
   config.extra_delay = stats::make_uniform(0.0, ms(5));
   sim::Link link(simulator, config, "fifo");
   std::vector<double> arrivals;
-  link.set_receiver([&](sim::Packet) { arrivals.push_back(simulator.now()); });
+  link.set_receiver(
+      [&](sim::PooledPacket) { arrivals.push_back(simulator.now()); });
   for (int i = 0; i < 100; ++i) {
-    sim::Packet p;
-    p.size_bytes = 100;
+    sim::PooledPacket p = simulator.packets().acquire();
+    p->size_bytes = 100;
     link.send(std::move(p));
   }
   simulator.run();
@@ -94,11 +95,11 @@ TEST(BurstLoss, StationaryRateMatchesConfiguration) {
   burst.p_enter_bad = 0.2 * 0.125 / 0.8;             // stationary 20%
   config.burst_loss = burst;
   sim::Link link(simulator, config, "bursty");
-  link.set_receiver([](sim::Packet) {});
+  link.set_receiver([](sim::PooledPacket) {});
   const int n = 100000;
   for (int i = 0; i < n; ++i) {
-    sim::Packet p;
-    p.size_bytes = 100;
+    sim::PooledPacket p = simulator.packets().acquire();
+    p->size_bytes = 100;
     link.send(std::move(p));
   }
   simulator.run();
@@ -118,15 +119,15 @@ TEST(BurstLoss, LossesAreActuallyBursty) {
   sim::Link link(simulator, config, "bursty");
   std::vector<bool> delivered;
   int sent = 0;
-  link.set_receiver([&](sim::Packet p) {
-    delivered[static_cast<std::size_t>(p.seq)] = true;
+  link.set_receiver([&](sim::PooledPacket p) {
+    delivered[static_cast<std::size_t>(p->seq)] = true;
   });
   const int n = 100000;
   delivered.assign(n, false);
   for (; sent < n; ++sent) {
-    sim::Packet p;
-    p.seq = static_cast<std::uint64_t>(sent);
-    p.size_bytes = 100;
+    sim::PooledPacket p = simulator.packets().acquire();
+    p->seq = static_cast<std::uint64_t>(sent);
+    p->size_bytes = 100;
     link.send(std::move(p));
   }
   simulator.run();
@@ -209,17 +210,17 @@ HookCounts run_with_timers(double believed_ms, double true_ms,
   hooks.on_ack_for_path = [&](int) { ++counts.acks; };
   sender.set_hooks(std::move(hooks));
 
-  receiver.set_ack_sender([&](int path, sim::Packet packet) {
+  receiver.set_ack_sender([&](int path, sim::PooledPacket packet) {
     network.server_send(path, std::move(packet));
   });
-  sender.set_data_sender([&](int path, sim::Packet packet) {
+  sender.set_data_sender([&](int path, sim::PooledPacket packet) {
     network.client_send(path, std::move(packet));
   });
-  network.set_server_receiver([&](int path, sim::Packet packet) {
-    receiver.on_data(path, packet);
+  network.set_server_receiver([&](int path, sim::PooledPacket packet) {
+    receiver.on_data(path, *packet);
   });
-  network.set_client_receiver([&](int path, sim::Packet packet) {
-    sender.on_ack(path, packet);
+  network.set_client_receiver([&](int path, sim::PooledPacket packet) {
+    sender.on_ack(path, *packet);
   });
   sender.start();
   simulator.run();

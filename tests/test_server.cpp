@@ -162,9 +162,9 @@ TEST(UtilizationMeter, MeasuresWindowedFootprint) {
 
   // 10 packets of 1000 B in a 0.1 s window: 10 ms busy -> 10% utilization.
   for (int i = 0; i < 10; ++i) {
-    sim::Packet packet;
-    packet.size_bytes = 1000;
-    network.client_send(0, packet);
+    sim::PooledPacket packet = simulator.packets().acquire();
+    packet->size_bytes = 1000;
+    network.client_send(0, std::move(packet));
   }
   simulator.run_until(0.1);
   auto usage = meter.sample(0.1);
