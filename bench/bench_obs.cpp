@@ -1,0 +1,140 @@
+// Observability hot-path benchmarks (google-benchmark), pinning the costs
+// the instrumentation contract promises: histogram record is a branch, a
+// log2 and an increment; a trace-ring append is a bounds-free store into a
+// preallocated ring; and a disabled recorder costs one predictable branch
+// per instrumentation site. The last pair replays the full protocol session
+// from bench_sim_throughput with and without a live Hub so the end-to-end
+// overhead of enabled tracing stays visible in BENCH_*.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/scheduler.h"
+#include "core/units.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "protocol/baselines.h"
+#include "protocol/receiver.h"
+#include "protocol/sender.h"
+#include "sim/network.h"
+
+namespace {
+
+using namespace dmc;
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram hist(obs::HistogramOptions{1e-6, 1e3, 4});
+  // Sweep values across the full bucket range so the branch predictor can't
+  // learn a single bucket index.
+  double v = 1.3e-6;
+  for (auto _ : state) {
+    hist.record(v);
+    v *= 1.618;
+    if (v > 900.0) v = 1.3e-6;
+  }
+  benchmark::DoNotOptimize(hist.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_TraceRingAppend(benchmark::State& state) {
+  obs::TraceRecorder recorder(std::size_t{1} << 16);
+  const std::uint16_t track = recorder.track("bench");
+  double t = 0.0;
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    recorder.record(obs::Ev::msg_tx, t, track, id++, 0, 1.0F);
+    t += 1e-6;
+  }
+  benchmark::DoNotOptimize(recorder.recorded());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRingAppend);
+
+// The disabled path: every instrumentation site guards on a null Hub
+// pointer. This pins that guard at its promised cost — one compare+branch —
+// by running the same site shape with a hub that is all nulls.
+void BM_DisabledHubBranch(benchmark::State& state) {
+  const obs::Hub hub{};  // metrics == nullptr, trace == nullptr
+  double t = 0.0;
+  std::uint64_t taken = 0;
+  for (auto _ : state) {
+    if (hub.trace != nullptr) {
+      hub.trace->record(obs::Ev::msg_tx, t, 0);
+      ++taken;
+    }
+    t += 1e-6;
+    benchmark::DoNotOptimize(t);
+  }
+  benchmark::DoNotOptimize(taken);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DisabledHubBranch);
+
+// Full protocol session from bench_sim_throughput, parameterized on
+// observability: 0 = no Hub (the default everywhere), 1 = live registry and
+// trace ring. The delta between the two rows is the true per-run cost of
+// full instrumentation; the 0 row must track BM_ProtocolSessionSteadyState.
+void BM_ProtocolSessionObs(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  core::PathSet believed;
+  believed.add({.name = "p",
+                .bandwidth_bps = mbps(100),
+                .delay_s = ms(10),
+                .loss_rate = 0.05});
+  core::TrafficSpec traffic{.rate_bps = mbps(20), .lifetime_s = ms(200)};
+  core::Model model(believed, traffic);
+  std::vector<double> x(model.combos().size(), 0.0);
+  std::size_t attempts[] = {1, 1};
+  x[model.combos().encode(attempts)] = 1.0;
+  const core::Plan plan = proto::make_manual_plan(believed, traffic, x);
+  constexpr std::uint64_t kMessages = 20000;
+
+  for (auto _ : state) {
+    obs::MetricRegistry registry;
+    obs::TraceRecorder recorder(std::size_t{1} << 20);
+    const obs::Hub hub = enabled ? obs::Hub{&registry, &recorder}
+                                 : obs::Hub{};
+    sim::Simulator simulator(7, hub);
+    sim::LinkConfig link{.rate_bps = mbps(100), .prop_delay_s = ms(10),
+                         .loss_rate = 0.05, .queue_capacity = 100000};
+    sim::Network network(simulator, {sim::symmetric_path(link, "p")});
+    proto::Trace trace;
+    proto::ReceiverConfig receiver_config;
+    receiver_config.lifetime_s = traffic.lifetime_s;
+    proto::DeadlineReceiver receiver(simulator, receiver_config, trace);
+    proto::SenderConfig sender_config;
+    sender_config.num_messages = kMessages;
+    sender_config.timeout_guard_s = ms(5);
+    sender_config.fast_retransmit_dupacks = 3;
+    proto::DeadlineSender sender(
+        simulator, plan,
+        core::make_scheduler(core::SchedulerKind::deficit, plan.x()),
+        sender_config, trace);
+    receiver.set_ack_sender([&](int path, sim::PooledPacket packet) {
+      network.server_send(path, std::move(packet));
+    });
+    sender.set_data_sender([&](int path, sim::PooledPacket packet) {
+      network.client_send(path, std::move(packet));
+    });
+    network.set_server_receiver([&](int path, sim::PooledPacket packet) {
+      receiver.on_data(path, *packet);
+    });
+    network.set_client_receiver([&](int path, sim::PooledPacket packet) {
+      sender.on_ack(path, *packet);
+    });
+    sender.start();
+    simulator.run();
+    benchmark::DoNotOptimize(trace.delivered_unique);
+    if (enabled) benchmark::DoNotOptimize(recorder.recorded());
+  }
+  state.SetItemsProcessed(state.iterations() * kMessages);
+}
+BENCHMARK(BM_ProtocolSessionObs)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

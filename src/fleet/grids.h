@@ -54,6 +54,10 @@ struct ServerAxes {
   // warm_start); the per-record lp_* counters make the cold/warm split
   // visible in the exported results.
   bool warm_start = true;
+  // Per-cell metric collection (ServerConfig::collect_metrics): each record
+  // gains the deterministic dmc.obs.v1 "obs" block. Still bit-identical at
+  // any thread count — wall-clock metrics never enter the snapshot.
+  bool collect_metrics = false;
 };
 
 std::vector<JobSpec> server_grid(const ServerAxes& axes,

@@ -208,6 +208,7 @@ RunRecord server_record(std::string scenario, std::vector<Param> params,
           : 0.0;
   fill_links(record, config.true_paths, outcome.forward_links,
              outcome.elapsed_s);
+  if (!outcome.obs.empty()) record.obs_json = outcome.obs.to_json();
   if (!outcome.conserved) {
     record.ok = false;
     record.error = "server run violated link packet conservation";

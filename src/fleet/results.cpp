@@ -114,6 +114,9 @@ void write_record(std::ostream& out, const RunRecord& record) {
         << ",\"lp_cold_solves\":" << record.lp_cold_solves
         << ",\"lp_fallbacks\":" << record.lp_fallbacks << "}";
   }
+  if (!record.obs_json.empty()) {
+    out << ",\"obs\":" << record.obs_json;
+  }
   out << ",\"links\":[";
   for (std::size_t i = 0; i < record.links.size(); ++i) {
     const LinkRecord& link = record.links[i];

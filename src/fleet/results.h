@@ -84,6 +84,12 @@ struct RunRecord {
   std::uint64_t lp_warm_solves = 0;
   std::uint64_t lp_cold_solves = 0;
   std::uint64_t lp_fallbacks = 0;
+
+  // Pre-serialized dmc.obs.v1 metric snapshot (obs::Snapshot::to_json).
+  // Empty unless the job ran with metric collection; the record then gains
+  // an "obs" object. Only deterministic (non-wallclock) metrics appear, so
+  // the bit-identity guarantee across thread counts holds with it populated.
+  std::string obs_json;
 };
 
 struct ResultSet {

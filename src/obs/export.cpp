@@ -1,0 +1,302 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace dmc::obs {
+
+namespace {
+
+// Shortest round-trip decimal (the fleet JSON convention); non-finite
+// values become JSON null.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) return "null";
+  return std::string(buffer, ptr);
+}
+
+std::string json_string(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Prometheus exposition renders doubles with full precision too, but +Inf
+// spells differently than in JSON.
+std::string prom_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return json_number(value);
+}
+
+struct EvInfo {
+  const char* name;
+  char phase;  // 'i' instant, 'X' complete, 'C' counter
+};
+
+EvInfo ev_info(Ev type) {
+  switch (type) {
+    case Ev::session_admit:
+      return {"admit", 'i'};
+    case Ev::session_reject:
+      return {"reject", 'i'};
+    case Ev::session_queue:
+      return {"queue", 'i'};
+    case Ev::session_expire:
+      return {"expire", 'i'};
+    case Ev::session_span:
+      return {"session", 'X'};
+    case Ev::replan:
+      return {"replan", 'i'};
+    case Ev::lp_warm_solve:
+      return {"lp warm solve", 'i'};
+    case Ev::lp_cold_solve:
+      return {"lp cold solve", 'i'};
+    case Ev::msg_tx:
+      return {"tx", 'i'};
+    case Ev::msg_retx:
+      return {"retx", 'i'};
+    case Ev::msg_fast_retx:
+      return {"fast-retx", 'i'};
+    case Ev::msg_ack:
+      return {"ack", 'i'};
+    case Ev::msg_gave_up:
+      return {"gave-up", 'i'};
+    case Ev::msg_deliver:
+      return {"deliver", 'i'};
+    case Ev::msg_late:
+      return {"late", 'i'};
+    case Ev::msg_dup:
+      return {"dup", 'i'};
+    case Ev::link_tx:
+      return {"link-tx", 'i'};
+    case Ev::link_queue_drop:
+      return {"queue-drop", 'i'};
+    case Ev::link_loss_drop:
+      return {"loss-drop", 'i'};
+    case Ev::link_deliver:
+      return {"link-deliver", 'i'};
+    case Ev::link_queue_depth:
+      return {"queue depth", 'C'};
+    case Ev::event_queue_depth:
+      return {"event queue depth", 'C'};
+  }
+  return {"unknown", 'i'};
+}
+
+}  // namespace
+
+Snapshot Snapshot::from(const MetricRegistry& registry) {
+  Snapshot snapshot;
+  for (const MetricRegistry::Entry& entry : registry.entries()) {
+    if (entry.wallclock) continue;  // host timing is not deterministic
+    switch (entry.kind) {
+      case MetricKind::counter:
+        snapshot.counters.emplace_back(entry.name, entry.counter.value());
+        break;
+      case MetricKind::gauge:
+        snapshot.gauges.emplace_back(entry.name, entry.gauge.value());
+        break;
+      case MetricKind::histogram: {
+        const Histogram& h = entry.histogram;
+        HistogramSnapshot hs;
+        hs.name = entry.name;
+        hs.count = h.count();
+        hs.sum = h.sum();
+        if (h.count() > 0) {
+          hs.min = h.min_seen();
+          hs.max = h.max_seen();
+        }
+        for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+          if (h.bucket_count(i) > 0) {
+            hs.buckets.emplace_back(h.bucket_upper(i), h.bucket_count(i));
+          }
+        }
+        snapshot.histograms.push_back(std::move(hs));
+        break;
+      }
+    }
+  }
+  return snapshot;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"schema\":\"";
+  out += kObsSchema;
+  out += "\",\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_string(counters[i].first);
+    out += ':';
+    out += std::to_string(counters[i].second);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_string(gauges[i].first);
+    out += ':';
+    out += json_number(gauges[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    if (i > 0) out += ',';
+    out += json_string(h.name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += json_number(h.sum);
+    if (h.count > 0) {
+      out += ",\"min\":";
+      out += json_number(h.min);
+      out += ",\"max\":";
+      out += json_number(h.max);
+    }
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ',';
+      out += '[';
+      out += json_number(h.buckets[b].first);
+      out += ',';
+      out += std::to_string(h.buckets[b].second);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void write_prometheus(std::ostream& out, const MetricRegistry& registry) {
+  for (const MetricRegistry::Entry& entry : registry.entries()) {
+    out << "# HELP " << entry.name << " " << entry.help << "\n";
+    switch (entry.kind) {
+      case MetricKind::counter:
+        out << "# TYPE " << entry.name << " counter\n";
+        out << entry.name << " " << entry.counter.value() << "\n";
+        break;
+      case MetricKind::gauge:
+        out << "# TYPE " << entry.name << " gauge\n";
+        out << entry.name << " " << prom_number(entry.gauge.value()) << "\n";
+        break;
+      case MetricKind::histogram: {
+        const Histogram& h = entry.histogram;
+        out << "# TYPE " << entry.name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+          cumulative += h.bucket_count(i);
+          // Empty interior buckets are elided (le labels stay monotonic);
+          // the +Inf bucket is mandatory and always written.
+          if (h.bucket_count(i) == 0 && i + 1 < h.num_buckets()) continue;
+          out << entry.name << "_bucket{le=\""
+              << prom_number(h.bucket_upper(i)) << "\"} " << cumulative
+              << "\n";
+        }
+        out << entry.name << "_sum " << prom_number(h.sum()) << "\n";
+        out << entry.name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{"
+         "\"name\":\"dmc\"}}";
+  const std::vector<std::string>& tracks = recorder.track_names();
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << (t + 1) << ",\"args\":{\"name\":" << json_string(tracks[t])
+        << "}}";
+  }
+  for (std::size_t i = 0; i < recorder.size(); ++i) {
+    const TraceEvent& event = recorder.event(i);
+    const EvInfo info = ev_info(event.type);
+    const double ts_us = event.t * 1e6;
+    out << ",\n{\"name\":";
+    if (info.phase == 'C') {
+      // Counters are keyed by (pid, name); fold the track name in so each
+      // link gets its own counter series.
+      std::string name = info.name;
+      if (event.track < tracks.size()) {
+        name += " ";
+        name += tracks[event.track];
+      }
+      out << json_string(name) << ",\"ph\":\"C\",\"ts\":"
+          << json_number(ts_us) << ",\"pid\":1,\"args\":{\"value\":"
+          << json_number(static_cast<double>(event.value)) << "}}";
+      continue;
+    }
+    out << json_string(info.name) << ",\"ph\":\"" << info.phase
+        << "\",\"ts\":" << json_number(ts_us) << ",\"pid\":1,\"tid\":"
+        << (event.track + 1);
+    if (info.phase == 'X') {
+      out << ",\"dur\":"
+          << json_number(static_cast<double>(event.value) * 1e6);
+    } else {
+      out << ",\"s\":\"t\"";
+    }
+    out << ",\"args\":{\"id\":" << event.id << ",\"arg\":"
+        << static_cast<unsigned>(event.arg);
+    if (event.value != 0.0F) {
+      out << ",\"value\":" << json_number(static_cast<double>(event.value));
+    }
+    out << "}}";
+  }
+  out << "\n],\"otherData\":{\"dropped_events\":" << recorder.dropped()
+      << "}}\n";
+}
+
+void print_run_footer(std::ostream& out, const MetricRegistry& registry) {
+  double wall = 0.0;
+  double sim = 0.0;
+  std::uint64_t events = 0;
+  for (const MetricRegistry::Entry& entry : registry.entries()) {
+    if (entry.name == kRunWallSeconds) wall = entry.gauge.value();
+    if (entry.name == kRunSimSeconds) sim = entry.gauge.value();
+    if (entry.name == kRunEventsTotal) events = entry.counter.value();
+  }
+  const double rate = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "run: wall %.3f s | sim %.3f s | %llu events | %.2fM events/s",
+                wall, sim, static_cast<unsigned long long>(events),
+                rate / 1e6);
+  out << line << "\n";
+}
+
+}  // namespace dmc::obs

@@ -1,0 +1,74 @@
+// Exporters for the observability layer:
+//
+//   Snapshot         deterministic metric snapshot, serialized as the
+//                    versioned `dmc.obs.v1` JSON block that rides inside
+//                    fleet::RunRecord / dmc_server / dmc_fleet output.
+//                    Wallclock-flagged metrics are excluded, so the block
+//                    is bit-identical across reruns and thread counts.
+//   write_prometheus Prometheus text exposition (format 0.0.4) of every
+//                    registered metric, wall-clock timers included.
+//   write_chrome_trace
+//                    Chrome trace-event JSON of a TraceRecorder's surviving
+//                    events — loadable in Perfetto / chrome://tracing, with
+//                    one named track per session, per link, and for the LP
+//                    solver.
+//   print_run_footer one human-readable line (wall time, simulated time,
+//                    events, events/s) sourced from the registry's
+//                    dmc_run_* metrics.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
+namespace dmc::obs {
+
+inline constexpr std::string_view kObsSchema = "dmc.obs.v1";
+
+// Names print_run_footer reads; fill them in whatever drives the run.
+inline constexpr std::string_view kRunWallSeconds = "dmc_run_wall_seconds";
+inline constexpr std::string_view kRunSimSeconds = "dmc_run_sim_seconds";
+inline constexpr std::string_view kRunEventsTotal = "dmc_run_events_total";
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningless when count == 0
+  double max = 0.0;
+  // (inclusive upper bound, count) for non-empty buckets only.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+// Deterministic registry state: everything except wallclock metrics, in
+// registration order.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  static Snapshot from(const MetricRegistry& registry);
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  // {"schema":"dmc.obs.v1","counters":{...},"gauges":{...},
+  //  "histograms":{...}} — fixed key order, shortest round-trip doubles,
+  // non-finite values as null (the fleet JSON conventions).
+  std::string to_json() const;
+};
+
+void write_prometheus(std::ostream& out, const MetricRegistry& registry);
+
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder);
+
+void print_run_footer(std::ostream& out, const MetricRegistry& registry);
+
+}  // namespace dmc::obs

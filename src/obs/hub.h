@@ -1,0 +1,25 @@
+// The observability attachment point: one pair of non-owning pointers that
+// rides on sim::Simulator and reaches every component holding a simulator
+// reference (links, protocol endpoints, the server loop). Both pointers are
+// null by default, so an uninstrumented run pays exactly one branch per
+// would-be observation — the gating contract tests/test_zero_alloc.cpp and
+// bench/bench_obs.cpp pin down.
+//
+// Lifetime: whoever owns the MetricRegistry / TraceRecorder (the server
+// loop, a CLI driver, a test) must keep them alive for as long as the
+// simulator that carries this hub runs.
+#pragma once
+
+namespace dmc::obs {
+
+class MetricRegistry;
+class TraceRecorder;
+
+struct Hub {
+  MetricRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+
+  bool any() const { return metrics != nullptr || trace != nullptr; }
+};
+
+}  // namespace dmc::obs

@@ -1,0 +1,101 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmc::obs {
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  if (!(options_.min > 0.0) || !(options_.max > options_.min) ||
+      !std::isfinite(options_.max)) {
+    throw std::invalid_argument("Histogram: need 0 < min < max < inf");
+  }
+  if (options_.sub_buckets < 1 || options_.sub_buckets > 64) {
+    throw std::invalid_argument("Histogram: sub_buckets not in [1,64]");
+  }
+  const double octaves = std::log2(options_.max / options_.min);
+  const auto log_buckets = static_cast<std::size_t>(
+      std::ceil(octaves * static_cast<double>(options_.sub_buckets)));
+  // underflow + geometric span + overflow
+  counts_.assign(log_buckets + 2, 0);
+  inv_min_ = 1.0 / options_.min;
+  scale_ = static_cast<double>(options_.sub_buckets);
+}
+
+void Histogram::record(double value) {
+  ++count_;
+  sum_ += value;
+  min_seen_ = std::min(min_seen_, value);
+  max_seen_ = std::max(max_seen_, value);
+
+  std::size_t index;
+  if (!(value > options_.min)) {
+    index = 0;  // underflow; NaN also lands here rather than corrupting state
+  } else if (value >= options_.max) {
+    index = counts_.size() - 1;  // overflow
+  } else {
+    index = 1 + static_cast<std::size_t>(std::log2(value * inv_min_) * scale_);
+    // Floating-point edge: log2 rounding may land exactly on the overflow
+    // boundary for values just below max.
+    index = std::min(index, counts_.size() - 2);
+  }
+  ++counts_[index];
+}
+
+double Histogram::bucket_upper(std::size_t i) const {
+  if (i == 0) return options_.min;
+  if (i >= counts_.size() - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return options_.min *
+         std::exp2(static_cast<double>(i) / static_cast<double>(scale_));
+}
+
+MetricRegistry::Entry& MetricRegistry::find_or_insert(std::string_view name,
+                                                      std::string_view help,
+                                                      MetricKind kind,
+                                                      bool wallclock) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    if (entry.kind != kind) {
+      throw std::invalid_argument("MetricRegistry: '" + std::string(name) +
+                                  "' re-registered with a different kind");
+    }
+    return entry;
+  }
+  Entry& entry = entries_.emplace_back();
+  entry.name = std::string(name);
+  entry.help = std::string(help);
+  entry.kind = kind;
+  entry.wallclock = wallclock;
+  index_.emplace(entry.name, entries_.size() - 1);
+  return entry;
+}
+
+Counter& MetricRegistry::counter(std::string_view name, std::string_view help,
+                                 bool wallclock) {
+  return find_or_insert(name, help, MetricKind::counter, wallclock).counter;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, std::string_view help,
+                             bool wallclock) {
+  return find_or_insert(name, help, MetricKind::gauge, wallclock).gauge;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::string_view help,
+                                     HistogramOptions options,
+                                     bool wallclock) {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    Entry& entry = find_or_insert(name, help, MetricKind::histogram, wallclock);
+    entry.histogram = Histogram(options);
+    return entry.histogram;
+  }
+  return find_or_insert(name, help, MetricKind::histogram, wallclock)
+      .histogram;
+}
+
+}  // namespace dmc::obs

@@ -1,0 +1,156 @@
+// Metric primitives for the unified observability layer: counters, gauges,
+// and log-bucketed fixed-size histograms behind one registry.
+//
+// Design constraints, in order:
+//   1. The steady-state hot path must stay allocation-free: every metric is
+//      preallocated at registration time, record()/inc()/set() only touch
+//      memory the metric already owns (tests/test_zero_alloc.cpp runs with
+//      metrics enabled).
+//   2. Handles are stable: the registry stores metrics in a deque, so a
+//      Counter&/Histogram* captured at setup time stays valid for the
+//      registry's lifetime no matter how many metrics register later.
+//   3. Export is deterministic: iteration order is registration order, and
+//      every quantity derived from simulation state is reproducible bit for
+//      bit. Metrics fed from the host's wall clock (scoped timers) are
+//      flagged `wallclock` so the deterministic exporters can skip them.
+//
+// Naming convention (enforced socially, documented in README):
+//   dmc_<subsystem>_<quantity>_<unit>[_total]
+// e.g. dmc_proto_delay_seconds, dmc_server_arrivals_total. Counters end in
+// _total; histograms/gauges end in their unit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dmc::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  void set(std::uint64_t v) { value_ = v; }  // publishing an existing total
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Geometric (log2) bucket layout, HDR-histogram style: `sub_buckets` buckets
+// per octave between `min` and `max`, plus an underflow bucket at the front
+// and an overflow bucket at the back. All storage is sized at construction;
+// record() is branch + log2 + array increment, no allocation ever.
+struct HistogramOptions {
+  double min = 1e-6;    // values <= min land in the underflow bucket
+  double max = 1e3;     // values >= max land in the overflow bucket
+  int sub_buckets = 4;  // buckets per octave (factor-of-2 value range)
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min_seen() const { return min_seen_; }
+  double max_seen() const { return max_seen_; }
+
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  // Inclusive upper bound of bucket i (+inf for the overflow bucket).
+  double bucket_upper(std::size_t i) const;
+
+  const HistogramOptions& options() const { return options_; }
+
+ private:
+  HistogramOptions options_;
+  double inv_min_ = 0.0;
+  double scale_ = 0.0;  // sub_buckets / ln(2)
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = std::numeric_limits<double>::infinity();
+  double max_seen_ = -std::numeric_limits<double>::infinity();
+};
+
+enum class MetricKind { counter, gauge, histogram };
+
+class MetricRegistry {
+ public:
+  // Registration: returns the existing metric when `name` was registered
+  // before (kind must match, or std::invalid_argument). Registration
+  // allocates; do it at setup time, never on the hot path.
+  Counter& counter(std::string_view name, std::string_view help,
+                   bool wallclock = false);
+  Gauge& gauge(std::string_view name, std::string_view help,
+               bool wallclock = false);
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       HistogramOptions options = {}, bool wallclock = false);
+
+  // One registered metric; exactly the member matching `kind` is meaningful.
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::counter;
+    bool wallclock = false;  // host-time sourced: excluded from
+                             // deterministic exports (dmc.obs.v1)
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram{HistogramOptions{}};
+  };
+
+  // Registration-order iteration for exporters.
+  const std::deque<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  Entry& find_or_insert(std::string_view name, std::string_view help,
+                        MetricKind kind, bool wallclock);
+
+  std::deque<Entry> entries_;  // deque: stable addresses for handles
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+// Records the wall-clock duration of a scope into a histogram (seconds).
+// Null histogram = disabled timer: costs one branch per end of scope. The
+// target histogram should be registered with wallclock = true — host timing
+// never belongs in deterministic output.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start_;
+      histogram_->record(elapsed.count());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dmc::obs

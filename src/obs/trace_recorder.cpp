@@ -1,0 +1,34 @@
+#include "obs/trace_recorder.h"
+
+#include <stdexcept>
+
+namespace dmc::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TraceRecorder: zero capacity");
+  }
+  ring_.resize(capacity);
+}
+
+std::uint16_t TraceRecorder::track(std::string_view name) {
+  const auto it = track_index_.find(std::string(name));
+  if (it != track_index_.end()) return it->second;
+  if (tracks_.size() >= kNoTrack) {
+    throw std::length_error("TraceRecorder: track table full");
+  }
+  const auto id = static_cast<std::uint16_t>(tracks_.size());
+  tracks_.emplace_back(name);
+  track_index_.emplace(tracks_.back(), id);
+  return id;
+}
+
+std::uint16_t TraceRecorder::session_track(std::uint32_t session_id) {
+  return track("session " + std::to_string(session_id));
+}
+
+std::uint16_t TraceRecorder::link_track(std::string_view link_name) {
+  return track("link " + std::string(link_name));
+}
+
+}  // namespace dmc::obs

@@ -1,0 +1,117 @@
+// Flight-recorder event tracing: compact binary span/instant events in a
+// preallocated ring buffer. Recording is a couple of stores into memory the
+// recorder already owns — no allocation, no formatting, no I/O — so it can
+// sit on the per-packet hot path. When the ring is full the oldest events
+// are overwritten and counted in dropped(), classic flight-recorder
+// semantics: the tail of a long run survives, and the exporter reports how
+// much history was lost.
+//
+// Events carry simulated time, so two runs of the same seed produce the
+// same event stream — the determinism tests compare simulation *results*
+// with tracing on vs off, and the trace itself diffs cleanly too.
+//
+// Track registration (track()/session_track()) allocates and is meant for
+// setup time or first-touch warm-up, mirroring MetricRegistry registration.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dmc::obs {
+
+// One byte of event kind; the exporter maps each to a Chrome trace-event
+// name + phase (instant / complete / counter).
+enum class Ev : std::uint8_t {
+  // Server admission state machine (server track / session tracks).
+  session_admit = 0,
+  session_reject,
+  session_queue,
+  session_expire,
+  session_span,  // complete event: value = session duration (s)
+  replan,
+  // LP solver (lp track): value = warm pivots of the solve batch.
+  lp_warm_solve,
+  lp_cold_solve,
+  // Protocol sender/receiver (session tracks): id = message sequence.
+  msg_tx,
+  msg_retx,
+  msg_fast_retx,
+  msg_ack,
+  msg_gave_up,
+  msg_deliver,
+  msg_late,  // value = lateness beyond the deadline (s)
+  msg_dup,
+  // Link layer (link tracks): id = packet sequence.
+  link_tx,
+  link_queue_drop,
+  link_loss_drop,
+  link_deliver,
+  // Counter samples: value carries the sampled level.
+  link_queue_depth,
+  event_queue_depth,
+};
+
+// 24 bytes; the ring is a plain vector of these.
+struct TraceEvent {
+  double t = 0.0;            // simulated time (seconds)
+  float value = 0.0F;        // duration / lateness / counter level
+  std::uint32_t id = 0;      // message seq, request id, ...
+  std::uint16_t track = 0;   // index into track_names()
+  Ev type = Ev::session_admit;
+  std::uint8_t arg = 0;      // small payload: path index, attempt, ...
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::uint16_t kNoTrack = 0xFFFF;
+
+  explicit TraceRecorder(std::size_t capacity = std::size_t{1} << 20);
+
+  // Registers (or looks up) a named track; allocation happens here, never
+  // in record(). At most kNoTrack tracks.
+  std::uint16_t track(std::string_view name);
+  std::uint16_t session_track(std::uint32_t session_id);
+  std::uint16_t link_track(std::string_view link_name);
+
+  void record(Ev type, double t, std::uint16_t track, std::uint32_t id = 0,
+              std::uint8_t arg = 0, float value = 0.0F) {
+    TraceEvent& event = ring_[written_ % ring_.size()];
+    event.t = t;
+    event.value = value;
+    event.id = id;
+    event.track = track;
+    event.type = type;
+    event.arg = arg;
+    ++written_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t recorded() const { return written_; }
+  // Events lost to ring wraparound (oldest-first overwrite).
+  std::uint64_t dropped() const {
+    return written_ > ring_.size() ? written_ - ring_.size() : 0;
+  }
+  std::size_t size() const {
+    return written_ < ring_.size() ? static_cast<std::size_t>(written_)
+                                   : ring_.size();
+  }
+  // i-th surviving event in chronological order (0 = oldest retained).
+  const TraceEvent& event(std::size_t i) const {
+    const std::uint64_t base = dropped();
+    return ring_[(base + i) % ring_.size()];
+  }
+
+  const std::vector<std::string>& track_names() const { return tracks_; }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t written_ = 0;
+  std::vector<std::string> tracks_;
+  std::unordered_map<std::string, std::uint16_t> track_index_;
+};
+
+}  // namespace dmc::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
 namespace dmc::proto {
 
 DeadlineReceiver::DeadlineReceiver(sim::Simulator& simulator,
@@ -14,6 +17,27 @@ DeadlineReceiver::DeadlineReceiver(sim::Simulator& simulator,
   if (config_.ack_every == 0) {
     throw std::invalid_argument("DeadlineReceiver: ack_every must be >= 1");
   }
+  if (obs::MetricRegistry* metrics = simulator_.obs().metrics) {
+    // Per-message delay / lateness distributions: the measured counterpart
+    // of the planned arrival-time distribution. Registration (allocating)
+    // happens here, at session setup; record() on the delivery path is
+    // allocation-free.
+    delay_hist_ = &metrics->histogram(
+        "dmc_proto_delay_seconds",
+        "One-way delay of first arrivals (seconds)",
+        obs::HistogramOptions{1e-4, 100.0, 8});
+    late_by_hist_ = &metrics->histogram(
+        "dmc_proto_late_by_seconds",
+        "How far past the deadline late first arrivals landed (seconds)",
+        obs::HistogramOptions{1e-4, 100.0, 8});
+  }
+}
+
+std::uint16_t DeadlineReceiver::obs_track() {
+  if (obs_track_ == obs::TraceRecorder::kNoTrack) {
+    obs_track_ = simulator_.obs().trace->session_track(trace_.session_id);
+  }
+  return obs_track_;
 }
 
 bool DeadlineReceiver::already_received(std::uint64_t seq) const {
@@ -59,19 +83,36 @@ sim::PooledPacket DeadlineReceiver::build_ack(
 }
 
 void DeadlineReceiver::on_data(int path, const sim::Packet& packet) {
-  (void)path;
+  obs::TraceRecorder* tr = simulator_.obs().trace;
   if (already_received(packet.seq)) {
     ++trace_.duplicates;
+    if (tr != nullptr) {
+      tr->record(obs::Ev::msg_dup, simulator_.now(), obs_track(),
+                 static_cast<std::uint32_t>(packet.seq),
+                 static_cast<std::uint8_t>(path));
+    }
   } else {
     mark_received(packet.seq);
     ++trace_.delivered_unique;
     const double delay = simulator_.now() - packet.created_at;
     delays_.add(delay);
+    if (delay_hist_ != nullptr) delay_hist_->record(delay);
     const bool on_time = delay <= config_.lifetime_s;
     if (on_time) {
       ++trace_.on_time;
     } else {
       ++trace_.late;
+      if (late_by_hist_ != nullptr) {
+        late_by_hist_->record(delay - config_.lifetime_s);
+      }
+    }
+    if (tr != nullptr) {
+      const double late_by = on_time ? 0.0 : delay - config_.lifetime_s;
+      tr->record(on_time ? obs::Ev::msg_deliver : obs::Ev::msg_late,
+                 simulator_.now(), obs_track(),
+                 static_cast<std::uint32_t>(packet.seq),
+                 static_cast<std::uint8_t>(path),
+                 static_cast<float>(late_by));
     }
     if (config_.verdict_hook) config_.verdict_hook(packet.seq, on_time);
   }

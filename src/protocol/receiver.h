@@ -16,6 +16,10 @@
 #include "sim/simulator.h"
 #include "stats/summary.h"
 
+namespace dmc::obs {
+class Histogram;
+}
+
 namespace dmc::proto {
 
 struct ReceiverConfig {
@@ -51,6 +55,7 @@ class DeadlineReceiver {
  private:
   bool already_received(std::uint64_t seq) const;
   void mark_received(std::uint64_t seq);
+  std::uint16_t obs_track();
   sim::PooledPacket build_ack(const sim::Packet& packet) const;
 
   sim::Simulator& simulator_;
@@ -66,6 +71,13 @@ class DeadlineReceiver {
   SeqBitmap pending_;
   std::uint64_t data_since_ack_ = 0;
   stats::SampleSet delays_;
+
+  // Observability handles, resolved at construction from the simulator's
+  // hub (null = disabled, one branch per delivery). The histograms live in
+  // the registry and are shared by every session of the run.
+  obs::Histogram* delay_hist_ = nullptr;    // one-way delay of first arrivals
+  obs::Histogram* late_by_hist_ = nullptr;  // lateness beyond the deadline
+  std::uint16_t obs_track_ = 0xFFFF;        // lazily resolved trace track
 };
 
 }  // namespace dmc::proto

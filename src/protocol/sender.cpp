@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/units.h"
+#include "obs/trace_recorder.h"
 
 namespace dmc::proto {
 
@@ -96,6 +97,13 @@ void DeadlineSender::generate_next() {
   maybe_drained();
 }
 
+std::uint16_t DeadlineSender::obs_track() {
+  if (obs_track_ == obs::TraceRecorder::kNoTrack) {
+    obs_track_ = simulator_.obs().trace->session_track(trace_.session_id);
+  }
+  return obs_track_;
+}
+
 void DeadlineSender::maybe_drained() {
   if (drained_ || next_seq_ < config_.num_messages || !outstanding_.empty()) {
     return;
@@ -140,6 +148,14 @@ void DeadlineSender::transmit(std::uint64_t seq, Outstanding& state,
   if (state.stage > 0) {
     ++trace_.retransmissions;
     if (is_fast) ++trace_.fast_retransmissions;
+  }
+  if (obs::TraceRecorder* tr = simulator_.obs().trace) {
+    const obs::Ev kind = state.stage == 0 ? obs::Ev::msg_tx
+                         : is_fast        ? obs::Ev::msg_fast_retx
+                                          : obs::Ev::msg_retx;
+    tr->record(kind, simulator_.now(), obs_track(),
+               static_cast<std::uint32_t>(seq),
+               static_cast<std::uint8_t>(real_path));
   }
   if (data_sender_) data_sender_(real_path, std::move(packet));
 
@@ -206,6 +222,11 @@ void DeadlineSender::on_attempt_failed(std::uint64_t seq, bool is_fast) {
                         !std::isinf(state.program.timeouts[stage]);
   if (!has_next) {
     ++trace_.gave_up;
+    if (obs::TraceRecorder* tr = simulator_.obs().trace) {
+      tr->record(obs::Ev::msg_gave_up, simulator_.now(), obs_track(),
+                 static_cast<std::uint32_t>(seq),
+                 static_cast<std::uint8_t>(old_path));
+    }
     outstanding_.erase(seq);
     maybe_drained();
     return;
@@ -224,6 +245,11 @@ void DeadlineSender::acknowledge(std::uint64_t seq, bool count_hook) {
   path_outstanding_[static_cast<std::size_t>(path)].erase(state.path_tx_index);
   if (state.timer.valid()) simulator_.cancel(state.timer);
   if (count_hook && hooks_.on_ack_for_path) hooks_.on_ack_for_path(path);
+  if (obs::TraceRecorder* tr = simulator_.obs().trace) {
+    tr->record(obs::Ev::msg_ack, simulator_.now(), obs_track(),
+               static_cast<std::uint32_t>(seq),
+               static_cast<std::uint8_t>(path));
+  }
 
   // Keep a bounded record when earlier attempts were written off as lost:
   // their acks may still arrive and prove the timeouts spurious.

@@ -139,6 +139,9 @@ class DeadlineSender {
 
   void generate_next();
   void maybe_drained();
+  // Cached trace track for this session; resolved on the first traced event
+  // (registration allocates, recording never does).
+  std::uint16_t obs_track();
   void assign_and_send(std::uint64_t seq);
   void transmit(std::uint64_t seq, Outstanding& state, bool is_fast);
   void on_attempt_failed(std::uint64_t seq, bool is_fast);
@@ -156,6 +159,7 @@ class DeadlineSender {
   double inter_message_s_ = 0.0;
   std::uint64_t next_seq_ = 0;
   bool drained_ = false;
+  std::uint16_t obs_track_ = 0xFFFF;  // lazily resolved trace track
   // The self-scheduling message-generation event; tracked so mid-run
   // teardown (server admission loop) can cancel it in the destructor.
   sim::EventId generator_;

@@ -26,6 +26,23 @@ struct Trace {
                ? static_cast<double>(on_time) / static_cast<double>(generated)
                : 0.0;
   }
+
+  // Message conservation, mirroring sim::LinkStats::conserved(): every
+  // generated message is eventually blackholed, first-delivered (on time or
+  // late), given up on, or still in flight at the sender —
+  //   generated == on_time + late + gave_up + assigned_blackhole + in_flight
+  // with in_flight == DeadlineSender::outstanding() (0 once drained).
+  // Caveat: `gave_up` is a sender-side verdict and `late` a receiver-side
+  // one, so a message whose data arrived but whose every ack (echo,
+  // cumulative, and window bits alike) was lost on the return path would be
+  // counted on both sides. The cumulative-ack redundancy makes that overlap
+  // require an unbroken run of reverse-path losses spanning the whole give-up
+  // horizon; the session teardown tests assert exact conservation and would
+  // surface such a scenario as a failure worth examining.
+  bool conserved(std::uint64_t in_flight = 0) const {
+    return generated ==
+           on_time + late + gave_up + assigned_blackhole + in_flight;
+  }
 };
 
 }  // namespace dmc::proto

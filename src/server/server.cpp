@@ -1,12 +1,15 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "core/units.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "sim/utilization.h"
@@ -84,7 +87,14 @@ class Loop {
   Loop(const ServerConfig& config, const std::vector<SessionRequest>& requests)
       : config_(config),
         requests_(requests),
-        simulator_(config.seed),
+        registry_(config.collect_metrics
+                      ? std::make_shared<obs::MetricRegistry>()
+                      : nullptr),
+        recorder_(config.collect_trace ? std::make_shared<obs::TraceRecorder>(
+                                             config.trace_capacity)
+                                       : nullptr),
+        simulator_(config.seed,
+                   dmc::obs::Hub{registry_.get(), recorder_.get()}),
         network_(simulator_,
                  proto::to_sim_paths(config.true_paths,
                                      config.bandwidth_headroom,
@@ -93,7 +103,27 @@ class Loop {
         meter_(network_, config.utilization_window_s),
         policy_(make_policy(config.policy)),
         planner_(core::Planner::Options{config.plan_options,
-                                        config.warm_start}) {}
+                                        config.warm_start}) {
+    if (recorder_ != nullptr) {
+      server_track_ = recorder_->track("server");
+      lp_track_ = recorder_->track("lp solver");
+      events_track_ = recorder_->track("events");
+    }
+    if (registry_ != nullptr) {
+      lp_wall_hist_ = &registry_->histogram(
+          "dmc_lp_solve_wall_seconds",
+          "Wall-clock time of admission/re-plan LP solve batches (seconds)",
+          obs::HistogramOptions{1e-7, 10.0, 8}, /*wallclock=*/true);
+      queue_wait_hist_ = &registry_->histogram(
+          "dmc_server_queue_wait_seconds",
+          "Admission delay of admitted sessions (seconds)",
+          obs::HistogramOptions{1e-4, 1e3, 4});
+      event_depth_hist_ = &registry_->histogram(
+          "dmc_sim_event_queue_depth",
+          "Pending simulator events, sampled at arrivals and departures",
+          obs::HistogramOptions{1.0, 1e7, 2});
+    }
+  }
 
   ServerOutcome run() {
     outcome_.sessions.resize(requests_.size());
@@ -114,8 +144,50 @@ class Loop {
   };
 
   void handle_arrival(std::size_t i) {
-    apply_decision(i, policy_->decide(requests_[i], context()),
+    sample_event_depth();
+    apply_decision(i, decide_instrumented(requests_[i]),
                    /*from_queue=*/false);
+  }
+
+  // --- observability helpers; every one is a no-op branch when the matching
+  // collector is disabled.
+
+  // policy_->decide with LP solve accounting: wall-clock batch timing plus
+  // warm/cold solve trace events derived from the shared planner's stats
+  // delta (the feasibility-lp policy solves through context().planner).
+  Decision decide_instrumented(const SessionRequest& request) {
+    const lp::IncrementalSolver::Stats before = planner_.lp_stats();
+    Decision decision = [&] {
+      obs::ScopedTimer timer(lp_wall_hist_);
+      return policy_->decide(request, context());
+    }();
+    record_lp_delta(before, planner_.lp_stats());
+    return decision;
+  }
+
+  void record_lp_delta(const lp::IncrementalSolver::Stats& before,
+                       const lp::IncrementalSolver::Stats& after) {
+    if (recorder_ == nullptr) return;
+    if (after.warm_solves > before.warm_solves) {
+      recorder_->record(
+          obs::Ev::lp_warm_solve, simulator_.now(), lp_track_, 0, 0,
+          static_cast<float>(after.warm_pivots - before.warm_pivots));
+    }
+    if (after.cold_solves > before.cold_solves) {
+      recorder_->record(
+          obs::Ev::lp_cold_solve, simulator_.now(), lp_track_, 0, 0,
+          static_cast<float>(after.cold_solves - before.cold_solves));
+    }
+  }
+
+  void sample_event_depth() {
+    if (registry_ == nullptr && recorder_ == nullptr) return;
+    const double depth = static_cast<double>(simulator_.events_pending());
+    if (event_depth_hist_ != nullptr) event_depth_hist_->record(depth);
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::Ev::event_queue_depth, simulator_.now(),
+                        events_track_, 0, 0, static_cast<float>(depth));
+    }
   }
 
   // Measured background load per path. The meter reports the footprint of
@@ -186,9 +258,19 @@ class Loop {
         record.fate = RequestFate::rejected;
         record.predicted_quality = decision.predicted_quality;
         ++outcome_.rejected;
+        if (recorder_ != nullptr) {
+          recorder_->record(obs::Ev::session_reject, simulator_.now(),
+                            server_track_,
+                            static_cast<std::uint32_t>(requests_[i].id));
+        }
         return true;
       case Verdict::queue:
         if (!from_queue) {
+          if (recorder_ != nullptr) {
+            recorder_->record(obs::Ev::session_queue, simulator_.now(),
+                              server_track_,
+                              static_cast<std::uint32_t>(requests_[i].id));
+          }
           pending_.push_back(Pending{i, simulator_.now()});
           simulator_.at(simulator_.now() + config_.max_queue_wait_s,
                         [this, i] { expire_if_pending(i); });
@@ -229,6 +311,16 @@ class Loop {
     record.admitted_at_s = simulator_.now();
     record.queue_wait_s = simulator_.now() - request.arrival_s;
     ++outcome_.admitted;
+
+    if (queue_wait_hist_ != nullptr) {
+      queue_wait_hist_->record(record.queue_wait_s);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::Ev::session_admit, simulator_.now(),
+                        recorder_->session_track(id),
+                        static_cast<std::uint32_t>(request.id),
+                        static_cast<std::uint8_t>(from_queue ? 1 : 0));
+    }
   }
 
   void on_departure(std::uint32_t id) {
@@ -241,7 +333,17 @@ class Loop {
     record.completed_at_s = simulator_.now();
     record.replans = it->second.replans;
     outcome_.lp += it->second.planner.lp_stats();
+    if (recorder_ != nullptr) {
+      // Span events carry their start time: the whole session renders as one
+      // Chrome trace "complete" slice from admission to departure.
+      recorder_->record(
+          obs::Ev::session_span, it->second.admitted_at_s,
+          recorder_->session_track(id),
+          static_cast<std::uint32_t>(record.request_id), 0,
+          static_cast<float>(simulator_.now() - it->second.admitted_at_s));
+    }
     live_.erase(it);
+    sample_event_depth();
 
     // Freed capacity: first give waiting requests a chance, then let the
     // surviving sessions re-plan onto the larger residual.
@@ -254,7 +356,7 @@ class Loop {
     still_pending.reserve(pending_.size());
     for (const Pending& pending : pending_) {
       const Decision decision =
-          policy_->decide(requests_[pending.request_index], context());
+          decide_instrumented(requests_[pending.request_index]);
       if (!apply_decision(pending.request_index, decision,
                           /*from_queue=*/true)) {
         still_pending.push_back(pending);
@@ -271,6 +373,11 @@ class Loop {
     pending_.erase(it);
     outcome_.sessions[i].fate = RequestFate::expired;
     ++outcome_.expired;
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::Ev::session_expire, simulator_.now(),
+                        server_track_,
+                        static_cast<std::uint32_t>(requests_[i].id));
+    }
   }
 
   void replan_live() {
@@ -287,9 +394,14 @@ class Loop {
       // The planner absorbs the freed capacity as a pure rhs delta when
       // the cross model only derates bandwidth (no delay inflation), and
       // rebuilds — still warm-starting — otherwise.
-      core::Plan plan = session.planner.plan(
-          config_.planning_paths, requests_[session.request_index].traffic,
-          cross);
+      const lp::IncrementalSolver::Stats before = session.planner.lp_stats();
+      core::Plan plan = [&] {
+        obs::ScopedTimer timer(lp_wall_hist_);
+        return session.planner.plan(config_.planning_paths,
+                                    requests_[session.request_index].traffic,
+                                    cross);
+      }();
+      record_lp_delta(before, session.planner.lp_stats());
       if (!plan.feasible() ||
           plan.quality() <= session.planned_quality + 1e-6) {
         continue;
@@ -298,6 +410,13 @@ class Loop {
       session.planned_rate_bps = real_path_rates(plan);
       ++session.replans;
       ++outcome_.replans;
+      if (recorder_ != nullptr) {
+        recorder_->record(
+            obs::Ev::replan, simulator_.now(), recorder_->session_track(id),
+            static_cast<std::uint32_t>(requests_[session.request_index].id),
+            static_cast<std::uint8_t>(std::min(session.replans, 255)),
+            static_cast<float>(session.planned_quality));
+      }
       host_.replace_plan(id, std::move(plan));
     }
   }
@@ -357,10 +476,126 @@ class Loop {
       outcome_.forward_links.push_back(forward);
       outcome_.reverse_links.push_back(reverse);
     }
+
+    publish_metrics();
+  }
+
+  // Publishes run-level aggregates into the registry (so the exporters and
+  // the run footer read from one source of truth) and snapshots the
+  // deterministic subset into outcome_.obs.
+  void publish_metrics() {
+    outcome_.metrics = registry_;
+    outcome_.trace_events = recorder_;
+    if (registry_ == nullptr) return;
+
+    const auto set = [this](std::string_view name, std::string_view help,
+                            std::uint64_t value) {
+      registry_->counter(name, help).set(value);
+    };
+    set("dmc_server_arrivals_total", "Session requests offered",
+        outcome_.arrivals);
+    set("dmc_server_admitted_total", "Sessions admitted (incl. after queuing)",
+        outcome_.admitted);
+    set("dmc_server_rejected_total", "Requests rejected at arrival",
+        outcome_.rejected);
+    set("dmc_server_expired_total",
+        "Queued requests whose patience ran out", outcome_.expired);
+    set("dmc_server_replans_total", "Departure-triggered session re-plans",
+        outcome_.replans);
+
+    set("dmc_lp_warm_solves_total", "LP solves served from a stored basis",
+        outcome_.lp.warm_solves);
+    set("dmc_lp_cold_solves_total", "LP solves from scratch",
+        outcome_.lp.cold_solves);
+    set("dmc_lp_warm_pivots_total", "Simplex pivots across warm re-solves",
+        outcome_.lp.warm_pivots);
+    set("dmc_lp_fallbacks_total", "Warm starts abandoned for a cold solve",
+        outcome_.lp.fallbacks);
+
+    proto::Trace proto_totals;
+    for (const SessionRecord& record : outcome_.sessions) {
+      if (record.fate != RequestFate::admitted &&
+          record.fate != RequestFate::queued_admitted) {
+        continue;
+      }
+      const proto::Trace& t = record.trace;
+      proto_totals.generated += t.generated;
+      proto_totals.assigned_blackhole += t.assigned_blackhole;
+      proto_totals.transmissions += t.transmissions;
+      proto_totals.retransmissions += t.retransmissions;
+      proto_totals.fast_retransmissions += t.fast_retransmissions;
+      proto_totals.on_time += t.on_time;
+      proto_totals.late += t.late;
+      proto_totals.duplicates += t.duplicates;
+      proto_totals.gave_up += t.gave_up;
+    }
+    set("dmc_proto_generated_total", "Messages produced by admitted sessions",
+        proto_totals.generated);
+    set("dmc_proto_on_time_total", "Messages first-delivered within deadline",
+        proto_totals.on_time);
+    set("dmc_proto_late_total", "Messages first-delivered past the deadline",
+        proto_totals.late);
+    set("dmc_proto_gave_up_total", "Messages abandoned after max attempts",
+        proto_totals.gave_up);
+    set("dmc_proto_blackholed_total", "Messages assigned to the blackhole",
+        proto_totals.assigned_blackhole);
+    set("dmc_proto_transmissions_total", "Data packets handed to links",
+        proto_totals.transmissions);
+    set("dmc_proto_retransmissions_total", "Transmissions with attempt > 0",
+        proto_totals.retransmissions);
+    set("dmc_proto_fast_retransmissions_total",
+        "Retransmissions triggered by dup-acks", proto_totals.fast_retransmissions);
+    set("dmc_proto_duplicates_total", "Repeat arrivals at receivers",
+        proto_totals.duplicates);
+
+    sim::LinkStats link_totals;
+    for (const std::vector<sim::LinkStats>* side :
+         {&outcome_.forward_links, &outcome_.reverse_links}) {
+      for (const sim::LinkStats& link : *side) {
+        link_totals.offered += link.offered;
+        link_totals.delivered += link.delivered;
+        link_totals.queue_drops += link.queue_drops;
+        link_totals.loss_drops += link.loss_drops;
+      }
+    }
+    set("dmc_link_offered_total", "Packets handed to link send()",
+        link_totals.offered);
+    set("dmc_link_delivered_total", "Packets delivered by links",
+        link_totals.delivered);
+    set("dmc_link_queue_drops_total", "Packets dropped at full link queues",
+        link_totals.queue_drops);
+    set("dmc_link_loss_drops_total", "Packets lost to random erasure",
+        link_totals.loss_drops);
+
+    if (recorder_ != nullptr) {
+      set("dmc_trace_events_recorded_total",
+          "Trace events recorded, overwritten ones included",
+          recorder_->recorded());
+      set("dmc_trace_events_dropped_total",
+          "Trace events lost to ring wraparound", recorder_->dropped());
+    }
+
+    set(obs::kRunEventsTotal, "Simulator events executed", outcome_.events);
+    registry_->gauge(obs::kRunSimSeconds, "Simulated run duration (seconds)")
+        .set(outcome_.elapsed_s);
+    registry_
+        ->gauge(obs::kRunWallSeconds, "Wall-clock run duration (seconds)",
+                /*wallclock=*/true)
+        .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           wall_start_)
+                 .count());
+
+    outcome_.obs = obs::Snapshot::from(*registry_);
   }
 
   const ServerConfig& config_;
   const std::vector<SessionRequest>& requests_;
+  // Observability collectors (null when the matching collect_* flag is off).
+  // Declared before simulator_: its constructor captures both pointers in
+  // the hub, and shared ownership lets ServerOutcome hand them to exporters
+  // after the loop is gone.
+  std::shared_ptr<obs::MetricRegistry> registry_;
+  std::shared_ptr<obs::TraceRecorder> recorder_;
   sim::Simulator simulator_;
   sim::Network network_;
   proto::SessionHost host_;
@@ -374,6 +609,16 @@ class Loop {
   // set (re-planning, background attribution) runs in deterministic order.
   std::map<std::uint32_t, LiveSession> live_;
   std::vector<Pending> pending_;  // FIFO retry order
+
+  // Tracks and registry handles resolved once in the constructor.
+  std::uint16_t server_track_ = 0;
+  std::uint16_t lp_track_ = 0;
+  std::uint16_t events_track_ = 0;
+  obs::Histogram* lp_wall_hist_ = nullptr;      // wallclock: export-excluded
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* event_depth_hist_ = nullptr;
+  std::chrono::steady_clock::time_point wall_start_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace

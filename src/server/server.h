@@ -19,11 +19,13 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/path.h"
 #include "core/planner.h"
+#include "obs/export.h"
 #include "protocol/session.h"
 #include "protocol/session_host.h"
 #include "server/admission.h"
@@ -54,6 +56,20 @@ struct ServerConfig {
   // Minimum utilization-meter window: admission events closer together than
   // this reuse the previous measurement instead of trusting a micro-window.
   double utilization_window_s = 0.01;
+
+  // Observability (src/obs). `collect_metrics` allocates a MetricRegistry up
+  // front: per-message delay/lateness histograms, LP solve wall-clock
+  // timers, admission counters, and the dmc_run_* footer metrics —
+  // snapshotted into ServerOutcome::obs as the deterministic dmc.obs.v1
+  // block. `collect_trace` preallocates a TraceRecorder ring of
+  // `trace_capacity` events (drop-counted flight recorder) capturing
+  // session admit/reject/expire spans, packet tx/retx/ack/deliver/late,
+  // re-plans, LP warm/cold solves, and link/event-queue depth samples.
+  // Either one enabled leaves every simulation result bit-identical to a
+  // run with both disabled — the determinism contract test_server pins.
+  bool collect_metrics = false;
+  bool collect_trace = false;
+  std::size_t trace_capacity = std::size_t{1} << 20;
 
   void check() const;
 };
@@ -108,6 +124,14 @@ struct ServerOutcome {
   // offered == queue_drops + loss_drops + delivered and in_flight == 0 on
   // every link.
   bool conserved = false;
+  // Deterministic metric snapshot (empty unless collect_metrics): the
+  // dmc.obs.v1 block the fleet result layer embeds.
+  obs::Snapshot obs;
+  // Live exporter handles (null unless the matching collect_* flag was set):
+  // `metrics` feeds obs::write_prometheus / print_run_footer (wall-clock
+  // metrics included), `trace_events` feeds obs::write_chrome_trace.
+  std::shared_ptr<const obs::MetricRegistry> metrics;
+  std::shared_ptr<const obs::TraceRecorder> trace_events;
 };
 
 class SessionServer {

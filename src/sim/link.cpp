@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/units.h"
+#include "obs/trace_recorder.h"
 
 namespace dmc::sim {
 
@@ -24,11 +25,30 @@ Link::Link(Simulator& simulator, LinkConfig config, std::string name)
   }
 }
 
+std::uint16_t Link::obs_track() {
+  if (obs_track_ == obs::TraceRecorder::kNoTrack) {
+    obs_track_ = simulator_.obs().trace->link_track(name_);
+  }
+  return obs_track_;
+}
+
 void Link::send(PooledPacket packet) {
   ++stats_.offered;
+  obs::TraceRecorder* tr = simulator_.obs().trace;
   if (queue_depth_ >= config_.queue_capacity) {
     ++stats_.queue_drops;
+    if (tr != nullptr) {
+      tr->record(obs::Ev::link_queue_drop, simulator_.now(), obs_track(),
+                 static_cast<std::uint32_t>(packet->seq));
+    }
     return;  // handle dies here; packet returns to the pool
+  }
+  if (tr != nullptr) {
+    const auto track = obs_track();
+    tr->record(obs::Ev::link_tx, simulator_.now(), track,
+               static_cast<std::uint32_t>(packet->seq));
+    tr->record(obs::Ev::link_queue_depth, simulator_.now(), track, 0, 0,
+               static_cast<float>(queue_depth_ + 1));
   }
   ++queue_depth_;
   ++stats_.in_flight;
@@ -82,6 +102,10 @@ void Link::depart(PooledPacket packet) {
   if (draw_loss()) {
     ++stats_.loss_drops;
     --stats_.in_flight;
+    if (obs::TraceRecorder* tr = simulator_.obs().trace) {
+      tr->record(obs::Ev::link_loss_drop, simulator_.now(), obs_track(),
+                 static_cast<std::uint32_t>(packet->seq));
+    }
     return;  // erased in transit; handle returns the packet to the pool
   }
   double delay = config_.prop_delay_s;
@@ -94,6 +118,10 @@ void Link::depart(PooledPacket packet) {
   simulator_.at(arrival, [this, p = std::move(packet)]() mutable {
     ++stats_.delivered;
     --stats_.in_flight;
+    if (obs::TraceRecorder* tr = simulator_.obs().trace) {
+      tr->record(obs::Ev::link_deliver, simulator_.now(), obs_track(),
+                 static_cast<std::uint32_t>(p->seq));
+    }
     if (receiver_) receiver_(std::move(p));
   });
 }

@@ -101,6 +101,9 @@ class Link {
  private:
   void depart(PooledPacket packet);
   bool draw_loss();
+  // Resolves (and caches) this link's trace track; allocation happens on
+  // the first traced event only.
+  std::uint16_t obs_track();
 
   Simulator& simulator_;
   LinkConfig config_;
@@ -112,6 +115,7 @@ class Link {
   Time last_arrival_ = 0.0; // FIFO clamp for jittered arrivals
   std::size_t queue_depth_ = 0;
   bool in_bad_state_ = false;  // Gilbert-Elliott state
+  std::uint16_t obs_track_ = 0xFFFF;  // lazily resolved trace track
 };
 
 }  // namespace dmc::sim

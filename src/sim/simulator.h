@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "obs/hub.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 #include "stats/rng.h"
@@ -15,7 +16,11 @@ namespace dmc::sim {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  // The hub carries non-owning observability pointers (obs/hub.h); the
+  // default empty hub keeps every instrumentation site a single dead
+  // branch. The registry/recorder must outlive the simulator.
+  explicit Simulator(std::uint64_t seed = 1, dmc::obs::Hub obs = {})
+      : obs_(obs), rng_(seed) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -64,9 +69,15 @@ class Simulator {
 
   stats::Rng& rng() { return rng_; }
 
+  // Observability attachment point shared by every component holding this
+  // simulator (links, protocol endpoints, the server loop).
+  const dmc::obs::Hub& obs() const { return obs_; }
+  void set_obs(dmc::obs::Hub obs) { obs_ = obs; }
+
  private:
   [[noreturn]] void throw_past(Time t) const;
 
+  dmc::obs::Hub obs_;
   Time now_ = 0.0;
   // The pool must outlive the queue: pending events may hold PooledPacket
   // handles that release into the pool on destruction.

@@ -220,6 +220,39 @@ TEST(Fleet, ServerGridIsBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(a.json(), b.json());
 }
 
+TEST(Fleet, ObsEnabledServerGridStaysBitIdenticalAcrossThreadCounts) {
+  // The dmc.obs.v1 block contains only simulation-derived metrics, so the
+  // thread-count bit-identity contract must survive with collection on —
+  // and the simulation columns must not move at all vs collection off.
+  ServerAxes axes;
+  axes.arrivals_per_s = {20};
+  axes.policies = {"feasibility-lp"};
+  axes.count = 25;
+  axes.mean_messages = 80;
+  axes.collect_metrics = true;
+  GridOptions grid;
+  Engine serial({1});
+  Engine parallel({8});
+  ResultSet a;
+  a.records = run_jobs(serial, server_grid(axes, grid));
+  ResultSet b;
+  b.records = run_jobs(parallel, server_grid(axes, grid));
+  ASSERT_EQ(a.records.size(), 1u);
+  ASSERT_TRUE(a.records[0].ok) << a.records[0].error;
+  EXPECT_NE(a.records[0].obs_json.find("\"schema\":\"dmc.obs.v1\""),
+            std::string::npos);
+  EXPECT_EQ(a.json(), b.json());
+
+  axes.collect_metrics = false;
+  ResultSet off;
+  off.records = run_jobs(serial, server_grid(axes, grid));
+  ASSERT_EQ(off.records.size(), 1u);
+  EXPECT_TRUE(off.records[0].obs_json.empty());
+  EXPECT_EQ(off.records[0].measured_quality, a.records[0].measured_quality);
+  EXPECT_EQ(off.records[0].events, a.records[0].events);
+  EXPECT_EQ(off.records[0].admitted, a.records[0].admitted);
+}
+
 TEST(Fleet, ServerGridSharesWorkloadAcrossPolicies) {
   ServerAxes axes;
   axes.arrivals_per_s = {10};

@@ -1,0 +1,246 @@
+// Unit tests for the observability layer: histogram bucketing, registry
+// registration semantics, the flight-recorder ring, and the three exporters
+// (dmc.obs.v1 snapshot JSON, Prometheus text, Chrome trace-event JSON).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
+namespace dmc::obs {
+namespace {
+
+TEST(Histogram, BucketsAreGeometricAndExhaustive) {
+  Histogram hist(HistogramOptions{1.0, 16.0, 1});
+  // Layout: underflow | (1,2] (2,4] (4,8] (8,16) | overflow.
+  ASSERT_EQ(hist.num_buckets(), 6u);
+  EXPECT_EQ(hist.bucket_upper(0), 1.0);
+  EXPECT_EQ(hist.bucket_upper(1), 2.0);
+  EXPECT_EQ(hist.bucket_upper(2), 4.0);
+  EXPECT_EQ(hist.bucket_upper(3), 8.0);
+  EXPECT_EQ(hist.bucket_upper(hist.num_buckets() - 1),
+            std::numeric_limits<double>::infinity());
+
+  hist.record(0.5);   // underflow
+  hist.record(1.0);   // values <= min land in the underflow bucket
+  hist.record(1.5);   // (1,2]
+  hist.record(3.0);   // (2,4]
+  hist.record(16.0);  // >= max: overflow
+  hist.record(99.0);  // overflow
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 0u);
+  EXPECT_EQ(hist.bucket_count(hist.num_buckets() - 1), 2u);
+  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_EQ(hist.min_seen(), 0.5);
+  EXPECT_EQ(hist.max_seen(), 99.0);
+  EXPECT_NEAR(hist.sum(), 0.5 + 1.0 + 1.5 + 3.0 + 16.0 + 99.0, 1e-12);
+}
+
+TEST(Histogram, EveryValueLandsInTheBucketCoveringIt) {
+  const HistogramOptions options{1e-4, 100.0, 8};
+  Histogram hist(options);
+  for (double v = 1.1e-4; v < 99.0; v *= 1.37) {
+    Histogram probe(options);
+    probe.record(v);
+    for (std::size_t i = 0; i < probe.num_buckets(); ++i) {
+      if (probe.bucket_count(i) == 0) continue;
+      EXPECT_LE(v, probe.bucket_upper(i)) << "value " << v;
+      if (i > 0) {
+        EXPECT_GT(v, probe.bucket_upper(i - 1)) << "value " << v;
+      }
+    }
+  }
+}
+
+TEST(Histogram, NonFiniteAndNegativeValuesCannotCorruptBuckets) {
+  Histogram hist(HistogramOptions{1e-3, 1.0, 4});
+  hist.record(std::numeric_limits<double>::quiet_NaN());
+  hist.record(-5.0);
+  hist.record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hist.count(), 3u);
+  // NaN and negatives land in underflow; +inf in overflow. Nothing crashes,
+  // nothing writes out of bounds.
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(hist.num_buckets() - 1), 1u);
+}
+
+TEST(Histogram, ValidatesOptions) {
+  EXPECT_THROW(Histogram(HistogramOptions{0.0, 1.0, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram(HistogramOptions{1.0, 1.0, 4}),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram(HistogramOptions{1e-6, 1e3, 0}),
+               std::invalid_argument);
+}
+
+TEST(MetricRegistry, ReRegistrationReturnsTheSameMetric) {
+  MetricRegistry registry;
+  Counter& a = registry.counter("dmc_x_total", "x");
+  a.inc(3);
+  Counter& b = registry.counter("dmc_x_total", "x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  // Same name, different kind: a programming error, caught loudly.
+  EXPECT_THROW(registry.gauge("dmc_x_total", "x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("dmc_x_total", "x"), std::invalid_argument);
+}
+
+TEST(MetricRegistry, HandlesStayValidAsTheRegistryGrows) {
+  MetricRegistry registry;
+  Histogram& first = registry.histogram("dmc_first_seconds", "first");
+  for (int i = 0; i < 200; ++i) {
+    registry.counter("dmc_filler_" + std::to_string(i) + "_total", "filler");
+  }
+  first.record(0.5);  // the deque must not have moved the entry
+  EXPECT_EQ(first.count(), 1u);
+  EXPECT_EQ(registry.size(), 201u);
+}
+
+TEST(TraceRecorder, RingWrapsOverwritingOldestAndCountsDrops) {
+  TraceRecorder recorder(4);
+  const std::uint16_t track = recorder.track("t");
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    recorder.record(Ev::msg_tx, static_cast<double>(i), track, i);
+  }
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  ASSERT_EQ(recorder.size(), 4u);
+  // Survivors are the newest four, oldest first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(recorder.event(i).id, 6u + i);
+    EXPECT_EQ(recorder.event(i).t, static_cast<double>(6 + i));
+  }
+}
+
+TEST(TraceRecorder, TracksAreDedupedAndEventsAreCompact) {
+  TraceRecorder recorder(16);
+  const std::uint16_t a = recorder.session_track(7);
+  const std::uint16_t b = recorder.session_track(7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(recorder.link_track("wifi"), a);
+  EXPECT_EQ(recorder.track_names()[a], "session 7");
+  EXPECT_THROW(TraceRecorder(0), std::invalid_argument);
+  static_assert(sizeof(TraceEvent) == 24, "flight-recorder slots are 24 B");
+}
+
+MetricRegistry exporter_fixture() {
+  MetricRegistry registry;
+  registry.counter("dmc_a_total", "a counter").inc(5);
+  registry.gauge("dmc_b_ratio", "a gauge").set(0.25);
+  Histogram& hist = registry.histogram(
+      "dmc_c_seconds", "a histogram", HistogramOptions{1.0, 16.0, 1});
+  hist.record(1.5);
+  hist.record(3.0);
+  hist.record(99.0);
+  registry.gauge("dmc_wall_seconds", "host time", /*wallclock=*/true)
+      .set(123.0);
+  return registry;
+}
+
+TEST(Snapshot, ExcludesWallclockMetricsAndSerializesDeterministically) {
+  const MetricRegistry registry = exporter_fixture();
+  const Snapshot snapshot = Snapshot::from(registry);
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].first, "dmc_a_total");
+  EXPECT_EQ(snapshot.counters[0].second, 5u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);  // the wallclock gauge is gone
+  EXPECT_EQ(snapshot.gauges[0].first, "dmc_b_ratio");
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 3u);
+
+  const std::string json = snapshot.to_json();
+  EXPECT_NE(json.find("\"schema\":\"dmc.obs.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"dmc_a_total\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"dmc_b_ratio\":0.25"), std::string::npos);
+  EXPECT_EQ(json.find("dmc_wall_seconds"), std::string::npos);
+  EXPECT_EQ(json, Snapshot::from(registry).to_json());  // repeatable
+  EXPECT_TRUE(Snapshot{}.empty());
+  EXPECT_FALSE(snapshot.empty());
+}
+
+TEST(Prometheus, ExpositionHasHelpTypeCumulativeBucketsAndInf) {
+  const MetricRegistry registry = exporter_fixture();
+  std::ostringstream out;
+  write_prometheus(out, registry);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# HELP dmc_a_total a counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dmc_a_total counter"), std::string::npos);
+  EXPECT_NE(text.find("dmc_a_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dmc_b_ratio gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dmc_c_seconds histogram"), std::string::npos);
+  // Cumulative le buckets: (1,2] holds 1, by (2,4] the count reaches 2, and
+  // the +Inf bucket equals the total count.
+  EXPECT_NE(text.find("dmc_c_seconds_bucket{le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("dmc_c_seconds_bucket{le=\"4\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("dmc_c_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("dmc_c_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("dmc_c_seconds_sum 103.5"), std::string::npos);
+  // Wall-clock metrics DO export here — Prometheus is the live view.
+  EXPECT_NE(text.find("dmc_wall_seconds 123"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ChromeTrace, EmitsNamedTracksPhasesAndDropCount) {
+  TraceRecorder recorder(8);
+  const std::uint16_t session = recorder.session_track(3);
+  const std::uint16_t link = recorder.link_track("wifi");
+  recorder.record(Ev::session_admit, 0.5, session, 42);
+  recorder.record(Ev::session_span, 0.5, session, 42, 0, 1.25F);
+  recorder.record(Ev::link_queue_depth, 0.75, link, 0, 0, 7.0F);
+  recorder.record(Ev::msg_late, 1.0, session, 9, 1, 0.125F);
+
+  std::ostringstream out;
+  write_chrome_trace(out, recorder);
+  const std::string json = out.str();
+  // Track name metadata and one event of each phase: instant ("i"),
+  // complete ("X", dur in µs), counter ("C").
+  EXPECT_NE(json.find("\"session 3\""), std::string::npos);
+  EXPECT_NE(json.find("\"link wifi\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // The span's duration exports in microseconds (1.25 s -> 1.25e6 µs).
+  const std::size_t dur = json.find("\"dur\":");
+  ASSERT_NE(dur, std::string::npos);
+  EXPECT_EQ(std::stod(json.substr(dur + 6)), 1.25e6);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+  // Crude but effective structural check: balanced braces and brackets.
+  long braces = 0;
+  long brackets = 0;
+  for (const char c : json) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(RunFooter, FormatsWallSimEventsAndRate) {
+  MetricRegistry registry;
+  registry.gauge(kRunWallSeconds, "wall", true).set(2.0);
+  registry.gauge(kRunSimSeconds, "sim").set(10.0);
+  registry.counter(kRunEventsTotal, "events").set(5000000);
+  std::ostringstream out;
+  print_run_footer(out, registry);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("wall 2.000 s"), std::string::npos);
+  EXPECT_NE(line.find("sim 10.000 s"), std::string::npos);
+  EXPECT_NE(line.find("5000000 events"), std::string::npos);
+  EXPECT_NE(line.find("2.50M events/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmc::obs

@@ -408,6 +408,71 @@ TEST(Server, WarmStartRunsAreRepeatable) {
   EXPECT_EQ(a.lp.warm_pivots, b.lp.warm_pivots);
 }
 
+// The observability contract: full metric + trace collection must leave
+// every simulation result bit-identical to an uninstrumented run. Events
+// carry simulated time and never schedule anything, histograms never touch
+// the RNG, so the instrumented run IS the uninstrumented run plus stores.
+TEST(Server, ObservabilityLeavesResultsBitIdentical) {
+  for (const char* policy : {"feasibility-lp", "always-admit"}) {
+    ServerConfig off = table3_config(policy);
+    ServerConfig on = table3_config(policy);
+    on.collect_metrics = true;
+    on.collect_trace = true;
+    on.trace_capacity = std::size_t{1} << 16;
+
+    WorkloadOptions workload = small_workload();
+    workload.count = 60;  // enough churn for queued retries and re-plans
+    const auto requests = poisson_arrivals(workload);
+    const ServerOutcome a = SessionServer(off).run(requests);
+    const ServerOutcome b = SessionServer(on).run(requests);
+    expect_outcomes_identical(a, b);
+
+    EXPECT_TRUE(a.obs.empty());
+    EXPECT_EQ(a.metrics, nullptr);
+    EXPECT_EQ(a.trace_events, nullptr);
+    EXPECT_FALSE(b.obs.empty()) << policy;
+    ASSERT_NE(b.trace_events, nullptr);
+    EXPECT_GT(b.trace_events->recorded(), 0u) << policy;
+
+    // Message conservation at teardown for every admitted session.
+    for (const SessionRecord& record : b.sessions) {
+      if (record.fate == RequestFate::admitted ||
+          record.fate == RequestFate::queued_admitted) {
+        EXPECT_TRUE(record.trace.conserved())
+            << policy << " request " << record.request_id;
+      }
+    }
+  }
+}
+
+// Trace repeatability: two runs of the same seed produce the same event
+// stream, byte for byte, and the same serialized dmc.obs.v1 snapshot.
+TEST(Server, TraceStreamAndSnapshotAreRepeatable) {
+  ServerConfig config = table3_config("feasibility-lp");
+  config.collect_metrics = true;
+  config.collect_trace = true;
+  const auto requests = poisson_arrivals(small_workload());
+  const ServerOutcome a = SessionServer(config).run(requests);
+  const ServerOutcome b = SessionServer(config).run(requests);
+  ASSERT_NE(a.trace_events, nullptr);
+  ASSERT_NE(b.trace_events, nullptr);
+  ASSERT_EQ(a.trace_events->recorded(), b.trace_events->recorded());
+  ASSERT_EQ(a.trace_events->size(), b.trace_events->size());
+  for (std::size_t i = 0; i < a.trace_events->size(); ++i) {
+    const obs::TraceEvent& x = a.trace_events->event(i);
+    const obs::TraceEvent& y = b.trace_events->event(i);
+    ASSERT_EQ(x.t, y.t) << "event " << i;
+    ASSERT_EQ(x.type, y.type) << "event " << i;
+    ASSERT_EQ(x.track, y.track) << "event " << i;
+    ASSERT_EQ(x.id, y.id) << "event " << i;
+    ASSERT_EQ(x.arg, y.arg) << "event " << i;
+    ASSERT_EQ(x.value, y.value) << "event " << i;
+  }
+  EXPECT_EQ(a.trace_events->track_names(), b.trace_events->track_names());
+  EXPECT_FALSE(a.obs.empty());
+  EXPECT_EQ(a.obs.to_json(), b.obs.to_json());
+}
+
 TEST(Server, FeasibilityGateBeatsAlwaysAdmitUnderOverload) {
   // The acceptance criterion: at high load the feasibility-lp policy must
   // achieve a strictly lower deadline-miss rate than always-admit on the

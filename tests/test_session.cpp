@@ -31,6 +31,8 @@ TEST(Session, LosslessSinglePathDeliversEverything) {
   EXPECT_EQ(result.trace.late, 0u);
   EXPECT_EQ(result.trace.duplicates, 0u);
   EXPECT_NEAR(result.measured_quality, 1.0, 1e-12);
+  // Teardown conservation: every message has exactly one fate.
+  EXPECT_TRUE(result.trace.conserved());
 }
 
 TEST(Session, RetransmissionRecoversLossesWithinDeadline) {
@@ -48,6 +50,7 @@ TEST(Session, RetransmissionRecoversLossesWithinDeadline) {
   const auto result = run_session(plan, to_sim_paths(paths), quick(20000));
   EXPECT_NEAR(result.measured_quality, 0.91, 0.01);
   EXPECT_GT(result.trace.retransmissions, 0u);
+  EXPECT_TRUE(result.trace.conserved());
 }
 
 TEST(Session, Figure1ScenarioDeliversEverythingInSimulation) {
@@ -97,6 +100,8 @@ TEST(Session, BlackholeAssignmentsAreCountedAndDropped) {
           static_cast<double>(result.trace.generated),
       1.0 / 6.0, 0.01);
   EXPECT_NEAR(result.measured_quality, 0.70, 0.02);
+  // Blackhole assignments are one of the conserved fates.
+  EXPECT_TRUE(result.trace.conserved());
 }
 
 TEST(Session, MeasuredQualityTracksTheoryAcrossRates) {
@@ -152,6 +157,8 @@ TEST(Session, DuplicatesDetectedWhenTimeoutsAreTooAggressive) {
   EXPECT_GT(result.trace.duplicates, result.trace.generated / 2);
   // Quality does not suffer: the first copies arrive fine.
   EXPECT_NEAR(result.measured_quality, 1.0, 1e-6);
+  // Duplicates do not double-count any fate.
+  EXPECT_TRUE(result.trace.conserved());
 }
 
 TEST(Session, FastRetransmitRecoversFromLostTimersEarlier) {
@@ -212,6 +219,8 @@ TEST(Session, AckEveryNReducesAckTraffic) {
               4.0, 0.1);
   // Cumulative/window redundancy keeps delivery intact.
   EXPECT_NEAR(r4.measured_quality, 1.0, 1e-6);
+  EXPECT_TRUE(r1.trace.conserved());
+  EXPECT_TRUE(r4.trace.conserved());
 }
 
 TEST(Session, SurvivesLossyAckPath) {
@@ -231,6 +240,9 @@ TEST(Session, SurvivesLossyAckPath) {
   // sends, not quality loss.
   EXPECT_NEAR(result.measured_quality, 0.96, 0.01);
   EXPECT_GT(result.trace.duplicates, 0u);
+  // Even with a lossy reverse path, sender give-ups and receiver verdicts
+  // stay disjoint (see the caveat on Trace::conserved).
+  EXPECT_TRUE(result.trace.conserved());
 }
 
 TEST(Session, RejectsMismatchedNetworks) {

@@ -1,0 +1,120 @@
+// Edge cases of the windowed utilization meter behind online admission:
+// min-window guarding, zero-capacity rejection, and residual clamping when
+// a burst charges more serialization time than the window holds.
+#include "sim/utilization.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "core/units.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dmc::sim {
+namespace {
+
+Network one_path_network(Simulator& simulator, double rate_bps,
+                         std::size_t queue_capacity = 1000) {
+  LinkConfig link;
+  link.rate_bps = rate_bps;
+  link.queue_capacity = queue_capacity;
+  return Network(simulator, {symmetric_path(link, "p")});
+}
+
+void send_burst(Simulator& simulator, Network& network, int packets,
+                std::uint32_t size_bytes) {
+  for (int i = 0; i < packets; ++i) {
+    PooledPacket packet = simulator.packets().acquire();
+    packet->size_bytes = size_bytes;
+    network.client_send(0, std::move(packet));
+  }
+}
+
+TEST(UtilizationMeter, WindowShorterThanGuardKeepsTheFullReading) {
+  Simulator simulator(1);
+  Network network = one_path_network(simulator, mbps(8));
+  UtilizationMeter meter(network, /*min_window_s=*/0.05);
+
+  // 20 ms of busy time in the first 100 ms window.
+  send_burst(simulator, network, 20, 1000);
+  simulator.run_until(0.1);
+  auto usage = meter.sample(0.1);
+  ASSERT_EQ(usage.size(), 1u);
+  EXPECT_NEAR(usage[0].utilization, 0.2, 1e-9);
+
+  // More traffic lands, but the next sample comes 10 ms later — inside the
+  // guard. The meter must return the previous reading unchanged rather than
+  // trusting a micro-window, and must not consume the new busy time.
+  send_burst(simulator, network, 20, 1000);
+  simulator.run_until(0.11);
+  const auto guarded = meter.sample(0.11);
+  EXPECT_EQ(guarded[0].utilization, usage[0].utilization);
+  EXPECT_EQ(guarded[0].footprint_bps, usage[0].footprint_bps);
+  EXPECT_EQ(meter.window_end(), 0.1);
+
+  // Once the window is long enough the deferred busy time is all there:
+  // nothing was lost while the guard was rejecting samples.
+  simulator.run_until(0.2);
+  usage = meter.sample(0.2);
+  EXPECT_NEAR(usage[0].utilization, 0.2, 1e-9);
+  EXPECT_EQ(meter.window_start(), 0.1);
+  EXPECT_EQ(meter.window_end(), 0.2);
+}
+
+TEST(UtilizationMeter, SameInstantSampleReturnsPreviousReading) {
+  Simulator simulator(1);
+  Network network = one_path_network(simulator, mbps(8));
+  UtilizationMeter meter(network, 0.0);  // even with no guard configured
+
+  send_burst(simulator, network, 10, 1000);
+  simulator.run_until(0.1);
+  const auto usage = meter.sample(0.1);
+  const auto repeat = meter.sample(0.1);  // zero-length window
+  EXPECT_EQ(repeat[0].utilization, usage[0].utilization);
+  EXPECT_EQ(repeat[0].residual_bps, usage[0].residual_bps);
+}
+
+TEST(UtilizationMeter, ZeroCapacityLinkIsRejectedAtConstruction) {
+  // A zero-rate link would make every utilization reading 0/0; the link
+  // layer refuses to build one, so the meter never sees it.
+  Simulator simulator(1);
+  LinkConfig link;
+  link.rate_bps = 0.0;
+  EXPECT_THROW(Network(simulator, {symmetric_path(link, "dead")}),
+               std::invalid_argument);
+  link.rate_bps = -1.0;
+  EXPECT_THROW(Network(simulator, {symmetric_path(link, "neg")}),
+               std::invalid_argument);
+}
+
+TEST(UtilizationMeter, ResidualClampsToZeroAtSaturation) {
+  Simulator simulator(1);
+  // 8 Mbps link, deep queue: a 200-packet burst books 200 ms of
+  // serialization time the moment it is accepted.
+  Network network = one_path_network(simulator, mbps(8));
+  UtilizationMeter meter(network, 0.0);
+
+  send_burst(simulator, network, 200, 1000);
+  simulator.run_until(0.1);
+  const auto usage = meter.sample(0.1);
+  // The whole backlog charges to the arrival window: utilization 2.0, a
+  // footprint twice the line rate — and the residual clamps at zero rather
+  // than going negative into the admission LP.
+  EXPECT_NEAR(usage[0].utilization, 2.0, 1e-9);
+  EXPECT_NEAR(usage[0].footprint_bps, mbps(16), 1.0);
+  EXPECT_EQ(usage[0].residual_bps, 0.0);
+}
+
+TEST(UtilizationMeter, FirstReadingBeforeAnySampleShowsIdleLink) {
+  Simulator simulator(1);
+  Network network = one_path_network(simulator, mbps(8));
+  const UtilizationMeter meter(network, 0.0);
+  ASSERT_EQ(meter.last().size(), 1u);
+  EXPECT_EQ(meter.last()[0].utilization, 0.0);
+  EXPECT_EQ(meter.last()[0].footprint_bps, 0.0);
+  EXPECT_NEAR(meter.last()[0].residual_bps, mbps(8), 1e-6);
+}
+
+}  // namespace
+}  // namespace dmc::sim

@@ -14,6 +14,8 @@
 #include "core/planner.h"
 #include "core/scheduler.h"
 #include "core/units.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "protocol/baselines.h"
 #include "protocol/receiver.h"
 #include "protocol/sender.h"
@@ -106,7 +108,10 @@ namespace {
 TEST(ZeroAlloc, SteadyStatePacketProcessingDoesNotAllocate) {
   // A lossy single-path session with retransmissions, so the measurement
   // window exercises the full per-packet path: generation, scheduling,
-  // link traversal, loss, timers, retransmits, ack encode/decode.
+  // link traversal, loss, timers, retransmits, ack encode/decode — with the
+  // observability layer fully enabled. Metric registration and trace-track
+  // resolution allocate at setup / first touch (long before the window);
+  // recording itself must not.
   core::PathSet believed;
   believed.add({.name = "p",
                 .bandwidth_bps = mbps(20),
@@ -119,7 +124,9 @@ TEST(ZeroAlloc, SteadyStatePacketProcessingDoesNotAllocate) {
   x[model.combos().encode(attempts)] = 1.0;
   const core::Plan plan = proto::make_manual_plan(believed, traffic, x);
 
-  sim::Simulator simulator(23);
+  obs::MetricRegistry registry;
+  obs::TraceRecorder recorder(std::size_t{1} << 16);
+  sim::Simulator simulator(23, obs::Hub{&registry, &recorder});
   sim::LinkConfig link{.rate_bps = mbps(20), .prop_delay_s = ms(30),
                        .loss_rate = 0.1, .queue_capacity = 100000};
   sim::Network network(simulator, {sim::symmetric_path(link, "p")});
@@ -157,16 +164,30 @@ TEST(ZeroAlloc, SteadyStatePacketProcessingDoesNotAllocate) {
   // two well before the window starts).
   simulator.run_until(2.6);
   const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const std::uint64_t events_before = recorder.recorded();
   simulator.run_until(3.2);
   const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u)
       << (after - before) << " allocations in the steady-state window";
+  // The window was genuinely observed, not silently disabled.
+  EXPECT_GT(recorder.recorded(), events_before);
 
   simulator.run();
   EXPECT_EQ(trace.generated, 2000u);
   EXPECT_GT(trace.delivered_unique, 1900u);
   EXPECT_GT(trace.retransmissions, 50u);  // the lossy path was exercised
   EXPECT_EQ(simulator.packets().in_use(), 0u);
+
+  // The registry saw the run too: the receiver's delay histogram counted
+  // every first arrival without ever allocating in the window.
+  bool found_delay_hist = false;
+  for (const obs::MetricRegistry::Entry& entry : registry.entries()) {
+    if (entry.name == "dmc_proto_delay_seconds") {
+      found_delay_hist = true;
+      EXPECT_EQ(entry.histogram.count(), trace.delivered_unique);
+    }
+  }
+  EXPECT_TRUE(found_delay_hist);
 }
 
 }  // namespace

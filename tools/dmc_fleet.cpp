@@ -2,6 +2,7 @@
 // the fleet engine, plus the multi-session contention family. Results
 // export as schema-versioned JSON/CSV (fleet/results.h); output is
 // bit-identical at any --threads value.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <iterator>
@@ -15,6 +16,7 @@
 #include "fleet/grids.h"
 #include "fleet/job.h"
 #include "fleet/results.h"
+#include "obs/export.h"
 #include "util/parse.h"
 
 namespace {
@@ -45,6 +47,8 @@ options
                   mean session size for `server` (default 400)
   --warm-start M  on|off: warm-started LP re-solves in every `server` cell
                   (default on; the lp_* result columns show the split)
+  --obs           collect per-cell metrics in `server` grids (adds the
+                  deterministic dmc.obs.v1 "obs" block to each record)
   --json PATH     write the JSON result set (- = stdout)
   --csv PATH      write the CSV result set (- = stdout)
   --quiet         suppress the text tables
@@ -62,6 +66,7 @@ struct CliOptions {
   int count = 200;
   std::uint64_t session_messages = 400;
   bool warm_start = true;
+  bool obs = false;
   std::string json_path;
   std::string csv_path;
   bool quiet = false;
@@ -108,6 +113,8 @@ CliOptions parse_cli(int argc, char** argv) {
       } else {
         throw std::invalid_argument("--warm-start: expected on or off");
       }
+    } else if (arg == "--obs") {
+      options.obs = true;
     } else if (arg == "--json") {
       options.json_path = value();
     } else if (arg == "--csv") {
@@ -199,6 +206,8 @@ void write_to(const std::string& path, const fleet::ResultSet& results,
 }
 
 int run(const CliOptions& options) {
+  const std::chrono::steady_clock::time_point wall_start =
+      std::chrono::steady_clock::now();
   fleet::GridOptions grid;
   grid.messages =
       options.messages > 0 ? options.messages : exp::default_messages(100000);
@@ -244,6 +253,7 @@ int run(const CliOptions& options) {
     axes.count = options.count;
     axes.mean_messages = static_cast<double>(options.session_messages);
     axes.warm_start = options.warm_start;
+    axes.collect_metrics = options.obs;
     if (options.rate_mbps > 0.0) axes.rate_mbps = {options.rate_mbps};
     runs.push_back(
         {"Online admission: arrival-rate sweep on the Table III network",
@@ -291,6 +301,25 @@ int run(const CliOptions& options) {
 
   if (!options.json_path.empty()) write_to(options.json_path, results, false);
   if (!options.csv_path.empty()) write_to(options.csv_path, results, true);
+
+  if (!options.quiet) {
+    // Sweep-level footer from the same registry/exporter path the server
+    // uses: simulated seconds and events summed over every record.
+    obs::MetricRegistry registry;
+    double sim_s = 0.0;
+    std::uint64_t events = 0;
+    for (const fleet::RunRecord& record : results.records) {
+      sim_s += record.elapsed_s;
+      events += record.events;
+    }
+    registry.gauge(obs::kRunSimSeconds, "Simulated seconds, summed").set(sim_s);
+    registry.counter(obs::kRunEventsTotal, "Events executed").set(events);
+    registry.gauge(obs::kRunWallSeconds, "Wall-clock seconds", true)
+        .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           wall_start)
+                 .count());
+    obs::print_run_footer(std::cout, registry);
+  }
   return failures == 0 ? 0 : 1;
 }
 

@@ -13,6 +13,7 @@
 #include "experiments/table.h"
 #include "fleet/job.h"
 #include "fleet/results.h"
+#include "obs/export.h"
 #include "server/arrivals.h"
 #include "server/server.h"
 #include "util/parse.h"
@@ -40,9 +41,14 @@ options
   --no-warm-start   solve every admission/re-plan LP cold (default: warm
                     re-solves from the previous optimal basis)
   --seed N          workload + network seed (default 42)
-  --trace T         comma-separated arrival instants instead of Poisson
+  --arrivals T      comma-separated arrival instants instead of Poisson
   --json PATH       write the JSON result set (- = stdout)
   --csv PATH        write the CSV result set (- = stdout)
+  --trace PATH      write a Chrome trace-event JSON file (load in Perfetto);
+                    with several policies, the policy name is inserted
+                    before the extension
+  --metrics PATH    write Prometheus text exposition (same policy-name rule)
+  --trace-capacity N  trace ring capacity in events (default 1048576)
   --sessions        also print the per-session fate table
   --quiet           suppress the text tables
 )";
@@ -59,9 +65,12 @@ struct CliOptions {
   bool replan = true;
   bool warm_start = true;
   std::uint64_t seed = 42;
-  std::string trace;
+  std::string arrivals;
   std::string json_path;
   std::string csv_path;
+  std::string trace_path;
+  std::string metrics_path;
+  std::size_t trace_capacity = std::size_t{1} << 20;
   bool per_session = false;
   bool quiet = false;
 };
@@ -98,12 +107,19 @@ CliOptions parse_cli(int argc, char** argv) {
       options.warm_start = false;
     } else if (arg == "--seed") {
       options.seed = util::parse_number<std::uint64_t>(arg, value());
-    } else if (arg == "--trace") {
-      options.trace = value();
+    } else if (arg == "--arrivals") {
+      options.arrivals = value();
     } else if (arg == "--json") {
       options.json_path = value();
     } else if (arg == "--csv") {
       options.csv_path = value();
+    } else if (arg == "--trace") {
+      options.trace_path = value();
+    } else if (arg == "--metrics") {
+      options.metrics_path = value();
+    } else if (arg == "--trace-capacity") {
+      options.trace_capacity =
+          util::parse_positive<std::size_t>(arg, value());
     } else if (arg == "--sessions") {
       options.per_session = true;
     } else if (arg == "--quiet") {
@@ -124,10 +140,11 @@ std::vector<server::SessionRequest> build_workload(
   workload.mean_lifetime_s = ms(options.lifetime_ms);
   workload.mean_messages = static_cast<double>(options.messages);
   workload.seed = options.seed;
-  if (options.trace.empty()) return server::poisson_arrivals(workload);
+  if (options.arrivals.empty()) return server::poisson_arrivals(workload);
   std::vector<double> times;
-  for (const std::string& item : util::split_list("--trace", options.trace)) {
-    times.push_back(util::parse_number<double>("--trace", item));
+  for (const std::string& item :
+       util::split_list("--arrivals", options.arrivals)) {
+    times.push_back(util::parse_number<double>("--arrivals", item));
   }
   return server::trace_arrivals(times, workload);
 }
@@ -164,17 +181,42 @@ void write_to(const std::string& path, const fleet::ResultSet& results,
   csv ? results.write_csv(out) : results.write_json(out);
 }
 
+// "out.json" + "threshold" -> "out.threshold.json" so several policies do
+// not clobber each other's trace/metrics files.
+std::string with_policy(const std::string& path, const std::string& policy,
+                        bool multi_policy) {
+  if (!multi_policy) return path;
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "." + policy;
+  }
+  return path.substr(0, dot) + "." + policy + path.substr(dot);
+}
+
+template <typename Writer>
+void export_obs(const std::string& path, Writer&& writer) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  writer(out);
+}
+
 int run(const CliOptions& options) {
   const std::vector<server::SessionRequest> requests =
       build_workload(options);
+  const std::vector<std::string> policies =
+      util::split_list("--policies", options.policies);
+  const bool multi_policy = policies.size() > 1;
 
   fleet::ResultSet results;
   exp::Table summary({"policy", "admitted", "rejected", "expired",
                       "admission rate", "deadline miss", "goodput (Mbps)",
                       "orphans", "replans", "lp warm/cold"});
   std::size_t failures = 0;
-  for (const std::string& policy :
-       util::split_list("--policies", options.policies)) {
+  for (const std::string& policy : policies) {
     server::ServerConfig config;
     config.planning_paths = exp::table3_model_paths();
     config.true_paths = exp::table3_paths();
@@ -184,6 +226,9 @@ int run(const CliOptions& options) {
     config.replan_on_departure = options.replan;
     config.warm_start = options.warm_start;
     config.seed = options.seed;
+    config.collect_metrics = true;  // feeds the footer + "obs" JSON block
+    config.collect_trace = !options.trace_path.empty();
+    config.trace_capacity = options.trace_capacity;
 
     server::SessionServer session_server(config);
     const server::ServerOutcome outcome = session_server.run(requests);
@@ -191,6 +236,19 @@ int run(const CliOptions& options) {
       std::cerr << "dmc_server: link packet conservation violated under "
                 << policy << "\n";
       ++failures;
+    }
+
+    if (!options.trace_path.empty() && outcome.trace_events != nullptr) {
+      export_obs(with_policy(options.trace_path, policy, multi_policy),
+                 [&](std::ostream& out) {
+                   obs::write_chrome_trace(out, *outcome.trace_events);
+                 });
+    }
+    if (!options.metrics_path.empty() && outcome.metrics != nullptr) {
+      export_obs(with_policy(options.metrics_path, policy, multi_policy),
+                 [&](std::ostream& out) {
+                   obs::write_prometheus(out, *outcome.metrics);
+                 });
     }
 
     summary.add_row(
@@ -207,6 +265,10 @@ int run(const CliOptions& options) {
       exp::banner("per-session fates: " + policy);
       session_table(outcome).print();
       std::cout << "\n";
+    }
+    if (!options.quiet && outcome.metrics != nullptr) {
+      std::cout << policy << " ";
+      obs::print_run_footer(std::cout, *outcome.metrics);
     }
     results.records.push_back(
         fleet::server_record("server",
