@@ -1,0 +1,118 @@
+// Forensics-engine benchmarks (google-benchmark): analyze() over a
+// synthetic ~1M-event trace ring shaped like a real overloaded dmc_server
+// run (per-message tx/loss/retx/resolution on session tracks joined with
+// link enqueue/deliver evidence, plus queue-depth counters). The contract
+// pinned here: full root-cause attribution plus the windowed SLO series
+// over one million events completes in well under 100 ms, so forensics is
+// cheap enough to leave on at the end of every traced run.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+
+#include "obs/analysis.h"
+#include "obs/export.h"
+#include "obs/trace_recorder.h"
+
+namespace {
+
+using namespace dmc;
+
+// Deterministic ~1M-event ring: 64 sessions x 3600 messages, ~4.4 events
+// per message across one of four links. Every 7th message loses its first
+// attempt and is retransmitted; every 31st resolves late, every 97th is
+// given up on — enough misses that the cascade actually runs.
+obs::TraceRecorder synthetic_ring() {
+  constexpr std::size_t kSessions = 64;
+  constexpr std::uint32_t kMessages = 3600;
+  obs::TraceRecorder rec(std::size_t{1} << 21);  // 2M cap: no wraparound
+  std::uint16_t links[4] = {
+      rec.link_track("p0/fwd"), rec.link_track("p1/fwd"),
+      rec.link_track("p2/fwd"), rec.link_track("p3/fwd")};
+  for (std::size_t s = 1; s <= kSessions; ++s) {
+    const std::uint16_t track = rec.session_track(static_cast<uint32_t>(s));
+    const auto session = static_cast<float>(s);
+    double t = static_cast<double>(s) * 1e-3;
+    rec.record(obs::Ev::session_admit, t, track,
+               static_cast<std::uint32_t>(s), 0, 0.97F);
+    for (std::uint32_t m = 0; m < kMessages; ++m) {
+      const std::uint16_t link = links[(s + m) % 4];
+      t += 4e-4;
+      rec.record(obs::Ev::msg_tx, t, track, m);
+      rec.record(obs::Ev::link_tx, t, link, m, 0, session);
+      if (m % 7 == 0) {
+        rec.record(obs::Ev::link_loss_drop, t + 1e-4, link, m, 0, session);
+        rec.record(obs::Ev::msg_retx, t + 2e-4, track, m);
+        rec.record(obs::Ev::link_tx, t + 2e-4, link, m, 0, session);
+      }
+      rec.record(obs::Ev::link_deliver, t + 3e-4, link, m, 0, session);
+      if (m % 97 == 0) {
+        rec.record(obs::Ev::msg_gave_up, t + 4e-4, track, m);
+      } else if (m % 31 == 0) {
+        rec.record(obs::Ev::msg_late, t + 3e-4, track, m, 0, 2e-4F);
+      } else {
+        rec.record(obs::Ev::msg_deliver, t + 3e-4, track, m);
+      }
+    }
+  }
+  return rec;
+}
+
+// The headline number: one full analyze() pass — timeline reconstruction,
+// cascade attribution, worst-session ranking, windowed SLO series — over
+// the ~1M-event ring. items/s therefore reads as events analyzed per
+// second; the acceptance bar is < 100 ms per iteration.
+void BM_AnalyzeMillionEvents(benchmark::State& state) {
+  const obs::TraceRecorder rec = synthetic_ring();
+  obs::AnalysisOptions options;
+  options.window_s = 0.25;
+  std::uint64_t misses = 0;
+  for (auto _ : state) {
+    const obs::AnalysisReport report = obs::analyze(rec, options);
+    misses = report.misses.total();
+    benchmark::DoNotOptimize(report.messages_observed);
+  }
+  benchmark::DoNotOptimize(misses);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rec.size()));
+  state.counters["events"] = static_cast<double>(rec.size());
+}
+BENCHMARK(BM_AnalyzeMillionEvents)->Unit(benchmark::kMillisecond);
+
+// The ring -> TraceData copy dmc_server pays before export; analyze() on a
+// recorder does the same copy internally, so this isolates its share.
+void BM_ToTraceData(benchmark::State& state) {
+  const obs::TraceRecorder rec = synthetic_ring();
+  for (auto _ : state) {
+    const obs::TraceData data = obs::to_trace_data(rec);
+    benchmark::DoNotOptimize(data.events.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rec.size()));
+}
+BENCHMARK(BM_ToTraceData)->Unit(benchmark::kMillisecond);
+
+// The offline path dmc_trace pays: parse a serialized Chrome trace back
+// into TraceData. Dominated by JSON scanning, so it sets the expectation
+// for how much slower offline forensics is than in-process.
+void BM_ImportChromeTrace(benchmark::State& state) {
+  const obs::TraceRecorder rec = synthetic_ring();
+  std::ostringstream out;
+  obs::write_chrome_trace(out, rec);
+  const std::string serialized = out.str();
+  for (auto _ : state) {
+    std::istringstream in(serialized);
+    const obs::TraceData data = obs::import_chrome_trace(in);
+    benchmark::DoNotOptimize(data.events.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rec.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(serialized.size()));
+}
+BENCHMARK(BM_ImportChromeTrace)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -169,6 +169,7 @@ std::vector<JobSpec> server_grid(const ServerAxes& axes,
             work.config.policy = policy;
             work.config.warm_start = axes.warm_start;
             work.config.collect_metrics = axes.collect_metrics;
+            work.config.collect_forensics = axes.collect_forensics;
             work.config.seed = point_seed;
             work.workload.count = axes.count;
             work.workload.arrivals_per_s = arrivals;

@@ -58,6 +58,10 @@ struct ServerAxes {
   // gains the deterministic dmc.obs.v1 "obs" block. Still bit-identical at
   // any thread count — wall-clock metrics never enter the snapshot.
   bool collect_metrics = false;
+  // Per-cell deadline-miss forensics (ServerConfig::collect_forensics):
+  // each record gains the per-cause "forensics" block. Also bit-identical
+  // at any thread count — the analyzer is a pure function of the trace.
+  bool collect_forensics = false;
 };
 
 std::vector<JobSpec> server_grid(const ServerAxes& axes,

@@ -209,6 +209,12 @@ RunRecord server_record(std::string scenario, std::vector<Param> params,
   fill_links(record, config.true_paths, outcome.forward_links,
              outcome.elapsed_s);
   if (!outcome.obs.empty()) record.obs_json = outcome.obs.to_json();
+  if (outcome.forensics.has_value()) {
+    record.has_forensics = true;
+    record.forensics_lower_bound = outcome.forensics->lower_bound;
+    record.forensics_misses = outcome.forensics->misses.total();
+    record.miss_causes = outcome.forensics->misses;
+  }
   if (!outcome.conserved) {
     record.ok = false;
     record.error = "server run violated link packet conservation";

@@ -114,6 +114,18 @@ void write_record(std::ostream& out, const RunRecord& record) {
         << ",\"lp_cold_solves\":" << record.lp_cold_solves
         << ",\"lp_fallbacks\":" << record.lp_fallbacks << "}";
   }
+  if (record.has_forensics) {
+    out << ",\"forensics\":{\"misses\":" << record.forensics_misses
+        << ",\"lower_bound\":"
+        << (record.forensics_lower_bound ? "true" : "false")
+        << ",\"causes\":{";
+    for (std::size_t c = 0; c < obs::kNumMissCauses; ++c) {
+      if (c > 0) out << ",";
+      out << "\"" << obs::to_string(static_cast<obs::MissCause>(c))
+          << "\":" << record.miss_causes.counts[c];
+    }
+    out << "}}";
+  }
   if (!record.obs_json.empty()) {
     out << ",\"obs\":" << record.obs_json;
   }
@@ -155,7 +167,11 @@ void ResultSet::write_csv(std::ostream& out) const {
          "late,retransmissions,duplicates,gave_up,delay_mean_s,delay_p50_s,"
          "delay_p99_s,policy,arrivals,admitted,rejected,expired,"
          "admission_rate,deadline_miss_rate,goodput_bps,warm_start,"
-         "lp_warm_solves,lp_cold_solves,lp_fallbacks\n";
+         "lp_warm_solves,lp_cold_solves,lp_fallbacks,forensics_misses";
+  for (std::size_t c = 0; c < obs::kNumMissCauses; ++c) {
+    out << ",cause_" << obs::to_string(static_cast<obs::MissCause>(c));
+  }
+  out << "\n";
   for (const RunRecord& record : records) {
     std::string params;
     for (const Param& param : record.params) {
@@ -189,7 +205,11 @@ void ResultSet::write_csv(std::ostream& out) const {
         << format_double(record.goodput_bps) << ","
         << (record.warm_start ? "true" : "false") << ","
         << record.lp_warm_solves << "," << record.lp_cold_solves << ","
-        << record.lp_fallbacks << "\n";
+        << record.lp_fallbacks << "," << record.forensics_misses;
+    for (std::size_t c = 0; c < obs::kNumMissCauses; ++c) {
+      out << "," << record.miss_causes.counts[c];
+    }
+    out << "\n";
   }
 }
 

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/analysis.h"
 #include "protocol/trace.h"
 
 namespace dmc::fleet {
@@ -90,6 +91,16 @@ struct RunRecord {
   // an "obs" object. Only deterministic (non-wallclock) metrics appear, so
   // the bit-identity guarantee across thread counts holds with it populated.
   std::string obs_json;
+
+  // Deadline-miss forensics (obs::analyze over the run's trace ring). The
+  // JSON "forensics" block is emitted only when has_forensics, so result
+  // files from runs without it stay byte-identical; the per-cause counts
+  // are a pure function of the trace, hence bit-identical at any thread
+  // count. forensics_lower_bound flags ring-wraparound truncation.
+  bool has_forensics = false;
+  bool forensics_lower_bound = false;
+  std::uint64_t forensics_misses = 0;
+  obs::MissBreakdown miss_causes;
 };
 
 struct ResultSet {

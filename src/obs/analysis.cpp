@@ -1,0 +1,1142 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <iterator>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace dmc::obs {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Delay/lateness distributions use the same layout as the receiver's
+// dmc_proto_delay_seconds histogram, so in-process and imported analyses
+// bucket identically.
+const HistogramOptions kDelayHist{1e-4, 100.0, 8};
+
+// --- track classification -------------------------------------------------
+
+enum class TrackKind : std::uint8_t { other, session, link_fwd, link_rev };
+
+struct TrackInfo {
+  TrackKind kind = TrackKind::other;
+  std::uint32_t session = 0;  // session tracks only
+  std::int32_t link = -1;     // index into the link list (link tracks only)
+};
+
+bool parse_u32(std::string_view text, std::uint32_t& out) {
+  const auto [ptr, ec] = std::from_chars(text.data(),
+                                         text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+// "session N" -> session track, "link NAME" -> link track ("/rev" suffix
+// marks the ack direction, which never carries data-message evidence).
+std::vector<TrackInfo> classify_tracks(const std::vector<std::string>& tracks,
+                                       std::vector<std::string>& link_names) {
+  std::vector<TrackInfo> info(tracks.size());
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    const std::string& name = tracks[i];
+    if (name.rfind("session ", 0) == 0) {
+      std::uint32_t session = 0;
+      if (parse_u32(std::string_view(name).substr(8), session)) {
+        info[i].kind = TrackKind::session;
+        info[i].session = session;
+      }
+    } else if (name.rfind("link ", 0) == 0) {
+      const std::string_view link_name = std::string_view(name).substr(5);
+      const bool rev = link_name.size() >= 4 &&
+                       link_name.substr(link_name.size() - 4) == "/rev";
+      info[i].kind = rev ? TrackKind::link_rev : TrackKind::link_fwd;
+      info[i].link = static_cast<std::int32_t>(link_names.size());
+      link_names.emplace_back(link_name);
+    }
+  }
+  return info;
+}
+
+// --- per-message and per-session state ------------------------------------
+
+constexpr std::uint8_t kSeen = 1;
+constexpr std::uint8_t kOnTime = 2;
+constexpr std::uint8_t kLate = 4;
+constexpr std::uint8_t kGaveUp = 8;
+constexpr std::uint8_t kBlackhole = 16;
+constexpr std::uint8_t kResolved = kOnTime | kLate | kGaveUp | kBlackhole;
+
+// A data packet the message currently has on some forward link; bounded so
+// MsgState stays flat (deeper pipelining than 4 concurrent attempts of one
+// message does not occur — programs retransmit sequentially).
+struct InFlightTx {
+  double t = 0.0;
+  std::int32_t link = -1;
+};
+
+struct MsgState {
+  double first_tx = -1.0;
+  double resolved_at = -1.0;
+  double deliver_transit = -1.0;  // link transit of the delivering packet
+  std::int32_t deliver_link = -1;
+  float late_by = 0.0F;
+  std::uint16_t attempts = 0;
+  std::uint16_t losses = 0;
+  std::uint16_t queue_drops = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t n_inflight = 0;
+  InFlightTx inflight[4];
+
+  void push_inflight(double t, std::int32_t link) {
+    if (n_inflight == 4) {  // evict the oldest: it can no longer match
+      std::memmove(&inflight[0], &inflight[1], 3 * sizeof(InFlightTx));
+      n_inflight = 3;
+    }
+    inflight[n_inflight++] = InFlightTx{t, link};
+  }
+
+  // Oldest in-flight entry on `link`, FIFO-matching link delivery order.
+  bool pop_inflight(std::int32_t link, double& tx_t) {
+    for (std::uint8_t i = 0; i < n_inflight; ++i) {
+      if (inflight[i].link != link) continue;
+      tx_t = inflight[i].t;
+      std::memmove(&inflight[i], &inflight[i + 1],
+                   static_cast<std::size_t>(n_inflight - i - 1) *
+                       sizeof(InFlightTx));
+      --n_inflight;
+      return true;
+    }
+    return false;
+  }
+};
+
+// Sequence numbers are dense per session, so messages live in a flat
+// vector; absurd sequence values (possible only in hand-built traces) spill
+// into an ordered map to keep memory bounded.
+constexpr std::uint32_t kDenseSeqLimit = 1u << 22;
+
+struct SessState {
+  std::uint32_t request = 0;
+  double admitted_at = kNaN;
+  double admit_quality = kNaN;
+  std::vector<double> replans;  // ascending (trace order)
+  std::vector<MsgState> dense;
+  std::map<std::uint32_t, MsgState> sparse;
+
+  MsgState& msg(std::uint32_t seq) {
+    if (seq >= kDenseSeqLimit) return sparse[seq];
+    if (seq >= dense.size()) {
+      dense.resize(std::max<std::size_t>(seq + 1, dense.size() * 2));
+    }
+    return dense[seq];
+  }
+};
+
+const char* outcome_name(std::uint8_t flags) {
+  if (flags & kBlackhole) return "blackholed";
+  if (flags & kOnTime) return "on-time";
+  if (flags & kLate) return "late";
+  if (flags & kGaveUp) return "gave-up";
+  return "open";
+}
+
+}  // namespace
+
+const char* to_string(MissCause cause) {
+  switch (cause) {
+    case MissCause::blackhole:
+      return "blackhole";
+    case MissCause::queue_delay:
+      return "queue_delay";
+    case MissCause::loss_burst:
+      return "loss_burst";
+    case MissCause::replan_lag:
+      return "replan_lag";
+    case MissCause::admitted_over_residual:
+      return "admitted_over_residual";
+    case MissCause::planner_misestimate:
+      return "planner_misestimate";
+  }
+  return "unknown";
+}
+
+void AnalysisOptions::check() const {
+  if (!(window_s > 0.0) || !std::isfinite(window_s)) {
+    throw std::invalid_argument("AnalysisOptions: window_s must be > 0");
+  }
+  if (!(slo_miss_rate > 0.0) || slo_miss_rate > 1.0) {
+    throw std::invalid_argument(
+        "AnalysisOptions: slo_miss_rate not in (0,1]");
+  }
+  if (optimism_quality < 0.0 || optimism_quality > 1.0) {
+    throw std::invalid_argument(
+        "AnalysisOptions: optimism_quality not in [0,1]");
+  }
+  if (loss_burst_min < 1) {
+    throw std::invalid_argument("AnalysisOptions: loss_burst_min < 1");
+  }
+  if (max_windows < 1) {
+    throw std::invalid_argument("AnalysisOptions: max_windows < 1");
+  }
+}
+
+TraceData to_trace_data(const TraceRecorder& recorder) {
+  TraceData data;
+  data.tracks = recorder.track_names();
+  data.dropped = recorder.dropped();
+  data.events.reserve(recorder.size());
+  for (std::size_t i = 0; i < recorder.size(); ++i) {
+    data.events.push_back(recorder.event(i));
+  }
+  return data;
+}
+
+AnalysisReport analyze(const TraceRecorder& recorder,
+                       const AnalysisOptions& options) {
+  return analyze(to_trace_data(recorder), options);
+}
+
+AnalysisReport analyze(const TraceData& data, const AnalysisOptions& options) {
+  options.check();
+
+  AnalysisReport report;
+  report.events = data.events.size();
+  report.dropped = data.dropped;
+  report.truncated = data.dropped > 0;
+  report.lower_bound = report.truncated;
+  report.slo_miss_rate = options.slo_miss_rate;
+  report.detail_session = options.detail_session;
+
+  std::vector<std::string> link_names;
+  const std::vector<TrackInfo> tracks =
+      classify_tracks(data.tracks, link_names);
+  report.links = link_names;
+  const std::size_t num_links = link_names.size();
+
+  if (data.events.empty()) {
+    report.effective_window_s = options.window_s;
+    return report;
+  }
+
+  // Time range and window width. Span events carry their *start* time, so
+  // the minimum is a real scan, not events.front().
+  double t_start = kInf;
+  double t_end = -kInf;
+  for (const TraceEvent& event : data.events) {
+    t_start = std::min(t_start, event.t);
+    t_end = std::max(t_end, event.t);
+  }
+  report.t_start_s = t_start;
+  report.t_end_s = t_end;
+
+  double width = options.window_s;
+  const double span = t_end - t_start;
+  while (span / width >= static_cast<double>(options.max_windows)) {
+    width *= 2.0;
+  }
+  report.effective_window_s = width;
+  const std::size_t num_windows =
+      static_cast<std::size_t>(span / width) + 1;
+  report.windows.resize(num_windows);
+  std::vector<Histogram> window_delay;
+  window_delay.reserve(num_windows);
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    WindowStats& window = report.windows[w];
+    window.t0 = t_start + static_cast<double>(w) * width;
+    window.link_queue_depth_max.assign(num_links, 0.0F);
+    window_delay.emplace_back(kDelayHist);
+  }
+  const auto window_at = [&](double t) -> std::size_t {
+    const double offset = (t - t_start) / width;
+    if (!(offset > 0.0)) return 0;
+    return std::min(static_cast<std::size_t>(offset), num_windows - 1);
+  };
+
+  std::map<std::uint32_t, SessState> sessions;
+  std::vector<double> min_transit(num_links, kInf);
+  Histogram delay_hist(kDelayHist);
+  Histogram lateness_hist(kDelayHist);
+
+  // --- pass 1: one ordered sweep reconstructs per-message state, joins
+  // link evidence by (session, seq), and fills the windowed counters.
+  // Resolution is first-event-wins: a message resolves exactly once, so the
+  // window series sums to the report totals by construction.
+  for (const TraceEvent& event : data.events) {
+    if (event.track >= tracks.size()) continue;  // unregistered track
+    const TrackInfo& track = tracks[event.track];
+    WindowStats& win = report.windows[window_at(event.t)];
+
+    const auto resolve = [&](MsgState& ms, std::uint8_t flag) {
+      ms.flags |= flag | kSeen;
+      ms.resolved_at = event.t;
+      if (ms.first_tx >= 0.0 && flag != kBlackhole) {
+        const double delay = event.t - ms.first_tx;
+        delay_hist.record(delay);
+        window_delay[window_at(event.t)].record(delay);
+      }
+    };
+
+    switch (event.type) {
+      case Ev::session_admit: {
+        if (track.kind != TrackKind::session) break;
+        SessState& sess = sessions[track.session];
+        sess.request = event.id;
+        sess.admitted_at = event.t;
+        if (event.value > 0.0F) {
+          sess.admit_quality = static_cast<double>(event.value);
+        }
+        ++report.admits;
+        ++win.admits;
+        break;
+      }
+      case Ev::session_reject:
+        ++report.rejects;
+        ++win.rejects;
+        break;
+      case Ev::session_queue:
+        ++report.queued;
+        break;
+      case Ev::session_expire:
+        ++report.expires;
+        ++win.expires;
+        break;
+      case Ev::session_span: {
+        if (track.kind != TrackKind::session) break;
+        SessState& sess = sessions[track.session];
+        if (std::isnan(sess.admitted_at)) sess.admitted_at = event.t;
+        if (sess.request == 0) sess.request = event.id;
+        break;
+      }
+      case Ev::replan: {
+        if (track.kind != TrackKind::session) break;
+        sessions[track.session].replans.push_back(event.t);
+        ++report.replans;
+        ++win.replans;
+        break;
+      }
+      case Ev::lp_warm_solve:
+        ++report.lp_warm_solves;
+        break;
+      case Ev::lp_cold_solve:
+        ++report.lp_cold_solves;
+        break;
+
+      case Ev::msg_tx:
+      case Ev::msg_retx:
+      case Ev::msg_fast_retx: {
+        if (track.kind != TrackKind::session) break;
+        MsgState& ms = sessions[track.session].msg(event.id);
+        ms.flags |= kSeen;
+        ++ms.attempts;
+        ++win.transmissions;
+        ++report.transmissions;
+        if (event.type == Ev::msg_tx) {
+          if (ms.first_tx < 0.0) {
+            ms.first_tx = event.t;
+            ++win.generated;
+          }
+        } else {
+          ++win.retransmissions;
+          ++report.retransmissions;
+          // Wrapped ring: the first transmission may be lost; anchor the
+          // delay at the earliest surviving attempt (report is flagged as
+          // truncated in that case anyway).
+          if (ms.first_tx < 0.0) ms.first_tx = event.t;
+        }
+        break;
+      }
+      case Ev::msg_ack: {
+        if (track.kind != TrackKind::session) break;
+        sessions[track.session].msg(event.id).flags |= kSeen;
+        ++report.acks;
+        break;
+      }
+      case Ev::msg_deliver: {
+        if (track.kind != TrackKind::session) break;
+        MsgState& ms = sessions[track.session].msg(event.id);
+        if (ms.flags & kResolved) break;
+        resolve(ms, kOnTime);
+        ++win.delivered;
+        break;
+      }
+      case Ev::msg_late: {
+        if (track.kind != TrackKind::session) break;
+        MsgState& ms = sessions[track.session].msg(event.id);
+        if (ms.flags & kResolved) break;
+        resolve(ms, kLate);
+        ms.late_by = event.value;
+        lateness_hist.record(static_cast<double>(event.value));
+        ++win.late;
+        break;
+      }
+      case Ev::msg_gave_up: {
+        if (track.kind != TrackKind::session) break;
+        MsgState& ms = sessions[track.session].msg(event.id);
+        if (ms.flags & kResolved) break;
+        resolve(ms, kGaveUp);
+        ++win.gave_up;
+        break;
+      }
+      case Ev::msg_dup:
+        ++report.duplicates;
+        break;
+      case Ev::msg_blackhole: {
+        if (track.kind != TrackKind::session) break;
+        MsgState& ms = sessions[track.session].msg(event.id);
+        if (ms.flags & kResolved) break;
+        if (ms.first_tx < 0.0) ms.first_tx = event.t;
+        resolve(ms, kBlackhole);
+        ++win.generated;
+        ++win.blackholed;
+        break;
+      }
+
+      case Ev::link_tx: {
+        if (track.kind != TrackKind::link_fwd) break;
+        MsgState& ms = sessions[static_cast<std::uint32_t>(event.value)].msg(
+            event.id);
+        ms.push_inflight(event.t, track.link);
+        break;
+      }
+      case Ev::link_queue_drop: {
+        if (track.kind != TrackKind::link_fwd) break;
+        MsgState& ms = sessions[static_cast<std::uint32_t>(event.value)].msg(
+            event.id);
+        ++ms.queue_drops;
+        break;
+      }
+      case Ev::link_loss_drop: {
+        if (track.kind != TrackKind::link_fwd) break;
+        MsgState& ms = sessions[static_cast<std::uint32_t>(event.value)].msg(
+            event.id);
+        ++ms.losses;
+        double tx_t = 0.0;
+        ms.pop_inflight(track.link, tx_t);
+        break;
+      }
+      case Ev::link_deliver: {
+        if (track.kind != TrackKind::link_fwd) break;
+        MsgState& ms = sessions[static_cast<std::uint32_t>(event.value)].msg(
+            event.id);
+        double tx_t = 0.0;
+        if (ms.pop_inflight(track.link, tx_t)) {
+          const double transit = event.t - tx_t;
+          min_transit[static_cast<std::size_t>(track.link)] = std::min(
+              min_transit[static_cast<std::size_t>(track.link)], transit);
+          // The arrival that resolves the message is the last link delivery
+          // before its deliver/late event; later (duplicate) arrivals must
+          // not overwrite the evidence.
+          if (!(ms.flags & kResolved)) {
+            ms.deliver_transit = transit;
+            ms.deliver_link = track.link;
+          }
+        }
+        break;
+      }
+
+      case Ev::link_queue_depth: {
+        if (track.link >= 0) {
+          float& depth =
+              win.link_queue_depth_max[static_cast<std::size_t>(track.link)];
+          depth = std::max(depth, event.value);
+        }
+        break;
+      }
+      case Ev::event_queue_depth:
+        win.event_queue_depth_max =
+            std::max(win.event_queue_depth_max, event.value);
+        break;
+    }
+  }
+
+  // --- pass 2: attribute every miss through the cascade (header comment),
+  // now that per-link transit floors and per-session replan lists are
+  // complete. Sessions iterate in id order, messages in sequence order, so
+  // the walk — and the report — is deterministic.
+  report.sessions_observed = sessions.size();
+  const bool want_detail = options.detail_session >= 0;
+
+  for (auto& [session_id, sess] : sessions) {
+    SessionSummary summary;
+    summary.session = session_id;
+    summary.request = sess.request;
+    summary.admitted_at_s = sess.admitted_at;
+    summary.admit_quality = sess.admit_quality;
+
+    const auto visit = [&](std::uint32_t seq, const MsgState& ms) {
+      if (!(ms.flags & kSeen)) return;
+      ++report.messages_observed;
+      ++summary.observed;
+
+      bool miss = false;
+      if (ms.flags & kBlackhole) {
+        ++report.blackholed;
+        miss = true;
+      } else if (ms.flags & kOnTime) {
+        ++report.on_time;
+      } else if (ms.flags & kLate) {
+        ++report.late;
+        miss = true;
+      } else if (ms.flags & kGaveUp) {
+        ++report.gave_up;
+        miss = true;
+      } else {
+        ++report.unresolved;
+      }
+
+      MissCause cause = MissCause::planner_misestimate;
+      double queue_excess = kNaN;
+      if (ms.deliver_transit >= 0.0 && ms.deliver_link >= 0 &&
+          std::isfinite(
+              min_transit[static_cast<std::size_t>(ms.deliver_link)])) {
+        queue_excess =
+            ms.deliver_transit -
+            min_transit[static_cast<std::size_t>(ms.deliver_link)];
+      }
+      if (miss) {
+        const bool queue_dominated =
+            (ms.flags & kLate) && !std::isnan(queue_excess) &&
+            queue_excess >= static_cast<double>(ms.late_by) - 1e-9;
+        const bool gave_up_to_loss = (ms.flags & kGaveUp) && ms.losses >= 1;
+        if (ms.flags & kBlackhole) {
+          cause = MissCause::blackhole;
+        } else if (ms.queue_drops > 0 || queue_dominated) {
+          cause = MissCause::queue_delay;
+        } else if (ms.losses >= options.loss_burst_min || gave_up_to_loss) {
+          cause = MissCause::loss_burst;
+        } else if ([&] {
+                     const auto it = std::upper_bound(sess.replans.begin(),
+                                                      sess.replans.end(),
+                                                      ms.first_tx);
+                     return it != sess.replans.end() &&
+                            *it <= ms.resolved_at;
+                   }()) {
+          cause = MissCause::replan_lag;
+        } else if (!std::isnan(sess.admit_quality) &&
+                   sess.admit_quality < options.optimism_quality) {
+          cause = MissCause::admitted_over_residual;
+        }
+        ++report.misses[cause];
+        ++summary.causes[cause];
+        ++summary.misses;
+      }
+
+      if (want_detail &&
+          static_cast<std::int64_t>(session_id) == options.detail_session) {
+        MessageForensics row;
+        row.seq = seq;
+        row.outcome = outcome_name(ms.flags);
+        row.cause = miss ? static_cast<std::int8_t>(cause) : -1;
+        row.first_tx_s = ms.first_tx >= 0.0 ? ms.first_tx : kNaN;
+        row.resolved_at_s = ms.resolved_at >= 0.0 ? ms.resolved_at : kNaN;
+        row.late_by_s = static_cast<double>(ms.late_by);
+        row.attempts = ms.attempts;
+        row.losses = ms.losses;
+        row.queue_drops = ms.queue_drops;
+        row.queue_excess_s = queue_excess;
+        report.detail.push_back(row);
+      }
+    };
+
+    for (std::uint32_t seq = 0; seq < sess.dense.size(); ++seq) {
+      visit(seq, sess.dense[seq]);
+    }
+    for (const auto& [seq, ms] : sess.sparse) visit(seq, ms);
+
+    if (summary.misses > 0) report.worst_sessions.push_back(summary);
+  }
+
+  std::stable_sort(report.worst_sessions.begin(), report.worst_sessions.end(),
+                   [](const SessionSummary& a, const SessionSummary& b) {
+                     if (a.misses != b.misses) return a.misses > b.misses;
+                     return a.session < b.session;
+                   });
+  if (report.worst_sessions.size() > options.max_worst_sessions) {
+    report.worst_sessions.resize(options.max_worst_sessions);
+  }
+
+  // --- derived series and totals.
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    WindowStats& window = report.windows[w];
+    const std::uint64_t resolved =
+        window.delivered + window.late + window.gave_up + window.blackholed;
+    if (resolved > 0) {
+      window.miss_rate =
+          static_cast<double>(window.late + window.gave_up +
+                              window.blackholed) /
+          static_cast<double>(resolved);
+      window.slo_burn = window.miss_rate / options.slo_miss_rate;
+    }
+    if (window_delay[w].count() > 0) {
+      window.p50_delay_s = window_delay[w].quantile(0.50);
+      window.p95_delay_s = window_delay[w].quantile(0.95);
+      window.p99_delay_s = window_delay[w].quantile(0.99);
+    }
+  }
+
+  report.lateness_count = lateness_hist.count();
+  report.lateness_sum_s = lateness_hist.sum();
+  if (lateness_hist.count() > 0) {
+    report.lateness_p50_s = lateness_hist.quantile(0.50);
+    report.lateness_p95_s = lateness_hist.quantile(0.95);
+    report.lateness_p99_s = lateness_hist.quantile(0.99);
+  }
+  if (delay_hist.count() > 0) {
+    report.delay_p50_s = delay_hist.quantile(0.50);
+    report.delay_p95_s = delay_hist.quantile(0.95);
+    report.delay_p99_s = delay_hist.quantile(0.99);
+  }
+  const std::uint64_t resolved_total =
+      report.on_time + report.late + report.gave_up + report.blackholed;
+  if (resolved_total > 0) {
+    report.overall_miss_rate =
+        static_cast<double>(report.misses.total()) /
+        static_cast<double>(resolved_total);
+    report.slo_burn = report.overall_miss_rate / options.slo_miss_rate;
+  }
+  return report;
+}
+
+std::vector<TraceEvent> session_events(const TraceData& data,
+                                       std::uint32_t session_id) {
+  std::vector<std::string> link_names;
+  const std::vector<TrackInfo> tracks =
+      classify_tracks(data.tracks, link_names);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : data.events) {
+    if (event.track >= tracks.size()) continue;
+    const TrackInfo& track = tracks[event.track];
+    const bool session_track = track.kind == TrackKind::session &&
+                               track.session == session_id;
+    const bool link_join =
+        track.kind == TrackKind::link_fwd &&
+        (event.type == Ev::link_tx || event.type == Ev::link_queue_drop ||
+         event.type == Ev::link_loss_drop ||
+         event.type == Ev::link_deliver) &&
+        static_cast<std::uint32_t>(event.value) == session_id;
+    if (session_track || link_join) out.push_back(event);
+  }
+  return out;
+}
+
+// --- dmc.obs.analysis.v1 serialization ------------------------------------
+
+namespace {
+
+void append_causes(std::string& out, const MissBreakdown& causes) {
+  out += '{';
+  for (std::size_t c = 0; c < kNumMissCauses; ++c) {
+    if (c > 0) out += ',';
+    out += json_string(to_string(static_cast<MissCause>(c)));
+    out += ':';
+    out += std::to_string(causes.counts[c]);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string AnalysisReport::to_json() const {
+  std::string out = "{\"schema\":\"";
+  out += kAnalysisSchema;
+  out += "\",\"trace\":{\"events\":";
+  out += std::to_string(events);
+  out += ",\"dropped\":";
+  out += std::to_string(dropped);
+  out += ",\"truncated\":";
+  out += truncated ? "true" : "false";
+  out += ",\"t_start_s\":";
+  out += json_number(t_start_s);
+  out += ",\"t_end_s\":";
+  out += json_number(t_end_s);
+  out += "},\"sessions\":{\"observed\":";
+  out += std::to_string(sessions_observed);
+  out += ",\"admitted\":";
+  out += std::to_string(admits);
+  out += ",\"rejected\":";
+  out += std::to_string(rejects);
+  out += ",\"queued\":";
+  out += std::to_string(queued);
+  out += ",\"expired\":";
+  out += std::to_string(expires);
+  out += ",\"replans\":";
+  out += std::to_string(replans);
+  out += ",\"lp_warm_solves\":";
+  out += std::to_string(lp_warm_solves);
+  out += ",\"lp_cold_solves\":";
+  out += std::to_string(lp_cold_solves);
+  out += "},\"messages\":{\"observed\":";
+  out += std::to_string(messages_observed);
+  out += ",\"on_time\":";
+  out += std::to_string(on_time);
+  out += ",\"late\":";
+  out += std::to_string(late);
+  out += ",\"gave_up\":";
+  out += std::to_string(gave_up);
+  out += ",\"blackholed\":";
+  out += std::to_string(blackholed);
+  out += ",\"unresolved\":";
+  out += std::to_string(unresolved);
+  out += ",\"transmissions\":";
+  out += std::to_string(transmissions);
+  out += ",\"retransmissions\":";
+  out += std::to_string(retransmissions);
+  out += ",\"duplicates\":";
+  out += std::to_string(duplicates);
+  out += ",\"acks\":";
+  out += std::to_string(acks);
+  out += "},\"misses\":{\"total\":";
+  out += std::to_string(misses.total());
+  out += ",\"lower_bound\":";
+  out += lower_bound ? "true" : "false";
+  out += ",\"causes\":";
+  append_causes(out, misses);
+  out += ",\"lateness_s\":{\"count\":";
+  out += std::to_string(lateness_count);
+  out += ",\"sum\":";
+  out += json_number(lateness_sum_s);
+  out += ",\"p50\":";
+  out += json_number(lateness_p50_s);
+  out += ",\"p95\":";
+  out += json_number(lateness_p95_s);
+  out += ",\"p99\":";
+  out += json_number(lateness_p99_s);
+  out += "}},\"delay_s\":{\"p50\":";
+  out += json_number(delay_p50_s);
+  out += ",\"p95\":";
+  out += json_number(delay_p95_s);
+  out += ",\"p99\":";
+  out += json_number(delay_p99_s);
+  out += "},\"slo\":{\"target_miss_rate\":";
+  out += json_number(slo_miss_rate);
+  out += ",\"overall_miss_rate\":";
+  out += json_number(overall_miss_rate);
+  out += ",\"burn\":";
+  out += json_number(slo_burn);
+  out += "},\"windows\":{\"width_s\":";
+  out += json_number(effective_window_s);
+  out += ",\"links\":[";
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_string(links[i]);
+  }
+  out += "],\"series\":[";
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const WindowStats& window = windows[w];
+    if (w > 0) out += ',';
+    out += "{\"t0\":";
+    out += json_number(window.t0);
+    out += ",\"generated\":";
+    out += std::to_string(window.generated);
+    out += ",\"transmissions\":";
+    out += std::to_string(window.transmissions);
+    out += ",\"retransmissions\":";
+    out += std::to_string(window.retransmissions);
+    out += ",\"delivered\":";
+    out += std::to_string(window.delivered);
+    out += ",\"late\":";
+    out += std::to_string(window.late);
+    out += ",\"gave_up\":";
+    out += std::to_string(window.gave_up);
+    out += ",\"blackholed\":";
+    out += std::to_string(window.blackholed);
+    out += ",\"admits\":";
+    out += std::to_string(window.admits);
+    out += ",\"rejects\":";
+    out += std::to_string(window.rejects);
+    out += ",\"expires\":";
+    out += std::to_string(window.expires);
+    out += ",\"replans\":";
+    out += std::to_string(window.replans);
+    out += ",\"miss_rate\":";
+    out += json_number(window.miss_rate);
+    out += ",\"slo_burn\":";
+    out += json_number(window.slo_burn);
+    out += ",\"p50_delay_s\":";
+    out += json_number(window.p50_delay_s);
+    out += ",\"p95_delay_s\":";
+    out += json_number(window.p95_delay_s);
+    out += ",\"p99_delay_s\":";
+    out += json_number(window.p99_delay_s);
+    out += ",\"link_depth_max\":[";
+    for (std::size_t l = 0; l < window.link_queue_depth_max.size(); ++l) {
+      if (l > 0) out += ',';
+      out += json_number(
+          static_cast<double>(window.link_queue_depth_max[l]));
+    }
+    out += "],\"event_depth_max\":";
+    out += json_number(static_cast<double>(window.event_queue_depth_max));
+    out += '}';
+  }
+  out += "]},\"worst_sessions\":[";
+  for (std::size_t i = 0; i < worst_sessions.size(); ++i) {
+    const SessionSummary& s = worst_sessions[i];
+    if (i > 0) out += ',';
+    out += "{\"session\":";
+    out += std::to_string(s.session);
+    out += ",\"request\":";
+    out += std::to_string(s.request);
+    out += ",\"admitted_at_s\":";
+    out += json_number(s.admitted_at_s);
+    out += ",\"admit_quality\":";
+    out += json_number(s.admit_quality);
+    out += ",\"observed\":";
+    out += std::to_string(s.observed);
+    out += ",\"misses\":";
+    out += std::to_string(s.misses);
+    out += ",\"causes\":";
+    append_causes(out, s.causes);
+    out += '}';
+  }
+  out += ']';
+  if (detail_session >= 0) {
+    out += ",\"detail\":{\"session\":";
+    out += std::to_string(detail_session);
+    out += ",\"messages\":[";
+    for (std::size_t i = 0; i < detail.size(); ++i) {
+      const MessageForensics& row = detail[i];
+      if (i > 0) out += ',';
+      out += "{\"seq\":";
+      out += std::to_string(row.seq);
+      out += ",\"outcome\":";
+      out += json_string(row.outcome);
+      out += ",\"cause\":";
+      out += row.cause >= 0
+                 ? json_string(to_string(static_cast<MissCause>(row.cause)))
+                 : "null";
+      out += ",\"first_tx_s\":";
+      out += json_number(row.first_tx_s);
+      out += ",\"resolved_at_s\":";
+      out += json_number(row.resolved_at_s);
+      out += ",\"late_by_s\":";
+      out += json_number(row.late_by_s);
+      out += ",\"attempts\":";
+      out += std::to_string(row.attempts);
+      out += ",\"losses\":";
+      out += std::to_string(row.losses);
+      out += ",\"queue_drops\":";
+      out += std::to_string(row.queue_drops);
+      out += ",\"queue_excess_s\":";
+      out += json_number(row.queue_excess_s);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += '}';
+  return out;
+}
+
+// --- Chrome trace-event import --------------------------------------------
+
+namespace {
+
+// Minimal recursive-descent JSON scanner, locale-independent (from_chars),
+// sized for the exporter's own output but tolerant of whitespace and key
+// order. It parses event objects into a flat struct instead of a DOM so a
+// million-event trace never materializes twice.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  void ws() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool consume(char c) {
+    ws();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  bool at(char c) {
+    ws();
+    return p_ < end_ && *p_ == c;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (p_ < end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (p_ >= end_) fail("unterminated escape");
+        const char esc = *p_++;
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 'r':
+            c = '\r';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case 'u': {
+            if (end_ - p_ < 4) fail("truncated \\u escape");
+            unsigned code = 0;
+            const auto [ptr, ec] = std::from_chars(p_, p_ + 4, code, 16);
+            if (ec != std::errc() || ptr != p_ + 4) fail("bad \\u escape");
+            p_ += 4;
+            // The exporter only escapes control characters; anything else
+            // is passed through as a replacement byte.
+            c = code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            c = esc;  // \" \\ \/ and friends
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    ws();
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(p_, end_, value);
+    if (ec != std::errc()) fail("bad number");
+    p_ = ptr;
+    return value;
+  }
+
+  void skip_value() {
+    ws();
+    if (p_ >= end_) fail("unexpected end of input");
+    switch (*p_) {
+      case '"':
+        parse_string();
+        return;
+      case '{':
+        ++p_;
+        if (consume('}')) return;
+        do {
+          parse_string();
+          expect(':');
+          skip_value();
+        } while (consume(','));
+        expect('}');
+        return;
+      case '[':
+        ++p_;
+        if (consume(']')) return;
+        do {
+          skip_value();
+        } while (consume(','));
+        expect(']');
+        return;
+      case 't':
+      case 'f':
+      case 'n':
+        while (p_ < end_ && std::isalpha(static_cast<unsigned char>(*p_))) {
+          ++p_;
+        }
+        return;
+      default:
+        parse_number();
+        return;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("import_chrome_trace: " + what);
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+struct RawEvent {
+  std::string name;
+  char ph = 0;
+  double ts = 0.0;
+  double dur = 0.0;
+  std::int64_t tid = 0;
+  bool has_tid = false;
+  std::uint32_t id = 0;
+  std::uint8_t arg = 0;
+  float value = 0.0F;
+  std::string thread_name;  // metadata args.name
+};
+
+}  // namespace
+
+TraceData import_chrome_trace(std::istream& in) {
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  JsonScanner scanner(text);
+  TraceData data;
+  std::unordered_map<std::string, std::uint16_t> track_index;
+
+  // Name -> Ev for instant/complete events (the exact inverse of ev_info);
+  // counters fold the track name into the event name and are matched by
+  // prefix below, longest prefix first.
+  std::unordered_map<std::string, Ev> by_name;
+  for (std::uint8_t i = 0; i < kNumEvTypes; ++i) {
+    const auto type = static_cast<Ev>(i);
+    if (ev_info(type).phase != 'C') by_name.emplace(ev_info(type).name, type);
+  }
+  const std::string event_depth_prefix =
+      std::string(ev_info(Ev::event_queue_depth).name) + " ";
+  const std::string link_depth_prefix =
+      std::string(ev_info(Ev::link_queue_depth).name) + " ";
+
+  const auto track_for = [&](const std::string& name) -> std::uint16_t {
+    const auto it = track_index.find(name);
+    if (it != track_index.end()) return it->second;
+    const auto idx = static_cast<std::uint16_t>(data.tracks.size());
+    data.tracks.push_back(name);
+    track_index.emplace(name, idx);
+    return idx;
+  };
+
+  const auto handle_event = [&](const RawEvent& raw) {
+    if (raw.ph == 'M') {
+      if (raw.name == "thread_name" && raw.has_tid && raw.tid >= 1) {
+        const auto idx = static_cast<std::size_t>(raw.tid - 1);
+        if (idx >= data.tracks.size()) data.tracks.resize(idx + 1);
+        data.tracks[idx] = raw.thread_name;
+        track_index[raw.thread_name] = static_cast<std::uint16_t>(idx);
+      }
+      return;
+    }
+    TraceEvent event;
+    event.t = raw.ts / 1e6;
+    event.id = raw.id;
+    event.arg = raw.arg;
+    event.value = raw.value;
+    if (raw.ph == 'C') {
+      std::string_view rest;
+      if (raw.name.rfind(event_depth_prefix, 0) == 0) {
+        event.type = Ev::event_queue_depth;
+        rest = std::string_view(raw.name).substr(event_depth_prefix.size());
+      } else if (raw.name.rfind(link_depth_prefix, 0) == 0) {
+        event.type = Ev::link_queue_depth;
+        rest = std::string_view(raw.name).substr(link_depth_prefix.size());
+      } else {
+        return;  // counter without a recoverable track
+      }
+      event.track = track_for(std::string(rest));
+    } else {
+      const auto it = by_name.find(raw.name);
+      if (it == by_name.end()) return;  // unknown event: forward-compatible
+      event.type = it->second;
+      if (!raw.has_tid || raw.tid < 1) return;
+      event.track = static_cast<std::uint16_t>(raw.tid - 1);
+      if (static_cast<std::size_t>(raw.tid) > data.tracks.size()) {
+        data.tracks.resize(static_cast<std::size_t>(raw.tid));
+      }
+      if (raw.ph == 'X') event.value = static_cast<float>(raw.dur / 1e6);
+    }
+    data.events.push_back(event);
+  };
+
+  const auto parse_args = [&](JsonScanner& s, RawEvent& raw) {
+    s.expect('{');
+    if (s.consume('}')) return;
+    do {
+      const std::string key = s.parse_string();
+      s.expect(':');
+      if (key == "id") {
+        raw.id = static_cast<std::uint32_t>(s.parse_number());
+      } else if (key == "arg") {
+        raw.arg = static_cast<std::uint8_t>(s.parse_number());
+      } else if (key == "value") {
+        raw.value = static_cast<float>(s.parse_number());
+      } else if (key == "name") {
+        raw.thread_name = s.parse_string();
+      } else {
+        s.skip_value();
+      }
+    } while (s.consume(','));
+    s.expect('}');
+  };
+
+  const auto parse_event = [&](JsonScanner& s) {
+    RawEvent raw;
+    s.expect('{');
+    if (s.consume('}')) return;
+    do {
+      const std::string key = s.parse_string();
+      s.expect(':');
+      if (key == "name") {
+        raw.name = s.parse_string();
+      } else if (key == "ph") {
+        const std::string ph = s.parse_string();
+        raw.ph = ph.empty() ? 0 : ph[0];
+      } else if (key == "ts") {
+        raw.ts = s.parse_number();
+      } else if (key == "dur") {
+        raw.dur = s.parse_number();
+      } else if (key == "tid") {
+        raw.tid = static_cast<std::int64_t>(s.parse_number());
+        raw.has_tid = true;
+      } else if (key == "args") {
+        parse_args(s, raw);
+      } else {
+        s.skip_value();
+      }
+    } while (s.consume(','));
+    s.expect('}');
+    handle_event(raw);
+  };
+
+  scanner.expect('{');
+  if (!scanner.consume('}')) {
+    do {
+      const std::string key = scanner.parse_string();
+      scanner.expect(':');
+      if (key == "traceEvents") {
+        scanner.expect('[');
+        if (!scanner.consume(']')) {
+          do {
+            parse_event(scanner);
+          } while (scanner.consume(','));
+          scanner.expect(']');
+        }
+      } else if (key == "otherData") {
+        scanner.expect('{');
+        if (!scanner.consume('}')) {
+          do {
+            const std::string other = scanner.parse_string();
+            scanner.expect(':');
+            if (other == "dropped_events") {
+              data.dropped =
+                  static_cast<std::uint64_t>(scanner.parse_number());
+            } else {
+              scanner.skip_value();
+            }
+          } while (scanner.consume(','));
+          scanner.expect('}');
+        }
+      } else {
+        scanner.skip_value();
+      }
+    } while (scanner.consume(','));
+    scanner.expect('}');
+  }
+  return data;
+}
+
+}  // namespace dmc::obs

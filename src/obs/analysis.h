@@ -1,0 +1,258 @@
+// Deadline-miss forensics: the consumption side of the observability layer.
+// The analyzer ingests a flight-recorder trace — in-process from a
+// TraceRecorder ring, or re-imported from the Chrome trace-event JSON the
+// exporter wrote — and turns raw events into answers:
+//
+//   timelines   per-session / per-message event joins: tx -> retx/fast-retx
+//               -> ack -> deliver/late/gave-up, matched with link enqueue,
+//               drop and delivery evidence and session re-plans.
+//   root cause  every missed message (msg_late, msg_gave_up with no
+//               delivery, msg_blackhole) is attributed to exactly one cause
+//               by a deterministic rule cascade — causes are exhaustive and
+//               mutually exclusive, so the per-cause counts always sum to
+//               the total number of misses.
+//   time-series windowed admit/miss rates, p50/p95/p99 delay from log-bucket
+//               histograms (Histogram::quantile), SLO burn against a target
+//               miss rate, and per-link queue-depth envelopes.
+//
+// The cascade, first match wins:
+//   1. blackhole              the plan deliberately dropped the message
+//                             (zero-attempt combo, Section V-C).
+//   2. queue_delay            congestion evidence: an attempt was dropped at
+//                             a full link queue, or the delivering packet's
+//                             link transit exceeded that link's observed
+//                             floor by at least the message's lateness.
+//   3. loss_burst             >= loss_burst_min observed erasures of this
+//                             message's attempts, or it gave up with at
+//                             least one observed erasure.
+//   4. replan_lag             the owning session was re-planned while the
+//                             message was in flight: the controller already
+//                             knew the installed plan was stale.
+//   5. admitted_over_residual the session was admitted with a plan whose
+//                             own quality claim was below optimism_quality:
+//                             the admission decision budgeted for misses.
+//   6. planner_misestimate    none of the above — no loss, no queueing
+//                             evidence, a near-certain plan: the model
+//                             (delay tails, timeouts, cross-traffic) was
+//                             simply wrong.
+//
+// Honesty about wraparound: when the ring dropped events, the report keeps
+// the truncated time range, sets `truncated`, and flags the cause counts as
+// lower bounds — evidence that was overwritten cannot be re-attributed.
+//
+// Everything here is a pure function of the trace: analyzing the same
+// events yields byte-identical JSON at any thread count, on any host.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
+namespace dmc::obs {
+
+inline constexpr std::string_view kAnalysisSchema = "dmc.obs.analysis.v1";
+
+// The analyzer's only input: events in ring order plus the track table and
+// the wraparound loss count. Both ingestion paths normalize to this.
+struct TraceData {
+  std::vector<TraceEvent> events;
+  std::vector<std::string> tracks;
+  std::uint64_t dropped = 0;
+};
+
+TraceData to_trace_data(const TraceRecorder& recorder);
+
+// Re-imports a Chrome trace-event JSON written by write_chrome_trace:
+// thread_name metadata rebuilds the track table, instant/complete events map
+// back through ev_info names, counter events are reverse-matched against the
+// known counter prefixes, and otherData.dropped_events restores the loss
+// count. Throws std::runtime_error on malformed input.
+TraceData import_chrome_trace(std::istream& in);
+
+enum class MissCause : std::uint8_t {
+  blackhole = 0,
+  queue_delay,
+  loss_burst,
+  replan_lag,
+  admitted_over_residual,
+  planner_misestimate,
+};
+inline constexpr std::size_t kNumMissCauses = 6;
+const char* to_string(MissCause cause);
+
+struct MissBreakdown {
+  std::array<std::uint64_t, kNumMissCauses> counts{};
+
+  std::uint64_t& operator[](MissCause cause) {
+    return counts[static_cast<std::size_t>(cause)];
+  }
+  std::uint64_t operator[](MissCause cause) const {
+    return counts[static_cast<std::size_t>(cause)];
+  }
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : counts) sum += c;
+    return sum;
+  }
+};
+
+struct AnalysisOptions {
+  double window_s = 1.0;           // time-series bucket width (seconds)
+  double slo_miss_rate = 0.01;     // SLO target the burn rate is scored against
+  double optimism_quality = 0.999; // admit quality below this counts as
+                                   // deliberate admission optimism (rule 5)
+  int loss_burst_min = 2;          // erasures that make a loss burst (rule 3)
+  std::size_t max_windows = 4096;  // width doubles until the span fits
+  std::size_t max_worst_sessions = 16;
+  // >= 0: emit per-message forensics rows for this session id.
+  std::int64_t detail_session = -1;
+
+  void check() const;  // throws std::invalid_argument on nonsense
+};
+
+// One bucket of the windowed time-series. Counts are event counts inside
+// [t0, t0 + window_s); rates are derived from messages *resolved* in the
+// window, so miss_rate is exact even when a message crosses windows.
+struct WindowStats {
+  double t0 = 0.0;
+  std::uint64_t generated = 0;        // first transmissions + blackholes
+  std::uint64_t transmissions = 0;    // tx + retx + fast-retx
+  std::uint64_t retransmissions = 0;
+  std::uint64_t delivered = 0;        // on-time first arrivals
+  std::uint64_t late = 0;
+  std::uint64_t gave_up = 0;
+  std::uint64_t blackholed = 0;
+  std::uint64_t admits = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t expires = 0;
+  std::uint64_t replans = 0;
+  double miss_rate = 0.0;  // (late + gave_up + blackholed) / resolved
+  double slo_burn = 0.0;   // miss_rate / slo_miss_rate
+  double p50_delay_s = std::numeric_limits<double>::quiet_NaN();
+  double p95_delay_s = std::numeric_limits<double>::quiet_NaN();
+  double p99_delay_s = std::numeric_limits<double>::quiet_NaN();
+  // Queue-depth envelope: max sampled depth per link track in this window
+  // (aligned with AnalysisReport::links), and the simulator event queue.
+  std::vector<float> link_queue_depth_max;
+  float event_queue_depth_max = 0.0F;
+};
+
+struct SessionSummary {
+  std::uint32_t session = 0;
+  std::uint32_t request = 0;   // request id from the admit event (0 unknown)
+  double admitted_at_s = std::numeric_limits<double>::quiet_NaN();
+  double admit_quality = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t observed = 0;  // messages with any trace evidence
+  std::uint64_t misses = 0;
+  MissBreakdown causes;
+};
+
+// Per-message forensics row (detail_session only).
+struct MessageForensics {
+  std::uint32_t seq = 0;
+  const char* outcome = "";  // on-time | late | gave-up | blackholed | open
+  std::int8_t cause = -1;    // MissCause when a miss, -1 otherwise
+  double first_tx_s = std::numeric_limits<double>::quiet_NaN();
+  double resolved_at_s = std::numeric_limits<double>::quiet_NaN();
+  double late_by_s = 0.0;
+  std::uint32_t attempts = 0;
+  std::uint32_t losses = 0;
+  std::uint32_t queue_drops = 0;
+  // Transit of the delivering packet minus the link's observed floor
+  // (NaN when the message never delivered or the link has no floor yet).
+  double queue_excess_s = std::numeric_limits<double>::quiet_NaN();
+};
+
+struct AnalysisReport {
+  // Trace coverage. `truncated` mirrors dropped > 0: the window below only
+  // covers what survived the ring.
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  bool truncated = false;
+  double t_start_s = 0.0;
+  double t_end_s = 0.0;
+
+  // Session lifecycle counts (events observed in the trace).
+  std::uint64_t sessions_observed = 0;
+  std::uint64_t admits = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t expires = 0;
+  std::uint64_t replans = 0;
+  std::uint64_t lp_warm_solves = 0;
+  std::uint64_t lp_cold_solves = 0;
+
+  // Per-message outcome totals. observed = every message with any trace
+  // evidence; on_time/late/gave_up/blackholed partition the resolved ones
+  // (a message that was late *and* later abandoned counts once, as late).
+  std::uint64_t messages_observed = 0;
+  std::uint64_t on_time = 0;
+  std::uint64_t late = 0;
+  std::uint64_t gave_up = 0;
+  std::uint64_t blackholed = 0;
+  std::uint64_t unresolved = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t acks = 0;
+
+  // Root-cause attribution: misses.total() == late + gave_up + blackholed,
+  // always. lower_bound is set when the trace was truncated.
+  MissBreakdown misses;
+  bool lower_bound = false;
+  // Lateness distribution of late deliveries plus its quantiles.
+  std::uint64_t lateness_count = 0;
+  double lateness_sum_s = 0.0;
+  double lateness_p50_s = std::numeric_limits<double>::quiet_NaN();
+  double lateness_p95_s = std::numeric_limits<double>::quiet_NaN();
+  double lateness_p99_s = std::numeric_limits<double>::quiet_NaN();
+
+  // Overall delay quantiles (first transmission to first arrival).
+  double delay_p50_s = std::numeric_limits<double>::quiet_NaN();
+  double delay_p95_s = std::numeric_limits<double>::quiet_NaN();
+  double delay_p99_s = std::numeric_limits<double>::quiet_NaN();
+
+  // SLO scoring against options.slo_miss_rate.
+  double slo_miss_rate = 0.0;
+  double overall_miss_rate = 0.0;
+  double slo_burn = 0.0;
+
+  // Windowed time-series; effective_window_s is window_s after doubling to
+  // respect max_windows. `links` names the per-window depth envelopes.
+  double effective_window_s = 0.0;
+  std::vector<std::string> links;
+  std::vector<WindowStats> windows;
+
+  // Sessions with misses, worst first (ties by session id).
+  std::vector<SessionSummary> worst_sessions;
+
+  // Per-message rows for options.detail_session (empty otherwise).
+  std::int64_t detail_session = -1;
+  std::vector<MessageForensics> detail;
+
+  // Versioned dmc.obs.analysis.v1 JSON: fixed key order, shortest
+  // round-trip doubles, non-finite as null — byte-identical for identical
+  // traces and options.
+  std::string to_json() const;
+};
+
+AnalysisReport analyze(const TraceData& data,
+                       const AnalysisOptions& options = {});
+AnalysisReport analyze(const TraceRecorder& recorder,
+                       const AnalysisOptions& options = {});
+
+// All events touching one session, in trace order: everything on its
+// session track plus forward-link events joined by the session id carried
+// in link-event values. Feeds the dmc_trace --session timeline view.
+std::vector<TraceEvent> session_events(const TraceData& data,
+                                       std::uint32_t session_id);
+
+}  // namespace dmc::obs

@@ -8,8 +8,6 @@
 
 namespace dmc::obs {
 
-namespace {
-
 // Shortest round-trip decimal (the fleet JSON convention); non-finite
 // values become JSON null.
 std::string json_number(double value) {
@@ -54,6 +52,8 @@ std::string json_string(std::string_view text) {
   return out;
 }
 
+namespace {
+
 // Prometheus exposition renders doubles with full precision too, but +Inf
 // spells differently than in JSON.
 std::string prom_number(double value) {
@@ -62,10 +62,7 @@ std::string prom_number(double value) {
   return json_number(value);
 }
 
-struct EvInfo {
-  const char* name;
-  char phase;  // 'i' instant, 'X' complete, 'C' counter
-};
+}  // namespace
 
 EvInfo ev_info(Ev type) {
   switch (type) {
@@ -101,6 +98,8 @@ EvInfo ev_info(Ev type) {
       return {"late", 'i'};
     case Ev::msg_dup:
       return {"dup", 'i'};
+    case Ev::msg_blackhole:
+      return {"blackhole", 'i'};
     case Ev::link_tx:
       return {"link-tx", 'i'};
     case Ev::link_queue_drop:
@@ -116,8 +115,6 @@ EvInfo ev_info(Ev type) {
   }
   return {"unknown", 'i'};
 }
-
-}  // namespace
 
 Snapshot Snapshot::from(const MetricRegistry& registry) {
   Snapshot snapshot;
@@ -285,18 +282,29 @@ void print_run_footer(std::ostream& out, const MetricRegistry& registry) {
   double wall = 0.0;
   double sim = 0.0;
   std::uint64_t events = 0;
+  const Histogram* delay = nullptr;
   for (const MetricRegistry::Entry& entry : registry.entries()) {
     if (entry.name == kRunWallSeconds) wall = entry.gauge.value();
     if (entry.name == kRunSimSeconds) sim = entry.gauge.value();
     if (entry.name == kRunEventsTotal) events = entry.counter.value();
+    if (entry.name == kProtoDelayHistogram &&
+        entry.kind == MetricKind::histogram) {
+      delay = &entry.histogram;
+    }
   }
   const double rate = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
-  char line[160];
+  char line[200];
   std::snprintf(line, sizeof(line),
                 "run: wall %.3f s | sim %.3f s | %llu events | %.2fM events/s",
                 wall, sim, static_cast<unsigned long long>(events),
                 rate / 1e6);
-  out << line << "\n";
+  out << line;
+  if (delay != nullptr && delay->count() > 0) {
+    std::snprintf(line, sizeof(line), " | p99 delay %.3f ms",
+                  delay->quantile(0.99) * 1e3);
+    out << line;
+  }
+  out << "\n";
 }
 
 }  // namespace dmc::obs

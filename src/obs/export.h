@@ -31,10 +31,29 @@ namespace dmc::obs {
 
 inline constexpr std::string_view kObsSchema = "dmc.obs.v1";
 
-// Names print_run_footer reads; fill them in whatever drives the run.
+// Names print_run_footer reads; fill them in whatever drives the run. The
+// delay histogram (registered by proto::DeadlineReceiver) adds a p99 delay
+// field to the footer when present and non-empty.
 inline constexpr std::string_view kRunWallSeconds = "dmc_run_wall_seconds";
 inline constexpr std::string_view kRunSimSeconds = "dmc_run_sim_seconds";
 inline constexpr std::string_view kRunEventsTotal = "dmc_run_events_total";
+inline constexpr std::string_view kProtoDelayHistogram =
+    "dmc_proto_delay_seconds";
+
+// JSON atoms shared by every deterministic exporter (Snapshot, the
+// dmc.obs.analysis.v1 report, the fleet result writer): shortest
+// round-trip decimals, non-finite values as null, minimal escaping.
+std::string json_number(double value);
+std::string json_string(std::string_view text);
+
+// Chrome trace-event rendering of one Ev: display name plus phase
+// ('i' instant, 'X' complete, 'C' counter). Public so the trace importer
+// (obs/analysis) can invert the mapping and tools can print event names.
+struct EvInfo {
+  const char* name;
+  char phase;
+};
+EvInfo ev_info(Ev type);
 
 struct HistogramSnapshot {
   std::string name;

@@ -43,6 +43,54 @@ void Histogram::record(double value) {
   ++counts_[index];
 }
 
+double Histogram::quantile(double p) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank target: the smallest rank r (1-based) with r >= p * count.
+  const double scaled = p * static_cast<double>(count_);
+  std::uint64_t target = static_cast<std::uint64_t>(std::ceil(scaled));
+  target = std::clamp<std::uint64_t>(target, 1, count_);
+
+  std::uint64_t cumulative = 0;
+  std::size_t bucket = counts_.size() - 1;
+  std::uint64_t before = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (cumulative + counts_[i] >= target) {
+      bucket = i;
+      before = cumulative;
+      break;
+    }
+    cumulative += counts_[i];
+  }
+
+  // Bucket value range: log-spaced interior buckets interpolate
+  // geometrically; the open-ended underflow/overflow buckets fall back to
+  // the observed extremes (and to linear interpolation when the lower bound
+  // is not positive, where a geometric mean is undefined).
+  double lower;
+  double upper;
+  if (bucket == 0) {
+    lower = std::min(min_seen_, options_.min);
+    upper = options_.min;
+  } else if (bucket == counts_.size() - 1) {
+    lower = options_.max;
+    upper = std::max(max_seen_, options_.max);
+  } else {
+    lower = bucket_upper(bucket - 1);
+    upper = bucket_upper(bucket);
+  }
+  const double fraction =
+      static_cast<double>(target - before) /
+      static_cast<double>(counts_[bucket]);
+  double value;
+  if (lower > 0.0 && std::isfinite(upper)) {
+    value = lower * std::pow(upper / lower, fraction);
+  } else {
+    value = lower + (upper - lower) * fraction;
+  }
+  return std::clamp(value, min_seen_, max_seen_);
+}
+
 double Histogram::bucket_upper(std::size_t i) const {
   if (i == 0) return options_.min;
   if (i >= counts_.size() - 1) {

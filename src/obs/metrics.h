@@ -77,6 +77,14 @@ class Histogram {
   // Inclusive upper bound of bucket i (+inf for the overflow bucket).
   double bucket_upper(std::size_t i) const;
 
+  // Estimated p-quantile (p in [0,1]) by geometric interpolation inside the
+  // log-spaced bucket holding the target rank — the same estimator Prometheus
+  // applies to `le` buckets, with the error bounded by one bucket width
+  // (a factor of 2^(1/sub_buckets)). The underflow/overflow buckets use the
+  // observed min/max as their open bound, and the result is clamped to
+  // [min_seen, max_seen]. NaN when the histogram is empty.
+  double quantile(double p) const;
+
   const HistogramOptions& options() const { return options_; }
 
  private:

@@ -43,9 +43,11 @@ enum class Ev : std::uint8_t {
   msg_ack,
   msg_gave_up,
   msg_deliver,
-  msg_late,  // value = lateness beyond the deadline (s)
+  msg_late,       // value = lateness beyond the deadline (s)
   msg_dup,
-  // Link layer (link tracks): id = packet sequence.
+  msg_blackhole,  // plan assigned the message to the blackhole (never sent)
+  // Link layer (link tracks): id = packet sequence, value = owning session
+  // (exact through float for ids < 2^24 — the analysis join key).
   link_tx,
   link_queue_drop,
   link_loss_drop,
@@ -54,6 +56,11 @@ enum class Ev : std::uint8_t {
   link_queue_depth,
   event_queue_depth,
 };
+
+// One past the last Ev value; obs/analysis.cpp iterates the enum to build
+// its name-to-type import table, so keep this in sync when adding events.
+inline constexpr std::uint8_t kNumEvTypes =
+    static_cast<std::uint8_t>(Ev::event_queue_depth) + 1;
 
 // 24 bytes; the ring is a plain vector of these.
 struct TraceEvent {

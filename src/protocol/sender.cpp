@@ -118,6 +118,10 @@ void DeadlineSender::assign_and_send(std::uint64_t seq) {
 
   if (program.attempt_paths[0] < 0) {
     ++trace_.assigned_blackhole;  // deliberate drop (Section V-C)
+    if (obs::TraceRecorder* tr = simulator_.obs().trace) {
+      tr->record(obs::Ev::msg_blackhole, simulator_.now(), obs_track(),
+                 static_cast<std::uint32_t>(seq));
+    }
     return;
   }
 

@@ -34,6 +34,7 @@ void ServerConfig::check() const {
   if (utilization_window_s < 0.0) {
     throw std::invalid_argument("ServerConfig: negative utilization window");
   }
+  if (collect_forensics) forensics.check();
 }
 
 const char* to_string(RequestFate fate) {
@@ -90,9 +91,10 @@ class Loop {
         registry_(config.collect_metrics
                       ? std::make_shared<obs::MetricRegistry>()
                       : nullptr),
-        recorder_(config.collect_trace ? std::make_shared<obs::TraceRecorder>(
-                                             config.trace_capacity)
-                                       : nullptr),
+        recorder_(config.collect_trace || config.collect_forensics
+                      ? std::make_shared<obs::TraceRecorder>(
+                            config.trace_capacity)
+                      : nullptr),
         simulator_(config.seed,
                    dmc::obs::Hub{registry_.get(), recorder_.get()}),
         network_(simulator_,
@@ -292,6 +294,7 @@ class Loop {
     live.admitted_at_s = simulator_.now();
     live.rate_bps = request.traffic.rate_bps;
     live.planned_quality = plan.quality();
+    const auto planned_quality = static_cast<float>(live.planned_quality);
     live.planned_rate_bps = real_path_rates(plan);
     live.planner = planner_;  // snapshot: basis of this session's LP
     // The snapshot copies the admission planner's counters too; zero them
@@ -316,10 +319,14 @@ class Loop {
       queue_wait_hist_->record(record.queue_wait_s);
     }
     if (recorder_ != nullptr) {
+      // value = the installed plan's own quality claim: the forensics
+      // cascade reads it to tell deliberate admission optimism (plan
+      // budgeted for misses) from planner misestimates.
       recorder_->record(obs::Ev::session_admit, simulator_.now(),
                         recorder_->session_track(id),
                         static_cast<std::uint32_t>(request.id),
-                        static_cast<std::uint8_t>(from_queue ? 1 : 0));
+                        static_cast<std::uint8_t>(from_queue ? 1 : 0),
+                        planned_quality);
     }
   }
 
@@ -478,6 +485,10 @@ class Loop {
     }
 
     publish_metrics();
+
+    if (config_.collect_forensics && recorder_ != nullptr) {
+      outcome_.forensics = obs::analyze(*recorder_, config_.forensics);
+    }
   }
 
   // Publishes run-level aggregates into the registry (so the exporters and

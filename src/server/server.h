@@ -20,11 +20,13 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/path.h"
 #include "core/planner.h"
+#include "obs/analysis.h"
 #include "obs/export.h"
 #include "protocol/session.h"
 #include "protocol/session_host.h"
@@ -70,6 +72,12 @@ struct ServerConfig {
   bool collect_metrics = false;
   bool collect_trace = false;
   std::size_t trace_capacity = std::size_t{1} << 20;
+  // `collect_forensics` runs the deadline-miss analyzer (obs/analysis) over
+  // the trace ring after the run and fills ServerOutcome::forensics; it
+  // implies a trace ring even when collect_trace is off. Tunables (window
+  // width, SLO target, cascade thresholds) live in `forensics`.
+  bool collect_forensics = false;
+  obs::AnalysisOptions forensics;
 
   void check() const;
 };
@@ -132,6 +140,10 @@ struct ServerOutcome {
   // metrics included), `trace_events` feeds obs::write_chrome_trace.
   std::shared_ptr<const obs::MetricRegistry> metrics;
   std::shared_ptr<const obs::TraceRecorder> trace_events;
+  // Deadline-miss forensics report (engaged only when collect_forensics):
+  // root-cause attribution, windowed SLO series, per-session summaries —
+  // a pure function of the trace, so byte-identical across reruns.
+  std::optional<obs::AnalysisReport> forensics;
 };
 
 class SessionServer {

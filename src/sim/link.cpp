@@ -38,15 +38,20 @@ void Link::send(PooledPacket packet) {
   if (queue_depth_ >= config_.queue_capacity) {
     ++stats_.queue_drops;
     if (tr != nullptr) {
+      // Link events carry the owning session in `value` so the forensics
+      // engine can join per-link evidence back to per-session messages
+      // (per-session sequence numbers alone are ambiguous across sessions).
       tr->record(obs::Ev::link_queue_drop, simulator_.now(), obs_track(),
-                 static_cast<std::uint32_t>(packet->seq));
+                 static_cast<std::uint32_t>(packet->seq), 0,
+                 static_cast<float>(packet->session));
     }
     return;  // handle dies here; packet returns to the pool
   }
   if (tr != nullptr) {
     const auto track = obs_track();
     tr->record(obs::Ev::link_tx, simulator_.now(), track,
-               static_cast<std::uint32_t>(packet->seq));
+               static_cast<std::uint32_t>(packet->seq), 0,
+               static_cast<float>(packet->session));
     tr->record(obs::Ev::link_queue_depth, simulator_.now(), track, 0, 0,
                static_cast<float>(queue_depth_ + 1));
   }
@@ -104,7 +109,8 @@ void Link::depart(PooledPacket packet) {
     --stats_.in_flight;
     if (obs::TraceRecorder* tr = simulator_.obs().trace) {
       tr->record(obs::Ev::link_loss_drop, simulator_.now(), obs_track(),
-                 static_cast<std::uint32_t>(packet->seq));
+                 static_cast<std::uint32_t>(packet->seq), 0,
+                 static_cast<float>(packet->session));
     }
     return;  // erased in transit; handle returns the packet to the pool
   }
@@ -120,7 +126,8 @@ void Link::depart(PooledPacket packet) {
     --stats_.in_flight;
     if (obs::TraceRecorder* tr = simulator_.obs().trace) {
       tr->record(obs::Ev::link_deliver, simulator_.now(), obs_track(),
-                 static_cast<std::uint32_t>(p->seq));
+                 static_cast<std::uint32_t>(p->seq), 0,
+                 static_cast<float>(p->session));
     }
     if (receiver_) receiver_(std::move(p));
   });

@@ -1,0 +1,316 @@
+// Unit tests for the deadline-miss forensics engine (obs/analysis): the
+// root-cause cascade on synthetic traces, outcome precedence, window
+// series, ring-truncation honesty, the Chrome trace re-import path, and
+// report determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/analysis.h"
+#include "obs/export.h"
+#include "obs/trace_recorder.h"
+
+namespace dmc::obs {
+namespace {
+
+// One synthetic message per cascade rule, all in one trace. Sessions are
+// numbered after the rule they exercise.
+TraceRecorder cascade_trace() {
+  TraceRecorder rec(1024);
+
+  // Session 1: blackholed message -> cause blackhole.
+  rec.record(Ev::msg_blackhole, 0.5, rec.session_track(1), 0);
+
+  // Session 2: an attempt dropped at a full queue, then gave up ->
+  // queue_delay.
+  {
+    const auto s = rec.session_track(2);
+    const auto l = rec.link_track("p0/fwd");
+    rec.record(Ev::msg_tx, 1.0, s, 0);
+    rec.record(Ev::link_queue_drop, 1.0, l, 0, 0, 2.0F);
+    rec.record(Ev::msg_gave_up, 2.0, s, 0);
+  }
+
+  // Session 3: late delivery whose link transit exceeded the link's floor
+  // by more than the lateness -> queue_delay. Message 0 sets the floor.
+  {
+    const auto s = rec.session_track(3);
+    const auto l = rec.link_track("p1/fwd");
+    rec.record(Ev::msg_tx, 0.0, s, 0);
+    rec.record(Ev::link_tx, 0.0, l, 0, 0, 3.0F);
+    rec.record(Ev::link_deliver, 0.1, l, 0, 0, 3.0F);
+    rec.record(Ev::msg_deliver, 0.1, s, 0);
+    rec.record(Ev::msg_tx, 1.0, s, 1);
+    rec.record(Ev::link_tx, 1.0, l, 1, 0, 3.0F);
+    rec.record(Ev::link_deliver, 1.5, l, 1, 0, 3.0F);  // transit 0.5, floor 0.1
+    rec.record(Ev::msg_late, 1.5, s, 1, 0, 0.3F);      // excess 0.4 >= 0.3
+  }
+
+  // Session 4: two erasures then a late arrival with no queueing evidence
+  // -> loss_burst.
+  {
+    const auto s = rec.session_track(4);
+    const auto l = rec.link_track("p2/fwd");
+    rec.record(Ev::msg_tx, 0.0, s, 0);
+    rec.record(Ev::link_tx, 0.0, l, 0, 0, 4.0F);
+    rec.record(Ev::link_loss_drop, 0.05, l, 0, 0, 4.0F);
+    rec.record(Ev::msg_retx, 0.1, s, 0);
+    rec.record(Ev::link_tx, 0.1, l, 0, 0, 4.0F);
+    rec.record(Ev::link_loss_drop, 0.15, l, 0, 0, 4.0F);
+    rec.record(Ev::msg_retx, 0.2, s, 0);
+    rec.record(Ev::link_tx, 0.2, l, 0, 0, 4.0F);
+    rec.record(Ev::link_deliver, 0.25, l, 0, 0, 4.0F);
+    rec.record(Ev::msg_late, 0.25, s, 0, 0, 1.0F);  // excess 0 < 1.0
+  }
+
+  // Session 5: gave up while a re-plan landed mid-flight, no losses ->
+  // replan_lag.
+  {
+    const auto s = rec.session_track(5);
+    rec.record(Ev::msg_tx, 1.0, s, 0);
+    rec.record(Ev::replan, 1.5, s, 5);
+    rec.record(Ev::msg_gave_up, 2.0, s, 0);
+  }
+
+  // Session 6: admitted on a plan that already predicted misses ->
+  // admitted_over_residual.
+  {
+    const auto s = rec.session_track(6);
+    rec.record(Ev::session_admit, 0.5, s, 7, 0, 0.9F);
+    rec.record(Ev::msg_tx, 1.0, s, 0);
+    rec.record(Ev::msg_gave_up, 2.0, s, 0);
+  }
+
+  // Session 7: no evidence at all -> planner_misestimate.
+  {
+    const auto s = rec.session_track(7);
+    rec.record(Ev::session_admit, 0.5, s, 8, 0, 0.9999F);
+    rec.record(Ev::msg_tx, 1.0, s, 0);
+    rec.record(Ev::msg_gave_up, 2.0, s, 0);
+  }
+  return rec;
+}
+
+TEST(Analysis, CascadeAttributesEachCauseExactlyOnce) {
+  const TraceRecorder rec = cascade_trace();
+  const AnalysisReport report = analyze(rec);
+
+  EXPECT_EQ(report.misses[MissCause::blackhole], 1u);
+  EXPECT_EQ(report.misses[MissCause::queue_delay], 2u);
+  EXPECT_EQ(report.misses[MissCause::loss_burst], 1u);
+  EXPECT_EQ(report.misses[MissCause::replan_lag], 1u);
+  EXPECT_EQ(report.misses[MissCause::admitted_over_residual], 1u);
+  EXPECT_EQ(report.misses[MissCause::planner_misestimate], 1u);
+
+  // Exhaustive and exclusive: causes partition the misses, misses partition
+  // with on_time.
+  EXPECT_EQ(report.misses.total(), 7u);
+  EXPECT_EQ(report.misses.total(),
+            report.late + report.gave_up + report.blackholed);
+  EXPECT_EQ(report.messages_observed, 8u);
+  EXPECT_EQ(report.on_time, 1u);
+  EXPECT_EQ(report.late, 2u);
+  EXPECT_EQ(report.gave_up, 4u);
+  EXPECT_EQ(report.blackholed, 1u);
+  EXPECT_EQ(report.unresolved, 0u);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_FALSE(report.lower_bound);
+  EXPECT_EQ(report.sessions_observed, 7u);
+}
+
+TEST(Analysis, WorstSessionsRankByMissesWithSessionTiebreak) {
+  const AnalysisReport report = analyze(cascade_trace());
+  ASSERT_FALSE(report.worst_sessions.empty());
+  // Every synthetic session missed once; ties break by ascending id.
+  EXPECT_EQ(report.worst_sessions.front().session, 1u);
+  for (std::size_t i = 1; i < report.worst_sessions.size(); ++i) {
+    const SessionSummary& prev = report.worst_sessions[i - 1];
+    const SessionSummary& cur = report.worst_sessions[i];
+    EXPECT_GE(prev.misses, cur.misses);
+    if (prev.misses == cur.misses) {
+      EXPECT_LT(prev.session, cur.session);
+    }
+  }
+  const SessionSummary& admitted = report.worst_sessions[5];
+  EXPECT_EQ(admitted.session, 6u);
+  EXPECT_EQ(admitted.request, 7u);
+  EXPECT_NEAR(admitted.admit_quality, 0.9, 1e-6);
+}
+
+TEST(Analysis, FirstResolutionWinsSoMessagesCountOnce) {
+  TraceRecorder rec(64);
+  const auto s = rec.session_track(1);
+  // Late arrival, then the sender gives up on the same message.
+  rec.record(Ev::msg_tx, 0.0, s, 0);
+  rec.record(Ev::msg_late, 1.0, s, 0, 0, 0.5F);
+  rec.record(Ev::msg_gave_up, 2.0, s, 0);
+  // Delivered, then a stale give-up: not a miss at all.
+  rec.record(Ev::msg_tx, 0.0, s, 1);
+  rec.record(Ev::msg_deliver, 0.4, s, 1);
+  rec.record(Ev::msg_gave_up, 2.0, s, 1);
+
+  const AnalysisReport report = analyze(rec);
+  EXPECT_EQ(report.messages_observed, 2u);
+  EXPECT_EQ(report.late, 1u);
+  EXPECT_EQ(report.on_time, 1u);
+  EXPECT_EQ(report.gave_up, 0u);
+  EXPECT_EQ(report.misses.total(), 1u);
+}
+
+TEST(Analysis, WrappedRingReportsTruncationAndLowerBounds) {
+  TraceRecorder rec(8);
+  const auto s = rec.session_track(1);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    rec.record(Ev::msg_tx, static_cast<double>(i), s, i);
+  }
+  const AnalysisReport report = analyze(rec);
+  EXPECT_EQ(report.events, 8u);
+  EXPECT_EQ(report.dropped, 12u);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_TRUE(report.lower_bound);
+  // Only the surviving suffix is covered.
+  EXPECT_EQ(report.t_start_s, 12.0);
+  EXPECT_EQ(report.t_end_s, 19.0);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"truncated\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"lower_bound\":true"), std::string::npos);
+}
+
+TEST(Analysis, WindowSeriesCountsRatesAndBurn) {
+  TraceRecorder rec(256);
+  const auto s = rec.session_track(1);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const double t = static_cast<double>(i);
+    rec.record(Ev::msg_tx, t, s, i);
+    if (i % 2 == 0) {
+      rec.record(Ev::msg_deliver, t + 0.4, s, i);
+    } else {
+      rec.record(Ev::msg_late, t + 0.4, s, i, 0, 0.1F);
+    }
+  }
+  AnalysisOptions options;
+  options.slo_miss_rate = 0.5;
+  const AnalysisReport report = analyze(rec, options);
+  ASSERT_EQ(report.windows.size(), 10u);
+  EXPECT_EQ(report.effective_window_s, 1.0);
+  for (std::size_t w = 0; w < report.windows.size(); ++w) {
+    const WindowStats& window = report.windows[w];
+    EXPECT_EQ(window.generated, 1u);
+    EXPECT_EQ(window.delivered + window.late, 1u);
+    EXPECT_EQ(window.miss_rate, w % 2 == 0 ? 0.0 : 1.0);
+    EXPECT_EQ(window.slo_burn, w % 2 == 0 ? 0.0 : 2.0);
+  }
+  EXPECT_EQ(report.overall_miss_rate, 0.5);
+  EXPECT_EQ(report.slo_burn, 1.0);
+
+  // Delay quantiles come from the log-bucket histogram: every delay was
+  // 0.4 s, so all three quantiles sit in the same bucket.
+  EXPECT_NEAR(report.delay_p50_s, 0.4, 0.05);
+  EXPECT_NEAR(report.delay_p99_s, 0.4, 0.05);
+
+  // A window cap doubles the width deterministically: span 9.4 s needs
+  // width 4 to fit under 4 windows.
+  options.max_windows = 4;
+  const AnalysisReport coarse = analyze(rec, options);
+  EXPECT_EQ(coarse.effective_window_s, 4.0);
+  ASSERT_EQ(coarse.windows.size(), 3u);
+  std::uint64_t generated = 0;
+  for (const WindowStats& window : coarse.windows) {
+    generated += window.generated;
+  }
+  EXPECT_EQ(generated, 10u);
+}
+
+TEST(Analysis, ReportJsonIsDeterministic) {
+  const TraceRecorder rec = cascade_trace();
+  AnalysisOptions options;
+  options.detail_session = 3;
+  const std::string a = analyze(rec, options).to_json();
+  const std::string b = analyze(rec, options).to_json();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"schema\":\"dmc.obs.analysis.v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"detail\":{\"session\":3"), std::string::npos);
+  // Without detail_session the detail block is absent entirely.
+  EXPECT_EQ(analyze(rec).to_json().find("\"detail\""), std::string::npos);
+}
+
+TEST(Analysis, ChromeTraceRoundTripPreservesEveryCount) {
+  const TraceRecorder rec = cascade_trace();
+  std::ostringstream out;
+  write_chrome_trace(out, rec);
+  std::istringstream in(out.str());
+  const TraceData imported = import_chrome_trace(in);
+
+  EXPECT_EQ(imported.events.size(), rec.size());
+  EXPECT_EQ(imported.dropped, 0u);
+  EXPECT_EQ(imported.tracks, rec.track_names());
+
+  const AnalysisReport direct = analyze(rec);
+  const AnalysisReport offline = analyze(imported);
+  EXPECT_EQ(offline.messages_observed, direct.messages_observed);
+  EXPECT_EQ(offline.on_time, direct.on_time);
+  EXPECT_EQ(offline.late, direct.late);
+  EXPECT_EQ(offline.gave_up, direct.gave_up);
+  EXPECT_EQ(offline.blackholed, direct.blackholed);
+  EXPECT_EQ(offline.misses.counts, direct.misses.counts);
+  EXPECT_EQ(offline.sessions_observed, direct.sessions_observed);
+  EXPECT_EQ(offline.links, direct.links);
+
+  // Importing the same file twice is byte-deterministic.
+  std::istringstream again(out.str());
+  EXPECT_EQ(analyze(import_chrome_trace(again)).to_json(),
+            offline.to_json());
+}
+
+TEST(Analysis, ImportRejectsMalformedJson) {
+  std::istringstream bad("this is not json");
+  EXPECT_THROW(import_chrome_trace(bad), std::runtime_error);
+  std::istringstream truncated("{\"traceEvents\":[{\"name\":\"tx\"");
+  EXPECT_THROW(import_chrome_trace(truncated), std::runtime_error);
+}
+
+TEST(Analysis, SessionEventsJoinsSessionAndLinkEvidence) {
+  const TraceRecorder rec = cascade_trace();
+  const TraceData data = to_trace_data(rec);
+  // Session 3: tx, link-tx, link-deliver, deliver, tx, link-tx,
+  // link-deliver, late.
+  EXPECT_EQ(session_events(data, 3).size(), 8u);
+  // Session 1 only ever blackholed one message.
+  const auto blackholed = session_events(data, 1);
+  ASSERT_EQ(blackholed.size(), 1u);
+  EXPECT_EQ(blackholed[0].type, Ev::msg_blackhole);
+  EXPECT_TRUE(session_events(data, 99).empty());
+}
+
+TEST(Analysis, OptionsValidate) {
+  TraceRecorder rec(8);
+  AnalysisOptions options;
+  options.window_s = 0.0;
+  EXPECT_THROW(analyze(rec, options), std::invalid_argument);
+  options = {};
+  options.slo_miss_rate = 0.0;
+  EXPECT_THROW(analyze(rec, options), std::invalid_argument);
+  options = {};
+  options.loss_burst_min = 0;
+  EXPECT_THROW(analyze(rec, options), std::invalid_argument);
+  options = {};
+  options.max_windows = 0;
+  EXPECT_THROW(analyze(rec, options), std::invalid_argument);
+}
+
+TEST(Analysis, EmptyTraceYieldsEmptyReport) {
+  TraceRecorder rec(8);
+  const AnalysisReport report = analyze(rec);
+  EXPECT_EQ(report.events, 0u);
+  EXPECT_EQ(report.messages_observed, 0u);
+  EXPECT_EQ(report.misses.total(), 0u);
+  EXPECT_TRUE(report.windows.empty());
+  // Still serializes to the full schema.
+  EXPECT_NE(report.to_json().find("\"windows\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmc::obs

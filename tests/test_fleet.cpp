@@ -253,6 +253,45 @@ TEST(Fleet, ObsEnabledServerGridStaysBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(off.records[0].admitted, a.records[0].admitted);
 }
 
+TEST(Fleet, ForensicsEnabledServerGridStaysBitIdenticalAcrossThreadCounts) {
+  // The forensics block is a pure function of each cell's trace ring, so
+  // the per-cause breakdown must serialize identically at any worker
+  // count — and turning it on must not move the simulation columns.
+  ServerAxes axes;
+  axes.arrivals_per_s = {20};
+  axes.policies = {"feasibility-lp"};
+  axes.count = 25;
+  axes.mean_messages = 80;
+  axes.collect_forensics = true;
+  GridOptions grid;
+  Engine serial({1});
+  Engine parallel({8});
+  ResultSet a;
+  a.records = run_jobs(serial, server_grid(axes, grid));
+  ResultSet b;
+  b.records = run_jobs(parallel, server_grid(axes, grid));
+  ASSERT_EQ(a.records.size(), 1u);
+  ASSERT_TRUE(a.records[0].ok) << a.records[0].error;
+  EXPECT_TRUE(a.records[0].has_forensics);
+  EXPECT_NE(a.json().find("\"forensics\":{\"misses\":"), std::string::npos);
+  EXPECT_EQ(a.json(), b.json());
+  std::ostringstream csv_a;
+  std::ostringstream csv_b;
+  a.write_csv(csv_a);
+  b.write_csv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_NE(csv_a.str().find("cause_loss_burst"), std::string::npos);
+
+  axes.collect_forensics = false;
+  ResultSet off;
+  off.records = run_jobs(serial, server_grid(axes, grid));
+  ASSERT_EQ(off.records.size(), 1u);
+  EXPECT_FALSE(off.records[0].has_forensics);
+  EXPECT_EQ(off.records[0].measured_quality, a.records[0].measured_quality);
+  EXPECT_EQ(off.records[0].events, a.records[0].events);
+  EXPECT_EQ(off.records[0].admitted, a.records[0].admitted);
+}
+
 TEST(Fleet, ServerGridSharesWorkloadAcrossPolicies) {
   ServerAxes axes;
   axes.arrivals_per_s = {10};

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/analysis.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
@@ -79,6 +80,43 @@ TEST(Histogram, ValidatesOptions) {
                std::invalid_argument);
   EXPECT_THROW(Histogram(HistogramOptions{1e-6, 1e3, 0}),
                std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolatesGeometricallyWithinBuckets) {
+  Histogram hist(HistogramOptions{1.0, 16.0, 1});
+  EXPECT_TRUE(std::isnan(hist.quantile(0.5)));  // empty
+  hist.record(1.5);  // (1,2]
+  hist.record(3.0);  // (2,4]
+  hist.record(6.0);  // (4,8]
+  hist.record(12.0);  // (8,16)
+  // Nearest rank: p = 0.25 is the first sample's bucket; a full bucket
+  // interpolates to its geometric upper edge.
+  EXPECT_DOUBLE_EQ(hist.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.75), 8.0);
+  // p = 0 clamps to rank 1 (the first bucket's edge); p = 1 interpolates
+  // the top bucket but clamps to the observed maximum.
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 12.0);
+}
+
+TEST(Histogram, QuantileIsMonotoneAndBoundedByObservedRange) {
+  Histogram hist(HistogramOptions{1e-4, 100.0, 8});
+  for (double v = 2e-4; v < 90.0; v *= 1.31) hist.record(v);
+  hist.record(5e-5);   // underflow bucket
+  hist.record(250.0);  // overflow bucket
+  double last = 0.0;
+  for (double p = 0.0; p <= 1.0; p += 0.01) {
+    const double q = hist.quantile(p);
+    EXPECT_GE(q, hist.min_seen());
+    EXPECT_LE(q, hist.max_seen());
+    EXPECT_GE(q, last);
+    last = q;
+  }
+  // The overflow bucket interpolates up to the observed maximum; the
+  // underflow bucket tops out at the histogram's configured minimum.
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 250.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 1e-4);
 }
 
 TEST(MetricRegistry, ReRegistrationReturnsTheSameMetric) {
@@ -240,6 +278,64 @@ TEST(RunFooter, FormatsWallSimEventsAndRate) {
   EXPECT_NE(line.find("sim 10.000 s"), std::string::npos);
   EXPECT_NE(line.find("5000000 events"), std::string::npos);
   EXPECT_NE(line.find("2.50M events/s"), std::string::npos);
+  // No delay histogram registered: no p99 field.
+  EXPECT_EQ(line.find("p99 delay"), std::string::npos);
+}
+
+TEST(RunFooter, AddsP99DelayWhenTheDelayHistogramIsPresent) {
+  MetricRegistry registry;
+  registry.gauge(kRunWallSeconds, "wall", true).set(1.0);
+  registry.gauge(kRunSimSeconds, "sim").set(1.0);
+  registry.counter(kRunEventsTotal, "events").set(100);
+  Histogram& delay = registry.histogram(
+      kProtoDelayHistogram, "delay", HistogramOptions{1e-4, 100.0, 8});
+  std::ostringstream empty_out;
+  print_run_footer(empty_out, registry);
+  // Present but empty: still no p99 field.
+  EXPECT_EQ(empty_out.str().find("p99 delay"), std::string::npos);
+
+  for (int i = 0; i < 100; ++i) delay.record(0.050);
+  std::ostringstream out;
+  print_run_footer(out, registry);
+  const std::string line = out.str();
+  const std::size_t at = line.find("p99 delay ");
+  ASSERT_NE(at, std::string::npos);
+  // 50 ms samples quantize into one log bucket; the footer prints ms.
+  const double p99_ms = std::stod(line.substr(at + 10));
+  EXPECT_NEAR(p99_ms, 50.0, 5.0);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+// Satellite contract: a wrapped ring still exports a loadable trace — the
+// surviving events only, the drop count in otherData, and per-track
+// timestamps that stay monotonic (ring order is chronological).
+TEST(ChromeTrace, WrappedRingExportsSurvivorsWithDropCount) {
+  TraceRecorder recorder(16);
+  const std::uint16_t s0 = recorder.session_track(0);
+  const std::uint16_t s1 = recorder.session_track(1);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    recorder.record(Ev::msg_tx, static_cast<double>(i) * 0.5,
+                    i % 2 == 0 ? s0 : s1, i);
+  }
+  ASSERT_EQ(recorder.size(), recorder.capacity());
+  ASSERT_EQ(recorder.dropped(), 34u);
+
+  std::ostringstream out;
+  write_chrome_trace(out, recorder);
+  std::istringstream in(out.str());
+  const TraceData imported = import_chrome_trace(in);
+
+  EXPECT_EQ(imported.events.size(), recorder.capacity());
+  EXPECT_EQ(imported.dropped, recorder.dropped());
+  // Exactly the surviving suffix, oldest first, and monotonic per track.
+  double last_per_track[2] = {-1.0, -1.0};
+  for (std::size_t i = 0; i < imported.events.size(); ++i) {
+    const TraceEvent& event = imported.events[i];
+    EXPECT_EQ(event.id, 34u + i);
+    ASSERT_LT(event.track, 2u);
+    EXPECT_GE(event.t, last_per_track[event.track]);
+    last_per_track[event.track] = event.t;
+  }
 }
 
 }  // namespace

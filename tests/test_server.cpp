@@ -473,6 +473,69 @@ TEST(Server, TraceStreamAndSnapshotAreRepeatable) {
   EXPECT_EQ(a.obs.to_json(), b.obs.to_json());
 }
 
+// Forensics determinism: the analysis report is a pure function of the
+// trace, so re-running the same workload — with or without the rest of the
+// observability stack enabled — must reproduce the report byte for byte.
+TEST(Server, ForensicsReportIsByteIdenticalAcrossRuns) {
+  ServerConfig config = table3_config("feasibility-lp");
+  config.collect_forensics = true;
+  const auto requests = poisson_arrivals(small_workload());
+  const ServerOutcome a = SessionServer(config).run(requests);
+  const ServerOutcome b = SessionServer(config).run(requests);
+  ASSERT_TRUE(a.forensics.has_value());
+  ASSERT_TRUE(b.forensics.has_value());
+  EXPECT_EQ(a.forensics->to_json(), b.forensics->to_json());
+
+  // Metrics + trace export ride on the same recorder; turning them on must
+  // not perturb the forensics report.
+  ServerConfig full = config;
+  full.collect_metrics = true;
+  full.collect_trace = true;
+  const ServerOutcome c = SessionServer(full).run(requests);
+  ASSERT_TRUE(c.forensics.has_value());
+  EXPECT_EQ(a.forensics->to_json(), c.forensics->to_json());
+}
+
+// The acceptance bar for the forensics engine: on a heavily overloaded
+// workload every missed deadline is attributed to exactly one root cause,
+// and the miss total reconciles with the outcome partition.
+TEST(Server, ForensicsAttributesEveryMissUnderOverload) {
+  WorkloadOptions workload;
+  workload.count = 60;
+  workload.arrivals_per_s = 60.0;
+  workload.mean_rate_bps = mbps(30);
+  workload.mean_messages = 250;
+  workload.seed = 17;
+
+  ServerConfig config = table3_config("always-admit");
+  config.collect_forensics = true;
+  const ServerOutcome outcome =
+      SessionServer(config).run(poisson_arrivals(workload));
+  ASSERT_TRUE(outcome.forensics.has_value());
+  const obs::AnalysisReport& report = *outcome.forensics;
+
+  EXPECT_FALSE(report.truncated);
+  EXPECT_EQ(report.unresolved, 0u);
+  EXPECT_GT(report.misses.total(), 0u)
+      << "oversubscription must produce misses to attribute";
+  // Each miss lands in exactly one cause bucket: the cause counts partition
+  // the late + gave-up + blackholed population with nothing left over.
+  EXPECT_EQ(report.misses.total(),
+            report.late + report.gave_up + report.blackholed);
+  EXPECT_EQ(report.on_time + report.misses.total(), report.messages_observed);
+  // The per-session summaries must reconcile with the global breakdown.
+  obs::MissBreakdown from_sessions;
+  std::uint64_t session_misses = 0;
+  for (const obs::SessionSummary& s : report.worst_sessions) {
+    session_misses += s.misses;
+    for (std::size_t c = 0; c < obs::kNumMissCauses; ++c) {
+      from_sessions.counts[c] += s.causes.counts[c];
+    }
+  }
+  EXPECT_EQ(session_misses, from_sessions.total());
+  EXPECT_LE(session_misses, report.misses.total());
+}
+
 TEST(Server, FeasibilityGateBeatsAlwaysAdmitUnderOverload) {
   // The acceptance criterion: at high load the feasibility-lp policy must
   // achieve a strictly lower deadline-miss rate than always-admit on the

@@ -49,6 +49,8 @@ options
                   (default on; the lp_* result columns show the split)
   --obs           collect per-cell metrics in `server` grids (adds the
                   deterministic dmc.obs.v1 "obs" block to each record)
+  --forensics     run deadline-miss forensics per `server` cell (adds the
+                  per-cause "forensics" block and cause_* CSV columns)
   --json PATH     write the JSON result set (- = stdout)
   --csv PATH      write the CSV result set (- = stdout)
   --quiet         suppress the text tables
@@ -67,6 +69,7 @@ struct CliOptions {
   std::uint64_t session_messages = 400;
   bool warm_start = true;
   bool obs = false;
+  bool forensics = false;
   std::string json_path;
   std::string csv_path;
   bool quiet = false;
@@ -115,6 +118,8 @@ CliOptions parse_cli(int argc, char** argv) {
       }
     } else if (arg == "--obs") {
       options.obs = true;
+    } else if (arg == "--forensics") {
+      options.forensics = true;
     } else if (arg == "--json") {
       options.json_path = value();
     } else if (arg == "--csv") {
@@ -254,6 +259,7 @@ int run(const CliOptions& options) {
     axes.mean_messages = static_cast<double>(options.session_messages);
     axes.warm_start = options.warm_start;
     axes.collect_metrics = options.obs;
+    axes.collect_forensics = options.forensics;
     if (options.rate_mbps > 0.0) axes.rate_mbps = {options.rate_mbps};
     runs.push_back(
         {"Online admission: arrival-rate sweep on the Table III network",

@@ -48,6 +48,12 @@ options
                     with several policies, the policy name is inserted
                     before the extension
   --metrics PATH    write Prometheus text exposition (same policy-name rule)
+  --forensics PATH  run the deadline-miss analyzer over the trace ring and
+                    write the dmc.obs.analysis.v1 report (- = stdout; same
+                    policy-name rule); adds the per-cause "forensics" block
+                    to the result records
+  --slo X           forensics SLO target miss rate (default 0.01)
+  --window X        forensics time-series window in seconds (default 1)
   --trace-capacity N  trace ring capacity in events (default 1048576)
   --sessions        also print the per-session fate table
   --quiet           suppress the text tables
@@ -70,6 +76,9 @@ struct CliOptions {
   std::string csv_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string forensics_path;
+  double slo = 0.01;
+  double window_s = 1.0;
   std::size_t trace_capacity = std::size_t{1} << 20;
   bool per_session = false;
   bool quiet = false;
@@ -117,6 +126,12 @@ CliOptions parse_cli(int argc, char** argv) {
       options.trace_path = value();
     } else if (arg == "--metrics") {
       options.metrics_path = value();
+    } else if (arg == "--forensics") {
+      options.forensics_path = value();
+    } else if (arg == "--slo") {
+      options.slo = util::parse_positive<double>(arg, value());
+    } else if (arg == "--window") {
+      options.window_s = util::parse_positive<double>(arg, value());
     } else if (arg == "--trace-capacity") {
       options.trace_capacity =
           util::parse_positive<std::size_t>(arg, value());
@@ -228,6 +243,9 @@ int run(const CliOptions& options) {
     config.seed = options.seed;
     config.collect_metrics = true;  // feeds the footer + "obs" JSON block
     config.collect_trace = !options.trace_path.empty();
+    config.collect_forensics = !options.forensics_path.empty();
+    config.forensics.slo_miss_rate = options.slo;
+    config.forensics.window_s = options.window_s;
     config.trace_capacity = options.trace_capacity;
 
     server::SessionServer session_server(config);
@@ -238,11 +256,28 @@ int run(const CliOptions& options) {
       ++failures;
     }
 
+    if (outcome.trace_events != nullptr && outcome.trace_events->dropped() > 0) {
+      std::cerr << "dmc_server: trace ring wrapped under " << policy << ": "
+                << outcome.trace_events->dropped() << " of "
+                << outcome.trace_events->recorded()
+                << " events overwritten; raise --trace-capacity (currently "
+                << outcome.trace_events->capacity()
+                << ") to keep full history\n";
+    }
     if (!options.trace_path.empty() && outcome.trace_events != nullptr) {
       export_obs(with_policy(options.trace_path, policy, multi_policy),
                  [&](std::ostream& out) {
                    obs::write_chrome_trace(out, *outcome.trace_events);
                  });
+    }
+    if (!options.forensics_path.empty() && outcome.forensics.has_value()) {
+      const std::string report = outcome.forensics->to_json();
+      if (options.forensics_path == "-") {
+        std::cout << report << "\n";
+      } else {
+        export_obs(with_policy(options.forensics_path, policy, multi_policy),
+                   [&](std::ostream& out) { out << report << "\n"; });
+      }
     }
     if (!options.metrics_path.empty() && outcome.metrics != nullptr) {
       export_obs(with_policy(options.metrics_path, policy, multi_policy),

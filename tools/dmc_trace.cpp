@@ -1,0 +1,236 @@
+// dmc_trace: offline deadline-miss forensics over an exported Chrome
+// trace-event file (dmc_server --trace / write_chrome_trace). Re-imports
+// the trace, reconstructs per-session message timelines, attributes every
+// miss to one root cause, and prints the cause table, worst sessions, and
+// windowed SLO series — or the full dmc.obs.analysis.v1 JSON report.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "experiments/table.h"
+#include "obs/analysis.h"
+#include "obs/export.h"
+#include "util/parse.h"
+
+namespace {
+
+using namespace dmc;
+
+constexpr const char* kUsage = R"(usage: dmc_trace [options] TRACE.json
+
+Analyzes a Chrome trace-event file written by dmc_server --trace (or any
+obs::write_chrome_trace output). TRACE.json may be - for stdin.
+
+options
+  --json PATH     write the dmc.obs.analysis.v1 report (- = stdout)
+  --window X      time-series window in seconds (default 1; doubles until
+                  the run fits in --max-windows buckets)
+  --max-windows N cap on time-series buckets (default 4096)
+  --slo X         SLO target miss rate for burn scoring (default 0.01)
+  --session N     print the per-message timeline of session N and include
+                  its forensics rows in the JSON report
+  --quiet         suppress the text report (useful with --json)
+)";
+
+struct CliOptions {
+  std::string trace_path;
+  std::string json_path;
+  obs::AnalysisOptions analysis;
+  bool quiet = false;
+};
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + ": missing value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      options.json_path = value();
+    } else if (arg == "--window") {
+      options.analysis.window_s = util::parse_positive<double>(arg, value());
+    } else if (arg == "--max-windows") {
+      options.analysis.max_windows =
+          util::parse_positive<std::size_t>(arg, value());
+    } else if (arg == "--slo") {
+      options.analysis.slo_miss_rate =
+          util::parse_positive<double>(arg, value());
+    } else if (arg == "--session") {
+      options.analysis.detail_session =
+          util::parse_number<std::int64_t>(arg, value());
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    } else if (options.trace_path.empty()) {
+      options.trace_path = arg;
+    } else {
+      throw std::invalid_argument("more than one trace file given");
+    }
+  }
+  if (options.trace_path.empty()) {
+    throw std::invalid_argument("missing trace file");
+  }
+  return options;
+}
+
+obs::TraceData load(const std::string& path) {
+  if (path == "-") return obs::import_chrome_trace(std::cin);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  return obs::import_chrome_trace(in);
+}
+
+std::string maybe_num(double value, int precision) {
+  return std::isfinite(value) ? exp::Table::num(value, precision) : "-";
+}
+
+void print_report(const obs::AnalysisReport& report) {
+  std::cout << "trace: " << report.events << " events, "
+            << exp::Table::num(report.t_start_s, 3) << " s .. "
+            << exp::Table::num(report.t_end_s, 3) << " s";
+  if (report.truncated) {
+    std::cout << "  [TRUNCATED: " << report.dropped
+              << " events lost to ring wraparound; counts are lower bounds]";
+  }
+  std::cout << "\n";
+  std::cout << "sessions: " << report.sessions_observed << " observed, "
+            << report.admits << " admitted, " << report.rejects
+            << " rejected, " << report.expires << " expired, "
+            << report.replans << " replans\n";
+  std::cout << "messages: " << report.messages_observed << " observed | "
+            << report.on_time << " on-time, " << report.late << " late, "
+            << report.gave_up << " gave-up, " << report.blackholed
+            << " blackholed, " << report.unresolved << " unresolved\n";
+  std::cout << "delay: p50 " << maybe_num(report.delay_p50_s * 1e3, 3)
+            << " ms, p95 " << maybe_num(report.delay_p95_s * 1e3, 3)
+            << " ms, p99 " << maybe_num(report.delay_p99_s * 1e3, 3)
+            << " ms\n";
+  std::cout << "slo: miss rate "
+            << exp::Table::percent(report.overall_miss_rate, 3)
+            << " vs target "
+            << exp::Table::percent(report.slo_miss_rate, 3) << " (burn "
+            << exp::Table::num(report.slo_burn, 2) << "x)\n\n";
+
+  exp::banner("root causes: " + std::to_string(report.misses.total()) +
+              " missed deadlines" +
+              (report.lower_bound ? " (lower bound)" : ""));
+  exp::Table causes({"cause", "misses", "share"});
+  for (std::size_t c = 0; c < obs::kNumMissCauses; ++c) {
+    const std::uint64_t count =
+        report.misses.counts[c];
+    causes.add_row(
+        {obs::to_string(static_cast<obs::MissCause>(c)),
+         std::to_string(count),
+         report.misses.total() > 0
+             ? exp::Table::percent(static_cast<double>(count) /
+                                   static_cast<double>(report.misses.total()))
+             : "-"});
+  }
+  causes.print();
+  std::cout << "\n";
+
+  if (!report.worst_sessions.empty()) {
+    exp::banner("worst sessions");
+    exp::Table worst({"session", "request", "admitted (s)", "admit Q",
+                      "messages", "misses", "dominant cause"});
+    for (const obs::SessionSummary& s : report.worst_sessions) {
+      std::size_t dominant = 0;
+      for (std::size_t c = 1; c < obs::kNumMissCauses; ++c) {
+        if (s.causes.counts[c] > s.causes.counts[dominant]) dominant = c;
+      }
+      worst.add_row({std::to_string(s.session), std::to_string(s.request),
+                     maybe_num(s.admitted_at_s, 3),
+                     std::isnan(s.admit_quality)
+                         ? std::string("-")
+                         : exp::Table::percent(s.admit_quality, 2),
+                     std::to_string(s.observed), std::to_string(s.misses),
+                     obs::to_string(static_cast<obs::MissCause>(dominant))});
+    }
+    worst.print();
+    std::cout << "\n";
+  }
+
+  if (report.detail_session >= 0) {
+    exp::banner("session " + std::to_string(report.detail_session) +
+                " timeline");
+    exp::Table detail({"seq", "outcome", "cause", "first tx (s)",
+                       "resolved (s)", "late by (ms)", "attempts", "losses",
+                       "queue drops", "queue excess (ms)"});
+    for (const obs::MessageForensics& row : report.detail) {
+      detail.add_row(
+          {std::to_string(row.seq), row.outcome,
+           row.cause >= 0
+               ? obs::to_string(static_cast<obs::MissCause>(row.cause))
+               : "-",
+           maybe_num(row.first_tx_s, 4), maybe_num(row.resolved_at_s, 4),
+           exp::Table::num(row.late_by_s * 1e3, 2),
+           std::to_string(row.attempts), std::to_string(row.losses),
+           std::to_string(row.queue_drops),
+           maybe_num(row.queue_excess_s * 1e3, 2)});
+    }
+    detail.print();
+    std::cout << "\n";
+  }
+
+  if (!report.windows.empty()) {
+    exp::banner("slo time-series (window " +
+                exp::Table::num(report.effective_window_s, 2) + " s)");
+    exp::Table series({"t0 (s)", "generated", "delivered", "late", "gave-up",
+                       "blackholed", "miss rate", "burn", "p99 delay (ms)"});
+    for (const obs::WindowStats& window : report.windows) {
+      series.add_row({exp::Table::num(window.t0, 2),
+                      std::to_string(window.generated),
+                      std::to_string(window.delivered),
+                      std::to_string(window.late),
+                      std::to_string(window.gave_up),
+                      std::to_string(window.blackholed),
+                      exp::Table::percent(window.miss_rate),
+                      exp::Table::num(window.slo_burn, 2),
+                      maybe_num(window.p99_delay_s * 1e3, 3)});
+    }
+    series.print();
+    std::cout << "\n";
+  }
+}
+
+int run(const CliOptions& options) {
+  const obs::TraceData data = load(options.trace_path);
+  const obs::AnalysisReport report = obs::analyze(data, options.analysis);
+
+  if (!options.quiet) print_report(report);
+  if (!options.json_path.empty()) {
+    if (options.json_path == "-") {
+      std::cout << report.to_json() << "\n";
+    } else {
+      std::ofstream out(options.json_path);
+      if (!out) {
+        throw std::runtime_error("cannot open '" + options.json_path +
+                                 "' for writing");
+      }
+      out << report.to_json() << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_cli(argc, argv));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "dmc_trace: " << e.what() << "\n\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dmc_trace: " << e.what() << "\n";
+    return 1;
+  }
+}
