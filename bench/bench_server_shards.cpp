@@ -1,0 +1,89 @@
+// Sharded-server throughput benchmarks (google-benchmark): end-to-end
+// arrivals processed per wall second for one logical server split into 16
+// slice event loops, as the worker-thread count (--shards) grows. The slice
+// partition is fixed, so every arg produces bit-identical results; only the
+// wall clock should move. BM_ServerClassic is the unsharded baseline on the
+// same workload. items_per_second counts arrivals. Record in BENCH_*.json;
+// on a single-core host the worker axis measures threading overhead, not
+// speedup — note the host's num_cpus next to the numbers.
+#include <benchmark/benchmark.h>
+
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "server/arrivals.h"
+#include "server/server.h"
+#include "server/sharded_server.h"
+
+namespace {
+
+using namespace dmc;
+
+server::ServerConfig shard_bench_config() {
+  server::ServerConfig config;
+  config.planning_paths = exp::table3_model_paths();
+  config.true_paths = exp::table3_paths();
+  config.policy = "feasibility-lp";
+  config.seed = 42;
+  return config;
+}
+
+server::WorkloadOptions shard_bench_workload() {
+  server::WorkloadOptions workload;
+  workload.count = 240;
+  workload.arrivals_per_s = 120.0;
+  workload.mean_rate_bps = mbps(20);
+  workload.mean_messages = 120;
+  workload.seed = 17;
+  return workload;
+}
+
+// Sharded run at state.range(0) worker threads over the fixed 16-slice
+// partition. The admitted count is pinned so a scheduling bug that changes
+// results (instead of just wall time) aborts the benchmark.
+void BM_ServerSharded(benchmark::State& state) {
+  server::ServerConfig config = shard_bench_config();
+  config.shards = static_cast<std::size_t>(state.range(0));
+  const server::WorkloadOptions workload = shard_bench_workload();
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  for (auto _ : state) {
+    const server::ServerOutcome outcome =
+        server::run_sharded_server(config, workload);
+    arrivals = outcome.arrivals;
+    if (admitted == 0) admitted = outcome.admitted;
+    if (outcome.admitted != admitted) {
+      state.SkipWithError("worker count changed the admitted set");
+      break;
+    }
+    benchmark::DoNotOptimize(outcome.deadline_miss_rate);
+  }
+  state.counters["admitted"] = static_cast<double>(admitted);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(arrivals));
+}
+BENCHMARK(BM_ServerSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Unsharded baseline: same workload through the classic single-loop server.
+void BM_ServerClassic(benchmark::State& state) {
+  const server::ServerConfig config = shard_bench_config();
+  const server::WorkloadOptions workload = shard_bench_workload();
+  std::uint64_t arrivals = 0;
+  for (auto _ : state) {
+    const server::ServerOutcome outcome = server::run_server(config, workload);
+    arrivals = outcome.arrivals;
+    benchmark::DoNotOptimize(outcome.deadline_miss_rate);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(arrivals));
+}
+BENCHMARK(BM_ServerClassic)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

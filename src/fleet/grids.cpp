@@ -138,7 +138,8 @@ std::vector<JobSpec> contention_grid(int max_sessions,
 std::vector<JobSpec> server_grid(const ServerAxes& axes,
                                  const GridOptions& options) {
   if (axes.arrivals_per_s.empty() || axes.rate_mbps.empty() ||
-      axes.lifetime_ms.empty() || axes.policies.empty()) {
+      axes.lifetime_ms.empty() || axes.policies.empty() ||
+      axes.shards.empty()) {
     throw std::invalid_argument("server_grid: empty axis");
   }
   if (axes.count < 1 || axes.mean_messages < 1.0) {
@@ -148,6 +149,7 @@ std::vector<JobSpec> server_grid(const ServerAxes& axes,
   const int replicates = checked_replicates(options);
   const auto planning = exp::table3_model_paths();
   const auto truth = exp::table3_paths();
+  const bool shard_axis = axes.shards.size() > 1 || axes.shards.front() != 0;
   std::vector<JobSpec> jobs;
   // The cell index deliberately excludes the policy axis: every policy at
   // one (arrivals, load, tightness, replicate) point faces the identical
@@ -163,27 +165,34 @@ std::vector<JobSpec> server_grid(const ServerAxes& axes,
               mix_seed(mix_seed(options.base_seed, cell),
                        static_cast<std::uint64_t>(rep));
           for (const std::string& policy : axes.policies) {
-            ServerJob work;
-            work.config.planning_paths = planning;
-            work.config.true_paths = truth;
-            work.config.policy = policy;
-            work.config.warm_start = axes.warm_start;
-            work.config.collect_metrics = axes.collect_metrics;
-            work.config.collect_forensics = axes.collect_forensics;
-            work.config.seed = point_seed;
-            work.workload.count = axes.count;
-            work.workload.arrivals_per_s = arrivals;
-            work.workload.mean_rate_bps = mbps(rate);
-            work.workload.mean_lifetime_s = ms(lifetime);
-            work.workload.mean_messages = axes.mean_messages;
-            work.workload.seed = mix_seed(point_seed, 0xA881);
-            jobs.push_back(JobSpec{
-                "server",
-                {{"arrivals_per_s", arrivals},
-                 {"rate_mbps", rate},
-                 {"lifetime_ms", lifetime},
-                 {"replicate", static_cast<double>(rep)}},
-                std::move(work)});
+            for (const unsigned shards : axes.shards) {
+              ServerJob work;
+              work.config.planning_paths = planning;
+              work.config.true_paths = truth;
+              work.config.policy = policy;
+              work.config.warm_start = axes.warm_start;
+              work.config.collect_metrics = axes.collect_metrics;
+              work.config.collect_forensics = axes.collect_forensics;
+              work.config.seed = point_seed;
+              work.workload.count = axes.count;
+              work.workload.arrivals_per_s = arrivals;
+              work.workload.mean_rate_bps = mbps(rate);
+              work.workload.mean_lifetime_s = ms(lifetime);
+              work.workload.mean_messages = axes.mean_messages;
+              work.workload.seed = mix_seed(point_seed, 0xA881);
+              work.shards = shards;
+              std::vector<Param> params = {
+                  {"arrivals_per_s", arrivals},
+                  {"rate_mbps", rate},
+                  {"lifetime_ms", lifetime},
+                  {"replicate", static_cast<double>(rep)}};
+              if (shard_axis) {
+                params.push_back(
+                    {"shards", static_cast<double>(shards)});
+              }
+              jobs.push_back(
+                  JobSpec{"server", std::move(params), std::move(work)});
+            }
           }
         }
         ++cell;

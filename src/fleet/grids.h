@@ -62,6 +62,14 @@ struct ServerAxes {
   // each record gains the per-cause "forensics" block. Also bit-identical
   // at any thread count — the analyzer is a pure function of the trace.
   bool collect_forensics = false;
+  // Shard axis (ServerJob::shards): 0 = the classic single-loop server,
+  // v > 0 = ShardedSessionServer with v logical slices. Like the policy
+  // axis it is excluded from the cell seed, so every shard count at one
+  // grid point faces the identical workload — the curves isolate the
+  // effect of sharded admission. A "shards" param column is emitted only
+  // when the axis differs from the default {0}, keeping pre-PR9 result
+  // files byte-identical.
+  std::vector<unsigned> shards = {0};
 };
 
 std::vector<JobSpec> server_grid(const ServerAxes& axes,

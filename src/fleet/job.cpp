@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "protocol/multi_session.h"
+#include "server/sharded_server.h"
 
 namespace dmc::fleet {
 namespace {
@@ -135,8 +136,15 @@ std::vector<RunRecord> run_multi(const JobSpec& job, const MultiJob& work) {
 std::vector<RunRecord> run_server_job(const JobSpec& job,
                                       const ServerJob& work) {
   try {
-    const server::ServerOutcome outcome =
-        server::run_server(work.config, work.workload);
+    const server::ServerOutcome outcome = [&work] {
+      if (work.shards == 0) {
+        return server::run_server(work.config, work.workload);
+      }
+      server::ServerConfig config = work.config;
+      config.shard_slices = work.shards;
+      config.shards = 1;  // one thread per job; the engine parallelizes
+      return server::run_sharded_server(config, work.workload);
+    }();
     return {server_record(job.scenario, job.params, work.config, outcome)};
   } catch (const std::exception& e) {
     RunRecord record;
@@ -174,6 +182,7 @@ RunRecord server_record(std::string scenario, std::vector<Param> params,
   record.lp_warm_solves = outcome.lp.warm_solves;
   record.lp_cold_solves = outcome.lp.cold_solves;
   record.lp_fallbacks = outcome.lp.fallbacks;
+  record.shards = outcome.shards;
   record.sessions = static_cast<int>(outcome.arrivals);
   record.elapsed_s = outcome.elapsed_s;
   record.events = outcome.events;

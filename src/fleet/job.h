@@ -48,6 +48,11 @@ struct MultiJob {
 struct ServerJob {
   server::ServerConfig config;
   server::WorkloadOptions workload;
+  // 0 = the classic single-loop SessionServer; > 0 = ShardedSessionServer
+  // with this many logical shard slices. The job always executes its slices
+  // on one thread — the fleet engine owns cross-job parallelism — which
+  // changes nothing: slice results are worker-count independent.
+  unsigned shards = 0;
 };
 
 struct JobSpec {

@@ -112,7 +112,8 @@ void write_record(std::ostream& out, const RunRecord& record) {
         << ",\"warm_start\":" << (record.warm_start ? "true" : "false")
         << ",\"lp_warm_solves\":" << record.lp_warm_solves
         << ",\"lp_cold_solves\":" << record.lp_cold_solves
-        << ",\"lp_fallbacks\":" << record.lp_fallbacks << "}";
+        << ",\"lp_fallbacks\":" << record.lp_fallbacks
+        << ",\"shards\":" << record.shards << "}";
   }
   if (record.has_forensics) {
     out << ",\"forensics\":{\"misses\":" << record.forensics_misses
@@ -171,7 +172,7 @@ void ResultSet::write_csv(std::ostream& out) const {
   for (std::size_t c = 0; c < obs::kNumMissCauses; ++c) {
     out << ",cause_" << obs::to_string(static_cast<obs::MissCause>(c));
   }
-  out << "\n";
+  out << ",shards\n";
   for (const RunRecord& record : records) {
     std::string params;
     for (const Param& param : record.params) {
@@ -209,7 +210,7 @@ void ResultSet::write_csv(std::ostream& out) const {
     for (std::size_t c = 0; c < obs::kNumMissCauses; ++c) {
       out << "," << record.miss_causes.counts[c];
     }
-    out << "\n";
+    out << "," << record.shards << "\n";
   }
 }
 

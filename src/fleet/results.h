@@ -85,6 +85,12 @@ struct RunRecord {
   std::uint64_t lp_warm_solves = 0;
   std::uint64_t lp_cold_solves = 0;
   std::uint64_t lp_fallbacks = 0;
+  // Logical shard count of a sharded server run (ServerOutcome::shards):
+  // 0 for the classic single-loop server. Appended to the "server" JSON
+  // object and as the trailing CSV column (PR 9 schema addition — earlier
+  // substrings of the record are unchanged). Never the worker-thread
+  // count, so records stay bit-identical across --shards values.
+  std::uint64_t shards = 0;
 
   // Pre-serialized dmc.obs.v1 metric snapshot (obs::Snapshot::to_json).
   // Empty unless the job ran with metric collection; the record then gains

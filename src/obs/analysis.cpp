@@ -189,17 +189,6 @@ void AnalysisOptions::check() const {
   }
 }
 
-TraceData to_trace_data(const TraceRecorder& recorder) {
-  TraceData data;
-  data.tracks = recorder.track_names();
-  data.dropped = recorder.dropped();
-  data.events.reserve(recorder.size());
-  for (std::size_t i = 0; i < recorder.size(); ++i) {
-    data.events.push_back(recorder.event(i));
-  }
-  return data;
-}
-
 AnalysisReport analyze(const TraceRecorder& recorder,
                        const AnalysisOptions& options) {
   return analyze(to_trace_data(recorder), options);

@@ -60,15 +60,8 @@ namespace dmc::obs {
 
 inline constexpr std::string_view kAnalysisSchema = "dmc.obs.analysis.v1";
 
-// The analyzer's only input: events in ring order plus the track table and
-// the wraparound loss count. Both ingestion paths normalize to this.
-struct TraceData {
-  std::vector<TraceEvent> events;
-  std::vector<std::string> tracks;
-  std::uint64_t dropped = 0;
-};
-
-TraceData to_trace_data(const TraceRecorder& recorder);
+// The analyzer's input is obs::TraceData (obs/trace_recorder.h): events in
+// chronological order plus the track table and the wraparound loss count.
 
 // Re-imports a Chrome trace-event JSON written by write_chrome_trace:
 // thread_name metadata rebuilds the track table, instant/complete events map

@@ -1,10 +1,13 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
 namespace dmc::obs {
 
@@ -150,6 +153,69 @@ Snapshot Snapshot::from(const MetricRegistry& registry) {
   return snapshot;
 }
 
+Snapshot merge_snapshots(const std::vector<Snapshot>& snapshots) {
+  Snapshot merged;
+  std::unordered_map<std::string, std::size_t> counter_index;
+  std::unordered_map<std::string, std::size_t> gauge_index;
+  std::unordered_map<std::string, std::size_t> hist_index;
+  for (const Snapshot& snapshot : snapshots) {
+    for (const auto& [name, value] : snapshot.counters) {
+      const auto [it, inserted] =
+          counter_index.emplace(name, merged.counters.size());
+      if (inserted) merged.counters.emplace_back(name, 0);
+      merged.counters[it->second].second += value;
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      const auto [it, inserted] =
+          gauge_index.emplace(name, merged.gauges.size());
+      if (inserted) {
+        merged.gauges.emplace_back(name, value);
+      } else {
+        merged.gauges[it->second].second =
+            std::max(merged.gauges[it->second].second, value);
+      }
+    }
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+      const auto [it, inserted] =
+          hist_index.emplace(h.name, merged.histograms.size());
+      if (inserted) {
+        merged.histograms.push_back(h);
+        continue;
+      }
+      HistogramSnapshot& m = merged.histograms[it->second];
+      if (h.count > 0) {
+        m.min = m.count > 0 ? std::min(m.min, h.min) : h.min;
+        m.max = m.count > 0 ? std::max(m.max, h.max) : h.max;
+      }
+      m.count += h.count;
+      m.sum += h.sum;
+      // Both bucket lists are sorted by bound; merge-join, summing counts
+      // where the bounds coincide (same HistogramOptions -> same grid).
+      std::vector<std::pair<double, std::uint64_t>> buckets;
+      buckets.reserve(m.buckets.size() + h.buckets.size());
+      std::size_t a = 0;
+      std::size_t b = 0;
+      while (a < m.buckets.size() || b < h.buckets.size()) {
+        if (b == h.buckets.size() ||
+            (a < m.buckets.size() &&
+             m.buckets[a].first < h.buckets[b].first)) {
+          buckets.push_back(m.buckets[a++]);
+        } else if (a == m.buckets.size() ||
+                   h.buckets[b].first < m.buckets[a].first) {
+          buckets.push_back(h.buckets[b++]);
+        } else {
+          buckets.emplace_back(m.buckets[a].first,
+                               m.buckets[a].second + h.buckets[b].second);
+          ++a;
+          ++b;
+        }
+      }
+      m.buckets = std::move(buckets);
+    }
+  }
+  return merged;
+}
+
 std::string Snapshot::to_json() const {
   std::string out = "{\"schema\":\"";
   out += kObsSchema;
@@ -230,18 +296,25 @@ void write_prometheus(std::ostream& out, const MetricRegistry& registry) {
   }
 }
 
-void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder) {
+namespace {
+
+// Shared rendering behind both write_chrome_trace overloads: `event_at(i)`
+// yields the i-th surviving event in chronological order.
+template <typename EventAt>
+void write_chrome_trace_impl(std::ostream& out,
+                             const std::vector<std::string>& tracks,
+                             std::size_t num_events, std::uint64_t dropped,
+                             EventAt&& event_at) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{"
          "\"name\":\"dmc\"}}";
-  const std::vector<std::string>& tracks = recorder.track_names();
   for (std::size_t t = 0; t < tracks.size(); ++t) {
     out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
         << (t + 1) << ",\"args\":{\"name\":" << json_string(tracks[t])
         << "}}";
   }
-  for (std::size_t i = 0; i < recorder.size(); ++i) {
-    const TraceEvent& event = recorder.event(i);
+  for (std::size_t i = 0; i < num_events; ++i) {
+    const TraceEvent& event = event_at(i);
     const EvInfo info = ev_info(event.type);
     const double ts_us = event.t * 1e6;
     out << ",\n{\"name\":";
@@ -274,8 +347,50 @@ void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder) {
     }
     out << "}}";
   }
-  out << "\n],\"otherData\":{\"dropped_events\":" << recorder.dropped()
-      << "}}\n";
+  out << "\n],\"otherData\":{\"dropped_events\":" << dropped << "}}\n";
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const Snapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << prom_number(value) << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [bound, count] : h.buckets) {
+      // The +Inf bucket is written unconditionally below; snapshots store
+      // only non-empty buckets, so an explicit overflow bucket would
+      // duplicate it.
+      if (std::isinf(bound)) break;
+      cumulative += count;
+      out << h.name << "_bucket{le=\"" << prom_number(bound) << "\"} "
+          << cumulative << "\n";
+    }
+    out << h.name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << h.name << "_sum " << prom_number(h.sum) << "\n";
+    out << h.name << "_count " << h.count << "\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder) {
+  write_chrome_trace_impl(
+      out, recorder.track_names(), recorder.size(), recorder.dropped(),
+      [&recorder](std::size_t i) -> const TraceEvent& {
+        return recorder.event(i);
+      });
+}
+
+void write_chrome_trace(std::ostream& out, const TraceData& data) {
+  write_chrome_trace_impl(
+      out, data.tracks, data.events.size(), data.dropped,
+      [&data](std::size_t i) -> const TraceEvent& { return data.events[i]; });
 }
 
 void print_run_footer(std::ostream& out, const MetricRegistry& registry) {
@@ -302,6 +417,49 @@ void print_run_footer(std::ostream& out, const MetricRegistry& registry) {
   if (delay != nullptr && delay->count() > 0) {
     std::snprintf(line, sizeof(line), " | p99 delay %.3f ms",
                   delay->quantile(0.99) * 1e3);
+    out << line;
+  }
+  out << "\n";
+}
+
+void print_run_footer(std::ostream& out, const Snapshot& snapshot,
+                      double wall_seconds) {
+  double sim = 0.0;
+  std::uint64_t events = 0;
+  const HistogramSnapshot* delay = nullptr;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == kRunSimSeconds) sim = value;
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == kRunEventsTotal) events = value;
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name == kProtoDelayHistogram) delay = &h;
+  }
+  const double rate =
+      wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "run: wall %.3f s | sim %.3f s | %llu events | %.2fM events/s",
+                wall_seconds, sim, static_cast<unsigned long long>(events),
+                rate / 1e6);
+  out << line;
+  if (delay != nullptr && delay->count > 0) {
+    // Bucket-resolved p99: upper bound of the bucket holding the target
+    // rank, clamped to the observed maximum (coarser than
+    // Histogram::quantile's interpolation, but snapshot-only sources have
+    // nothing finer).
+    const double target = 0.99 * static_cast<double>(delay->count);
+    double p99 = delay->max;
+    std::uint64_t cumulative = 0;
+    for (const auto& [bound, count] : delay->buckets) {
+      cumulative += count;
+      if (static_cast<double>(cumulative) >= target) {
+        p99 = std::min(bound, delay->max);
+        break;
+      }
+    }
+    std::snprintf(line, sizeof(line), " | p99 delay %.3f ms", p99 * 1e3);
     out << line;
   }
   out << "\n";

@@ -84,10 +84,29 @@ struct Snapshot {
   std::string to_json() const;
 };
 
+// Deterministic shard merge: counters summed, gauges combined by max (every
+// snapshot gauge today is a duration-style high-water mark), histograms
+// merged bucket-by-bucket. Names appear in first-appearance order across the
+// inputs, so merging shard snapshots that registered the same metrics in the
+// same order preserves the single-shard layout — merge(A) == A, and the
+// result is independent of worker count because the input order is the fixed
+// logical-shard order.
+Snapshot merge_snapshots(const std::vector<Snapshot>& snapshots);
+
 void write_prometheus(std::ostream& out, const MetricRegistry& registry);
+// Exposition of a deterministic snapshot (merged sharded runs): same
+// format, minus HELP lines (a snapshot stores no help text) and minus
+// wallclock metrics (a snapshot never contains them).
+void write_prometheus(std::ostream& out, const Snapshot& snapshot);
 
 void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder);
+void write_chrome_trace(std::ostream& out, const TraceData& data);
 
 void print_run_footer(std::ostream& out, const MetricRegistry& registry);
+// Footer for a snapshot-only source (merged sharded runs): the wall-clock
+// duration is not in the snapshot and must be passed in; the p99 delay is
+// bucket-resolved (upper bound of the bucket holding the target rank).
+void print_run_footer(std::ostream& out, const Snapshot& snapshot,
+                      double wall_seconds);
 
 }  // namespace dmc::obs

@@ -31,4 +31,15 @@ std::uint16_t TraceRecorder::link_track(std::string_view link_name) {
   return track("link " + std::string(link_name));
 }
 
+TraceData to_trace_data(const TraceRecorder& recorder) {
+  TraceData data;
+  data.tracks = recorder.track_names();
+  data.dropped = recorder.dropped();
+  data.events.reserve(recorder.size());
+  for (std::size_t i = 0; i < recorder.size(); ++i) {
+    data.events.push_back(recorder.event(i));
+  }
+  return data;
+}
+
 }  // namespace dmc::obs

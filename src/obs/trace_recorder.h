@@ -121,4 +121,16 @@ class TraceRecorder {
   std::unordered_map<std::string, std::uint16_t> track_index_;
 };
 
+// A trace detached from its recorder: events in chronological order plus the
+// track table and the wraparound loss count. Every trace consumer (the
+// Chrome exporter, the deadline-miss analyzer) normalizes to this, which is
+// also what the sharded server merges per-shard rings into.
+struct TraceData {
+  std::vector<TraceEvent> events;
+  std::vector<std::string> tracks;
+  std::uint64_t dropped = 0;
+};
+
+TraceData to_trace_data(const TraceRecorder& recorder);
+
 }  // namespace dmc::obs

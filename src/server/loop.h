@@ -1,0 +1,175 @@
+// Internal event-loop engine behind server::SessionServer and
+// server::ShardedSessionServer: one simulator, one network replica, the
+// incremental session host, the utilization meter, and the admission state
+// machine wired together by simulator events.
+//
+// The standalone server drives it with prime() + run() + finish(). The
+// sharded server drives one loop per logical shard in epoch lockstep —
+// prime(), then run_until(epoch end) / summary() / reconcile()
+// rounds until drained(), then finish() — so shard-local admission sees the
+// other shards' planned footprints with at most one reconciliation epoch of
+// staleness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/planner.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "protocol/session_host.h"
+#include "server/admission.h"
+#include "server/server.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/utilization.h"
+
+namespace dmc::server::detail {
+
+// Per-loop knobs that differ between the standalone server and one logical
+// shard of a sharded run.
+struct LoopEnv {
+  // Simulator (network) stream. The standalone server passes config.seed;
+  // shard k gets an independent mix_seed lane. Per-session protocol streams
+  // always derive from config.seed and the *global* request id, so a
+  // session's own randomness does not depend on which shard runs it.
+  std::uint64_t sim_seed = 0;
+  // Trace-ring events for this loop (the sharded server splits
+  // config.trace_capacity across its shards).
+  std::size_t trace_capacity = 0;
+  // Leave ServerOutcome::forensics empty even when config.collect_forensics
+  // is set: the sharded server analyzes one merged trace instead of every
+  // per-shard ring.
+  bool defer_forensics = false;
+};
+
+// What one shard reports at a reconciliation barrier: its live sessions'
+// planned per-path footprint (measurement-capped, same blend admission
+// uses locally) plus the admitted-rate/in-flight totals the threshold
+// policy consumes.
+struct LoadSummary {
+  std::vector<double> load_bps;  // per real path
+  double admitted_rate_bps = 0.0;
+  int in_flight = 0;
+};
+
+class ServerLoop {
+ public:
+  // `requests` must outlive the loop; arrival times sorted ascending.
+  ServerLoop(const ServerConfig& config,
+             const std::vector<SessionRequest>& requests, const LoopEnv& env);
+
+  // Schedules every arrival event. Call once, before any run call.
+  void prime();
+
+  // Runs to completion (standalone mode).
+  void run() { simulator_.run(); }
+
+  // Runs every event with time <= t, then advances the clock to t
+  // (epoch-lockstep mode).
+  void run_until(double t) { simulator_.run_until(t); }
+
+  bool drained() const { return simulator_.events_pending() == 0; }
+  double now() const { return simulator_.now(); }
+
+  // Samples the utilization meter at the current time and reports this
+  // loop's own load; called at reconciliation barriers.
+  LoadSummary summary();
+
+  // Installs the summed load of every *other* shard, held fixed until the
+  // next barrier, then retries queued requests against it — a drop in
+  // remote load is this loop's only signal that shared capacity freed
+  // without a local departure. Admission, queued-request retries and
+  // re-planning all see the remote load as additional background traffic.
+  void reconcile(LoadSummary remote);
+
+  // Finalizes counters/rates/links/metrics and moves the outcome out.
+  ServerOutcome finish();
+
+ private:
+  struct Pending {
+    std::size_t request_index = 0;
+    double queued_at_s = 0.0;
+  };
+
+  // Bookkeeping for one admitted, still-running session.
+  struct LiveSession {
+    std::size_t request_index = 0;
+    double admitted_at_s = 0.0;
+    double rate_bps = 0.0;  // application lambda
+    double planned_quality = 0.0;
+    std::vector<double> planned_rate_bps;  // per real path, incl. retransmits
+    int replans = 0;
+    // Warm re-solve state for this session's re-plans: seeded from the
+    // admission planner (whose stored basis is exactly this session's LP
+    // when the feasibility-lp policy just solved it), then advanced by every
+    // departure-triggered re-plan.
+    core::Planner planner;
+  };
+
+  void handle_arrival(std::size_t i);
+  Decision decide_instrumented(const SessionRequest& request);
+  void record_lp_delta(const lp::IncrementalSolver::Stats& before,
+                       const lp::IncrementalSolver::Stats& after);
+  void sample_event_depth();
+  std::vector<double> local_load();
+  std::vector<double> background();
+  AdmissionContext context();
+  bool apply_decision(std::size_t i, Decision decision, bool from_queue);
+  void start_session(std::size_t i, core::Plan plan, double predicted_quality,
+                     bool from_queue);
+  void on_departure(std::uint32_t id);
+  void retry_queued();
+  void expire_if_pending(std::size_t i);
+  void replan_live();
+  void publish_metrics();
+
+  const ServerConfig& config_;
+  const std::vector<SessionRequest>& requests_;
+  // Observability collectors (null when the matching collect_* flag is off).
+  // Declared before simulator_: its constructor captures both pointers in
+  // the hub, and shared ownership lets ServerOutcome hand them to exporters
+  // after the loop is gone.
+  std::shared_ptr<obs::MetricRegistry> registry_;
+  std::shared_ptr<obs::TraceRecorder> recorder_;
+  sim::Simulator simulator_;
+  sim::Network network_;
+  proto::SessionHost host_;
+  sim::UtilizationMeter meter_;
+  std::unique_ptr<AdmissionPolicy> policy_;
+  // Shared warm-start state across admission decisions; per-session re-plan
+  // state lives in LiveSession::planner.
+  core::Planner planner_;
+  ServerOutcome outcome_;
+  // Host session id -> bookkeeping; std::map so every sweep over the live
+  // set (re-planning, background attribution) runs in deterministic order.
+  std::map<std::uint32_t, LiveSession> live_;
+  std::vector<Pending> pending_;  // FIFO retry order
+  // Other shards' load as of the last reconciliation barrier; empty vectors
+  // in standalone mode.
+  LoadSummary remote_;
+  bool defer_forensics_ = false;
+
+  // Tracks and registry handles resolved once in the constructor.
+  std::uint16_t server_track_ = 0;
+  std::uint16_t lp_track_ = 0;
+  std::uint16_t events_track_ = 0;
+  obs::Histogram* lp_wall_hist_ = nullptr;  // wallclock: export-excluded
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* event_depth_hist_ = nullptr;
+  std::chrono::steady_clock::time_point wall_start_ =
+      std::chrono::steady_clock::now();
+};
+
+// Shared finalize-rate math, also used by the sharded merge. Recomputes
+// admission_rate / deadline_miss_rate / goodput_bps / mean_queue_wait_s
+// from outcome.sessions with explicit zero-denominator guards: a run with
+// zero arrivals (or zero admitted / zero generated messages / zero elapsed
+// time) yields exact 0.0 for every rate — never NaN or Inf — so JSON
+// output stays well-defined (the zero-arrival regression tests pin this).
+void compute_outcome_rates(ServerOutcome& outcome, std::size_t message_bytes);
+
+}  // namespace dmc::server::detail

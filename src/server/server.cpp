@@ -1,19 +1,10 @@
 #include "server/server.h"
 
-#include <algorithm>
-#include <chrono>
 #include <cmath>
-#include <memory>
 #include <stdexcept>
 #include <utility>
 
-#include "core/units.h"
-#include "obs/metrics.h"
-#include "obs/trace_recorder.h"
-#include "sim/network.h"
-#include "sim/simulator.h"
-#include "sim/utilization.h"
-#include "stats/rng.h"
+#include "server/loop.h"
 
 namespace dmc::server {
 
@@ -34,6 +25,31 @@ void ServerConfig::check() const {
   if (utilization_window_s < 0.0) {
     throw std::invalid_argument("ServerConfig: negative utilization window");
   }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument(
+        "ServerConfig: queue_capacity must be positive (links need room "
+        "for at least one queued packet)");
+  }
+  if (shards == 0) {
+    throw std::invalid_argument(
+        "ServerConfig: shards must be positive (1 = single worker)");
+  }
+  if (shard_slices == 0) {
+    throw std::invalid_argument(
+        "ServerConfig: shard_slices must be positive");
+  }
+  if (!(reconcile_interval_s > 0.0) || !std::isfinite(reconcile_interval_s)) {
+    throw std::invalid_argument(
+        "ServerConfig: reconcile_interval_s must be positive and finite");
+  }
+  if ((collect_trace || collect_forensics) && trace_capacity < shard_slices) {
+    // The sharded server splits the ring across slices; every slice must
+    // end up with a non-empty ring or TraceRecorder construction throws
+    // mid-run with a far less actionable message.
+    throw std::invalid_argument(
+        "ServerConfig: trace_capacity must be >= shard_slices (the ring is "
+        "split per logical shard)");
+  }
   if (collect_forensics) forensics.check();
 }
 
@@ -50,589 +66,6 @@ const char* to_string(RequestFate fate) {
   }
   return "unknown";
 }
-
-namespace {
-
-// Expected offered rate per *real* path of a plan, retransmission load
-// included (Equation 2 evaluated at the plan's allocation).
-std::vector<double> real_path_rates(const core::Plan& plan) {
-  const core::Model& model = plan.model();
-  const std::vector<double>& s = plan.send_rate_bps();
-  std::vector<double> rates(model.real_paths().size(), 0.0);
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    rates[i] = s.at(model.model_index(i));
-  }
-  return rates;
-}
-
-// Bookkeeping for one admitted, still-running session.
-struct LiveSession {
-  std::size_t request_index = 0;
-  double admitted_at_s = 0.0;
-  double rate_bps = 0.0;                 // application lambda
-  double planned_quality = 0.0;
-  std::vector<double> planned_rate_bps;  // per real path, incl. retransmits
-  int replans = 0;
-  // Warm re-solve state for this session's re-plans: seeded from the
-  // admission planner (whose stored basis is exactly this session's LP when
-  // the feasibility-lp policy just solved it), then advanced by every
-  // departure-triggered re-plan.
-  core::Planner planner;
-};
-
-// The whole event-driven run: one simulator, one shared network, the
-// incremental session host, the utilization meter, and the admission state
-// machine wired together by simulator events.
-class Loop {
- public:
-  Loop(const ServerConfig& config, const std::vector<SessionRequest>& requests)
-      : config_(config),
-        requests_(requests),
-        registry_(config.collect_metrics
-                      ? std::make_shared<obs::MetricRegistry>()
-                      : nullptr),
-        recorder_(config.collect_trace || config.collect_forensics
-                      ? std::make_shared<obs::TraceRecorder>(
-                            config.trace_capacity)
-                      : nullptr),
-        simulator_(config.seed,
-                   dmc::obs::Hub{registry_.get(), recorder_.get()}),
-        network_(simulator_,
-                 proto::to_sim_paths(config.true_paths,
-                                     config.bandwidth_headroom,
-                                     config.queue_capacity)),
-        host_(simulator_, network_),
-        meter_(network_, config.utilization_window_s),
-        policy_(make_policy(config.policy)),
-        planner_(core::Planner::Options{config.plan_options,
-                                        config.warm_start}) {
-    if (recorder_ != nullptr) {
-      server_track_ = recorder_->track("server");
-      lp_track_ = recorder_->track("lp solver");
-      events_track_ = recorder_->track("events");
-    }
-    if (registry_ != nullptr) {
-      lp_wall_hist_ = &registry_->histogram(
-          "dmc_lp_solve_wall_seconds",
-          "Wall-clock time of admission/re-plan LP solve batches (seconds)",
-          obs::HistogramOptions{1e-7, 10.0, 8}, /*wallclock=*/true);
-      queue_wait_hist_ = &registry_->histogram(
-          "dmc_server_queue_wait_seconds",
-          "Admission delay of admitted sessions (seconds)",
-          obs::HistogramOptions{1e-4, 1e3, 4});
-      event_depth_hist_ = &registry_->histogram(
-          "dmc_sim_event_queue_depth",
-          "Pending simulator events, sampled at arrivals and departures",
-          obs::HistogramOptions{1.0, 1e7, 2});
-    }
-  }
-
-  ServerOutcome run() {
-    outcome_.sessions.resize(requests_.size());
-    for (std::size_t i = 0; i < requests_.size(); ++i) {
-      outcome_.sessions[i].request_id = requests_[i].id;
-      outcome_.sessions[i].arrival_s = requests_[i].arrival_s;
-      simulator_.at(requests_[i].arrival_s, [this, i] { handle_arrival(i); });
-    }
-    simulator_.run();
-    finalize();
-    return std::move(outcome_);
-  }
-
- private:
-  struct Pending {
-    std::size_t request_index = 0;
-    double queued_at_s = 0.0;
-  };
-
-  void handle_arrival(std::size_t i) {
-    sample_event_depth();
-    apply_decision(i, decide_instrumented(requests_[i]),
-                   /*from_queue=*/false);
-  }
-
-  // --- observability helpers; every one is a no-op branch when the matching
-  // collector is disabled.
-
-  // policy_->decide with LP solve accounting: wall-clock batch timing plus
-  // warm/cold solve trace events derived from the shared planner's stats
-  // delta (the feasibility-lp policy solves through context().planner).
-  Decision decide_instrumented(const SessionRequest& request) {
-    const lp::IncrementalSolver::Stats before = planner_.lp_stats();
-    Decision decision = [&] {
-      obs::ScopedTimer timer(lp_wall_hist_);
-      return policy_->decide(request, context());
-    }();
-    record_lp_delta(before, planner_.lp_stats());
-    return decision;
-  }
-
-  void record_lp_delta(const lp::IncrementalSolver::Stats& before,
-                       const lp::IncrementalSolver::Stats& after) {
-    if (recorder_ == nullptr) return;
-    if (after.warm_solves > before.warm_solves) {
-      recorder_->record(
-          obs::Ev::lp_warm_solve, simulator_.now(), lp_track_, 0, 0,
-          static_cast<float>(after.warm_pivots - before.warm_pivots));
-    }
-    if (after.cold_solves > before.cold_solves) {
-      recorder_->record(
-          obs::Ev::lp_cold_solve, simulator_.now(), lp_track_, 0, 0,
-          static_cast<float>(after.cold_solves - before.cold_solves));
-    }
-  }
-
-  void sample_event_depth() {
-    if (registry_ == nullptr && recorder_ == nullptr) return;
-    const double depth = static_cast<double>(simulator_.events_pending());
-    if (event_depth_hist_ != nullptr) event_depth_hist_->record(depth);
-    if (recorder_ != nullptr) {
-      recorder_->record(obs::Ev::event_queue_depth, simulator_.now(),
-                        events_track_, 0, 0, static_cast<float>(depth));
-    }
-  }
-
-  // Measured background load per path. The meter reports the footprint of
-  // the last sampling window, which may still contain traffic of sessions
-  // that have since departed — so it is capped by the summed planned rates
-  // of sessions the window could have measured ("settled"). Sessions
-  // admitted at or after the window closed cannot show up in the
-  // measurement yet and are accounted at their planned rates on top;
-  // sessions admitted mid-window count as measured (their partial footprint
-  // may understate them for one window, never double-count them).
-  std::vector<double> background() {
-    const std::vector<sim::PathUsage>& usage =
-        meter_.sample(simulator_.now());
-    const double window_end = meter_.window_end();
-    std::vector<double> settled(usage.size(), 0.0);
-    std::vector<double> fresh(usage.size(), 0.0);
-    for (const auto& [id, session] : live_) {
-      std::vector<double>& bucket =
-          session.admitted_at_s >= window_end ? fresh : settled;
-      for (std::size_t p = 0; p < bucket.size(); ++p) {
-        bucket[p] += session.planned_rate_bps[p];
-      }
-    }
-    std::vector<double> load(usage.size(), 0.0);
-    for (std::size_t p = 0; p < load.size(); ++p) {
-      load[p] = std::min(usage[p].footprint_bps, settled[p]) + fresh[p];
-    }
-    return load;
-  }
-
-  AdmissionContext context() {
-    AdmissionContext context;
-    context.nominal_paths = &config_.planning_paths;
-    context.background_bps = background();
-    context.residual_bps.resize(context.background_bps.size());
-    for (std::size_t p = 0; p < context.residual_bps.size(); ++p) {
-      const double rate =
-          network_.forward_link(static_cast<int>(p)).config().rate_bps;
-      context.residual_bps[p] =
-          std::max(0.0, rate - context.background_bps[p]);
-    }
-    context.in_flight = static_cast<int>(live_.size());
-    for (const auto& [id, session] : live_) {
-      context.admitted_rate_bps += session.rate_bps;
-    }
-    context.plan_options = config_.plan_options;
-    context.min_quality = config_.min_quality;
-    context.cross_model = config_.cross_model;
-    context.planner = &planner_;
-    return context;
-  }
-
-  // Returns true when the request left the pending state (admitted or
-  // rejected); false keeps it queued.
-  bool apply_decision(std::size_t i, Decision decision, bool from_queue) {
-    SessionRecord& record = outcome_.sessions[i];
-    // A queue verdict with nothing running means the request cannot clear
-    // the bar even on an idle network; no departure will ever change that.
-    if (decision.verdict == Verdict::queue && live_.empty()) {
-      decision.verdict = Verdict::reject;
-    }
-    switch (decision.verdict) {
-      case Verdict::admit:
-        start_session(i, std::move(*decision.plan),
-                      decision.predicted_quality, from_queue);
-        return true;
-      case Verdict::reject:
-        record.fate = RequestFate::rejected;
-        record.predicted_quality = decision.predicted_quality;
-        ++outcome_.rejected;
-        if (recorder_ != nullptr) {
-          recorder_->record(obs::Ev::session_reject, simulator_.now(),
-                            server_track_,
-                            static_cast<std::uint32_t>(requests_[i].id));
-        }
-        return true;
-      case Verdict::queue:
-        if (!from_queue) {
-          if (recorder_ != nullptr) {
-            recorder_->record(obs::Ev::session_queue, simulator_.now(),
-                              server_track_,
-                              static_cast<std::uint32_t>(requests_[i].id));
-          }
-          pending_.push_back(Pending{i, simulator_.now()});
-          simulator_.at(simulator_.now() + config_.max_queue_wait_s,
-                        [this, i] { expire_if_pending(i); });
-        }
-        return false;
-    }
-    return true;
-  }
-
-  void start_session(std::size_t i, core::Plan plan, double predicted_quality,
-                     bool from_queue) {
-    const SessionRequest& request = requests_[i];
-    proto::SessionConfig session_config = config_.session;
-    session_config.num_messages = request.num_messages;
-    session_config.seed = stats::mix_seed(config_.seed, request.id + 1);
-
-    LiveSession live;
-    live.request_index = i;
-    live.admitted_at_s = simulator_.now();
-    live.rate_bps = request.traffic.rate_bps;
-    live.planned_quality = plan.quality();
-    const auto planned_quality = static_cast<float>(live.planned_quality);
-    live.planned_rate_bps = real_path_rates(plan);
-    live.planner = planner_;  // snapshot: basis of this session's LP
-    // The snapshot copies the admission planner's counters too; zero them
-    // so the per-session stats summed into outcome_.lp count only this
-    // session's re-plan solves.
-    live.planner.reset_lp_stats();
-
-    const std::uint32_t id = host_.start_session(
-        proto::SessionSpec{std::move(plan), session_config, 0.0},
-        [this](std::uint32_t session_id) { on_departure(session_id); });
-    live_.emplace(id, std::move(live));
-
-    SessionRecord& record = outcome_.sessions[i];
-    record.fate =
-        from_queue ? RequestFate::queued_admitted : RequestFate::admitted;
-    record.predicted_quality = predicted_quality;
-    record.admitted_at_s = simulator_.now();
-    record.queue_wait_s = simulator_.now() - request.arrival_s;
-    ++outcome_.admitted;
-
-    if (queue_wait_hist_ != nullptr) {
-      queue_wait_hist_->record(record.queue_wait_s);
-    }
-    if (recorder_ != nullptr) {
-      // value = the installed plan's own quality claim: the forensics
-      // cascade reads it to tell deliberate admission optimism (plan
-      // budgeted for misses) from planner misestimates.
-      recorder_->record(obs::Ev::session_admit, simulator_.now(),
-                        recorder_->session_track(id),
-                        static_cast<std::uint32_t>(request.id),
-                        static_cast<std::uint8_t>(from_queue ? 1 : 0),
-                        planned_quality);
-    }
-  }
-
-  void on_departure(std::uint32_t id) {
-    const auto it = live_.find(id);
-    if (it == live_.end()) return;  // stopped by other means already
-    SessionRecord& record = outcome_.sessions[it->second.request_index];
-    const proto::SessionResult result = host_.stop_session(id);
-    record.trace = result.trace;
-    record.measured_quality = result.measured_quality;
-    record.completed_at_s = simulator_.now();
-    record.replans = it->second.replans;
-    outcome_.lp += it->second.planner.lp_stats();
-    if (recorder_ != nullptr) {
-      // Span events carry their start time: the whole session renders as one
-      // Chrome trace "complete" slice from admission to departure.
-      recorder_->record(
-          obs::Ev::session_span, it->second.admitted_at_s,
-          recorder_->session_track(id),
-          static_cast<std::uint32_t>(record.request_id), 0,
-          static_cast<float>(simulator_.now() - it->second.admitted_at_s));
-    }
-    live_.erase(it);
-    sample_event_depth();
-
-    // Freed capacity: first give waiting requests a chance, then let the
-    // surviving sessions re-plan onto the larger residual.
-    retry_queued();
-    if (config_.replan_on_departure) replan_live();
-  }
-
-  void retry_queued() {
-    std::vector<Pending> still_pending;
-    still_pending.reserve(pending_.size());
-    for (const Pending& pending : pending_) {
-      const Decision decision =
-          decide_instrumented(requests_[pending.request_index]);
-      if (!apply_decision(pending.request_index, decision,
-                          /*from_queue=*/true)) {
-        still_pending.push_back(pending);
-      }
-    }
-    pending_ = std::move(still_pending);
-  }
-
-  void expire_if_pending(std::size_t i) {
-    const auto it = std::find_if(
-        pending_.begin(), pending_.end(),
-        [i](const Pending& pending) { return pending.request_index == i; });
-    if (it == pending_.end()) return;  // admitted or rejected meanwhile
-    pending_.erase(it);
-    outcome_.sessions[i].fate = RequestFate::expired;
-    ++outcome_.expired;
-    if (recorder_ != nullptr) {
-      recorder_->record(obs::Ev::session_expire, simulator_.now(),
-                        server_track_,
-                        static_cast<std::uint32_t>(requests_[i].id));
-    }
-  }
-
-  void replan_live() {
-    for (auto& [id, session] : live_) {
-      // Only sessions that had to compromise can gain from freed capacity.
-      if (session.planned_quality >= 1.0 - 1e-9) continue;
-      core::CrossTraffic cross = config_.cross_model;
-      cross.background_bps = background();
-      // Exclude the session's own footprint from its background estimate.
-      for (std::size_t p = 0; p < cross.background_bps.size(); ++p) {
-        cross.background_bps[p] = std::max(
-            0.0, cross.background_bps[p] - session.planned_rate_bps[p]);
-      }
-      // The planner absorbs the freed capacity as a pure rhs delta when
-      // the cross model only derates bandwidth (no delay inflation), and
-      // rebuilds — still warm-starting — otherwise.
-      const lp::IncrementalSolver::Stats before = session.planner.lp_stats();
-      core::Plan plan = [&] {
-        obs::ScopedTimer timer(lp_wall_hist_);
-        return session.planner.plan(config_.planning_paths,
-                                    requests_[session.request_index].traffic,
-                                    cross);
-      }();
-      record_lp_delta(before, session.planner.lp_stats());
-      if (!plan.feasible() ||
-          plan.quality() <= session.planned_quality + 1e-6) {
-        continue;
-      }
-      session.planned_quality = plan.quality();
-      session.planned_rate_bps = real_path_rates(plan);
-      ++session.replans;
-      ++outcome_.replans;
-      if (recorder_ != nullptr) {
-        recorder_->record(
-            obs::Ev::replan, simulator_.now(), recorder_->session_track(id),
-            static_cast<std::uint32_t>(requests_[session.request_index].id),
-            static_cast<std::uint8_t>(std::min(session.replans, 255)),
-            static_cast<float>(session.planned_quality));
-      }
-      host_.replace_plan(id, std::move(plan));
-    }
-  }
-
-  void finalize() {
-    outcome_.arrivals = requests_.size();
-    outcome_.elapsed_s = simulator_.now();
-    outcome_.events = simulator_.events_executed();
-    outcome_.orphans = host_.orphans();
-    outcome_.lp += planner_.lp_stats();
-    for (const auto& [id, session] : live_) {
-      outcome_.lp += session.planner.lp_stats();
-    }
-
-    std::uint64_t generated = 0;
-    std::uint64_t on_time = 0;
-    double wait_sum = 0.0;
-    for (const SessionRecord& record : outcome_.sessions) {
-      if (record.fate != RequestFate::admitted &&
-          record.fate != RequestFate::queued_admitted) {
-        continue;
-      }
-      generated += record.trace.generated;
-      on_time += record.trace.on_time;
-      wait_sum += record.queue_wait_s;
-    }
-    outcome_.admission_rate =
-        outcome_.arrivals > 0
-            ? static_cast<double>(outcome_.admitted) /
-                  static_cast<double>(outcome_.arrivals)
-            : 0.0;
-    outcome_.deadline_miss_rate =
-        generated > 0 ? 1.0 - static_cast<double>(on_time) /
-                                  static_cast<double>(generated)
-                      : 0.0;
-    outcome_.goodput_bps =
-        outcome_.elapsed_s > 0.0
-            ? static_cast<double>(on_time) *
-                  bytes_to_bits(
-                      static_cast<double>(config_.session.message_bytes)) /
-                  outcome_.elapsed_s
-            : 0.0;
-    outcome_.mean_queue_wait_s =
-        outcome_.admitted > 0
-            ? wait_sum / static_cast<double>(outcome_.admitted)
-            : 0.0;
-
-    outcome_.conserved = true;
-    for (std::size_t p = 0; p < network_.num_paths(); ++p) {
-      const sim::LinkStats& forward =
-          network_.forward_link(static_cast<int>(p)).stats();
-      const sim::LinkStats& reverse =
-          network_.reverse_link(static_cast<int>(p)).stats();
-      outcome_.conserved = outcome_.conserved && forward.conserved() &&
-                           reverse.conserved() && forward.in_flight == 0 &&
-                           reverse.in_flight == 0;
-      outcome_.forward_links.push_back(forward);
-      outcome_.reverse_links.push_back(reverse);
-    }
-
-    publish_metrics();
-
-    if (config_.collect_forensics && recorder_ != nullptr) {
-      outcome_.forensics = obs::analyze(*recorder_, config_.forensics);
-    }
-  }
-
-  // Publishes run-level aggregates into the registry (so the exporters and
-  // the run footer read from one source of truth) and snapshots the
-  // deterministic subset into outcome_.obs.
-  void publish_metrics() {
-    outcome_.metrics = registry_;
-    outcome_.trace_events = recorder_;
-    if (registry_ == nullptr) return;
-
-    const auto set = [this](std::string_view name, std::string_view help,
-                            std::uint64_t value) {
-      registry_->counter(name, help).set(value);
-    };
-    set("dmc_server_arrivals_total", "Session requests offered",
-        outcome_.arrivals);
-    set("dmc_server_admitted_total", "Sessions admitted (incl. after queuing)",
-        outcome_.admitted);
-    set("dmc_server_rejected_total", "Requests rejected at arrival",
-        outcome_.rejected);
-    set("dmc_server_expired_total",
-        "Queued requests whose patience ran out", outcome_.expired);
-    set("dmc_server_replans_total", "Departure-triggered session re-plans",
-        outcome_.replans);
-
-    set("dmc_lp_warm_solves_total", "LP solves served from a stored basis",
-        outcome_.lp.warm_solves);
-    set("dmc_lp_cold_solves_total", "LP solves from scratch",
-        outcome_.lp.cold_solves);
-    set("dmc_lp_warm_pivots_total", "Simplex pivots across warm re-solves",
-        outcome_.lp.warm_pivots);
-    set("dmc_lp_fallbacks_total", "Warm starts abandoned for a cold solve",
-        outcome_.lp.fallbacks);
-
-    proto::Trace proto_totals;
-    for (const SessionRecord& record : outcome_.sessions) {
-      if (record.fate != RequestFate::admitted &&
-          record.fate != RequestFate::queued_admitted) {
-        continue;
-      }
-      const proto::Trace& t = record.trace;
-      proto_totals.generated += t.generated;
-      proto_totals.assigned_blackhole += t.assigned_blackhole;
-      proto_totals.transmissions += t.transmissions;
-      proto_totals.retransmissions += t.retransmissions;
-      proto_totals.fast_retransmissions += t.fast_retransmissions;
-      proto_totals.on_time += t.on_time;
-      proto_totals.late += t.late;
-      proto_totals.duplicates += t.duplicates;
-      proto_totals.gave_up += t.gave_up;
-    }
-    set("dmc_proto_generated_total", "Messages produced by admitted sessions",
-        proto_totals.generated);
-    set("dmc_proto_on_time_total", "Messages first-delivered within deadline",
-        proto_totals.on_time);
-    set("dmc_proto_late_total", "Messages first-delivered past the deadline",
-        proto_totals.late);
-    set("dmc_proto_gave_up_total", "Messages abandoned after max attempts",
-        proto_totals.gave_up);
-    set("dmc_proto_blackholed_total", "Messages assigned to the blackhole",
-        proto_totals.assigned_blackhole);
-    set("dmc_proto_transmissions_total", "Data packets handed to links",
-        proto_totals.transmissions);
-    set("dmc_proto_retransmissions_total", "Transmissions with attempt > 0",
-        proto_totals.retransmissions);
-    set("dmc_proto_fast_retransmissions_total",
-        "Retransmissions triggered by dup-acks", proto_totals.fast_retransmissions);
-    set("dmc_proto_duplicates_total", "Repeat arrivals at receivers",
-        proto_totals.duplicates);
-
-    sim::LinkStats link_totals;
-    for (const std::vector<sim::LinkStats>* side :
-         {&outcome_.forward_links, &outcome_.reverse_links}) {
-      for (const sim::LinkStats& link : *side) {
-        link_totals.offered += link.offered;
-        link_totals.delivered += link.delivered;
-        link_totals.queue_drops += link.queue_drops;
-        link_totals.loss_drops += link.loss_drops;
-      }
-    }
-    set("dmc_link_offered_total", "Packets handed to link send()",
-        link_totals.offered);
-    set("dmc_link_delivered_total", "Packets delivered by links",
-        link_totals.delivered);
-    set("dmc_link_queue_drops_total", "Packets dropped at full link queues",
-        link_totals.queue_drops);
-    set("dmc_link_loss_drops_total", "Packets lost to random erasure",
-        link_totals.loss_drops);
-
-    if (recorder_ != nullptr) {
-      set("dmc_trace_events_recorded_total",
-          "Trace events recorded, overwritten ones included",
-          recorder_->recorded());
-      set("dmc_trace_events_dropped_total",
-          "Trace events lost to ring wraparound", recorder_->dropped());
-    }
-
-    set(obs::kRunEventsTotal, "Simulator events executed", outcome_.events);
-    registry_->gauge(obs::kRunSimSeconds, "Simulated run duration (seconds)")
-        .set(outcome_.elapsed_s);
-    registry_
-        ->gauge(obs::kRunWallSeconds, "Wall-clock run duration (seconds)",
-                /*wallclock=*/true)
-        .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                           wall_start_)
-                 .count());
-
-    outcome_.obs = obs::Snapshot::from(*registry_);
-  }
-
-  const ServerConfig& config_;
-  const std::vector<SessionRequest>& requests_;
-  // Observability collectors (null when the matching collect_* flag is off).
-  // Declared before simulator_: its constructor captures both pointers in
-  // the hub, and shared ownership lets ServerOutcome hand them to exporters
-  // after the loop is gone.
-  std::shared_ptr<obs::MetricRegistry> registry_;
-  std::shared_ptr<obs::TraceRecorder> recorder_;
-  sim::Simulator simulator_;
-  sim::Network network_;
-  proto::SessionHost host_;
-  sim::UtilizationMeter meter_;
-  std::unique_ptr<AdmissionPolicy> policy_;
-  // Shared warm-start state across admission decisions; per-session re-plan
-  // state lives in LiveSession::planner.
-  core::Planner planner_;
-  ServerOutcome outcome_;
-  // Host session id -> bookkeeping; std::map so every sweep over the live
-  // set (re-planning, background attribution) runs in deterministic order.
-  std::map<std::uint32_t, LiveSession> live_;
-  std::vector<Pending> pending_;  // FIFO retry order
-
-  // Tracks and registry handles resolved once in the constructor.
-  std::uint16_t server_track_ = 0;
-  std::uint16_t lp_track_ = 0;
-  std::uint16_t events_track_ = 0;
-  obs::Histogram* lp_wall_hist_ = nullptr;      // wallclock: export-excluded
-  obs::Histogram* queue_wait_hist_ = nullptr;
-  obs::Histogram* event_depth_hist_ = nullptr;
-  std::chrono::steady_clock::time_point wall_start_ =
-      std::chrono::steady_clock::now();
-};
-
-}  // namespace
 
 SessionServer::SessionServer(ServerConfig config)
     : config_(std::move(config)) {
@@ -654,8 +87,13 @@ ServerOutcome SessionServer::run(const std::vector<SessionRequest>& requests) {
       throw std::invalid_argument("SessionServer: zero-message session");
     }
   }
-  Loop loop(config_, requests);
-  return loop.run();
+  detail::LoopEnv env;
+  env.sim_seed = config_.seed;
+  env.trace_capacity = config_.trace_capacity;
+  detail::ServerLoop loop(config_, requests, env);
+  loop.prime();
+  loop.run();
+  return loop.finish();
 }
 
 ServerOutcome run_server(const ServerConfig& config,

@@ -55,6 +55,25 @@ struct ServerConfig {
   std::uint64_t seed = 1;          // network seed + per-session stream base
   double bandwidth_headroom = 1.0;
   std::size_t queue_capacity = 100;
+
+  // Sharded execution (server::ShardedSessionServer; the classic
+  // SessionServer ignores all three). The workload is partitioned into
+  // `shard_slices` *logical* shards by stable request-id hash — a fixed
+  // partition that does not depend on `shards`, so results are bit-identical
+  // at any worker count. `shards` only sets how many OS threads execute the
+  // slices each epoch (mirrors the fleet's --threads semantics). Every slice
+  // owns a full-capacity network replica, its own UtilizationMeter and
+  // planner warm-start state; packet-level contention *between* slices is
+  // not simulated — instead slices exchange load summaries every
+  // `reconcile_interval_s` of simulated time and fold the other slices'
+  // footprints into admission as background traffic (bounded staleness of
+  // at most one epoch). queue_capacity stays per-replica (each slice's links
+  // buffer that many packets); trace_capacity is split evenly across slices,
+  // hence check() requires trace_capacity >= shard_slices when tracing.
+  std::size_t shards = 1;
+  std::size_t shard_slices = 16;
+  double reconcile_interval_s = 0.25;
+
   // Minimum utilization-meter window: admission events closer together than
   // this reuse the previous measurement instead of trusting a micro-window.
   double utilization_window_s = 0.01;
@@ -144,6 +163,15 @@ struct ServerOutcome {
   // root-cause attribution, windowed SLO series, per-session summaries —
   // a pure function of the trace, so byte-identical across reruns.
   std::optional<obs::AnalysisReport> forensics;
+  // Sharded runs only: the merged trace (session/link tracks remapped into
+  // one global namespace) that `forensics` above was computed from; feeds
+  // obs::write_chrome_trace(std::ostream&, const obs::TraceData&). Null for
+  // classic runs — use `trace_events` there.
+  std::shared_ptr<const obs::TraceData> trace_data;
+  // Logical shard count behind this outcome: ServerConfig::shard_slices for
+  // sharded runs, 0 for the classic single-loop server. Deliberately *not*
+  // the worker-thread count, which never affects results.
+  std::uint64_t shards = 0;
 };
 
 class SessionServer {

@@ -1,0 +1,347 @@
+#include "server/sharded_server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "obs/analysis.h"
+#include "obs/export.h"
+#include "server/loop.h"
+#include "stats/rng.h"
+
+namespace dmc::server {
+
+namespace {
+
+// Domain separator for the per-slice simulator seed streams: keeps them
+// disjoint from the per-session streams (mix_seed(seed, id + 1)) and from
+// the classic server's network stream (config.seed itself).
+constexpr std::uint64_t kSliceSimDomain = 0x5A4DC0DE;
+// Domain separator for the request -> slice hash.
+constexpr std::uint64_t kSliceHashDomain = 0x51CE;
+
+std::size_t slice_of(std::uint64_t request_id, std::size_t slices) {
+  return static_cast<std::size_t>(stats::mix_seed(request_id,
+                                                  kSliceHashDomain) %
+                                  slices);
+}
+
+// Runs fn(0..n-1) across up to `workers` threads, claiming indices from an
+// atomic counter. The first exception wins and is rethrown on the caller
+// thread after everyone joined. Work distribution can vary between runs —
+// every fn(i) touches only slice-local state, so results cannot.
+void run_parallel(std::size_t workers, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) threads.emplace_back(drain);
+  drain();
+  for (std::thread& thread : threads) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+// Remaps one slice's track table into the merged global namespace:
+// "session L" becomes "session L*S+k" (unique across slices, and still the
+// name format the forensics analyzer joins on), link tracks keep their
+// "link " prefix (and any "/rev" suffix) with the slice folded into the
+// link name, everything else gets a plain "s<k>/" prefix.
+std::string merged_track_name(const std::string& local, std::size_t slice,
+                              std::size_t slices) {
+  constexpr std::string_view kSession = "session ";
+  constexpr std::string_view kLink = "link ";
+  if (local.rfind(kSession, 0) == 0) {
+    const std::uint64_t local_id =
+        std::stoull(local.substr(kSession.size()));
+    return std::string(kSession) +
+           std::to_string(local_id * slices + slice);
+  }
+  if (local.rfind(kLink, 0) == 0) {
+    return std::string(kLink) + "s" + std::to_string(slice) + "/" +
+           local.substr(kLink.size());
+  }
+  return "s" + std::to_string(slice) + "/" + local;
+}
+
+bool is_link_event(obs::Ev type) {
+  return type == obs::Ev::link_tx || type == obs::Ev::link_queue_drop ||
+         type == obs::Ev::link_loss_drop || type == obs::Ev::link_deliver;
+}
+
+// Concatenates the per-slice traces in slice order into one global trace.
+// Session/link tracks are remapped into disjoint namespaces and the
+// session-id join key carried in link events' value field is rewritten to
+// the global session id, so the forensics analyzer sees one coherent trace.
+// Events stay slice-major (time-sorted within a slice only); the analyzer
+// keys its state per session/track and its windows by event time, neither
+// of which needs a globally sorted stream.
+obs::TraceData merge_traces(const std::vector<ServerOutcome>& outcomes,
+                            std::size_t slices) {
+  obs::TraceData merged;
+  std::size_t total_events = 0;
+  for (const ServerOutcome& outcome : outcomes) {
+    if (outcome.trace_events != nullptr) {
+      total_events += outcome.trace_events->size();
+      merged.dropped += outcome.trace_events->dropped();
+    }
+  }
+  merged.events.reserve(total_events);
+
+  // One shared saturation track in case the merged table outgrows the
+  // uint16 track id space; events landing there lose per-track attribution
+  // but are never silently dropped.
+  std::uint16_t overflow_track = obs::TraceRecorder::kNoTrack;
+  const auto add_track = [&](std::string name) -> std::uint16_t {
+    if (merged.tracks.size() >= obs::TraceRecorder::kNoTrack) {
+      if (overflow_track == obs::TraceRecorder::kNoTrack) {
+        overflow_track =
+            static_cast<std::uint16_t>(merged.tracks.size() - 1);
+        merged.tracks.back() = "track overflow";
+      }
+      return overflow_track;
+    }
+    merged.tracks.push_back(std::move(name));
+    return static_cast<std::uint16_t>(merged.tracks.size() - 1);
+  };
+
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    const std::shared_ptr<const obs::TraceRecorder>& recorder =
+        outcomes[k].trace_events;
+    if (recorder == nullptr) continue;
+    const std::vector<std::string>& local_tracks = recorder->track_names();
+    std::vector<std::uint16_t> track_map(local_tracks.size(), 0);
+    for (std::size_t t = 0; t < local_tracks.size(); ++t) {
+      track_map[t] = add_track(merged_track_name(local_tracks[t], k, slices));
+    }
+    for (std::size_t i = 0; i < recorder->size(); ++i) {
+      obs::TraceEvent event = recorder->event(i);
+      if (event.track < track_map.size()) {
+        event.track = track_map[event.track];
+      }
+      if (is_link_event(event.type)) {
+        // value carries the owning (slice-local) session id; rewrite it to
+        // the merged id so it joins against the remapped session tracks.
+        // Exact through float for ids below 2^24 — same contract as the
+        // single-loop recorder.
+        const auto local_id = static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(event.value));
+        event.value = static_cast<float>(local_id * slices + k);
+      }
+      merged.events.push_back(event);
+    }
+  }
+  return merged;
+}
+
+void merge_links(std::vector<sim::LinkStats>& into,
+                 const std::vector<sim::LinkStats>& from) {
+  if (into.size() < from.size()) into.resize(from.size());
+  for (std::size_t p = 0; p < from.size(); ++p) {
+    into[p].offered += from[p].offered;
+    into[p].queue_drops += from[p].queue_drops;
+    into[p].loss_drops += from[p].loss_drops;
+    into[p].delivered += from[p].delivered;
+    into[p].bytes_sent += from[p].bytes_sent;
+    into[p].busy_time_s += from[p].busy_time_s;
+    into[p].max_queue_depth =
+        std::max(into[p].max_queue_depth, from[p].max_queue_depth);
+    into[p].in_flight += from[p].in_flight;
+  }
+}
+
+}  // namespace
+
+ShardedSessionServer::ShardedSessionServer(ServerConfig config)
+    : config_(std::move(config)) {
+  config_.check();
+  // Fail fast on a bad policy spec instead of at the first arrival.
+  make_policy(config_.policy);
+}
+
+ServerOutcome ShardedSessionServer::run(
+    const std::vector<SessionRequest>& requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].arrival_s < 0.0) {
+      throw std::invalid_argument(
+          "ShardedSessionServer: negative arrival time");
+    }
+    if (i > 0 && requests[i].arrival_s < requests[i - 1].arrival_s) {
+      throw std::invalid_argument(
+          "ShardedSessionServer: arrivals must be sorted by time");
+    }
+    if (requests[i].num_messages == 0) {
+      throw std::invalid_argument(
+          "ShardedSessionServer: zero-message session");
+    }
+  }
+
+  const std::size_t slices = config_.shard_slices;
+
+  // Fixed partition by stable id hash: which slice owns a request depends
+  // on nothing but the request id and shard_slices. Original (sorted) order
+  // is preserved within each slice.
+  std::vector<std::vector<SessionRequest>> slice_requests(slices);
+  std::vector<std::vector<std::size_t>> global_index(slices);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::size_t k = slice_of(requests[i].id, slices);
+    slice_requests[k].push_back(requests[i]);
+    global_index[k].push_back(i);
+  }
+
+  const bool tracing = config_.collect_trace || config_.collect_forensics;
+  std::vector<std::unique_ptr<detail::ServerLoop>> loops;
+  loops.reserve(slices);
+  for (std::size_t k = 0; k < slices; ++k) {
+    detail::LoopEnv env;
+    env.sim_seed = stats::mix_seed(
+        stats::mix_seed(config_.seed, kSliceSimDomain), k);
+    // check() guarantees trace_capacity >= shard_slices, so every slice
+    // gets a non-empty ring.
+    env.trace_capacity = tracing ? config_.trace_capacity / slices : 0;
+    env.defer_forensics = true;
+    loops.push_back(std::make_unique<detail::ServerLoop>(
+        config_, slice_requests[k], env));
+    loops.back()->prime();
+  }
+
+  // Epoch lockstep: every slice runs its events up to the barrier time,
+  // then the slices exchange load summaries — each sees the fixed-order
+  // total minus its own contribution, held constant until the next barrier
+  // (bounded staleness of one epoch). Thread assignment is free to vary;
+  // barrier times and summary contents are not.
+  const auto drained = [&] {
+    for (const auto& loop : loops) {
+      if (!loop->drained()) return false;
+    }
+    return true;
+  };
+  double barrier_t = 0.0;
+  std::vector<detail::LoadSummary> summaries(slices);
+  while (!drained()) {
+    barrier_t += config_.reconcile_interval_s;
+    run_parallel(config_.shards, slices,
+                 [&](std::size_t k) { loops[k]->run_until(barrier_t); });
+    for (std::size_t k = 0; k < slices; ++k) {
+      summaries[k] = loops[k]->summary();
+    }
+    detail::LoadSummary total;
+    for (const detail::LoadSummary& summary : summaries) {
+      if (total.load_bps.size() < summary.load_bps.size()) {
+        total.load_bps.resize(summary.load_bps.size(), 0.0);
+      }
+      for (std::size_t p = 0; p < summary.load_bps.size(); ++p) {
+        total.load_bps[p] += summary.load_bps[p];
+      }
+      total.admitted_rate_bps += summary.admitted_rate_bps;
+      total.in_flight += summary.in_flight;
+    }
+    for (std::size_t k = 0; k < slices; ++k) {
+      detail::LoadSummary remote = total;
+      for (std::size_t p = 0; p < summaries[k].load_bps.size(); ++p) {
+        remote.load_bps[p] -= summaries[k].load_bps[p];
+      }
+      remote.admitted_rate_bps -= summaries[k].admitted_rate_bps;
+      remote.in_flight -= summaries[k].in_flight;
+      loops[k]->reconcile(std::move(remote));
+    }
+  }
+
+  std::vector<ServerOutcome> outcomes(slices);
+  run_parallel(config_.shards, slices,
+               [&](std::size_t k) { outcomes[k] = loops[k]->finish(); });
+
+  // Deterministic merge, slice-major in fixed slice order everywhere.
+  ServerOutcome merged;
+  merged.sessions.resize(requests.size());
+  merged.arrivals = requests.size();
+  for (std::size_t k = 0; k < slices; ++k) {
+    ServerOutcome& outcome = outcomes[k];
+    for (std::size_t i = 0; i < outcome.sessions.size(); ++i) {
+      merged.sessions[global_index[k][i]] = std::move(outcome.sessions[i]);
+    }
+    merged.admitted += outcome.admitted;
+    merged.rejected += outcome.rejected;
+    merged.expired += outcome.expired;
+    merged.replans += outcome.replans;
+    merged.events += outcome.events;
+    merged.elapsed_s = std::max(merged.elapsed_s, outcome.elapsed_s);
+    merged.lp += outcome.lp;
+    merged.orphans.data_packets += outcome.orphans.data_packets;
+    merged.orphans.ack_packets += outcome.orphans.ack_packets;
+    merge_links(merged.forward_links, outcome.forward_links);
+    merge_links(merged.reverse_links, outcome.reverse_links);
+  }
+  merged.conserved = true;
+  for (const ServerOutcome& outcome : outcomes) {
+    merged.conserved = merged.conserved && outcome.conserved;
+  }
+  detail::compute_outcome_rates(merged, config_.session.message_bytes);
+
+  if (config_.collect_metrics) {
+    std::vector<obs::Snapshot> snapshots;
+    snapshots.reserve(slices);
+    for (const ServerOutcome& outcome : outcomes) {
+      snapshots.push_back(outcome.obs);
+    }
+    merged.obs = obs::merge_snapshots(snapshots);
+    // Per-shard visibility on top of the merged totals: how the work and
+    // the admissions split across the logical shards.
+    for (std::size_t k = 0; k < slices; ++k) {
+      const std::string prefix = "dmc_shard" + std::to_string(k) + "_";
+      merged.obs.counters.emplace_back(prefix + "arrivals_total",
+                                       outcomes[k].arrivals);
+      merged.obs.counters.emplace_back(prefix + "admitted_total",
+                                       outcomes[k].admitted);
+      merged.obs.counters.emplace_back(prefix + "events_total",
+                                       outcomes[k].events);
+    }
+  }
+
+  if (tracing) {
+    obs::TraceData trace = merge_traces(outcomes, slices);
+    if (config_.collect_forensics) {
+      merged.forensics = obs::analyze(trace, config_.forensics);
+    }
+    merged.trace_data =
+        std::make_shared<const obs::TraceData>(std::move(trace));
+  }
+
+  merged.shards = slices;
+  return merged;
+}
+
+ServerOutcome run_sharded_server(const ServerConfig& config,
+                                 const WorkloadOptions& workload) {
+  ShardedSessionServer server(config);
+  return server.run(poisson_arrivals(workload));
+}
+
+}  // namespace dmc::server

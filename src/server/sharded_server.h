@@ -1,0 +1,58 @@
+// One logical session server sharded across worker threads — the scale step
+// between the single-threaded server::SessionServer event loop and the
+// ROADMAP's "10k+ arrivals/s, ~1M sessions per run" target.
+//
+// Execution model (see ServerConfig's sharding fields for the knobs):
+//
+//   requests --id hash--> slice 0 | slice 1 | ... | slice S-1   (S fixed)
+//                            |        |               |
+//                         ServerLoop per slice: own simulator, own
+//                         network replica, own meter + planner state
+//                            |        |               |
+//                         epoch barrier every reconcile_interval_s:
+//                         exchange LoadSummary, fold the other slices'
+//                         footprints into admission as background load
+//                            |        |               |
+//                         deterministic merge in slice order
+//                            v
+//                         one ServerOutcome (+ merged obs snapshot,
+//                         merged trace, one forensics report)
+//
+// Determinism contract: the partition into `shard_slices` logical shards and
+// every per-slice seed stream are functions of (config, requests) only —
+// `shards` picks how many OS threads execute the slices and can never change
+// a single output byte. Results differ from the classic SessionServer (one
+// global event loop vs. S loosely-coupled ones), but are bit-identical
+// across worker counts and reruns.
+#pragma once
+
+#include <vector>
+
+#include "server/arrivals.h"
+#include "server/server.h"
+
+namespace dmc::server {
+
+class ShardedSessionServer {
+ public:
+  // Throws std::invalid_argument on a config that fails check() or names an
+  // unknown admission policy.
+  explicit ShardedSessionServer(ServerConfig config);
+
+  // Runs the whole workload to completion (arrivals sorted by arrival_s
+  // ascending) and returns the merged outcome. Deterministic for fixed
+  // (config, requests) at any config.shards value; outcome.shards records
+  // config.shard_slices.
+  ServerOutcome run(const std::vector<SessionRequest>& requests);
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  ServerConfig config_;
+};
+
+// Convenience: generate the workload and run it in one call.
+ServerOutcome run_sharded_server(const ServerConfig& config,
+                                 const WorkloadOptions& workload);
+
+}  // namespace dmc::server

@@ -34,4 +34,11 @@ std::vector<PathUsage> UtilizationMeter::sample(double now) {
   return last_usage_;
 }
 
+ResidualSummary UtilizationMeter::residual_summary(double now) {
+  ResidualSummary summary;
+  summary.paths = sample(now);
+  summary.window_end_s = window_end();
+  return summary;
+}
+
 }  // namespace dmc::sim

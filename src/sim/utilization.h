@@ -24,6 +24,17 @@ struct PathUsage {
   double residual_bps = 0.0;   // link rate minus footprint, clamped >= 0
 };
 
+// One meter reading packaged for export: the per-path usage of the last
+// window plus the instant that window closed. This is the unit the sharded
+// server's reconciliation pass exchanges between shards — each shard samples
+// its own replica's meter and publishes the result at every barrier.
+struct ResidualSummary {
+  std::vector<PathUsage> paths;
+  // Traffic injected at or after this instant cannot be in the reading yet;
+  // consumers use it to tell measured sessions from just-admitted ones.
+  double window_end_s = 0.0;
+};
+
 class UtilizationMeter {
  public:
   // `min_window_s` guards against meaningless micro-windows: a sample less
@@ -36,6 +47,9 @@ class UtilizationMeter {
   // min_window_s, including two samples at the same instant) returns the
   // previous reading instead of dividing by zero.
   std::vector<PathUsage> sample(double now);
+
+  // sample(now) plus the closing instant, bundled for export.
+  ResidualSummary residual_summary(double now);
 
   // The most recent reading without advancing the window.
   const std::vector<PathUsage>& last() const { return last_usage_; }

@@ -633,6 +633,26 @@ TEST(Server, InfeasibleOnIdleNetworkIsRejectedNotQueued) {
   EXPECT_EQ(outcome.rejected, 1u);
 }
 
+TEST(Server, ZeroArrivalRunYieldsExactZeroRates) {
+  // Every aggregate rate divides by arrivals, admitted, generated messages
+  // or elapsed time; an empty workload must hit the zero-denominator guards
+  // and come out as exact 0.0 — never NaN or Inf leaking into JSON.
+  ServerConfig config = table3_config("feasibility-lp");
+  config.collect_metrics = true;
+  SessionServer server(config);
+  const ServerOutcome outcome = server.run({});
+  EXPECT_EQ(outcome.arrivals, 0u);
+  EXPECT_TRUE(outcome.sessions.empty());
+  EXPECT_TRUE(outcome.conserved);
+  EXPECT_EQ(outcome.shards, 0u);
+  EXPECT_EQ(outcome.admission_rate, 0.0);
+  EXPECT_EQ(outcome.deadline_miss_rate, 0.0);
+  EXPECT_EQ(outcome.goodput_bps, 0.0);
+  EXPECT_EQ(outcome.mean_queue_wait_s, 0.0);
+  EXPECT_EQ(outcome.elapsed_s, 0.0);
+  EXPECT_FALSE(outcome.obs.empty());
+}
+
 TEST(Server, ValidatesConfigAndRequests) {
   ServerConfig config = table3_config("feasibility-lp");
   config.min_quality = 1.5;

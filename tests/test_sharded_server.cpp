@@ -1,0 +1,288 @@
+// Sharded session-server tests: the fixed-partition determinism contract
+// (bit-identical outcomes, metric snapshots and forensics at any worker
+// count), deterministic admission under shared-link overload, the
+// reconciliation barrier's effect on admission, sharding-knob validation,
+// and the zero-arrival edge case.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+#include "experiments/scenarios.h"
+#include "obs/export.h"
+#include "server/arrivals.h"
+#include "server/server.h"
+#include "server/sharded_server.h"
+
+namespace dmc::server {
+namespace {
+
+ServerConfig table3_config() {
+  ServerConfig config;
+  config.planning_paths = exp::table3_model_paths();
+  config.true_paths = exp::table3_paths();
+  config.policy = "feasibility-lp";
+  config.seed = 7;
+  return config;
+}
+
+WorkloadOptions small_workload() {
+  WorkloadOptions workload;
+  workload.count = 48;
+  workload.arrivals_per_s = 40.0;
+  workload.mean_rate_bps = mbps(20);
+  workload.mean_messages = 100;
+  workload.seed = 3;
+  return workload;
+}
+
+// Sustained overload of the 100 Mbps shared capacity: long sessions arriving
+// fast enough that dozens overlap, so admission must turn requests away —
+// and *which* ones depends on the reconciled remote load.
+WorkloadOptions overload_workload() {
+  WorkloadOptions workload;
+  workload.count = 80;
+  workload.arrivals_per_s = 150.0;
+  workload.mean_rate_bps = mbps(30);
+  workload.mean_messages = 600;
+  workload.seed = 5;
+  return workload;
+}
+
+// Every result-bearing field, rendered with exact (hexfloat) doubles so two
+// runs compare bit-for-bit, not within a tolerance.
+std::string fingerprint(const ServerOutcome& outcome) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << outcome.arrivals << ' ' << outcome.admitted << ' ' << outcome.rejected
+      << ' ' << outcome.expired << ' ' << outcome.replans << ' '
+      << outcome.events << ' ' << outcome.shards << ' ' << outcome.conserved
+      << ' ' << outcome.admission_rate << ' ' << outcome.deadline_miss_rate
+      << ' ' << outcome.goodput_bps << ' ' << outcome.mean_queue_wait_s << ' '
+      << outcome.elapsed_s << ' ' << outcome.lp.cold_solves << ' '
+      << outcome.lp.warm_solves << '\n';
+  for (const SessionRecord& s : outcome.sessions) {
+    out << s.request_id << ' ' << to_string(s.fate) << ' '
+        << s.predicted_quality << ' ' << s.queue_wait_s << ' '
+        << s.admitted_at_s << ' ' << s.completed_at_s << ' ' << s.replans
+        << ' ' << s.measured_quality << ' ' << s.trace.generated << ' '
+        << s.trace.transmissions << ' ' << s.trace.retransmissions << ' '
+        << s.trace.on_time << ' ' << s.trace.late << '\n';
+  }
+  for (const auto* links : {&outcome.forward_links, &outcome.reverse_links}) {
+    for (const sim::LinkStats& l : *links) {
+      out << l.offered << ' ' << l.queue_drops << ' ' << l.loss_drops << ' '
+          << l.delivered << ' ' << l.bytes_sent << ' ' << l.max_queue_depth
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+ServerOutcome run_sharded(ServerConfig config, const WorkloadOptions& workload,
+                          std::size_t workers) {
+  config.shards = workers;
+  return run_sharded_server(config, workload);
+}
+
+TEST(ShardedServer, BitIdenticalAcrossWorkerCounts) {
+  ServerConfig config = table3_config();
+  config.collect_metrics = true;
+  config.collect_forensics = true;
+  const WorkloadOptions workload = small_workload();
+
+  const ServerOutcome one = run_sharded(config, workload, 1);
+  const ServerOutcome two = run_sharded(config, workload, 2);
+  const ServerOutcome eight = run_sharded(config, workload, 8);
+
+  ASSERT_EQ(one.arrivals, workload.count);
+  EXPECT_GT(one.admitted, 0u);
+  EXPECT_EQ(one.shards, config.shard_slices);
+
+  // Outcome, metric snapshot and forensics report are all byte-equal: the
+  // worker count schedules the fixed slice partition, nothing more.
+  const std::string base = fingerprint(one);
+  EXPECT_EQ(base, fingerprint(two));
+  EXPECT_EQ(base, fingerprint(eight));
+  const std::string obs_json = one.obs.to_json();
+  EXPECT_FALSE(one.obs.empty());
+  EXPECT_EQ(obs_json, two.obs.to_json());
+  EXPECT_EQ(obs_json, eight.obs.to_json());
+  ASSERT_TRUE(one.forensics.has_value());
+  ASSERT_TRUE(eight.forensics.has_value());
+  EXPECT_EQ(one.forensics->to_json(), two.forensics->to_json());
+  EXPECT_EQ(one.forensics->to_json(), eight.forensics->to_json());
+
+  // The merged chrome trace is part of the contract too.
+  ASSERT_NE(one.trace_data, nullptr);
+  std::ostringstream trace_one, trace_eight;
+  obs::write_chrome_trace(trace_one, *one.trace_data);
+  obs::write_chrome_trace(trace_eight, *eight.trace_data);
+  EXPECT_EQ(trace_one.str(), trace_eight.str());
+}
+
+TEST(ShardedServer, SessionsStayInRequestOrder) {
+  const ServerConfig config = table3_config();
+  const WorkloadOptions workload = small_workload();
+  const auto requests = poisson_arrivals(workload);
+  const ServerOutcome outcome = ShardedSessionServer(config).run(requests);
+  ASSERT_EQ(outcome.sessions.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(outcome.sessions[i].request_id, requests[i].id);
+    EXPECT_EQ(outcome.sessions[i].arrival_s, requests[i].arrival_s);
+  }
+  EXPECT_EQ(outcome.admitted + outcome.rejected + outcome.expired,
+            outcome.arrivals);
+}
+
+TEST(ShardedServer, OverloadAdmissionIsDeterministicAcrossWorkerCounts) {
+  const ServerConfig config = table3_config();
+  const WorkloadOptions workload = overload_workload();
+  const ServerOutcome one = run_sharded(config, workload, 1);
+  const ServerOutcome four = run_sharded(config, workload, 4);
+
+  // Overload forces turn-aways; the admitted *set* (not just the count)
+  // matches at every worker count.
+  EXPECT_GT(one.rejected + one.expired, 0u);
+  std::set<std::uint64_t> admitted_one, admitted_four;
+  for (const SessionRecord& s : one.sessions) {
+    if (s.fate == RequestFate::admitted ||
+        s.fate == RequestFate::queued_admitted) {
+      admitted_one.insert(s.request_id);
+    }
+  }
+  for (const SessionRecord& s : four.sessions) {
+    if (s.fate == RequestFate::admitted ||
+        s.fate == RequestFate::queued_admitted) {
+      admitted_four.insert(s.request_id);
+    }
+  }
+  EXPECT_EQ(admitted_one, admitted_four);
+  EXPECT_EQ(fingerprint(one), fingerprint(four));
+}
+
+TEST(ShardedServer, ReconciliationShapesAdmissionUnderOverload) {
+  ServerConfig config = table3_config();
+  const WorkloadOptions workload = overload_workload();
+
+  auto fates = [](const ServerOutcome& outcome) {
+    std::pair<std::uint64_t, std::uint64_t> counts{0, 0};  // direct, queued
+    for (const SessionRecord& s : outcome.sessions) {
+      if (s.fate == RequestFate::admitted) ++counts.first;
+      if (s.fate == RequestFate::queued_admitted) ++counts.second;
+    }
+    return counts;
+  };
+
+  // A barrier interval far past the drain time means no slice ever sees the
+  // others' load: every slice admits at arrival as if it owned the network
+  // alone, and queued requests are only retried on local departures.
+  config.reconcile_interval_s = 1e6;
+  const auto [blind_direct, blind_queued] =
+      fates(run_sharded_server(config, workload));
+
+  // Tight reconciliation folds the other slices' footprints into admission
+  // within 50 ms of simulated time. Both barrier mechanisms must show:
+  // arrival-time admissions drop (remote load makes the LP infeasible) and
+  // queued-then-admitted rescues rise (barrier retries fire when remote
+  // capacity frees, even with no local departure).
+  config.reconcile_interval_s = 0.05;
+  const auto [tight_direct, tight_queued] =
+      fates(run_sharded_server(config, workload));
+
+  EXPECT_LT(tight_direct, blind_direct);
+  EXPECT_GT(tight_queued, blind_queued);
+  EXPECT_GT(tight_direct, 0u);
+}
+
+TEST(ShardedServer, ChecksShardingConfig) {
+  const WorkloadOptions workload = small_workload();
+  const auto requests = poisson_arrivals(workload);
+
+  ServerConfig config = table3_config();
+  config.shards = 0;
+  EXPECT_THROW(ShardedSessionServer{config}, std::invalid_argument);
+  EXPECT_THROW(SessionServer{config}, std::invalid_argument);
+
+  config = table3_config();
+  config.shard_slices = 0;
+  EXPECT_THROW(ShardedSessionServer{config}, std::invalid_argument);
+
+  config = table3_config();
+  config.reconcile_interval_s = 0.0;
+  EXPECT_THROW(ShardedSessionServer{config}, std::invalid_argument);
+  config.reconcile_interval_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ShardedSessionServer{config}, std::invalid_argument);
+  config.reconcile_interval_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(ShardedSessionServer{config}, std::invalid_argument);
+
+  config = table3_config();
+  config.queue_capacity = 0;
+  EXPECT_THROW(ShardedSessionServer{config}, std::invalid_argument);
+
+  // A trace ring smaller than the slice count would leave some slices with
+  // zero capacity; check() rejects the combination whenever tracing is on.
+  config = table3_config();
+  config.collect_trace = true;
+  config.trace_capacity = config.shard_slices - 1;
+  EXPECT_THROW(ShardedSessionServer{config}, std::invalid_argument);
+  config.collect_trace = false;
+  config.collect_forensics = true;  // implies a trace ring
+  EXPECT_THROW(ShardedSessionServer{config}, std::invalid_argument);
+  config.trace_capacity = config.shard_slices;
+  EXPECT_NO_THROW(ShardedSessionServer{config});
+}
+
+TEST(ShardedServer, ZeroArrivalRunIsDefined) {
+  ServerConfig config = table3_config();
+  config.collect_metrics = true;
+  config.collect_forensics = true;
+  const ServerOutcome outcome = ShardedSessionServer(config).run({});
+  EXPECT_EQ(outcome.arrivals, 0u);
+  EXPECT_EQ(outcome.admitted, 0u);
+  EXPECT_TRUE(outcome.sessions.empty());
+  EXPECT_TRUE(outcome.conserved);
+  EXPECT_EQ(outcome.shards, config.shard_slices);
+  // Every rate is exactly 0.0 — never NaN/Inf from a zero denominator.
+  EXPECT_EQ(outcome.admission_rate, 0.0);
+  EXPECT_EQ(outcome.deadline_miss_rate, 0.0);
+  EXPECT_EQ(outcome.goodput_bps, 0.0);
+  EXPECT_EQ(outcome.mean_queue_wait_s, 0.0);
+  EXPECT_TRUE(std::isfinite(outcome.elapsed_s));
+}
+
+TEST(ShardedServer, MergedSnapshotCarriesPerShardCounters) {
+  ServerConfig config = table3_config();
+  config.collect_metrics = true;
+  config.shard_slices = 4;
+  const ServerOutcome outcome =
+      run_sharded_server(config, small_workload());
+  const std::string json = outcome.obs.to_json();
+  // One arrivals/admitted/events triple per logical shard, merged after the
+  // summed global families.
+  for (const char* name :
+       {"dmc_shard0_arrivals_total", "dmc_shard3_arrivals_total",
+        "dmc_shard0_admitted_total", "dmc_shard3_events_total"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  // The per-shard arrivals sum back to the global counter.
+  std::uint64_t global = 0, shard_sum = 0;
+  for (const auto& [name, value] : outcome.obs.counters) {
+    if (name == "dmc_server_arrivals_total") global = value;
+    if (name.rfind("dmc_shard", 0) == 0 &&
+        name.find("_arrivals_total") != std::string::npos) {
+      shard_sum += value;
+    }
+  }
+  EXPECT_EQ(global, outcome.arrivals);
+  EXPECT_EQ(shard_sum, outcome.arrivals);
+}
+
+}  // namespace
+}  // namespace dmc::server

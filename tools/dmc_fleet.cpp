@@ -47,6 +47,9 @@ options
                   mean session size for `server` (default 400)
   --warm-start M  on|off: warm-started LP re-solves in every `server` cell
                   (default on; the lp_* result columns show the split)
+  --shards L      comma-separated shard axis for `server` cells: 0 = the
+                  classic single-loop server, N > 0 = the sharded server
+                  with N logical slices (default 0)
   --obs           collect per-cell metrics in `server` grids (adds the
                   deterministic dmc.obs.v1 "obs" block to each record)
   --forensics     run deadline-miss forensics per `server` cell (adds the
@@ -70,6 +73,7 @@ struct CliOptions {
   bool warm_start = true;
   bool obs = false;
   bool forensics = false;
+  std::string shards;
   std::string json_path;
   std::string csv_path;
   bool quiet = false;
@@ -116,6 +120,8 @@ CliOptions parse_cli(int argc, char** argv) {
       } else {
         throw std::invalid_argument("--warm-start: expected on or off");
       }
+    } else if (arg == "--shards") {
+      options.shards = value();
     } else if (arg == "--obs") {
       options.obs = true;
     } else if (arg == "--forensics") {
@@ -260,6 +266,14 @@ int run(const CliOptions& options) {
     axes.warm_start = options.warm_start;
     axes.collect_metrics = options.obs;
     axes.collect_forensics = options.forensics;
+    if (!options.shards.empty()) {
+      axes.shards.clear();
+      for (const std::string& item :
+           util::split_list("--shards", options.shards)) {
+        // 0 is allowed and selects the classic single-loop server.
+        axes.shards.push_back(util::parse_number<unsigned>("--shards", item));
+      }
+    }
     if (options.rate_mbps > 0.0) axes.rate_mbps = {options.rate_mbps};
     runs.push_back(
         {"Online admission: arrival-rate sweep on the Table III network",

@@ -3,6 +3,7 @@
 // planning, and departure-triggered re-planning over the shared Table III
 // network. Prints per-session fates and aggregate curves; exports the same
 // schema-versioned JSON/CSV as dmc_fleet (one aggregate record per policy).
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -16,6 +17,7 @@
 #include "obs/export.h"
 #include "server/arrivals.h"
 #include "server/server.h"
+#include "server/sharded_server.h"
 #include "util/parse.h"
 
 namespace {
@@ -41,6 +43,14 @@ options
   --no-warm-start   solve every admission/re-plan LP cold (default: warm
                     re-solves from the previous optimal basis)
   --seed N          workload + network seed (default 42)
+  --shards N        run the sharded server with N worker threads (N >= 1);
+                    omit the flag for the classic single-loop server. Output
+                    is bit-identical at any N — workers only execute the
+                    fixed --shard-slices partition
+  --shard-slices S  logical shard count of the sharded partition (default 16;
+                    changing S changes the partition and thus the results)
+  --reconcile-s X   simulated seconds between shard load-reconciliation
+                    barriers (default 0.25)
   --arrivals T      comma-separated arrival instants instead of Poisson
   --json PATH       write the JSON result set (- = stdout)
   --csv PATH        write the CSV result set (- = stdout)
@@ -71,6 +81,9 @@ struct CliOptions {
   bool replan = true;
   bool warm_start = true;
   std::uint64_t seed = 42;
+  std::size_t shards = 0;  // 0 = classic single-loop server
+  std::size_t shard_slices = 16;
+  double reconcile_s = 0.25;
   std::string arrivals;
   std::string json_path;
   std::string csv_path;
@@ -116,6 +129,12 @@ CliOptions parse_cli(int argc, char** argv) {
       options.warm_start = false;
     } else if (arg == "--seed") {
       options.seed = util::parse_number<std::uint64_t>(arg, value());
+    } else if (arg == "--shards") {
+      options.shards = util::parse_positive<std::size_t>(arg, value());
+    } else if (arg == "--shard-slices") {
+      options.shard_slices = util::parse_positive<std::size_t>(arg, value());
+    } else if (arg == "--reconcile-s") {
+      options.reconcile_s = util::parse_positive<double>(arg, value());
     } else if (arg == "--arrivals") {
       options.arrivals = value();
     } else if (arg == "--json") {
@@ -247,27 +266,46 @@ int run(const CliOptions& options) {
     config.forensics.slo_miss_rate = options.slo;
     config.forensics.window_s = options.window_s;
     config.trace_capacity = options.trace_capacity;
+    const bool sharded = options.shards > 0;
+    if (sharded) {
+      config.shards = options.shards;
+      config.shard_slices = options.shard_slices;
+      config.reconcile_interval_s = options.reconcile_s;
+    }
 
-    server::SessionServer session_server(config);
-    const server::ServerOutcome outcome = session_server.run(requests);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const server::ServerOutcome outcome =
+        sharded ? server::ShardedSessionServer(config).run(requests)
+                : server::SessionServer(config).run(requests);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
     if (!outcome.conserved) {
       std::cerr << "dmc_server: link packet conservation violated under "
                 << policy << "\n";
       ++failures;
     }
 
-    if (outcome.trace_events != nullptr && outcome.trace_events->dropped() > 0) {
+    const std::uint64_t trace_dropped =
+        outcome.trace_data != nullptr ? outcome.trace_data->dropped
+        : outcome.trace_events != nullptr ? outcome.trace_events->dropped()
+                                          : 0;
+    if (trace_dropped > 0) {
       std::cerr << "dmc_server: trace ring wrapped under " << policy << ": "
-                << outcome.trace_events->dropped() << " of "
-                << outcome.trace_events->recorded()
+                << trace_dropped
                 << " events overwritten; raise --trace-capacity (currently "
-                << outcome.trace_events->capacity()
-                << ") to keep full history\n";
+                << options.trace_capacity << ") to keep full history\n";
     }
-    if (!options.trace_path.empty() && outcome.trace_events != nullptr) {
+    if (!options.trace_path.empty() &&
+        (outcome.trace_data != nullptr || outcome.trace_events != nullptr)) {
       export_obs(with_policy(options.trace_path, policy, multi_policy),
                  [&](std::ostream& out) {
-                   obs::write_chrome_trace(out, *outcome.trace_events);
+                   if (outcome.trace_data != nullptr) {
+                     obs::write_chrome_trace(out, *outcome.trace_data);
+                   } else {
+                     obs::write_chrome_trace(out, *outcome.trace_events);
+                   }
                  });
     }
     if (!options.forensics_path.empty() && outcome.forensics.has_value()) {
@@ -279,10 +317,17 @@ int run(const CliOptions& options) {
                    [&](std::ostream& out) { out << report << "\n"; });
       }
     }
-    if (!options.metrics_path.empty() && outcome.metrics != nullptr) {
+    if (!options.metrics_path.empty() &&
+        (outcome.metrics != nullptr || !outcome.obs.empty())) {
       export_obs(with_policy(options.metrics_path, policy, multi_policy),
                  [&](std::ostream& out) {
-                   obs::write_prometheus(out, *outcome.metrics);
+                   if (outcome.metrics != nullptr) {
+                     obs::write_prometheus(out, *outcome.metrics);
+                   } else {
+                     // Sharded runs carry no live registry; export the
+                     // merged deterministic snapshot instead.
+                     obs::write_prometheus(out, outcome.obs);
+                   }
                  });
     }
 
@@ -301,9 +346,14 @@ int run(const CliOptions& options) {
       session_table(outcome).print();
       std::cout << "\n";
     }
-    if (!options.quiet && outcome.metrics != nullptr) {
-      std::cout << policy << " ";
-      obs::print_run_footer(std::cout, *outcome.metrics);
+    if (!options.quiet) {
+      if (outcome.metrics != nullptr) {
+        std::cout << policy << " ";
+        obs::print_run_footer(std::cout, *outcome.metrics);
+      } else if (!outcome.obs.empty()) {
+        std::cout << policy << " ";
+        obs::print_run_footer(std::cout, outcome.obs, wall_s);
+      }
     }
     results.records.push_back(
         fleet::server_record("server",
