@@ -63,11 +63,13 @@ int main() {
   for (int m = 1; m <= 4; ++m) {
     core::PlanOptions options;
     options.model.transmissions = m;
+    // dmc-lint: allow(det-wallclock) bench timing readout
     const auto start = std::chrono::steady_clock::now();
     const core::Plan plan = core::plan_max_quality(
         synthetic, {.rate_bps = mbps(120), .lifetime_s = seconds(1.2)},
         options);
     const auto elapsed = std::chrono::duration<double, std::milli>(
+                             // dmc-lint: allow(det-wallclock) bench timing
                              std::chrono::steady_clock::now() - start)
                              .count();
     timing.add_row({std::to_string(m), std::to_string(plan.x().size()),

@@ -8,6 +8,9 @@
 namespace dmc::exp {
 
 std::uint64_t default_messages(std::uint64_t fallback) {
+  // dmc-lint: allow(det-getenv) explicit workload-size override; seeds
+  // and per-message results are unaffected
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before any threads
   const char* env = std::getenv("DMC_MESSAGES");
   if (env == nullptr) return fallback;
   return util::parse_positive<std::uint64_t>("DMC_MESSAGES", env);

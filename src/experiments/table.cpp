@@ -36,6 +36,8 @@ std::string Table::percent(double fraction, int precision) {
 void Table::print(std::ostream& out) const {
   // DMC_CSV=1 switches every bench table to machine-readable output for
   // plotting pipelines.
+  // dmc-lint: allow(det-getenv) output-format toggle only, values identical
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before any threads
   if (const char* env = std::getenv("DMC_CSV"); env && env[0] == '1') {
     print_csv(out);
     return;

@@ -62,6 +62,9 @@ Engine::Engine(EngineOptions options) {
 }
 
 unsigned Engine::env_threads(unsigned fallback) {
+  // dmc-lint: allow(det-getenv) worker-count override; fleet results are
+  // bit-identical at any thread count (pinned by test_fleet)
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before worker spawn
   const char* env = std::getenv("DMC_THREADS");
   if (env == nullptr) return fallback;
   return util::parse_positive<unsigned>("DMC_THREADS", env);

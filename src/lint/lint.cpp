@@ -1,0 +1,692 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <tuple>
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/format.h"
+
+namespace dmc::lint {
+namespace {
+
+// ------------------------------------------------------------------ lexer ---
+
+enum class TokKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  std::string_view text;  // view into FileInput::text
+  int line = 0;
+  TokKind kind = TokKind::kPunct;
+};
+
+struct StringLit {
+  std::string_view content;  // raw bytes between the quotes (escapes kept)
+  int line = 0;
+};
+
+struct Annotation {
+  int line = 0;              // line the comment appears on
+  int target_line = 0;       // line the allow() applies to
+  std::vector<std::string> rules;
+  std::vector<bool> used;    // parallel to rules
+};
+
+// Lexed view of one file: the token stream (comments, literals and
+// preprocessor directives removed), the string literals, and the allow
+// annotations found in comments.
+struct LexedFile {
+  const FileInput* input = nullptr;
+  std::vector<Token> tokens;
+  std::vector<StringLit> strings;
+  std::vector<Annotation> annotations;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Parses "dmc-lint: allow(rule-a, rule-b) justification..." out of a comment
+// body. The marker must open the comment (only whitespace before it), so
+// prose that merely *mentions* the syntax never becomes an annotation; text
+// after the closing paren is the encouraged per-entry justification.
+bool parse_allow(std::string_view comment, std::vector<std::string>* rules) {
+  std::size_t marker = 0;
+  while (marker < comment.size() &&
+         (comment[marker] == ' ' || comment[marker] == '\t')) {
+    ++marker;
+  }
+  if (comment.substr(marker, 9) != "dmc-lint:") return false;
+  std::size_t pos = comment.find("allow(", marker + 9);
+  if (pos == std::string_view::npos) return false;
+  pos += 6;
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string_view::npos) return false;
+  std::string_view list = comment.substr(pos, close - pos);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string_view::npos) comma = list.size();
+    std::string_view item = list.substr(start, comma - start);
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (!item.empty()) rules->emplace_back(item);
+    if (comma == list.size()) break;
+    start = comma + 1;
+  }
+  return !rules->empty();
+}
+
+// Tokenizes one translation unit. Line-oriented enough to know whether an
+// annotation comment shares its line with code; otherwise a plain
+// state-machine scan. Raw strings, line splices and preprocessor directives
+// are handled so banned identifiers inside them can never fire.
+LexedFile lex(const FileInput& input) {
+  LexedFile out;
+  out.input = &input;
+  const std::string& s = input.text;
+  const std::size_t n = s.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_has_token = false;     // code token seen on the current line
+  int pending_annotation = -1;     // index into out.annotations awaiting code
+
+  auto note_comment = [&](std::string_view body, int comment_line,
+                          bool code_before) {
+    std::vector<std::string> rules;
+    if (!parse_allow(body, &rules)) return;
+    Annotation ann;
+    ann.line = comment_line;
+    ann.rules = std::move(rules);
+    ann.used.assign(ann.rules.size(), false);
+    if (code_before) {
+      ann.target_line = comment_line;
+      out.annotations.push_back(std::move(ann));
+    } else {
+      // Standalone comment: applies to the next line that carries code; the
+      // target is patched when that token arrives.
+      ann.target_line = 0;
+      out.annotations.push_back(std::move(ann));
+      pending_annotation = static_cast<int>(out.annotations.size()) - 1;
+    }
+  };
+
+  auto newline = [&] {
+    ++line;
+    line_has_token = false;
+  };
+
+  // First code on its line: resolves any standalone annotation waiting for a
+  // target. Called for tokens and string literals alike.
+  auto mark_code = [&] {
+    if (line_has_token) return;
+    line_has_token = true;
+    if (pending_annotation >= 0) {
+      out.annotations[static_cast<std::size_t>(pending_annotation)]
+          .target_line = line;
+      pending_annotation = -1;
+    }
+  };
+
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Line splice.
+    if (c == '\\' && i + 1 < n && (s[i + 1] == '\n' || s[i + 1] == '\r')) {
+      i += (s[i + 1] == '\r' && i + 2 < n && s[i + 2] == '\n') ? 3 : 2;
+      newline();
+      continue;
+    }
+    // Preprocessor directive: only when '#' opens the line's code; consume
+    // through (spliced) end of line. Comments inside are still honored for
+    // annotations, strings inside are ignored.
+    if (c == '#' && !line_has_token) {
+      while (i < n) {
+        if (s[i] == '\n') break;
+        if (s[i] == '\\' && i + 1 < n && s[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (s[i] == '/' && i + 1 < n && s[i + 1] == '/') {
+          // e.g. `#include <x>  // dmc-lint: allow(...)` — not supported on
+          // directives; skip to end of line.
+          while (i < n && s[i] != '\n') ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && s[i] != '\n') ++i;
+      note_comment(std::string_view(s).substr(start, i - start), line,
+                   line_has_token);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      const std::size_t start = i + 2;
+      const int comment_line = line;
+      const bool code_before = line_has_token;
+      i += 2;
+      while (i + 1 < n && !(s[i] == '*' && s[i + 1] == '/')) {
+        if (s[i] == '\n') ++line;
+        ++i;
+      }
+      const std::size_t end = std::min(i, n);
+      i = std::min(i + 2, n);
+      note_comment(std::string_view(s).substr(start, end - start),
+                   comment_line, code_before);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"' &&
+        (i == 0 || !ident_char(s[i - 1]))) {
+      std::size_t d = i + 2;
+      while (d < n && s[d] != '(') ++d;
+      const std::string closer =
+          ")" + std::string(s.substr(i + 2, d - (i + 2))) + "\"";
+      const std::size_t body = d + 1;
+      const std::size_t end = s.find(closer, body);
+      const std::size_t stop = end == std::string::npos ? n : end;
+      out.strings.push_back(
+          {std::string_view(s).substr(body, stop - body), line});
+      mark_code();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (s[k] == '\n') ++line;
+      }
+      i = end == std::string::npos ? n : end + closer.size();
+      continue;
+    }
+    // String / char literal (escape-aware; newlines inside are ill-formed in
+    // C++ so the line counter can ignore them).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t body = i + 1;
+      mark_code();
+      ++i;
+      while (i < n && s[i] != quote) {
+        if (s[i] == '\\' && i + 1 < n) ++i;
+        if (s[i] == '\n') ++line;  // tolerate malformed input
+        ++i;
+      }
+      if (quote == '"') {
+        out.strings.push_back(
+            {std::string_view(s).substr(body, i - body), line});
+      }
+      i = std::min(i + 1, n);
+      continue;
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(s[i])) ++i;
+      out.tokens.push_back({std::string_view(s).substr(start, i - start),
+                            line, TokKind::kIdent});
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      // pp-number: good enough to keep `1e5f`, `0x1p-3`, `1'000` atomic.
+      const std::size_t start = i;
+      ++i;
+      while (i < n) {
+        const char d = s[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (s[i - 1] == 'e' || s[i - 1] == 'E' || s[i - 1] == 'p' ||
+                    s[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({std::string_view(s).substr(start, i - start),
+                            line, TokKind::kNumber});
+    } else {
+      // Punctuation; '::' is merged so scope patterns are one token.
+      std::size_t len = 1;
+      if (c == ':' && i + 1 < n && s[i + 1] == ':') len = 2;
+      out.tokens.push_back(
+          {std::string_view(s).substr(i, len), line, TokKind::kPunct});
+      i += len;
+    }
+    mark_code();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- scoping ---
+
+std::string slashed(std::string_view path) {
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+// alloc-* rules enforce the PR-6 zero-alloc contract, which covers the
+// simulator core and the protocol layer only.
+bool in_alloc_scope(std::string_view path) {
+  const std::string p = slashed(path);
+  return p.find("src/sim/") != std::string::npos ||
+         p.find("src/protocol/") != std::string::npos;
+}
+
+// ------------------------------------------------------------ rule engine ---
+
+struct Engine {
+  const Options* options = nullptr;
+  std::vector<LexedFile> files;
+  // Identifiers declared (anywhere in the scanned set) with an
+  // unordered_{map,set} type, including through local `using` aliases.
+  std::set<std::string, std::less<>> unordered_names;
+  std::vector<Finding> findings;
+  std::size_t suppressed = 0;
+
+  // Emits unless an annotation covering (file, line) allows `rule`.
+  void emit(LexedFile& f, int line, std::string_view rule,
+            std::string message) {
+    for (Annotation& ann : f.annotations) {
+      if (ann.target_line != line) continue;
+      for (std::size_t r = 0; r < ann.rules.size(); ++r) {
+        if (ann.rules[r] == rule) {
+          ann.used[r] = true;
+          ++suppressed;
+          return;
+        }
+      }
+    }
+    findings.push_back(
+        {f.input->path, line, std::string(rule), std::move(message)});
+  }
+
+  // ---- declaration collection (pass 1) ----
+
+  // After an `unordered_map` / `unordered_set` / alias token at `i`, skips a
+  // balanced template argument list and returns the declared identifier, or
+  // empty when the construct is not a declaration (e.g. `::iterator`).
+  static std::string_view declared_name(const std::vector<Token>& t,
+                                        std::size_t i) {
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") {
+      int depth = 0;
+      while (j < t.size()) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">") {
+          if (--depth == 0) {
+            ++j;
+            break;
+          }
+        }
+        if (t[j].text == ";") return {};  // comparison, not a template list
+        ++j;
+      }
+    }
+    if (j < t.size() && t[j].kind == TokKind::kIdent) return t[j].text;
+    return {};
+  }
+
+  void collect_unordered_decls(const LexedFile& f) {
+    const auto& t = f.tokens;
+    std::set<std::string_view> aliases;
+    auto is_unordered = [&](std::string_view text) {
+      return text == "unordered_map" || text == "unordered_set" ||
+             text == "unordered_multimap" || text == "unordered_multiset" ||
+             aliases.count(text) > 0;
+    };
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      // `using Alias = ... unordered_map<...> ... ;`
+      if (t[i].text == "using" && i + 2 < t.size() &&
+          t[i + 1].kind == TokKind::kIdent && t[i + 2].text == "=") {
+        for (std::size_t j = i + 3; j < t.size() && t[j].text != ";"; ++j) {
+          if (is_unordered(t[j].text)) {
+            aliases.insert(t[i + 1].text);
+            break;
+          }
+        }
+        continue;
+      }
+      if (!is_unordered(t[i].text) || t[i].kind != TokKind::kIdent) continue;
+      const std::string_view name = declared_name(t, i);
+      if (!name.empty()) unordered_names.insert(std::string(name));
+    }
+  }
+
+  // ---- per-file rules (pass 2) ----
+
+  void determinism_rules(LexedFile& f) {
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string_view id = t[i].text;
+      const bool call = i + 1 < t.size() && t[i + 1].text == "(";
+      const bool member =
+          i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+      if ((id == "rand" || id == "srand") && call && !member) {
+        emit(f, t[i].line, "det-rand",
+             "C rand()/srand() is non-deterministic across libcs; use the "
+             "seeded stats::Rng streams");
+      } else if (id == "random_device") {
+        emit(f, t[i].line, "det-random-device",
+             "std::random_device draws hardware entropy; seed stats::Rng "
+             "deterministically instead");
+      } else if (id == "system_clock" || id == "high_resolution_clock" ||
+                 id == "steady_clock") {
+        emit(f, t[i].line, "det-wallclock",
+             "wallclock reads are non-deterministic; only "
+             "wallclock-telemetry paths may read " +
+                 std::string(id) + " (annotate them)");
+      } else if (id == "getenv" && call && !member) {
+        emit(f, t[i].line, "det-getenv",
+             "getenv() makes results depend on the host environment; "
+             "annotate overrides that never change simulated results");
+      }
+    }
+    // Range-for over an identifier declared (anywhere in the scan) as an
+    // unordered container: iteration order is implementation-defined, so
+    // anything it feeds (exports, fingerprints, admission order) goes
+    // non-deterministic.
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].text == "for" && t[i + 1].text == "(") {
+        int depth = 0;
+        std::size_t colon = 0;
+        std::size_t close = 0;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+          if (t[j].text == "(") ++depth;
+          if (t[j].text == ")" && --depth == 0) {
+            close = j;
+            break;
+          }
+          if (t[j].text == ":" && depth == 1 && colon == 0) colon = j;
+        }
+        if (colon == 0 || close == 0) continue;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (t[j].kind == TokKind::kIdent &&
+              unordered_names.count(t[j].text) > 0) {
+            emit(f, t[i].line, "det-unordered-iter",
+                 "range-for over unordered container '" +
+                     std::string(t[j].text) +
+                     "': iteration order is non-deterministic; sort keys "
+                     "first or annotate");
+            break;
+          }
+        }
+      }
+      // Explicit iterator entry points on tracked names.
+      if (t[i].kind == TokKind::kIdent && unordered_names.count(t[i].text) &&
+          i + 3 < t.size() && t[i + 1].text == "." &&
+          (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") &&
+          t[i + 3].text == "(") {
+        emit(f, t[i].line, "det-unordered-iter",
+             "iterating unordered container '" + std::string(t[i].text) +
+                 "' via begin(): order is non-deterministic; sort keys "
+                 "first or annotate");
+      }
+    }
+  }
+
+  void alloc_rules(LexedFile& f) {
+    if (!in_alloc_scope(f.input->path)) return;
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string_view id = t[i].text;
+      const bool std_qualified = i >= 2 && t[i - 1].text == "::" &&
+                                 t[i - 2].text == "std";
+      if (id == "function" &&
+          (std_qualified || (i + 1 < t.size() && t[i + 1].text == "<"))) {
+        emit(f, t[i].line, "alloc-function",
+             "std::function type-erases with heap storage; hot paths use "
+             "inline-callback slots (annotate setup-only hooks)");
+      } else if (id == "shared_ptr" || id == "make_shared" ||
+                 id == "weak_ptr") {
+        emit(f, t[i].line, "alloc-shared-ptr",
+             "shared_ptr control blocks allocate and refcount; the "
+             "sim/protocol core owns via pools and values");
+      } else if (id == "new") {
+        // Placement new (`new (addr) T`) constructs without allocating and
+        // is the sanctioned pool idiom — next token '(' skips. A real
+        // allocation call spelled `::operator new(...)` still fires via the
+        // preceding `operator` keyword.
+        const bool placement = i + 1 < t.size() && t[i + 1].text == "(" &&
+                               !(i > 0 && t[i - 1].text == "operator");
+        if (!placement) {
+          emit(f, t[i].line, "alloc-new",
+               "bare new in the zero-alloc core; allocate through the pool "
+               "arenas (annotate cold-path growth sites)");
+        }
+      }
+    }
+  }
+
+  // Extracts dotted "dmc.….vN" schema ids from a string literal body.
+  static std::vector<std::string> schema_ids(std::string_view text) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while ((pos = text.find("dmc.", pos)) != std::string_view::npos) {
+      if (pos > 0 && (ident_char(text[pos - 1]) || text[pos - 1] == '.')) {
+        ++pos;
+        continue;
+      }
+      std::size_t end = pos;
+      while (end < text.size() &&
+             (ident_char(text[end]) || text[end] == '.')) {
+        ++end;
+      }
+      std::string_view token = text.substr(pos, end - pos);
+      while (!token.empty() && token.back() == '.') token.remove_suffix(1);
+      // Versioned schema: last dotted component is v<digits>.
+      const std::size_t dot = token.rfind('.');
+      if (dot != std::string_view::npos && dot + 1 < token.size() &&
+          token[dot + 1] == 'v') {
+        bool digits = dot + 2 < token.size();
+        for (std::size_t k = dot + 2; k < token.size(); ++k) {
+          digits = digits && std::isdigit(static_cast<unsigned char>(
+                                 token[k])) != 0;
+        }
+        if (digits) out.emplace_back(token);
+      }
+      pos = end;
+    }
+    return out;
+  }
+
+  void export_rules(LexedFile& f) {
+    bool exports_schema = false;
+    for (const StringLit& lit : f.strings) {
+      for (const std::string& id : schema_ids(lit.content)) {
+        exports_schema = true;
+        if (options->readme_text.find(id) == std::string::npos) {
+          emit(f, lit.line, "export-schema-doc",
+               "schema string \"" + id +
+                   "\" is not documented in the README schema table");
+        }
+      }
+    }
+    if (!exports_schema) return;
+    // Inside schema-exporting translation units, std::to_string is banned:
+    // for floats it is locale-dependent and not round-trip safe (the
+    // fingerprint contract needs hexfloat / to_chars), and the lexer cannot
+    // prove an argument is integral.
+    const auto& t = f.tokens;
+    for (std::size_t i = 2; i < t.size(); ++i) {
+      if (t[i].text == "to_string" && t[i - 1].text == "::" &&
+          t[i - 2].text == "std") {
+        emit(f, t[i].line, "export-float",
+             "std::to_string in a schema-export unit: locale-dependent and "
+             "lossy for floats; use util::to_decimal / std::to_chars / "
+             "hexfloat");
+      }
+    }
+  }
+
+  void unused_allow_rule(const LexedFile& f) {
+    static const std::set<std::string_view> known = [] {
+      std::set<std::string_view> k;
+      for (const auto& [id, desc] : rule_catalog()) k.insert(id);
+      return k;
+    }();
+    for (const Annotation& ann : f.annotations) {
+      for (std::size_t r = 0; r < ann.rules.size(); ++r) {
+        if (known.count(ann.rules[r]) == 0) {
+          findings.push_back({f.input->path, ann.line, "unused-allow",
+                              "allow(" + ann.rules[r] +
+                                  ") names an unknown rule"});
+        } else if (!ann.used[r]) {
+          findings.push_back({f.input->path, ann.line, "unused-allow",
+                              "allow(" + ann.rules[r] +
+                                  ") suppressed nothing; remove it"});
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Report run(const std::vector<FileInput>& files, const Options& options) {
+  Engine engine;
+  engine.options = &options;
+  engine.files.reserve(files.size());
+  for (const FileInput& input : files) {
+    engine.files.push_back(lex(input));
+    engine.collect_unordered_decls(engine.files.back());
+  }
+  for (LexedFile& f : engine.files) {
+    engine.determinism_rules(f);
+    engine.alloc_rules(f);
+    engine.export_rules(f);
+  }
+  if (options.check_unused_allow) {
+    for (const LexedFile& f : engine.files) engine.unused_allow_rule(f);
+  }
+  std::sort(engine.findings.begin(), engine.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+  Report report;
+  report.findings = std::move(engine.findings);
+  report.files_scanned = files.size();
+  report.suppressed = engine.suppressed;
+  return report;
+}
+
+std::vector<std::pair<std::string_view, std::string_view>> rule_catalog() {
+  return {
+      {"det-rand", "C rand()/srand(): non-deterministic across libcs"},
+      {"det-random-device", "std::random_device: hardware entropy seed"},
+      {"det-wallclock",
+       "system/high_resolution/steady_clock outside telemetry paths"},
+      {"det-getenv", "getenv-derived behavior without an annotation"},
+      {"det-unordered-iter",
+       "iteration over unordered containers (order feeds exports)"},
+      {"alloc-function",
+       "std::function in the zero-alloc sim/protocol core"},
+      {"alloc-shared-ptr",
+       "shared_ptr/make_shared/weak_ptr in the zero-alloc core"},
+      {"alloc-new", "bare non-placement new in the zero-alloc core"},
+      {"export-schema-doc",
+       "\"dmc.*.vN\" schema string missing from the README table"},
+      {"export-float",
+       "std::to_string in a schema-export unit (not float-safe)"},
+      {"unused-allow", "allow() annotation that suppressed nothing"},
+  };
+}
+
+std::string to_json(const Report& report, double elapsed_ms) {
+  auto escape = [](std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          out += c;
+      }
+    }
+    return out;
+  };
+  auto decimal = [](double value) {
+    char buffer[32];
+    const auto [ptr, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    return ec == std::errc() ? std::string(buffer, ptr) : std::string("null");
+  };
+  std::string out = "{\"schema\":\"dmc.lint.v1\"";
+  out += ",\"files\":" + util::to_decimal(report.files_scanned);
+  out += ",\"suppressed\":" + util::to_decimal(report.suppressed);
+  if (elapsed_ms >= 0) out += ",\"elapsed_ms\":" + decimal(elapsed_ms);
+  out += ",\"findings\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i > 0) out += ",";
+    out += "{\"file\":\"" + escape(f.path) + "\"";
+    out += ",\"line\":" + util::to_decimal(f.line);
+    out += ",\"rule\":\"" + escape(f.rule) + "\"";
+    out += ",\"message\":\"" + escape(f.message) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<std::string> default_targets(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const char* dir : {"src", "tools", "tests", "bench"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      const std::string rel =
+          fs::relative(entry.path(), fs::path(root)).generic_string();
+      // The fixture corpus exists to violate the rules.
+      if (rel.find("tests/lint_fixtures/") != std::string::npos) continue;
+      out.push_back(rel);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace dmc::lint

@@ -1,0 +1,85 @@
+// dmc_lint: a lexer-level determinism & concurrency static analyzer for this
+// repository's contract set. It tokenizes C++ sources (comments, string
+// literals and preprocessor directives stripped from the token stream) and
+// matches per-rule token patterns, so it needs no compiler front-end and
+// scans the whole tree in milliseconds.
+//
+// Rule families (catalog + rationale in README "Correctness tooling"):
+//   determinism  det-rand, det-random-device, det-wallclock, det-getenv,
+//                det-unordered-iter
+//   allocation   alloc-function, alloc-shared-ptr, alloc-new
+//                (scoped to src/sim + src/protocol per the PR-6 zero-alloc
+//                contract)
+//   export       export-schema-doc, export-float
+//   hygiene      unused-allow (an allow annotation that suppressed nothing)
+//
+// Suppression: `// dmc-lint: allow(rule-a, rule-b)` on the offending line, or
+// on its own line to cover the next line with code. Every annotation must
+// suppress at least one finding or `unused-allow` fires, so the allowlist
+// can never rot.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmc::lint {
+
+// One diagnostic: `path` is reported exactly as the caller spelled it (rule
+// scoping also keys off this spelling, e.g. "src/sim/" enables alloc-*).
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+// A source file to scan. The analyzer never touches the filesystem: the CLI
+// and the tests both load content themselves, which also lets tests place
+// fixture content on any virtual path to exercise rule scoping.
+struct FileInput {
+  std::string path;
+  std::string text;
+};
+
+struct Options {
+  // README.md content; every "dmc.*.vN" schema string literal found in the
+  // scanned sources must appear verbatim in it (export-schema-doc).
+  std::string readme_text;
+  // Report allow annotations that suppressed nothing (unused-allow).
+  bool check_unused_allow = true;
+};
+
+struct Report {
+  std::vector<Finding> findings;  // sorted by (path, line, rule)
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;  // findings silenced by allow annotations
+};
+
+// Scans `files` and returns all findings. Deterministic: output depends only
+// on (files, options), never on scan order or the host environment.
+Report run(const std::vector<FileInput>& files, const Options& options);
+
+// Machine-readable report, schema "dmc.lint.v1" (documented in README):
+// {"schema":"dmc.lint.v1","files":N,"suppressed":N,"elapsed_ms":E,
+//  "findings":[{"file":...,"line":N,"rule":...,"message":...},...]}
+// elapsed_ms is wallclock telemetry supplied by the caller (< 0 omits it);
+// everything else is deterministic.
+std::string to_json(const Report& report, double elapsed_ms);
+
+// The rule catalog as (id, one-line description) pairs, for --list-rules and
+// the README table; stable order (families grouped).
+std::vector<std::pair<std::string_view, std::string_view>> rule_catalog();
+
+// Collects the repository sources a default scan covers: *.h / *.cpp under
+// src/, tools/, tests/, bench/ relative to `root`, skipping
+// tests/lint_fixtures/ (intentional violations). Sorted for determinism.
+std::vector<std::string> default_targets(const std::string& root);
+
+// Reads a whole file; throws std::runtime_error on I/O failure.
+std::string read_file(const std::string& path);
+
+}  // namespace dmc::lint

@@ -143,11 +143,14 @@ class MetricRegistry {
 class ScopedTimer {
  public:
   explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    // dmc-lint: allow(det-wallclock) wallclock histograms are excluded
+    // from deterministic output (Options::wallclock)
     if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedTimer() {
     if (histogram_ != nullptr) {
       const std::chrono::duration<double> elapsed =
+          // dmc-lint: allow(det-wallclock) wallclock-only histogram
           std::chrono::steady_clock::now() - start_;
       histogram_->record(elapsed.count());
     }
@@ -158,6 +161,7 @@ class ScopedTimer {
 
  private:
   Histogram* histogram_;
+  // dmc-lint: allow(det-wallclock) telemetry state, never exported
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -14,6 +14,7 @@ core::Plan make_manual_plan(const core::PathSet& paths,
                             const core::TrafficSpec& traffic,
                             const std::vector<double>& x,
                             const core::ModelOptions& options) {
+  // dmc-lint: allow(alloc-shared-ptr) Plan setup; core::Plan shares its Model
   auto model = std::make_shared<const core::Model>(paths, traffic, options);
   if (x.size() != model->combos().size()) {
     throw std::invalid_argument("make_manual_plan: x has wrong dimension");
@@ -39,6 +40,7 @@ core::Plan make_manual_plan(const core::PathSet& paths,
 core::Plan make_proportional_split_plan(const core::PathSet& paths,
                                         const core::TrafficSpec& traffic,
                                         const core::ModelOptions& options) {
+  // dmc-lint: allow(alloc-shared-ptr) Plan setup; core::Plan shares its Model
   auto model = std::make_shared<const core::Model>(paths, traffic, options);
   const auto& combos = model->combos();
   std::vector<double> x(combos.size(), 0.0);
@@ -89,6 +91,7 @@ core::Plan make_greedy_flow_plan(const core::PathSet& paths,
   core::ModelOptions with_blackhole = options;
   with_blackhole.use_blackhole = true;  // leftovers must go somewhere
   auto model =
+      // dmc-lint: allow(alloc-shared-ptr) Plan setup; core::Plan shares its Model
       std::make_shared<const core::Model>(paths, traffic, with_blackhole);
   const auto& combos = model->combos();
 

@@ -236,6 +236,7 @@ FecSessionResult run_fec_session(const core::PathSet& paths,
   const double inter_message = message_bits / traffic.rate_bps;
   std::uint64_t next_data = 0;
 
+  // dmc-lint: allow(alloc-function) one self-scheduling closure per run
   std::function<void()> generate = [&]() {
     if (next_data >= session.num_messages) return;
     const std::uint64_t group_id = next_data / static_cast<std::uint64_t>(k);

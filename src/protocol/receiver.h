@@ -32,11 +32,13 @@ struct ReceiverConfig {
   std::uint32_t ack_every = 1;
   // Optional per-message verdict callback: fires once per unique sequence
   // number on its first arrival, with the on-time decision.
+  // dmc-lint: allow(alloc-function) installed once at session setup
   std::function<void(std::uint64_t seq, bool on_time)> verdict_hook;
 };
 
 class DeadlineReceiver {
  public:
+  // dmc-lint: allow(alloc-function) bound once per session, not per event
   using AckSender = std::function<void(int path, sim::PooledPacket)>;
 
   DeadlineReceiver(sim::Simulator& simulator, ReceiverConfig config,

@@ -46,27 +46,34 @@ struct SenderConfig {
 struct SenderHooks {
   // rtt: echo-based round-trip sample for a first-attempt transmission on
   // `path` (Karn's rule: retransmitted attempts produce no sample).
+  // dmc-lint: allow(alloc-function) installed once at session setup
   std::function<void(int path, double rtt)> on_rtt_sample;
   // A transmission on `path` was declared lost (timer or fast retransmit).
+  // dmc-lint: allow(alloc-function) installed once at session setup
   std::function<void(int path)> on_loss_inferred;
   // A previously inferred loss on `path` turned out spurious: the ack for
   // the "lost" attempt arrived after the timer had already fired (Eifel-
   // style detection). Estimators should revert the loss sample.
+  // dmc-lint: allow(alloc-function) installed once at session setup
   std::function<void(int path)> on_spurious_loss;
   // A transmission on `path` was acknowledged.
+  // dmc-lint: allow(alloc-function) installed once at session setup
   std::function<void(int path)> on_ack_for_path;
   // A message was generated (fires before assignment).
+  // dmc-lint: allow(alloc-function) installed once at session setup
   std::function<void(std::uint64_t seq)> on_generated;
   // All messages have been generated and the last outstanding one resolved
   // (acknowledged or given up): the sender will never emit another packet.
   // Fires at most once, possibly from inside ack processing — the callback
   // must not destroy the sender synchronously (defer teardown to a fresh
   // simulator event, as proto::SessionHost does).
+  // dmc-lint: allow(alloc-function) installed once at session setup
   std::function<void()> on_drained;
 };
 
 class DeadlineSender {
  public:
+  // dmc-lint: allow(alloc-function) bound once per session, not per event
   using DataSender = std::function<void(int path, sim::PooledPacket)>;
 
   // Upper bound on attempts per combo the execution engine supports; plans

@@ -38,6 +38,7 @@ class SessionHost {
   // Fired (via a zero-delay follow-up event, so the handler may stop the
   // session) when a session's sender has generated all messages and the last
   // outstanding one resolved.
+  // dmc-lint: allow(alloc-function) bound once per host, fires per session
   using CompletionHandler = std::function<void(std::uint32_t id)>;
 
   SessionHost(sim::Simulator& simulator, sim::Network& network);

@@ -160,7 +160,9 @@ class ServerLoop {
   obs::Histogram* lp_wall_hist_ = nullptr;  // wallclock: export-excluded
   obs::Histogram* queue_wait_hist_ = nullptr;
   obs::Histogram* event_depth_hist_ = nullptr;
+  // dmc-lint: allow(det-wallclock) run-footer telemetry, export-excluded
   std::chrono::steady_clock::time_point wall_start_ =
+      // dmc-lint: allow(det-wallclock) run-footer telemetry, export-excluded
       std::chrono::steady_clock::now();
 };
 

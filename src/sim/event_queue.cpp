@@ -266,6 +266,7 @@ void EventQueue::throw_empty(const char* what) {
 EventQueue::Entry* EventQueue::allocate_entries(std::size_t n) {
   if (n == 0) return nullptr;
   return static_cast<Entry*>(
+      // dmc-lint: allow(alloc-new) cold-path arena growth, amortized to zero
       ::operator new(n * sizeof(Entry), std::align_val_t{alignof(Entry)}));
 }
 

@@ -73,6 +73,7 @@ struct LinkStats {
 
 class Link {
  public:
+  // dmc-lint: allow(alloc-function) installed once at wiring time
   using Receiver = std::function<void(PooledPacket)>;
 
   Link(Simulator& simulator, LinkConfig config, std::string name);

@@ -30,6 +30,7 @@ PathConfig symmetric_path(LinkConfig both_directions, std::string name);
 class Network {
  public:
   // Receiver callbacks get the path index the packet arrived on.
+  // dmc-lint: allow(alloc-function) installed once at wiring time
   using Receiver = std::function<void(int path, PooledPacket)>;
 
   Network(Simulator& simulator, std::vector<PathConfig> paths);

@@ -70,6 +70,7 @@ class AckPayload {
  private:
   void grow(std::size_t n) {
     delete[] overflow_;
+    // dmc-lint: allow(alloc-new) oversized-ack escape hatch, cold path
     overflow_ = new std::uint8_t[n];
     overflow_cap_ = static_cast<std::uint32_t>(n);
   }

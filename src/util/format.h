@@ -1,0 +1,27 @@
+// Locale-independent number -> text helpers for the schema-export paths
+// (dmc.obs.v1 / dmc.fleet.result.v1 / dmc.obs.analysis.v1 / dmc.lint.v1).
+// std::to_string is banned there by dmc_lint's export-float rule: for
+// floating-point it is locale-dependent and not round-trip safe, and a
+// lexer-level linter cannot prove an argument integral — so integral
+// serialization routes through these std::to_chars wrappers instead.
+#pragma once
+
+#include <charconv>
+#include <string>
+#include <type_traits>
+
+namespace dmc::util {
+
+// Decimal rendering of any integer type; never touches the locale.
+template <typename T>
+std::string to_decimal(T value) {
+  static_assert(std::is_integral_v<T>,
+                "to_decimal is for integers; floats use format_double / "
+                "to_chars directly");
+  char buffer[24];  // fits INT64_MIN and UINT64_MAX
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  (void)ec;  // cannot fail: the buffer covers every 64-bit value
+  return std::string(buffer, ptr);
+}
+
+}  // namespace dmc::util

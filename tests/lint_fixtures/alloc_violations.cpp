@@ -1,0 +1,16 @@
+// Fixture: allocation-discipline rules. Only fires when scanned under a
+// src/sim/ or src/protocol/ path (test_lint.cpp feeds both spellings).
+#include <functional>
+#include <memory>
+
+std::function<void()> hook;                       // line 6: alloc-function
+std::shared_ptr<int> shared;                      // line 7: alloc-shared-ptr
+auto made = std::make_shared<int>(1);             // line 8: alloc-shared-ptr
+std::weak_ptr<int> weak;                          // line 9: alloc-shared-ptr
+int* bare = new int(5);                           // line 10: alloc-new
+
+alignas(int) char storage[sizeof(int)];
+// Placement new constructs in existing storage — must NOT fire.
+int* placed = new (&storage) int(7);
+
+void* raw() { return ::operator new(64); }        // line 16: alloc-new

@@ -1,0 +1,21 @@
+// Fixture: allow-annotation behavior. Same-line and standalone-line
+// suppression, justifications after the paren, an unused allow, and an
+// unknown rule id. Line numbers are asserted exactly — append only.
+#include <cstdlib>
+
+// dmc-lint: allow(det-getenv) standalone form covers the next code line
+const char* a = std::getenv("A");
+
+const char* b = std::getenv("B");  // dmc-lint: allow(det-getenv) same line
+
+// line 11: this allow matches nothing -> unused-allow fires on it
+// dmc-lint: allow(det-rand) nothing random below
+int not_random = 7;
+
+// line 15: unknown rule id -> unused-allow fires on it
+// dmc-lint: allow(not-a-rule) typo'd id
+const char* c = "";
+
+// Prose that mentions the marker mid-comment is not an annotation, so the
+// getenv below must still fire: see `// dmc-lint: allow(det-getenv)`.
+const char* d = std::getenv("D");                 // line 21: det-getenv

@@ -1,0 +1,29 @@
+// Fixture: idiomatic code on the hot-path contract — zero findings even
+// when scanned under a src/sim/ path. Banned names inside comments and
+// strings must never fire: rand() srand std::function shared_ptr new
+// system_clock getenv unordered_map.
+#include <charconv>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+
+const char* kBannedInString = "rand() getenv(\"X\") new std::function";
+
+std::mt19937_64 engine{12345};  // seeded: deterministic by construction
+
+std::map<int, int> ordered;  // ordered: iteration is deterministic
+
+int sum_ordered() {
+  int total = 0;
+  for (const auto& [key, value] : ordered) total += value;
+  return total;
+}
+
+std::unique_ptr<int> owner = std::make_unique<int>(1);  // unique: no refcount
+
+std::string render(double value) {
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc() ? std::string(buffer, ptr) : std::string();
+}

@@ -1,0 +1,10 @@
+// Fixture: unordered member declared in a header; the matching .cpp
+// iterates it. det-unordered-iter must fire across the file boundary.
+#pragma once
+
+#include <unordered_map>
+
+struct FixtureIndex {
+  std::unordered_map<int, int> entries_by_id;
+  int sum() const;
+};

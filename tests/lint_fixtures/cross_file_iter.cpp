@@ -1,0 +1,8 @@
+// Fixture: iterates the unordered member declared in cross_file_decl.h.
+#include "cross_file_decl.h"
+
+int FixtureIndex::sum() const {
+  int total = 0;
+  for (const auto& [id, value] : entries_by_id) total += value;  // line 6
+  return total;
+}

@@ -1,0 +1,24 @@
+// Fixture: every determinism rule fires at a known line. Line numbers are
+// asserted exactly by tests/test_lint.cpp — append only.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+int use_rand() { return rand(); }                               // line 8
+void seed_it() { srand(42); }                                   // line 9
+unsigned entropy() { return std::random_device{}(); }           // line 10
+auto wall() { return std::chrono::system_clock::now(); }        // line 11
+auto hires() { return std::chrono::high_resolution_clock::now(); }
+auto steady() { return std::chrono::steady_clock::now(); }      // line 13
+const char* env() { return std::getenv("DMC_FIXTURE"); }        // line 14
+
+std::unordered_map<int, int> table;
+
+int sum_table() {
+  int total = 0;
+  for (const auto& [key, value] : table) total += value;        // line 20
+  return total;
+}
+
+auto first() { return table.begin(); }                          // line 24

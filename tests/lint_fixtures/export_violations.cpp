@@ -1,0 +1,12 @@
+// Fixture: export-hygiene rules. The schema id below is deliberately
+// absent from the README text the test supplies.
+#include <string>
+
+const char* kSchema = "dmc.fixture.v9";           // line 5: export-schema-doc
+
+std::string render(int value) {
+  return std::to_string(value);                   // line 8: export-float
+}
+
+// A second schema the test README *does* contain: documented, no finding.
+const char* kKnown = "dmc.fixture.known.v1";

@@ -1,0 +1,223 @@
+// dmc_lint analyzer contract, pinned over the fixture corpus in
+// tests/lint_fixtures/: every rule family fires at an exact (file, line),
+// clean idiomatic code stays silent, allow annotations suppress precisely
+// one line each, and the allowlist cannot rot (unused-allow).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace dmc::lint {
+namespace {
+
+#ifndef DMC_LINT_FIXTURE_DIR
+#error "CMake must define DMC_LINT_FIXTURE_DIR"
+#endif
+
+// Loads a fixture file from disk, scanning it under `virtual_path` so rule
+// scoping (src/sim/ vs elsewhere) is test-controlled.
+FileInput fixture(const std::string& name, const std::string& virtual_path) {
+  return {virtual_path,
+          read_file(std::string(DMC_LINT_FIXTURE_DIR) + "/" + name)};
+}
+
+std::vector<std::string> rules_at(const Report& report,
+                                  const std::string& path, int line) {
+  std::vector<std::string> out;
+  for (const Finding& f : report.findings) {
+    if (f.path == path && f.line == line) out.push_back(f.rule);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t count_rule(const Report& report, std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(report.findings.begin(), report.findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(LintDeterminism, EveryRuleFiresAtItsExactLine) {
+  const auto report =
+      run({fixture("det_violations.cpp", "tests/det_violations.cpp")}, {});
+  const std::string p = "tests/det_violations.cpp";
+  EXPECT_EQ(rules_at(report, p, 8), std::vector<std::string>{"det-rand"});
+  EXPECT_EQ(rules_at(report, p, 9), std::vector<std::string>{"det-rand"});
+  EXPECT_EQ(rules_at(report, p, 10),
+            std::vector<std::string>{"det-random-device"});
+  EXPECT_EQ(rules_at(report, p, 11),
+            std::vector<std::string>{"det-wallclock"});
+  EXPECT_EQ(rules_at(report, p, 12),
+            std::vector<std::string>{"det-wallclock"});
+  EXPECT_EQ(rules_at(report, p, 13),
+            std::vector<std::string>{"det-wallclock"});
+  EXPECT_EQ(rules_at(report, p, 14), std::vector<std::string>{"det-getenv"});
+  EXPECT_EQ(rules_at(report, p, 20),
+            std::vector<std::string>{"det-unordered-iter"});
+  EXPECT_EQ(rules_at(report, p, 24),
+            std::vector<std::string>{"det-unordered-iter"});
+  EXPECT_EQ(report.findings.size(), 9u);
+  EXPECT_EQ(report.suppressed, 0u);
+}
+
+TEST(LintAlloc, FiresOnlyUnderTheZeroAllocScope) {
+  // Under src/sim/: every alloc site fires, placement new stays silent.
+  const auto in_scope =
+      run({fixture("alloc_violations.cpp", "src/sim/alloc_violations.cpp")},
+          {});
+  const std::string p = "src/sim/alloc_violations.cpp";
+  EXPECT_EQ(rules_at(in_scope, p, 6),
+            std::vector<std::string>{"alloc-function"});
+  EXPECT_EQ(rules_at(in_scope, p, 7),
+            std::vector<std::string>{"alloc-shared-ptr"});
+  EXPECT_EQ(rules_at(in_scope, p, 8),
+            std::vector<std::string>{"alloc-shared-ptr"});
+  EXPECT_EQ(rules_at(in_scope, p, 9),
+            std::vector<std::string>{"alloc-shared-ptr"});
+  EXPECT_EQ(rules_at(in_scope, p, 10), std::vector<std::string>{"alloc-new"});
+  EXPECT_EQ(rules_at(in_scope, p, 14), std::vector<std::string>{});
+  EXPECT_EQ(rules_at(in_scope, p, 16), std::vector<std::string>{"alloc-new"});
+  EXPECT_EQ(in_scope.findings.size(), 6u);
+
+  // src/protocol/ is in scope too; src/core/ is not.
+  EXPECT_EQ(run({fixture("alloc_violations.cpp",
+                         "src/protocol/alloc_violations.cpp")},
+                {})
+                .findings.size(),
+            6u);
+  EXPECT_TRUE(run({fixture("alloc_violations.cpp",
+                           "src/core/alloc_violations.cpp")},
+                  {})
+                  .findings.empty());
+}
+
+TEST(LintExport, SchemaDocAndFloatSafety) {
+  Options options;
+  // Split so the self-scan (LintRepo) does not see a schema id here.
+  options.readme_text = std::string("schema table: `dmc.fixture.known.") +
+                        "v1` only";
+  const auto report = run(
+      {fixture("export_violations.cpp", "tools/export_violations.cpp")},
+      options);
+  const std::string p = "tools/export_violations.cpp";
+  EXPECT_EQ(rules_at(report, p, 5),
+            std::vector<std::string>{"export-schema-doc"});
+  EXPECT_EQ(rules_at(report, p, 8), std::vector<std::string>{"export-float"});
+  EXPECT_EQ(report.findings.size(), 2u);
+  // The documented schema produced no finding anywhere.
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.message.find("known"), std::string::npos) << f.message;
+  }
+}
+
+TEST(LintExport, FloatRuleOnlyInsideSchemaExportUnits) {
+  // Same std::to_string, but no schema string in the unit -> silent.
+  const FileInput no_schema{"tools/plain.cpp",
+                            "#include <string>\n"
+                            "std::string r(int v) {\n"
+                            "  return std::to_string(v);\n"
+                            "}\n"};
+  EXPECT_TRUE(run({no_schema}, {}).findings.empty());
+}
+
+TEST(LintClean, IdiomaticCodeIsSilentEvenInTheHotScope) {
+  const auto report = run({fixture("clean.cpp", "src/sim/clean.cpp")}, {});
+  for (const Finding& f : report.findings) {
+    ADD_FAILURE() << f.path << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+  EXPECT_EQ(report.suppressed, 0u);
+}
+
+TEST(LintAnnotations, AllowSuppressesExactlyItsLine) {
+  const auto report =
+      run({fixture("annotated.cpp", "tests/annotated.cpp")}, {});
+  const std::string p = "tests/annotated.cpp";
+  // Lines 7 and 9 are suppressed (standalone + same-line forms).
+  EXPECT_EQ(rules_at(report, p, 7), std::vector<std::string>{});
+  EXPECT_EQ(rules_at(report, p, 9), std::vector<std::string>{});
+  EXPECT_EQ(report.suppressed, 2u);
+  // The unused allow and the unknown rule id are findings themselves.
+  EXPECT_EQ(rules_at(report, p, 12), std::vector<std::string>{"unused-allow"});
+  EXPECT_EQ(rules_at(report, p, 16), std::vector<std::string>{"unused-allow"});
+  // Prose mentioning the marker mid-comment is not an annotation.
+  EXPECT_EQ(rules_at(report, p, 21), std::vector<std::string>{"det-getenv"});
+  EXPECT_EQ(report.findings.size(), 3u);
+}
+
+TEST(LintAnnotations, UnusedAllowCheckCanBeDisabled) {
+  Options options;
+  options.check_unused_allow = false;
+  const auto report =
+      run({fixture("annotated.cpp", "tests/annotated.cpp")}, options);
+  EXPECT_EQ(count_rule(report, "unused-allow"), 0u);
+  EXPECT_EQ(report.findings.size(), 1u);  // only the un-annotated getenv
+}
+
+TEST(LintUnorderedIter, DeclarationInHeaderIterationInCpp) {
+  const auto report =
+      run({fixture("cross_file_decl.h", "src/obs/cross_file_decl.h"),
+           fixture("cross_file_iter.cpp", "src/obs/cross_file_iter.cpp")},
+          {});
+  EXPECT_EQ(rules_at(report, "src/obs/cross_file_iter.cpp", 6),
+            std::vector<std::string>{"det-unordered-iter"});
+  EXPECT_EQ(report.findings.size(), 1u);
+}
+
+TEST(LintReport, DeterministicOrderAndJson) {
+  // Two files fed in reverse order: findings come out sorted by path/line.
+  const auto report =
+      run({fixture("export_violations.cpp", "z/export.cpp"),
+           fixture("det_violations.cpp", "a/det.cpp")},
+          {});
+  ASSERT_GE(report.findings.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(
+      report.findings.begin(), report.findings.end(),
+      [](const Finding& a, const Finding& b) {
+        return std::tie(a.path, a.line, a.rule, a.message) <
+               std::tie(b.path, b.line, b.rule, b.message);
+      }));
+  EXPECT_EQ(report.files_scanned, 2u);
+
+  const std::string json = to_json(report, 1.5);
+  EXPECT_EQ(json.find("{\"schema\":\"dmc.lint.v1\",\"files\":2,"), 0u);
+  EXPECT_NE(json.find("\"elapsed_ms\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"det-rand\""), std::string::npos);
+  // Negative elapsed omits the wallclock field entirely.
+  EXPECT_EQ(to_json(report, -1).find("elapsed_ms"), std::string::npos);
+  // Quotes and backslashes in messages must be escaped.
+  Report weird;
+  weird.findings.push_back({"p\\q.cpp", 1, "r", "say \"hi\""});
+  const std::string escaped = to_json(weird, -1);
+  EXPECT_NE(escaped.find("p\\\\q.cpp"), std::string::npos);
+  EXPECT_NE(escaped.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(LintRepo, TheRealTreeIsClean) {
+  // The root CMake smoke test runs the CLI; this pins the same contract
+  // in-process so a plain ctest run of this binary covers it too.
+  const std::string root = std::string(DMC_LINT_FIXTURE_DIR) + "/../..";
+  const auto targets = default_targets(root);
+  ASSERT_GT(targets.size(), 100u);
+  for (const std::string& t : targets) {
+    ASSERT_EQ(t.find("lint_fixtures"), std::string::npos) << t;
+  }
+  std::vector<FileInput> inputs;
+  inputs.reserve(targets.size());
+  for (const std::string& t : targets) {
+    inputs.push_back({t, read_file(root + "/" + t)});
+  }
+  Options options;
+  options.readme_text = read_file(root + "/README.md");
+  const auto report = run(inputs, options);
+  for (const Finding& f : report.findings) {
+    ADD_FAILURE() << f.path << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace dmc::lint

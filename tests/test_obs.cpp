@@ -13,6 +13,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
+#include "util/format.h"
 
 namespace dmc::obs {
 namespace {
@@ -135,7 +136,7 @@ TEST(MetricRegistry, HandlesStayValidAsTheRegistryGrows) {
   MetricRegistry registry;
   Histogram& first = registry.histogram("dmc_first_seconds", "first");
   for (int i = 0; i < 200; ++i) {
-    registry.counter("dmc_filler_" + std::to_string(i) + "_total", "filler");
+    registry.counter("dmc_filler_" + util::to_decimal(i) + "_total", "filler");
   }
   first.record(0.5);  // the deque must not have moved the entry
   EXPECT_EQ(first.count(), 1u);

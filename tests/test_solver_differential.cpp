@@ -39,6 +39,7 @@ constexpr std::uint64_t kBaseSeed = 20260730;
 // override must fail the run loudly, not silently shrink the soak to a
 // handful of instances.
 int fuzz_iterations() {
+  // dmc-lint: allow(det-getenv) fuzz-depth override for the nightly job
   const char* env = std::getenv("DMC_FUZZ_ITERS");
   if (env == nullptr || *env == '\0') return 500;
   return util::parse_positive<int>("DMC_FUZZ_ITERS", env);
@@ -48,6 +49,7 @@ int fuzz_iterations() {
 // artifact; returns a human-readable pointer for the assertion message.
 std::string dump_instance(const Problem& problem, std::uint64_t seed,
                           const std::string& detail) {
+  // dmc-lint: allow(det-getenv) artifact directory for failing dumps
   const char* dir = std::getenv("DMC_FUZZ_DUMP_DIR");
   if (dir == nullptr || *dir == '\0') {
     return "(set DMC_FUZZ_DUMP_DIR to dump failing instances)";

@@ -17,6 +17,7 @@
 #include "fleet/job.h"
 #include "fleet/results.h"
 #include "obs/export.h"
+#include "util/format.h"
 #include "util/parse.h"
 
 namespace {
@@ -157,8 +158,8 @@ exp::Table contention_table(const std::vector<fleet::RunRecord>& records) {
                    exp::Table::num(record.session_index, 0),
                    exp::Table::percent(record.measured_quality),
                    exp::Table::percent(record.theory_quality),
-                   std::to_string(record.trace.retransmissions),
-                   std::to_string(queue_drops)});
+                   util::to_decimal(record.trace.retransmissions),
+                   util::to_decimal(queue_drops)});
   }
   return table;
 }
@@ -176,13 +177,13 @@ exp::Table server_table(const std::vector<fleet::RunRecord>& records) {
     }
     table.add_row(
         {exp::Table::num(x, 0), record.policy,
-         std::to_string(record.admitted) + "/" +
-             std::to_string(record.arrivals),
+         util::to_decimal(record.admitted) + "/" +
+             util::to_decimal(record.arrivals),
          exp::Table::percent(record.admission_rate),
          exp::Table::percent(record.deadline_miss_rate),
          exp::Table::num(to_mbps(record.goodput_bps), 1),
          exp::Table::num(to_ms(record.mean_queue_wait_s), 1),
-         std::to_string(record.replans)});
+         util::to_decimal(record.replans)});
   }
   return table;
 }
@@ -217,7 +218,9 @@ void write_to(const std::string& path, const fleet::ResultSet& results,
 }
 
 int run(const CliOptions& options) {
+  // dmc-lint: allow(det-wallclock) run-footer telemetry only
   const std::chrono::steady_clock::time_point wall_start =
+      // dmc-lint: allow(det-wallclock) run-footer telemetry only
       std::chrono::steady_clock::now();
   fleet::GridOptions grid;
   grid.messages =
@@ -335,6 +338,7 @@ int run(const CliOptions& options) {
     registry.gauge(obs::kRunSimSeconds, "Simulated seconds, summed").set(sim_s);
     registry.counter(obs::kRunEventsTotal, "Events executed").set(events);
     registry.gauge(obs::kRunWallSeconds, "Wall-clock seconds", true)
+        // dmc-lint: allow(det-wallclock) feeds a wallclock-flagged gauge
         .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            wall_start)
                  .count());

@@ -1,0 +1,159 @@
+// dmc_lint: the repo's determinism & concurrency static-analysis pass
+// (lexer-level, no compiler front-end — see src/lint/lint.h for the rule
+// catalog and README "Correctness tooling" for the contract each family
+// enforces). Scans src/ tools/ tests/ bench/ by default, prints
+// file:line: [rule] diagnostics, and exits non-zero on any finding so CI
+// can require a clean tree.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "util/parse.h"
+
+namespace {
+
+using namespace dmc;
+
+constexpr const char* kUsage = R"(usage: dmc_lint [options] [FILE...]
+
+Scans the given files, or with no FILE arguments every *.h / *.cpp under
+src/ tools/ tests/ bench/ of --root (tests/lint_fixtures/ excluded: that
+corpus exists to violate the rules).
+
+options
+  --root DIR      repository root for the default scan + README lookup
+                  (default: .)
+  --json PATH     write the dmc.lint.v1 report (- = stdout)
+  --list-rules    print the rule catalog and exit
+  --max-ms N      fail (exit 3) when the scan takes longer than N ms —
+                  CI pins the full-repo scan under its latency budget
+  --quiet         suppress the per-finding text output
+exit status: 0 clean, 1 findings, 2 usage/io error, 3 over --max-ms
+)";
+
+struct CliOptions {
+  std::string root = ".";
+  std::string json_path;
+  std::vector<std::string> files;
+  double max_ms = 0;  // 0 = unlimited
+  bool quiet = false;
+  bool list_rules = false;
+};
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(arg + ": missing value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      options.root = value();
+    } else if (arg == "--json") {
+      options.json_path = value();
+    } else if (arg == "--max-ms") {
+      options.max_ms = util::parse_positive<double>(arg, value());
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--list-rules") {
+      options.list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  return options;
+}
+
+void write_output(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text << "\n";
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << text << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  try {
+    options = parse_cli(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "dmc_lint: " << error.what() << "\n\n" << kUsage;
+    return 2;
+  }
+  if (options.list_rules) {
+    for (const auto& [id, description] : lint::rule_catalog()) {
+      std::cout << id << "\t" << description << "\n";
+    }
+    return 0;
+  }
+  try {
+    // Wallclock is CLI telemetry only (elapsed_ms in the report footer);
+    // findings are a pure function of the scanned bytes.
+    // dmc-lint: allow(det-wallclock)
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::string> paths = options.files;
+    if (paths.empty()) paths = lint::default_targets(options.root);
+    if (paths.empty()) throw std::runtime_error("nothing to scan");
+
+    std::vector<lint::FileInput> inputs;
+    inputs.reserve(paths.size());
+    for (const std::string& path : paths) {
+      const bool relative = !path.empty() && path[0] != '/';
+      const std::string full =
+          relative ? options.root + "/" + path : path;
+      inputs.push_back({path, lint::read_file(full)});
+    }
+    lint::Options lint_options;
+    try {
+      lint_options.readme_text = lint::read_file(options.root + "/README.md");
+    } catch (const std::exception&) {
+      // No README: every schema string becomes an export-schema-doc finding,
+      // which is the honest outcome.
+    }
+    const lint::Report report = lint::run(inputs, lint_options);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            // dmc-lint: allow(det-wallclock)
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (!options.quiet) {
+      for (const lint::Finding& finding : report.findings) {
+        std::cerr << finding.path << ":" << finding.line << ": ["
+                  << finding.rule << "] " << finding.message << "\n";
+      }
+      std::cerr << "dmc_lint: " << report.findings.size() << " finding(s), "
+                << report.suppressed << " suppressed, "
+                << report.files_scanned << " files, " << elapsed_ms
+                << " ms\n";
+    }
+    if (!options.json_path.empty()) {
+      write_output(options.json_path, lint::to_json(report, elapsed_ms));
+    }
+    if (options.max_ms > 0 && elapsed_ms > options.max_ms) {
+      std::cerr << "dmc_lint: scan took " << elapsed_ms
+                << " ms, over the --max-ms " << options.max_ms
+                << " budget\n";
+      return 3;
+    }
+    return report.findings.empty() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "dmc_lint: " << error.what() << "\n";
+    return 2;
+  }
+}

@@ -18,6 +18,7 @@
 #include "server/arrivals.h"
 #include "server/server.h"
 #include "server/sharded_server.h"
+#include "util/format.h"
 #include "util/parse.h"
 
 namespace {
@@ -189,7 +190,7 @@ exp::Table session_table(const server::ServerOutcome& outcome) {
   for (const server::SessionRecord& record : outcome.sessions) {
     const bool ran = record.fate == server::RequestFate::admitted ||
                      record.fate == server::RequestFate::queued_admitted;
-    table.add_row({std::to_string(record.request_id),
+    table.add_row({util::to_decimal(record.request_id),
                    exp::Table::num(record.arrival_s, 3),
                    server::to_string(record.fate),
                    exp::Table::num(to_ms(record.queue_wait_s), 1),
@@ -197,7 +198,7 @@ exp::Table session_table(const server::ServerOutcome& outcome) {
                        : std::string("-"),
                    ran ? exp::Table::percent(record.measured_quality)
                        : std::string("-"),
-                   std::to_string(record.replans)});
+                   util::to_decimal(record.replans)});
   }
   return table;
 }
@@ -273,11 +274,13 @@ int run(const CliOptions& options) {
       config.reconcile_interval_s = options.reconcile_s;
     }
 
+    // dmc-lint: allow(det-wallclock) run-footer telemetry only
     const auto wall_start = std::chrono::steady_clock::now();
     const server::ServerOutcome outcome =
         sharded ? server::ShardedSessionServer(config).run(requests)
                 : server::SessionServer(config).run(requests);
     const double wall_s =
+        // dmc-lint: allow(det-wallclock) run-footer telemetry only
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
@@ -332,15 +335,15 @@ int run(const CliOptions& options) {
     }
 
     summary.add_row(
-        {policy, std::to_string(outcome.admitted),
-         std::to_string(outcome.rejected), std::to_string(outcome.expired),
+        {policy, util::to_decimal(outcome.admitted),
+         util::to_decimal(outcome.rejected), util::to_decimal(outcome.expired),
          exp::Table::percent(outcome.admission_rate),
          exp::Table::percent(outcome.deadline_miss_rate),
          exp::Table::num(to_mbps(outcome.goodput_bps), 1),
-         std::to_string(outcome.orphans.total()),
-         std::to_string(outcome.replans),
-         std::to_string(outcome.lp.warm_solves) + "/" +
-             std::to_string(outcome.lp.cold_solves)});
+         util::to_decimal(outcome.orphans.total()),
+         util::to_decimal(outcome.replans),
+         util::to_decimal(outcome.lp.warm_solves) + "/" +
+             util::to_decimal(outcome.lp.cold_solves)});
     if (!options.quiet && options.per_session) {
       exp::banner("per-session fates: " + policy);
       session_table(outcome).print();
@@ -364,7 +367,7 @@ int run(const CliOptions& options) {
   }
 
   if (!options.quiet) {
-    exp::banner("online admission: " + std::to_string(requests.size()) +
+    exp::banner("online admission: " + util::to_decimal(requests.size()) +
                 " arrivals at " + exp::Table::num(options.arrival_rate, 1) +
                 "/s");
     summary.print();

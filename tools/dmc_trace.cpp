@@ -13,6 +13,7 @@
 #include "experiments/table.h"
 #include "obs/analysis.h"
 #include "obs/export.h"
+#include "util/format.h"
 #include "util/parse.h"
 
 namespace {
@@ -119,7 +120,7 @@ void print_report(const obs::AnalysisReport& report) {
             << exp::Table::percent(report.slo_miss_rate, 3) << " (burn "
             << exp::Table::num(report.slo_burn, 2) << "x)\n\n";
 
-  exp::banner("root causes: " + std::to_string(report.misses.total()) +
+  exp::banner("root causes: " + util::to_decimal(report.misses.total()) +
               " missed deadlines" +
               (report.lower_bound ? " (lower bound)" : ""));
   exp::Table causes({"cause", "misses", "share"});
@@ -128,7 +129,7 @@ void print_report(const obs::AnalysisReport& report) {
         report.misses.counts[c];
     causes.add_row(
         {obs::to_string(static_cast<obs::MissCause>(c)),
-         std::to_string(count),
+         util::to_decimal(count),
          report.misses.total() > 0
              ? exp::Table::percent(static_cast<double>(count) /
                                    static_cast<double>(report.misses.total()))
@@ -146,12 +147,12 @@ void print_report(const obs::AnalysisReport& report) {
       for (std::size_t c = 1; c < obs::kNumMissCauses; ++c) {
         if (s.causes.counts[c] > s.causes.counts[dominant]) dominant = c;
       }
-      worst.add_row({std::to_string(s.session), std::to_string(s.request),
+      worst.add_row({util::to_decimal(s.session), util::to_decimal(s.request),
                      maybe_num(s.admitted_at_s, 3),
                      std::isnan(s.admit_quality)
                          ? std::string("-")
                          : exp::Table::percent(s.admit_quality, 2),
-                     std::to_string(s.observed), std::to_string(s.misses),
+                     util::to_decimal(s.observed), util::to_decimal(s.misses),
                      obs::to_string(static_cast<obs::MissCause>(dominant))});
     }
     worst.print();
@@ -159,21 +160,21 @@ void print_report(const obs::AnalysisReport& report) {
   }
 
   if (report.detail_session >= 0) {
-    exp::banner("session " + std::to_string(report.detail_session) +
+    exp::banner("session " + util::to_decimal(report.detail_session) +
                 " timeline");
     exp::Table detail({"seq", "outcome", "cause", "first tx (s)",
                        "resolved (s)", "late by (ms)", "attempts", "losses",
                        "queue drops", "queue excess (ms)"});
     for (const obs::MessageForensics& row : report.detail) {
       detail.add_row(
-          {std::to_string(row.seq), row.outcome,
+          {util::to_decimal(row.seq), row.outcome,
            row.cause >= 0
                ? obs::to_string(static_cast<obs::MissCause>(row.cause))
                : "-",
            maybe_num(row.first_tx_s, 4), maybe_num(row.resolved_at_s, 4),
            exp::Table::num(row.late_by_s * 1e3, 2),
-           std::to_string(row.attempts), std::to_string(row.losses),
-           std::to_string(row.queue_drops),
+           util::to_decimal(row.attempts), util::to_decimal(row.losses),
+           util::to_decimal(row.queue_drops),
            maybe_num(row.queue_excess_s * 1e3, 2)});
     }
     detail.print();
@@ -187,11 +188,11 @@ void print_report(const obs::AnalysisReport& report) {
                        "blackholed", "miss rate", "burn", "p99 delay (ms)"});
     for (const obs::WindowStats& window : report.windows) {
       series.add_row({exp::Table::num(window.t0, 2),
-                      std::to_string(window.generated),
-                      std::to_string(window.delivered),
-                      std::to_string(window.late),
-                      std::to_string(window.gave_up),
-                      std::to_string(window.blackholed),
+                      util::to_decimal(window.generated),
+                      util::to_decimal(window.delivered),
+                      util::to_decimal(window.late),
+                      util::to_decimal(window.gave_up),
+                      util::to_decimal(window.blackholed),
                       exp::Table::percent(window.miss_rate),
                       exp::Table::num(window.slo_burn, 2),
                       maybe_num(window.p99_delay_s * 1e3, 3)});
